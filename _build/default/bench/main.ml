@@ -1,0 +1,418 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Section 3), plus ablations and Bechamel microbenchmarks.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- table1    # Table 1 only
+     dune exec bench/main.exe -- fig7      # Figure 7 series
+     dune exec bench/main.exe -- iters     # convergence traces (Sec. 3 text)
+     dune exec bench/main.exe -- ablate    # design-choice ablations
+     dune exec bench/main.exe -- bechamel  # per-experiment microbenchmarks
+
+   Absolute numbers differ from the paper (different technology calibration,
+   synthetic ISCAS85 stand-ins, 2026 hardware vs an UltraSparc 10); the
+   claims under reproduction are the *shapes*: who wins, by roughly what
+   factor, and where. EXPERIMENTS.md records paper-vs-measured per row. *)
+
+open Minflo
+
+let tech = Tech.default_130nm
+
+let model_cache : (string, Delay_model.t) Hashtbl.t = Hashtbl.create 16
+
+let model_of name =
+  match Hashtbl.find_opt model_cache name with
+  | Some m -> m
+  | None ->
+    let nl = Iscas85.circuit name in
+    let m = Elmore.of_netlist tech nl in
+    Hashtbl.add model_cache name m;
+    m
+
+(* ---------------------------------------------------------------- Table 1 *)
+
+(* The paper reports rows "where the area penalty is within 1.5-1.75x that
+   of a minimum sized circuit". Where its delay-spec column already puts our
+   stand-in in (or above) that band we use it verbatim; where our circuit is
+   barely stressed at that spec (the padding-heavy stand-ins have slacker
+   off-path logic than the originals), we tighten the factor until the TILOS
+   penalty enters the band — the paper's own selection criterion. *)
+let band_lo = 1.5
+
+let table1_row (info : Iscas85.info) =
+  let model = model_of info.name in
+  let p0 = Sweep.at_factor model ~factor:info.delay_spec in
+  let is_adder = String.length info.name >= 5 && String.sub info.name 0 5 = "adder" in
+  if is_adder || (not p0.tilos_met) || p0.tilos_area_ratio >= band_lo -. 0.05 then p0
+  else begin
+    let rec tighten factor best attempts =
+      if attempts = 0 then best
+      else begin
+        let factor = factor *. 0.93 in
+        let p = Sweep.at_factor model ~factor in
+        if not p.tilos_met then best
+        else if p.tilos_area_ratio >= band_lo then p
+        else tighten factor p (attempts - 1)
+      end
+    in
+    tighten info.delay_spec p0 14
+  end
+
+let run_table1 () =
+  print_endline "== Table 1: area savings of MINFLOTRANSIT over TILOS ==";
+  print_endline
+    "   (paper columns shown for reference; CPU seconds are this machine)";
+  let t =
+    Table.create
+      ~columns:
+        [ ("circuit", Table.Left); ("gates", Table.Right);
+          ("gates(paper)", Table.Right); ("factor", Table.Right);
+          ("spec(paper)", Table.Right); ("TILOS area", Table.Right);
+          ("saving %", Table.Right); ("saving(paper)", Table.Right);
+          ("iters", Table.Right); ("t TILOS s", Table.Right);
+          ("t MINFLO s", Table.Right); ("ratio(paper)", Table.Right) ]
+  in
+  List.iter
+    (fun (info : Iscas85.info) ->
+      let model = model_of info.name in
+      let p = table1_row info in
+      let time_ratio =
+        if p.tilos_seconds > 0.0 then
+          (p.tilos_seconds +. p.minflo_extra_seconds) /. p.tilos_seconds
+        else nan
+      in
+      Table.add_row t
+        [ info.name;
+          string_of_int (Delay_model.num_vertices model);
+          string_of_int info.gates_published;
+          Printf.sprintf "%.2f" p.factor;
+          Printf.sprintf "%.2f" info.delay_spec;
+          (if p.tilos_met then Printf.sprintf "%.2fx" p.tilos_area_ratio else "unmet");
+          (if p.tilos_met then Printf.sprintf "%.1f" p.saving_pct else "-");
+          Printf.sprintf "%.1f" info.paper_area_saving_pct;
+          string_of_int p.iterations;
+          Printf.sprintf "%.2f" p.tilos_seconds;
+          Printf.sprintf "%.2f" (p.tilos_seconds +. p.minflo_extra_seconds);
+          Printf.sprintf "%.1fx"
+            (info.paper_cpu_ours_s /. info.paper_cpu_tilos_s) ];
+      ignore time_ratio)
+    Iscas85.suite;
+  Table.print t;
+  print_newline ()
+
+(* --------------------------------------------------------------- Figure 7 *)
+
+let run_fig7 () =
+  print_endline "== Figure 7: area-delay curves, TILOS vs MINFLOTRANSIT ==";
+  let series name factors =
+    let model = model_of name in
+    Printf.printf "-- %s (area and delay normalized to the minimum-size circuit)\n" name;
+    let t =
+      Table.create
+        ~columns:
+          [ ("delay/Dmin", Table.Right); ("TILOS area", Table.Right);
+            ("MINFLO area", Table.Right); ("saving %", Table.Right) ]
+    in
+    List.iter
+      (fun (p : Sweep.point) ->
+        Table.add_row t
+          [ Printf.sprintf "%.2f" p.factor;
+            (if p.tilos_met then Printf.sprintf "%.3f" p.tilos_area_ratio else "unmet");
+            (if p.tilos_met then Printf.sprintf "%.3f" p.minflo_area_ratio else "-");
+            (if p.tilos_met then Printf.sprintf "%.1f" p.saving_pct else "-") ])
+      (Sweep.curve model ~factors);
+    Table.print t
+  in
+  (* paper sweeps 0.2..1.0; our floors sit near 0.27 (c432) / 0.29 (c6288) *)
+  series "c432" [ 0.3; 0.35; 0.4; 0.5; 0.6; 0.8; 1.0 ];
+  series "c6288" [ 0.4; 0.5; 0.65; 0.8; 1.0 ];
+  print_endline
+    "   Expected shape: MINFLOTRANSIT everywhere at or below TILOS, gap\n\
+    \   widening at tight targets, largest on the multiplier.";
+  print_newline ()
+
+(* -------------------------------------------------- Sec. 3: iteration text *)
+
+let run_iters () =
+  print_endline
+    "== Convergence: 'only a few tens of iterations were required' ==";
+  let t =
+    Table.create
+      ~columns:
+        [ ("circuit", Table.Left); ("factor", Table.Right);
+          ("iterations", Table.Right); ("area trace (first->last)", Table.Left) ]
+  in
+  List.iter
+    (fun (name, factor) ->
+      let model = model_of name in
+      let target = factor *. Sweep.dmin model in
+      let r = Minflotransit.optimize model ~target in
+      let trace =
+        match r.trace with
+        | [] -> "-"
+        | l ->
+          let first = List.hd l and last = List.nth l (List.length l - 1) in
+          Printf.sprintf "%.0f -> %.0f (tilos %.0f)" first.area last.area r.tilos.area
+      in
+      Table.add_row t
+        [ name; Printf.sprintf "%.2f" factor; string_of_int r.iterations; trace ])
+    [ ("c432", 0.4); ("c499", 0.57); ("c880", 0.4); ("c1355", 0.4) ];
+  Table.print t;
+  print_newline ()
+
+(* -------------------------------------------------------------- ablations *)
+
+let run_ablate () =
+  print_endline "== Ablations (design choices called out in DESIGN.md) ==";
+  (* 1. D-phase solver: network simplex vs SSP *)
+  let model = model_of "c432" in
+  let target = 0.4 *. Sweep.dmin model in
+  let tilos = Tilos.size model ~target in
+  let delays = Delay_model.delays model tilos.sizes in
+  let time_solver solver =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Dphase.solve
+        ~options:{ Dphase.default_options with solver }
+        model ~sizes:tilos.sizes ~delays ~deadline:target
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    match r with
+    | Ok o -> (dt, o.objective)
+    | Error e -> failwith e
+  in
+  let ts, os_ = time_solver `Simplex in
+  let tp, op = time_solver `Ssp in
+  Printf.printf "D-phase solver on c432 (same optimum expected):\n";
+  Printf.printf "  network simplex: %.4fs  objective %.4g\n" ts os_;
+  Printf.printf "  SSP (oracle):    %.4fs  objective %.4g\n" tp op;
+  (* 2. balanced-configuration seed: ALAP vs ASAP (Theorem 1: same optimum) *)
+  let with_mode balance_mode =
+    Dphase.solve
+      ~options:{ Dphase.default_options with balance_mode }
+      model ~sizes:tilos.sizes ~delays ~deadline:target
+  in
+  (match (with_mode `Alap, with_mode `Asap) with
+  | Ok a, Ok b ->
+    Printf.printf
+      "balanced-configuration seed (Theorem 1): ALAP objective %.6g, ASAP %.6g\n"
+      a.objective b.objective
+  | _ -> print_endline "balance-mode ablation failed");
+  (* 3. trust region eta *)
+  print_endline "trust region eta (final saving % / iterations on c432 @ 0.4):";
+  List.iter
+    (fun eta0 ->
+      let r =
+        Minflotransit.refine_from
+          ~options:{ Minflotransit.default_options with eta0 }
+          model ~target ~init:tilos.sizes ~tilos
+      in
+      Printf.printf "  eta0 = %-5g -> %.2f%% in %d iterations\n" eta0
+        r.area_saving_pct r.iterations)
+    [ 0.05; 0.2; 0.5; 1.0 ];
+  (* 4. the Lagrangian-relaxation comparator [8]: the paper argues LR's
+     behavior beyond regular structures was undemonstrated; our LR matches
+     MINFLOTRANSIT on the regular c432 but stalls on heterogeneous
+     circuits, illustrating the point *)
+  print_endline "vs Lagrangian relaxation [8] (area ratios, target 0.4 Dmin):";
+  List.iter
+    (fun name ->
+      let model = model_of name in
+      let target = 0.4 *. Sweep.dmin model in
+      let a0 = Sweep.min_area model in
+      let tilos = Tilos.size model ~target in
+      let lr = Lagrangian.size model ~target in
+      let mf = Minflotransit.refine_from model ~target ~init:tilos.sizes ~tilos in
+      Printf.printf "  %-6s TILOS %.3f | LR %.3f | MINFLOTRANSIT %.3f\n" name
+        (tilos.area /. a0) (lr.area /. a0) (mf.area /. a0))
+    [ "c432"; "c880" ];
+  (* 5. simultaneous wire sizing (Section 2.1 capability) *)
+  let nlw = Iscas85.circuit "c432" in
+  let mw = Elmore.with_wires tech nlw in
+  let pw = Sweep.at_factor mw ~factor:0.4 in
+  Printf.printf
+    "wire sizing on c432 @ 0.4 (gates+wires, %d variables): saving %.1f%% \
+     over TILOS in %d iterations\n"
+    (Delay_model.num_vertices mw) pw.saving_pct pw.iterations;
+  (* 5. Theorem 3 probe: random feasible perturbations should not improve a
+     converged MINFLOTRANSIT solution, but do improve TILOS *)
+  let probe_point label sizes =
+    let r =
+      Optimality.probe ~trials:150 ~seed:17 model ~target ~sizes
+    in
+    Printf.printf
+      "  %-14s %3d/%d perturbations improved; best gain %.3f%%\n" label
+      r.improved r.trials r.best_gain_pct
+  in
+  print_endline "local-optimality probe on c432 @ 0.4 (Theorem 3):";
+  probe_point "TILOS" tilos.sizes;
+  let mf = Minflotransit.refine_from model ~target ~init:tilos.sizes ~tilos in
+  probe_point "MINFLOTRANSIT" mf.sizes;
+  (* 6. the low-power angle of [13]: smaller area at equal delay also cuts
+     switching power *)
+  let nlp = Iscas85.circuit "c432" in
+  let act = Activity.estimate ~patterns:1024 ~seed:99 nlp in
+  let p_min = Power.min_size_baseline tech nlp ~activity:act in
+  let p_tilos = Power.dynamic tech nlp ~activity:act ~sizes:tilos.sizes in
+  let p_mf = Power.dynamic tech nlp ~activity:act ~sizes:mf.sizes in
+  Printf.printf
+    "switching power on c432 (normalized to minimum size): TILOS %.2fx, \
+     MINFLOTRANSIT %.2fx\n"
+    (p_tilos.total /. p_min.total)
+    (p_mf.total /. p_min.total);
+  (* 7. TILOS bump factor sensitivity of the seed *)
+  print_endline "TILOS bump factor (seed quality, c432 @ 0.4):";
+  List.iter
+    (fun bump ->
+      let r = Tilos.size ~bump model ~target in
+      Printf.printf "  bump %.2f -> area ratio %.3f, %d bumps\n" bump
+        (r.area /. Sweep.min_area model)
+        r.bumps)
+    [ 1.05; 1.1; 1.3 ];
+  print_newline ()
+
+(* ------------------------------------------------- run-time scaling claim *)
+
+let run_scaling () =
+  print_endline
+    "== Run-time scaling: 'near linear run-time dependence on the size of \
+     the circuit' (Sec. 1) ==";
+  let t =
+    Table.create
+      ~columns:
+        [ ("gates", Table.Right); ("TILOS s", Table.Right);
+          ("D/W refine s", Table.Right); ("total s", Table.Right);
+          ("us per gate", Table.Right) ]
+  in
+  List.iter
+    (fun gates ->
+      let nl = Generators.random_dag ~gates ~inputs:(max 8 (gates / 16))
+                 ~outputs:(max 4 (gates / 32)) ~seed:(7 * gates) () in
+      let model = Elmore.of_netlist tech nl in
+      let target = 0.5 *. Sweep.dmin model in
+      let t0 = Unix.gettimeofday () in
+      let tilos = Tilos.size model ~target in
+      let t1 = Unix.gettimeofday () in
+      if tilos.met then begin
+        let _ = Minflotransit.refine_from model ~target ~init:tilos.sizes ~tilos in
+        let t2 = Unix.gettimeofday () in
+        Table.add_row t
+          [ string_of_int gates;
+            Printf.sprintf "%.2f" (t1 -. t0);
+            Printf.sprintf "%.2f" (t2 -. t1);
+            Printf.sprintf "%.2f" (t2 -. t0);
+            Printf.sprintf "%.0f" (1e6 *. (t2 -. t0) /. float_of_int gates) ]
+      end
+      else Table.add_row t [ string_of_int gates; "unmet"; "-"; "-"; "-" ])
+    [ 200; 400; 800; 1600; 3200 ];
+  Table.print t;
+  print_endline
+    "   Shape check: us-per-gate should stay within a small constant factor\n\
+    \   as the circuit grows 16x (the paper's near-linear claim).";
+  print_newline ()
+
+(* ------------------------------------------------------------- bechamel *)
+
+let run_bechamel () =
+  print_endline "== Bechamel microbenchmarks (one per experiment component) ==";
+  let open Bechamel in
+  let open Toolkit in
+  let c432 = model_of "c432" in
+  let d0 = Sweep.dmin c432 in
+  let tilos_seed = Tilos.size c432 ~target:(0.5 *. d0) in
+  let delays = Delay_model.delays c432 tilos_seed.sizes in
+  let sizes = tilos_seed.sizes in
+  let tests =
+    Test.make_grouped ~name:"minflo"
+      [ (* Table 1 pipeline pieces *)
+        Test.make ~name:"sta/c432"
+          (Staged.stage (fun () ->
+               ignore (Sta.analyze c432 ~delays ~deadline:(0.5 *. d0))));
+        Test.make ~name:"dphase/c432"
+          (Staged.stage (fun () ->
+               ignore
+                 (Dphase.solve c432 ~sizes ~delays ~deadline:(0.5 *. d0))));
+        Test.make ~name:"wphase/c432"
+          (Staged.stage (fun () ->
+               ignore (Wphase.solve c432 ~budgets:delays)));
+        Test.make ~name:"tilos/c17@0.5"
+          (Staged.stage (fun () ->
+               let m = Elmore.of_netlist tech (Generators.c17 ()) in
+               ignore (Tilos.size m ~target:(0.5 *. Sweep.dmin m))));
+        (* Figure 7 sweep step on a small instance *)
+        Test.make ~name:"fig7-point/adder8@0.5"
+          (Staged.stage
+             (let m =
+                Elmore.of_netlist tech
+                  (Generators.ripple_carry_adder ~bits:8 ())
+              in
+              fun () -> ignore (Sweep.at_factor m ~factor:0.5)));
+        (* flow substrate *)
+        Test.make ~name:"simplex/random-mcf"
+          (Staged.stage
+             (let rng = Rng.create 42 in
+              let n = 200 in
+              let arcs =
+                Array.init 800 (fun _ ->
+                    { Mcf.src = Rng.int rng n; dst = Rng.int rng n;
+                      cap = 5 + Rng.int rng 20; cost = Rng.int rng 50 - 10 })
+              in
+              let supply = Array.make n 0 in
+              for _ = 1 to 20 do
+                let s = Rng.int rng n and t = Rng.int rng n in
+                supply.(s) <- supply.(s) + 3;
+                supply.(t) <- supply.(t) - 3
+              done;
+              let p = { Mcf.num_nodes = n; arcs; supply } in
+              fun () -> ignore (Network_simplex.solve p))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name o ->
+      match Analyze.OLS.estimates o with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  let t = Table.create ~columns:[ ("benchmark", Table.Left); ("time/run", Table.Right) ] in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Table.add_row t [ name; pretty ])
+    (List.sort compare !rows);
+  Table.print t;
+  print_newline ()
+
+(* ------------------------------------------------------------------ main *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match what with
+  | "table1" -> run_table1 ()
+  | "fig7" -> run_fig7 ()
+  | "iters" -> run_iters ()
+  | "ablate" -> run_ablate ()
+  | "scaling" -> run_scaling ()
+  | "bechamel" -> run_bechamel ()
+  | "all" ->
+    run_table1 ();
+    run_fig7 ();
+    run_iters ();
+    run_ablate ();
+    run_scaling ();
+    run_bechamel ()
+  | other ->
+    Printf.eprintf
+      "unknown command %S (use table1|fig7|iters|ablate|scaling|bechamel|all)\n" other;
+    exit 1);
+  Printf.printf "total bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,341 @@
+(* minflo — command-line front end for the MINFLOTRANSIT sizing library.
+
+   Circuits are named either by an ISCAS85/adder suite entry (c432, c6288,
+   adder32, ...) or by a path to a .bench file. *)
+
+open Cmdliner
+open Minflo
+
+let load_circuit spec =
+  if Sys.file_exists spec then begin
+    if Filename.check_suffix spec ".v" then Verilog_format.parse_file spec
+    else Bench_format.parse_file spec
+  end
+  else begin
+    match Iscas85.find_info spec with
+    | Some _ -> Iscas85.circuit spec
+    | None ->
+      Fmt.failwith
+        "unknown circuit %S: not a file, and not one of {%s}"
+        spec
+        (String.concat ", " (List.map (fun (i : Iscas85.info) -> i.name) Iscas85.suite))
+  end
+
+let circuit_arg =
+  let doc =
+    "Circuit: a .bench file path or a built-in suite name (c432 .. c7552, \
+     adder32, adder256, plus c17)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let load_circuit spec = if spec = "c17" then Generators.c17 () else load_circuit spec
+
+let model_arg =
+  let doc = "Sizing granularity: gate (default) or transistor." in
+  Arg.(value & opt (enum [ ("gate", `Gate); ("transistor", `Transistor) ]) `Gate
+       & info [ "granularity"; "g" ] ~doc)
+
+let build_model granularity nl =
+  let tech = Tech.default_130nm in
+  match granularity with
+  | `Gate -> Elmore.of_netlist tech nl
+  | `Transistor -> Transistor.of_netlist tech (Transform.to_nand_inv nl)
+
+let factor_arg =
+  let doc = "Delay target as a fraction of the minimum-size circuit delay." in
+  Arg.(value & opt float 0.5 & info [ "factor"; "f" ] ~doc)
+
+(* ---------- gen ---------- *)
+
+let gen_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the netlist to $(docv) instead of stdout.")
+  in
+  let fmt_arg =
+    Arg.(value
+         & opt (enum [ ("bench", `Bench); ("verilog", `Verilog); ("dot", `Dot) ]) `Bench
+         & info [ "format" ] ~doc:"Output format: bench, verilog or dot.")
+  in
+  let run name out fmt =
+    let nl = load_circuit name in
+    let text =
+      match fmt with
+      | `Bench -> Bench_format.to_string nl
+      | `Verilog -> Verilog_format.to_string nl
+      | `Dot ->
+        Dot.to_dot ~name:"netlist" ~node_label:(Netlist.node_name nl)
+          (Netlist.to_digraph nl)
+    in
+    match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Fmt.pr "wrote %s (%d gates)@." path (Netlist.gate_count nl)
+    | None -> print_string text
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a built-in circuit (bench/verilog/dot).")
+    Term.(const run $ circuit_arg $ out $ fmt_arg)
+
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let run name =
+    let nl = load_circuit name in
+    let s = Netlist.stats nl in
+    Fmt.pr "%s: %a@." (Netlist.name nl) Netlist.pp_stats s
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print netlist statistics.")
+    Term.(const run $ circuit_arg)
+
+(* ---------- sta ---------- *)
+
+let sta_cmd =
+  let run name granularity factor =
+    let nl = load_circuit name in
+    let model = build_model granularity nl in
+    let x = Delay_model.uniform_sizes model model.Delay_model.min_size in
+    let delays = Delay_model.delays model x in
+    let sta = Sta.analyze model ~delays ~deadline:(factor *. Sweep.dmin model) in
+    Fmt.pr "vertices: %d@." (Delay_model.num_vertices model);
+    Fmt.pr "minimum-size critical path: %.4g@." sta.critical_path;
+    Fmt.pr "deadline (factor %.2f): %.4g -> %s@." factor sta.deadline
+      (if Sta.is_safe sta then "SAFE" else "UNSAFE at minimum size");
+    let path = Sta.worst_path model ~delays in
+    Fmt.pr "critical path (%d vertices):@." (List.length path);
+    List.iter
+      (fun i ->
+        Fmt.pr "  %-24s delay %.4g slack %.4g@." model.Delay_model.labels.(i)
+          delays.(i) sta.slack.(i))
+      path
+  in
+  Cmd.v
+    (Cmd.info "sta" ~doc:"Static timing report at minimum sizes.")
+    Term.(const run $ circuit_arg $ model_arg $ factor_arg)
+
+(* ---------- size ---------- *)
+
+let size_cmd =
+  let tool =
+    Arg.(value & opt (enum [ ("tilos", `Tilos); ("minflo", `Minflo) ]) `Minflo
+         & info [ "tool" ] ~doc:"Sizing tool: the TILOS baseline or MINFLOTRANSIT.")
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump-sizes" ] ~doc:"Print every size variable.")
+  in
+  let run name granularity factor tool dump =
+    let nl = load_circuit name in
+    let model = build_model granularity nl in
+    let d0 = Sweep.dmin model in
+    let a0 = Sweep.min_area model in
+    let target = factor *. d0 in
+    Fmt.pr "circuit %s: %d sized vertices, Dmin %.4g, target %.4g@."
+      (Netlist.name nl) (Delay_model.num_vertices model) d0 target;
+    let sizes, area, cp, met =
+      match tool with
+      | `Tilos ->
+        let r = Tilos.size model ~target in
+        Fmt.pr "TILOS: %d bumps@." r.bumps;
+        (r.sizes, r.area, r.final_cp, r.met)
+      | `Minflo ->
+        let r = Minflotransit.optimize model ~target in
+        Fmt.pr "TILOS seed: area ratio %.3f (%d bumps)@."
+          (r.tilos.area /. a0) r.tilos.bumps;
+        Fmt.pr "MINFLOTRANSIT: %d iterations, saving %.2f%% over TILOS@."
+          r.iterations r.area_saving_pct;
+        (r.sizes, r.area, r.cp, r.met)
+    in
+    Fmt.pr "met: %b  delay: %.4g (%.3f x Dmin)  area ratio: %.3f@." met cp (cp /. d0)
+      (area /. a0);
+    if dump then
+      Array.iteri
+        (fun i x -> Fmt.pr "  %-24s %.3f@." model.Delay_model.labels.(i) x)
+        sizes
+  in
+  Cmd.v
+    (Cmd.info "size" ~doc:"Size a circuit for a delay target.")
+    Term.(const run $ circuit_arg $ model_arg $ factor_arg $ tool $ dump)
+
+(* ---------- sweep ---------- *)
+
+let sweep_cmd =
+  let factors =
+    Arg.(value & opt (list float) [ 0.4; 0.5; 0.6; 0.8; 1.0 ]
+         & info [ "factors" ] ~doc:"Comma-separated delay factors.")
+  in
+  let run name granularity factors =
+    let nl = load_circuit name in
+    let model = build_model granularity nl in
+    let table =
+      Table.create
+        ~columns:
+          [ ("factor", Table.Right); ("TILOS area", Table.Right);
+            ("MINFLO area", Table.Right); ("saving %", Table.Right);
+            ("iters", Table.Right) ]
+    in
+    List.iter
+      (fun (p : Sweep.point) ->
+        Table.add_row table
+          [ Printf.sprintf "%.2f" p.factor;
+            (if p.tilos_met then Printf.sprintf "%.3f" p.tilos_area_ratio else "unmet");
+            (if p.tilos_met then Printf.sprintf "%.3f" p.minflo_area_ratio else "-");
+            (if p.tilos_met then Printf.sprintf "%.1f" p.saving_pct else "-");
+            string_of_int p.iterations ])
+      (Sweep.curve model ~factors);
+    Table.print table
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Area-delay trade-off curve (Figure 7 style).")
+    Term.(const run $ circuit_arg $ model_arg $ factors)
+
+(* ---------- verify ---------- *)
+
+let verify_cmd =
+  let second =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CIRCUIT2"
+         ~doc:"Second circuit to compare against.")
+  in
+  let engine =
+    Arg.(value & opt (enum [ ("bdd", `Bdd); ("sat", `Sat) ]) `Bdd
+         & info [ "engine" ]
+             ~doc:"Proof engine: canonical BDDs (fast on moderate circuits) \
+                   or a SAT miter (better on large, structurally similar \
+                   pairs).")
+  in
+  let run a b engine =
+    let nla = load_circuit a and nlb = load_circuit b in
+    let fail_cex output_index counterexample =
+      Fmt.pr "DIFFER at output #%d; counterexample:@." output_index;
+      List.iter (fun (n, v) -> Fmt.pr "  %s = %b@." n v) counterexample;
+      exit 1
+    in
+    match engine with
+    | `Bdd -> (
+      match Check.equivalent nla nlb with
+      | Check.Equivalent -> Fmt.pr "EQUIVALENT: %s == %s (BDD proof)@." a b
+      | Check.Inputs_mismatch (x, y) ->
+        Fmt.pr "MISMATCH: %d vs %d primary inputs@." x y;
+        exit 1
+      | Check.Outputs_mismatch (x, y) ->
+        Fmt.pr "MISMATCH: %d vs %d primary outputs@." x y;
+        exit 1
+      | Check.Differ { output_index; counterexample } ->
+        fail_cex output_index counterexample)
+    | `Sat -> (
+      match Cnf.equivalent nla nlb with
+      | Cnf.Equivalent -> Fmt.pr "EQUIVALENT: %s == %s (SAT miter)@." a b
+      | Cnf.Interface_mismatch ->
+        Fmt.pr "MISMATCH: different interfaces@.";
+        exit 1
+      | Cnf.Differ counterexample -> fail_cex 0 counterexample)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Formally check two circuits for equivalence.")
+    Term.(const run $ circuit_arg $ second $ engine)
+
+(* ---------- convert ---------- *)
+
+let convert_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Destination file; format from the extension (.bench / .v / .dot).")
+  in
+  let run name out =
+    let nl = load_circuit name in
+    if Filename.check_suffix out ".v" then Verilog_format.write_file out nl
+    else if Filename.check_suffix out ".dot" then
+      Dot.write_file out (Netlist.to_digraph nl)
+        ~node_label:(Netlist.node_name nl)
+    else Bench_format.write_file out nl;
+    Fmt.pr "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Convert between netlist formats.")
+    Term.(const run $ circuit_arg $ out)
+
+(* ---------- strash ---------- *)
+
+let strash_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the optimized netlist (format from extension).")
+  in
+  let formal =
+    Arg.(value & flag & info [ "formal" ]
+         ~doc:"Discharge a SAT equivalence miter instead of the default \
+               4096-vector simulation check (can be slow on large, \
+               XOR-heavy circuits).")
+  in
+  let run name out formal =
+    let nl = load_circuit name in
+    let nl2 = Aig.strash_netlist nl in
+    Fmt.pr "%s: %d gates -> %d AND/NOT nodes (structural hashing)@."
+      (Netlist.name nl) (Netlist.gate_count nl) (Netlist.gate_count nl2);
+    if formal then begin
+      match Cnf.equivalent nl nl2 with
+      | Cnf.Equivalent -> Fmt.pr "formally verified equivalent (SAT miter)@."
+      | _ -> Fmt.failwith "internal error: strash changed the function"
+    end
+    else begin
+      (* quick check; the AIG round trip is equivalence-preserving by
+         construction and property-tested formally in the test-suite *)
+      let rng = Rng.create 1 in
+      let nin = Netlist.input_count nl in
+      for _ = 1 to 4096 do
+        let bits = Array.init nin (fun _ -> Rng.bool rng) in
+        let va = Netlist.simulate nl bits and vb = Netlist.simulate nl2 bits in
+        List.iter2
+          (fun oa ob ->
+            if va.(oa) <> vb.(ob) then
+              Fmt.failwith "internal error: strash changed the function")
+          (Netlist.outputs nl) (Netlist.outputs nl2)
+      done;
+      Fmt.pr "simulation check passed (4096 vectors; use --formal for a proof)@."
+    end;
+    match out with
+    | Some path ->
+      if Filename.check_suffix path ".v" then Verilog_format.write_file path nl2
+      else Bench_format.write_file path nl2;
+      Fmt.pr "wrote %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "strash"
+       ~doc:"Structurally hash a netlist through an AIG (and verify).")
+    Term.(const run $ circuit_arg $ out $ formal)
+
+(* ---------- power ---------- *)
+
+let power_cmd =
+  let run name factor =
+    let nl = load_circuit name in
+    let tech = Tech.default_130nm in
+    let model = Elmore.of_netlist tech nl in
+    let target = factor *. Sweep.dmin model in
+    let r = Minflotransit.optimize model ~target in
+    let act = Activity.estimate ~patterns:2048 ~seed:1 nl in
+    let p_min = Power.min_size_baseline tech nl ~activity:act in
+    let p_tilos = Power.dynamic tech nl ~activity:act ~sizes:r.tilos.sizes in
+    let p_opt = Power.dynamic tech nl ~activity:act ~sizes:r.sizes in
+    Fmt.pr "switching power, normalized to the minimum-size circuit:@.";
+    Fmt.pr "  minimum size:  1.00x@.";
+    Fmt.pr "  TILOS:         %.3fx@." (p_tilos.total /. p_min.total);
+    Fmt.pr "  MINFLOTRANSIT: %.3fx (met=%b)@." (p_opt.total /. p_min.total) r.met
+  in
+  Cmd.v
+    (Cmd.info "power" ~doc:"Switching-power report for a sized circuit.")
+    Term.(const run $ circuit_arg $ factor_arg)
+
+let main_cmd =
+  let doc = "MINFLOTRANSIT: min-cost-flow based transistor sizing" in
+  Cmd.group (Cmd.info "minflo" ~version:"1.0.0" ~doc)
+    [ gen_cmd; stats_cmd; sta_cmd; size_cmd; sweep_cmd; verify_cmd; convert_cmd;
+      strash_cmd; power_cmd ]
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/adder_tradeoff.ml: Elmore Generators List Minflo Netlist Printf Sweep Table Tech

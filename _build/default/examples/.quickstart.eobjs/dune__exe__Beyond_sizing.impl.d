@@ -1,0 +1,1 @@
+examples/beyond_sizing.ml: Activity Elmore Iscas85 List Minflo Minflotransit Power Printf Retiming Sweep Tech Van_ginneken

@@ -1,0 +1,1 @@
+examples/file_workflow.ml: Bench_format Check Elmore Filename Generators List Minflo Minflotransit Printf String Sweep Sys Tech Verilog_format

@@ -1,0 +1,1 @@
+examples/multiplier_study.ml: Elmore Generators List Minflo Minflotransit Netlist Printf Sweep Table Tech

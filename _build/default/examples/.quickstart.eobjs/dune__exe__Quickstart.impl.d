@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Delay_model Elmore Format Fun Generators Minflo Minflotransit Netlist Printf Sweep Tech Tilos

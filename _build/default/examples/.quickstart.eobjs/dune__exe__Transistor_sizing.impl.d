@@ -1,0 +1,1 @@
+examples/transistor_sizing.ml: Array Delay_model Elmore Generators Minflo Minflotransit Printf String Sweep Tech Transistor

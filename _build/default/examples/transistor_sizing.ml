@@ -1,0 +1,44 @@
+(* True transistor sizing (the general problem of Section 2, not the
+   gate-sizing special case used in the paper's tables).
+
+   Every static CMOS gate is expanded into its pullup/pulldown networks
+   with one size variable per transistor (figures 1-2 of the paper); the
+   same D-phase/W-phase machinery then sizes each device independently —
+   e.g. the transistors of one NAND stack get *different* widths, which
+   gate sizing cannot express.
+
+   Run with: dune exec examples/transistor_sizing.exe *)
+
+open Minflo
+
+let () =
+  let tech = Tech.default_130nm in
+  let nl = Generators.c17 () in
+
+  (* gate-level reference *)
+  let gmodel = Elmore.of_netlist tech nl in
+  let gd0 = Sweep.dmin gmodel in
+  let gr = Minflotransit.optimize gmodel ~target:(0.5 *. gd0) in
+
+  (* transistor-level: c17 is NAND-only, so no remapping is needed; for
+     arbitrary circuits call Transform.to_nand_inv first *)
+  let tmodel = Transistor.of_netlist tech nl in
+  let td0 = Sweep.dmin tmodel in
+  let tr = Minflotransit.optimize tmodel ~target:(0.5 *. td0) in
+
+  Printf.printf "c17 at half the minimum-size delay:\n";
+  Printf.printf "  gate sizing:       %3d variables, area %8.2f, saving %.2f%%\n"
+    (Delay_model.num_vertices gmodel) gr.area gr.area_saving_pct;
+  Printf.printf "  transistor sizing: %3d variables, area %8.2f, saving %.2f%%\n"
+    (Delay_model.num_vertices tmodel) tr.area tr.area_saving_pct;
+
+  (* show the per-device widths of one gate: the NMOS stack tapers *)
+  Printf.printf "\nper-transistor widths of gate 22 (output NAND):\n";
+  Array.iteri
+    (fun i label ->
+      if String.length label >= 3 && String.sub label 0 3 = "22/" then
+        Printf.printf "  %-8s %.3f\n" label tr.sizes.(i))
+    tmodel.Delay_model.labels;
+  Printf.printf
+    "\nDistinct widths inside one stack are exactly what transistor sizing\n\
+     buys over gate sizing (Section 1, point 2 of the paper).\n"

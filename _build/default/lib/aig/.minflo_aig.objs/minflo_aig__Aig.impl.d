@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Array Hashtbl List Minflo_netlist Minflo_util Printf

@@ -1,0 +1,234 @@
+module Netlist = Minflo_netlist.Netlist
+module Gate = Minflo_netlist.Gate
+module Vec = Minflo_util.Vec
+
+(* Node 0 is the constant-false node; nodes 1..k are inputs; the rest are
+   ANDs. Literal = 2*node + complement. *)
+
+type lit = int
+
+let const_false = 0
+let const_true = 1
+let lnot l = l lxor 1
+let lit_node l = l lsr 1
+let lit_compl l = l land 1 = 1
+
+type node =
+  | Const
+  | Input of int
+  | And of lit * lit
+
+type t = {
+  nodes : node Vec.t;
+  unique : (lit * lit, lit) Hashtbl.t;
+  mutable ninputs : int;
+}
+
+let create ?(hint = 1024) () =
+  let t = { nodes = Vec.create ~dummy:Const (); unique = Hashtbl.create hint; ninputs = 0 } in
+  ignore (Vec.push t.nodes Const);
+  t
+
+let new_input t =
+  let id = Vec.push t.nodes (Input t.ninputs) in
+  t.ninputs <- t.ninputs + 1;
+  2 * id
+
+let num_inputs t = t.ninputs
+
+let num_ands t =
+  Vec.fold (fun acc n -> match n with And _ -> acc + 1 | _ -> acc) 0 t.nodes
+
+let land_ t a b =
+  (* normalize order for hashing; apply local rules *)
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = const_false then const_false
+  else if a = const_true then b
+  else if a = b then a
+  else if a = lnot b then const_false
+  else begin
+    match Hashtbl.find_opt t.unique (a, b) with
+    | Some l -> l
+    | None ->
+      let id = Vec.push t.nodes (And (a, b)) in
+      let l = 2 * id in
+      Hashtbl.add t.unique (a, b) l;
+      l
+  end
+
+let lor_ t a b = lnot (land_ t (lnot a) (lnot b))
+let lnand t a b = lnot (land_ t a b)
+let lnor t a b = land_ t (lnot a) (lnot b)
+let lxor_ t a b = lor_ t (land_ t a (lnot b)) (land_ t (lnot a) b)
+let lxnor t a b = lnot (lxor_ t a b)
+
+let land_list t = function
+  | [] -> invalid_arg "Aig.land_list: empty"
+  | x :: rest -> List.fold_left (land_ t) x rest
+
+let lor_list t = function
+  | [] -> invalid_arg "Aig.lor_list: empty"
+  | x :: rest -> List.fold_left (lor_ t) x rest
+
+let lxor_list t = function
+  | [] -> invalid_arg "Aig.lxor_list: empty"
+  | x :: rest -> List.fold_left (lxor_ t) x rest
+
+let eval t ~inputs root =
+  let cache = Hashtbl.create 64 in
+  let rec node_val id =
+    match Hashtbl.find_opt cache id with
+    | Some v -> v
+    | None ->
+      let v =
+        match Vec.get t.nodes id with
+        | Const -> false
+        | Input k ->
+          if k >= Array.length inputs then invalid_arg "Aig.eval: missing input";
+          inputs.(k)
+        | And (a, b) -> lit_val a && lit_val b
+      in
+      Hashtbl.add cache id v;
+      v
+  and lit_val l = if lit_compl l then not (node_val (lit_node l)) else node_val (lit_node l) in
+  lit_val root
+
+let cone_size t roots =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      match Vec.get t.nodes id with
+      | And (a, b) ->
+        incr count;
+        go (lit_node a);
+        go (lit_node b)
+      | Const | Input _ -> ()
+    end
+  in
+  List.iter (fun l -> go (lit_node l)) roots;
+  !count
+
+let of_netlist nl =
+  Netlist.validate nl;
+  let t = create ~hint:(4 * Netlist.node_count nl) () in
+  let lit = Array.make (Netlist.node_count nl) const_false in
+  List.iter (fun v -> lit.(v) <- new_input t) (Netlist.inputs nl);
+  Array.iter
+    (fun v ->
+      match Netlist.kind nl v with
+      | Netlist.Input -> ()
+      | Netlist.Gate k ->
+        let ins = List.map (fun u -> lit.(u)) (Netlist.fanins nl v) in
+        lit.(v) <-
+          (match k with
+          | Gate.Not -> lnot (List.hd ins)
+          | Gate.Buf -> List.hd ins
+          | Gate.And -> land_list t ins
+          | Gate.Nand -> lnot (land_list t ins)
+          | Gate.Or -> lor_list t ins
+          | Gate.Nor -> lnot (lor_list t ins)
+          | Gate.Xor -> lxor_list t ins
+          | Gate.Xnor -> lnot (lxor_list t ins)))
+    (Netlist.topo_order nl);
+  (t, lit)
+
+let to_netlist ?(name = "aig") t ~input_names ~outputs =
+  if List.length input_names <> t.ninputs then
+    invalid_arg "Aig.to_netlist: wrong number of input names";
+  let nl = Netlist.create ~name () in
+  (* input k -> netlist node *)
+  let input_nodes = Array.make t.ninputs (-1) in
+  List.iteri (fun k nm -> input_nodes.(k) <- Netlist.add_input nl nm) input_names;
+  let pos_net = Hashtbl.create 256 in (* aig node id -> netlist node *)
+  let neg_net = Hashtbl.create 64 in  (* cached inverters *)
+  let const_net polarity =
+    (* constants are rare (degenerate outputs); realize as x AND NOT x *)
+    let key = -1 in
+    let base =
+      match Hashtbl.find_opt pos_net key with
+      | Some n -> n
+      | None ->
+        let a = input_nodes.(0) in
+        let inv =
+          Netlist.add_gate nl (Printf.sprintf "aig_cf_inv%d" (Netlist.node_count nl))
+            Gate.Not [ a ]
+        in
+        let z =
+          Netlist.add_gate nl (Printf.sprintf "aig_false%d" (Netlist.node_count nl))
+            Gate.And [ a; inv ]
+        in
+        Hashtbl.add pos_net key z;
+        z
+    in
+    if polarity then begin
+      match Hashtbl.find_opt neg_net (-1) with
+      | Some n -> n
+      | None ->
+        let n =
+          Netlist.add_gate nl (Printf.sprintf "aig_true%d" (Netlist.node_count nl))
+            Gate.Not [ base ]
+        in
+        Hashtbl.add neg_net (-1) n;
+        n
+    end
+    else base
+  in
+  let rec net_of_node id =
+    match Hashtbl.find_opt pos_net id with
+    | Some n -> n
+    | None ->
+      let n =
+        match Vec.get t.nodes id with
+        | Const -> const_net false
+        | Input k -> input_nodes.(k)
+        | And (a, b) ->
+          let na = net_of_lit a and nb = net_of_lit b in
+          Netlist.add_gate nl (Printf.sprintf "aig_and%d" id) Gate.And [ na; nb ]
+      in
+      Hashtbl.replace pos_net id n;
+      n
+  and net_of_lit l =
+    let id = lit_node l in
+    if not (lit_compl l) then net_of_node id
+    else begin
+      match Hashtbl.find_opt neg_net id with
+      | Some n -> n
+      | None ->
+        let n =
+          if id = 0 then const_net true
+          else
+            Netlist.add_gate nl (Printf.sprintf "aig_inv%d" id) Gate.Not
+              [ net_of_node id ]
+        in
+        Hashtbl.replace neg_net id n;
+        n
+    end
+  in
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun (oname, l) ->
+      let n = net_of_lit l in
+      (* the same net may feed several outputs or be an input: buffer the
+         duplicates so every output is a distinct named node *)
+      let n =
+        if Hashtbl.mem used n || (match Netlist.kind nl n with Netlist.Input -> true | _ -> false)
+        then Netlist.add_gate nl oname Gate.Buf [ n ]
+        else begin
+          Hashtbl.add used n ();
+          n
+        end
+      in
+      Netlist.mark_output nl n)
+    outputs;
+  Netlist.validate nl;
+  nl
+
+let strash_netlist nl =
+  let t, lit = of_netlist nl in
+  let input_names = List.map (Netlist.node_name nl) (Netlist.inputs nl) in
+  let outputs =
+    List.map (fun v -> ("out_" ^ Netlist.node_name nl v, lit.(v))) (Netlist.outputs nl)
+  in
+  to_netlist ~name:(Netlist.name nl ^ "_strash") t ~input_names ~outputs

@@ -1,0 +1,1 @@
+lib/bdd/check.ml: Array Bdd List Minflo_netlist Option

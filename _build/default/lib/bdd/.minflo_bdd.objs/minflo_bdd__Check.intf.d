@@ -1,0 +1,1 @@
+lib/bdd/check.mli: Bdd Minflo_netlist

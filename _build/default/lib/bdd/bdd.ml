@@ -1,0 +1,168 @@
+(* Hash-consed ROBDD. Node 0 is false, node 1 is true; every other node is
+   (var, low, high) with low = cofactor at var=0. Reduction invariants:
+   low <> high, and children's variables are strictly greater (terminals
+   use variable max_int). *)
+
+type t = int
+
+type node = { nvar : int; low : int; high : int }
+
+type manager = {
+  nodes : node Minflo_util.Vec.t;
+  unique : (int * int * int, int) Hashtbl.t;  (* (var, low, high) -> id *)
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let terminal_var = max_int
+
+let manager ?(cache_size = 1 lsl 14) () =
+  let m =
+    { nodes = Minflo_util.Vec.create ~dummy:{ nvar = terminal_var; low = 0; high = 0 } ();
+      unique = Hashtbl.create cache_size;
+      ite_cache = Hashtbl.create cache_size }
+  in
+  (* 0 = false, 1 = true *)
+  ignore (Minflo_util.Vec.push m.nodes { nvar = terminal_var; low = 0; high = 0 });
+  ignore (Minflo_util.Vec.push m.nodes { nvar = terminal_var; low = 1; high = 1 });
+  m
+
+let bdd_false _ = 0
+let bdd_true _ = 1
+let of_bool _ b = if b then 1 else 0
+
+let node m id = Minflo_util.Vec.get m.nodes id
+let var_of m id = (node m id).nvar
+
+let mk m nvar low high =
+  if low = high then low
+  else begin
+    let key = (nvar, low, high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some id -> id
+    | None ->
+      let id = Minflo_util.Vec.push m.nodes { nvar; low; high } in
+      Hashtbl.add m.unique key id;
+      id
+  end
+
+let var m i =
+  if i < 0 || i >= terminal_var then invalid_arg "Bdd.var: bad index";
+  mk m i 0 1
+
+(* if-then-else: the single universal combinator *)
+let rec ite m f g h =
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+      let v = min (var_of m f) (min (var_of m g) (var_of m h)) in
+      let cof x =
+        let n = node m x in
+        if n.nvar = v then (n.low, n.high) else (x, x)
+      in
+      let f0, f1 = cof f and g0, g1 = cof g and h0, h1 = cof h in
+      let low = ite m f0 g0 h0 in
+      let high = ite m f1 g1 h1 in
+      let r = mk m v low high in
+      Hashtbl.add m.ite_cache key r;
+      r
+  end
+
+let bdd_not m f = ite m f 0 1
+let bdd_and m f g = ite m f g 0
+let bdd_or m f g = ite m f 1 g
+let bdd_xor m f g = ite m f (bdd_not m g) g
+let bdd_nand m f g = bdd_not m (bdd_and m f g)
+let bdd_nor m f g = bdd_not m (bdd_or m f g)
+let bdd_xnor m f g = bdd_not m (bdd_xor m f g)
+
+let equal (a : t) (b : t) = a = b
+let is_true _ f = f = 1
+let is_false _ f = f = 0
+
+let rec eval m f assign =
+  if f = 0 then false
+  else if f = 1 then true
+  else begin
+    let n = node m f in
+    eval m (if assign n.nvar then n.high else n.low) assign
+  end
+
+let rec restrict m f v b =
+  if f <= 1 then f
+  else begin
+    let n = node m f in
+    if n.nvar > v then f
+    else if n.nvar = v then if b then n.high else n.low
+    else mk m n.nvar (restrict m n.low v b) (restrict m n.high v b)
+  end
+
+let support m f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go f =
+    if f > 1 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      let n = node m f in
+      Hashtbl.replace vars n.nvar ();
+      go n.low;
+      go n.high
+    end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let sat_count m f ~nvars =
+  (* counts over variables 0 .. nvars-1; memoized fraction-style count *)
+  let cache = Hashtbl.create 256 in
+  let rec frac f =
+    (* fraction of assignments satisfying f *)
+    if f = 0 then 0.0
+    else if f = 1 then 1.0
+    else begin
+      match Hashtbl.find_opt cache f with
+      | Some x -> x
+      | None ->
+        let n = node m f in
+        let x = 0.5 *. (frac n.low +. frac n.high) in
+        Hashtbl.add cache f x;
+        x
+    end
+  in
+  frac f *. (2.0 ** float_of_int nvars)
+
+let any_sat m f =
+  if f = 0 then None
+  else begin
+    let rec go f acc =
+      if f = 1 then acc
+      else begin
+        let n = node m f in
+        if n.high <> 0 then go n.high ((n.nvar, true) :: acc)
+        else go n.low ((n.nvar, false) :: acc)
+      end
+    in
+    Some (List.rev (go f []))
+  end
+
+let node_count m = Minflo_util.Vec.length m.nodes
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      if f > 1 then begin
+        let n = node m f in
+        go n.low;
+        go n.high
+      end
+    end
+  in
+  go f;
+  Hashtbl.length seen

@@ -1,0 +1,71 @@
+(** Reduced ordered binary decision diagrams (ROBDDs).
+
+    A compact canonical representation of Boolean functions: with a fixed
+    variable order, two functions are equal iff their BDD node ids are
+    equal. This backs the repository's *formal* equivalence checks — the
+    netlist transforms (XOR expansion, NAND+INV mapping) and the synthetic
+    benchmark generators are verified against their specifications exactly,
+    not just on random patterns.
+
+    The implementation is a classic hash-consed ROBDD with an
+    if-then-else/apply cache. All nodes live in one {!manager}; functions
+    from different managers must not be mixed. *)
+
+type manager
+
+type t
+(** A Boolean function (a node in the manager's DAG). *)
+
+val manager : ?cache_size:int -> unit -> manager
+
+val bdd_true : manager -> t
+val bdd_false : manager -> t
+
+val var : manager -> int -> t
+(** [var m i] is the projection function of variable [i]; the integer is
+    also the variable's position in the (fixed) order. *)
+
+val of_bool : manager -> bool -> t
+
+(* Combinators. *)
+
+val bdd_not : manager -> t -> t
+val bdd_and : manager -> t -> t -> t
+val bdd_or : manager -> t -> t -> t
+val bdd_xor : manager -> t -> t -> t
+val bdd_nand : manager -> t -> t -> t
+val bdd_nor : manager -> t -> t -> t
+val bdd_xnor : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+(** [ite m f g h] = if [f] then [g] else [h]. *)
+
+(* Queries. *)
+
+val equal : t -> t -> bool
+(** Functional equality — constant time by canonicity. *)
+
+val is_true : manager -> t -> bool
+val is_false : manager -> t -> bool
+
+val eval : manager -> t -> (int -> bool) -> bool
+(** Evaluate under an assignment. *)
+
+val restrict : manager -> t -> int -> bool -> t
+(** Cofactor with respect to one variable. *)
+
+val support : manager -> t -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val sat_count : manager -> t -> nvars:int -> float
+(** Number of satisfying assignments over [nvars] variables (float to
+    cope with wide functions). *)
+
+val any_sat : manager -> t -> (int * bool) list option
+(** Some satisfying partial assignment (variables not listed are free), or
+    [None] for the constant-false function. *)
+
+val node_count : manager -> int
+(** Total allocated nodes (diagnostics, growth tests). *)
+
+val size : manager -> t -> int
+(** Nodes reachable from this function. *)

@@ -1,0 +1,96 @@
+module Netlist = Minflo_netlist.Netlist
+module Gate = Minflo_netlist.Gate
+
+type verdict =
+  | Equivalent
+  | Inputs_mismatch of int * int
+  | Outputs_mismatch of int * int
+  | Differ of {
+      output_index : int;
+      counterexample : (string * bool) list;
+    }
+
+let outputs_bdds m nl =
+  let value = Array.make (Netlist.node_count nl) (Bdd.bdd_false m) in
+  List.iteri (fun i v -> value.(v) <- Bdd.var m i) (Netlist.inputs nl);
+  Array.iter
+    (fun v ->
+      match Netlist.kind nl v with
+      | Netlist.Input -> ()
+      | Netlist.Gate k ->
+        let ins = List.map (fun u -> value.(u)) (Netlist.fanins nl v) in
+        let f =
+          match (k, ins) with
+          | (Gate.Not | Gate.Buf), [ a ] ->
+            if k = Gate.Not then Bdd.bdd_not m a else a
+          | Gate.And, a :: rest -> List.fold_left (Bdd.bdd_and m) a rest
+          | Gate.Or, a :: rest -> List.fold_left (Bdd.bdd_or m) a rest
+          | Gate.Xor, a :: rest -> List.fold_left (Bdd.bdd_xor m) a rest
+          | Gate.Nand, a :: rest ->
+            Bdd.bdd_not m (List.fold_left (Bdd.bdd_and m) a rest)
+          | Gate.Nor, a :: rest ->
+            Bdd.bdd_not m (List.fold_left (Bdd.bdd_or m) a rest)
+          | Gate.Xnor, a :: rest ->
+            Bdd.bdd_not m (List.fold_left (Bdd.bdd_xor m) a rest)
+          | _ -> invalid_arg "Check: malformed gate"
+        in
+        value.(v) <- f)
+    (Netlist.topo_order nl);
+  List.map (fun v -> value.(v)) (Netlist.outputs nl)
+
+let equivalent a b =
+  let na = Netlist.input_count a and nb = Netlist.input_count b in
+  if na <> nb then Inputs_mismatch (na, nb)
+  else begin
+    let oa = Netlist.outputs a and ob = Netlist.outputs b in
+    if List.length oa <> List.length ob then
+      Outputs_mismatch (List.length oa, List.length ob)
+    else begin
+      let m = Bdd.manager () in
+      let fa = outputs_bdds m a and fb = outputs_bdds m b in
+      let names = List.map (Netlist.node_name a) (Netlist.inputs a) in
+      let rec compare_all i = function
+        | [], [] -> Equivalent
+        | f :: fs, g :: gs ->
+          if Bdd.equal f g then compare_all (i + 1) (fs, gs)
+          else begin
+            let diff = Bdd.bdd_xor m f g in
+            let cex =
+              match Bdd.any_sat m diff with
+              | None -> [] (* unreachable: diff is not constant false *)
+              | Some partial ->
+                List.mapi
+                  (fun k name ->
+                    (name, Option.value ~default:false (List.assoc_opt k partial)))
+                  names
+            in
+            Differ { output_index = i; counterexample = cex }
+          end
+        | _ -> assert false
+      in
+      compare_all 0 (fa, fb)
+    end
+  end
+
+let check_function nl ~spec =
+  let m = Bdd.manager () in
+  let funcs = outputs_bdds m nl in
+  let n = Netlist.input_count nl in
+  if n > 24 then invalid_arg "Check.check_function: too many inputs";
+  let ok = ref true in
+  (* compare BDDs against the spec's BDDs built from the truth recursion *)
+  let rec build i assign =
+    (* returns the spec outputs as BDDs by Shannon expansion over inputs *)
+    if i = n then
+      let outs = spec (Array.of_list (List.rev assign)) in
+      Array.to_list (Array.map (fun b -> Bdd.of_bool m b) outs)
+    else begin
+      let low = build (i + 1) (false :: assign) in
+      let high = build (i + 1) (true :: assign) in
+      List.map2 (fun l h -> Bdd.ite m (Bdd.var m i) h l) low high
+    end
+  in
+  let spec_funcs = build 0 [] in
+  (try List.iter2 (fun f g -> if not (Bdd.equal f g) then ok := false) funcs spec_funcs
+   with Invalid_argument _ -> ok := false);
+  !ok

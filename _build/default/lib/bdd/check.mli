@@ -1,0 +1,31 @@
+(** Formal equivalence checking of netlists via BDDs.
+
+    Two netlists are equivalent when, with primary inputs matched by
+    position (the order of {!Minflo_netlist.Netlist.inputs}) and primary
+    outputs matched by position, every output pair computes the same
+    Boolean function. This is the verification step behind the netlist
+    transforms and the benchmark generators: random simulation can miss
+    corner cases, a BDD comparison cannot. *)
+
+type verdict =
+  | Equivalent
+  | Inputs_mismatch of int * int
+  | Outputs_mismatch of int * int
+  | Differ of {
+      output_index : int;
+      counterexample : (string * bool) list;
+          (** input assignment (by name of the first netlist) on which the
+              two circuits disagree. *)
+    }
+
+val outputs_bdds : Bdd.manager -> Minflo_netlist.Netlist.t -> Bdd.t list
+(** BDD per primary output; inputs are numbered by their position. *)
+
+val equivalent : Minflo_netlist.Netlist.t -> Minflo_netlist.Netlist.t -> verdict
+
+val check_function :
+  Minflo_netlist.Netlist.t -> spec:(bool array -> bool array) -> bool
+(** [check_function nl ~spec] verifies the netlist against a reference
+    function exhaustively through BDD evaluation (intended for generators
+    with <= ~20 inputs; larger circuits should use {!equivalent} against a
+    trusted netlist). *)

@@ -1,0 +1,1 @@
+lib/buffering/van_ginneken.ml: List Minflo_tech Printf

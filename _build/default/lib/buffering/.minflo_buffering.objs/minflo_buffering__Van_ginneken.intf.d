@@ -1,0 +1,1 @@
+lib/buffering/van_ginneken.mli: Minflo_tech

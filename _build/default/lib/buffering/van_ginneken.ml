@@ -1,0 +1,103 @@
+type wire = { r : float; c : float }
+
+type tree =
+  | Sink of { name : string; cap : float; rat : float }
+  | Wire of wire * tree
+  | Branch of tree list
+
+type buffer = {
+  bname : string;
+  r_drive : float;
+  c_in : float;
+  t_intrinsic : float;
+}
+
+let buffer_of_tech (tech : Minflo_tech.Tech.t) =
+  (* a 4x two-stage buffer: strong drive, moderate pin load *)
+  let x = 4.0 in
+  { bname = "buf4";
+    r_drive = max tech.r_n (tech.r_p /. tech.p_ratio) /. x;
+    c_in = tech.c_gate *. (1.0 +. tech.p_ratio);
+    t_intrinsic =
+      2.0 *. max tech.r_n (tech.r_p /. tech.p_ratio) *. tech.c_drain
+      *. (1.0 +. tech.p_ratio) }
+
+type candidate = { cap : float; rat : float; placements : string list }
+
+(* Pareto prune: keep candidates where smaller cap strictly buys rat.
+   After sorting by (cap asc, rat desc), keep strictly increasing rat. *)
+let prune cands =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.cap b.cap with 0 -> compare b.rat a.rat | c -> c)
+      cands
+  in
+  let rec keep best = function
+    | [] -> []
+    | c :: rest -> if c.rat > best then c :: keep c.rat rest else keep best rest
+  in
+  keep neg_infinity sorted
+
+let add_wire w cand =
+  { cand with
+    cap = cand.cap +. w.c;
+    rat = cand.rat -. (w.r *. ((w.c /. 2.0) +. cand.cap)) }
+
+let add_buffer ~path buffers cand =
+  List.map
+    (fun b ->
+      { cap = b.c_in;
+        rat = cand.rat -. b.t_intrinsic -. (b.r_drive *. cand.cap);
+        placements = (path ^ ":" ^ b.bname) :: cand.placements })
+    buffers
+
+(* cross-merge of sibling frontiers: capacitances add, required times take
+   the min; with both lists pruned the merge stays near-linear *)
+let merge_branches frontiers =
+  List.fold_left
+    (fun acc frontier ->
+      prune
+        (List.concat_map
+           (fun a ->
+             List.map
+               (fun b ->
+                 { cap = a.cap +. b.cap;
+                   rat = min a.rat b.rat;
+                   placements = a.placements @ b.placements })
+               frontier)
+           acc))
+    [ { cap = 0.0; rat = infinity; placements = [] } ]
+    frontiers
+
+let solve ?(buffers = []) tree =
+  let rec go path = function
+    | Sink { cap; rat; _ } -> [ { cap; rat; placements = [] } ]
+    | Wire (w, sub) ->
+      let below = go (path ^ "/w") sub in
+      let here = List.map (add_wire w) below in
+      (* optionally buffer right above this wire segment *)
+      let buffered = List.concat_map (add_buffer ~path buffers) here in
+      prune (here @ buffered)
+    | Branch subs ->
+      let frontiers = List.mapi (fun i s -> go (Printf.sprintf "%s/%d" path i) s) subs in
+      merge_branches frontiers
+  in
+  prune (go "0" tree)
+
+let best_rat ~driver_r cands =
+  List.fold_left
+    (fun best c ->
+      let v = c.rat -. (driver_r *. c.cap) in
+      match best with
+      | Some (bv, _) when bv >= v -> best
+      | _ -> Some (v, c))
+    None cands
+
+let unbuffered_rat ~driver_r tree =
+  match solve ~buffers:[] tree with
+  | [ c ] -> c.rat -. (driver_r *. c.cap)
+  | cands -> (
+    match best_rat ~driver_r cands with
+    | Some (v, _) -> v
+    | None -> invalid_arg "Van_ginneken.unbuffered_rat: empty tree")

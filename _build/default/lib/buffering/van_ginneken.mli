@@ -1,0 +1,56 @@
+(** Timing-driven buffer insertion on RC trees (van Ginneken's algorithm).
+
+    The delay-balancing idea the D-phase borrows from [13] ("buffer
+    redistribution") has a physical counterpart: real buffers inserted into
+    an interconnect tree to decouple capacitance and meet required times.
+    This is the classic dynamic program — candidate
+    [(capacitance, required-arrival-time)] pairs merged bottom-up with
+    Pareto pruning, optionally placing a buffer at every internal point —
+    which runs in [O(k^2)] over candidate counts and returns the exact
+    optimum for the Elmore model.
+
+    Self-contained: a net is described as an {!tree} of wire segments and
+    sinks; technology comes from the caller (use
+    {!Minflo_tech.Tech.default_130nm} and {!buffer_of_tech} for
+    convenience). *)
+
+type wire = { r : float; c : float }
+(** Lumped resistance/capacitance of one segment. *)
+
+type tree =
+  | Sink of { name : string; cap : float; rat : float }
+      (** leaf pin: input capacitance and required arrival time. *)
+  | Wire of wire * tree
+  | Branch of tree list
+
+type buffer = {
+  bname : string;
+  r_drive : float;     (** output resistance. *)
+  c_in : float;        (** input capacitance. *)
+  t_intrinsic : float; (** intrinsic delay. *)
+}
+
+val buffer_of_tech : Minflo_tech.Tech.t -> buffer
+(** A 4x inverter-pair buffer derived from the technology's unit values. *)
+
+type candidate = {
+  cap : float;  (** capacitance presented to whatever drives this point. *)
+  rat : float;  (** required arrival time at this point. *)
+  placements : string list;
+      (** tree positions (root-relative paths like ["0/1"]) where this
+          candidate places buffers, with the buffer name appended. *)
+}
+
+val solve : ?buffers:buffer list -> tree -> candidate list
+(** The Pareto frontier of candidates at the tree root (capacitance
+    ascending, required time ascending; no candidate dominates another).
+    Buffers may be placed after every wire segment. Without buffers the
+    frontier has exactly one point: the plain Elmore back-propagation. *)
+
+val best_rat : driver_r:float -> candidate list -> (float * candidate) option
+(** The candidate maximizing [rat - driver_r * cap] — the required time at
+    the driver's output given its drive resistance — with the achieved
+    value. [None] on an empty frontier. *)
+
+val unbuffered_rat : driver_r:float -> tree -> float
+(** Convenience: the driver-output required time with no buffering. *)

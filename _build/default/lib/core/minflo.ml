@@ -1,0 +1,103 @@
+(** MINFLOTRANSIT — min-cost-flow based transistor sizing.
+
+    This is the single-module facade over the library stack. A typical
+    session:
+
+    {[
+      let nl = Minflo.Iscas85.circuit "c432" in
+      let model = Minflo.Elmore.of_netlist Minflo.Tech.default_130nm nl in
+      let dmin = Minflo.Sweep.dmin model in
+      let result = Minflo.Minflotransit.optimize model ~target:(0.5 *. dmin) in
+      Printf.printf "area saving over TILOS: %.1f%%\n" result.area_saving_pct
+    ]}
+
+    Layers (each also usable as its own library):
+    - {!Netlist}, {!Gate}, {!Bench_format}, {!Generators}, {!Iscas85},
+      {!Compose}, {!Transform} — gate-level circuits
+      ([minflo_netlist]);
+    - {!Tech}, {!Gate_model}, {!Elmore}, {!Transistor}, {!Delay_model} —
+      electrical models at gate or transistor granularity ([minflo_tech]);
+    - {!Sta}, {!Balance} — timing analysis and FSDU delay balancing
+      ([minflo_timing]);
+    - {!Mcf}, {!Network_simplex}, {!Ssp}, {!Dinic}, {!Diff_lp},
+      {!Bellman_ford} — the network-flow substrate ([minflo_flow]);
+    - {!Tilos}, {!Wphase}, {!Dphase}, {!Sensitivity}, {!Minflotransit},
+      {!Sweep} — the sizing engines ([minflo_sizing]). *)
+
+(* util *)
+module Vec = Minflo_util.Vec
+module Heap = Minflo_util.Heap
+module Rng = Minflo_util.Rng
+module Stats = Minflo_util.Stats
+module Table = Minflo_util.Table
+module Bitset = Minflo_util.Bitset
+module Union_find = Minflo_util.Union_find
+
+(* graph *)
+module Digraph = Minflo_graph.Digraph
+module Topo = Minflo_graph.Topo
+module Traverse = Minflo_graph.Traverse
+module Dot = Minflo_graph.Dot
+
+(* flow *)
+module Mcf = Minflo_flow.Mcf
+module Network_simplex = Minflo_flow.Network_simplex
+module Ssp = Minflo_flow.Ssp
+module Dinic = Minflo_flow.Dinic
+module Bellman_ford = Minflo_flow.Bellman_ford
+module Diff_lp = Minflo_flow.Diff_lp
+
+(* netlist *)
+module Gate = Minflo_netlist.Gate
+module Netlist = Minflo_netlist.Netlist
+module Bench_format = Minflo_netlist.Bench_format
+module Verilog_format = Minflo_netlist.Verilog_format
+module Generators = Minflo_netlist.Generators
+module Compose = Minflo_netlist.Compose
+module Transform = Minflo_netlist.Transform
+module Iscas85 = Minflo_netlist.Iscas85
+
+(* bdd *)
+module Bdd = Minflo_bdd.Bdd
+module Check = Minflo_bdd.Check
+
+(* aig *)
+module Aig = Minflo_aig.Aig
+
+(* sat *)
+module Sat = Minflo_sat.Sat
+module Cnf = Minflo_sat.Cnf
+
+(* tech *)
+module Tech = Minflo_tech.Tech
+module Gate_model = Minflo_tech.Gate_model
+module Liberty = Minflo_tech.Liberty
+module Delay_model = Minflo_tech.Delay_model
+module Elmore = Minflo_tech.Elmore
+module Transistor = Minflo_tech.Transistor
+
+(* timing *)
+module Sta = Minflo_timing.Sta
+module Incremental = Minflo_timing.Incremental
+module Balance = Minflo_timing.Balance
+
+(* power estimation (the low-power motivation of [13]) *)
+module Activity = Minflo_power.Activity
+module Power = Minflo_power.Power
+
+(* interconnect buffering (the physical counterpart of [13]) *)
+module Van_ginneken = Minflo_buffering.Van_ginneken
+
+(* retiming (the D-phase machinery's original application) *)
+module Retiming = Minflo_retiming.Retiming
+
+(* sizing *)
+module Tilos = Minflo_sizing.Tilos
+module Wphase = Minflo_sizing.Wphase
+module Dphase = Minflo_sizing.Dphase
+module Sensitivity = Minflo_sizing.Sensitivity
+module Lagrangian = Minflo_sizing.Lagrangian
+module Discrete = Minflo_sizing.Discrete
+module Optimality = Minflo_sizing.Optimality
+module Minflotransit = Minflo_sizing.Minflotransit
+module Sweep = Minflo_sizing.Sweep

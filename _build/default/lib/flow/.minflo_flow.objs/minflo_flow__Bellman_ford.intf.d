@@ -1,0 +1,1 @@
+lib/flow/bellman_ford.mli:

@@ -1,0 +1,1 @@
+lib/flow/cost_scaling.ml: Array Bellman_ford Dinic Mcf Queue Ssp

@@ -1,0 +1,1 @@
+lib/flow/diff_lp.ml: Array Hashtbl Mcf Minflo_util Network_simplex Option Printf Ssp

@@ -1,0 +1,1 @@
+lib/flow/diff_lp.mli:

@@ -1,0 +1,1 @@
+lib/flow/dinic.ml: Array List Minflo_util Queue

@@ -1,0 +1,1 @@
+lib/flow/mcf.ml: Array Hashtbl List Printf Seq

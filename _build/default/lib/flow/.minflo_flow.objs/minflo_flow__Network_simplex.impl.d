@@ -1,0 +1,1 @@
+lib/flow/network_simplex.ml: Array List Mcf

@@ -1,0 +1,1 @@
+lib/flow/network_simplex.mli: Mcf

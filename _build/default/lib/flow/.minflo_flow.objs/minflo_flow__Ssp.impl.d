@@ -1,0 +1,1 @@
+lib/flow/ssp.ml: Array Bellman_ford List Mcf Minflo_util Seq

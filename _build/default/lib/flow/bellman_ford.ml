@@ -1,0 +1,63 @@
+type graph = {
+  num_nodes : int;
+  arc_src : int array;
+  arc_dst : int array;
+  arc_weight : int array;
+}
+
+type result = Distances of int array | Negative_cycle of int list
+
+let unreachable = max_int / 4
+
+(* Extract a cycle from predecessor-arc pointers after detecting a relaxation
+   on the n-th pass starting from arc [a0]. Walk back n steps to be certain
+   we are inside the cycle, then collect arcs until the node repeats. *)
+let extract_cycle g pred a0 =
+  let v = ref g.arc_dst.(a0) in
+  for _ = 1 to g.num_nodes do
+    let a = pred.(!v) in
+    if a >= 0 then v := g.arc_src.(a)
+  done;
+  let start = !v in
+  let cycle = ref [] in
+  let cur = ref start in
+  let finished = ref false in
+  while not !finished do
+    let a = pred.(!cur) in
+    cycle := a :: !cycle;
+    cur := g.arc_src.(a);
+    if !cur = start then finished := true
+  done;
+  !cycle
+
+let run g ~sources =
+  let n = g.num_nodes in
+  let m = Array.length g.arc_src in
+  let dist = Array.make n unreachable in
+  let pred = Array.make n (-1) in
+  List.iter (fun s -> dist.(s) <- 0) sources;
+  let negative = ref None in
+  (* n passes; a relaxation on the n-th pass proves a negative cycle *)
+  let pass = ref 0 in
+  let changed = ref true in
+  while !changed && !negative = None do
+    changed := false;
+    for a = 0 to m - 1 do
+      let u = g.arc_src.(a) and v = g.arc_dst.(a) in
+      if dist.(u) < unreachable then begin
+        let d = dist.(u) + g.arc_weight.(a) in
+        if d < dist.(v) then begin
+          dist.(v) <- d;
+          pred.(v) <- a;
+          changed := true;
+          if !pass >= n then negative := Some a
+        end
+      end
+    done;
+    incr pass
+  done;
+  match !negative with
+  | Some a -> Negative_cycle (extract_cycle g pred a)
+  | None -> Distances dist
+
+let run_all g = run g ~sources:(List.init g.num_nodes Fun.id)

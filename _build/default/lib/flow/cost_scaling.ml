@@ -1,0 +1,214 @@
+(* Goldberg-Tarjan cost scaling with push/relabel phases.
+
+   Costs are multiplied by (n+1); a flow that is eps-optimal for eps < 1 in
+   the scaled costs is exactly optimal in the originals. Each phase halves
+   eps: arcs with negative reduced cost are saturated (creating excesses),
+   then push/relabel restores a flow. A final Bellman-Ford on the residual
+   graph of the optimal flow produces the integer dual certificate. *)
+
+let entry_arc e = e lsr 1
+let entry_forward e = e land 1 = 0
+
+type t = {
+  p : Mcf.problem;
+  n : int;
+  m : int;
+  flow : int array;
+  scaled_cost : int array; (* per arc, cost * (n+1) *)
+  pi : int array;
+  excess : int array;
+  adj_start : int array;
+  adj_entry : int array;
+  current : int array; (* current-arc pointer per node (index into adj) *)
+}
+
+let residual t e =
+  let a = entry_arc e in
+  if entry_forward e then t.p.arcs.(a).cap - t.flow.(a) else t.flow.(a)
+
+let entry_cost t e =
+  let a = entry_arc e in
+  if entry_forward e then t.scaled_cost.(a) else -t.scaled_cost.(a)
+
+let entry_dst t e =
+  let a = t.p.arcs.(entry_arc e) in
+  if entry_forward e then a.dst else a.src
+
+let build (p : Mcf.problem) =
+  let n = p.num_nodes and m = Array.length p.arcs in
+  let deg = Array.make (n + 1) 0 in
+  Array.iter
+    (fun (a : Mcf.arc) ->
+      deg.(a.src) <- deg.(a.src) + 1;
+      deg.(a.dst) <- deg.(a.dst) + 1)
+    p.arcs;
+  let adj_start = Array.make (n + 1) 0 in
+  for v = 1 to n do
+    adj_start.(v) <- adj_start.(v - 1) + deg.(v - 1)
+  done;
+  let cursor = Array.copy adj_start in
+  let adj_entry = Array.make (2 * m) 0 in
+  Array.iteri
+    (fun i (a : Mcf.arc) ->
+      adj_entry.(cursor.(a.src)) <- 2 * i;
+      cursor.(a.src) <- cursor.(a.src) + 1;
+      adj_entry.(cursor.(a.dst)) <- (2 * i) + 1;
+      cursor.(a.dst) <- cursor.(a.dst) + 1)
+    p.arcs;
+  { p;
+    n;
+    m;
+    flow = Array.make m 0;
+    scaled_cost = Array.map (fun (a : Mcf.arc) -> a.cost * (n + 1)) p.arcs;
+    pi = Array.make n 0;
+    excess = Array.make n 0;
+    adj_start;
+    adj_entry;
+    current = Array.copy adj_start }
+
+(* feasibility: route supplies with a max flow *)
+let initial_feasible_flow t =
+  let n = t.n in
+  let d = Dinic.create ~num_nodes:(n + 2) in
+  let source = n and sink = n + 1 in
+  let ids = Array.map (fun (a : Mcf.arc) -> Dinic.add_edge d ~src:a.src ~dst:a.dst ~cap:a.cap) t.p.arcs in
+  let total = ref 0 in
+  Array.iteri
+    (fun v b ->
+      if b > 0 then begin
+        total := !total + b;
+        ignore (Dinic.add_edge d ~src:source ~dst:v ~cap:b)
+      end
+      else if b < 0 then ignore (Dinic.add_edge d ~src:v ~dst:sink ~cap:(-b)))
+    t.p.supply;
+  if Dinic.max_flow d ~source ~sink <> !total then false
+  else begin
+    Array.iteri (fun i id -> t.flow.(i) <- Dinic.flow_on d id) ids;
+    true
+  end
+
+let rc t e =
+  let u = (let a = t.p.arcs.(entry_arc e) in if entry_forward e then a.src else a.dst) in
+  entry_cost t e - t.pi.(u) + t.pi.(entry_dst t e)
+
+let refine t eps =
+  (* saturate all residual arcs with negative reduced cost *)
+  for e = 0 to (2 * t.m) - 1 do
+    if residual t e > 0 && rc t e < 0 then begin
+      let r = residual t e in
+      let a = entry_arc e in
+      let arc = t.p.arcs.(a) in
+      let u, v =
+        if entry_forward e then (arc.src, arc.dst) else (arc.dst, arc.src)
+      in
+      t.flow.(a) <- (if entry_forward e then t.flow.(a) + r else t.flow.(a) - r);
+      t.excess.(u) <- t.excess.(u) - r;
+      t.excess.(v) <- t.excess.(v) + r
+    end
+  done;
+  (* push/relabel the excesses back *)
+  let active = Queue.create () in
+  let in_queue = Array.make t.n false in
+  for v = 0 to t.n - 1 do
+    t.current.(v) <- t.adj_start.(v);
+    if t.excess.(v) > 0 then begin
+      Queue.add v active;
+      in_queue.(v) <- true
+    end
+  done;
+  while not (Queue.is_empty active) do
+    let u = Queue.pop active in
+    in_queue.(u) <- false;
+    let continue = ref true in
+    while t.excess.(u) > 0 && !continue do
+      if t.current.(u) >= t.adj_start.(u + 1) then begin
+        (* relabel: lowest potential that re-admits some residual arc *)
+        let best = ref max_int in
+        for k = t.adj_start.(u) to t.adj_start.(u + 1) - 1 do
+          let e = t.adj_entry.(k) in
+          if residual t e > 0 then
+            best := min !best (t.pi.(entry_dst t e) + entry_cost t e)
+        done;
+        if !best = max_int then
+          (* isolated excess: cannot happen on a feasible start *)
+          continue := false
+        else begin
+          t.pi.(u) <- !best + eps;
+          t.current.(u) <- t.adj_start.(u)
+        end
+      end
+      else begin
+        let e = t.adj_entry.(t.current.(u)) in
+        if residual t e > 0 && rc t e < 0 then begin
+          let delta = min t.excess.(u) (residual t e) in
+          let a = entry_arc e in
+          let v = entry_dst t e in
+          t.flow.(a) <-
+            (if entry_forward e then t.flow.(a) + delta else t.flow.(a) - delta);
+          t.excess.(u) <- t.excess.(u) - delta;
+          t.excess.(v) <- t.excess.(v) + delta;
+          if t.excess.(v) > 0 && (not in_queue.(v)) && v <> u then begin
+            Queue.add v active;
+            in_queue.(v) <- true
+          end
+        end
+        else t.current.(u) <- t.current.(u) + 1
+      end
+    done;
+    if t.excess.(u) > 0 && !continue then begin
+      (* relabelled but queue discipline sent us here: re-enqueue *)
+      Queue.add u active;
+      in_queue.(u) <- true
+    end
+  done
+
+(* dual certificate: shortest distances over the optimal residual graph *)
+let certificate t =
+  let srcs = ref [] and dsts = ref [] and ws = ref [] in
+  for e = 0 to (2 * t.m) - 1 do
+    if residual t e > 0 then begin
+      let a = t.p.arcs.(entry_arc e) in
+      let u, v = if entry_forward e then (a.src, a.dst) else (a.dst, a.src) in
+      srcs := u :: !srcs;
+      dsts := v :: !dsts;
+      ws := (if entry_forward e then a.cost else -a.cost) :: !ws
+    end
+  done;
+  match
+    Bellman_ford.run_all
+      { num_nodes = t.n;
+        arc_src = Array.of_list !srcs;
+        arc_dst = Array.of_list !dsts;
+        arc_weight = Array.of_list !ws }
+  with
+  | Distances d -> Array.map (fun x -> -x) d
+  | Negative_cycle _ -> assert false (* the flow would not be optimal *)
+
+let solve (p : Mcf.problem) : Mcf.solution =
+  Mcf.validate p;
+  let m = Array.length p.arcs in
+  let fail status =
+    { Mcf.status;
+      flow = Array.make m 0;
+      potential = Array.make p.num_nodes 0;
+      objective = 0 }
+  in
+  if not (Mcf.is_balanced p) then fail Infeasible
+  else if Ssp.has_unbounded_negative_cycle p then fail Unbounded
+  else begin
+    let t = build p in
+    if not (initial_feasible_flow t) then fail Infeasible
+    else begin
+      let cmax = Array.fold_left (fun acc c -> max acc (abs c)) 1 t.scaled_cost in
+      let eps = ref cmax in
+      while !eps >= 1 do
+        refine t !eps;
+        eps := !eps / 2
+      done;
+      let potential = certificate t in
+      { status = Optimal;
+        flow = Array.copy t.flow;
+        potential;
+        objective = Mcf.flow_cost p t.flow }
+    end
+  end

@@ -1,0 +1,13 @@
+(** Cost-scaling minimum-cost flow (Goldberg-Tarjan).
+
+    The third, again independent, solver in the flow substrate: epsilon-
+    optimality refined by halving, with push/relabel inside each phase.
+    Strongly polynomial-ish in practice ([O(n^2 m log nC)] worst case) and
+    structurally unlike both the network simplex and SSP, which makes the
+    three-way agreement property test a powerful oracle.
+
+    Returned potentials are scaled internally by [n]; they are rounded to a
+    consistent integer dual on exit and certified by
+    {!Mcf.check_optimality} in the tests. *)
+
+val solve : Mcf.problem -> Mcf.solution

@@ -1,0 +1,49 @@
+(** Linear programs over difference constraints, solved by min-cost-flow
+    duality.
+
+    The D-phase optimization of the paper (Eq. 10) has the shape
+
+    {v maximize   sum_v objective(v) * pi(v)
+      subject to  pi(u) - pi(v) <= w(u, v)         for each constraint v}
+
+    which is precisely the LP dual of a min-cost flow: each constraint
+    becomes an arc [u -> v] with cost [w]; each variable becomes a node with
+    supply [objective(v)]. Solving the flow with {!Network_simplex} yields
+    optimal node potentials — the optimal [pi] of this LP.
+
+    Variables are created with {!var}; all weights are integers (the caller
+    integerizes real-valued slacks by scaling, as in the paper). *)
+
+type t
+
+type var = int
+
+val create : unit -> t
+
+val var : t -> var
+(** A fresh variable, initially with objective coefficient 0. *)
+
+val num_vars : t -> int
+
+val add_le : t -> var -> var -> int -> unit
+(** [add_le lp x y w] adds the constraint [x - y <= w]. *)
+
+val add_objective : t -> var -> int -> unit
+(** [add_objective lp x c] adds [c * x] to the maximization objective
+    (cumulative). *)
+
+type outcome =
+  | Solution of { values : int array; objective : int }
+      (** Optimal variable assignment (one value per variable, in creation
+          order) and the optimal objective value. *)
+  | Infeasible_lp
+      (** The constraints contain a negative cycle. *)
+  | Unbounded_lp
+      (** The objective can grow without bound (the dual flow problem is
+          infeasible). *)
+
+val solve : ?solver:[ `Simplex | `Ssp ] -> t -> outcome
+
+val check_assignment : t -> int array -> (int, string) result
+(** Verifies all constraints under the assignment; on success returns the
+    objective value. Test-suite oracle. *)

@@ -1,0 +1,67 @@
+(** Minimum-cost flow problems.
+
+    A problem is a directed network with integer arc capacities and costs and
+    integer node supplies (positive = source, negative = sink). A feasible
+    flow satisfies [0 <= flow a <= cap a] on every arc and, at every node,
+    [outflow - inflow = supply]. The objective is to minimize
+    [sum (cost a * flow a)].
+
+    This is the substrate for the paper's D-phase: the FSDU-displacement LP
+    (Eq. 10) is the LP dual of such a problem, and the optimal node
+    potentials of the flow solution are exactly the displacement labels [r].
+
+    Costs are plain [int]s (the D-phase integerizes real delays by scaling,
+    Section 2.3.1); use {!val-infinite_capacity} for uncapacitated arcs. *)
+
+type arc = { src : int; dst : int; cap : int; cost : int }
+
+type problem = {
+  num_nodes : int;
+  arcs : arc array;
+  supply : int array; (* length num_nodes *)
+}
+
+val infinite_capacity : int
+(** A capacity treated as unbounded; large but safe against overflow. *)
+
+type status =
+  | Optimal
+  | Infeasible  (** Supplies cannot be routed within the capacities. *)
+  | Unbounded   (** A negative-cost cycle of unbounded capacity exists. *)
+
+type solution = {
+  status : status;
+  flow : int array;      (** per-arc flow; meaningful when [Optimal]. *)
+  potential : int array; (** optimal dual (node potentials), root-normalized. *)
+  objective : int;       (** total cost of the returned flow. *)
+}
+
+val validate : problem -> unit
+(** Checks array lengths, node indices, non-negative capacities.
+    @raise Invalid_argument when malformed. *)
+
+val is_balanced : problem -> bool
+(** Whether supplies sum to zero (necessary for feasibility). *)
+
+val check_feasible_flow : problem -> int array -> (unit, string) result
+(** Verifies capacity and conservation constraints of a candidate flow. *)
+
+val flow_cost : problem -> int array -> int
+
+val check_optimality : problem -> solution -> (unit, string) result
+(** Verifies complementary slackness of [solution.flow] against
+    [solution.potential]: reduced cost >= 0 on arcs below capacity and <= 0
+    on arcs above zero flow. Used heavily by the test-suite. *)
+
+type decomposition = {
+  paths : (int list * int) list;
+      (** arc-id sequences from a supply node to a demand node, with the
+          amount carried. *)
+  cycles : (int list * int) list;
+}
+
+val decompose : problem -> int array -> decomposition
+(** Flow decomposition: any feasible flow splits into at most [m] paths and
+    cycles whose superposition reproduces it exactly (checked by the
+    test-suite). Useful for explaining a D-phase solution as concrete slack
+    transfers. @raise Invalid_argument if the flow is not feasible. *)

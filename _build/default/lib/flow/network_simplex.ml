@@ -1,0 +1,291 @@
+(* Primal network simplex with:
+   - artificial root node and big-M artificial arcs as the initial (strongly
+     feasible) spanning tree;
+   - block search for the entering arc;
+   - Cunningham's rule for the leaving arc (last blocking arc met when the
+     cycle is traversed in its own orientation starting at the apex), which
+     keeps the tree strongly feasible and prevents cycling;
+   - explicit child lists (first_child / next_sib / prev_sib), so re-hanging
+     a subtree and refreshing its depths/potentials costs O(subtree).
+
+   All arithmetic is on OCaml ints; capacities are clamped to
+   Mcf.infinite_capacity so sums cannot overflow 63-bit ints. *)
+
+let state_tree = 0
+let state_lower = 1
+let state_upper = -1
+
+type t = {
+  n : int;             (* real nodes; root is node n *)
+  m_real : int;
+  m : int;             (* m_real + n artificial arcs *)
+  src : int array;
+  dst : int array;
+  cap : int array;
+  cost : int array;
+  flow : int array;
+  state : int array;
+  (* tree structure, indexed by node (0..n, root = n) *)
+  parent : int array;
+  parc : int array;    (* arc to parent, -1 for root *)
+  depth : int array;
+  pi : int array;
+  first_child : int array;
+  next_sib : int array;
+  prev_sib : int array;
+  mutable scan_pos : int; (* block-search cursor *)
+  block_size : int;
+}
+
+let create (p : Mcf.problem) =
+  let n = p.num_nodes in
+  let m_real = Array.length p.arcs in
+  let m = m_real + n in
+  let src = Array.make m 0 and dst = Array.make m 0 in
+  let cap = Array.make m 0 and cost = Array.make m 0 in
+  let flow = Array.make m 0 and state = Array.make m state_lower in
+  let max_cost = ref 1 in
+  Array.iteri
+    (fun i (a : Mcf.arc) ->
+      src.(i) <- a.src;
+      dst.(i) <- a.dst;
+      cap.(i) <- min a.cap Mcf.infinite_capacity;
+      cost.(i) <- a.cost;
+      if abs a.cost > !max_cost then max_cost := abs a.cost)
+    p.arcs;
+  (* big-M: strictly dominates any simple-path cost through real arcs *)
+  let big_m = ((n + 1) * !max_cost) + 1 in
+  let parent = Array.make (n + 1) (-1) in
+  let parc = Array.make (n + 1) (-1) in
+  let depth = Array.make (n + 1) 0 in
+  let pi = Array.make (n + 1) 0 in
+  let first_child = Array.make (n + 1) (-1) in
+  let next_sib = Array.make (n + 1) (-1) in
+  let prev_sib = Array.make (n + 1) (-1) in
+  let root = n in
+  for v = 0 to n - 1 do
+    let a = m_real + v in
+    let b = p.supply.(v) in
+    if b >= 0 then begin
+      (* arc v -> root carrying the supply (points toward the root, so a
+         zero-flow artificial arc keeps the tree strongly feasible) *)
+      src.(a) <- v;
+      dst.(a) <- root;
+      flow.(a) <- b;
+      pi.(v) <- big_m
+      (* reduced cost 0: cost - pi(v) + pi(root) = big_m - big_m + 0 *)
+    end
+    else begin
+      src.(a) <- root;
+      dst.(a) <- v;
+      flow.(a) <- -b;
+      pi.(v) <- -big_m
+    end;
+    cap.(a) <- Mcf.infinite_capacity;
+    cost.(a) <- big_m;
+    state.(a) <- state_tree;
+    parent.(v) <- root;
+    parc.(v) <- a;
+    depth.(v) <- 1;
+    (* push onto root's child list *)
+    let h = first_child.(root) in
+    next_sib.(v) <- h;
+    if h <> -1 then prev_sib.(h) <- v;
+    first_child.(root) <- v
+  done;
+  { n; m_real; m; src; dst; cap; cost; flow; state; parent; parc; depth; pi;
+    first_child; next_sib; prev_sib; scan_pos = 0;
+    block_size = max 64 (1 + int_of_float (sqrt (float_of_int m))) }
+
+let reduced_cost t a = t.cost.(a) - t.pi.(t.src.(a)) + t.pi.(t.dst.(a))
+
+(* Entering arc: best violation within a block of arcs, scanning cyclically. *)
+let find_entering t =
+  let best = ref (-1) and best_viol = ref 0 in
+  let checked = ref 0 in
+  let pos = ref t.scan_pos in
+  let continue = ref true in
+  while !continue && !checked < t.m do
+    let a = !pos in
+    let s = t.state.(a) in
+    if s <> state_tree then begin
+      let rc = reduced_cost t a in
+      let viol = if s = state_lower then -rc else rc in
+      if viol > !best_viol then begin
+        best_viol := viol;
+        best := a
+      end
+    end;
+    incr checked;
+    pos := if a + 1 = t.m then 0 else a + 1;
+    if !checked mod t.block_size = 0 && !best >= 0 then continue := false
+  done;
+  t.scan_pos <- !pos;
+  !best
+
+let detach t v =
+  let p = t.prev_sib.(v) and nx = t.next_sib.(v) in
+  if p = -1 then t.first_child.(t.parent.(v)) <- nx else t.next_sib.(p) <- nx;
+  if nx <> -1 then t.prev_sib.(nx) <- p;
+  t.prev_sib.(v) <- -1;
+  t.next_sib.(v) <- -1
+
+let attach t v par =
+  let h = t.first_child.(par) in
+  t.next_sib.(v) <- h;
+  t.prev_sib.(v) <- -1;
+  if h <> -1 then t.prev_sib.(h) <- v;
+  t.first_child.(par) <- v;
+  t.parent.(v) <- par
+
+(* Refresh depth and potential of the subtree rooted at [q] (its parent data
+   must already be correct). Iterative DFS over child lists. *)
+let refresh_subtree t q =
+  let stack = ref [ q ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      let par = t.parent.(v) in
+      let a = t.parc.(v) in
+      t.depth.(v) <- t.depth.(par) + 1;
+      t.pi.(v) <-
+        (if t.dst.(a) = v then t.pi.(par) - t.cost.(a)
+         else t.pi.(par) + t.cost.(a));
+      let c = ref t.first_child.(v) in
+      while !c <> -1 do
+        stack := !c :: !stack;
+        c := t.next_sib.(!c)
+      done
+  done
+
+exception Unbounded_exn
+
+type cycle_arc = { arc : int; increase : bool; below : int }
+(* [below]: the tree node whose parent-arc this is (-1 for the entering arc);
+   used to identify the subtree cut off when this arc leaves. *)
+
+let solve (p : Mcf.problem) : Mcf.solution =
+  Mcf.validate p;
+  if not (Mcf.is_balanced p) then
+    { status = Infeasible;
+      flow = Array.make (Array.length p.arcs) 0;
+      potential = Array.make p.num_nodes 0;
+      objective = 0 }
+  else begin
+    let t = create p in
+    (try
+       let continue = ref true in
+       while !continue do
+         let e = find_entering t in
+         if e < 0 then continue := false
+         else begin
+           (* push direction: along the arc when at lower bound, against when
+              at upper bound *)
+           let s = t.state.(e) in
+           let tail = if s = state_lower then t.src.(e) else t.dst.(e) in
+           let head = if s = state_lower then t.dst.(e) else t.src.(e) in
+           (* walk up to the apex, collecting both paths *)
+           let tside = ref [] and hside = ref [] in
+           let u = ref tail and v = ref head in
+           while t.depth.(!u) > t.depth.(!v) do
+             let a = t.parc.(!u) in
+             (* cycle orientation crosses a as parent(u) -> u on the tail
+                side: increases flow iff the arc points down to u *)
+             tside := { arc = a; increase = t.dst.(a) = !u; below = !u } :: !tside;
+             u := t.parent.(!u)
+           done;
+           while t.depth.(!v) > t.depth.(!u) do
+             let a = t.parc.(!v) in
+             (* head side is traversed v -> parent(v): increases flow iff the
+                arc points up from v *)
+             hside := { arc = a; increase = t.src.(a) = !v; below = !v } :: !hside;
+             v := t.parent.(!v)
+           done;
+           while !u <> !v do
+             let a = t.parc.(!u) in
+             tside := { arc = a; increase = t.dst.(a) = !u; below = !u } :: !tside;
+             u := t.parent.(!u);
+             let b = t.parc.(!v) in
+             hside := { arc = b; increase = t.src.(b) = !v; below = !v } :: !hside;
+             v := t.parent.(!v)
+           done;
+           (* cycle in orientation starting at the apex:
+              apex -> tail (tside, already apex-first), entering arc,
+              head -> apex (hside collected head-first, so reverse) *)
+           let entering =
+             { arc = e; increase = s = state_lower; below = -1 }
+           in
+           let cycle = !tside @ (entering :: List.rev !hside) in
+           let residual ca =
+             if ca.increase then t.cap.(ca.arc) - t.flow.(ca.arc)
+             else t.flow.(ca.arc)
+           in
+           let delta = List.fold_left (fun d ca -> min d (residual ca)) max_int cycle in
+           if delta >= Mcf.infinite_capacity / 2 then raise Unbounded_exn;
+           (* Cunningham: last blocking arc in cycle orientation *)
+           let leaving = ref entering in
+           List.iter (fun ca -> if residual ca = delta then leaving := ca) cycle;
+           if delta > 0 then
+             List.iter
+               (fun ca ->
+                 t.flow.(ca.arc) <-
+                   (if ca.increase then t.flow.(ca.arc) + delta
+                    else t.flow.(ca.arc) - delta))
+               cycle;
+           if !leaving == entering || !leaving.arc = e then
+             (* the entering arc itself blocks: it moves bound-to-bound *)
+             t.state.(e) <- -s
+           else begin
+             let lv = !leaving in
+             (* the subtree under [lv.below] is cut; find the entering-arc
+                endpoint inside it: it is [tail] if lv is on the tail side *)
+             let on_tail_side =
+               List.exists (fun ca -> ca.arc = lv.arc) !tside
+             in
+             let q = if on_tail_side then tail else head in
+             let pnode = if on_tail_side then head else tail in
+             (* leaving arc becomes nonbasic *)
+             t.state.(lv.arc) <-
+               (if t.flow.(lv.arc) = 0 then state_lower else state_upper);
+             t.state.(e) <- state_tree;
+             (* re-root the cut subtree at q, hanging it from pnode via e *)
+             let cur = ref q in
+             let new_parent = ref pnode and new_parc = ref e in
+             let stop = lv.below in
+             let finished = ref false in
+             while not !finished do
+               let c = !cur in
+               let old_parent = t.parent.(c) and old_parc = t.parc.(c) in
+               detach t c;
+               attach t c !new_parent;
+               t.parc.(c) <- !new_parc;
+               if c = stop then finished := true
+               else begin
+                 new_parent := c;
+                 new_parc := old_parc;
+                 cur := old_parent
+               end
+             done;
+             refresh_subtree t q
+           end
+         end
+       done;
+       (* optimality reached; check artificial arcs *)
+       let infeasible = ref false in
+       for a = t.m_real to t.m - 1 do
+         if t.flow.(a) > 0 then infeasible := true
+       done;
+       let flow = Array.sub t.flow 0 t.m_real in
+       let potential = Array.sub t.pi 0 t.n in
+       if !infeasible then
+         { status = Infeasible; flow; potential; objective = 0 }
+       else
+         { status = Optimal; flow; potential; objective = Mcf.flow_cost p flow }
+     with Unbounded_exn ->
+       { status = Unbounded;
+         flow = Array.make t.m_real 0;
+         potential = Array.sub t.pi 0 t.n;
+         objective = 0 })
+  end

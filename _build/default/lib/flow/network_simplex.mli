@@ -1,0 +1,18 @@
+(** Network simplex solver for minimum-cost flow.
+
+    The primal network simplex method on a strongly feasible spanning tree
+    (Cunningham's leaving-arc rule) with a block pivot-search rule, in the
+    style of Goldberg-Grigoriadis-Tarjan [9] / AMO ch. 11. Integer costs and
+    capacities; artificial big-M arcs provide the initial basis, so the
+    network need not be connected.
+
+    This is the production solver used by the D-phase. Complexity is
+    polynomial in practice (near-linear on the shallow, sparse constraint
+    graphs produced by circuit DAGs). *)
+
+val solve : Mcf.problem -> Mcf.solution
+(** Returns an optimal flow and optimal node potentials. The potentials are
+    normalized so that the internal root has potential 0; they form a
+    feasible, complementary-slack dual certificate (see
+    {!Mcf.check_optimality}). [Infeasible] if supplies cannot be routed,
+    [Unbounded] if a negative-cost cycle with unbounded capacity exists. *)

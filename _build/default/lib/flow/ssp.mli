@@ -1,0 +1,16 @@
+(** Successive-shortest-paths min-cost flow (cross-check solver).
+
+    Bellman-Ford establishes initial potentials (handling negative arc
+    costs); augmentations then run Dijkstra on reduced costs with Johnson
+    potentials. Asymptotically [O(U * m log n)] with [U] the number of
+    augmentations (at most one per supply node here, as arcs are mostly
+    uncapacitated) — slower than {!Network_simplex} but completely
+    independent of it, which makes it a strong oracle in property tests. *)
+
+val solve : Mcf.problem -> Mcf.solution
+
+val has_unbounded_negative_cycle : Mcf.problem -> bool
+(** Whether the network contains a negative-cost cycle whose capacity is
+    effectively unbounded (every arc at {!Mcf.infinite_capacity} scale) —
+    the condition under which the minimum cost diverges. Shared by the
+    solvers that do not detect this natively. *)

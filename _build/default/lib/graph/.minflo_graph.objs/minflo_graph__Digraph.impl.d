@@ -1,0 +1,1 @@
+lib/graph/digraph.ml: List Minflo_util

@@ -1,0 +1,1 @@
+lib/graph/traverse.ml: Digraph List Minflo_util Queue

@@ -1,0 +1,64 @@
+module Vec = Minflo_util.Vec
+
+type node = int
+type edge = int
+
+type t = {
+  esrc : int Vec.t;
+  edst : int Vec.t;
+  out_adj : int list Vec.t; (* reversed insertion order, fixed on read *)
+  in_adj : int list Vec.t;
+}
+
+let create ?(nodes_hint = 16) () =
+  { esrc = Vec.create ~capacity:(4 * nodes_hint) ~dummy:(-1) ();
+    edst = Vec.create ~capacity:(4 * nodes_hint) ~dummy:(-1) ();
+    out_adj = Vec.create ~capacity:nodes_hint ~dummy:[] ();
+    in_adj = Vec.create ~capacity:nodes_hint ~dummy:[] () }
+
+let add_node g =
+  let id = Vec.push g.out_adj [] in
+  let id' = Vec.push g.in_adj [] in
+  assert (id = id');
+  id
+
+let add_nodes g k =
+  if k <= 0 then invalid_arg "Digraph.add_nodes";
+  let first = add_node g in
+  for _ = 2 to k do ignore (add_node g) done;
+  first
+
+let node_count g = Vec.length g.out_adj
+let edge_count g = Vec.length g.esrc
+
+let check_node g u =
+  if u < 0 || u >= node_count g then invalid_arg "Digraph: bad node id"
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  let e = Vec.push g.esrc u in
+  let e' = Vec.push g.edst v in
+  assert (e = e');
+  Vec.set g.out_adj u (e :: Vec.get g.out_adj u);
+  Vec.set g.in_adj v (e :: Vec.get g.in_adj v);
+  e
+
+let src g e = Vec.get g.esrc e
+let dst g e = Vec.get g.edst e
+let out_edges g u = List.rev (Vec.get g.out_adj u)
+let in_edges g u = List.rev (Vec.get g.in_adj u)
+let out_degree g u = List.length (Vec.get g.out_adj u)
+let in_degree g u = List.length (Vec.get g.in_adj u)
+let succ g u = List.map (dst g) (out_edges g u)
+let pred g u = List.map (src g) (in_edges g u)
+
+let iter_nodes g f = for u = 0 to node_count g - 1 do f u done
+let iter_edges g f = for e = 0 to edge_count g - 1 do f e done
+
+let find_edge g u v =
+  let rec loop = function
+    | [] -> None
+    | e :: rest -> if dst g e = v then Some e else loop rest
+  in
+  loop (out_edges g u)

@@ -1,0 +1,1 @@
+lib/netlist/bench_format.ml: Buffer Filename Fun Gate List Netlist Option Printf String

@@ -1,0 +1,1 @@
+lib/netlist/compose.ml: Array Gate List Minflo_util Netlist Printf

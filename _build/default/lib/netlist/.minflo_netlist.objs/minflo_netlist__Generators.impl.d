@@ -1,0 +1,1 @@
+lib/netlist/generators.ml: Array Fun Gate List Minflo_util Netlist Printf Sec_codes

@@ -1,0 +1,1 @@
+lib/netlist/iscas85.ml: Compose Generators List Netlist Option Printf Transform

@@ -1,0 +1,1 @@
+lib/netlist/iscas85.mli: Netlist

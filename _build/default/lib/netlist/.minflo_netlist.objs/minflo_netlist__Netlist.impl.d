@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Format Fun Gate Hashtbl List Minflo_graph Minflo_util Option Printf String

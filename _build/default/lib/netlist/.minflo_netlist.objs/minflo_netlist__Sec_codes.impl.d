@@ -1,0 +1,1 @@
+lib/netlist/sec_codes.ml: Array

@@ -1,0 +1,1 @@
+lib/netlist/verilog_format.ml: Buffer Filename Fun Gate Hashtbl List Netlist Option Printf String

@@ -1,0 +1,163 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type statement =
+  | St_input of string
+  | St_output of string
+  | St_gate of string * Gate.kind * string list
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let strip s =
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j >= !i && is_space s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+(* "NAME ( a , b )" -> (NAME, [a; b]) *)
+let parse_call line s =
+  match String.index_opt s '(' with
+  | None -> fail line "expected '(' in %S" s
+  | Some i ->
+    let fname = strip (String.sub s 0 i) in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    (match String.rindex_opt rest ')' with
+    | None -> fail line "missing ')' in %S" s
+    | Some j ->
+      let args = String.sub rest 0 j in
+      let tail = strip (String.sub rest (j + 1) (String.length rest - j - 1)) in
+      if tail <> "" then fail line "trailing characters %S" tail;
+      let parts = String.split_on_char ',' args |> List.map strip in
+      let parts = List.filter (fun p -> p <> "") parts in
+      (fname, parts))
+
+let parse_line lineno raw =
+  let s =
+    match String.index_opt raw '#' with
+    | Some i -> strip (String.sub raw 0 i)
+    | None -> strip raw
+  in
+  if s = "" then None
+  else begin
+    match String.index_opt s '=' with
+    | Some i ->
+      let lhs = strip (String.sub s 0 i) in
+      let rhs = strip (String.sub s (i + 1) (String.length s - i - 1)) in
+      if lhs = "" then fail lineno "empty gate name";
+      let fname, args = parse_call lineno rhs in
+      (match Gate.of_string fname with
+      | Some k -> Some (St_gate (lhs, k, args))
+      | None ->
+        if String.uppercase_ascii fname = "DFF" then
+          fail lineno "sequential element DFF is not supported (combinational sizing only)"
+        else fail lineno "unknown gate type %S" fname)
+    | None ->
+      let fname, args = parse_call lineno s in
+      (match (String.uppercase_ascii fname, args) with
+      | "INPUT", [ a ] -> Some (St_input a)
+      | "OUTPUT", [ a ] -> Some (St_output a)
+      | ("INPUT" | "OUTPUT"), _ -> fail lineno "%s takes exactly one signal" fname
+      | _ -> fail lineno "expected INPUT/OUTPUT/assignment, got %S" s)
+  end
+
+let parse_string ?(name = "bench") text =
+  let lines = String.split_on_char '\n' text in
+  let statements =
+    List.filteri (fun _ _ -> true) lines
+    |> List.mapi (fun i l -> (i + 1, parse_line (i + 1) l))
+    |> List.filter_map (fun (i, s) -> Option.map (fun s -> (i, s)) s)
+  in
+  let nl = Netlist.create ~name () in
+  (* pass 1: declare inputs *)
+  List.iter
+    (fun (line, st) ->
+      match st with
+      | St_input nm ->
+        if Netlist.find nl nm <> None then fail line "duplicate INPUT(%s)" nm
+        else ignore (Netlist.add_input nl nm)
+      | _ -> ())
+    statements;
+  (* pass 2: add gates in dependency order (iterate until fixpoint to allow
+     textual forward references) *)
+  let gates =
+    List.filter_map
+      (fun (line, st) ->
+        match st with St_gate (nm, k, args) -> Some (line, nm, k, args) | _ -> None)
+      statements
+  in
+  let remaining = ref gates in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    remaining :=
+      List.filter
+        (fun (line, nm, k, args) ->
+          let resolved = List.map (Netlist.find nl) args in
+          if List.for_all Option.is_some resolved then begin
+            (try ignore (Netlist.add_gate nl nm k (List.map Option.get resolved))
+             with Invalid_argument m -> fail line "%s" m);
+            progress := true;
+            false
+          end
+          else true)
+        !remaining
+  done;
+  (match !remaining with
+  | (line, nm, _, args) :: _ ->
+    let missing =
+      List.filter (fun a -> Netlist.find nl a = None) args |> String.concat ", "
+    in
+    fail line "gate %S has undefined or cyclic fanins: %s" nm missing
+  | [] -> ());
+  (* pass 3: outputs *)
+  List.iter
+    (fun (line, st) ->
+      match st with
+      | St_output nm -> (
+        match Netlist.find nl nm with
+        | Some v -> Netlist.mark_output nl v
+        | None -> fail line "OUTPUT(%s) refers to an undefined signal" nm)
+      | _ -> ())
+    statements;
+  (try Netlist.validate nl
+   with Invalid_argument m -> fail 0 "%s" m);
+  nl
+
+let parse_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let base = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name:base text
+
+let to_string nl =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Netlist.name nl));
+  Buffer.add_string buf
+    (Printf.sprintf "# %d inputs, %d outputs, %d gates\n"
+       (Netlist.input_count nl)
+       (List.length (Netlist.outputs nl))
+       (Netlist.gate_count nl));
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Netlist.node_name nl v)))
+    (Netlist.inputs nl);
+  List.iter
+    (fun v -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Netlist.node_name nl v)))
+    (Netlist.outputs nl);
+  Netlist.iter_gates nl (fun v ->
+      match Netlist.kind nl v with
+      | Gate k ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" (Netlist.node_name nl v) (Gate.to_string k)
+             (String.concat ", " (List.map (Netlist.node_name nl) (Netlist.fanins nl v))))
+      | Input -> ());
+  Buffer.contents buf
+
+let write_file path nl =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string nl))

@@ -1,0 +1,26 @@
+(** Reader and writer for the ISCAS85 / ISCAS89 [.bench] netlist format.
+
+    The format the original benchmark suite ships in:
+
+    {v # comment
+       INPUT(G1)
+       OUTPUT(G22)
+       G10 = NAND(G1, G3) v}
+
+    Gates may be declared before use textually; a two-pass parse resolves
+    forward references as long as the circuit is acyclic. Flip-flop ([DFF])
+    declarations are rejected — this tool sizes combinational logic. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?name:string -> string -> Netlist.t
+(** @raise Parse_error on malformed input. The result is validated. *)
+
+val parse_file : string -> Netlist.t
+(** Netlist named after the file's basename. *)
+
+val to_string : Netlist.t -> string
+(** Render in [.bench] syntax; [parse_string (to_string nl)] is structurally
+    identical to [nl]. *)
+
+val write_file : string -> Netlist.t -> unit

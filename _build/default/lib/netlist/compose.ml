@@ -1,0 +1,78 @@
+module Rng = Minflo_util.Rng
+
+let copy_into ~prefix src dst =
+  let map = Array.make (Netlist.node_count src) (-1) in
+  Netlist.iter_nodes src (fun v ->
+      let nm = prefix ^ Netlist.node_name src v in
+      let id =
+        match Netlist.kind src v with
+        | Netlist.Input -> Netlist.add_input dst nm
+        | Netlist.Gate k ->
+          Netlist.add_gate dst nm k (List.map (fun u -> map.(u)) (Netlist.fanins src v))
+      in
+      map.(v) <- id);
+  List.iter (fun v -> Netlist.mark_output dst map.(v)) (Netlist.outputs src);
+  map
+
+let merge ~name parts =
+  if parts = [] then invalid_arg "Compose.merge: no parts";
+  let nl = Netlist.create ~name () in
+  List.iteri (fun k part -> ignore (copy_into ~prefix:(Printf.sprintf "u%d_" k) part nl)) parts;
+  Netlist.validate nl;
+  nl
+
+let pad_random nl ~target_gates ~seed ?(extra_inputs = 0) () =
+  let deficit = target_gates - Netlist.gate_count nl in
+  if deficit <= 0 then nl
+  else begin
+    let rng = Rng.create seed in
+    let out = Netlist.create ~name:(Netlist.name nl) () in
+    ignore (copy_into ~prefix:"" nl out);
+    let base_count = Netlist.node_count out in
+    for i = 0 to extra_inputs - 1 do
+      ignore (Netlist.add_input out (Printf.sprintf "xin%d" i))
+    done;
+    (* p taps + (p-1) XOR collectors (+1 optional NOT) = deficit gates *)
+    let p = max 1 ((deficit + 1) / 2) in
+    let needs_extra_not = 2 * p - 1 < deficit in
+    let kinds = [| Gate.Nand; Gate.Nor; Gate.And; Gate.Or; Gate.Xor; Gate.Xnor |] in
+    let pick () = Rng.int rng (Netlist.node_count out) in
+    let taps =
+      List.init p (fun i ->
+          let k = Rng.pick rng kinds in
+          let x = pick () and y = pick () in
+          let x, y = if x = y then (x, (y + 1) mod base_count) else (x, y) in
+          Netlist.add_gate out (Printf.sprintf "pad%d" i) k [ x; y ])
+    in
+    (* random merge order: depth stays logarithmic w.h.p. but path lengths
+       are skewed, so the padding does not create large families of
+       exactly-tied critical paths (which would make greedy sizing stall) *)
+    let tree nodes =
+      let pool = Array.of_list nodes in
+      let len = ref (Array.length pool) in
+      while !len > 1 do
+        let i = Rng.int rng !len in
+        let j0 = Rng.int rng (!len - 1) in
+        let j = if j0 >= i then j0 + 1 else j0 in
+        let merged =
+          Netlist.add_gate out
+            (Printf.sprintf "padx%d" (Netlist.node_count out))
+            Gate.Xor [ pool.(i); pool.(j) ]
+        in
+        (* replace i with the merge, remove j by swapping the tail in *)
+        pool.(i) <- merged;
+        pool.(j) <- pool.(!len - 1);
+        decr len
+      done;
+      pool.(0)
+    in
+    let collector = tree taps in
+    let final =
+      if needs_extra_not then
+        Netlist.add_gate out (Printf.sprintf "padn%d" (Netlist.node_count out)) Gate.Not [ collector ]
+      else collector
+    in
+    Netlist.mark_output out final;
+    Netlist.validate out;
+    out
+  end

@@ -1,0 +1,19 @@
+(** Netlist composition utilities for assembling synthetic benchmarks. *)
+
+val copy_into : prefix:string -> Netlist.t -> Netlist.t -> int array
+(** [copy_into ~prefix src dst] appends a renamed copy of [src] to [dst] and
+    returns the old-id -> new-id map. Outputs of [src] become outputs of
+    [dst]. *)
+
+val merge : name:string -> Netlist.t list -> Netlist.t
+(** Disjoint union; node names are prefixed with ["uK_"] (K = block index).
+    Outputs of every block stay outputs. *)
+
+val pad_random :
+  Netlist.t -> target_gates:int -> seed:int -> ?extra_inputs:int -> unit -> Netlist.t
+(** Rebuilds the netlist with additional random logic so the gate count hits
+    [target_gates] exactly: random 2-input gates tapping existing nets (and
+    [extra_inputs] fresh primary inputs), XOR-collected into one extra
+    primary output, keeping everything live and the depth increase
+    logarithmic. Returns the netlist unchanged if it is already at or above
+    the target. *)

@@ -1,0 +1,59 @@
+type kind = And | Nand | Or | Nor | Not | Buf | Xor | Xnor
+
+let to_string = function
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Not -> "NOT"
+  | Buf -> "BUFF"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "NOT" | "INV" -> Some Not
+  | "BUF" | "BUFF" -> Some Buf
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | _ -> None
+
+let min_arity = function
+  | Not | Buf -> 1
+  | And | Nand | Or | Nor | Xor | Xnor -> 2
+
+let max_arity = function
+  | Not | Buf -> Some 1
+  | And | Nand | Or | Nor | Xor | Xnor -> None
+
+let check_arity kind n =
+  if n < min_arity kind then
+    invalid_arg
+      (Printf.sprintf "Gate.eval: %s needs >= %d inputs, got %d" (to_string kind)
+         (min_arity kind) n);
+  match max_arity kind with
+  | Some m when n > m ->
+    invalid_arg
+      (Printf.sprintf "Gate.eval: %s takes <= %d inputs, got %d" (to_string kind) m n)
+  | _ -> ()
+
+let eval kind inputs =
+  check_arity kind (Array.length inputs);
+  let conj = Array.for_all Fun.id inputs in
+  let disj = Array.exists Fun.id inputs in
+  let parity = Array.fold_left (fun acc b -> if b then not acc else acc) false inputs in
+  match kind with
+  | And -> conj
+  | Nand -> not conj
+  | Or -> disj
+  | Nor -> not disj
+  | Not -> not inputs.(0)
+  | Buf -> inputs.(0)
+  | Xor -> parity
+  | Xnor -> not parity
+
+let all = [ And; Nand; Or; Nor; Not; Buf; Xor; Xnor ]

@@ -1,0 +1,27 @@
+(** Logic gate kinds, in the vocabulary of the ISCAS85 [.bench] format. *)
+
+type kind =
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Not
+  | Buf
+  | Xor
+  | Xnor
+
+val to_string : kind -> string
+(** Upper-case [.bench] mnemonic, e.g. [Nand -> "NAND"]. *)
+
+val of_string : string -> kind option
+(** Case-insensitive parse; recognizes both ["BUF"] and ["BUFF"]. *)
+
+val min_arity : kind -> int
+val max_arity : kind -> int option
+(** [None] when the gate takes any number of inputs >= {!min_arity}. *)
+
+val eval : kind -> bool array -> bool
+(** Boolean function of the gate; used by the functional-equivalence tests
+    of the generators. @raise Invalid_argument on arity violations. *)
+
+val all : kind list

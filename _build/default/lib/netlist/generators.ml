@@ -1,0 +1,482 @@
+module Rng = Minflo_util.Rng
+
+type style = [ `Compact | `Nand ]
+
+(* Node names must be unique; derive them from the node counter. *)
+let fresh nl prefix = Printf.sprintf "%s%d" prefix (Netlist.node_count nl)
+
+let gate nl prefix kind fanins = Netlist.add_gate nl (fresh nl prefix) kind fanins
+
+let nand2 nl a b = gate nl "n" Gate.Nand [ a; b ]
+
+(* ---------- style-aware primitives ---------- *)
+
+let xor2 style nl a b =
+  match style with
+  | `Compact -> gate nl "x" Gate.Xor [ a; b ]
+  | `Nand ->
+    (* a xor b = NAND(NAND(a, NAND(a,b)), NAND(b, NAND(a,b))) *)
+    let ab = nand2 nl a b in
+    let l = nand2 nl a ab in
+    let r = nand2 nl b ab in
+    nand2 nl l r
+
+let not1 nl a = gate nl "i" Gate.Not [ a ]
+
+(* (sum, carry) of a half adder *)
+let half_adder style nl a b =
+  match style with
+  | `Compact ->
+    let s = gate nl "hs" Gate.Xor [ a; b ] in
+    let c = gate nl "hc" Gate.And [ a; b ] in
+    (s, c)
+  | `Nand ->
+    let ab = nand2 nl a b in
+    let l = nand2 nl a ab in
+    let r = nand2 nl b ab in
+    let s = nand2 nl l r in
+    let c = not1 nl ab in
+    (s, c)
+
+(* (sum, carry) of a full adder *)
+let full_adder style nl a b cin =
+  match style with
+  | `Compact ->
+    let p = gate nl "fp" Gate.Xor [ a; b ] in
+    let s = gate nl "fs" Gate.Xor [ p; cin ] in
+    let g = gate nl "fg" Gate.And [ a; b ] in
+    let t = gate nl "ft" Gate.And [ p; cin ] in
+    let c = gate nl "fc" Gate.Or [ g; t ] in
+    (s, c)
+  | `Nand ->
+    (* the classic 9-NAND full adder *)
+    let s1 = nand2 nl a b in
+    let s2 = nand2 nl a s1 in
+    let s3 = nand2 nl b s1 in
+    let hs = nand2 nl s2 s3 in
+    let t1 = nand2 nl hs cin in
+    let t2 = nand2 nl hs t1 in
+    let t3 = nand2 nl cin t1 in
+    let s = nand2 nl t2 t3 in
+    let c = nand2 nl s1 t1 in
+    (s, c)
+
+let xor_reduce style nl nodes =
+  (* balanced tree keeps the depth logarithmic *)
+  let rec reduce = function
+    | [] -> invalid_arg "xor_reduce: empty"
+    | [ x ] -> x
+    | nodes ->
+      let rec pair = function
+        | a :: b :: rest -> xor2 style nl a b :: pair rest
+        | leftover -> leftover
+      in
+      reduce (pair nodes)
+  in
+  reduce nodes
+
+(* ---------- adders ---------- *)
+
+let ripple_carry_adder ?(style = `Compact) ~bits () =
+  if bits < 1 then invalid_arg "ripple_carry_adder: bits must be >= 1";
+  let nl =
+    Netlist.create ~name:(Printf.sprintf "adder%d%s" bits
+                            (match style with `Compact -> "" | `Nand -> "_nand")) ()
+  in
+  let a = Array.init bits (fun i -> Netlist.add_input nl (Printf.sprintf "a%d" i)) in
+  let b = Array.init bits (fun i -> Netlist.add_input nl (Printf.sprintf "b%d" i)) in
+  let cin = Netlist.add_input nl "cin" in
+  let carry = ref cin in
+  for i = 0 to bits - 1 do
+    let s, c = full_adder style nl a.(i) b.(i) !carry in
+    Netlist.mark_output nl s;
+    carry := c
+  done;
+  Netlist.mark_output nl !carry;
+  Netlist.validate nl;
+  nl
+
+let kogge_stone_adder ?(style = `Compact) ~bits () =
+  if bits < 1 then invalid_arg "kogge_stone_adder: bits must be >= 1";
+  let n = bits in
+  let nl =
+    Netlist.create
+      ~name:(Printf.sprintf "ks%d%s" n
+               (match style with `Compact -> "" | `Nand -> "_nand")) ()
+  in
+  let a = Array.init n (fun i -> Netlist.add_input nl (Printf.sprintf "a%d" i)) in
+  let b = Array.init n (fun i -> Netlist.add_input nl (Printf.sprintf "b%d" i)) in
+  let cin = Netlist.add_input nl "cin" in
+  (* generate/propagate, then distance-doubling prefix combines *)
+  let p0 = Array.init n (fun i -> xor2 style nl a.(i) b.(i)) in
+  let g = Array.map Fun.id (Array.init n (fun i -> gate nl "g" Gate.And [ a.(i); b.(i) ])) in
+  let p = Array.copy p0 in
+  let d = ref 1 in
+  while !d < n do
+    let step = !d in
+    let ng = Array.copy g and np = Array.copy p in
+    for i = n - 1 downto step do
+      let t = gate nl "kt" Gate.And [ p.(i); g.(i - step) ] in
+      ng.(i) <- gate nl "kg" Gate.Or [ g.(i); t ];
+      np.(i) <- gate nl "kp" Gate.And [ p.(i); p.(i - step) ]
+    done;
+    Array.blit ng 0 g 0 n;
+    Array.blit np 0 p 0 n;
+    d := !d * 2
+  done;
+  (* carries: c_0 = cin; c_{i+1} = G_i OR (P_i AND cin) *)
+  let carry = Array.make (n + 1) cin in
+  for i = 0 to n - 1 do
+    let t = gate nl "ct" Gate.And [ p.(i); cin ] in
+    carry.(i + 1) <- gate nl "c" Gate.Or [ g.(i); t ]
+  done;
+  for i = 0 to n - 1 do
+    let s = xor2 style nl p0.(i) carry.(i) in
+    Netlist.mark_output nl s
+  done;
+  Netlist.mark_output nl carry.(n);
+  Netlist.validate nl;
+  nl
+
+(* ---------- array multiplier (shift-add rows, the c6288 structure) ----- *)
+
+let array_multiplier ?(style = `Compact) ~bits () =
+  if bits < 2 then invalid_arg "array_multiplier: bits must be >= 2";
+  let n = bits in
+  let nl =
+    Netlist.create ~name:(Printf.sprintf "mult%d%s" n
+                            (match style with `Compact -> "" | `Nand -> "_nand")) ()
+  in
+  let a = Array.init n (fun i -> Netlist.add_input nl (Printf.sprintf "a%d" i)) in
+  let b = Array.init n (fun i -> Netlist.add_input nl (Printf.sprintf "b%d" i)) in
+  let pp i j = gate nl "pp" Gate.And [ a.(i); b.(j) ] in
+  (* row 0 *)
+  let row0 = Array.init n (fun j -> pp 0 j) in
+  Netlist.mark_output nl row0.(0);
+  (* cur.(k) holds bit (i + k) of the running sum, k = 1 .. n-1;
+     top holds bit (i + n - 1) carry from the previous row when present *)
+  let cur = ref (Array.sub row0 1 (n - 1)) in
+  let top = ref None in
+  for i = 1 to n - 1 do
+    let row = Array.init n (fun j -> pp i j) in
+    let result = Array.make n row.(0) in
+    (* bottom position: no carry-in yet *)
+    let s0, c0 = half_adder style nl !cur.(0) row.(0) in
+    result.(0) <- s0;
+    let carry = ref c0 in
+    for j = 1 to n - 2 do
+      let s, c = full_adder style nl !cur.(j) row.(j) !carry in
+      result.(j) <- s;
+      carry := c
+    done;
+    (* top position: previous row's carry-out participates when it exists *)
+    (match !top with
+    | Some t ->
+      let s, c = full_adder style nl t row.(n - 1) !carry in
+      result.(n - 1) <- s;
+      top := Some c
+    | None ->
+      let s, c = half_adder style nl row.(n - 1) !carry in
+      result.(n - 1) <- s;
+      top := Some c);
+    Netlist.mark_output nl result.(0);
+    cur := Array.sub result 1 (n - 1)
+  done;
+  (* remaining high-order bits *)
+  Array.iter (fun v -> Netlist.mark_output nl v) !cur;
+  (match !top with Some t -> Netlist.mark_output nl t | None -> assert false);
+  Netlist.validate nl;
+  nl
+
+(* ---------- parity / SEC ---------- *)
+
+let parity_tree ?(style = `Compact) ~width () =
+  if width < 2 then invalid_arg "parity_tree: width must be >= 2";
+  let nl = Netlist.create ~name:(Printf.sprintf "parity%d" width) () in
+  let xs =
+    List.init width (fun i -> Netlist.add_input nl (Printf.sprintf "x%d" i))
+  in
+  let p = xor_reduce style nl xs in
+  let np = not1 nl p in
+  Netlist.mark_output nl p;
+  Netlist.mark_output nl np;
+  Netlist.validate nl;
+  nl
+
+let sec_circuit ?(style = `Compact) ~data_bits () =
+  if data_bits < 4 then invalid_arg "sec_circuit: data_bits must be >= 4";
+  let d = data_bits in
+  (* Each data bit gets a distinct weight-2 check code; the smallest check
+     count whose weight-2 code space holds [d] bits also guarantees every
+     check participates in some group. Distinct nonzero codes make the
+     circuit a true single-error corrector (d = 32 gives 9 checks — 41
+     inputs, matching the real c499). *)
+  let nchecks =
+    let rec search c = if c * (c - 1) / 2 >= d then c else search (c + 1) in
+    search 4
+  in
+  let nl = Netlist.create ~name:(Printf.sprintf "sec%d" d) () in
+  let data = Array.init d (fun j -> Netlist.add_input nl (Printf.sprintf "d%d" j)) in
+  let chk = Array.init nchecks (fun k -> Netlist.add_input nl (Printf.sprintf "c%d" k)) in
+  let codes = Sec_codes.weight2 ~checks:nchecks ~count:d in
+  let member j k = (codes.(j) lsr k) land 1 = 1 in
+  let syndrome =
+    Array.init nchecks (fun k ->
+        let group = List.filter (fun j -> member j k) (List.init d Fun.id) in
+        assert (group <> []);
+        xor_reduce style nl (chk.(k) :: List.map (fun j -> data.(j)) group))
+  in
+  let nsyndrome = Array.map (fun s -> not1 nl s) syndrome in
+  Array.iteri
+    (fun j dj ->
+      let pattern =
+        List.init nchecks (fun k -> if member j k then syndrome.(k) else nsyndrome.(k))
+      in
+      let matchj = gate nl "m" Gate.And pattern in
+      let out = xor2 style nl dj matchj in
+      Netlist.mark_output nl out)
+    data;
+  Netlist.validate nl;
+  nl
+
+(* ---------- ALU ---------- *)
+
+let alu ?(style = `Compact) ~width () =
+  if width < 1 then invalid_arg "alu: width must be >= 1";
+  let nl = Netlist.create ~name:(Printf.sprintf "alu%d" width) () in
+  let a = Array.init width (fun i -> Netlist.add_input nl (Printf.sprintf "a%d" i)) in
+  let b = Array.init width (fun i -> Netlist.add_input nl (Printf.sprintf "b%d" i)) in
+  let cin = Netlist.add_input nl "cin" in
+  let op0 = Netlist.add_input nl "op0" in
+  let op1 = Netlist.add_input nl "op1" in
+  let nop0 = not1 nl op0 in
+  let nop1 = not1 nl op1 in
+  let carry = ref cin in
+  let outs =
+    Array.init width (fun i ->
+        let sum, c = full_adder style nl a.(i) b.(i) !carry in
+        carry := c;
+        let land_ = gate nl "la" Gate.And [ a.(i); b.(i) ] in
+        let lor_ = gate nl "lo" Gate.Or [ a.(i); b.(i) ] in
+        let lxor_ = xor2 style nl a.(i) b.(i) in
+        (* 4-way one-hot mux on (op1, op0) *)
+        let m0 = gate nl "m" Gate.And [ sum; nop0; nop1 ] in
+        let m1 = gate nl "m" Gate.And [ land_; op0; nop1 ] in
+        let m2 = gate nl "m" Gate.And [ lor_; nop0; op1 ] in
+        let m3 = gate nl "m" Gate.And [ lxor_; op0; op1 ] in
+        let out = gate nl "o" Gate.Or [ m0; m1; m2; m3 ] in
+        Netlist.mark_output nl out;
+        out)
+  in
+  Netlist.mark_output nl !carry;
+  let zero =
+    if width = 1 then gate nl "z" Gate.Not [ outs.(0) ]
+    else gate nl "z" Gate.Nor (Array.to_list outs)
+  in
+  Netlist.mark_output nl zero;
+  Netlist.validate nl;
+  nl
+
+(* ---------- priority logic (c432-style interrupt controller) ---------- *)
+
+let priority_logic ~channels () =
+  if channels < 2 then invalid_arg "priority_logic: channels must be >= 2";
+  let nl = Netlist.create ~name:(Printf.sprintf "prio%d" channels) () in
+  let req =
+    Array.init channels (fun i -> Netlist.add_input nl (Printf.sprintf "r%d" i))
+  in
+  let ngroups = (channels + 2) / 3 in
+  let en = Array.init ngroups (fun gi -> Netlist.add_input nl (Printf.sprintf "e%d" gi)) in
+  (* active request = request AND its group enable *)
+  let act = Array.init channels (fun i -> gate nl "a" Gate.And [ req.(i); en.(i / 3) ]) in
+  (* blocking chain: higher index = higher priority (like c432's channels) *)
+  let grant = Array.make channels act.(0) in
+  let any_above = ref None in
+  for i = channels - 1 downto 0 do
+    (match !any_above with
+    | None -> grant.(i) <- act.(i)
+    | Some blk ->
+      let nblk = not1 nl blk in
+      grant.(i) <- gate nl "g" Gate.And [ act.(i); nblk ]);
+    any_above :=
+      Some
+        (match !any_above with
+        | None -> act.(i)
+        | Some blk -> gate nl "ab" Gate.Or [ act.(i); blk ])
+  done;
+  (* encoded grant index: OR of grants whose index has bit k set *)
+  let bits = int_of_float (ceil (log (float_of_int channels) /. log 2.0)) in
+  for k = 0 to bits - 1 do
+    let members =
+      List.filter (fun i -> (i lsr k) land 1 = 1) (List.init channels Fun.id)
+    in
+    match members with
+    | [] -> ()
+    | [ i ] ->
+      let b = gate nl "enc" Gate.Buf [ grant.(i) ] in
+      Netlist.mark_output nl b
+    | _ ->
+      let e = gate nl "enc" Gate.Or (List.map (fun i -> grant.(i)) members) in
+      Netlist.mark_output nl e
+  done;
+  (match !any_above with
+  | Some valid -> Netlist.mark_output nl valid
+  | None -> assert false);
+  (* per-group acknowledge lines, NOR-style like the real controller *)
+  for gi = 0 to ngroups - 1 do
+    let members =
+      List.filter (fun i -> i / 3 = gi) (List.init channels Fun.id)
+    in
+    match List.map (fun i -> grant.(i)) members with
+    | [] -> ()
+    | [ g ] ->
+      let ack = not1 nl g in
+      Netlist.mark_output nl ack
+    | gs ->
+      let ack = gate nl "ack" Gate.Nor gs in
+      Netlist.mark_output nl ack
+  done;
+  Netlist.validate nl;
+  nl
+
+(* ---------- mux tree ---------- *)
+
+let mux_tree ~select_bits () =
+  if select_bits < 1 then invalid_arg "mux_tree: select_bits must be >= 1";
+  let ways = 1 lsl select_bits in
+  let nl = Netlist.create ~name:(Printf.sprintf "mux%d" ways) () in
+  let data = Array.init ways (fun i -> Netlist.add_input nl (Printf.sprintf "d%d" i)) in
+  let sel = Array.init select_bits (fun k -> Netlist.add_input nl (Printf.sprintf "s%d" k)) in
+  let nsel = Array.map (fun s -> not1 nl s) sel in
+  (* fold one select bit at a time: 2:1 muxes built from NAND pairs *)
+  let level = ref (Array.to_list data) in
+  for k = 0 to select_bits - 1 do
+    let rec fold = function
+      | a :: b :: rest ->
+        let na = nand2 nl a nsel.(k) in
+        let nb = nand2 nl b sel.(k) in
+        nand2 nl na nb :: fold rest
+      | [ x ] -> [ x ]
+      | [] -> []
+    in
+    level := fold !level
+  done;
+  (match !level with
+  | [ out ] -> Netlist.mark_output nl out
+  | _ -> assert false);
+  Netlist.validate nl;
+  nl
+
+(* ---------- comparator ---------- *)
+
+let comparator ~width () =
+  if width < 1 then invalid_arg "comparator: width must be >= 1";
+  let nl = Netlist.create ~name:(Printf.sprintf "cmp%d" width) () in
+  let a = Array.init width (fun i -> Netlist.add_input nl (Printf.sprintf "a%d" i)) in
+  let b = Array.init width (fun i -> Netlist.add_input nl (Printf.sprintf "b%d" i)) in
+  (* eq = AND of XNORs; lt by ripple borrow: borrow_{i+1} driven msb-first *)
+  let eqs = Array.init width (fun i -> gate nl "eq" Gate.Xnor [ a.(i); b.(i) ]) in
+  let eq =
+    if width = 1 then gate nl "EQ" Gate.Buf [ eqs.(0) ]
+    else gate nl "EQ" Gate.And (Array.to_list eqs)
+  in
+  Netlist.mark_output nl eq;
+  (* lt: scan from msb: lt = OR_i (NOT a_i AND b_i AND eq_{msb..i+1}) *)
+  let terms = ref [] in
+  let prefix_eq = ref None in
+  for i = width - 1 downto 0 do
+    let na = not1 nl a.(i) in
+    let base = gate nl "lt" Gate.And [ na; b.(i) ] in
+    let term =
+      match !prefix_eq with
+      | None -> base
+      | Some pe -> gate nl "lt" Gate.And [ base; pe ]
+    in
+    terms := term :: !terms;
+    (* the prefix over bit 0 is never consumed; building it would leave a
+       dead gate behind *)
+    if i > 0 then
+      prefix_eq :=
+        Some
+          (match !prefix_eq with
+          | None -> eqs.(i)
+          | Some pe -> gate nl "pe" Gate.And [ pe; eqs.(i) ])
+  done;
+  let lt =
+    match !terms with
+    | [ t ] -> gate nl "LT" Gate.Buf [ t ]
+    | ts -> gate nl "LT" Gate.Or ts
+  in
+  Netlist.mark_output nl lt;
+  Netlist.validate nl;
+  nl
+
+(* ---------- random logic ---------- *)
+
+let random_dag ~gates ~inputs ~outputs ~seed () =
+  if inputs < 1 || gates < 1 then invalid_arg "random_dag: need inputs and gates";
+  let rng = Rng.create seed in
+  let nl = Netlist.create ~name:(Printf.sprintf "rand%d_s%d" gates seed) () in
+  let pis = Array.init inputs (fun i -> Netlist.add_input nl (Printf.sprintf "pi%d" i)) in
+  ignore pis;
+  let kinds =
+    [| Gate.Nand; Gate.Nand; Gate.Nor; Gate.And; Gate.Or; Gate.Not; Gate.Xor |]
+  in
+  (* locality-biased source pick: prefer recent nodes to mimic levelized
+     structure; occasionally reach far back to create reconvergence *)
+  let pick_src () =
+    let n = Netlist.node_count nl in
+    if Rng.int rng 4 = 0 then Rng.int rng n
+    else begin
+      let window = max 1 (n / 4) in
+      n - 1 - Rng.int rng window
+    end
+  in
+  for _ = 1 to gates do
+    let k = Rng.pick rng kinds in
+    let arity =
+      match k with
+      | Gate.Not -> 1
+      | Gate.Nand | Gate.Nor | Gate.And | Gate.Or | Gate.Xor -> 2 + Rng.int rng 2
+      | Gate.Buf -> 1
+      | Gate.Xnor -> 2
+    in
+    let fanins = List.init arity (fun _ -> pick_src ()) in
+    ignore (gate nl "rg" k fanins)
+  done;
+  (* every sink becomes an output so no gate is dead *)
+  let sinks = ref [] in
+  Netlist.iter_gates nl (fun v -> if Netlist.fanout_degree nl v = 0 then sinks := v :: !sinks);
+  List.iter (fun v -> Netlist.mark_output nl v) !sinks;
+  (* honor the requested output count as a minimum by promoting random gates *)
+  let have = List.length !sinks in
+  if have < outputs then begin
+    let candidates = ref [] in
+    Netlist.iter_gates nl (fun v -> if not (Netlist.is_output nl v) then candidates := v :: !candidates);
+    let cand = Array.of_list !candidates in
+    Rng.shuffle rng cand;
+    Array.iteri (fun i v -> if i < outputs - have then Netlist.mark_output nl v) cand
+  end;
+  Netlist.validate nl;
+  nl
+
+(* ---------- c17 ---------- *)
+
+let c17 () =
+  let nl = Netlist.create ~name:"c17" () in
+  let i1 = Netlist.add_input nl "1" in
+  let i2 = Netlist.add_input nl "2" in
+  let i3 = Netlist.add_input nl "3" in
+  let i6 = Netlist.add_input nl "6" in
+  let i7 = Netlist.add_input nl "7" in
+  let g10 = Netlist.add_gate nl "10" Gate.Nand [ i1; i3 ] in
+  let g11 = Netlist.add_gate nl "11" Gate.Nand [ i3; i6 ] in
+  let g16 = Netlist.add_gate nl "16" Gate.Nand [ i2; g11 ] in
+  let g19 = Netlist.add_gate nl "19" Gate.Nand [ g11; i7 ] in
+  let g22 = Netlist.add_gate nl "22" Gate.Nand [ g10; g16 ] in
+  let g23 = Netlist.add_gate nl "23" Gate.Nand [ g16; g19 ] in
+  Netlist.mark_output nl g22;
+  Netlist.mark_output nl g23;
+  ignore g19;
+  Netlist.validate nl;
+  nl

@@ -1,0 +1,64 @@
+(** Parametric circuit generators.
+
+    These supply the evaluation workloads: ripple-carry adders (the paper's
+    adder32/adder256 rows), an array multiplier (the c6288 stand-in), and
+    the building blocks — parity/SEC logic, ALUs, priority logic, mux trees
+    — from which {!Iscas85} assembles synthetic versions of the other
+    benchmark circuits.
+
+    Arithmetic generators come in two styles: [`Compact] uses XOR/AND/OR
+    macro-gates; [`Nand] expands everything into 2-input NAND networks
+    (the decomposition that gives c1355 and c6288 their published gate
+    counts). All generators produce validated netlists, and the arithmetic
+    ones are checked for functional correctness by the test-suite via
+    {!Netlist.simulate}. *)
+
+type style = [ `Compact | `Nand ]
+
+val ripple_carry_adder : ?style:style -> bits:int -> unit -> Netlist.t
+(** [bits]-wide adder: inputs [a0..], [b0..], [cin]; outputs [s0..], [cout]. *)
+
+val kogge_stone_adder : ?style:style -> bits:int -> unit -> Netlist.t
+(** Parallel-prefix adder (logarithmic depth, heavy wiring): same interface
+    as {!ripple_carry_adder}. The interesting contrast workload — its many
+    balanced reconvergent prefix paths behave like a small multiplier under
+    sizing, where the ripple chain behaves like the paper's adder rows. *)
+
+val array_multiplier : ?style:style -> bits:int -> unit -> Netlist.t
+(** [bits x bits] array multiplier (shift-add rows of full adders); inputs
+    [a*], [b*], outputs [p0 .. p(2*bits-1)]. 16 bits in [`Nand] style is the
+    c6288 stand-in: ~2400 gates, deep, massively reconvergent. *)
+
+val parity_tree : ?style:style -> width:int -> unit -> Netlist.t
+(** XOR reduction tree with a complemented second output. *)
+
+val sec_circuit : ?style:style -> data_bits:int -> unit -> Netlist.t
+(** Single-error-correcting decoder in the spirit of c499/c1355: syndrome
+    parity trees, per-bit match logic, and output correction XORs.
+    [`Compact] approximates c499; [`Nand] approximates c1355 (per-XOR
+    4-NAND expansion). With [data_bits = 16] and double-error-detect parity
+    it approaches c1908's structure. *)
+
+val alu : ?style:style -> width:int -> unit -> Netlist.t
+(** Adder + logic unit (AND/OR/XOR/NOT) + 2-bit opcode mux + zero flag:
+    the c880/c3540-family stand-in. *)
+
+val priority_logic : channels:int -> unit -> Netlist.t
+(** Priority grant chain with enables and an encoded grant index: the c432
+    (27-channel interrupt controller) stand-in. *)
+
+val mux_tree : select_bits:int -> unit -> Netlist.t
+(** [2^select_bits]-to-1 multiplexer. *)
+
+val comparator : width:int -> unit -> Netlist.t
+(** Equality + less-than comparator (ripple borrow chain). *)
+
+val random_dag :
+  gates:int -> inputs:int -> outputs:int -> seed:int -> unit -> Netlist.t
+(** Random combinational logic with realistic fanin (1-3) and locality-
+    biased wiring; deterministic in [seed]. Used to pad synthetic ISCAS85
+    stand-ins to published gate counts and as property-test input. *)
+
+val c17 : unit -> Netlist.t
+(** The real ISCAS85 c17 netlist (6 NAND gates) — small enough to embed and
+    a convenient known-good parser/sizer fixture. *)

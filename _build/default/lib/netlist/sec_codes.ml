@@ -1,0 +1,9 @@
+let weight2 ~checks ~count =
+  if checks * (checks - 1) / 2 < count then
+    invalid_arg "Sec_codes.weight2: code space too small";
+  let acc = ref [] in
+  for c = (1 lsl checks) - 1 downto 1 do
+    let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
+    if popcount c = 2 then acc := c :: !acc
+  done;
+  Array.sub (Array.of_list !acc) 0 count

@@ -1,0 +1,5 @@
+(** Check-bit code assignment shared by the SEC generator and its tests. *)
+
+val weight2 : checks:int -> count:int -> int array
+(** The first [count] weight-2 bitmasks over [checks] bits, in ascending
+    numeric order. @raise Invalid_argument if the code space is too small. *)

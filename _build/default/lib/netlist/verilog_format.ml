@@ -1,0 +1,276 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ---------- lexer ---------- *)
+
+type token = Ident of string | Punct of char
+
+let tokenize text =
+  (* returns (token, line) list with comments stripped *)
+  let n = String.length text in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '$' || c = '.'
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
+      while !i < n && text.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if text.[!i] = '\n' then incr line;
+        if !i + 1 < n && text.[!i] = '*' && text.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail !line "unterminated block comment"
+    end
+    else if c = '\\' then begin
+      (* escaped identifier: backslash to next whitespace *)
+      let start = !i + 1 in
+      i := start;
+      while !i < n && text.[!i] <> ' ' && text.[!i] <> '\t' && text.[!i] <> '\n' do
+        incr i
+      done;
+      tokens := (Ident (String.sub text start (!i - start)), !line) :: !tokens
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do incr i done;
+      tokens := (Ident (String.sub text start (!i - start)), !line) :: !tokens
+    end
+    else if c = '(' || c = ')' || c = ',' || c = ';' then begin
+      tokens := (Punct c, !line) :: !tokens;
+      incr i
+    end
+    else fail !line "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+(* ---------- parser ---------- *)
+
+type statement =
+  | Decl of [ `Input | `Output | `Wire ] * string list
+  | Inst of Gate.kind * string list * int (* terminals, line *)
+
+let split_statements tokens =
+  (* statements are token runs terminated by ';'; the module header is the
+     run from "module" to its ';' *)
+  let rec go acc current = function
+    | [] ->
+      (* 'endmodule' carries no ';' *)
+      (match List.rev current with
+      | [] | [ (Ident "endmodule", _) ] -> ()
+      | (Ident w, line) :: _ -> fail line "missing ';' after %S" w
+      | (Punct c, line) :: _ -> fail line "missing ';' after %C" c);
+      List.rev acc
+    | (Punct ';', _) :: rest -> go (List.rev current :: acc) [] rest
+    | tok :: rest -> go acc (tok :: current) rest
+  in
+  go [] [] tokens
+
+let idents_of ~line tokens =
+  List.filter_map
+    (function
+      | Ident s, _ -> Some s
+      | Punct (',' | '(' | ')'), _ -> None
+      | Punct c, l -> fail (max line l) "unexpected %C in declaration" c)
+    tokens
+
+let parse_statement st =
+  match st with
+  | (Ident "input", line) :: rest -> Some (Decl (`Input, idents_of ~line rest))
+  | (Ident "output", line) :: rest -> Some (Decl (`Output, idents_of ~line rest))
+  | (Ident "wire", line) :: rest -> Some (Decl (`Wire, idents_of ~line rest))
+  | (Ident "endmodule", _) :: _ -> None
+  | (Ident kw, line) :: rest -> (
+    match Gate.of_string kw with
+    | Some kind ->
+      (* optional instance name before '(' *)
+      let rest =
+        match rest with
+        | (Ident _, _) :: ((Punct '(', _) :: _ as r) -> r
+        | r -> r
+      in
+      let terminals = idents_of ~line rest in
+      Some (Inst (kind, terminals, line))
+    | None ->
+      (match kw with
+      | "assign" | "always" | "reg" | "initial" | "parameter" ->
+        fail line "behavioral construct %S is not supported (structural netlists only)" kw
+      | _ -> fail line "unknown primitive or keyword %S" kw))
+  | (Punct c, line) :: _ -> fail line "unexpected %C at statement start" c
+  | [] -> None
+
+let parse_string ?name text =
+  let tokens = tokenize text in
+  (* module header *)
+  let module_name, body =
+    match tokens with
+    | (Ident "module", line) :: (Ident mname, _) :: rest ->
+      (* skip the port list through its ';' *)
+      let rec skip = function
+        | (Punct ';', _) :: rest -> rest
+        | _ :: rest -> skip rest
+        | [] -> fail line "module header missing ';'"
+      in
+      (mname, skip rest)
+    | (_, line) :: _ -> fail line "expected 'module'"
+    | [] -> fail 1 "empty input"
+  in
+  let statements = List.filter_map parse_statement (split_statements body) in
+  let nl = Netlist.create ~name:(Option.value ~default:module_name name) () in
+  (* declare inputs *)
+  List.iter
+    (function
+      | Decl (`Input, names) ->
+        List.iter (fun nm -> ignore (Netlist.add_input nl nm)) names
+      | _ -> ())
+    statements;
+  (* add gates with forward-reference resolution, as in Bench_format *)
+  let gates =
+    List.filter_map
+      (function
+        | Inst (kind, terminals, line) -> (
+          match terminals with
+          | out :: ins when ins <> [] -> Some (line, out, kind, ins)
+          | _ -> fail line "gate needs an output and at least one input")
+        | Decl _ -> None)
+      statements
+  in
+  let remaining = ref gates in
+  let progress = ref true in
+  while !remaining <> [] && !progress do
+    progress := false;
+    remaining :=
+      List.filter
+        (fun (line, out, kind, ins) ->
+          let resolved = List.map (Netlist.find nl) ins in
+          if List.for_all Option.is_some resolved then begin
+            (try ignore (Netlist.add_gate nl out kind (List.map Option.get resolved))
+             with Invalid_argument m -> fail line "%s" m);
+            progress := true;
+            false
+          end
+          else true)
+        !remaining
+  done;
+  (match !remaining with
+  | (line, out, _, ins) :: _ ->
+    let missing = List.filter (fun a -> Netlist.find nl a = None) ins in
+    fail line "gate %S has undefined or cyclic inputs: %s" out
+      (String.concat ", " missing)
+  | [] -> ());
+  (* outputs *)
+  List.iter
+    (function
+      | Decl (`Output, names) ->
+        List.iter
+          (fun nm ->
+            match Netlist.find nl nm with
+            | Some v -> Netlist.mark_output nl v
+            | None -> fail 0 "output %S is never driven" nm)
+          names
+      | _ -> ())
+    statements;
+  (try Netlist.validate nl with Invalid_argument m -> fail 0 "%s" m);
+  nl
+
+let parse_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string ~name:(Filename.remove_extension (Filename.basename path)) text
+
+(* ---------- writer ---------- *)
+
+let keywords =
+  [ "module"; "endmodule"; "input"; "output"; "wire"; "assign"; "always";
+    "reg"; "initial"; "parameter"; "and"; "nand"; "or"; "nor"; "not"; "buf";
+    "xor"; "xnor" ]
+
+let legal_ident s =
+  s <> ""
+  && (let c = s.[0] in (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9') || c = '_' || c = '$')
+       s
+  && not (List.mem s keywords)
+
+let sanitize s = if legal_ident s then s else "n_" ^ String.map (fun c ->
+    if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    then c else '_') s
+
+let gate_primitive = function
+  | Gate.And -> "and"
+  | Gate.Nand -> "nand"
+  | Gate.Or -> "or"
+  | Gate.Nor -> "nor"
+  | Gate.Not -> "not"
+  | Gate.Buf -> "buf"
+  | Gate.Xor -> "xor"
+  | Gate.Xnor -> "xnor"
+
+let to_string nl =
+  let buf = Buffer.create 4096 in
+  let name v = sanitize (Netlist.node_name nl v) in
+  (* sanitized names must stay unique; disambiguate clashes with the id *)
+  let seen = Hashtbl.create 256 in
+  let uniq = Hashtbl.create 256 in
+  Netlist.iter_nodes nl (fun v ->
+      let base = name v in
+      let final =
+        if Hashtbl.mem seen base then Printf.sprintf "%s_%d" base v else base
+      in
+      Hashtbl.add seen final ();
+      Hashtbl.add uniq v final);
+  let name v = Hashtbl.find uniq v in
+  let inputs = List.map name (Netlist.inputs nl) in
+  let outputs = List.map name (Netlist.outputs nl) in
+  let ports = inputs @ outputs in
+  Buffer.add_string buf
+    (Printf.sprintf "// %s: %d gates\nmodule %s (%s);\n" (Netlist.name nl)
+       (Netlist.gate_count nl)
+       (sanitize (Netlist.name nl))
+       (String.concat ", " ports));
+  Buffer.add_string buf (Printf.sprintf "  input %s;\n" (String.concat ", " inputs));
+  Buffer.add_string buf (Printf.sprintf "  output %s;\n" (String.concat ", " outputs));
+  let wires = ref [] in
+  Netlist.iter_gates nl (fun v ->
+      if not (Netlist.is_output nl v) then wires := name v :: !wires);
+  if !wires <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "  wire %s;\n" (String.concat ", " (List.rev !wires)));
+  Netlist.iter_gates nl (fun v ->
+      match Netlist.kind nl v with
+      | Netlist.Gate k ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s g%d (%s);\n" (gate_primitive k) v
+             (String.concat ", " (name v :: List.map name (Netlist.fanins nl v))))
+      | Netlist.Input -> ());
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file path nl =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string nl))

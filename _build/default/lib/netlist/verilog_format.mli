@@ -1,0 +1,32 @@
+(** Reader and writer for gate-level structural Verilog.
+
+    The subset every ISCAS85 distribution and most academic netlists use:
+    one module, [input]/[output]/[wire] declarations, and primitive gate
+    instantiations with the output as the first terminal:
+
+    {v module c17 (N1, N2, N3, N6, N7, N22, N23);
+         input  N1, N2, N3, N6, N7;
+         output N22, N23;
+         wire   N10, N11, N16, N19;
+         nand NAND2_1 (N10, N1, N3);
+         ...
+       endmodule v}
+
+    Instance names are optional; [//] and [/* */] comments are handled;
+    multiple declarations per keyword and statements spanning lines are
+    fine. Behavioral constructs ([assign], [always], ...) are rejected with
+    a located error. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?name:string -> string -> Netlist.t
+(** The netlist takes the module's name unless [name] is given.
+    @raise Parse_error on malformed or unsupported input. *)
+
+val parse_file : string -> Netlist.t
+
+val to_string : Netlist.t -> string
+(** Structural Verilog; identifiers unsuitable for Verilog are escaped with
+    a [n_] prefix scheme so the output always re-parses. *)
+
+val write_file : string -> Netlist.t -> unit

@@ -1,0 +1,1 @@
+lib/power/power.ml: Activity Array Hashtbl List Minflo_netlist Minflo_tech

@@ -1,0 +1,1 @@
+lib/power/power.mli: Activity Minflo_netlist Minflo_tech

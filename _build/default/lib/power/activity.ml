@@ -1,0 +1,55 @@
+module Netlist = Minflo_netlist.Netlist
+module Rng = Minflo_util.Rng
+
+type t = {
+  toggle_rate : float array;
+  one_probability : float array;
+  patterns : int;
+}
+
+let estimate ?(patterns = 2048) ~seed nl =
+  Netlist.validate nl;
+  let rng = Rng.create seed in
+  let n = Netlist.node_count nl in
+  let nin = Netlist.input_count nl in
+  let ones = Array.make n 0 in
+  let toggles = Array.make n 0 in
+  let prev = ref None in
+  for _ = 1 to patterns do
+    let bits = Array.init nin (fun _ -> Rng.bool rng) in
+    let values = Netlist.simulate nl bits in
+    for v = 0 to n - 1 do
+      if values.(v) then ones.(v) <- ones.(v) + 1
+    done;
+    (match !prev with
+    | Some last ->
+      for v = 0 to n - 1 do
+        if values.(v) <> last.(v) then toggles.(v) <- toggles.(v) + 1
+      done
+    | None -> ());
+    prev := Some values
+  done;
+  let fpat = float_of_int patterns in
+  { toggle_rate = Array.map (fun c -> float_of_int c /. (fpat -. 1.0)) toggles;
+    one_probability = Array.map (fun c -> float_of_int c /. fpat) ones;
+    patterns }
+
+let exact_small nl =
+  Netlist.validate nl;
+  let nin = Netlist.input_count nl in
+  if nin > 20 then invalid_arg "Activity.exact_small: too many inputs";
+  let n = Netlist.node_count nl in
+  let ones = Array.make n 0 in
+  let total = 1 lsl nin in
+  for bits = 0 to total - 1 do
+    let input = Array.init nin (fun i -> (bits lsr i) land 1 = 1) in
+    let values = Netlist.simulate nl input in
+    for v = 0 to n - 1 do
+      if values.(v) then ones.(v) <- ones.(v) + 1
+    done
+  done;
+  let p = Array.map (fun c -> float_of_int c /. float_of_int total) ones in
+  (* independent consecutive vectors: toggle rate 2 p (1 - p) *)
+  { toggle_rate = Array.map (fun pv -> 2.0 *. pv *. (1.0 -. pv)) p;
+    one_probability = p;
+    patterns = total }

@@ -1,0 +1,24 @@
+(** Switching-activity estimation by random simulation.
+
+    The delay-balancing machinery the D-phase builds on was introduced for
+    *low-power* gate resizing [13]: dynamic power is
+    [~ sum over nets of activity * capacitance], and sizing changes the
+    capacitances. This module estimates per-net toggle rates by Monte-Carlo
+    simulation with independent uniform inputs, giving the power reports in
+    the bench their activity factors. Deterministic in the seed. *)
+
+type t = {
+  toggle_rate : float array;
+      (** per netlist node: expected toggles per input vector pair, in
+          [0, 1] under temporal independence. *)
+  one_probability : float array;  (** per node: P(value = 1). *)
+  patterns : int;
+}
+
+val estimate : ?patterns:int -> seed:int -> Minflo_netlist.Netlist.t -> t
+(** Default 2048 pattern pairs. *)
+
+val exact_small : Minflo_netlist.Netlist.t -> t
+(** Exhaustive enumeration (inputs <= 20): exact signal probabilities and
+    toggle rates under the same independence assumption. Oracle for the
+    Monte-Carlo estimator in tests. *)

@@ -1,0 +1,54 @@
+module Netlist = Minflo_netlist.Netlist
+module Elmore = Minflo_tech.Elmore
+module Gate_model = Minflo_tech.Gate_model
+
+type report = {
+  total : float;
+  per_gate : float array;
+}
+
+let dynamic (tech : Minflo_tech.Tech.t) nl ~(activity : Activity.t) ~sizes =
+  Netlist.validate nl;
+  let v_of = Elmore.gate_vertex nl in
+  let ngates = Netlist.gate_count nl in
+  if Array.length sizes <> ngates then invalid_arg "Power.dynamic: wrong sizes length";
+  let per_gate = Array.make ngates 0.0 in
+  let model v =
+    match Netlist.kind nl v with
+    | Netlist.Gate k -> Gate_model.of_gate tech k ~arity:(List.length (Netlist.fanins nl v))
+    | Netlist.Input -> assert false
+  in
+  Netlist.iter_gates nl (fun v ->
+      let i = Hashtbl.find v_of v in
+      let m = model v in
+      let fanouts = Netlist.fanouts nl v in
+      (* net capacitance: own parasitic + wire per pin + receiving pins *)
+      let cap = ref (m.c_parasitic *. sizes.(i)) in
+      cap := !cap +. (tech.c_wire *. float_of_int (List.length fanouts));
+      if Netlist.is_output nl v then cap := !cap +. tech.c_load;
+      List.iter
+        (fun w ->
+          let j = Hashtbl.find v_of w in
+          let mw = model w in
+          let pins = List.length (List.filter (fun f -> f = v) (Netlist.fanins nl w)) in
+          cap := !cap +. (mw.c_input *. sizes.(j) *. float_of_int pins))
+        (List.sort_uniq compare fanouts);
+      per_gate.(i) <- activity.Activity.toggle_rate.(v) *. !cap);
+  (* primary-input nets also switch: charge the pins they drive *)
+  let input_power = ref 0.0 in
+  List.iter
+    (fun v ->
+      let cap = ref (tech.c_wire *. float_of_int (List.length (Netlist.fanouts nl v))) in
+      List.iter
+        (fun w ->
+          let j = Hashtbl.find v_of w in
+          let mw = model w in
+          let pins = List.length (List.filter (fun f -> f = v) (Netlist.fanins nl w)) in
+          cap := !cap +. (mw.c_input *. sizes.(j) *. float_of_int pins))
+        (List.sort_uniq compare (Netlist.fanouts nl v));
+      input_power := !input_power +. (activity.Activity.toggle_rate.(v) *. !cap))
+    (Netlist.inputs nl);
+  { total = Array.fold_left ( +. ) !input_power per_gate; per_gate }
+
+let min_size_baseline tech nl ~activity =
+  dynamic tech nl ~activity ~sizes:(Array.make (Netlist.gate_count nl) tech.min_size)

@@ -1,0 +1,26 @@
+(** Dynamic-power reporting for sized circuits.
+
+    [P ~ sum over driven nets of toggle_rate * C_net], with the net
+    capacitance assembled from the same technology quantities as the Elmore
+    model: the driver's size-scaled parasitic, each receiving pin's
+    size-scaled input capacitance, wire capacitance per pin, and the output
+    pad load. Reported in normalized units (fF-toggles per vector); only
+    ratios are meaningful, which is all the low-power sizing story of [13]
+    needs. *)
+
+type report = {
+  total : float;
+  per_gate : float array;  (** indexed like the gate-sizing model's vertices. *)
+}
+
+val dynamic :
+  Minflo_tech.Tech.t ->
+  Minflo_netlist.Netlist.t ->
+  activity:Activity.t ->
+  sizes:float array ->
+  report
+(** [sizes] is a gate-sizing vector (one entry per gate, in
+    {!Minflo_tech.Elmore.of_netlist} vertex order). *)
+
+val min_size_baseline :
+  Minflo_tech.Tech.t -> Minflo_netlist.Netlist.t -> activity:Activity.t -> report

@@ -1,0 +1,1 @@
+lib/retiming/retiming.ml: Array List Minflo_flow Minflo_graph Minflo_util Printf

@@ -1,0 +1,208 @@
+module Vec = Minflo_util.Vec
+
+type node = int
+
+type edge = { esrc : int; edst : int; mutable regs : int }
+
+type t = {
+  gname : string;
+  delays : float Vec.t;
+  names : string Vec.t;
+  edges : edge Vec.t;
+}
+
+let create ?(name = "seq") () =
+  { gname = name;
+    delays = Vec.create ~dummy:0.0 ();
+    names = Vec.create ~dummy:"" ();
+    edges = Vec.create ~dummy:{ esrc = 0; edst = 0; regs = 0 } () }
+
+let add_node t ?(delay = 1.0) name =
+  if delay < 0.0 then invalid_arg "Retiming.add_node: negative delay";
+  let id = Vec.push t.delays delay in
+  ignore (Vec.push t.names name);
+  id
+
+let add_edge t u v ~registers =
+  if registers < 0 then invalid_arg "Retiming.add_edge: negative registers";
+  let n = Vec.length t.delays in
+  if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Retiming.add_edge: bad node";
+  ignore (Vec.push t.edges { esrc = u; edst = v; regs = registers })
+
+let node_count t = Vec.length t.delays
+let edge_count t = Vec.length t.edges
+
+let total_registers t = Vec.fold (fun acc e -> acc + e.regs) 0 t.edges
+
+let delay t v = Vec.get t.delays v
+
+(* longest register-free combinational path; raises if the zero-register
+   subgraph is cyclic *)
+let clock_period_opt t =
+  let n = node_count t in
+  let g = Minflo_graph.Digraph.create ~nodes_hint:n () in
+  if n > 0 then ignore (Minflo_graph.Digraph.add_nodes g n);
+  Vec.iter
+    (fun e -> if e.regs = 0 then ignore (Minflo_graph.Digraph.add_edge g e.esrc e.edst))
+    t.edges;
+  match Minflo_graph.Topo.sort_opt g with
+  | None -> None
+  | Some _ ->
+    let dist = Minflo_graph.Topo.longest_path_to g ~weight:(delay t) in
+    Some (Array.fold_left max 0.0 dist)
+
+let validate t =
+  match clock_period_opt t with
+  | None -> invalid_arg "Retiming.validate: a cycle carries no register"
+  | Some _ -> ()
+
+let clock_period t =
+  match clock_period_opt t with
+  | Some p -> p
+  | None -> invalid_arg "Retiming.clock_period: a cycle carries no register"
+
+(* W(u,v): minimum registers over u->v paths; D(u,v): maximum total delay
+   over minimum-register u->v paths (Leiserson-Saxe, computed by
+   Floyd-Warshall over the lexicographic weight (w, -d)). *)
+let wd_matrices t =
+  let n = node_count t in
+  let inf = max_int / 4 in
+  let w = Array.make_matrix n n inf in
+  let d = Array.make_matrix n n neg_infinity in
+  for v = 0 to n - 1 do
+    w.(v).(v) <- 0;
+    d.(v).(v) <- delay t v
+  done;
+  Vec.iter
+    (fun e ->
+      (* weight of an edge for the pair metric: registers; delay of the
+         path collects vertex delays *)
+      let cand_w = e.regs and cand_d = delay t e.esrc +. delay t e.edst in
+      if e.esrc <> e.edst then begin
+        if cand_w < w.(e.esrc).(e.edst)
+           || (cand_w = w.(e.esrc).(e.edst) && cand_d > d.(e.esrc).(e.edst))
+        then begin
+          w.(e.esrc).(e.edst) <- cand_w;
+          d.(e.esrc).(e.edst) <- cand_d
+        end
+      end)
+    t.edges;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if w.(i).(k) < inf then
+        for j = 0 to n - 1 do
+          if w.(k).(j) < inf then begin
+            let nw = w.(i).(k) + w.(k).(j) in
+            (* vertex k counted once *)
+            let nd = d.(i).(k) +. d.(k).(j) -. delay t k in
+            if nw < w.(i).(j) || (nw = w.(i).(j) && nd > d.(i).(j)) then begin
+              w.(i).(j) <- nw;
+              d.(i).(j) <- nd
+            end
+          end
+        done
+    done
+  done;
+  (w, d)
+
+(* difference constraints for a target period; [strict] pairs come from
+   D(u,v) > period *)
+let constraints t (w, d) ~period =
+  let n = node_count t in
+  let cons = ref [] in
+  (* legality: r(u) - r(v) <= w(e) *)
+  Vec.iter (fun e -> cons := (e.esrc, e.edst, e.regs) :: !cons) t.edges;
+  let inf = max_int / 4 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if w.(u).(v) < inf && d.(u).(v) > period +. 1e-9 then
+        cons := (u, v, w.(u).(v) - 1) :: !cons
+    done
+  done;
+  !cons
+
+let solve_constraints n cons =
+  (* feasible assignment via Bellman-Ford: r(u) - r(v) <= c becomes an arc
+     v -> u of weight c; distances from a virtual all-source give r *)
+  let arcs = Array.of_list cons in
+  let g =
+    { Minflo_flow.Bellman_ford.num_nodes = n;
+      arc_src = Array.map (fun (_, v, _) -> v) arcs;
+      arc_dst = Array.map (fun (u, _, _) -> u) arcs;
+      arc_weight = Array.map (fun (_, _, c) -> c) arcs }
+  in
+  match Minflo_flow.Bellman_ford.run_all g with
+  | Distances dist -> Ok (Array.map (fun x -> if x >= Minflo_flow.Bellman_ford.unreachable then 0 else x) dist)
+  | Negative_cycle _ -> Error "period infeasible: negative constraint cycle"
+
+let feasible t ~period =
+  let wd = wd_matrices t in
+  match solve_constraints (node_count t) (constraints t wd ~period) with
+  | Ok _ -> true
+  | Error _ -> false
+
+let retime t ~period =
+  let wd = wd_matrices t in
+  solve_constraints (node_count t) (constraints t wd ~period)
+
+let min_registers t ~period =
+  let wd = wd_matrices t in
+  let cons = constraints t wd ~period in
+  (* minimize sum_e (w(e) + r(dst) - r(src))  =  const + sum_v r(v) *
+     (indeg(v) - outdeg(v)): a Diff_lp with the MAXIMIZATION objective
+     negated *)
+  let lp = Minflo_flow.Diff_lp.create () in
+  let n = node_count t in
+  let vars = Array.init n (fun _ -> Minflo_flow.Diff_lp.var lp) in
+  List.iter (fun (u, v, c) -> Minflo_flow.Diff_lp.add_le lp vars.(u) vars.(v) c) cons;
+  let coeff = Array.make n 0 in
+  Vec.iter
+    (fun e ->
+      coeff.(e.edst) <- coeff.(e.edst) + 1;
+      coeff.(e.esrc) <- coeff.(e.esrc) - 1)
+    t.edges;
+  Array.iteri
+    (fun v c -> if c <> 0 then Minflo_flow.Diff_lp.add_objective lp vars.(v) (-c))
+    coeff;
+  match Minflo_flow.Diff_lp.solve lp with
+  | Solution { values; _ } -> Ok values
+  | Infeasible_lp -> Error "period infeasible"
+  | Unbounded_lp -> Error "register objective unbounded (graph not strongly constrained)"
+
+let apply t r =
+  if Array.length r <> node_count t then invalid_arg "Retiming.apply: wrong r length";
+  let out = create ~name:t.gname () in
+  Vec.iteri (fun v d -> ignore (add_node out ~delay:d (Vec.get t.names v))) t.delays;
+  Vec.iter
+    (fun e ->
+      let regs = e.regs + r.(e.edst) - r.(e.esrc) in
+      if regs < 0 then
+        invalid_arg
+          (Printf.sprintf "Retiming.apply: edge %d->%d would carry %d registers"
+             e.esrc e.edst regs);
+      add_edge out e.esrc e.edst ~registers:regs)
+    t.edges;
+  out
+
+let min_period ?(epsilon = 1e-6) t =
+  validate t;
+  (* candidate periods are entries of D; binary search over the sorted
+     distinct values *)
+  let _, d = wd_matrices t in
+  let n = node_count t in
+  let values = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if d.(u).(v) > neg_infinity then values := d.(u).(v) :: !values
+    done
+  done;
+  let sorted = List.sort_uniq compare !values in
+  let arr = Array.of_list sorted in
+  let lo = ref 0 and hi = ref (Array.length arr - 1) in
+  (* the largest D is always feasible *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if feasible t ~period:arr.(mid) then hi := mid else lo := mid + 1
+  done;
+  ignore epsilon;
+  arr.(!lo)

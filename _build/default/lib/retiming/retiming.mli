@@ -1,0 +1,57 @@
+(** Retiming of synchronous circuits (Leiserson-Saxe).
+
+    The D-phase of MINFLOTRANSIT is an FSDU-displacement LP whose machinery
+    the paper borrows from retiming ([10], [13]): relabel vertices with
+    integers [r], move registers (there: fictitious delay units) across
+    nodes, and decide feasibility by difference constraints — the dual of a
+    min-cost flow. This module closes the loop by implementing the original
+    application on the same substrate:
+
+    - {!feasible} decides whether a clock period is achievable, by the
+      classic [W]/[D] matrices + Bellman-Ford difference constraints;
+    - {!min_period} binary-searches the achievable periods;
+    - {!retime} returns the register relabeling for a target period;
+    - {!min_registers} additionally minimizes the total register count —
+      an LP solved through {!Minflo_flow.Diff_lp}, i.e. by the very same
+      network simplex the D-phase uses.
+
+    Graphs must have at least one register on every directed cycle
+    (synchronous legality). *)
+
+type t
+type node = int
+
+val create : ?name:string -> unit -> t
+val add_node : t -> ?delay:float -> string -> node
+val add_edge : t -> node -> node -> registers:int -> unit
+(** @raise Invalid_argument on negative register counts. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+val total_registers : t -> int
+
+val validate : t -> unit
+(** @raise Invalid_argument if some cycle carries no register (the circuit
+    would not be synchronous) or a delay is negative. *)
+
+val clock_period : t -> float
+(** Longest register-free combinational path under the current register
+    placement. *)
+
+val feasible : t -> period:float -> bool
+
+val retime : t -> period:float -> (int array, string) result
+(** A legal relabeling [r] achieving the period, or [Error] if none
+    exists. *)
+
+val min_registers : t -> period:float -> (int array, string) result
+(** Among the retimings achieving [period], one minimizing the total
+    register count (solved as the LP dual of a min-cost flow). *)
+
+val apply : t -> int array -> t
+(** New register placement [w_r(e) = w(e) + r(dst) - r(src)].
+    @raise Invalid_argument if some count would go negative. *)
+
+val min_period : ?epsilon:float -> t -> float
+(** The smallest feasible clock period (within [epsilon] relative accuracy
+    via binary search over the candidate path delays). *)

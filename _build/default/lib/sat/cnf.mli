@@ -1,0 +1,31 @@
+(** Tseitin encoding of netlists and SAT-based equivalence checking.
+
+    The classic miter construction: encode both circuits over shared input
+    variables, XOR each output pair, OR the XORs, and ask the SAT solver
+    whether the result can be 1 — UNSAT means the circuits agree on every
+    input. Together with {!Minflo_bdd.Check} this gives two fully
+    independent equivalence oracles; the test-suite plays them against each
+    other. *)
+
+val encode :
+  Sat.t -> Minflo_netlist.Netlist.t -> inputs:int array -> int array
+(** [encode solver nl ~inputs] adds Tseitin clauses for every gate, using
+    the given variables (positive literals) for the primary inputs in
+    {!Minflo_netlist.Netlist.inputs} order; returns one literal per node of
+    the netlist (indexable by node id). @raise Invalid_argument if
+    [inputs] has the wrong length. *)
+
+type verdict =
+  | Equivalent
+  | Differ of (string * bool) list
+      (** counterexample assignment, named after the first netlist's
+          inputs. *)
+  | Interface_mismatch
+
+val equivalent :
+  Minflo_netlist.Netlist.t -> Minflo_netlist.Netlist.t -> verdict
+
+val output_satisfiable :
+  Minflo_netlist.Netlist.t -> output:int -> (string * bool) list option
+(** Can the given primary output (by position) be driven to 1? Returns a
+    witness assignment if so — a tiny ATPG-flavored utility. *)

@@ -1,0 +1,1 @@
+lib/sizing/discrete.ml: Array List Minflo_tech Minflo_timing Option

@@ -1,0 +1,1 @@
+lib/sizing/discrete.mli: Minflo_tech

@@ -1,0 +1,1 @@
+lib/sizing/dphase.ml: Array Float Minflo_flow Minflo_graph Minflo_tech Minflo_timing Printf Sensitivity

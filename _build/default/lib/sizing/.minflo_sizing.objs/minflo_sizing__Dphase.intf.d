@@ -1,0 +1,1 @@
+lib/sizing/dphase.mli: Minflo_tech

@@ -1,0 +1,1 @@
+lib/sizing/lagrangian.mli: Minflo_tech

@@ -1,0 +1,1 @@
+lib/sizing/minflotransit.ml: Array Dphase List Logs Minflo_tech Minflo_timing Tilos Wphase

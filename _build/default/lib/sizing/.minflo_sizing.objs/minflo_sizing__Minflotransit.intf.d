@@ -1,0 +1,1 @@
+lib/sizing/minflotransit.mli: Minflo_tech Tilos

@@ -1,0 +1,1 @@
+lib/sizing/optimality.ml: Array Minflo_tech Minflo_timing Minflo_util Wphase

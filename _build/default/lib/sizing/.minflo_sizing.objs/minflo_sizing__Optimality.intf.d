@@ -1,0 +1,1 @@
+lib/sizing/optimality.mli: Minflo_tech

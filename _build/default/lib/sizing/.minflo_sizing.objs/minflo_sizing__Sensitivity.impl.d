@@ -1,0 +1,1 @@
+lib/sizing/sensitivity.ml: Array List Minflo_tech Printf

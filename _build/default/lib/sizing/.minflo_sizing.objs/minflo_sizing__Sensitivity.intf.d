@@ -1,0 +1,1 @@
+lib/sizing/sensitivity.mli: Minflo_tech

@@ -1,0 +1,1 @@
+lib/sizing/sweep.ml: List Minflo_tech Minflo_timing Minflotransit Tilos Unix

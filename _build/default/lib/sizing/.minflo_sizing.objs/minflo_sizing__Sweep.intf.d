@@ -1,0 +1,1 @@
+lib/sizing/sweep.mli: Minflo_tech Minflotransit

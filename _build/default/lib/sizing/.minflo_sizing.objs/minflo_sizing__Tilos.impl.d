@@ -1,0 +1,1 @@
+lib/sizing/tilos.ml: Array List Minflo_graph Minflo_tech Minflo_timing

@@ -1,0 +1,1 @@
+lib/sizing/tilos.mli: Minflo_tech

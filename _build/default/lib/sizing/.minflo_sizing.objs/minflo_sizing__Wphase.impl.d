@@ -1,0 +1,1 @@
+lib/sizing/wphase.ml: Array List Minflo_tech Printf

@@ -1,0 +1,1 @@
+lib/sizing/wphase.mli: Minflo_tech Stdlib

@@ -1,0 +1,93 @@
+module Delay_model = Minflo_tech.Delay_model
+module Sta = Minflo_timing.Sta
+
+type grid = float list
+
+let geometric ~ratio ~min:lo ~max:hi =
+  if ratio <= 1.0 then invalid_arg "Discrete.geometric: ratio must exceed 1";
+  let rec build x acc = if x >= hi then List.rev (hi :: acc) else build (x *. ratio) (x :: acc) in
+  build lo []
+
+type result = {
+  sizes : float array;
+  area : float;
+  cp : float;
+  met : bool;
+  area_penalty_pct : float;
+  repair_bumps : int;
+}
+
+let snap_up grid x =
+  match List.find_opt (fun g -> g >= x -. 1e-12) grid with
+  | Some g -> g
+  | None -> (
+    match List.rev grid with
+    | g :: _ -> g
+    | [] -> invalid_arg "Discrete.snap_up: empty grid")
+
+let discretize model ~target ~continuous grid =
+  if grid = [] then invalid_arg "Discrete.discretize: empty grid";
+  let sorted = List.sort_uniq compare grid in
+  let x = Array.map (fun v -> snap_up sorted v) continuous in
+  let continuous_area = Delay_model.area model continuous in
+  (* snapping up keeps each vertex's own budget but adds upstream load;
+     repair greedily with a TILOS resume restricted to the grid by bumping
+     to the next ladder step instead of a multiplicative factor *)
+  let next_step v =
+    match List.find_opt (fun g -> g > v +. 1e-12) sorted with
+    | Some g -> Some (min g model.Delay_model.max_size)
+    | None -> None
+  in
+  let bumps = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    let delays = Delay_model.delays model x in
+    let sta = Sta.analyze model ~delays ~deadline:target in
+    if sta.critical_path <= target then finished := true
+    else begin
+      let crit = Sta.critical_vertices ~eps:(1e-7 *. sta.critical_path) sta in
+      (* pick the critical vertex whose step to the next ladder size buys
+         the most total-violation reduction *)
+      let violation () =
+        let delays = Delay_model.delays model x in
+        let at = Sta.arrivals model ~delays in
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun i s -> if s then acc := !acc +. max 0.0 (at.(i) +. delays.(i) -. target))
+          model.Delay_model.is_sink;
+        !acc
+      in
+      let base = violation () in
+      let best = ref (-1) and best_v = ref base in
+      List.iter
+        (fun i ->
+          match next_step x.(i) with
+          | None -> ()
+          | Some nx ->
+            let old = x.(i) in
+            x.(i) <- nx;
+            let v = violation () in
+            x.(i) <- old;
+            if v < !best_v -. 1e-9 then begin
+              best_v := v;
+              best := i
+            end)
+        crit;
+      if !best < 0 then finished := true
+      else begin
+        x.(!best) <- Option.get (next_step x.(!best));
+        incr bumps
+      end
+    end
+  done;
+  let delays = Delay_model.delays model x in
+  let cp = Sta.critical_path_only model ~delays in
+  let area = Delay_model.area model x in
+  { sizes = x;
+    area;
+    cp;
+    met = cp <= target *. (1.0 +. 1e-9);
+    area_penalty_pct =
+      (if continuous_area > 0.0 then 100.0 *. (area -. continuous_area) /. continuous_area
+       else 0.0);
+    repair_bumps = !bumps }

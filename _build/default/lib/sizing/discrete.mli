@@ -1,0 +1,37 @@
+(** Discretization of continuous sizing solutions.
+
+    Real cell libraries offer a finite ladder of drive strengths; the
+    continuous optimum of the D/W iteration must be snapped to it. Rounding
+    *up* preserves every vertex's own delay budget but increases the load
+    it presents upstream, so feasibility can still break; this module snaps
+    and then repairs greedily, reporting the area penalty attributable to
+    the grid. The `ablate` bench sweeps grid ratios — the classic result
+    (penalty shrinking quickly as the ladder refines, e.g. from x2 steps to
+    x1.26 steps) falls out. *)
+
+type grid = float list
+(** Available sizes, ascending. *)
+
+val geometric : ratio:float -> min:float -> max:float -> grid
+(** The usual drive ladder: [min, min*ratio, min*ratio^2, ...] up to [max]
+    (with [max] always included). *)
+
+type result = {
+  sizes : float array;
+  area : float;
+  cp : float;
+  met : bool;
+  area_penalty_pct : float;
+      (** area increase over the continuous solution, in percent. *)
+  repair_bumps : int;  (** greedy fixes needed after snapping. *)
+}
+
+val snap_up : grid -> float -> float
+(** Smallest grid size >= the given size (the largest grid size if none). *)
+
+val discretize :
+  Minflo_tech.Delay_model.t ->
+  target:float ->
+  continuous:float array ->
+  grid ->
+  result

@@ -1,0 +1,91 @@
+module Digraph = Minflo_graph.Digraph
+module Delay_model = Minflo_tech.Delay_model
+module Balance = Minflo_timing.Balance
+module Sta = Minflo_timing.Sta
+module Diff_lp = Minflo_flow.Diff_lp
+
+type options = {
+  eta : float;
+  scale : float;
+  solver : [ `Simplex | `Ssp ];
+  balance_mode : [ `Alap | `Asap ];
+}
+
+let default_options =
+  { eta = 0.5; scale = 1.0e4; solver = `Simplex; balance_mode = `Alap }
+
+type outcome = {
+  budgets : float array;
+  delta : float array;
+  objective : float;
+  lp_objective : int;
+}
+
+let solve ?(options = default_options) model ~sizes ~delays ~deadline =
+  let n = Delay_model.num_vertices model in
+  let g = model.Delay_model.graph in
+  let sta = Sta.analyze model ~delays ~deadline in
+  if not (Sta.is_safe ~eps:1e-6 sta) then
+    Error
+      (Printf.sprintf "Dphase: circuit unsafe (CP %.4g > deadline %.4g)"
+         sta.critical_path deadline)
+  else begin
+    let bal = Balance.balance ~mode:options.balance_mode model ~delays ~deadline in
+    let weights = Sensitivity.weights model ~sizes ~delays in
+    (* integerization *)
+    let s = options.scale in
+    let iw =
+      let wmax = Array.fold_left max 1e-30 weights in
+      (* supplies are kept small so cost*flow stays far from overflow *)
+      let ws = 1.0e3 /. wmax in
+      Array.map (fun c -> max 1 (int_of_float (Float.round (c *. ws)))) weights
+    in
+    (* constraint right-hand sides round DOWN (and never below 0): the
+       feasible region only shrinks, so integerization can make the step
+       smaller but never lets a budget exceed the true slack *)
+    let q x = max 0 (int_of_float (floor (x *. s))) in
+    let lp = Diff_lp.create () in
+    let r = Array.init n (fun _ -> Diff_lp.var lp) in
+    let rdmy = Array.init n (fun _ -> Diff_lp.var lp) in
+    let ground = Diff_lp.var lp in
+    (* trust-region bounds on the per-vertex delay change *)
+    for i = 0 to n - 1 do
+      let max_dd = options.eta *. delays.(i) in
+      let head_room = delays.(i) -. (1.02 *. model.Delay_model.a_self.(i)) -. 1e-9 in
+      let min_dd = -.min (options.eta *. delays.(i)) (max 0.0 head_room) in
+      (* r(Dmy i) - r(i) <= MAXdD  and  r(i) - r(Dmy i) <= -MINdD *)
+      Diff_lp.add_le lp rdmy.(i) r.(i) (q max_dd);
+      Diff_lp.add_le lp r.(i) rdmy.(i) (q (-.min_dd));
+      Diff_lp.add_objective lp rdmy.(i) iw.(i);
+      Diff_lp.add_objective lp r.(i) (-iw.(i))
+    done;
+    (* causality: displaced FSDUs on real edges stay non-negative *)
+    Digraph.iter_edges g (fun e ->
+        let i = Digraph.src g e and j = Digraph.dst g e in
+        (* FSDU_e + r(j) - r(Dmy i) >= 0 *)
+        Diff_lp.add_le lp rdmy.(i) r.(j) (q bal.edge_fsdu.(e)));
+    (* virtual input edges (ground -> source) and output edges
+       (sink -> ground), with ground pinned: Corollary 1 *)
+    for i = 0 to n - 1 do
+      if Digraph.in_degree g i = 0 then
+        Diff_lp.add_le lp ground r.(i) (q bal.source_fsdu.(i));
+      if model.Delay_model.is_sink.(i) then
+        Diff_lp.add_le lp rdmy.(i) ground (q bal.sink_fsdu.(i))
+    done;
+    match Diff_lp.solve ~solver:options.solver lp with
+    | Diff_lp.Infeasible_lp ->
+      Error "Dphase: displacement LP infeasible — balanced FSDUs violated (bug)"
+    | Diff_lp.Unbounded_lp ->
+      Error "Dphase: displacement LP unbounded — trust region missing (bug)"
+    | Diff_lp.Solution { values; objective = lp_objective } ->
+      let delta =
+        Array.init n (fun i ->
+            float_of_int (values.(rdmy.(i)) - values.(r.(i))) /. s)
+      in
+      let budgets = Array.init n (fun i -> delays.(i) +. delta.(i)) in
+      let objective =
+        Array.fold_left ( +. ) 0.0
+          (Array.init n (fun i -> weights.(i) *. delta.(i)))
+      in
+      Ok { budgets; delta; objective; lp_objective }
+  end

@@ -1,0 +1,45 @@
+(** The D-phase: delay-budget redistribution by min-cost flow (Eq. 10).
+
+    Sizes are held fixed. Slack is materialized as FSDUs by delay balancing,
+    then redistributed by an FSDU displacement [r] chosen to maximize
+    [sum_i C_i (r(Dmy(i)) - r(i))] — the first-order area decrease — subject
+    to per-vertex bounds on the delay change and non-negativity of every
+    displaced FSDU. The LP is a difference-constraint system, i.e. the dual
+    of a min-cost network flow; it is integerized by scaling (the paper's
+    power-of-10 trick) and solved with the network simplex, whose optimal
+    node potentials are exactly [r]. *)
+
+type options = {
+  eta : float;
+      (** trust region: [MAXdD(i) = eta * delay(i)], [MINdD(i)] symmetric
+          but floored above the intrinsic delay (Theorem 3's small-step
+          requirement). *)
+  scale : float;  (** delay integerization factor (units per time unit). *)
+  solver : [ `Simplex | `Ssp ];
+  balance_mode : [ `Alap | `Asap ];
+      (** which balanced configuration seeds the displacement; Theorem 1
+          says the optimum is the same, making this a pure ablation knob. *)
+}
+
+val default_options : options
+
+type outcome = {
+  budgets : float array;   (** new per-vertex delay budgets. *)
+  delta : float array;     (** [dD_i = budgets_i - delays_i]. *)
+  objective : float;       (** predicted first-order area decrease. *)
+  lp_objective : int;
+      (** the exact optimum of the integerized LP — identical across
+          solvers even when integer ties make [objective] differ in the
+          last float digits. *)
+}
+
+val solve :
+  ?options:options ->
+  Minflo_tech.Delay_model.t ->
+  sizes:float array ->
+  delays:float array ->
+  deadline:float ->
+  (outcome, string) result
+(** [Error] if the circuit is unsafe for the deadline or the LP turns out
+    infeasible (which Theorem 2 rules out for safe inputs — it would
+    indicate a bug, and the message says so). *)

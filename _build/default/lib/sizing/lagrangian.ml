@@ -1,0 +1,193 @@
+module Digraph = Minflo_graph.Digraph
+module Topo = Minflo_graph.Topo
+module Delay_model = Minflo_tech.Delay_model
+module Sta = Minflo_timing.Sta
+
+type options = {
+  iterations : int;
+  inner_sweeps : int;
+  temperature : float; (* subgradient step, relative to a mean stage delay *)
+}
+
+let default_options = { iterations = 40; inner_sweeps = 4; temperature = 0.5 }
+
+type result = {
+  sizes : float array;
+  area : float;
+  cp : float;
+  met : bool;
+  outer_iterations : int;
+}
+
+(* Multiplier state: one lambda per timing edge plus one virtual "deadline
+   edge" per sink (the a_i + d_i <= T constraint). The KKT stationarity of
+   the arrival variables demands flow conservation,
+   inflow(v) = outflow(v) for every non-source vertex, where outflow counts
+   the virtual edge. mu_i (the price of vertex i's delay) is outflow(i). *)
+type multipliers = {
+  edge : float array;  (* per Digraph edge id *)
+  sink : float array;  (* per vertex; only sinks meaningful *)
+}
+
+let conserve model lam =
+  let g = model.Delay_model.graph in
+  let order = Topo.sort g in
+  Array.iter
+    (fun v ->
+      let inflow =
+        List.fold_left (fun acc e -> acc +. lam.edge.(e)) 0.0 (Digraph.in_edges g v)
+      in
+      if Digraph.in_degree g v > 0 then begin
+        let outflow =
+          List.fold_left (fun acc e -> acc +. lam.edge.(e)) lam.sink.(v)
+            (Digraph.out_edges g v)
+        in
+        if outflow > 0.0 then begin
+          let s = inflow /. outflow in
+          List.iter (fun e -> lam.edge.(e) <- lam.edge.(e) *. s) (Digraph.out_edges g v);
+          lam.sink.(v) <- lam.sink.(v) *. s
+        end
+      end)
+    order
+
+let mu_of model lam =
+  let g = model.Delay_model.graph in
+  Array.init (Delay_model.num_vertices model) (fun v ->
+      List.fold_left (fun acc e -> acc +. lam.edge.(e)) lam.sink.(v)
+        (Digraph.out_edges g v))
+
+(* Coordinate descent on L(x) = sum_i w_i x_i + mu_i d_i(x): the stationary
+   point of x_i balances its own area + the load it presents to its fanins
+   against the 1/x_i term it scales. *)
+let size_subproblem options model ~mu x =
+  let n = Delay_model.num_vertices model in
+  let loaders = Array.make n [] in
+  Array.iteri
+    (fun k coeffs ->
+      Array.iter (fun (j, a) -> loaders.(j) <- (k, a) :: loaders.(j)) coeffs)
+    model.Delay_model.a_coeffs;
+  for _ = 1 to options.inner_sweeps do
+    for i = 0 to n - 1 do
+      let load = ref model.Delay_model.b.(i) in
+      Array.iter (fun (j, a) -> load := !load +. (a *. x.(j))) model.Delay_model.a_coeffs.(i);
+      let denom = ref model.Delay_model.area_weight.(i) in
+      List.iter (fun (k, a) -> denom := !denom +. (mu.(k) *. a /. x.(k))) loaders.(i);
+      let xi = sqrt (mu.(i) *. !load /. !denom) in
+      x.(i) <- min model.Delay_model.max_size (max model.Delay_model.min_size xi)
+    done
+  done
+
+let size ?(options = default_options) model ~target =
+  let seed = Tilos.size model ~target in
+  if not seed.met then
+    { sizes = seed.sizes;
+      area = seed.area;
+      cp = seed.final_cp;
+      met = false;
+      outer_iterations = 0 }
+  else begin
+    let g = model.Delay_model.graph in
+    let n = Delay_model.num_vertices model in
+    let lam =
+      { edge = Array.make (Digraph.edge_count g) 1.0;
+        sink =
+          Array.init n (fun v -> if model.Delay_model.is_sink.(v) then 1.0 else 0.0) }
+    in
+    let x = Array.copy seed.sizes in
+    let best = ref (Array.copy seed.sizes) in
+    let best_area = ref seed.area in
+    let outer = ref 0 in
+    for _ = 1 to options.iterations do
+      incr outer;
+      conserve model lam;
+      let mu0 = mu_of model lam in
+      (* global multiplier scale: bisect so the subproblem solution lands
+         at the deadline (CP is monotone decreasing in the scale) *)
+      let try_scale s =
+        let trial = Array.copy x in
+        size_subproblem options model ~mu:(Array.map (fun m -> m *. s) mu0) trial;
+        let cp = Sta.critical_path_only model ~delays:(Delay_model.delays model trial) in
+        (trial, cp)
+      in
+      let lo = ref 1e-9 and hi = ref 1e-9 in
+      let found = ref None in
+      let closest = ref None in
+      (try
+         for _ = 1 to 120 do
+           let trial, cp = try_scale !hi in
+           (match !closest with
+           | Some (_, best_cp) when best_cp <= cp -> ()
+           | _ -> closest := Some (trial, cp));
+           if cp <= target then begin
+             found := Some trial;
+             raise Exit
+           end;
+           lo := !hi;
+           hi := !hi *. 2.0
+         done
+       with Exit -> ());
+      (match !found with
+      | None -> ()
+      | Some _ ->
+        for _ = 1 to 20 do
+          let mid = sqrt (!lo *. !hi) in
+          let trial, cp = try_scale mid in
+          if cp <= target then begin
+            hi := mid;
+            found := Some trial
+          end
+          else lo := mid
+        done);
+      (* when no scale is outright feasible (CP is not monotone once sizes
+         saturate), repair the closest trial greedily *)
+      (match !found, !closest with
+      | None, Some (trial, _) ->
+        let repaired = Tilos.size ~init:trial model ~target in
+        if repaired.met then found := Some repaired.sizes
+      | _ -> ());
+      (match !found with
+      | None -> ()
+      | Some trial ->
+        (* exact minimum-area polish at the trial's own delay budgets *)
+        let polished =
+          match Wphase.solve model ~budgets:(Delay_model.delays model trial) with
+          | Ok w when w.feasible -> w.sizes
+          | _ -> trial
+        in
+        let cp = Sta.critical_path_only model ~delays:(Delay_model.delays model polished) in
+        if cp <= target *. (1.0 +. 1e-9) then begin
+          let area = Delay_model.area model polished in
+          if area < !best_area then begin
+            best_area := area;
+            best := Array.copy polished
+          end
+        end;
+        Array.blit polished 0 x 0 n);
+      (* subgradient step on the current x: tight edges gain weight *)
+      let delays = Delay_model.delays model x in
+      let sta = Sta.analyze model ~delays ~deadline:target in
+      let mean_delay = Array.fold_left ( +. ) 0.0 delays /. float_of_int n in
+      let step = options.temperature in
+      let bump slack =
+        (* negative slack = violated/tight: grow; generous slack: shrink *)
+        exp (step *. (-.slack) /. (mean_delay +. 1e-30))
+      in
+      Digraph.iter_edges g (fun e ->
+          let i = Digraph.src g e and j = Digraph.dst g e in
+          let slack = sta.Sta.required.(j) -. sta.Sta.arrival.(i) -. delays.(i) in
+          lam.edge.(e) <- max 1e-12 (lam.edge.(e) *. min 8.0 (bump slack)));
+      Array.iteri
+        (fun v s ->
+          if s then begin
+            let slack = target -. (sta.Sta.arrival.(v) +. delays.(v)) in
+            lam.sink.(v) <- max 1e-12 (lam.sink.(v) *. min 8.0 (bump slack))
+          end)
+        model.Delay_model.is_sink
+    done;
+    let delays = Delay_model.delays model !best in
+    { sizes = !best;
+      area = !best_area;
+      cp = Sta.critical_path_only model ~delays;
+      met = true;
+      outer_iterations = !outer }
+  end

@@ -1,0 +1,134 @@
+module Delay_model = Minflo_tech.Delay_model
+module Sta = Minflo_timing.Sta
+
+let log_src = Logs.Src.create "minflotransit" ~doc:"MINFLOTRANSIT driver"
+
+module Log = (val Logs.src_log log_src)
+
+type options = {
+  eta0 : float;
+  eta_shrink : float;
+  eta_min : float;
+  max_iterations : int;
+  rel_tol : float;
+  solver : [ `Simplex | `Ssp ];
+  tilos_bump : float;
+}
+
+let default_options =
+  { eta0 = 0.5;
+    eta_shrink = 0.5;
+    eta_min = 1e-3;
+    max_iterations = 100;
+    rel_tol = 1e-4;
+    solver = `Simplex;
+    tilos_bump = 1.1 }
+
+type iteration = {
+  iter : int;
+  area : float;
+  cp : float;
+  eta : float;
+  predicted_gain : float;
+}
+
+type result = {
+  sizes : float array;
+  area : float;
+  cp : float;
+  met : bool;
+  iterations : int;
+  trace : iteration list;
+  tilos : Tilos.result;
+  area_saving_pct : float;
+}
+
+let refine_from ?(options = default_options) model ~target ~init ~tilos =
+  let x = ref (Array.copy init) in
+  let area = ref (Delay_model.area model !x) in
+  let eta = ref options.eta0 in
+  let trace = ref [] in
+  let iters = ref 0 in
+  let continue = ref true in
+  while !continue && !iters < options.max_iterations && !eta >= options.eta_min do
+    let delays = Delay_model.delays model !x in
+    let dopts = { Dphase.default_options with eta = !eta; solver = options.solver } in
+    let step =
+      match Dphase.solve ~options:dopts model ~sizes:!x ~delays ~deadline:target with
+      | Error e ->
+        Log.warn (fun m -> m "D-phase failed: %s" e);
+        None
+      | Ok dres -> (
+        match Wphase.solve model ~budgets:dres.budgets with
+        | Error e ->
+          Log.warn (fun m -> m "W-phase failed: %s" e);
+          None
+        | Ok wres ->
+          if not wres.feasible then None
+          else begin
+            let delays' = Delay_model.delays model wres.sizes in
+            let cp' = Sta.critical_path_only model ~delays:delays' in
+            if cp' > target *. (1.0 +. 1e-9) then None
+            else Some (wres.sizes, Delay_model.area model wres.sizes, cp', dres.objective)
+          end)
+    in
+    match step with
+    | Some (x', area', cp', predicted) when area' < !area *. (1.0 -. options.rel_tol) ->
+      incr iters;
+      x := x';
+      area := area';
+      trace :=
+        { iter = !iters; area = area'; cp = cp'; eta = !eta; predicted_gain = predicted }
+        :: !trace;
+      Log.debug (fun m -> m "iter %d: area %.1f cp %.4g eta %.3g" !iters area' cp' !eta)
+    | Some (x', area', cp', _) when area' < !area ->
+      (* small improvement: take it, then tighten the trust region *)
+      incr iters;
+      x := x';
+      area := area';
+      eta := !eta *. options.eta_shrink;
+      trace :=
+        { iter = !iters; area = area'; cp = cp'; eta = !eta; predicted_gain = 0.0 }
+        :: !trace;
+      if !eta < options.eta_min then continue := false
+    | _ ->
+      (* no improvement at this trust region *)
+      eta := !eta *. options.eta_shrink
+  done;
+  let delays = Delay_model.delays model !x in
+  let cp = Sta.critical_path_only model ~delays in
+  let tilos_area = (tilos : Tilos.result).area in
+  { sizes = !x;
+    area = !area;
+    cp;
+    met = cp <= target *. (1.0 +. 1e-9);
+    iterations = !iters;
+    trace = List.rev !trace;
+    tilos;
+    area_saving_pct =
+      (if tilos_area > 0.0 then 100.0 *. (tilos_area -. !area) /. tilos_area else 0.0) }
+
+let optimize ?(options = default_options) model ~target =
+  let tilos = Tilos.size ~bump:options.tilos_bump model ~target in
+  if not tilos.met then
+    { sizes = tilos.sizes;
+      area = tilos.area;
+      cp = tilos.final_cp;
+      met = false;
+      iterations = 0;
+      trace = [];
+      tilos;
+      area_saving_pct = 0.0 }
+  else refine_from ~options model ~target ~init:tilos.sizes ~tilos
+
+let refine ?(options = default_options) model ~target ~init =
+  let delays = Delay_model.delays model init in
+  let cp = Sta.critical_path_only model ~delays in
+  let pseudo_tilos =
+    { Tilos.sizes = init;
+      met = cp <= target *. (1.0 +. 1e-9);
+      bumps = 0;
+      final_cp = cp;
+      area = Delay_model.area model init }
+  in
+  refine_from ~options model ~target ~init ~tilos:pseudo_tilos

@@ -1,0 +1,66 @@
+(** MINFLOTRANSIT: the complete iterative-relaxation sizing tool
+    (Section 2.4).
+
+    1. Seed with a TILOS solution meeting the delay target.
+    2. Alternate D-phase (redistribute delay budgets by min-cost flow) and
+       W-phase (minimum sizes for those budgets) — each iteration is
+       feasible and the area is non-increasing.
+    3. Stop when the area improvement becomes negligible.
+
+    The trust region [eta] bounds each D-phase's delay changes (Theorem 3's
+    small-step condition); when an iteration fails to improve, [eta]
+    shrinks geometrically before giving up. *)
+
+type options = {
+  eta0 : float;          (** initial trust region (default 0.5). *)
+  eta_shrink : float;    (** multiplicative shrink on stall (default 0.5). *)
+  eta_min : float;       (** stop once eta falls below this (default 1e-3). *)
+  max_iterations : int;  (** hard cap (default 100; paper: "a few tens"). *)
+  rel_tol : float;       (** relative area improvement considered negligible. *)
+  solver : [ `Simplex | `Ssp ];
+  tilos_bump : float;
+}
+
+val default_options : options
+
+type iteration = {
+  iter : int;
+  area : float;
+  cp : float;
+  eta : float;
+  predicted_gain : float;  (** D-phase first-order objective. *)
+}
+
+type result = {
+  sizes : float array;
+  area : float;
+  cp : float;
+  met : bool;
+  iterations : int;
+  trace : iteration list;        (** per accepted iteration. *)
+  tilos : Tilos.result;          (** the seed solution. *)
+  area_saving_pct : float;       (** area saving over the TILOS seed, %. *)
+}
+
+val optimize :
+  ?options:options -> Minflo_tech.Delay_model.t -> target:float -> result
+(** Runs TILOS then the D/W iteration. [met = false] when even TILOS cannot
+    reach the target (the returned sizes are then the TILOS attempt). *)
+
+val refine :
+  ?options:options ->
+  Minflo_tech.Delay_model.t ->
+  target:float ->
+  init:float array ->
+  result
+(** The D/W iteration from a caller-supplied feasible sizing. *)
+
+val refine_from :
+  ?options:options ->
+  Minflo_tech.Delay_model.t ->
+  target:float ->
+  init:float array ->
+  tilos:Tilos.result ->
+  result
+(** Like {!refine} but records the given TILOS result as the baseline that
+    [area_saving_pct] is measured against. *)

@@ -1,0 +1,41 @@
+module Delay_model = Minflo_tech.Delay_model
+
+let weights model ~sizes ~delays =
+  let n = Delay_model.num_vertices model in
+  (* reverse coefficient index: incoming.(j) = [(i, a_ij)] *)
+  let incoming = Array.make n [] in
+  Array.iteri
+    (fun i coeffs ->
+      Array.iter (fun (j, a) -> incoming.(j) <- (i, a) :: incoming.(j)) coeffs)
+    model.Delay_model.a_coeffs;
+  let diag i =
+    let d = delays.(i) -. model.Delay_model.a_self.(i) in
+    if d <= 1e-12 then
+      invalid_arg
+        (Printf.sprintf "Sensitivity.weights: delay at vertex %d not above intrinsic" i);
+    d
+  in
+  let y = Array.make n 0.0 in
+  let blocks = Delay_model.elimination_blocks model in
+  (* forward elimination order: y_j needs y_i of upstream references, which
+     live in earlier blocks; in-block mutual references iterate locally *)
+  Array.iter
+    (fun block ->
+      let stable = ref false in
+      let rounds = ref 0 in
+      while (not !stable) && !rounds < 500 do
+        stable := true;
+        incr rounds;
+        Array.iter
+          (fun j ->
+            let acc = ref model.Delay_model.area_weight.(j) in
+            List.iter (fun (i, a) -> acc := !acc +. (a *. y.(i))) incoming.(j);
+            let ny = !acc /. diag j in
+            if abs_float (ny -. y.(j)) > 1e-12 *. (1.0 +. abs_float ny) then begin
+              y.(j) <- ny;
+              stable := false
+            end)
+          block
+      done)
+    blocks;
+  Array.init n (fun i -> y.(i) *. sizes.(i))

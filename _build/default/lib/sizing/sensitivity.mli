@@ -1,0 +1,13 @@
+(** The D-phase objective weights (Section 2.3, step 2).
+
+    Linearizing [(D - A) X = B] around the current point gives
+    [dX = -(D - A)^{-1} dD X], so the total weighted area change is
+    [sum_i (-C_i) dD_i] with [C_i = y_i x_i > 0] and [y] solving the
+    transposed triangular system [(D - A)^T y = w] ([w] = area weights).
+    Maximizing [sum C_i dD_i] is therefore the steepest first-order descent
+    direction for area over the delay-budget space. *)
+
+val weights :
+  Minflo_tech.Delay_model.t -> sizes:float array -> delays:float array -> float array
+(** [C_i] per vertex; all strictly positive.
+    @raise Invalid_argument if some [delay <= a_ii] (singular system). *)

@@ -1,0 +1,60 @@
+module Delay_model = Minflo_tech.Delay_model
+module Sta = Minflo_timing.Sta
+
+type point = {
+  factor : float;
+  target : float;
+  tilos_area_ratio : float;
+  minflo_area_ratio : float;
+  saving_pct : float;
+  tilos_met : bool;
+  minflo_met : bool;
+  iterations : int;
+  tilos_seconds : float;
+  minflo_extra_seconds : float;
+}
+
+let dmin model =
+  let x = Delay_model.uniform_sizes model model.Delay_model.min_size in
+  Sta.critical_path_only model ~delays:(Delay_model.delays model x)
+
+let min_area model =
+  Delay_model.area model (Delay_model.uniform_sizes model model.Delay_model.min_size)
+
+let at_factor ?(options = Minflotransit.default_options) model ~factor =
+  let d0 = dmin model in
+  let a0 = min_area model in
+  let target = factor *. d0 in
+  let t0 = Unix.gettimeofday () in
+  let tilos = Tilos.size ~bump:options.tilos_bump model ~target in
+  let t1 = Unix.gettimeofday () in
+  let refined =
+    if tilos.met then
+      Some (Minflotransit.refine_from ~options model ~target ~init:tilos.sizes ~tilos)
+    else None
+  in
+  let t2 = Unix.gettimeofday () in
+  match refined with
+  | None ->
+    { factor; target;
+      tilos_area_ratio = nan;
+      minflo_area_ratio = nan;
+      saving_pct = nan;
+      tilos_met = false;
+      minflo_met = false;
+      iterations = 0;
+      tilos_seconds = t1 -. t0;
+      minflo_extra_seconds = 0.0 }
+  | Some r ->
+    { factor; target;
+      tilos_area_ratio = tilos.area /. a0;
+      minflo_area_ratio = r.area /. a0;
+      saving_pct = r.area_saving_pct;
+      tilos_met = true;
+      minflo_met = r.met;
+      iterations = r.iterations;
+      tilos_seconds = t1 -. t0;
+      minflo_extra_seconds = t2 -. t1 }
+
+let curve ?options model ~factors =
+  List.map (fun factor -> at_factor ?options model ~factor) factors

@@ -1,0 +1,40 @@
+(** Area-delay trade-off harness (Figure 7 and Table 1 of the paper).
+
+    All quantities are normalized the way the paper plots them: delays as a
+    fraction of the minimum-size circuit delay [Dmin], areas as a multiple
+    of the minimum-size circuit area. *)
+
+type point = {
+  factor : float;         (** target / Dmin. *)
+  target : float;
+  tilos_area_ratio : float;    (** TILOS area / min area; [nan] if unmet. *)
+  minflo_area_ratio : float;   (** MINFLOTRANSIT area / min area. *)
+  saving_pct : float;          (** area saving of MINFLOTRANSIT over TILOS. *)
+  tilos_met : bool;
+  minflo_met : bool;
+  iterations : int;
+  tilos_seconds : float;
+  minflo_extra_seconds : float;
+      (** time of the D/W refinement on top of TILOS. *)
+}
+
+val dmin : Minflo_tech.Delay_model.t -> float
+(** Delay of the minimum-size circuit. *)
+
+val min_area : Minflo_tech.Delay_model.t -> float
+
+val at_factor :
+  ?options:Minflotransit.options ->
+  Minflo_tech.Delay_model.t ->
+  factor:float ->
+  point
+(** One Table 1 row: size with TILOS and MINFLOTRANSIT at
+    [target = factor * Dmin], with wall-clock timing. *)
+
+val curve :
+  ?options:Minflotransit.options ->
+  Minflo_tech.Delay_model.t ->
+  factors:float list ->
+  point list
+(** The Figure 7 series. Infeasible factors yield points with
+    [tilos_met = false]. *)

@@ -1,0 +1,134 @@
+module Digraph = Minflo_graph.Digraph
+module Delay_model = Minflo_tech.Delay_model
+module Sta = Minflo_timing.Sta
+module Inc = Minflo_timing.Incremental
+
+type result = {
+  sizes : float array;
+  met : bool;
+  bumps : int;
+  final_cp : float;
+  area : float;
+}
+
+(* Local sensitivity of bumping vertex i: the change in the delay of the
+   critical path segment through i — i's own delay drops, the critical
+   fanin's delay grows because its load grows — per unit of added area.
+   This is the classic TILOS figure of merit. *)
+let sensitivity model eng bump i =
+  let g = model.Delay_model.graph in
+  let old_xi = Inc.size eng i in
+  let new_xi = min (old_xi *. bump) model.Delay_model.max_size in
+  if new_xi <= old_xi then neg_infinity
+  else begin
+    let d_new =
+      (* delay of i with the larger size: only the 1/x_i part shrinks *)
+      let acc = ref model.Delay_model.b.(i) in
+      Array.iter
+        (fun (j, a) -> acc := !acc +. (a *. Inc.size eng j))
+        model.Delay_model.a_coeffs.(i);
+      model.Delay_model.a_self.(i) +. (!acc /. new_xi)
+    in
+    let own_gain = Inc.delay eng i -. d_new in
+    (* critical fanin k: the one realizing AT(i); its delay grows by
+       a_ki * (new_xi - old_xi) / x_k *)
+    let fanin_penalty =
+      match
+        List.fold_left
+          (fun best k ->
+            match best with
+            | Some bk when Inc.finish eng bk >= Inc.finish eng k -> best
+            | _ -> Some k)
+          None (Digraph.pred g i)
+      with
+      | None -> 0.0
+      | Some k ->
+        let a_ki =
+          Array.fold_left
+            (fun acc (j, a) -> if j = i then acc +. a else acc)
+            0.0 model.Delay_model.a_coeffs.(k)
+        in
+        a_ki *. (new_xi -. old_xi) /. Inc.size eng k
+    in
+    let darea = model.Delay_model.area_weight.(i) *. (new_xi -. old_xi) in
+    (own_gain -. fanin_penalty) /. darea
+  end
+
+let size ?(bump = 1.1) ?(max_bumps = 2_000_000) ?init model ~target =
+  let n = Delay_model.num_vertices model in
+  let start =
+    match init with
+    | None -> Delay_model.uniform_sizes model model.Delay_model.min_size
+    | Some x0 ->
+      if Array.length x0 <> n then invalid_arg "Tilos.size: wrong init length";
+      Array.map
+        (fun v -> min model.Delay_model.max_size (max model.Delay_model.min_size v))
+        x0
+  in
+  let eng = Inc.create model ~sizes:start in
+  let bumps = ref 0 in
+  let finished = ref false in
+  let met = ref false in
+  while not !finished do
+    if Inc.critical_path eng <= target then begin
+      met := true;
+      finished := true
+    end
+    else if !bumps >= max_bumps then finished := true
+    else begin
+      (* candidates: vertices on a maximal-finish path, via the incremental
+         engine's tight-edge backtrace *)
+      let crit = Inc.critical_set ~eps_rel:1e-7 eng in
+      let best = ref (-1) and best_s = ref 0.0 in
+      List.iter
+        (fun i ->
+          let s = sensitivity model eng bump i in
+          if s > !best_s then begin
+            best_s := s;
+            best := i
+          end)
+        crit;
+      (* The local estimate can be blind when parallel paths tie or loads
+         are shared; before giving up, evaluate candidates exactly (trial
+         bump, measure total sink violation, roll back) and take the best
+         strict decrease — a global merit that still makes progress when
+         the max itself is pinned by a tied path. *)
+      if !best < 0 then begin
+        let base = Inc.total_violation eng ~target in
+        let best_v = ref base in
+        List.iter
+          (fun i ->
+            let old_xi = Inc.size eng i in
+            let new_xi = min (old_xi *. bump) model.Delay_model.max_size in
+            if new_xi > old_xi then begin
+              Inc.set_size eng i new_xi;
+              let v = Inc.total_violation eng ~target in
+              Inc.set_size eng i old_xi;
+              if v < !best_v -. 1e-9 then begin
+                best_v := v;
+                best := i
+              end
+            end)
+          crit
+      end;
+      if !best < 0 then
+        (* no critical vertex improves the path: greedy is stuck *)
+        finished := true
+      else begin
+        Inc.set_size eng !best (min (Inc.size eng !best *. bump) model.Delay_model.max_size);
+        incr bumps
+      end
+    end
+  done;
+  let x = Inc.sizes eng in
+  let delays = Delay_model.delays model x in
+  { sizes = x;
+    met = !met;
+    bumps = !bumps;
+    final_cp = Sta.critical_path_only model ~delays;
+    area = Delay_model.area model x }
+
+let minimum_delay ?(bump = 1.1) ?(max_bumps = 2_000_000) model =
+  (* drive the target to zero: TILOS stops when no bump helps; the CP
+     reached is (greedily) minimal *)
+  (size ~bump ~max_bumps model ~target:0.0).final_cp

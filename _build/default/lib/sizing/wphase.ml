@@ -1,0 +1,69 @@
+module Delay_model = Minflo_tech.Delay_model
+
+type result = {
+  sizes : float array;
+  feasible : bool;
+  violated : int list;
+  sweeps : int;
+}
+
+let solve model ~budgets =
+  let n = Delay_model.num_vertices model in
+  if Array.length budgets <> n then Error "Wphase: wrong budget vector length"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i d ->
+        if d <= model.Delay_model.a_self.(i) +. 1e-12 then
+          bad :=
+            Some
+              (Printf.sprintf
+                 "Wphase: budget %g at vertex %d (%s) is below the intrinsic delay %g" d i
+                 model.Delay_model.labels.(i) model.Delay_model.a_self.(i)))
+      budgets;
+    match !bad with
+    | Some e -> Error e
+    | None ->
+      let blocks = Delay_model.elimination_blocks model in
+      let x = Array.make n model.Delay_model.min_size in
+      let required i =
+        let acc = ref model.Delay_model.b.(i) in
+        Array.iter
+          (fun (j, a) -> acc := !acc +. (a *. x.(j)))
+          model.Delay_model.a_coeffs.(i);
+        !acc /. (budgets.(i) -. model.Delay_model.a_self.(i))
+      in
+      let tol = 1e-9 in
+      let sweeps = ref 0 in
+      (* one pass over the blocks in reverse elimination order: every x_j a
+         vertex depends on lives in a later block and is already final;
+         within a block the inner loop iterates the local fixpoint (needed
+         only for parallel transistor networks) *)
+      for bi = Array.length blocks - 1 downto 0 do
+        let block = blocks.(bi) in
+        let local = ref true in
+        let rounds = ref 0 in
+        while !local && !rounds < 500 do
+          local := false;
+          incr rounds;
+          Array.iter
+            (fun i ->
+              let r = required i in
+              let nx =
+                min model.Delay_model.max_size (max model.Delay_model.min_size r)
+              in
+              if nx > x.(i) +. tol then begin
+                x.(i) <- nx;
+                local := true
+              end)
+            block
+        done;
+        sweeps := max !sweeps !rounds
+      done;
+      let violated = ref [] in
+      Array.iteri
+        (fun i _ ->
+          if required i > x.(i) +. 1e-6 then violated := i :: !violated)
+        x;
+      Ok { sizes = x; feasible = !violated = []; violated = List.rev !violated; sweeps = !sweeps }
+  end

@@ -1,0 +1,26 @@
+(** The W-phase: minimum sizes meeting fixed delay budgets (Section 2.3.2).
+
+    With budgets [d_i] fixed, the constraints
+
+    {v x_i >= (b_i + sum_{j<>i} a_ij x_j) / (d_i - a_ii),   min <= x_i <= max v}
+
+    form a Simple Monotonic Program: right-hand sides are monotone
+    increasing in the other sizes, so the least fixpoint exists and
+    simultaneously minimizes every [x_i] — hence any positively-weighted
+    area objective. We compute it by relaxation sweeps over the blocks in
+    reverse elimination order; on a strictly triangular instance (gate
+    sizing) one sweep is exact, matching the paper's [O(|V||E|)] bound. *)
+
+type result = {
+  sizes : float array;
+  feasible : bool;
+      (** false when some budget forces a size above [max_size] (sizes are
+          then clamped and the corresponding delays exceed their budgets) *)
+  violated : int list;  (** vertices whose budget could not be met *)
+  sweeps : int;
+}
+
+val solve :
+  Minflo_tech.Delay_model.t -> budgets:float array -> (result, string) Stdlib.result
+(** [Error] when some budget is at or below the intrinsic delay [a_ii]
+    (no size can achieve it). *)

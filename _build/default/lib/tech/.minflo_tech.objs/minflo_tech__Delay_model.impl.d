@@ -1,0 +1,1 @@
+lib/tech/delay_model.ml: Array Fun Hashtbl Minflo_graph Printf

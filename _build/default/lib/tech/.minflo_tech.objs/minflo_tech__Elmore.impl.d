@@ -1,0 +1,1 @@
+lib/tech/elmore.ml: Array Delay_model Fun Gate_model Hashtbl List Minflo_graph Minflo_netlist Option Seq Tech

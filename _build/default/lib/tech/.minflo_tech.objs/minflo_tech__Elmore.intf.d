@@ -1,0 +1,1 @@
+lib/tech/elmore.mli: Delay_model Gate_model Hashtbl Minflo_netlist Tech

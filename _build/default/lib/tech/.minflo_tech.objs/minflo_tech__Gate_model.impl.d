@@ -1,0 +1,1 @@
+lib/tech/gate_model.ml: Minflo_netlist Tech

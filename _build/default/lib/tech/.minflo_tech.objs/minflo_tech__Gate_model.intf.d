@@ -1,0 +1,1 @@
+lib/tech/gate_model.mli: Minflo_netlist Tech

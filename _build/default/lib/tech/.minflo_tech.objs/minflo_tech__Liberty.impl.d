@@ -1,0 +1,1 @@
+lib/tech/liberty.ml: Buffer Float Fun Gate_model List Minflo_netlist Option Printf String Tech

@@ -1,0 +1,1 @@
+lib/tech/liberty.mli: Gate_model Minflo_netlist Tech

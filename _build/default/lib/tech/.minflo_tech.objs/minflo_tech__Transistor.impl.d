@@ -1,0 +1,1 @@
+lib/tech/transistor.ml: Array Delay_model Hashtbl List Minflo_graph Minflo_netlist Option Printf Tech

@@ -1,0 +1,1 @@
+lib/tech/transistor.mli: Delay_model Minflo_netlist Tech

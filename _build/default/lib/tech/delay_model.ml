@@ -1,0 +1,115 @@
+module Digraph = Minflo_graph.Digraph
+module Topo = Minflo_graph.Topo
+
+type t = {
+  graph : Digraph.t;
+  a_self : float array;
+  a_coeffs : (int * float) array array;
+  b : float array;
+  area_weight : float array;
+  is_sink : bool array;
+  block : int array;
+  labels : string array;
+  min_size : float;
+  max_size : float;
+}
+
+let num_vertices t = Digraph.node_count t.graph
+
+let delay t x i =
+  let acc = ref t.b.(i) in
+  Array.iter (fun (j, a) -> acc := !acc +. (a *. x.(j))) t.a_coeffs.(i);
+  t.a_self.(i) +. (!acc /. x.(i))
+
+let delays t x = Array.init (num_vertices t) (delay t x)
+
+let area t x =
+  let acc = ref 0.0 in
+  Array.iteri (fun i w -> acc := !acc +. (w *. x.(i))) t.area_weight;
+  !acc
+
+let uniform_sizes t s = Array.make (num_vertices t) s
+
+let rec validate t =
+  let n = num_vertices t in
+  let check_len name len =
+    if len <> n then invalid_arg (Printf.sprintf "Delay_model: %s length %d <> %d" name len n)
+  in
+  check_len "a_self" (Array.length t.a_self);
+  check_len "a_coeffs" (Array.length t.a_coeffs);
+  check_len "b" (Array.length t.b);
+  check_len "area_weight" (Array.length t.area_weight);
+  check_len "is_sink" (Array.length t.is_sink);
+  check_len "block" (Array.length t.block);
+  check_len "labels" (Array.length t.labels);
+  if not (Topo.is_dag t.graph) then invalid_arg "Delay_model: graph has a cycle";
+  if t.min_size <= 0.0 || t.max_size < t.min_size then
+    invalid_arg "Delay_model: bad size bounds";
+  if not (Array.exists Fun.id t.is_sink) then invalid_arg "Delay_model: no sink vertex";
+  Array.iteri
+    (fun i coeffs ->
+      if t.a_self.(i) < 0.0 || t.b.(i) < 0.0 then
+        invalid_arg (Printf.sprintf "Delay_model: negative coefficient at vertex %d" i);
+      Array.iter
+        (fun (j, a) ->
+          if a < 0.0 then
+            invalid_arg (Printf.sprintf "Delay_model: negative a[%d][%d]" i j);
+          if j = i then
+            invalid_arg (Printf.sprintf "Delay_model: self coefficient %d in a_coeffs" i))
+        coeffs)
+    t.a_coeffs;
+  (* block upper-triangularity: the block quotient of (graph union
+     coefficient dependencies) must be acyclic *)
+  ignore (elimination_blocks t)
+
+and elimination_blocks t =
+  let n = num_vertices t in
+  (* compress block ids *)
+  let block_id = Hashtbl.create 64 in
+  let nblocks = ref 0 in
+  let bid v =
+    let b = t.block.(v) in
+    match Hashtbl.find_opt block_id b with
+    | Some id -> id
+    | None ->
+      let id = !nblocks in
+      Hashtbl.add block_id b id;
+      incr nblocks;
+      id
+  in
+  let vb = Array.init n bid in
+  let q = Digraph.create ~nodes_hint:!nblocks () in
+  ignore (Digraph.add_nodes q !nblocks);
+  let edge_seen = Hashtbl.create 256 in
+  let add_q u v =
+    if u <> v && not (Hashtbl.mem edge_seen (u, v)) then begin
+      Hashtbl.add edge_seen (u, v) ();
+      ignore (Digraph.add_edge q u v)
+    end
+  in
+  Digraph.iter_edges t.graph (fun e ->
+      add_q vb.(Digraph.src t.graph e) vb.(Digraph.dst t.graph e));
+  Array.iteri (fun i coeffs -> Array.iter (fun (j, _) -> add_q vb.(i) vb.(j)) coeffs) t.a_coeffs;
+  let order =
+    match Topo.sort_opt q with
+    | Some o -> o
+    | None ->
+      invalid_arg "Delay_model: coefficient structure is not block upper triangular"
+  in
+  let members = Array.make !nblocks [] in
+  for v = n - 1 downto 0 do
+    members.(vb.(v)) <- v :: members.(vb.(v))
+  done;
+  Array.map (fun blockv -> Array.of_list members.(blockv)) order
+
+let check_sizes t x =
+  if Array.length x <> num_vertices t then Error "wrong size-vector length"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i xi ->
+        if not (xi >= t.min_size && xi <= t.max_size) then
+          bad := Some (Printf.sprintf "x[%d] = %g out of [%g, %g]" i xi t.min_size t.max_size))
+      x;
+    match !bad with Some e -> Error e | None -> Ok ()
+  end

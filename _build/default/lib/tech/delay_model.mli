@@ -1,0 +1,60 @@
+(** The sizing problem in the paper's canonical coefficient form.
+
+    Every vertex [i] of the timing DAG carries a size variable [x_i] and a
+    delay that admits the simple monotonic decomposition of Definition 1/2:
+
+    {v delay_i(x) * x_i = a_ii * x_i + sum_{j<>i} a_ij * x_j + b_i v}
+
+    equivalently [delay_i = a_self_i + (sum a_ij x_j + b_i) / x_i], with all
+    coefficients non-negative and every [j] with [a_ij <> 0] strictly
+    downstream of [i] — the (block) upper-triangular structure of (D - A)
+    from Section 2.3. Both the gate-sizing instance ({!Elmore}) and the
+    transistor-sizing instance ({!Transistor}) produce this type; STA, the
+    D-phase, the W-phase and TILOS all consume it, so the whole optimizer is
+    agnostic to which sizing granularity is in effect. *)
+
+type t = {
+  graph : Minflo_graph.Digraph.t;
+      (** signal-flow DAG over the sized vertices. *)
+  a_self : float array;      (** [a_ii]: size-independent intrinsic delay. *)
+  a_coeffs : (int * float) array array;
+      (** per vertex, the [(j, a_ij)] pairs with [j <> i]. *)
+  b : float array;           (** fixed load term per vertex. *)
+  area_weight : float array; (** objective weight of [x_i] (device count). *)
+  is_sink : bool array;      (** vertex constrained by the timing spec [T]. *)
+  block : int array;
+      (** block id per vertex ((D - A) is *block* upper triangular: gate
+          sizing has one vertex per block; transistor sizing groups the
+          transistors of a gate, whose parallel devices are mutually
+          incomparable, into one block). *)
+  labels : string array;
+  min_size : float;
+  max_size : float;
+}
+
+val num_vertices : t -> int
+
+val delay : t -> float array -> int -> float
+(** [delay m x i]: Elmore delay of vertex [i] under sizes [x]. *)
+
+val delays : t -> float array -> float array
+
+val area : t -> float array -> float
+(** Weighted area [sum w_i * x_i]. *)
+
+val uniform_sizes : t -> float -> float array
+
+val elimination_blocks : t -> int array array
+(** The blocks (vertex groups) in topological order of the block-quotient of
+    the union of the timing graph and the coefficient dependencies — the
+    order in which backward substitution on [(D - A) X = B] proceeds
+    (Section 2.3). @raise Invalid_argument if the quotient has a cycle,
+    i.e. the model is not block upper triangular. *)
+
+val validate : t -> unit
+(** Checks coefficient non-negativity, block upper-triangularity (via
+    {!elimination_blocks}), DAG-ness of the timing graph, and at least one
+    sink. @raise Invalid_argument on violation. *)
+
+val check_sizes : t -> float array -> (unit, string) result
+(** Bounds check for a candidate sizing vector. *)

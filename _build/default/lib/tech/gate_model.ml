@@ -1,0 +1,41 @@
+module Gate = Minflo_netlist.Gate
+
+type t = {
+  r_drive : float;
+  c_input : float;
+  c_parasitic : float;
+  transistors : int;
+}
+
+let of_gate (tech : Tech.t) kind ~arity =
+  let n = arity in
+  let inv_r = max tech.r_n (tech.r_p /. tech.p_ratio) in
+  (* series stacks: k devices in series k-uples the resistance; the parallel
+     network contributes its single worst device *)
+  let nand_r k = max (float_of_int k *. tech.r_n) (tech.r_p /. tech.p_ratio) in
+  let nor_r k = max tech.r_n (float_of_int k *. tech.r_p /. tech.p_ratio) in
+  let pin_c = tech.c_gate *. (1.0 +. tech.p_ratio) in
+  let out_c stack = tech.c_drain *. (1.0 +. tech.p_ratio) *. stack in
+  match kind with
+  | Gate.Not ->
+    { r_drive = inv_r; c_input = pin_c; c_parasitic = out_c 1.0; transistors = 2 }
+  | Gate.Buf ->
+    (* two cascaded inverters; drive comes from the second stage *)
+    { r_drive = inv_r; c_input = pin_c; c_parasitic = out_c 1.0; transistors = 4 }
+  | Gate.Nand ->
+    { r_drive = nand_r n; c_input = pin_c; c_parasitic = out_c 1.2; transistors = 2 * n }
+  | Gate.Nor ->
+    { r_drive = nor_r n; c_input = pin_c; c_parasitic = out_c 1.2; transistors = 2 * n }
+  | Gate.And ->
+    (* NAND stage + output inverter: drive of the inverter, pin load of the
+       NAND stage *)
+    { r_drive = inv_r; c_input = pin_c; c_parasitic = out_c 1.0; transistors = (2 * n) + 2 }
+  | Gate.Or ->
+    { r_drive = inv_r; c_input = pin_c; c_parasitic = out_c 1.0; transistors = (2 * n) + 2 }
+  | Gate.Xor | Gate.Xnor ->
+    (* transmission-gate style: each input loads two pairs; drive roughly an
+       inverter through a pass stage *)
+    { r_drive = 2.0 *. inv_r;
+      c_input = 2.0 *. pin_c;
+      c_parasitic = out_c 1.5;
+      transistors = 4 * n }

@@ -1,0 +1,22 @@
+(** Electrical model of a logic gate for the gate-sizing special case.
+
+    Each gate is characterized, logical-effort style, by a worst-case drive
+    resistance, a per-input gate capacitance, and a parasitic output
+    capacitance, all for a unit-sized instance; sizing a gate by [x]
+    divides its resistance by [x] and multiplies its capacitances by [x].
+    These are exactly the quantities that appear as the Elmore coefficients
+    of Section 2.3 (Eq. 4). *)
+
+type t = {
+  r_drive : float;
+      (** worst-case output resistance of a unit-sized instance (ohm):
+          max of the NMOS series stack and the PMOS series stack. *)
+  c_input : float;
+      (** capacitance presented by one input pin at unit size (fF). *)
+  c_parasitic : float;
+      (** junction capacitance on the output node at unit size (fF). *)
+  transistors : int;
+      (** device count — the area weight of the gate. *)
+}
+
+val of_gate : Tech.t -> Minflo_netlist.Gate.kind -> arity:int -> t

@@ -1,0 +1,274 @@
+module Gate = Minflo_netlist.Gate
+
+type cell = {
+  cname : string;
+  kind : Gate.kind;
+  arity : int;
+  area : float;
+  pin_cap : float;
+  drive_res : float;
+  intrinsic_delay : float;
+}
+
+type library = { lname : string; cells : cell list }
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ---------- lexer: liberty's core token set ---------- *)
+
+type token =
+  | Ident of string
+  | Str of string
+  | Num of float
+  | LParen | RParen | LBrace | RBrace
+  | Colon | Semi | Comma
+
+let tokenize text =
+  let n = String.length text in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '-' || c = '+'
+  in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '\\' && !i + 1 < n && (text.[!i + 1] = '\n' || text.[!i + 1] = '\r') then begin
+      (* line continuation *)
+      incr line;
+      i := !i + 2
+    end
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if text.[!i] = '\n' then incr line;
+        if !i + 1 < n && text.[!i] = '*' && text.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail !line "unterminated comment"
+    end
+    else if c = '"' then begin
+      let start = !i + 1 in
+      i := start;
+      while !i < n && text.[!i] <> '"' do
+        if text.[!i] = '\n' then incr line;
+        incr i
+      done;
+      if !i >= n then fail !line "unterminated string";
+      toks := (Str (String.sub text start (!i - start)), !line) :: !toks;
+      incr i
+    end
+    else if ident_char c then begin
+      let start = !i in
+      while !i < n && ident_char text.[!i] do incr i done;
+      let word = String.sub text start (!i - start) in
+      (match float_of_string_opt word with
+      | Some f -> toks := (Num f, !line) :: !toks
+      | None -> toks := (Ident word, !line) :: !toks)
+    end
+    else begin
+      let t =
+        match c with
+        | '(' -> LParen | ')' -> RParen | '{' -> LBrace | '}' -> RBrace
+        | ':' -> Colon | ';' -> Semi | ',' -> Comma
+        | _ -> fail !line "unexpected character %C" c
+      in
+      toks := (t, !line) :: !toks;
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* ---------- generic group tree ---------- *)
+
+type value = Vnum of float | Vstr of string
+
+type item =
+  | Attr of string * value
+  | Group of group
+
+and group = { gkind : string; gargs : string list; gitems : item list }
+
+let parse_group_tree tokens =
+  (* group := ident '(' args ')' ( '{' items '}' | ';' ) *)
+  let rec parse_items acc = function
+    | (RBrace, _) :: rest -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | (Ident name, _) :: (Colon, _) :: rest -> (
+      match rest with
+      | (Num f, _) :: tail ->
+        let tail = match tail with (Semi, _) :: t -> t | t -> t in
+        parse_items (Attr (name, Vnum f) :: acc) tail
+      | (Str s, _) :: tail | (Ident s, _) :: tail ->
+        let tail = match tail with (Semi, _) :: t -> t | t -> t in
+        parse_items (Attr (name, Vstr s) :: acc) tail
+      | (_, l) :: _ -> fail l "bad attribute value for %S" name
+      | [] -> fail 0 "truncated attribute %S" name)
+    | (Ident name, line) :: (LParen, _) :: rest ->
+      let rec args acc = function
+        | (RParen, _) :: tail -> (List.rev acc, tail)
+        | (Ident a, _) :: tail | (Str a, _) :: tail -> args (a :: acc) tail
+        | (Num f, _) :: tail -> args (Printf.sprintf "%g" f :: acc) tail
+        | (Comma, _) :: tail -> args acc tail
+        | (_, l) :: _ -> fail l "bad group argument in %S" name
+        | [] -> fail line "unterminated group header %S" name
+      in
+      let gargs, tail = args [] rest in
+      (match tail with
+      | (LBrace, _) :: body ->
+        let gitems, tail = parse_items [] body in
+        parse_items (Group { gkind = name; gargs; gitems } :: acc) tail
+      | (Semi, _) :: tail ->
+        parse_items (Group { gkind = name; gargs; gitems = [] } :: acc) tail
+      | _ -> parse_items (Group { gkind = name; gargs; gitems = [] } :: acc) tail)
+    | (Semi, _) :: rest -> parse_items acc rest
+    | (_, l) :: _ -> fail l "expected attribute or group"
+  in
+  match tokens with
+  | (Ident "library", _) :: _ ->
+    let items, rest = parse_items [] tokens in
+    (match (items, rest) with
+    | [ Group g ], [] when g.gkind = "library" -> g
+    | [ Group g ], _ when g.gkind = "library" -> g
+    | _ -> fail 1 "expected exactly one library group")
+  | (_, l) :: _ -> fail l "file must start with 'library (...)'"
+  | [] -> fail 1 "empty library file"
+
+(* ---------- lite schema interpretation ---------- *)
+
+let attr_num items name =
+  List.find_map
+    (function Attr (n, Vnum f) when n = name -> Some f | _ -> None)
+    items
+
+let attr_str items name =
+  List.find_map
+    (function
+      | Attr (n, Vstr s) when n = name -> Some s
+      | _ -> None)
+    items
+
+let interpret g =
+  let cells =
+    List.filter_map
+      (function
+        | Group c when c.gkind = "cell" -> (
+          let cname = match c.gargs with a :: _ -> a | [] -> "?" in
+          let fn = Option.value ~default:"" (attr_str c.gitems "function") in
+          match Gate.of_string fn with
+          | None -> None (* unsupported or sequential cell: skip *)
+          | Some kind ->
+            (* pins: count input pin groups, or take the explicit attr *)
+            let pin_groups =
+              List.filter_map
+                (function
+                  | Group p when p.gkind = "pin" -> (
+                    match attr_str p.gitems "direction" with
+                    | Some "input" -> Some p
+                    | _ -> None)
+                  | _ -> None)
+                c.gitems
+            in
+            let arity =
+              match attr_num c.gitems "pins" with
+              | Some f -> int_of_float f
+              | None -> max (List.length pin_groups) 1
+            in
+            let pin_cap =
+              match attr_num c.gitems "pin_cap" with
+              | Some f -> f
+              | None -> (
+                match pin_groups with
+                | p :: _ -> Option.value ~default:1.0 (attr_num p.gitems "capacitance")
+                | [] -> 1.0)
+            in
+            Some
+              { cname;
+                kind;
+                arity;
+                area = Option.value ~default:1.0 (attr_num c.gitems "area");
+                pin_cap;
+                drive_res = Option.value ~default:1000.0 (attr_num c.gitems "drive_res");
+                intrinsic_delay =
+                  Option.value ~default:0.0 (attr_num c.gitems "intrinsic") })
+        | _ -> None)
+      g.gitems
+  in
+  { lname = (match g.gargs with a :: _ -> a | [] -> "lib"); cells }
+
+let parse_string text = interpret (parse_group_tree (tokenize text))
+
+let parse_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse_string text
+
+let to_string lib =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Printf.sprintf "library (%s) {\n" lib.lname);
+  Buffer.add_string buf "  time_unit : \"1ps\";\n  capacitive_load_unit : \"1ff\";\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (Printf.sprintf "  cell (%s) {\n" c.cname);
+      Buffer.add_string buf (Printf.sprintf "    area : %g;\n" c.area);
+      Buffer.add_string buf
+        (Printf.sprintf "    function : \"%s\";\n" (Gate.to_string c.kind));
+      Buffer.add_string buf (Printf.sprintf "    pins : %d;\n" c.arity);
+      Buffer.add_string buf (Printf.sprintf "    pin_cap : %g;\n" c.pin_cap);
+      Buffer.add_string buf (Printf.sprintf "    drive_res : %g;\n" c.drive_res);
+      Buffer.add_string buf (Printf.sprintf "    intrinsic : %g;\n" c.intrinsic_delay);
+      Buffer.add_string buf "  }\n")
+    lib.cells;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path lib =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string lib))
+
+let of_tech tech =
+  let mk kind arity =
+    let m = Gate_model.of_gate tech kind ~arity in
+    { cname =
+        (if arity <= 1 then Gate.to_string kind
+         else Printf.sprintf "%s%d" (Gate.to_string kind) arity);
+      kind;
+      arity;
+      area = float_of_int m.transistors;
+      pin_cap = m.c_input;
+      drive_res = m.r_drive;
+      intrinsic_delay = m.r_drive *. m.c_parasitic }
+  in
+  { lname = tech.Tech.name;
+    cells =
+      [ mk Gate.Not 1; mk Gate.Buf 1;
+        mk Gate.Nand 2; mk Gate.Nand 3; mk Gate.Nand 4;
+        mk Gate.Nor 2; mk Gate.Nor 3; mk Gate.Nor 4;
+        mk Gate.And 2; mk Gate.And 3; mk Gate.And 4;
+        mk Gate.Or 2; mk Gate.Or 3; mk Gate.Or 4;
+        mk Gate.Xor 2; mk Gate.Xnor 2 ] }
+
+let find lib kind ~arity =
+  List.find_opt (fun c -> c.kind = kind && c.arity = arity) lib.cells
+
+let gate_model tech lib kind ~arity =
+  match find lib kind ~arity with
+  | Some c ->
+    { Gate_model.r_drive = c.drive_res;
+      c_input = c.pin_cap;
+      c_parasitic = (if c.drive_res > 0.0 then c.intrinsic_delay /. c.drive_res else 0.0);
+      transistors = max 1 (int_of_float (Float.round c.area)) }
+  | None -> Gate_model.of_gate tech kind ~arity

@@ -1,0 +1,43 @@
+(** A Liberty (.lib) subset for cell libraries.
+
+    Liberty is the de-facto interchange for cell timing data. This reader
+    implements the genuine core grammar — nested
+    [group (args) { attribute : value; ... }] blocks with comments and
+    line continuations — and interprets a deliberately small schema
+    ("liberty-lite"): per cell, an area, a logic function, a per-input pin
+    capacitance, a drive resistance and an intrinsic delay. That is exactly
+    the data the Elmore model consumes, so a parsed library can replace the
+    built-in analytic {!Gate_model} wholesale. Unknown groups and
+    attributes are skipped, so files exported from richer libraries load
+    as long as the lite attributes are present. *)
+
+type cell = {
+  cname : string;
+  kind : Minflo_netlist.Gate.kind;
+  arity : int;
+  area : float;
+  pin_cap : float;          (** input capacitance per pin (fF). *)
+  drive_res : float;        (** worst-case output resistance (ohm). *)
+  intrinsic_delay : float;  (** parasitic (self-loading) delay term. *)
+}
+
+type library = { lname : string; cells : cell list }
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : string -> library
+val parse_file : string -> library
+val to_string : library -> string
+val write_file : string -> library -> unit
+
+val of_tech : Tech.t -> library
+(** The built-in analytic models, materialized as a library: INV, BUF,
+    NAND2-4, NOR2-4, AND2-4, OR2-4, XOR2, XNOR2. *)
+
+val find : library -> Minflo_netlist.Gate.kind -> arity:int -> cell option
+
+val gate_model :
+  Tech.t -> library -> Minflo_netlist.Gate.kind -> arity:int -> Gate_model.t
+(** Model lookup used by {!Elmore.of_netlist_with}; falls back to the
+    analytic formulas of {!Gate_model.of_gate} for cells the library lacks
+    (so a partial library still sizes every circuit). *)

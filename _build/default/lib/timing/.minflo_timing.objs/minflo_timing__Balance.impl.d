@@ -1,0 +1,1 @@
+lib/timing/balance.ml: Array Minflo_graph Minflo_tech Printf Sta

@@ -1,0 +1,1 @@
+lib/timing/balance.mli: Minflo_tech

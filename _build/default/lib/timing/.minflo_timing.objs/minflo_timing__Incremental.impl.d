@@ -1,0 +1,1 @@
+lib/timing/incremental.ml: Array List Minflo_graph Minflo_tech Minflo_util

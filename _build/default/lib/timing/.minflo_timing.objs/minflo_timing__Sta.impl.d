@@ -1,0 +1,1 @@
+lib/timing/sta.ml: Array List Minflo_graph Minflo_tech

@@ -1,0 +1,1 @@
+lib/timing/sta.mli: Minflo_graph Minflo_tech

@@ -1,0 +1,138 @@
+module Digraph = Minflo_graph.Digraph
+module Topo = Minflo_graph.Topo
+module Delay_model = Minflo_tech.Delay_model
+module Heap = Minflo_util.Heap
+
+type t = {
+  model : Delay_model.t;
+  x : float array;
+  delays : float array;
+  at : float array;
+  pos : int array;      (* topological position per vertex *)
+  loaders : (int * float) list array; (* k loads j: (k, a_kj) reversed index *)
+  queue : Heap.t;       (* worklist keyed by topo position *)
+  queued : bool array;
+}
+
+let compute_delay t i =
+  let acc = ref t.model.Delay_model.b.(i) in
+  Array.iter (fun (j, a) -> acc := !acc +. (a *. t.x.(j))) t.model.Delay_model.a_coeffs.(i);
+  t.model.Delay_model.a_self.(i) +. (!acc /. t.x.(i))
+
+let create model ~sizes =
+  let n = Delay_model.num_vertices model in
+  if Array.length sizes <> n then invalid_arg "Incremental.create: wrong sizes length";
+  let order = Topo.sort model.Delay_model.graph in
+  let pos = Array.make n 0 in
+  Array.iteri (fun k v -> pos.(v) <- k) order;
+  let loaders = Array.make n [] in
+  Array.iteri
+    (fun k coeffs -> Array.iter (fun (j, a) -> loaders.(j) <- (k, a) :: loaders.(j)) coeffs)
+    model.Delay_model.a_coeffs;
+  let t =
+    { model;
+      x = Array.copy sizes;
+      delays = Array.make n 0.0;
+      at = Array.make n 0.0;
+      pos;
+      loaders;
+      queue = Heap.create ();
+      queued = Array.make n false }
+  in
+  for i = 0 to n - 1 do
+    t.delays.(i) <- compute_delay t i
+  done;
+  let g = model.Delay_model.graph in
+  Array.iter
+    (fun v ->
+      let reach = t.at.(v) +. t.delays.(v) in
+      List.iter (fun w -> if reach > t.at.(w) then t.at.(w) <- reach) (Digraph.succ g v))
+    order;
+  t
+
+let size t i = t.x.(i)
+let sizes t = Array.copy t.x
+let delay t i = t.delays.(i)
+let arrival t i = t.at.(i)
+let finish t i = t.at.(i) +. t.delays.(i)
+
+let push t v =
+  if not t.queued.(v) then begin
+    t.queued.(v) <- true;
+    Heap.push t.queue ~key:t.pos.(v) v
+  end
+
+let settle t =
+  let g = t.model.Delay_model.graph in
+  let continue = ref true in
+  while !continue do
+    match Heap.pop_min t.queue with
+    | None -> continue := false
+    | Some (_, v) ->
+      t.queued.(v) <- false;
+      let fresh =
+        List.fold_left
+          (fun acc u -> max acc (t.at.(u) +. t.delays.(u)))
+          0.0 (Digraph.pred g v)
+      in
+      if abs_float (fresh -. t.at.(v)) > 1e-12 *. (1.0 +. abs_float fresh) then begin
+        t.at.(v) <- fresh;
+        List.iter (fun w -> push t w) (Digraph.succ g v)
+      end
+  done
+
+let set_size t i nx =
+  let nx =
+    min t.model.Delay_model.max_size (max t.model.Delay_model.min_size nx)
+  in
+  if nx <> t.x.(i) then begin
+    t.x.(i) <- nx;
+    let g = t.model.Delay_model.graph in
+    let refresh v =
+      let d = compute_delay t v in
+      if d <> t.delays.(v) then begin
+        t.delays.(v) <- d;
+        List.iter (fun w -> push t w) (Digraph.succ g v)
+      end
+    in
+    refresh i;
+    List.iter (fun (k, _) -> refresh k) t.loaders.(i);
+    settle t
+  end
+
+let critical_path t =
+  let best = ref 0.0 in
+  Array.iteri
+    (fun v s -> if s then best := max !best (finish t v))
+    t.model.Delay_model.is_sink;
+  !best
+
+let total_violation t ~target =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun v s -> if s then acc := !acc +. max 0.0 (finish t v -. target))
+    t.model.Delay_model.is_sink;
+  !acc
+
+let critical_set ?(eps_rel = 1e-9) t =
+  let g = t.model.Delay_model.graph in
+  let cp = critical_path t in
+  let eps = eps_rel *. (1.0 +. cp) in
+  let n = Delay_model.num_vertices t.model in
+  let seen = Array.make n false in
+  let acc = ref [] in
+  let rec visit v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      acc := v :: !acc;
+      List.iter
+        (fun u ->
+          (* edge u -> v is tight when u's finish realizes v's arrival *)
+          if abs_float (t.at.(u) +. t.delays.(u) -. t.at.(v)) <= eps then visit u)
+        (Digraph.pred g v)
+    end
+  in
+  Array.iteri
+    (fun v s -> if s && abs_float (finish t v -. cp) <= eps then visit v)
+    t.model.Delay_model.is_sink;
+  List.rev !acc

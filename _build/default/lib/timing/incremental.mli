@@ -1,0 +1,39 @@
+(** Incremental arrival-time maintenance under size changes.
+
+    TILOS performs one size bump per iteration; recomputing the full STA
+    each time costs [O(V+E)] even though a bump usually perturbs a small
+    neighborhood. This engine keeps delays and arrival times current under
+    {!set_size}: the bumped vertex and the fanins it loads get fresh
+    delays, and the arrival change is propagated through a topologically
+    ordered worklist that stops as soon as values settle. Equivalence with
+    the batch {!Sta} is property-tested under random mutation sequences. *)
+
+type t
+
+val create : Minflo_tech.Delay_model.t -> sizes:float array -> t
+(** The engine copies [sizes]; mutate through {!set_size} only. *)
+
+val size : t -> int -> float
+
+val sizes : t -> float array
+(** A fresh copy of the current sizes. *)
+
+val delay : t -> int -> float
+val arrival : t -> int -> float
+
+val finish : t -> int -> float
+(** [arrival + delay]. *)
+
+val set_size : t -> int -> float -> unit
+(** Clamped to the model's bounds. *)
+
+val critical_path : t -> float
+(** Maximum finish time over sink vertices. *)
+
+val total_violation : t -> target:float -> float
+(** Sum over sinks of [max 0 (finish - target)]. *)
+
+val critical_set : ?eps_rel:float -> t -> int list
+(** Vertices on some maximal-finish path: backward traversal from the
+    worst sinks along tight edges ([arrival j = finish i] within a relative
+    tolerance). Equals the minimum-slack vertex set of the batch STA. *)

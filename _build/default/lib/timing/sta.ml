@@ -1,0 +1,92 @@
+module Digraph = Minflo_graph.Digraph
+module Topo = Minflo_graph.Topo
+module Delay_model = Minflo_tech.Delay_model
+
+type t = {
+  arrival : float array;
+  required : float array;
+  slack : float array;
+  critical_path : float;
+  deadline : float;
+}
+
+let arrivals model ~delays =
+  let g = model.Delay_model.graph in
+  let order = Topo.sort g in
+  let n = Digraph.node_count g in
+  let at = Array.make n 0.0 in
+  Array.iter
+    (fun i ->
+      let reach = at.(i) +. delays.(i) in
+      List.iter (fun j -> if reach > at.(j) then at.(j) <- reach) (Digraph.succ g i))
+    order;
+  at
+
+let critical_path_only model ~delays =
+  let at = arrivals model ~delays in
+  let cp = ref 0.0 in
+  Array.iteri (fun i a -> if a +. delays.(i) > !cp then cp := a +. delays.(i)) at;
+  !cp
+
+let analyze model ~delays ~deadline =
+  let g = model.Delay_model.graph in
+  let order = Topo.sort g in
+  let n = Digraph.node_count g in
+  let at = arrivals model ~delays in
+  let cp = ref 0.0 in
+  Array.iteri (fun i a -> if a +. delays.(i) > !cp then cp := a +. delays.(i)) at;
+  let rt = Array.make n infinity in
+  for k = n - 1 downto 0 do
+    let i = order.(k) in
+    if model.Delay_model.is_sink.(i) then
+      rt.(i) <- min rt.(i) (deadline -. delays.(i));
+    List.iter
+      (fun j -> rt.(i) <- min rt.(i) (rt.(j) -. delays.(i)))
+      (Digraph.succ g i)
+  done;
+  let slack = Array.init n (fun i -> rt.(i) -. at.(i)) in
+  { arrival = at; required = rt; slack; critical_path = !cp; deadline }
+
+let edge_slack t ~delays model e =
+  let g = model.Delay_model.graph in
+  let i = Digraph.src g e and j = Digraph.dst g e in
+  t.required.(j) -. t.arrival.(i) -. delays.(i)
+
+let is_safe ?(eps = 1e-9) t = Array.for_all (fun s -> s >= -.eps) t.slack
+
+let critical_vertices ?(eps = 1e-9) t =
+  let worst = Array.fold_left min infinity t.slack in
+  let acc = ref [] in
+  Array.iteri (fun i s -> if s <= worst +. eps then acc := i :: !acc) t.slack;
+  List.rev !acc
+
+let worst_path model ~delays =
+  let g = model.Delay_model.graph in
+  let at = arrivals model ~delays in
+  (* find the vertex finishing the critical path, then backtrace greedily *)
+  let finish = ref 0 and best = ref neg_infinity in
+  Array.iteri
+    (fun i a ->
+      let f = a +. delays.(i) in
+      if f > !best then begin
+        best := f;
+        finish := i
+      end)
+    at;
+  let rec back i acc =
+    let acc = i :: acc in
+    if at.(i) = 0.0 && Digraph.in_degree g i = 0 then acc
+    else begin
+      (* pick the fanin realizing AT(i) *)
+      let pick =
+        List.fold_left
+          (fun best_j j ->
+            match best_j with
+            | Some bj when at.(bj) +. delays.(bj) >= at.(j) +. delays.(j) -> best_j
+            | _ -> Some j)
+          None (Digraph.pred g i)
+      in
+      match pick with None -> acc | Some j -> back j acc
+    end
+  in
+  back !finish []

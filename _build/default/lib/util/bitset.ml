@@ -1,0 +1,38 @@
+type t = { words : Bytes.t; n : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Bytes.make ((n + 7) / 8) '\000'; n }
+
+let capacity t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Bitset: index out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b lor (1 lsl (i land 7))))
+
+let remove t i =
+  check t i;
+  let b = Char.code (Bytes.get t.words (i lsr 3)) in
+  Bytes.set t.words (i lsr 3) (Char.chr (b land lnot (1 lsl (i land 7)) land 0xff))
+
+let clear t = Bytes.fill t.words 0 (Bytes.length t.words) '\000'
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if Char.code (Bytes.get t.words (i lsr 3)) land (1 lsl (i land 7)) <> 0 then f i
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let cardinal t = fold (fun _ n -> n + 1) t 0

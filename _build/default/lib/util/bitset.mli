@@ -1,0 +1,15 @@
+(** Fixed-size bitsets over integer ids. *)
+
+type t
+
+val create : int -> t
+(** [create n] is a set over the universe [\[0, n)], initially empty. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val clear : t -> unit
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a

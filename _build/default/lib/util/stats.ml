@@ -1,0 +1,41 @@
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else sum xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+  end
+
+let minimum xs = Array.fold_left min infinity xs
+let maximum xs = Array.fold_left max neg_infinity xs
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let acc = Array.fold_left (fun a x -> a +. log x) 0.0 xs in
+    exp (acc /. float_of_int n)
+  end

@@ -1,0 +1,65 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~columns =
+  { headers = List.map fst columns;
+    aligns = Array.of_list (List.map snd columns);
+    rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let pad = widths.(i) - String.length c in
+        let text =
+          match t.aligns.(i) with
+          | Left -> c ^ String.make pad ' '
+          | Right -> String.make pad ' ' ^ c
+        in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf text;
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (function Cells c -> line c | Rule -> rule ()) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

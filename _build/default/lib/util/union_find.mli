@@ -1,0 +1,13 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used by the netlist generators (net merging) and by graph sanity
+    checks (weak connectivity). *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of distinct components. *)

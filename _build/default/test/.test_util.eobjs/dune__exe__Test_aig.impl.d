@@ -1,0 +1,1 @@
+test/test_aig.ml: Alcotest Array List Minflo_aig Minflo_bdd Minflo_netlist Minflo_sat Minflo_util QCheck QCheck_alcotest

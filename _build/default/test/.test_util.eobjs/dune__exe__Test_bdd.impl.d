@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Fun List Minflo_bdd Minflo_netlist Minflo_util Option QCheck QCheck_alcotest

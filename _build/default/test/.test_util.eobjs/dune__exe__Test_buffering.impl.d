@@ -1,0 +1,1 @@
+test/test_buffering.ml: Alcotest List Minflo_buffering Minflo_tech Minflo_util Printf QCheck QCheck_alcotest String

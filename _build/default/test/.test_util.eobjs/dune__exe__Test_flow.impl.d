@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array List Minflo_flow Minflo_util QCheck QCheck_alcotest Result

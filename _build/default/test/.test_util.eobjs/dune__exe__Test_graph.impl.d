@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Minflo_graph Minflo_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_liberty.ml: Alcotest List Minflo_netlist Minflo_sizing Minflo_tech QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Fun List Minflo_graph Minflo_netlist Minflo_util Option Printf QCheck QCheck_alcotest String

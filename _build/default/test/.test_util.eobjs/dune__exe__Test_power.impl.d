@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Array List Minflo_netlist Minflo_power Minflo_sizing Minflo_tech Minflo_util QCheck QCheck_alcotest

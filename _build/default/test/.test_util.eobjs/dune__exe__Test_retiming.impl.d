@@ -1,0 +1,1 @@
+test/test_retiming.ml: Alcotest Array Minflo_retiming Minflo_util Printf QCheck QCheck_alcotest

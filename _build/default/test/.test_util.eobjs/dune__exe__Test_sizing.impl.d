@@ -1,0 +1,1 @@
+test/test_sizing.ml: Alcotest Array List Minflo_netlist Minflo_sizing Minflo_tech Minflo_timing Minflo_util QCheck QCheck_alcotest Result

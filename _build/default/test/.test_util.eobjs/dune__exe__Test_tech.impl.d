@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Array Fun Hashtbl List Minflo_graph Minflo_netlist Minflo_tech Option Printf QCheck QCheck_alcotest Result

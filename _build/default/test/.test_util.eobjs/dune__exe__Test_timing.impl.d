@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Fun List Minflo_graph Minflo_netlist Minflo_tech Minflo_timing Minflo_util QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest List Minflo_bdd Minflo_netlist Minflo_util QCheck QCheck_alcotest

@@ -1,0 +1,145 @@
+(* Tests for the AIG package: hashing rules, netlist round trips (proved by
+   BOTH the BDD and SAT oracles), and the structural optimizer. *)
+
+module Aig = Minflo_aig.Aig
+module Netlist = Minflo_netlist.Netlist
+module Gate = Minflo_netlist.Gate
+module Gen = Minflo_netlist.Generators
+module BddCheck = Minflo_bdd.Check
+module Cnf = Minflo_sat.Cnf
+module Rng = Minflo_util.Rng
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let test_local_rules () =
+  let t = Aig.create () in
+  let a = Aig.new_input t in
+  let b = Aig.new_input t in
+  check int "x & x = x" a (Aig.land_ t a a);
+  check int "x & !x = 0" Aig.const_false (Aig.land_ t a (Aig.lnot a));
+  check int "x & 1 = x" a (Aig.land_ t a Aig.const_true);
+  check int "x & 0 = 0" Aig.const_false (Aig.land_ t a Aig.const_false);
+  check int "commutative hashing" (Aig.land_ t a b) (Aig.land_ t b a);
+  check int "double negation" a (Aig.lnot (Aig.lnot a));
+  check int "one and-node" 1 (Aig.num_ands t)
+
+let test_sharing () =
+  let t = Aig.create () in
+  let a = Aig.new_input t in
+  let b = Aig.new_input t in
+  let c = Aig.new_input t in
+  (* (a&b)|c and (a&b)^c share the a&b node *)
+  let x = Aig.lor_ t (Aig.land_ t a b) c in
+  let y = Aig.lxor_ t (Aig.land_ t a b) c in
+  check bool "shared subterm" true (Aig.cone_size t [ x; y ] < Aig.cone_size t [ x ] + Aig.cone_size t [ y ])
+
+let test_eval () =
+  let t = Aig.create () in
+  let a = Aig.new_input t in
+  let b = Aig.new_input t in
+  let f = Aig.lxor_ t a (Aig.lnot b) in
+  let cases = [ (false, false, true); (true, false, false); (false, true, false); (true, true, true) ] in
+  List.iter
+    (fun (va, vb, expect) ->
+      check bool "xnor truth" expect (Aig.eval t ~inputs:[| va; vb |] f))
+    cases;
+  ignore (a, b)
+
+let both_oracles_equivalent a b =
+  BddCheck.equivalent a b = BddCheck.Equivalent
+  && Cnf.equivalent a b = Cnf.Equivalent
+
+let test_roundtrip_generators () =
+  List.iter
+    (fun nl ->
+      let nl2 = Aig.strash_netlist nl in
+      check bool "equivalent (BDD and SAT)" true (both_oracles_equivalent nl nl2))
+    [ Gen.c17 ();
+      Gen.ripple_carry_adder ~bits:4 ();
+      Gen.kogge_stone_adder ~bits:4 ();
+      Gen.comparator ~width:4 ();
+      Gen.alu ~width:3 () ]
+
+let test_strash_shrinks_duplicates () =
+  (* build a netlist that computes the same cone twice *)
+  let nl = Netlist.create () in
+  let a = Netlist.add_input nl "a" in
+  let b = Netlist.add_input nl "b" in
+  let c = Netlist.add_input nl "c" in
+  let g1 = Netlist.add_gate nl "g1" Gate.And [ a; b ] in
+  let g2 = Netlist.add_gate nl "g2" Gate.And [ a; b ] in
+  let o1 = Netlist.add_gate nl "o1" Gate.Or [ g1; c ] in
+  let o2 = Netlist.add_gate nl "o2" Gate.Or [ g2; c ] in
+  Netlist.mark_output nl o1;
+  Netlist.mark_output nl o2;
+  Netlist.validate nl;
+  (* hashing recognizes that both cones are the same function: the whole
+     4-gate circuit needs only 2 AND nodes, and both outputs share one
+     literal *)
+  let t, lit = Aig.of_netlist nl in
+  check int "two AND nodes" 2 (Aig.cone_size t [ lit.(o1); lit.(o2) ]);
+  check int "outputs merged" lit.(o1) lit.(o2);
+  let nl2 = Aig.strash_netlist nl in
+  check bool "still equivalent" true (both_oracles_equivalent nl nl2)
+
+let test_constant_output () =
+  (* an output that is constant false exercises the constant realization *)
+  let nl = Netlist.create () in
+  let a = Netlist.add_input nl "a" in
+  let na = Netlist.add_gate nl "na" Gate.Not [ a ] in
+  let z = Netlist.add_gate nl "z" Gate.And [ a; na ] in
+  Netlist.mark_output nl z;
+  Netlist.validate nl;
+  let nl2 = Aig.strash_netlist nl in
+  check bool "equivalent" true (both_oracles_equivalent nl nl2)
+
+let prop_roundtrip_random =
+  QCheck.Test.make
+    ~name:"AIG round trips random netlists (BDD oracle)" ~count:60
+    QCheck.small_nat (fun seed ->
+      let nl = Gen.random_dag ~gates:30 ~inputs:6 ~outputs:4 ~seed:(seed + 21) () in
+      let nl2 = Aig.strash_netlist nl in
+      BddCheck.equivalent nl nl2 = BddCheck.Equivalent)
+
+let prop_strash_never_grows_much =
+  QCheck.Test.make
+    ~name:"strash keeps netlists within the AND/INV decomposition bound"
+    ~count:40 QCheck.small_nat (fun seed ->
+      let nl = Gen.random_dag ~gates:40 ~inputs:6 ~outputs:4 ~seed:(seed + 91) () in
+      let nl2 = Aig.strash_netlist nl in
+      (* every k-ary gate costs at most ~4(k-1) AND/INV nodes (xor chains);
+         a gross blowup would signal a hashing bug *)
+      Netlist.gate_count nl2 <= 8 * Netlist.gate_count nl + 8)
+
+let prop_eval_matches_netlist =
+  QCheck.Test.make ~name:"AIG evaluation matches netlist simulation" ~count:60
+    QCheck.small_nat (fun seed ->
+      let nl = Gen.random_dag ~gates:25 ~inputs:5 ~outputs:3 ~seed:(seed + 33) () in
+      let t, lit = Aig.of_netlist nl in
+      let rng = Rng.create (seed + 3) in
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let bits = Array.init (Netlist.input_count nl) (fun _ -> Rng.bool rng) in
+        let values = Netlist.simulate nl bits in
+        List.iter
+          (fun o -> if Aig.eval t ~inputs:bits lit.(o) <> values.(o) then ok := false)
+          (Netlist.outputs nl)
+      done;
+      !ok)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "aig"
+    [ ( "core",
+        [ tc "local rules" `Quick test_local_rules;
+          tc "sharing" `Quick test_sharing;
+          tc "eval" `Quick test_eval ] );
+      ( "netlist",
+        [ tc "roundtrip generators" `Quick test_roundtrip_generators;
+          tc "strash shrinks duplicates" `Quick test_strash_shrinks_duplicates;
+          tc "constant output" `Quick test_constant_output;
+          QCheck_alcotest.to_alcotest prop_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_strash_never_grows_much;
+          QCheck_alcotest.to_alcotest prop_eval_matches_netlist ] ) ]

@@ -1,0 +1,219 @@
+(* Tests for the BDD package and the formal equivalence checker. *)
+
+module Bdd = Minflo_bdd.Bdd
+module Check = Minflo_bdd.Check
+module Netlist = Minflo_netlist.Netlist
+module Gate = Minflo_netlist.Gate
+module Gen = Minflo_netlist.Generators
+module Transform = Minflo_netlist.Transform
+module Rng = Minflo_util.Rng
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ---------- core BDD identities ---------- *)
+
+let test_constants () =
+  let m = Bdd.manager () in
+  check bool "true is true" true (Bdd.is_true m (Bdd.bdd_true m));
+  check bool "false is false" true (Bdd.is_false m (Bdd.bdd_false m));
+  check bool "distinct" false (Bdd.equal (Bdd.bdd_true m) (Bdd.bdd_false m))
+
+let test_identities () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 and c = Bdd.var m 2 in
+  let ( &&& ) = Bdd.bdd_and m and ( ||| ) = Bdd.bdd_or m in
+  let neg = Bdd.bdd_not m and ( ^^^ ) = Bdd.bdd_xor m in
+  (* canonical equality of algebraically equal functions *)
+  check bool "commutativity" true (Bdd.equal (a &&& b) (b &&& a));
+  check bool "de morgan" true (Bdd.equal (neg (a &&& b)) (neg a ||| neg b));
+  check bool "distributivity" true
+    (Bdd.equal (a &&& (b ||| c)) ((a &&& b) ||| (a &&& c)));
+  check bool "xor via and/or" true
+    (Bdd.equal (a ^^^ b) ((a &&& neg b) ||| (neg a &&& b)));
+  check bool "double negation" true (Bdd.equal a (neg (neg a)));
+  check bool "excluded middle" true (Bdd.is_true m (a ||| neg a));
+  check bool "contradiction" true (Bdd.is_false m (a &&& neg a));
+  check bool "xor self" true (Bdd.is_false m (a ^^^ a));
+  check bool "ite as mux" true
+    (Bdd.equal (Bdd.ite m c a b) ((c &&& a) ||| (neg c &&& b)))
+
+let test_eval_restrict () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f = Bdd.bdd_xor m a b in
+  check bool "eval 01" true (Bdd.eval m f (fun i -> i = 1));
+  check bool "eval 11" false (Bdd.eval m f (fun _ -> true));
+  check bool "restrict a=1" true (Bdd.equal (Bdd.restrict m f 0 true) (Bdd.bdd_not m b));
+  check bool "restrict a=0" true (Bdd.equal (Bdd.restrict m f 0 false) b)
+
+let test_support_satcount () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and c = Bdd.var m 2 in
+  let f = Bdd.bdd_and m a (Bdd.bdd_not m c) in
+  check (Alcotest.list int) "support" [ 0; 2 ] (Bdd.support m f);
+  check (Alcotest.float 1e-9) "satcount over 3 vars" 2.0 (Bdd.sat_count m f ~nvars:3);
+  check (Alcotest.float 1e-9) "satcount true" 8.0
+    (Bdd.sat_count m (Bdd.bdd_true m) ~nvars:3)
+
+let test_any_sat () =
+  let m = Bdd.manager () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let f = Bdd.bdd_and m (Bdd.bdd_not m a) b in
+  (match Bdd.any_sat m f with
+  | Some assign ->
+    let get v = Option.value ~default:false (List.assoc_opt v assign) in
+    check bool "assignment satisfies" true (Bdd.eval m f get)
+  | None -> Alcotest.fail "expected sat");
+  check bool "unsat" true (Bdd.any_sat m (Bdd.bdd_false m) = None)
+
+let prop_bdd_matches_truth_table =
+  QCheck.Test.make ~name:"random expressions: BDD agrees with direct eval"
+    ~count:200 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 31) in
+      let m = Bdd.manager () in
+      let nvars = 3 + Rng.int rng 3 in
+      (* random expression tree, evaluated both ways *)
+      let rec build depth =
+        if depth = 0 || Rng.int rng 4 = 0 then begin
+          let v = Rng.int rng nvars in
+          ((fun a -> a.(v)), Bdd.var m v)
+        end
+        else begin
+          let f1, b1 = build (depth - 1) in
+          let f2, b2 = build (depth - 1) in
+          match Rng.int rng 4 with
+          | 0 -> ((fun a -> f1 a && f2 a), Bdd.bdd_and m b1 b2)
+          | 1 -> ((fun a -> f1 a || f2 a), Bdd.bdd_or m b1 b2)
+          | 2 -> ((fun a -> f1 a <> f2 a), Bdd.bdd_xor m b1 b2)
+          | _ -> ((fun a -> not (f1 a)), Bdd.bdd_not m b1)
+        end
+      in
+      let f, b = build 5 in
+      let ok = ref true in
+      for bits = 0 to (1 lsl nvars) - 1 do
+        let a = Array.init nvars (fun i -> (bits lsr i) land 1 = 1) in
+        if f a <> Bdd.eval m b (fun i -> a.(i)) then ok := false
+      done;
+      !ok)
+
+let test_size_grows_reasonably () =
+  (* the parity function has a linear-size BDD *)
+  let m = Bdd.manager () in
+  let f =
+    List.fold_left (fun acc i -> Bdd.bdd_xor m acc (Bdd.var m i))
+      (Bdd.bdd_false m) (List.init 16 Fun.id)
+  in
+  check bool "parity is linear" true (Bdd.size m f <= (2 * 16) + 2)
+
+(* ---------- netlist equivalence ---------- *)
+
+let test_equiv_self () =
+  let nl = Gen.c17 () in
+  check bool "c17 = c17" true (Check.equivalent nl nl = Check.Equivalent)
+
+let test_equiv_transforms () =
+  (* the transforms are FORMALLY equivalence-preserving *)
+  List.iter
+    (fun nl ->
+      check bool "expand_xor" true
+        (Check.equivalent nl (Transform.expand_xor nl) = Check.Equivalent);
+      check bool "to_nand_inv" true
+        (Check.equivalent nl (Transform.to_nand_inv nl) = Check.Equivalent))
+    [ Gen.parity_tree ~width:6 ();
+      Gen.ripple_carry_adder ~bits:4 ();
+      Gen.alu ~width:3 ();
+      Gen.comparator ~width:4 () ]
+
+let test_equiv_detects_difference () =
+  let make flip =
+    let nl = Netlist.create () in
+    let a = Netlist.add_input nl "a" in
+    let b = Netlist.add_input nl "b" in
+    let g = Netlist.add_gate nl "g" (if flip then Gate.Nor else Gate.Nand) [ a; b ] in
+    Netlist.mark_output nl g;
+    Netlist.validate nl;
+    nl
+  in
+  match Check.equivalent (make false) (make true) with
+  | Check.Differ { output_index; counterexample } ->
+    check int "output 0" 0 output_index;
+    (* the counterexample must actually distinguish NAND from NOR *)
+    let v name = List.assoc name counterexample in
+    check bool "cex valid" true ((not (v "a" && v "b")) <> not (v "a" || v "b"))
+  | _ -> Alcotest.fail "expected Differ"
+
+let test_equiv_interface_mismatch () =
+  let a = Gen.parity_tree ~width:4 () in
+  let b = Gen.parity_tree ~width:5 () in
+  match Check.equivalent a b with
+  | Check.Inputs_mismatch (4, 5) -> ()
+  | _ -> Alcotest.fail "expected input mismatch"
+
+let test_adder_formally_correct () =
+  (* exhaustive formal check of the generator against integer addition *)
+  List.iter
+    (fun style ->
+      let bits = 4 in
+      let nl = Gen.ripple_carry_adder ~style ~bits () in
+      let spec input =
+        let field off =
+          let v = ref 0 in
+          for i = bits - 1 downto 0 do
+            v := (2 * !v) + if input.(off + i) then 1 else 0
+          done;
+          !v
+        in
+        let sum = field 0 + field bits + if input.(2 * bits) then 1 else 0 in
+        Array.init (bits + 1) (fun i -> (sum lsr i) land 1 = 1)
+      in
+      check bool "adder = +" true (Check.check_function nl ~spec))
+    [ `Compact; `Nand ]
+
+let test_mux_formally_correct () =
+  let nl = Gen.mux_tree ~select_bits:2 () in
+  let spec input =
+    let sel = (if input.(4) then 1 else 0) lor if input.(5) then 2 else 0 in
+    [| input.(sel) |]
+  in
+  check bool "mux = select" true (Check.check_function nl ~spec)
+
+let prop_random_dag_equiv_under_mapping =
+  QCheck.Test.make
+    ~name:"random netlists stay formally equivalent under NAND mapping"
+    ~count:40 QCheck.small_nat (fun seed ->
+      let nl = Gen.random_dag ~gates:25 ~inputs:6 ~outputs:4 ~seed:(seed + 900) () in
+      Check.equivalent nl (Transform.to_nand_inv nl) = Check.Equivalent)
+
+let prop_bench_roundtrip_equiv =
+  QCheck.Test.make
+    ~name:"bench write/parse round-trips preserve the function (formally)"
+    ~count:30 QCheck.small_nat (fun seed ->
+      let nl = Gen.random_dag ~gates:20 ~inputs:5 ~outputs:3 ~seed:(seed + 333) () in
+      let nl2 =
+        Minflo_netlist.Bench_format.parse_string
+          (Minflo_netlist.Bench_format.to_string nl)
+      in
+      Check.equivalent nl nl2 = Check.Equivalent)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "bdd"
+    [ ( "core",
+        [ tc "constants" `Quick test_constants;
+          tc "identities" `Quick test_identities;
+          tc "eval/restrict" `Quick test_eval_restrict;
+          tc "support/satcount" `Quick test_support_satcount;
+          tc "any_sat" `Quick test_any_sat;
+          tc "parity size" `Quick test_size_grows_reasonably;
+          QCheck_alcotest.to_alcotest prop_bdd_matches_truth_table ] );
+      ( "equivalence",
+        [ tc "reflexive" `Quick test_equiv_self;
+          tc "transforms preserve" `Quick test_equiv_transforms;
+          tc "detects differences" `Quick test_equiv_detects_difference;
+          tc "interface mismatch" `Quick test_equiv_interface_mismatch;
+          tc "adder vs integer add" `Quick test_adder_formally_correct;
+          tc "mux vs select" `Quick test_mux_formally_correct;
+          QCheck_alcotest.to_alcotest prop_random_dag_equiv_under_mapping;
+          QCheck_alcotest.to_alcotest prop_bench_roundtrip_equiv ] ) ]

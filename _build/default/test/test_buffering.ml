@@ -1,0 +1,142 @@
+(* Tests for van Ginneken buffer insertion. *)
+
+module VG = Minflo_buffering.Van_ginneken
+module Tech = Minflo_tech.Tech
+module Rng = Minflo_util.Rng
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let tech = Tech.default_130nm
+let buf = VG.buffer_of_tech tech
+
+let sink ?(cap = 3.0) ?(rat = 1_000_000.0) name = VG.Sink { name; cap; rat }
+
+let test_single_sink_elmore () =
+  (* RAT at the driver of wire(r,c) -> sink: rat - r(c/2 + cap) - R*(c+cap) *)
+  let w = { VG.r = 100.0; c = 10.0 } in
+  let t = VG.Wire (w, sink ~cap:3.0 ~rat:5000.0 "s") in
+  let got = VG.unbuffered_rat ~driver_r:50.0 t in
+  let expected = 5000.0 -. (100.0 *. ((10.0 /. 2.0) +. 3.0)) -. (50.0 *. 13.0) in
+  check (Alcotest.float 1e-6) "elmore backprop" expected got
+
+let test_branch_takes_min () =
+  let t =
+    VG.Branch
+      [ sink ~rat:100.0 ~cap:1.0 "a"; sink ~rat:50.0 ~cap:1.0 "b" ]
+  in
+  let got = VG.unbuffered_rat ~driver_r:10.0 t in
+  (* min rat 50, total cap 2 *)
+  check (Alcotest.float 1e-6) "min rule" (50.0 -. 20.0) got
+
+let long_line segments seg_r seg_c =
+  let rec build k =
+    if k = 0 then sink ~cap:3.0 ~rat:0.0 "s"
+    else VG.Wire ({ VG.r = seg_r; c = seg_c }, build (k - 1))
+  in
+  build segments
+
+let test_buffers_help_long_lines () =
+  let t = long_line 20 500.0 8.0 in
+  let plain = VG.unbuffered_rat ~driver_r:2000.0 t in
+  match VG.best_rat ~driver_r:2000.0 (VG.solve ~buffers:[ buf ] t) with
+  | None -> Alcotest.fail "no candidates"
+  | Some (best, cand) ->
+    check bool "buffered strictly better" true (best > plain);
+    check bool "uses at least one buffer" true (cand.placements <> [])
+
+let test_short_line_needs_no_buffer () =
+  let t = VG.Wire ({ VG.r = 10.0; c = 1.0 }, sink "s") in
+  match VG.best_rat ~driver_r:100.0 (VG.solve ~buffers:[ buf ] t) with
+  | None -> Alcotest.fail "no candidates"
+  | Some (_, cand) -> check bool "no buffer placed" true (cand.placements = [])
+
+let test_frontier_is_pareto () =
+  let t = long_line 10 400.0 6.0 in
+  let frontier = VG.solve ~buffers:[ buf ] t in
+  let rec ordered = function
+    | a :: (b :: _ as rest) ->
+      a.VG.cap < b.VG.cap && a.VG.rat < b.VG.rat && ordered rest
+    | _ -> true
+  in
+  check bool "cap and rat strictly increase together" true (ordered frontier)
+
+let test_decoupling_branch () =
+  (* a critical sink plus a heavy non-critical branch: buffering the heavy
+     branch shields the critical one *)
+  let heavy =
+    VG.Wire ({ VG.r = 200.0; c = 50.0 }, sink ~cap:40.0 ~rat:1_000_000.0 "slow")
+  in
+  let critical = sink ~cap:2.0 ~rat:10_000.0 "fast" in
+  let t = VG.Branch [ critical; heavy ] in
+  let plain = VG.unbuffered_rat ~driver_r:800.0 t in
+  match VG.best_rat ~driver_r:800.0 (VG.solve ~buffers:[ buf ] t) with
+  | None -> Alcotest.fail "no candidates"
+  | Some (best, cand) ->
+    check bool "decoupling helps" true (best > plain);
+    check bool "buffer sits on the heavy branch" true
+      (List.exists
+         (fun p -> String.length p >= 3 && String.sub p 0 3 = "0/1")
+         cand.placements)
+
+let prop_more_wire_never_helps =
+  QCheck.Test.make ~name:"extending the wire never improves the driver RAT"
+    ~count:100 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 5) in
+      let segs = 1 + Rng.int rng 8 in
+      let r = 50.0 +. Rng.float rng 500.0 and c = 1.0 +. Rng.float rng 10.0 in
+      let shorter = long_line segs r c in
+      let longer = long_line (segs + 1) r c in
+      let dr = 100.0 +. Rng.float rng 1000.0 in
+      let v t = match VG.best_rat ~driver_r:dr (VG.solve ~buffers:[ buf ] t) with
+        | Some (v, _) -> v
+        | None -> neg_infinity
+      in
+      v longer <= v shorter +. 1e-6)
+
+let prop_buffer_option_never_hurts =
+  QCheck.Test.make ~name:"offering a buffer library never lowers the best RAT"
+    ~count:100 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 31) in
+      (* random tree of depth <= 4 *)
+      let rec gen depth =
+        if depth = 0 || Rng.int rng 3 = 0 then
+          sink ~cap:(1.0 +. Rng.float rng 5.0) ~rat:(Rng.float rng 10_000.0)
+            (Printf.sprintf "s%d" (Rng.int rng 1000))
+        else if Rng.bool rng then
+          VG.Wire
+            ({ VG.r = 20.0 +. Rng.float rng 400.0; c = 1.0 +. Rng.float rng 10.0 },
+             gen (depth - 1))
+        else VG.Branch [ gen (depth - 1); gen (depth - 1) ]
+      in
+      let t = gen 4 in
+      let dr = 100.0 +. Rng.float rng 1000.0 in
+      let without = VG.unbuffered_rat ~driver_r:dr t in
+      match VG.best_rat ~driver_r:dr (VG.solve ~buffers:[ buf ] t) with
+      | Some (v, _) -> v >= without -. 1e-6
+      | None -> false)
+
+let prop_optimal_buffer_count_grows =
+  QCheck.Test.make ~name:"longer lines want more buffers" ~count:30
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 77) in
+      let r = 300.0 +. Rng.float rng 300.0 and c = 6.0 +. Rng.float rng 6.0 in
+      let count segs =
+        match VG.best_rat ~driver_r:1500.0 (VG.solve ~buffers:[ buf ] (long_line segs r c)) with
+        | Some (_, cand) -> List.length cand.placements
+        | None -> 0
+      in
+      count 24 >= count 6)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "buffering"
+    [ ( "van_ginneken",
+        [ tc "elmore backprop" `Quick test_single_sink_elmore;
+          tc "branch min rule" `Quick test_branch_takes_min;
+          tc "long lines buffered" `Quick test_buffers_help_long_lines;
+          tc "short lines bare" `Quick test_short_line_needs_no_buffer;
+          tc "pareto frontier" `Quick test_frontier_is_pareto;
+          tc "decoupling" `Quick test_decoupling_branch;
+          QCheck_alcotest.to_alcotest prop_more_wire_never_helps;
+          QCheck_alcotest.to_alcotest prop_buffer_option_never_hurts;
+          QCheck_alcotest.to_alcotest prop_optimal_buffer_count_grows ] ) ]

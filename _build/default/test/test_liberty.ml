@@ -1,0 +1,150 @@
+(* Tests for the Liberty-subset cell library reader/writer. *)
+
+module Liberty = Minflo_tech.Liberty
+module Tech = Minflo_tech.Tech
+module Gate = Minflo_netlist.Gate
+module Gate_model = Minflo_tech.Gate_model
+module Elmore = Minflo_tech.Elmore
+module DM = Minflo_tech.Delay_model
+module Gen = Minflo_netlist.Generators
+module Sweep = Minflo_sizing.Sweep
+module Minflotransit = Minflo_sizing.Minflotransit
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let tech = Tech.default_130nm
+
+let sample_lib =
+  {|/* demo library */
+library (demo) {
+  time_unit : "1ps";
+  cell (NAND2_X1) {
+    area : 4;
+    function : "NAND";
+    pins : 2;
+    pin_cap : 3.6;
+    drive_res : 17000;
+    intrinsic : 36000;
+  }
+  cell (INV_X2) {
+    area : 2;
+    function : "NOT";
+    pin (A) {
+      direction : input;
+      capacitance : 1.8;
+    }
+    drive_res : 4250;
+    intrinsic : 9000;
+  }
+  cell (DFF_X1) {
+    area : 10;
+    function : "dff";  /* unsupported: skipped, not an error */
+  }
+  operating_conditions (typ) {
+    process : 1;  /* unknown group: skipped */
+  }
+}
+|}
+
+let test_parse_sample () =
+  let lib = Liberty.parse_string sample_lib in
+  check Alcotest.string "name" "demo" lib.lname;
+  check int "two supported cells" 2 (List.length lib.cells);
+  match Liberty.find lib Gate.Nand ~arity:2 with
+  | None -> Alcotest.fail "NAND2 missing"
+  | Some c ->
+    check (Alcotest.float 1e-9) "pin cap" 3.6 c.pin_cap;
+    check (Alcotest.float 1e-9) "drive" 17000.0 c.drive_res;
+    check (Alcotest.float 1e-9) "area" 4.0 c.area
+
+let test_pin_group_capacitance () =
+  let lib = Liberty.parse_string sample_lib in
+  match Liberty.find lib Gate.Not ~arity:1 with
+  | None -> Alcotest.fail "INV missing"
+  | Some c -> check (Alcotest.float 1e-9) "cap from pin group" 1.8 c.pin_cap
+
+let test_roundtrip_of_tech () =
+  let lib = Liberty.of_tech tech in
+  let lib2 = Liberty.parse_string (Liberty.to_string lib) in
+  check int "cell count" (List.length lib.cells) (List.length lib2.cells);
+  List.iter2
+    (fun (a : Liberty.cell) (b : Liberty.cell) ->
+      check Alcotest.string "name" a.cname b.cname;
+      check bool "kind" true (a.kind = b.kind);
+      check int "arity" a.arity b.arity;
+      check (Alcotest.float 1e-6) "pin cap" a.pin_cap b.pin_cap;
+      check (Alcotest.float 1e-6) "drive" a.drive_res b.drive_res)
+    lib.cells lib2.cells
+
+let test_gate_model_matches_analytic () =
+  (* a library materialized from the tech must reproduce the analytic
+     models for the cells it contains *)
+  let lib = Liberty.of_tech tech in
+  List.iter
+    (fun (kind, arity) ->
+      let a = Gate_model.of_gate tech kind ~arity in
+      let b = Liberty.gate_model tech lib kind ~arity in
+      check (Alcotest.float 1e-6) "r_drive" a.r_drive b.r_drive;
+      check (Alcotest.float 1e-6) "c_input" a.c_input b.c_input;
+      check (Alcotest.float 1e-3) "c_parasitic" a.c_parasitic b.c_parasitic)
+    [ (Gate.Nand, 2); (Gate.Nor, 3); (Gate.Not, 1); (Gate.Xor, 2) ]
+
+let test_fallback_for_missing_cells () =
+  let lib = { Liberty.lname = "tiny"; cells = [] } in
+  let a = Liberty.gate_model tech lib Gate.Nand ~arity:2 in
+  let b = Gate_model.of_gate tech Gate.Nand ~arity:2 in
+  check (Alcotest.float 1e-9) "fallback" b.r_drive a.r_drive
+
+let test_sizing_through_library () =
+  (* end-to-end: the full optimizer runs on a library-derived model and
+     produces the same result as the analytic one when the library came
+     from the same tech *)
+  let nl = Gen.c17 () in
+  let lib = Liberty.of_tech tech in
+  let analytic = Elmore.of_netlist tech nl in
+  let via_lib =
+    Elmore.of_netlist_with ~model_of:(Liberty.gate_model tech lib) tech nl
+  in
+  let d0a = Sweep.dmin analytic and d0b = Sweep.dmin via_lib in
+  check (Alcotest.float 1e-3) "same dmin" d0a d0b;
+  let ra = Minflotransit.optimize analytic ~target:(0.5 *. d0a) in
+  let rb = Minflotransit.optimize via_lib ~target:(0.5 *. d0b) in
+  check bool "both met" true (ra.met && rb.met);
+  check (Alcotest.float 1e-3) "same area" ra.area rb.area
+
+let test_parse_errors () =
+  let expect text =
+    match Liberty.parse_string text with
+    | exception Liberty.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected Parse_error"
+  in
+  expect "";
+  expect "cell (X) { }";
+  expect "library (l) { cell (X) { area : ; } }";
+  expect "library (l) { /* unterminated";
+  expect "library (l) { cell (X) { function : \"unterminated } }"
+
+let prop_liberty_garbage_safe =
+  QCheck.Test.make ~name:"liberty parser turns garbage into Parse_error"
+    ~count:200
+    QCheck.(string_of_size (Gen.int_range 0 200))
+    (fun text ->
+      match Liberty.parse_string text with
+      | _ -> true
+      | exception Liberty.Parse_error _ -> true
+      | exception _ -> false)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "liberty"
+    [ ( "parse",
+        [ tc "sample" `Quick test_parse_sample;
+          tc "pin groups" `Quick test_pin_group_capacitance;
+          tc "errors" `Quick test_parse_errors;
+          QCheck_alcotest.to_alcotest prop_liberty_garbage_safe ] );
+      ( "models",
+        [ tc "roundtrip" `Quick test_roundtrip_of_tech;
+          tc "matches analytic" `Quick test_gate_model_matches_analytic;
+          tc "fallback" `Quick test_fallback_for_missing_cells;
+          tc "sizing through library" `Quick test_sizing_through_library ] ) ]

@@ -1,0 +1,506 @@
+(* Tests for the netlist substrate: structure, parser round-trips, and
+   functional correctness of every generator (simulation vs arithmetic). *)
+
+module Gate = Minflo_netlist.Gate
+module Netlist = Minflo_netlist.Netlist
+module Bench = Minflo_netlist.Bench_format
+module Gen = Minflo_netlist.Generators
+module Compose = Minflo_netlist.Compose
+module Transform = Minflo_netlist.Transform
+module Iscas85 = Minflo_netlist.Iscas85
+module Rng = Minflo_util.Rng
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ---------- Gate ---------- *)
+
+let test_gate_eval () =
+  check bool "and" true (Gate.eval Gate.And [| true; true |]);
+  check bool "and f" false (Gate.eval Gate.And [| true; false |]);
+  check bool "nand" false (Gate.eval Gate.Nand [| true; true |]);
+  check bool "or" true (Gate.eval Gate.Or [| false; true |]);
+  check bool "nor" true (Gate.eval Gate.Nor [| false; false |]);
+  check bool "not" true (Gate.eval Gate.Not [| false |]);
+  check bool "buf" false (Gate.eval Gate.Buf [| false |]);
+  check bool "xor3" true (Gate.eval Gate.Xor [| true; true; true |]);
+  check bool "xnor" true (Gate.eval Gate.Xnor [| true; true |])
+
+let test_gate_strings () =
+  List.iter
+    (fun k ->
+      match Gate.of_string (Gate.to_string k) with
+      | Some k' -> check bool "roundtrip" true (k = k')
+      | None -> Alcotest.fail "roundtrip failed")
+    Gate.all;
+  check bool "inv alias" true (Gate.of_string "INV" = Some Gate.Not);
+  check bool "lowercase" true (Gate.of_string "nand" = Some Gate.Nand);
+  check bool "unknown" true (Gate.of_string "FOO" = None)
+
+let test_gate_arity () =
+  Alcotest.check_raises "not arity"
+    (Invalid_argument "Gate.eval: NOT takes <= 1 inputs, got 2") (fun () ->
+      ignore (Gate.eval Gate.Not [| true; false |]));
+  Alcotest.check_raises "and arity"
+    (Invalid_argument "Gate.eval: AND needs >= 2 inputs, got 1") (fun () ->
+      ignore (Gate.eval Gate.And [| true |]))
+
+(* ---------- Netlist core ---------- *)
+
+let test_netlist_build () =
+  let nl = Netlist.create ~name:"t" () in
+  let a = Netlist.add_input nl "a" in
+  let b = Netlist.add_input nl "b" in
+  let g = Netlist.add_gate nl "g" Gate.Nand [ a; b ] in
+  Netlist.mark_output nl g;
+  Netlist.validate nl;
+  check int "nodes" 3 (Netlist.node_count nl);
+  check int "gates" 1 (Netlist.gate_count nl);
+  check int "inputs" 2 (Netlist.input_count nl);
+  check (Alcotest.list int) "fanins" [ a; b ] (Netlist.fanins nl g);
+  check (Alcotest.list int) "fanouts a" [ g ] (Netlist.fanouts nl a);
+  check bool "is_output" true (Netlist.is_output nl g);
+  check bool "find" true (Netlist.find nl "g" = Some g)
+
+let test_netlist_duplicate_name () =
+  let nl = Netlist.create () in
+  ignore (Netlist.add_input nl "a");
+  Alcotest.check_raises "dup" (Invalid_argument "Netlist: duplicate node name \"a\"")
+    (fun () -> ignore (Netlist.add_input nl "a"))
+
+let test_netlist_bad_fanin () =
+  let nl = Netlist.create () in
+  let a = Netlist.add_input nl "a" in
+  Alcotest.check_raises "unknown fanin"
+    (Invalid_argument "Netlist: gate \"g\" has unknown fanin 7") (fun () ->
+      ignore (Netlist.add_gate nl "g" Gate.Nand [ a; 7 ]))
+
+let test_netlist_validate_dead_gate () =
+  let nl = Netlist.create () in
+  let a = Netlist.add_input nl "a" in
+  let b = Netlist.add_input nl "b" in
+  let g = Netlist.add_gate nl "g" Gate.Nand [ a; b ] in
+  let dead = Netlist.add_gate nl "dead" Gate.Nor [ a; b ] in
+  ignore dead;
+  Netlist.mark_output nl g;
+  Alcotest.check_raises "dead gate"
+    (Invalid_argument "Netlist.validate: gate \"dead\" drives no primary output")
+    (fun () -> Netlist.validate nl)
+
+let test_netlist_levels () =
+  let nl = Gen.c17 () in
+  let levels = Netlist.levels nl in
+  let g22 = Option.get (Netlist.find nl "22") in
+  check int "depth of 22" 3 levels.(g22);
+  check int "circuit depth" 3 (Netlist.depth nl)
+
+let test_netlist_stats () =
+  let nl = Gen.c17 () in
+  let s = Netlist.stats nl in
+  check int "gates" 6 s.num_gates;
+  check int "inputs" 5 s.num_inputs;
+  check int "outputs" 2 s.num_outputs;
+  check bool "all nand" true (s.gates_by_kind = [ (Gate.Nand, 6) ])
+
+(* ---------- bench format ---------- *)
+
+let c17_text =
+  "# c17\n\
+   INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\n\
+   OUTPUT(22)\nOUTPUT(23)\n\
+   10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n\
+   19 = NAND(11, 7)\n22 = NAND(10, 16)\n23 = NAND(16, 19)\n"
+
+let test_bench_parse () =
+  let nl = Bench.parse_string ~name:"c17" c17_text in
+  check int "gates" 6 (Netlist.gate_count nl);
+  check int "inputs" 5 (Netlist.input_count nl);
+  check int "outputs" 2 (List.length (Netlist.outputs nl))
+
+let test_bench_forward_refs () =
+  (* gates may be declared before their fanins textually *)
+  let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(m)\nm = NAND(a, a)\n" in
+  let nl = Bench.parse_string text in
+  check int "gates" 2 (Netlist.gate_count nl)
+
+let test_bench_roundtrip () =
+  let nl = Gen.c17 () in
+  let nl2 = Bench.parse_string (Bench.to_string nl) in
+  check int "gates" (Netlist.gate_count nl) (Netlist.gate_count nl2);
+  check int "inputs" (Netlist.input_count nl) (Netlist.input_count nl2);
+  (* simulation agreement on all 32 input patterns *)
+  for pattern = 0 to 31 do
+    let bits = Array.init 5 (fun i -> (pattern lsr i) land 1 = 1) in
+    let v1 = Netlist.simulate nl bits and v2 = Netlist.simulate nl2 bits in
+    List.iter2
+      (fun o1 o2 -> check bool "same output" v1.(o1) v2.(o2))
+      (Netlist.outputs nl) (Netlist.outputs nl2)
+  done
+
+let test_bench_errors () =
+  let expect_error text =
+    match Bench.parse_string text with
+    | exception Bench.Parse_error _ -> ()
+    | _ -> Alcotest.fail "expected parse error"
+  in
+  expect_error "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+  expect_error "INPUT(a)\nOUTPUT(y)\ny = NAND(a\n";
+  expect_error "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n";
+  expect_error "INPUT(a)\nOUTPUT(y)\ny = DFF(a)\n";
+  expect_error "INPUT(a)\nOUTPUT(y)\ny = NOT(z)\n";
+  (* cyclic definition *)
+  expect_error "INPUT(a)\nOUTPUT(y)\ny = NAND(a, z)\nz = NAND(a, y)\n"
+
+let test_bench_roundtrip_suite () =
+  (* writer/parser agree structurally on a large generated circuit *)
+  let nl = Gen.alu ~width:4 () in
+  let nl2 = Bench.parse_string (Bench.to_string nl) in
+  check int "gates" (Netlist.gate_count nl) (Netlist.gate_count nl2);
+  check int "depth" (Netlist.depth nl) (Netlist.depth nl2)
+
+(* ---------- generator functional correctness ---------- *)
+
+let out_values nl values = List.map (fun o -> values.(o)) (Netlist.outputs nl)
+
+(* interpret a list of bools as a little-endian integer *)
+let to_int bits = List.fold_right (fun b acc -> (2 * acc) + if b then 1 else 0) bits 0
+
+let adder_case style bits rng =
+  let nl = Gen.ripple_carry_adder ~style ~bits () in
+  let a = Rng.int rng (1 lsl bits) and b = Rng.int rng (1 lsl bits) in
+  let cin = Rng.bool rng in
+  (* inputs in order a0..a(n-1), b0.., cin *)
+  let in_bits =
+    Array.init ((2 * bits) + 1) (fun i ->
+        if i < bits then (a lsr i) land 1 = 1
+        else if i < 2 * bits then (b lsr (i - bits)) land 1 = 1
+        else cin)
+  in
+  let values = Netlist.simulate nl in_bits in
+  (* outputs: s0..s(n-1), cout *)
+  let result = to_int (out_values nl values) in
+  let expected = a + b + if cin then 1 else 0 in
+  result = expected
+
+let prop_adder_compact =
+  QCheck.Test.make ~name:"ripple adder computes a+b+cin (compact)" ~count:100
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      adder_case `Compact (1 + Rng.int rng 12) rng)
+
+let prop_adder_nand =
+  QCheck.Test.make ~name:"ripple adder computes a+b+cin (nand)" ~count:100
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 1000) in
+      adder_case `Nand (1 + Rng.int rng 12) rng)
+
+let ks_case style bits rng =
+  let nl = Gen.kogge_stone_adder ~style ~bits () in
+  let a = Rng.int rng (1 lsl bits) and b = Rng.int rng (1 lsl bits) in
+  let cin = Rng.bool rng in
+  let in_bits =
+    Array.init ((2 * bits) + 1) (fun i ->
+        if i < bits then (a lsr i) land 1 = 1
+        else if i < 2 * bits then (b lsr (i - bits)) land 1 = 1
+        else cin)
+  in
+  let values = Netlist.simulate nl in_bits in
+  to_int (out_values nl values) = a + b + if cin then 1 else 0
+
+let prop_kogge_stone =
+  QCheck.Test.make ~name:"Kogge-Stone adder computes a+b+cin" ~count:100
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 77) in
+      ks_case `Compact (1 + Rng.int rng 12) rng)
+
+let prop_kogge_stone_log_depth =
+  QCheck.Test.make ~name:"Kogge-Stone depth grows logarithmically" ~count:20
+    QCheck.small_nat (fun seed ->
+      let bits = 4 + (seed mod 28) in
+      let ks = Gen.kogge_stone_adder ~bits () in
+      let rc = Gen.ripple_carry_adder ~bits () in
+      Netlist.depth ks
+      <= 4 + (3 * int_of_float (ceil (log (float_of_int bits) /. log 2.0)))
+      && (bits < 8 || Netlist.depth ks < Netlist.depth rc))
+
+let mult_case style bits rng =
+  let nl = Gen.array_multiplier ~style ~bits () in
+  let a = Rng.int rng (1 lsl bits) and b = Rng.int rng (1 lsl bits) in
+  let in_bits =
+    Array.init (2 * bits) (fun i ->
+        if i < bits then (a lsr i) land 1 = 1 else (b lsr (i - bits)) land 1 = 1)
+  in
+  let values = Netlist.simulate nl in_bits in
+  to_int (out_values nl values) = a * b
+
+let prop_multiplier_compact =
+  QCheck.Test.make ~name:"array multiplier computes a*b (compact)" ~count:100
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 2) in
+      mult_case `Compact (2 + Rng.int rng 7) rng)
+
+let prop_multiplier_nand =
+  QCheck.Test.make ~name:"array multiplier computes a*b (nand)" ~count:60
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 3) in
+      mult_case `Nand (2 + Rng.int rng 7) rng)
+
+let prop_parity =
+  QCheck.Test.make ~name:"parity tree computes xor-reduce" ~count:100
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 4) in
+      let width = 2 + Rng.int rng 20 in
+      let nl = Gen.parity_tree ~width () in
+      let bits = Array.init width (fun _ -> Rng.bool rng) in
+      let expected = Array.fold_left (fun acc b -> acc <> b) false bits in
+      let values = Netlist.simulate nl bits in
+      match out_values nl values with
+      | [ p; np ] -> p = expected && np = not expected
+      | _ -> false)
+
+let prop_sec_corrects_single_errors =
+  QCheck.Test.make ~name:"SEC circuit corrects any single data-bit flip"
+    ~count:100 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 5) in
+      let d = 4 + Rng.int rng 28 in
+      let nl = Gen.sec_circuit ~data_bits:d () in
+      let nchecks = Netlist.input_count nl - d in
+      let data = Array.init d (fun _ -> Rng.bool rng) in
+      let flip = Rng.int rng d in
+      let corrupted = Array.mapi (fun j v -> if j = flip then not v else v) data in
+      (* check inputs carry the parity of their data group, using the same
+         published code assignment as the generator *)
+      let codes = Minflo_netlist.Sec_codes.weight2 ~checks:nchecks ~count:d in
+      let chk =
+        Array.init nchecks (fun k ->
+            let parity = ref false in
+            Array.iteri (fun j v -> if (codes.(j) lsr k) land 1 = 1 && v then parity := not !parity) data;
+            !parity)
+      in
+      let input = Array.append corrupted chk in
+      let values = Netlist.simulate nl input in
+      let outs = Array.of_list (out_values nl values) in
+      Array.length outs = d && Array.for_all2 (fun o v -> o = v) outs data)
+
+let prop_comparator =
+  QCheck.Test.make ~name:"comparator computes eq and lt" ~count:150
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 6) in
+      let width = 1 + Rng.int rng 10 in
+      let nl = Gen.comparator ~width () in
+      let a = Rng.int rng (1 lsl width) and b = Rng.int rng (1 lsl width) in
+      let bits =
+        Array.init (2 * width) (fun i ->
+            if i < width then (a lsr i) land 1 = 1 else (b lsr (i - width)) land 1 = 1)
+      in
+      let values = Netlist.simulate nl bits in
+      match out_values nl values with
+      | [ eq; lt ] -> eq = (a = b) && lt = (a < b)
+      | _ -> false)
+
+let prop_mux_tree =
+  QCheck.Test.make ~name:"mux tree selects the addressed input" ~count:150
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 7) in
+      let sel_bits = 1 + Rng.int rng 5 in
+      let ways = 1 lsl sel_bits in
+      let nl = Gen.mux_tree ~select_bits:sel_bits () in
+      let data = Array.init ways (fun _ -> Rng.bool rng) in
+      let sel = Rng.int rng ways in
+      let bits =
+        Array.init (ways + sel_bits) (fun i ->
+            if i < ways then data.(i) else (sel lsr (i - ways)) land 1 = 1)
+      in
+      let values = Netlist.simulate nl bits in
+      match out_values nl values with
+      | [ out ] -> out = data.(sel)
+      | _ -> false)
+
+let prop_alu =
+  QCheck.Test.make ~name:"ALU computes add/and/or/xor per opcode" ~count:150
+    QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 8) in
+      let width = 1 + Rng.int rng 8 in
+      let nl = Gen.alu ~width () in
+      let a = Rng.int rng (1 lsl width) and b = Rng.int rng (1 lsl width) in
+      let cin = Rng.bool rng in
+      let op = Rng.int rng 4 in
+      (* inputs: a*, b*, cin, op0, op1 *)
+      let bits =
+        Array.init ((2 * width) + 3) (fun i ->
+            if i < width then (a lsr i) land 1 = 1
+            else if i < 2 * width then (b lsr (i - width)) land 1 = 1
+            else if i = 2 * width then cin
+            else if i = (2 * width) + 1 then op land 1 = 1
+            else op land 2 = 2)
+      in
+      let values = Netlist.simulate nl bits in
+      let outs = out_values nl values in
+      (* outputs: result bits, carry-out, zero flag *)
+      let result_bits = List.filteri (fun i _ -> i < width) outs in
+      let result = to_int result_bits in
+      let zero = List.nth outs (width + 1) in
+      let mask = (1 lsl width) - 1 in
+      let expected =
+        match op with
+        | 0 -> (a + b + if cin then 1 else 0) land mask
+        | 1 -> a land b
+        | 2 -> a lor b
+        | _ -> a lxor b
+      in
+      result = expected && zero = (result = 0))
+
+let prop_priority_logic =
+  QCheck.Test.make ~name:"priority logic grants the highest active channel"
+    ~count:100 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 10) in
+      let channels = 2 + Rng.int rng 12 in
+      let ngroups = (channels + 2) / 3 in
+      let nl = Gen.priority_logic ~channels () in
+      let req = Array.init channels (fun _ -> Rng.bool rng) in
+      let en = Array.init ngroups (fun _ -> Rng.bool rng) in
+      let values = Netlist.simulate nl (Array.append req en) in
+      let outs = out_values nl values in
+      (* reference semantics *)
+      let active i = req.(i) && en.(i / 3) in
+      let winner =
+        let rec find i = if i < 0 then None else if active i then Some i else find (i - 1) in
+        find (channels - 1)
+      in
+      let bits = int_of_float (ceil (log (float_of_int channels) /. log 2.0)) in
+      (* outputs: encoded index bits (for bit positions with members), then
+         valid, then one ack per group *)
+      let enc_bits =
+        List.filter
+          (fun k -> List.exists (fun i -> (i lsr k) land 1 = 1) (List.init channels Fun.id))
+          (List.init bits Fun.id)
+      in
+      let expected_enc =
+        List.map
+          (fun k -> match winner with Some w -> (w lsr k) land 1 = 1 | None -> false)
+          enc_bits
+      in
+      let expected_valid = winner <> None in
+      let expected_acks =
+        List.init ngroups (fun g ->
+            match winner with Some w -> w / 3 <> g | None -> true)
+      in
+      outs = expected_enc @ (expected_valid :: expected_acks))
+
+let prop_transform_preserves_function =
+  QCheck.Test.make ~name:"expand_xor and to_nand_inv preserve the function"
+    ~count:60 QCheck.small_nat (fun seed ->
+      let rng = Rng.create (seed + 9) in
+      let nl = Gen.random_dag ~gates:40 ~inputs:6 ~outputs:4 ~seed:(seed + 100) () in
+      let variants = [ Transform.expand_xor nl; Transform.to_nand_inv nl ] in
+      let ok = ref true in
+      for _ = 1 to 16 do
+        let bits = Array.init (Netlist.input_count nl) (fun _ -> Rng.bool rng) in
+        let base = Netlist.simulate nl bits in
+        let base_outs = out_values nl base in
+        List.iter
+          (fun v ->
+            let values = Netlist.simulate v bits in
+            if out_values v values <> base_outs then ok := false)
+          variants
+      done;
+      !ok)
+
+let prop_random_dag_valid =
+  QCheck.Test.make ~name:"random DAGs validate and are acyclic" ~count:60
+    QCheck.small_nat (fun seed ->
+      let nl = Gen.random_dag ~gates:60 ~inputs:8 ~outputs:6 ~seed () in
+      Netlist.validate nl;
+      Minflo_graph.Topo.is_dag (Netlist.to_digraph nl))
+
+(* ---------- compose / iscas85 ---------- *)
+
+let test_merge () =
+  let a = Gen.c17 () in
+  let b = Gen.parity_tree ~width:4 () in
+  let m = Compose.merge ~name:"both" [ a; b ] in
+  check int "gates" (Netlist.gate_count a + Netlist.gate_count b) (Netlist.gate_count m);
+  check int "inputs" (Netlist.input_count a + Netlist.input_count b) (Netlist.input_count m);
+  check int "outputs" 4 (List.length (Netlist.outputs m))
+
+let test_pad_random_exact () =
+  let nl = Gen.c17 () in
+  List.iter
+    (fun target ->
+      let padded = Compose.pad_random nl ~target_gates:target ~seed:5 () in
+      check int (Printf.sprintf "padded to %d" target) target (Netlist.gate_count padded);
+      Netlist.validate padded)
+    [ 7; 8; 9; 20; 101 ]
+
+let test_pad_noop () =
+  let nl = Gen.c17 () in
+  let same = Compose.pad_random nl ~target_gates:3 ~seed:5 () in
+  check int "unchanged" 6 (Netlist.gate_count same)
+
+let test_iscas85_counts () =
+  List.iter
+    (fun (info : Iscas85.info) ->
+      if String.length info.name > 1 && info.name.[0] = 'c' then begin
+        let nl = Iscas85.circuit info.name in
+        check int (info.name ^ " gate count") info.gates_published (Netlist.gate_count nl)
+      end)
+    Iscas85.suite
+
+let test_iscas85_deterministic () =
+  let a = Iscas85.circuit "c432" and b = Iscas85.circuit "c432" in
+  check int "same gates" (Netlist.gate_count a) (Netlist.gate_count b);
+  check int "same depth" (Netlist.depth a) (Netlist.depth b);
+  let bits = Array.make (Netlist.input_count a) true in
+  let va = Netlist.simulate a bits and vb = Netlist.simulate b bits in
+  List.iter2
+    (fun oa ob -> check bool "same function" va.(oa) vb.(ob))
+    (Netlist.outputs a) (Netlist.outputs b)
+
+let test_iscas85_unknown () =
+  Alcotest.check_raises "unknown" (Invalid_argument "Iscas85.circuit: unknown circuit \"c9999\"")
+    (fun () -> ignore (Iscas85.circuit "c9999"))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "netlist"
+    [ ( "gate",
+        [ tc "eval" `Quick test_gate_eval;
+          tc "strings" `Quick test_gate_strings;
+          tc "arity" `Quick test_gate_arity ] );
+      ( "netlist",
+        [ tc "build" `Quick test_netlist_build;
+          tc "duplicate name" `Quick test_netlist_duplicate_name;
+          tc "bad fanin" `Quick test_netlist_bad_fanin;
+          tc "dead gate" `Quick test_netlist_validate_dead_gate;
+          tc "levels" `Quick test_netlist_levels;
+          tc "stats" `Quick test_netlist_stats ] );
+      ( "bench",
+        [ tc "parse c17" `Quick test_bench_parse;
+          tc "forward refs" `Quick test_bench_forward_refs;
+          tc "roundtrip c17" `Quick test_bench_roundtrip;
+          tc "roundtrip alu" `Quick test_bench_roundtrip_suite;
+          tc "errors" `Quick test_bench_errors ] );
+      ( "generators",
+        [ QCheck_alcotest.to_alcotest prop_adder_compact;
+          QCheck_alcotest.to_alcotest prop_adder_nand;
+          QCheck_alcotest.to_alcotest prop_kogge_stone;
+          QCheck_alcotest.to_alcotest prop_kogge_stone_log_depth;
+          QCheck_alcotest.to_alcotest prop_multiplier_compact;
+          QCheck_alcotest.to_alcotest prop_multiplier_nand;
+          QCheck_alcotest.to_alcotest prop_parity;
+          QCheck_alcotest.to_alcotest prop_sec_corrects_single_errors;
+          QCheck_alcotest.to_alcotest prop_priority_logic;
+          QCheck_alcotest.to_alcotest prop_comparator;
+          QCheck_alcotest.to_alcotest prop_mux_tree;
+          QCheck_alcotest.to_alcotest prop_alu;
+          QCheck_alcotest.to_alcotest prop_transform_preserves_function;
+          QCheck_alcotest.to_alcotest prop_random_dag_valid ] );
+      ( "compose",
+        [ tc "merge" `Quick test_merge;
+          tc "pad exact" `Quick test_pad_random_exact;
+          tc "pad noop" `Quick test_pad_noop ] );
+      ( "iscas85",
+        [ tc "published counts" `Slow test_iscas85_counts;
+          tc "deterministic" `Quick test_iscas85_deterministic;
+          tc "unknown" `Quick test_iscas85_unknown ] ) ]

@@ -1,0 +1,96 @@
+(* Tests for switching-activity estimation and power reporting. *)
+
+module Activity = Minflo_power.Activity
+module Power = Minflo_power.Power
+module Netlist = Minflo_netlist.Netlist
+module Gate = Minflo_netlist.Gate
+module Gen = Minflo_netlist.Generators
+module Tech = Minflo_tech.Tech
+module Elmore = Minflo_tech.Elmore
+module Sweep = Minflo_sizing.Sweep
+module Tilos = Minflo_sizing.Tilos
+module Minflotransit = Minflo_sizing.Minflotransit
+module Rng = Minflo_util.Rng
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let tech = Tech.default_130nm
+
+let test_constant_node_never_toggles () =
+  (* z = AND(a, NOT a) is constant 0: zero toggles, zero probability *)
+  let nl = Netlist.create () in
+  let a = Netlist.add_input nl "a" in
+  let na = Netlist.add_gate nl "na" Gate.Not [ a ] in
+  let z = Netlist.add_gate nl "z" Gate.And [ a; na ] in
+  Netlist.mark_output nl z;
+  Netlist.validate nl;
+  let act = Activity.estimate ~patterns:512 ~seed:7 nl in
+  check (Alcotest.float 1e-9) "toggle" 0.0 act.toggle_rate.(z);
+  check (Alcotest.float 1e-9) "prob" 0.0 act.one_probability.(z);
+  let ex = Activity.exact_small nl in
+  check (Alcotest.float 1e-9) "exact toggle" 0.0 ex.toggle_rate.(z)
+
+let test_input_statistics () =
+  let nl = Gen.c17 () in
+  let act = Activity.estimate ~patterns:4096 ~seed:11 nl in
+  List.iter
+    (fun v ->
+      check bool "input prob near half" true
+        (abs_float (act.one_probability.(v) -. 0.5) < 0.05);
+      check bool "input toggles near half" true
+        (abs_float (act.toggle_rate.(v) -. 0.5) < 0.05))
+    (Netlist.inputs nl)
+
+let prop_monte_carlo_matches_exact =
+  QCheck.Test.make
+    ~name:"Monte-Carlo activity converges to the exhaustive oracle"
+    ~count:25 QCheck.small_nat (fun seed ->
+      let nl = Gen.random_dag ~gates:20 ~inputs:5 ~outputs:3 ~seed:(seed + 41) () in
+      let mc = Activity.estimate ~patterns:6000 ~seed:(seed + 1) nl in
+      let ex = Activity.exact_small nl in
+      let ok = ref true in
+      for v = 0 to Netlist.node_count nl - 1 do
+        if abs_float (mc.one_probability.(v) -. ex.one_probability.(v)) > 0.05 then
+          ok := false;
+        if abs_float (mc.toggle_rate.(v) -. ex.toggle_rate.(v)) > 0.07 then ok := false
+      done;
+      !ok)
+
+let test_activity_deterministic () =
+  let nl = Gen.c17 () in
+  let a = Activity.estimate ~patterns:256 ~seed:3 nl in
+  let b = Activity.estimate ~patterns:256 ~seed:3 nl in
+  check bool "same" true (a.toggle_rate = b.toggle_rate)
+
+let test_power_monotone_in_sizes () =
+  let nl = Gen.c17 () in
+  let act = Activity.exact_small nl in
+  let base = Power.min_size_baseline tech nl ~activity:act in
+  let bigger = Power.dynamic tech nl ~activity:act ~sizes:(Array.make 6 4.0) in
+  check bool "positive" true (base.total > 0.0);
+  check bool "bigger sizes, more power" true (bigger.total > base.total)
+
+let test_sizing_power_story () =
+  (* the [13] motivation: at an equal delay target, the smaller
+     MINFLOTRANSIT sizing burns no more switching power than TILOS *)
+  let nl = Minflo_netlist.Iscas85.circuit "c432" in
+  let model = Elmore.of_netlist tech nl in
+  let target = 0.5 *. Sweep.dmin model in
+  let tilos = Tilos.size model ~target in
+  let mf = Minflotransit.refine_from model ~target ~init:tilos.sizes ~tilos in
+  let act = Activity.estimate ~patterns:1024 ~seed:99 nl in
+  let p_tilos = Power.dynamic tech nl ~activity:act ~sizes:tilos.sizes in
+  let p_mf = Power.dynamic tech nl ~activity:act ~sizes:mf.sizes in
+  check bool "minflo never burns more" true (p_mf.total <= p_tilos.total +. 1e-9)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "power"
+    [ ( "activity",
+        [ tc "constant node" `Quick test_constant_node_never_toggles;
+          tc "input statistics" `Quick test_input_statistics;
+          tc "deterministic" `Quick test_activity_deterministic;
+          QCheck_alcotest.to_alcotest prop_monte_carlo_matches_exact ] );
+      ( "power",
+        [ tc "monotone in sizes" `Quick test_power_monotone_in_sizes;
+          tc "sizing power story" `Slow test_sizing_power_story ] ) ]

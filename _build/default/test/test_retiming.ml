@@ -1,0 +1,178 @@
+(* Tests for the retiming module — the Leiserson-Saxe machinery that the
+   paper's D-phase borrows (FSDU displacement = register relabeling). *)
+
+module R = Minflo_retiming.Retiming
+module Rng = Minflo_util.Rng
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* two-node loop: A(5) -0-> B(5) -2-> A; one register must move *)
+let two_node_loop () =
+  let t = R.create ~name:"loop" () in
+  let a = R.add_node t ~delay:5.0 "A" in
+  let b = R.add_node t ~delay:5.0 "B" in
+  R.add_edge t a b ~registers:0;
+  R.add_edge t b a ~registers:2;
+  t
+
+let test_loop_period () =
+  let t = two_node_loop () in
+  R.validate t;
+  check (Alcotest.float 1e-9) "initial period" 10.0 (R.clock_period t);
+  check (Alcotest.float 1e-9) "min period" 5.0 (R.min_period t);
+  match R.retime t ~period:5.0 with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let t' = R.apply t r in
+    check (Alcotest.float 1e-9) "retimed period" 5.0 (R.clock_period t');
+    check int "registers preserved on the cycle" 2 (R.total_registers t')
+
+let test_loop_infeasible_below () =
+  let t = two_node_loop () in
+  check bool "4.9 infeasible" false (R.feasible t ~period:4.9);
+  check bool "5.0 feasible" true (R.feasible t ~period:5.0);
+  match R.retime t ~period:4.0 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected infeasibility"
+
+(* the classic pipeline: a chain can always be pipelined down to its
+   slowest stage if enough registers sit at the end *)
+let test_pipeline_chain () =
+  let t = R.create () in
+  let n0 = R.add_node t ~delay:2.0 "s0" in
+  let n1 = R.add_node t ~delay:4.0 "s1" in
+  let n2 = R.add_node t ~delay:3.0 "s2" in
+  let n3 = R.add_node t ~delay:1.0 "s3" in
+  R.add_edge t n0 n1 ~registers:0;
+  R.add_edge t n1 n2 ~registers:0;
+  R.add_edge t n2 n3 ~registers:3;
+  check (Alcotest.float 1e-9) "combinational now" 9.0 (R.clock_period t);
+  let p = R.min_period t in
+  check (Alcotest.float 1e-9) "pipelined to the slowest stage" 4.0 p;
+  match R.retime t ~period:p with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let t' = R.apply t r in
+    check bool "achieves it" true (R.clock_period t' <= p +. 1e-9)
+
+let test_illegal_cycle_rejected () =
+  let t = R.create () in
+  let a = R.add_node t "A" in
+  let b = R.add_node t "B" in
+  R.add_edge t a b ~registers:0;
+  R.add_edge t b a ~registers:0;
+  match R.validate t with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected rejection of a register-free cycle"
+
+let test_min_registers_beats_plain_retime () =
+  (* a fork-join where plain feasibility retiming duplicates registers on
+     both branches while the flow-based one shares them *)
+  let t = R.create () in
+  let src = R.add_node t ~delay:6.0 "src" in
+  let a = R.add_node t ~delay:6.0 "a" in
+  let b = R.add_node t ~delay:6.0 "b" in
+  let join = R.add_node t ~delay:6.0 "join" in
+  R.add_edge t src a ~registers:0;
+  R.add_edge t src b ~registers:0;
+  R.add_edge t a join ~registers:0;
+  R.add_edge t b join ~registers:0;
+  R.add_edge t join src ~registers:4;
+  let period = 6.0 in
+  match (R.retime t ~period, R.min_registers t ~period) with
+  | Ok r1, Ok r2 ->
+    let t1 = R.apply t r1 and t2 = R.apply t r2 in
+    check bool "both meet the period" true
+      (R.clock_period t1 <= period +. 1e-9 && R.clock_period t2 <= period +. 1e-9);
+    check bool "flow-based uses no more registers" true
+      (R.total_registers t2 <= R.total_registers t1)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+(* random legal synchronous graphs: layered DAG edges (some with 0 regs)
+   plus feedback edges that always carry registers *)
+let random_circuit seed =
+  let rng = Rng.create seed in
+  let t = R.create () in
+  let n = 4 + Rng.int rng 10 in
+  let nodes =
+    Array.init n (fun i ->
+        R.add_node t ~delay:(1.0 +. Rng.float rng 8.0) (Printf.sprintf "v%d" i))
+  in
+  for v = 1 to n - 1 do
+    (* forward edges keep the zero-register subgraph acyclic *)
+    let u = Rng.int rng v in
+    R.add_edge t nodes.(u) nodes.(v) ~registers:(Rng.int rng 2);
+    if Rng.int rng 3 = 0 then begin
+      let u2 = Rng.int rng v in
+      R.add_edge t nodes.(u2) nodes.(v) ~registers:(Rng.int rng 2)
+    end
+  done;
+  (* feedback with registers *)
+  for _ = 1 to 1 + Rng.int rng 3 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u > v then R.add_edge t nodes.(u) nodes.(v) ~registers:(1 + Rng.int rng 2)
+  done;
+  t
+
+let prop_min_period_achievable =
+  QCheck.Test.make ~name:"retiming to min_period always achieves it" ~count:80
+    QCheck.small_nat (fun seed ->
+      let t = random_circuit (seed + 17) in
+      R.validate t;
+      let p = R.min_period t in
+      match R.retime t ~period:p with
+      | Error _ -> false
+      | Ok r ->
+        let t' = R.apply t r in
+        R.clock_period t' <= p +. 1e-6)
+
+let prop_min_period_is_minimal =
+  QCheck.Test.make ~name:"nothing below min_period is feasible" ~count:80
+    QCheck.small_nat (fun seed ->
+      let t = random_circuit (seed + 1017) in
+      let p = R.min_period t in
+      not (R.feasible t ~period:(p *. 0.95 -. 1e-6)))
+
+let prop_min_registers_feasible_and_cheaper =
+  QCheck.Test.make
+    ~name:"min-register retiming meets the period with <= registers" ~count:80
+    QCheck.small_nat (fun seed ->
+      let t = random_circuit (seed + 2017) in
+      let p = R.min_period t in
+      match (R.retime t ~period:p, R.min_registers t ~period:p) with
+      | Ok r1, Ok r2 ->
+        let t1 = R.apply t r1 and t2 = R.apply t r2 in
+        R.clock_period t2 <= p +. 1e-6
+        && R.total_registers t2 <= R.total_registers t1
+      | _ -> false)
+
+let prop_retiming_invertible =
+  QCheck.Test.make
+    ~name:"applying a retiming and then its negation restores the circuit"
+    ~count:50 QCheck.small_nat (fun seed ->
+      let t = random_circuit (seed + 3017) in
+      let p = R.min_period t in
+      match R.retime t ~period:p with
+      | Error _ -> false
+      | Ok r ->
+        let t' = R.apply t r in
+        let back = R.apply t' (Array.map (fun x -> -x) r) in
+        R.total_registers back = R.total_registers t
+        && abs_float (R.clock_period back -. R.clock_period t) < 1e-9)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "retiming"
+    [ ( "examples",
+        [ tc "two-node loop" `Quick test_loop_period;
+          tc "infeasible below" `Quick test_loop_infeasible_below;
+          tc "pipeline chain" `Quick test_pipeline_chain;
+          tc "illegal cycle" `Quick test_illegal_cycle_rejected;
+          tc "min registers" `Quick test_min_registers_beats_plain_retime ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_min_period_achievable;
+          QCheck_alcotest.to_alcotest prop_min_period_is_minimal;
+          QCheck_alcotest.to_alcotest prop_min_registers_feasible_and_cheaper;
+          QCheck_alcotest.to_alcotest prop_retiming_invertible ] ) ]

@@ -1,0 +1,464 @@
+(* Tests for the sizing engines: TILOS, W-phase minimality, D-phase
+   feasibility/optimality structure, and the full MINFLOTRANSIT loop. *)
+
+module Gen = Minflo_netlist.Generators
+module Iscas85 = Minflo_netlist.Iscas85
+module Transform = Minflo_netlist.Transform
+module Tech = Minflo_tech.Tech
+module DM = Minflo_tech.Delay_model
+module Elmore = Minflo_tech.Elmore
+module Transistor = Minflo_tech.Transistor
+module Sta = Minflo_timing.Sta
+module Tilos = Minflo_sizing.Tilos
+module Wphase = Minflo_sizing.Wphase
+module Dphase = Minflo_sizing.Dphase
+module Sensitivity = Minflo_sizing.Sensitivity
+module Minflotransit = Minflo_sizing.Minflotransit
+module Sweep = Minflo_sizing.Sweep
+module Rng = Minflo_util.Rng
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let tech = Tech.default_130nm
+
+let model_of nl = Elmore.of_netlist tech nl
+
+let random_model seed =
+  model_of (Gen.random_dag ~gates:35 ~inputs:6 ~outputs:4 ~seed ())
+
+(* ---------- TILOS ---------- *)
+
+let test_tilos_meets_target () =
+  let model = model_of (Gen.c17 ()) in
+  let d0 = Sweep.dmin model in
+  let r = Tilos.size model ~target:(0.6 *. d0) in
+  check bool "met" true r.met;
+  check bool "cp within target" true (r.final_cp <= 0.6 *. d0 *. (1.0 +. 1e-9));
+  check bool "bumped something" true (r.bumps > 0);
+  check bool "sizes within bounds" true (Result.is_ok (DM.check_sizes model r.sizes))
+
+let test_tilos_trivial_target () =
+  let model = model_of (Gen.c17 ()) in
+  let d0 = Sweep.dmin model in
+  let r = Tilos.size model ~target:(2.0 *. d0) in
+  check bool "met with no bumps" true (r.met && r.bumps = 0);
+  check (Alcotest.float 1e-9) "area is minimal" (Sweep.min_area model) r.area
+
+let test_tilos_impossible_target () =
+  let model = model_of (Gen.c17 ()) in
+  let r = Tilos.size model ~target:1.0 in
+  check bool "not met" false r.met
+
+let prop_tilos_monotone_area =
+  QCheck.Test.make ~name:"TILOS: tighter targets cost no less area" ~count:20
+    QCheck.small_nat (fun seed ->
+      let model = random_model (seed + 41) in
+      let d0 = Sweep.dmin model in
+      let loose = Tilos.size model ~target:(0.8 *. d0) in
+      let tight = Tilos.size model ~target:(0.6 *. d0) in
+      (not (loose.met && tight.met)) || tight.area >= loose.area -. 1e-9)
+
+(* ---------- W-phase ---------- *)
+
+let prop_wphase_meets_budgets =
+  QCheck.Test.make ~name:"W-phase sizes satisfy every delay budget" ~count:60
+    QCheck.small_nat (fun seed ->
+      let model = random_model (seed + 301) in
+      let rng = Rng.create (seed + 1) in
+      (* budgets: delays of a random feasible sizing, slightly relaxed *)
+      let x0 =
+        Array.init (DM.num_vertices model) (fun _ -> 1.0 +. Rng.float rng 4.0)
+      in
+      let budgets = Array.map (fun d -> d *. 1.05) (DM.delays model x0) in
+      match Wphase.solve model ~budgets with
+      | Error _ -> false
+      | Ok w ->
+        w.feasible
+        && Array.for_all2
+             (fun d budget -> d <= budget +. 1e-6 *. budget)
+             (DM.delays model w.sizes) budgets)
+
+let prop_wphase_minimal =
+  QCheck.Test.make
+    ~name:"W-phase least fixpoint is pointwise below any feasible sizing"
+    ~count:60 QCheck.small_nat (fun seed ->
+      let model = random_model (seed + 3001) in
+      let rng = Rng.create (seed + 2) in
+      let x0 =
+        Array.init (DM.num_vertices model) (fun _ -> 1.0 +. Rng.float rng 6.0)
+      in
+      let budgets = DM.delays model x0 in
+      match Wphase.solve model ~budgets with
+      | Error _ -> true (* some random budget fell below intrinsic: skip *)
+      | Ok w ->
+        (* x0 is feasible for its own delays, so the LFP is <= x0 *)
+        Array.for_all2 (fun xw x -> xw <= x +. 1e-6) w.sizes x0)
+
+let test_wphase_rejects_impossible_budget () =
+  let model = model_of (Gen.c17 ()) in
+  let budgets = Array.make (DM.num_vertices model) 1e-9 in
+  check bool "error" true (Result.is_error (Wphase.solve model ~budgets))
+
+(* ---------- sensitivity ---------- *)
+
+let prop_sensitivity_positive =
+  QCheck.Test.make ~name:"sensitivity weights are strictly positive" ~count:40
+    QCheck.small_nat (fun seed ->
+      let model = random_model (seed + 87) in
+      let rng = Rng.create (seed + 3) in
+      let x = Array.init (DM.num_vertices model) (fun _ -> 1.0 +. Rng.float rng 3.0) in
+      let delays = DM.delays model x in
+      let w = Sensitivity.weights model ~sizes:x ~delays in
+      Array.for_all (fun c -> c > 0.0) w)
+
+let prop_sensitivity_predicts_area_direction =
+  QCheck.Test.make
+    ~name:"first-order model: relaxing one budget shrinks the W-phase area"
+    ~count:30 QCheck.small_nat (fun seed ->
+      let model = random_model (seed + 57) in
+      let rng = Rng.create (seed + 4) in
+      let x = Array.init (DM.num_vertices model) (fun _ -> 2.0 +. Rng.float rng 3.0) in
+      let budgets = DM.delays model x in
+      match Wphase.solve model ~budgets with
+      | Error _ -> true
+      | Ok base ->
+        let i = Rng.int rng (DM.num_vertices model) in
+        let relaxed = Array.copy budgets in
+        relaxed.(i) <- relaxed.(i) *. 1.10;
+        (match Wphase.solve model ~budgets:relaxed with
+        | Error _ -> true
+        | Ok better ->
+          (* relaxing a budget can only reduce the minimal area *)
+          DM.area model better.sizes <= DM.area model base.sizes +. 1e-6))
+
+(* ---------- D-phase ---------- *)
+
+let dphase_setup seed =
+  let model = random_model (seed + 761) in
+  let d0 = Sweep.dmin model in
+  let target = 0.7 *. d0 in
+  let t = Tilos.size model ~target in
+  if t.met then Some (model, target, t) else None
+
+let prop_dphase_budgets_feasible =
+  QCheck.Test.make
+    ~name:"D-phase budgets keep every full path within the deadline"
+    ~count:40 QCheck.small_nat (fun seed ->
+      match dphase_setup seed with
+      | None -> true
+      | Some (model, target, t) -> (
+        let delays = DM.delays model t.sizes in
+        match Dphase.solve model ~sizes:t.sizes ~delays ~deadline:target with
+        | Error _ -> false
+        | Ok d ->
+          (* treating budgets as vertex delays, the longest path must fit *)
+          Sta.critical_path_only model ~delays:d.budgets
+          <= target *. (1.0 +. 1e-9)))
+
+let prop_dphase_nonnegative_objective =
+  QCheck.Test.make
+    ~name:"D-phase predicted gain is non-negative (r = 0 is feasible)"
+    ~count:40 QCheck.small_nat (fun seed ->
+      match dphase_setup (seed + 1000) with
+      | None -> true
+      | Some (model, target, t) -> (
+        let delays = DM.delays model t.sizes in
+        match Dphase.solve model ~sizes:t.sizes ~delays ~deadline:target with
+        | Error _ -> false
+        | Ok d -> d.objective >= -1e-6))
+
+let prop_dphase_solver_agreement =
+  QCheck.Test.make ~name:"D-phase via simplex and SSP agree on the objective"
+    ~count:15 QCheck.small_nat (fun seed ->
+      match dphase_setup (seed + 2000) with
+      | None -> true
+      | Some (model, target, t) -> (
+        let delays = DM.delays model t.sizes in
+        let run solver =
+          Dphase.solve
+            ~options:{ Dphase.default_options with solver }
+            model ~sizes:t.sizes ~delays ~deadline:target
+        in
+        match (run `Simplex, run `Ssp) with
+        | Ok a, Ok b -> a.lp_objective = b.lp_objective
+        | _ -> false))
+
+(* ---------- MINFLOTRANSIT ---------- *)
+
+let prop_minflo_improves_and_meets =
+  QCheck.Test.make
+    ~name:"MINFLOTRANSIT never exceeds the target and never beats TILOS on \
+           area upward"
+    ~count:25 QCheck.small_nat (fun seed ->
+      let model = random_model (seed + 5001) in
+      let d0 = Sweep.dmin model in
+      let r = Minflotransit.optimize model ~target:(0.65 *. d0) in
+      if not r.met then r.iterations = 0
+      else
+        r.cp <= 0.65 *. d0 *. (1.0 +. 1e-6)
+        && r.area <= r.tilos.area +. 1e-9
+        && Result.is_ok (DM.check_sizes model r.sizes))
+
+let prop_minflo_area_trace_monotone =
+  QCheck.Test.make ~name:"accepted iterations decrease area monotonically"
+    ~count:20 QCheck.small_nat (fun seed ->
+      let model = random_model (seed + 6001) in
+      let d0 = Sweep.dmin model in
+      let r = Minflotransit.optimize model ~target:(0.7 *. d0) in
+      let rec decreasing : Minflotransit.iteration list -> bool = function
+        | a :: (b :: _ as rest) -> a.area >= b.area -. 1e-9 && decreasing rest
+        | _ -> true
+      in
+      decreasing r.trace)
+
+let test_minflo_c17_saves_area () =
+  let model = model_of (Gen.c17 ()) in
+  let d0 = Sweep.dmin model in
+  let r = Minflotransit.optimize model ~target:(0.5 *. d0) in
+  check bool "met" true r.met;
+  check bool "saves area" true (r.area_saving_pct > 0.0)
+
+let test_minflo_figure6_intuition () =
+  (* the paper's qualitative example: A drives both B and C; both paths are
+     critical. The optimizer should exploit the shared driver A. *)
+  let nl = Minflo_netlist.Netlist.create ~name:"fig6" () in
+  let i = Minflo_netlist.Netlist.add_input nl "i" in
+  let a = Minflo_netlist.Netlist.add_gate nl "A" Minflo_netlist.Gate.Not [ i ] in
+  let b = Minflo_netlist.Netlist.add_gate nl "B" Minflo_netlist.Gate.Not [ a ] in
+  let c = Minflo_netlist.Netlist.add_gate nl "C" Minflo_netlist.Gate.Not [ a ] in
+  Minflo_netlist.Netlist.mark_output nl b;
+  Minflo_netlist.Netlist.mark_output nl c;
+  Minflo_netlist.Netlist.validate nl;
+  let model = model_of nl in
+  let d0 = Sweep.dmin model in
+  let r = Minflotransit.optimize model ~target:(0.55 *. d0) in
+  check bool "met" true r.met;
+  check bool "improves on TILOS" true (r.area < r.tilos.area +. 1e-9)
+
+let test_minflo_transistor_level () =
+  (* true transistor sizing end-to-end on c17 *)
+  let model = Transistor.of_netlist tech (Gen.c17 ()) in
+  let d0 = Sweep.dmin model in
+  let r = Minflotransit.optimize model ~target:(0.6 *. d0) in
+  check bool "met" true r.met;
+  check bool "area no worse than TILOS" true (r.area <= r.tilos.area +. 1e-9)
+
+let test_minflo_wire_sizing () =
+  (* simultaneous gate + wire sizing end-to-end (Section 2.1) *)
+  let model = Elmore.with_wires tech (Gen.c17 ()) in
+  let d0 = Sweep.dmin model in
+  let r = Minflotransit.optimize model ~target:(0.6 *. d0) in
+  check bool "met" true r.met;
+  check bool "no worse than TILOS" true (r.area <= r.tilos.area +. 1e-9)
+
+let test_refine_equals_optimize_tail () =
+  let model = model_of (Gen.c17 ()) in
+  let d0 = Sweep.dmin model in
+  let target = 0.6 *. d0 in
+  let t = Tilos.size model ~target in
+  let r = Minflotransit.refine model ~target ~init:t.sizes in
+  check bool "met" true r.met;
+  check bool "no worse" true (r.area <= t.area +. 1e-9)
+
+(* ---------- optimality probe ---------- *)
+
+let test_optimality_probe_converged () =
+  let model = model_of (Gen.c17 ()) in
+  let d0 = Sweep.dmin model in
+  let target = 0.5 *. d0 in
+  let r = Minflotransit.optimize model ~target in
+  check bool "met" true r.met;
+  let p =
+    Minflo_sizing.Optimality.probe ~trials:120 ~seed:5 model ~target ~sizes:r.sizes
+  in
+  (* Theorem 3: a converged solution admits (essentially) no improving
+     perturbation *)
+  check bool "no significant improvement" true (p.best_gain_pct < 0.2)
+
+let prop_probe_never_breaks_timing =
+  QCheck.Test.make
+    ~name:"every improvement found by the probe still meets the deadline"
+    ~count:10 QCheck.small_nat (fun seed ->
+      let model = random_model (seed + 9001) in
+      let d0 = Sweep.dmin model in
+      let target = 0.7 *. d0 in
+      let t = Tilos.size model ~target in
+      if not t.met then true
+      else begin
+        let p =
+          Minflo_sizing.Optimality.probe ~trials:40 ~seed model ~target
+            ~sizes:t.sizes
+        in
+        match p.best_sizes with
+        | None -> true
+        | Some x ->
+          Sta.critical_path_only model ~delays:(DM.delays model x)
+          <= target *. (1.0 +. 1e-6)
+      end)
+
+(* ---------- discretization ---------- *)
+
+let test_geometric_grid () =
+  let g = Minflo_sizing.Discrete.geometric ~ratio:2.0 ~min:1.0 ~max:16.0 in
+  check bool "ladder" true (g = [ 1.0; 2.0; 4.0; 8.0; 16.0 ]);
+  check (Alcotest.float 1e-9) "snap within" 4.0
+    (Minflo_sizing.Discrete.snap_up g 3.1);
+  check (Alcotest.float 1e-9) "snap exact" 2.0
+    (Minflo_sizing.Discrete.snap_up g 2.0);
+  check (Alcotest.float 1e-9) "snap above top" 16.0
+    (Minflo_sizing.Discrete.snap_up g 40.0)
+
+let test_discretize_feasible_with_penalty () =
+  let model = model_of (Iscas85.circuit "c432") in
+  let d0 = Sweep.dmin model in
+  let target = 0.5 *. d0 in
+  let r = Minflotransit.optimize model ~target in
+  check bool "continuous met" true r.met;
+  let grid =
+    Minflo_sizing.Discrete.geometric ~ratio:1.5 ~min:1.0
+      ~max:model.Minflo_tech.Delay_model.max_size
+  in
+  let d = Minflo_sizing.Discrete.discretize model ~target ~continuous:r.sizes grid in
+  check bool "discrete met" true d.met;
+  check bool "snapped to grid" true
+    (Array.for_all (fun x -> List.exists (fun g -> abs_float (g -. x) < 1e-9) grid) d.sizes);
+  check bool "penalty non-negative" true (d.area_penalty_pct >= -1e-9)
+
+let prop_finer_grid_smaller_penalty =
+  QCheck.Test.make
+    ~name:"refining the drive ladder does not increase the snap penalty"
+    ~count:10 QCheck.small_nat (fun seed ->
+      let model = random_model (seed + 8001) in
+      let d0 = Sweep.dmin model in
+      let target = 0.65 *. d0 in
+      let r = Minflotransit.optimize model ~target in
+      if not r.met then true
+      else begin
+        let penalty ratio =
+          let grid =
+            Minflo_sizing.Discrete.geometric ~ratio ~min:1.0
+              ~max:model.Minflo_tech.Delay_model.max_size
+          in
+          let d =
+            Minflo_sizing.Discrete.discretize model ~target ~continuous:r.sizes grid
+          in
+          if d.met then Some d.area_penalty_pct else None
+        in
+        (* greedy repair adds noise, so allow a small tolerance: the trend,
+           not strict monotonicity, is the property *)
+        match (penalty 2.0, penalty 1.2) with
+        | Some coarse, Some fine -> fine <= coarse +. 0.5
+        | _ -> true
+      end)
+
+(* ---------- Lagrangian baseline ---------- *)
+
+let test_lagrangian_feasible_and_no_worse () =
+  let model = model_of (Gen.c17 ()) in
+  let d0 = Sweep.dmin model in
+  let target = 0.5 *. d0 in
+  let tilos = Tilos.size model ~target in
+  let lr = Minflo_sizing.Lagrangian.size model ~target in
+  check bool "met" true lr.met;
+  check bool "cp within target" true (lr.cp <= target *. (1.0 +. 1e-9));
+  check bool "never worse than the TILOS seed" true (lr.area <= tilos.area +. 1e-9);
+  check bool "sizes in bounds" true (Result.is_ok (DM.check_sizes model lr.sizes))
+
+let test_lagrangian_beats_tilos_on_c432 () =
+  let model = model_of (Iscas85.circuit "c432") in
+  let target = 0.4 *. Sweep.dmin model in
+  let tilos = Tilos.size model ~target in
+  let lr =
+    Minflo_sizing.Lagrangian.size
+      ~options:{ Minflo_sizing.Lagrangian.default_options with iterations = 20 }
+      model ~target
+  in
+  check bool "lr met" true lr.met;
+  check bool "strictly better than TILOS" true (lr.area < tilos.area)
+
+let prop_lagrangian_always_feasible =
+  QCheck.Test.make ~name:"Lagrangian results always respect the deadline"
+    ~count:10 QCheck.small_nat (fun seed ->
+      let model = random_model (seed + 7001) in
+      let d0 = Sweep.dmin model in
+      let target = 0.6 *. d0 in
+      let lr =
+        Minflo_sizing.Lagrangian.size
+          ~options:{ Minflo_sizing.Lagrangian.default_options with iterations = 5 }
+          model ~target
+      in
+      (not lr.met) || lr.cp <= target *. (1.0 +. 1e-6))
+
+(* ---------- sweep ---------- *)
+
+let test_sweep_curve_monotone () =
+  let model = model_of (Gen.ripple_carry_adder ~bits:4 ()) in
+  let points = Sweep.curve model ~factors:[ 0.5; 0.7; 0.9 ] in
+  let ratios =
+    List.filter_map
+      (fun (p : Sweep.point) ->
+        if p.tilos_met then Some p.minflo_area_ratio else None)
+      points
+  in
+  check bool "all met" true (List.length ratios = 3);
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && non_increasing rest
+    | _ -> true
+  in
+  check bool "looser target, smaller area" true (non_increasing ratios);
+  check bool "minflo <= tilos pointwise" true
+    (List.for_all
+       (fun (p : Sweep.point) ->
+         (not p.tilos_met) || p.minflo_area_ratio <= p.tilos_area_ratio +. 1e-9)
+       points)
+
+let test_iscas_row_shape () =
+  (* one real Table 1 row end-to-end (small circuit to stay fast) *)
+  let model = model_of (Iscas85.circuit "c432") in
+  let p = Sweep.at_factor model ~factor:0.4 in
+  check bool "tilos met" true p.tilos_met;
+  check bool "minflo met" true p.minflo_met;
+  check bool "positive saving" true (p.saving_pct > 0.0);
+  check bool "few tens of iterations" true (p.iterations <= 100)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "sizing"
+    [ ( "tilos",
+        [ tc "meets target" `Quick test_tilos_meets_target;
+          tc "trivial target" `Quick test_tilos_trivial_target;
+          tc "impossible target" `Quick test_tilos_impossible_target;
+          QCheck_alcotest.to_alcotest prop_tilos_monotone_area ] );
+      ( "wphase",
+        [ QCheck_alcotest.to_alcotest prop_wphase_meets_budgets;
+          QCheck_alcotest.to_alcotest prop_wphase_minimal;
+          tc "impossible budget" `Quick test_wphase_rejects_impossible_budget ] );
+      ( "sensitivity",
+        [ QCheck_alcotest.to_alcotest prop_sensitivity_positive;
+          QCheck_alcotest.to_alcotest prop_sensitivity_predicts_area_direction ] );
+      ( "dphase",
+        [ QCheck_alcotest.to_alcotest prop_dphase_budgets_feasible;
+          QCheck_alcotest.to_alcotest prop_dphase_nonnegative_objective;
+          QCheck_alcotest.to_alcotest prop_dphase_solver_agreement ] );
+      ( "minflotransit",
+        [ QCheck_alcotest.to_alcotest prop_minflo_improves_and_meets;
+          QCheck_alcotest.to_alcotest prop_minflo_area_trace_monotone;
+          tc "c17 saves area" `Quick test_minflo_c17_saves_area;
+          tc "figure 6 intuition" `Quick test_minflo_figure6_intuition;
+          tc "transistor level" `Slow test_minflo_transistor_level;
+          tc "wire sizing" `Quick test_minflo_wire_sizing;
+          tc "refine" `Quick test_refine_equals_optimize_tail ] );
+      ( "optimality",
+        [ tc "converged solution stable" `Quick test_optimality_probe_converged;
+          QCheck_alcotest.to_alcotest prop_probe_never_breaks_timing ] );
+      ( "discrete",
+        [ tc "geometric grid" `Quick test_geometric_grid;
+          tc "feasible with penalty" `Slow test_discretize_feasible_with_penalty;
+          QCheck_alcotest.to_alcotest prop_finer_grid_smaller_penalty ] );
+      ( "lagrangian",
+        [ tc "feasible, no worse" `Quick test_lagrangian_feasible_and_no_worse;
+          tc "beats TILOS on c432" `Slow test_lagrangian_beats_tilos_on_c432;
+          QCheck_alcotest.to_alcotest prop_lagrangian_always_feasible ] );
+      ( "sweep",
+        [ tc "curve monotone" `Slow test_sweep_curve_monotone;
+          tc "table row shape" `Slow test_iscas_row_shape ] ) ]
