@@ -178,7 +178,7 @@ let run_ablate () =
     let dt = Unix.gettimeofday () -. t0 in
     match r with
     | Ok o -> (dt, o.objective)
-    | Error e -> failwith e
+    | Error e -> failwith (Diag.to_string e)
   in
   let ts, os_ = time_solver `Simplex in
   let tp, op = time_solver `Ssp in

@@ -1,34 +1,51 @@
 (* minflo — command-line front end for the MINFLOTRANSIT sizing library.
 
    Circuits are named either by an ISCAS85/adder suite entry (c432, c6288,
-   adder32, ...) or by a path to a .bench file. *)
+   adder32, ...) or by a path to a .bench / .v file.
+
+   Failures exit with a stable code (see README "Failure modes & exit
+   codes"): 0 success, 1 target/timing not met, 2 bad input (unknown
+   circuit, parse error, I/O error), 3 internal error or failed invariant. *)
 
 open Cmdliner
 open Minflo
 
-let load_circuit spec =
+let exit_code_of_error (e : Diag.error) =
+  match e with
+  | Diag.Parse_error _ | Diag.Unknown_circuit _ | Diag.Io_error _ -> 2
+  | Diag.Unmet_target _ | Diag.Unsafe_timing _ | Diag.Infeasible_budget _
+  | Diag.Budget_exhausted _ | Diag.Oscillation _ -> 1
+  | Diag.Solver_diverged _ | Diag.Numeric _ | Diag.Invariant _
+  | Diag.Fault_injected _ | Diag.Internal _ -> 3
+
+let load_circuit spec : (Netlist.t, Diag.error) result =
   if Sys.file_exists spec then begin
     if Filename.check_suffix spec ".v" then Verilog_format.parse_file spec
     else Bench_format.parse_file spec
   end
-  else begin
+  else if spec = "c17" then Ok (Generators.c17 ())
+  else
     match Iscas85.find_info spec with
-    | Some _ -> Iscas85.circuit spec
+    | Some _ -> Ok (Iscas85.circuit spec)
     | None ->
-      Fmt.failwith
-        "unknown circuit %S: not a file, and not one of {%s}"
-        spec
-        (String.concat ", " (List.map (fun (i : Iscas85.info) -> i.name) Iscas85.suite))
-  end
+      Error
+        (Diag.Unknown_circuit
+           { name = spec;
+             known =
+               "c17"
+               :: List.map (fun (i : Iscas85.info) -> i.name) Iscas85.suite })
+
+(* raising variant for command bodies; the typed error is rendered and
+   mapped to an exit code at the top level. *)
+let circuit spec =
+  match load_circuit spec with Ok nl -> nl | Error e -> Diag.fail e
 
 let circuit_arg =
   let doc =
-    "Circuit: a .bench file path or a built-in suite name (c432 .. c7552, \
+    "Circuit: a .bench/.v file path or a built-in suite name (c432 .. c7552, \
      adder32, adder256, plus c17)."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
-
-let load_circuit spec = if spec = "c17" then Generators.c17 () else load_circuit spec
 
 let model_arg =
   let doc = "Sizing granularity: gate (default) or transistor." in
@@ -45,6 +62,62 @@ let factor_arg =
   let doc = "Delay target as a fraction of the minimum-size circuit delay." in
   Arg.(value & opt float 0.5 & info [ "factor"; "f" ] ~doc)
 
+(* ---------- resilience options (size) ---------- *)
+
+let solver_arg =
+  let doc =
+    "D-phase LP solver: $(b,auto) (fallback chain simplex, then SSP, then \
+     Bellman-Ford feasibility repair), $(b,simplex), $(b,ssp) or $(b,bf)."
+  in
+  Arg.(value
+       & opt
+           (enum
+              [ ("auto", `Auto); ("simplex", `Simplex); ("ssp", `Ssp);
+                ("bf", `Bellman_ford) ])
+           `Auto
+       & info [ "solver" ] ~doc)
+
+let check_arg =
+  Arg.(value & flag
+       & info [ "check" ]
+           ~doc:"Verify post-phase invariants (flow conservation, \
+                 reduced-cost optimality, FSDU non-negativity, W-phase \
+                 budgets, size bounds) and report each finding; a failed \
+                 invariant exits with code 3.")
+
+let max_seconds_arg =
+  Arg.(value & opt (some float) None
+       & info [ "max-seconds" ] ~docv:"S"
+           ~doc:"Wall-clock budget for the whole run; on exhaustion the best \
+                 feasible sizing found so far is returned, flagged.")
+
+let max_iterations_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-iterations" ] ~docv:"N"
+           ~doc:"Budget on outer iterations (TILOS bumps + D/W rounds).")
+
+let max_pivots_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-pivots" ] ~docv:"N"
+           ~doc:"Budget on cumulative flow-solver pivots.")
+
+let fault_arg =
+  Arg.(value & opt_all string []
+       & info [ "inject-fault" ] ~docv:"SITE"
+           ~doc:"Inject a deterministic failure at an instrumented site \
+                 (dphase.simplex, dphase.ssp, dphase.bellman-ford, wphase); \
+                 repeatable. For exercising the fallback chain and budget \
+                 paths.")
+
+let make_fault_plan = function
+  | [] -> None
+  | sites ->
+    let f = Fault.create ~seed:0 () in
+    List.iter
+      (fun site -> Fault.arm f ~site (Fault.Fail (Diag.Fault_injected { site })))
+      sites;
+    Some f
+
 (* ---------- gen ---------- *)
 
 let gen_cmd =
@@ -58,7 +131,7 @@ let gen_cmd =
          & info [ "format" ] ~doc:"Output format: bench, verilog or dot.")
   in
   let run name out fmt =
-    let nl = load_circuit name in
+    let nl = circuit name in
     let text =
       match fmt with
       | `Bench -> Bench_format.to_string nl
@@ -83,7 +156,7 @@ let gen_cmd =
 
 let stats_cmd =
   let run name =
-    let nl = load_circuit name in
+    let nl = circuit name in
     let s = Netlist.stats nl in
     Fmt.pr "%s: %a@." (Netlist.name nl) Netlist.pp_stats s
   in
@@ -95,7 +168,7 @@ let stats_cmd =
 
 let sta_cmd =
   let run name granularity factor =
-    let nl = load_circuit name in
+    let nl = circuit name in
     let model = build_model granularity nl in
     let x = Delay_model.uniform_sizes model model.Delay_model.min_size in
     let delays = Delay_model.delays model x in
@@ -126,14 +199,16 @@ let size_cmd =
   let dump =
     Arg.(value & flag & info [ "dump-sizes" ] ~doc:"Print every size variable.")
   in
-  let run name granularity factor tool dump =
-    let nl = load_circuit name in
+  let run name granularity factor tool dump solver do_check max_seconds
+      max_iterations max_pivots fault_sites =
+    let nl = circuit name in
     let model = build_model granularity nl in
     let d0 = Sweep.dmin model in
     let a0 = Sweep.min_area model in
     let target = factor *. d0 in
     Fmt.pr "circuit %s: %d sized vertices, Dmin %.4g, target %.4g@."
       (Netlist.name nl) (Delay_model.num_vertices model) d0 target;
+    let checks = if do_check then Some (Invariants.create ()) else None in
     let sizes, area, cp, met =
       match tool with
       | `Tilos ->
@@ -141,23 +216,50 @@ let size_cmd =
         Fmt.pr "TILOS: %d bumps@." r.bumps;
         (r.sizes, r.area, r.final_cp, r.met)
       | `Minflo ->
-        let r = Minflotransit.optimize model ~target in
+        let limits =
+          Budget.limits ?wall_seconds:max_seconds ?max_iterations ?max_pivots ()
+        in
+        let options = { Minflotransit.default_options with solver; limits } in
+        let fault = make_fault_plan fault_sites in
+        let log = Diag.create_log () in
+        let r =
+          Minflotransit.optimize ~options ?fault ~log ?checks model ~target
+        in
+        List.iter
+          (fun ev -> Fmt.epr "%s@." (Diag.event_to_string ev))
+          (Diag.events_above log Diag.Warning);
         Fmt.pr "TILOS seed: area ratio %.3f (%d bumps)@."
           (r.tilos.area /. a0) r.tilos.bumps;
         Fmt.pr "MINFLOTRANSIT: %d iterations, saving %.2f%% over TILOS@."
           r.iterations r.area_saving_pct;
+        Fmt.pr "stop: %s@." (Minflotransit.stop_reason_to_string r.stop);
+        (match r.solver_used with
+        | Some s -> Fmt.pr "D-phase solver: %s@." s
+        | None -> ());
+        if r.budget_exhausted then
+          Fmt.pr "run budget exhausted: returning best feasible sizing found@.";
         (r.sizes, r.area, r.cp, r.met)
     in
-    Fmt.pr "met: %b  delay: %.4g (%.3f x Dmin)  area ratio: %.3f@." met cp (cp /. d0)
-      (area /. a0);
+    Fmt.pr "met: %b  delay: %.4g (%.3f x Dmin)  area ratio: %.3f@." met cp
+      (cp /. d0) (area /. a0);
     if dump then
       Array.iteri
         (fun i x -> Fmt.pr "  %-24s %.3f@." model.Delay_model.labels.(i) x)
-        sizes
+        sizes;
+    (match checks with
+    | Some c ->
+      Fmt.pr "invariants:@.%s@." (Invariants.to_string c);
+      (match Invariants.first_failure c with
+      | Some e -> Diag.fail e
+      | None -> ())
+    | None -> ());
+    if not met then Diag.fail (Diag.Unmet_target { target; achieved = cp })
   in
   Cmd.v
     (Cmd.info "size" ~doc:"Size a circuit for a delay target.")
-    Term.(const run $ circuit_arg $ model_arg $ factor_arg $ tool $ dump)
+    Term.(const run $ circuit_arg $ model_arg $ factor_arg $ tool $ dump
+          $ solver_arg $ check_arg $ max_seconds_arg $ max_iterations_arg
+          $ max_pivots_arg $ fault_arg)
 
 (* ---------- sweep ---------- *)
 
@@ -167,7 +269,7 @@ let sweep_cmd =
          & info [ "factors" ] ~doc:"Comma-separated delay factors.")
   in
   let run name granularity factors =
-    let nl = load_circuit name in
+    let nl = circuit name in
     let model = build_model granularity nl in
     let table =
       Table.create
@@ -206,7 +308,7 @@ let verify_cmd =
                    pairs).")
   in
   let run a b engine =
-    let nla = load_circuit a and nlb = load_circuit b in
+    let nla = circuit a and nlb = circuit b in
     let fail_cex output_index counterexample =
       Fmt.pr "DIFFER at output #%d; counterexample:@." output_index;
       List.iter (fun (n, v) -> Fmt.pr "  %s = %b@." n v) counterexample;
@@ -244,7 +346,7 @@ let convert_cmd =
          ~doc:"Destination file; format from the extension (.bench / .v / .dot).")
   in
   let run name out =
-    let nl = load_circuit name in
+    let nl = circuit name in
     if Filename.check_suffix out ".v" then Verilog_format.write_file out nl
     else if Filename.check_suffix out ".dot" then
       Dot.write_file out (Netlist.to_digraph nl)
@@ -270,14 +372,14 @@ let strash_cmd =
                XOR-heavy circuits).")
   in
   let run name out formal =
-    let nl = load_circuit name in
+    let nl = circuit name in
     let nl2 = Aig.strash_netlist nl in
     Fmt.pr "%s: %d gates -> %d AND/NOT nodes (structural hashing)@."
       (Netlist.name nl) (Netlist.gate_count nl) (Netlist.gate_count nl2);
     if formal then begin
       match Cnf.equivalent nl nl2 with
       | Cnf.Equivalent -> Fmt.pr "formally verified equivalent (SAT miter)@."
-      | _ -> Fmt.failwith "internal error: strash changed the function"
+      | _ -> Diag.fail (Diag.Internal "strash changed the function")
     end
     else begin
       (* quick check; the AIG round trip is equivalence-preserving by
@@ -290,7 +392,7 @@ let strash_cmd =
         List.iter2
           (fun oa ob ->
             if va.(oa) <> vb.(ob) then
-              Fmt.failwith "internal error: strash changed the function")
+              Diag.fail (Diag.Internal "strash changed the function"))
           (Netlist.outputs nl) (Netlist.outputs nl2)
       done;
       Fmt.pr "simulation check passed (4096 vectors; use --formal for a proof)@."
@@ -311,7 +413,7 @@ let strash_cmd =
 
 let power_cmd =
   let run name factor =
-    let nl = load_circuit name in
+    let nl = circuit name in
     let tech = Tech.default_130nm in
     let model = Elmore.of_netlist tech nl in
     let target = factor *. Sweep.dmin model in
@@ -338,4 +440,8 @@ let main_cmd =
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
-  exit (Cmd.eval main_cmd)
+  match Cmd.eval ~catch:false main_cmd with
+  | code -> exit code
+  | exception Diag.Error_exn e ->
+    Fmt.epr "minflo: error [%s]: %s@." (Diag.error_code e) (Diag.to_string e);
+    exit (exit_code_of_error e)

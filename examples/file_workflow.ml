@@ -24,8 +24,8 @@ let () =
   Printf.printf "wrote %s and %s\n" bench_path verilog_path;
 
   (* 2. read back *)
-  let from_bench = Bench_format.parse_file bench_path in
-  let from_verilog = Verilog_format.parse_file verilog_path in
+  let from_bench = Bench_format.parse_file_exn bench_path in
+  let from_verilog = Verilog_format.parse_file_exn verilog_path in
 
   (* 3. formal equivalence via BDDs — not just simulation *)
   let verdict name other =

@@ -33,6 +33,14 @@ module Table = Minflo_util.Table
 module Bitset = Minflo_util.Bitset
 module Union_find = Minflo_util.Union_find
 
+(* resilience: structured diagnostics, run budgets, solver fallback,
+   post-phase invariant checks, deterministic fault injection *)
+module Diag = Minflo_robust.Diag
+module Budget = Minflo_robust.Budget
+module Fallback = Minflo_robust.Fallback
+module Invariants = Minflo_robust.Check
+module Fault = Minflo_robust.Fault
+
 (* graph *)
 module Digraph = Minflo_graph.Digraph
 module Topo = Minflo_graph.Topo

@@ -91,7 +91,14 @@ let rc t e =
   let u = (let a = t.p.arcs.(entry_arc e) in if entry_forward e then a.src else a.dst) in
   entry_cost t e - t.pi.(u) + t.pi.(entry_dst t e)
 
-let refine t eps =
+exception Aborted_exn
+
+let tick budget =
+  match budget with
+  | None -> ()
+  | Some b -> if not (Minflo_robust.Budget.tick_pivot b) then raise Aborted_exn
+
+let refine ?budget t eps =
   (* saturate all residual arcs with negative reduced cost *)
   for e = 0 to (2 * t.m) - 1 do
     if residual t e > 0 && rc t e < 0 then begin
@@ -117,6 +124,7 @@ let refine t eps =
     end
   done;
   while not (Queue.is_empty active) do
+    tick budget;
     let u = Queue.pop active in
     in_queue.(u) <- false;
     let continue = ref true in
@@ -184,7 +192,7 @@ let certificate t =
   | Distances d -> Array.map (fun x -> -x) d
   | Negative_cycle _ -> assert false (* the flow would not be optimal *)
 
-let solve (p : Mcf.problem) : Mcf.solution =
+let solve ?budget (p : Mcf.problem) : Mcf.solution =
   Mcf.validate p;
   let m = Array.length p.arcs in
   let fail status =
@@ -196,19 +204,23 @@ let solve (p : Mcf.problem) : Mcf.solution =
   if not (Mcf.is_balanced p) then fail Infeasible
   else if Ssp.has_unbounded_negative_cycle p then fail Unbounded
   else begin
-    let t = build p in
-    if not (initial_feasible_flow t) then fail Infeasible
-    else begin
-      let cmax = Array.fold_left (fun acc c -> max acc (abs c)) 1 t.scaled_cost in
-      let eps = ref cmax in
-      while !eps >= 1 do
-        refine t !eps;
-        eps := !eps / 2
-      done;
-      let potential = certificate t in
-      { status = Optimal;
-        flow = Array.copy t.flow;
-        potential;
-        objective = Mcf.flow_cost p t.flow }
-    end
+    try
+      let t = build p in
+      if not (initial_feasible_flow t) then fail Infeasible
+      else begin
+        let cmax =
+          Array.fold_left (fun acc c -> max acc (abs c)) 1 t.scaled_cost
+        in
+        let eps = ref cmax in
+        while !eps >= 1 do
+          refine ?budget t !eps;
+          eps := !eps / 2
+        done;
+        let potential = certificate t in
+        { status = Optimal;
+          flow = Array.copy t.flow;
+          potential;
+          objective = Mcf.flow_cost p t.flow }
+      end
+    with Aborted_exn -> fail Aborted
   end

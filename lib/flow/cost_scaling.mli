@@ -10,4 +10,6 @@
     consistent integer dual on exit and certified by
     {!Mcf.check_optimality} in the tests. *)
 
-val solve : Mcf.problem -> Mcf.solution
+val solve : ?budget:Minflo_robust.Budget.t -> Mcf.problem -> Mcf.solution
+(** Each push/relabel step ticks [budget]; on exhaustion the result has
+    status [Aborted]. *)

@@ -43,6 +43,7 @@ type outcome =
   | Solution of { values : int array; objective : int }
   | Infeasible_lp
   | Unbounded_lp
+  | Aborted_lp
 
 let objective_value t values =
   Hashtbl.fold (fun v c acc -> acc + (c * values.(v))) t.obj 0
@@ -76,7 +77,25 @@ let to_problem t : Mcf.problem =
   Hashtbl.iter (fun v c -> supply.(v) <- supply.(v) + c) t.obj;
   { num_nodes = t.nvars; arcs; supply }
 
-let solve ?(solver = `Simplex) t =
+(* Feasibility repair: [x - y <= w] is satisfied by shortest-path distances
+   over the reversed arc [y -> x] with weight [w] (then dist(x) <= dist(y) + w
+   by the relaxation invariant). Running from all sources keeps every value
+   finite. The assignment is feasible but generally suboptimal — this is the
+   last rung of the solver fallback chain, not a replacement for the flow
+   solvers. *)
+let solve_by_feasibility t =
+  let m = Vec.length t.con_x in
+  let g =
+    { Bellman_ford.num_nodes = t.nvars;
+      arc_src = Array.init m (fun i -> Vec.get t.con_y i);
+      arc_dst = Array.init m (fun i -> Vec.get t.con_x i);
+      arc_weight = Array.init m (fun i -> Vec.get t.con_w i) }
+  in
+  match Bellman_ford.run_all g with
+  | Negative_cycle _ -> Infeasible_lp
+  | Distances values -> Solution { values; objective = objective_value t values }
+
+let solve ?(solver = `Simplex) ?budget ?on_solution t =
   (* The dual LP [max b.pi : pi(u) - pi(v) <= w] is bounded iff the flow
      problem is feasible, and feasible iff the constraint graph has no
      negative cycle; MCF statuses map accordingly. *)
@@ -84,16 +103,21 @@ let solve ?(solver = `Simplex) t =
     (* supplies would not balance; the LP is unbounded along the all-ones
        direction unless the coefficients cancel *)
     Unbounded_lp
-  else begin
-    let p = to_problem t in
-    let sol = match solver with
-      | `Simplex -> Network_simplex.solve p
-      | `Ssp -> Ssp.solve p
-    in
-    match sol.status with
-    | Optimal ->
-      let values = Array.sub sol.potential 0 t.nvars in
-      Solution { values; objective = objective_value t values }
-    | Infeasible -> Unbounded_lp
-    | Unbounded -> Infeasible_lp
-  end
+  else
+    match solver with
+    | `Bellman_ford -> solve_by_feasibility t
+    | (`Simplex | `Ssp) as s ->
+      let p = to_problem t in
+      let sol =
+        match s with
+        | `Simplex -> Network_simplex.solve ?budget p
+        | `Ssp -> Ssp.solve ?budget p
+      in
+      (match on_solution with None -> () | Some f -> f p sol);
+      (match sol.status with
+      | Optimal ->
+        let values = Array.sub sol.potential 0 t.nvars in
+        Solution { values; objective = objective_value t values }
+      | Infeasible -> Unbounded_lp
+      | Unbounded -> Infeasible_lp
+      | Aborted -> Aborted_lp)

@@ -35,14 +35,29 @@ val add_objective : t -> var -> int -> unit
 type outcome =
   | Solution of { values : int array; objective : int }
       (** Optimal variable assignment (one value per variable, in creation
-          order) and the optimal objective value. *)
+          order) and the optimal objective value. With the [`Bellman_ford]
+          solver the assignment is feasible but not necessarily optimal. *)
   | Infeasible_lp
       (** The constraints contain a negative cycle. *)
   | Unbounded_lp
       (** The objective can grow without bound (the dual flow problem is
           infeasible). *)
+  | Aborted_lp
+      (** A run budget ({!Minflo_robust.Budget}) was exhausted mid-solve. *)
 
-val solve : ?solver:[ `Simplex | `Ssp ] -> t -> outcome
+val solve :
+  ?solver:[ `Simplex | `Ssp | `Bellman_ford ] ->
+  ?budget:Minflo_robust.Budget.t ->
+  ?on_solution:(Mcf.problem -> Mcf.solution -> unit) ->
+  t ->
+  outcome
+(** [`Simplex] (default) and [`Ssp] solve the dual flow problem exactly.
+    [`Bellman_ford] skips the flow solve and returns a merely {e feasible}
+    assignment by shortest-path repair over the reversed constraint graph —
+    the last rung of the {!Minflo_robust.Fallback} chain. [budget] is
+    threaded into the flow solver's pivot loop. [on_solution] observes (and
+    may perturb, for fault injection) the raw flow solution before it is
+    mapped back to LP values; it is not called by [`Bellman_ford]. *)
 
 val check_assignment : t -> int array -> (int, string) result
 (** Verifies all constraints under the assignment; on success returns the

@@ -1,10 +1,12 @@
+module Diag = Minflo_robust.Diag
+
 type arc = { src : int; dst : int; cap : int; cost : int }
 
 type problem = { num_nodes : int; arcs : arc array; supply : int array }
 
 let infinite_capacity = max_int / 8
 
-type status = Optimal | Infeasible | Unbounded
+type status = Optimal | Infeasible | Unbounded | Aborted
 
 type solution = {
   status : status;
@@ -26,7 +28,9 @@ let validate p =
 
 let is_balanced p = Array.fold_left ( + ) 0 p.supply = 0
 
-let check_feasible_flow p flow =
+(* internal string-detail version; the public API wraps the detail into a
+   typed [Diag.Invariant] *)
+let feasibility_detail p flow =
   if Array.length flow <> Array.length p.arcs then Error "flow length mismatch"
   else begin
     let excess = Array.copy p.supply in
@@ -48,6 +52,11 @@ let check_feasible_flow p flow =
       | None -> Ok ())
   end
 
+let check_feasible_flow p flow =
+  Result.map_error
+    (fun detail -> Diag.Invariant { what = "flow-conservation"; detail })
+    (feasibility_detail p flow)
+
 let flow_cost p flow =
   let total = ref 0 in
   Array.iteri (fun i a -> total := !total + (a.cost * flow.(i))) p.arcs;
@@ -59,7 +68,7 @@ type decomposition = {
 }
 
 let decompose p flow =
-  (match check_feasible_flow p flow with
+  (match feasibility_detail p flow with
   | Error e -> invalid_arg ("Mcf.decompose: " ^ e)
   | Ok () -> ());
   let remaining = Array.copy flow in
@@ -172,8 +181,11 @@ let decompose p flow =
   { paths = List.rev !paths; cycles = List.rev !cycles }
 
 let check_optimality p sol =
-  match check_feasible_flow p sol.flow with
-  | Error e -> Error ("infeasible flow: " ^ e)
+  match feasibility_detail p sol.flow with
+  | Error detail ->
+    Error
+      (Diag.Invariant
+         { what = "flow-conservation"; detail })
   | Ok () ->
     let err = ref None in
     Array.iteri
@@ -184,4 +196,6 @@ let check_optimality p sol =
         if sol.flow.(i) > 0 && rc > 0 then
           err := Some (Printf.sprintf "arc %d above 0 with reduced cost %d" i rc))
       p.arcs;
-    match !err with Some e -> Error e | None -> Ok ()
+    match !err with
+    | Some detail -> Error (Diag.Invariant { what = "reduced-cost-optimality"; detail })
+    | None -> Ok ()

@@ -28,6 +28,9 @@ type status =
   | Optimal
   | Infeasible  (** Supplies cannot be routed within the capacities. *)
   | Unbounded   (** A negative-cost cycle of unbounded capacity exists. *)
+  | Aborted
+      (** A run budget ({!Minflo_robust.Budget}) was exhausted mid-solve;
+          the flow is partial and must not be used. *)
 
 type solution = {
   status : status;
@@ -43,12 +46,15 @@ val validate : problem -> unit
 val is_balanced : problem -> bool
 (** Whether supplies sum to zero (necessary for feasibility). *)
 
-val check_feasible_flow : problem -> int array -> (unit, string) result
-(** Verifies capacity and conservation constraints of a candidate flow. *)
+val check_feasible_flow :
+  problem -> int array -> (unit, Minflo_robust.Diag.error) result
+(** Verifies capacity and conservation constraints of a candidate flow;
+    failures are typed [Invariant] diagnostics. *)
 
 val flow_cost : problem -> int array -> int
 
-val check_optimality : problem -> solution -> (unit, string) result
+val check_optimality :
+  problem -> solution -> (unit, Minflo_robust.Diag.error) result
 (** Verifies complementary slackness of [solution.flow] against
     [solution.potential]: reduced cost >= 0 on arcs below capacity and <= 0
     on arcs above zero flow. Used heavily by the test-suite. *)

@@ -166,8 +166,15 @@ type cycle_arc = { arc : int; increase : bool; below : int }
 (* [below]: the tree node whose parent-arc this is (-1 for the entering arc);
    used to identify the subtree cut off when this arc leaves. *)
 
-let solve (p : Mcf.problem) : Mcf.solution =
+exception Aborted_exn
+
+let solve ?budget (p : Mcf.problem) : Mcf.solution =
   Mcf.validate p;
+  let tick () =
+    match budget with
+    | None -> ()
+    | Some b -> if not (Minflo_robust.Budget.tick_pivot b) then raise Aborted_exn
+  in
   if not (Mcf.is_balanced p) then
     { status = Infeasible;
       flow = Array.make (Array.length p.arcs) 0;
@@ -181,6 +188,7 @@ let solve (p : Mcf.problem) : Mcf.solution =
          let e = find_entering t in
          if e < 0 then continue := false
          else begin
+           tick ();
            (* push direction: along the arc when at lower bound, against when
               at upper bound *)
            let s = t.state.(e) in
@@ -283,9 +291,15 @@ let solve (p : Mcf.problem) : Mcf.solution =
          { status = Infeasible; flow; potential; objective = 0 }
        else
          { status = Optimal; flow; potential; objective = Mcf.flow_cost p flow }
-     with Unbounded_exn ->
-       { status = Unbounded;
-         flow = Array.make t.m_real 0;
-         potential = Array.sub t.pi 0 t.n;
-         objective = 0 })
+     with
+    | Unbounded_exn ->
+      { status = Unbounded;
+        flow = Array.make t.m_real 0;
+        potential = Array.sub t.pi 0 t.n;
+        objective = 0 }
+    | Aborted_exn ->
+      { status = Aborted;
+        flow = Array.make t.m_real 0;
+        potential = Array.sub t.pi 0 t.n;
+        objective = 0 })
   end

@@ -10,9 +10,11 @@
     polynomial in practice (near-linear on the shallow, sparse constraint
     graphs produced by circuit DAGs). *)
 
-val solve : Mcf.problem -> Mcf.solution
+val solve : ?budget:Minflo_robust.Budget.t -> Mcf.problem -> Mcf.solution
 (** Returns an optimal flow and optimal node potentials. The potentials are
     normalized so that the internal root has potential 0; they form a
     feasible, complementary-slack dual certificate (see
     {!Mcf.check_optimality}). [Infeasible] if supplies cannot be routed,
-    [Unbounded] if a negative-cost cycle with unbounded capacity exists. *)
+    [Unbounded] if a negative-cost cycle with unbounded capacity exists.
+    Every pivot ticks [budget]; on exhaustion the solve stops immediately
+    with status [Aborted]. *)

@@ -61,13 +61,21 @@ let build (p : Mcf.problem) =
     adj_start;
     adj_entry }
 
+exception Aborted_exn
+
+let tick budget =
+  match budget with
+  | None -> ()
+  | Some b -> if not (Minflo_robust.Budget.tick_pivot b) then raise Aborted_exn
+
 (* Cancel negative-cost residual cycles with Bellman-Ford (Klein). Needed so
    Dijkstra-based augmentation is sound on inputs with negative arc costs.
    Returns [false] when a negative cycle of unbounded capacity is found. *)
-let cancel_negative_cycles t =
+let cancel_negative_cycles ?budget t =
   let bounded = ref true in
   let continue = ref true in
   while !continue && !bounded do
+    tick budget;
     let srcs = ref [] and dsts = ref [] and ws = ref [] and ids = ref [] in
     for e = (2 * Array.length t.p.arcs) - 1 downto 0 do
       if residual t e > 0 then begin
@@ -145,7 +153,7 @@ let dijkstra t s dist pred =
    with Found_deficit u -> target := u);
   if !target < 0 then None else Some (!target, final)
 
-let solve (p : Mcf.problem) : Mcf.solution =
+let solve ?budget (p : Mcf.problem) : Mcf.solution =
   Mcf.validate p;
   let m = Array.length p.arcs in
   let fail status =
@@ -156,8 +164,9 @@ let solve (p : Mcf.problem) : Mcf.solution =
   in
   if not (Mcf.is_balanced p) then fail Infeasible
   else begin
+    try
     let t = build p in
-    if not (cancel_negative_cycles t) then fail Unbounded
+    if not (cancel_negative_cycles ?budget t) then fail Unbounded
     else begin
       (* after cancellation the residual graph has no negative cycle, so
          Bellman-Ford distances give valid starting potentials *)
@@ -187,6 +196,7 @@ let solve (p : Mcf.problem) : Mcf.solution =
               |> Seq.find (fun (_, e) -> e > 0) with
         | None -> continue := false
         | Some (s, _) -> (
+          tick budget;
           match dijkstra t s dist pred with
           | None -> infeasible := true
           | Some (target, final) ->
@@ -225,4 +235,5 @@ let solve (p : Mcf.problem) : Mcf.solution =
           potential = Array.map (fun x -> -x) t.pot;
           objective = Mcf.flow_cost p t.flow }
     end
+    with Aborted_exn -> fail Aborted
   end

@@ -7,7 +7,9 @@
     uncapacitated) — slower than {!Network_simplex} but completely
     independent of it, which makes it a strong oracle in property tests. *)
 
-val solve : Mcf.problem -> Mcf.solution
+val solve : ?budget:Minflo_robust.Budget.t -> Mcf.problem -> Mcf.solution
+(** Each augmentation (and each negative-cycle-cancellation round) ticks
+    [budget]; on exhaustion the result has status [Aborted]. *)
 
 val has_unbounded_negative_cycle : Mcf.problem -> bool
 (** Whether the network contains a negative-cost cycle whose capacity is

@@ -1,6 +1,10 @@
-exception Parse_error of { line : int; message : string }
+module Diag = Minflo_robust.Diag
 
-let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+(* internal located failure; wrapped into [Diag.Parse_error] at the API
+   boundary so the file name can be attached *)
+exception Located of int * string
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Located (line, message))) fmt
 
 type statement =
   | St_input of string
@@ -62,7 +66,7 @@ let parse_line lineno raw =
       | _ -> fail lineno "expected INPUT/OUTPUT/assignment, got %S" s)
   end
 
-let parse_string ?(name = "bench") text =
+let parse_internal ?(name = "bench") text =
   let lines = String.split_on_char '\n' text in
   let statements =
     List.filteri (fun _ _ -> true) lines
@@ -125,15 +129,30 @@ let parse_string ?(name = "bench") text =
    with Invalid_argument m -> fail 0 "%s" m);
   nl
 
+let located ?file body =
+  match body () with
+  | nl -> Ok nl
+  | exception Located (line, msg) -> Error (Diag.Parse_error { file; line; msg })
+
+let parse_string ?name text = located (fun () -> parse_internal ?name text)
+
 let parse_file path =
-  let ic = open_in path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  let base = Filename.remove_extension (Filename.basename path) in
-  parse_string ~name:base text
+  match open_in path with
+  | exception Sys_error msg -> Error (Diag.Io_error { file = path; msg })
+  | ic ->
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let base = Filename.remove_extension (Filename.basename path) in
+    located ~file:path (fun () -> parse_internal ~name:base text)
+
+let parse_string_exn ?name text =
+  match parse_string ?name text with Ok nl -> nl | Error e -> Diag.fail e
+
+let parse_file_exn path =
+  match parse_file path with Ok nl -> nl | Error e -> Diag.fail e
 
 let to_string nl =
   let buf = Buffer.create 4096 in

@@ -11,13 +11,20 @@
     forward references as long as the circuit is acyclic. Flip-flop ([DFF])
     declarations are rejected — this tool sizes combinational logic. *)
 
-exception Parse_error of { line : int; message : string }
+val parse_string :
+  ?name:string -> string -> (Netlist.t, Minflo_robust.Diag.error) result
+(** [Error (Parse_error _)] with a 1-based line number on malformed input.
+    A successful result is validated. *)
 
-val parse_string : ?name:string -> string -> Netlist.t
-(** @raise Parse_error on malformed input. The result is validated. *)
+val parse_file : string -> (Netlist.t, Minflo_robust.Diag.error) result
+(** Netlist named after the file's basename. Unreadable files yield
+    [Error (Io_error _)]; parse failures carry the file name. *)
 
-val parse_file : string -> Netlist.t
-(** Netlist named after the file's basename. *)
+val parse_string_exn : ?name:string -> string -> Netlist.t
+(** @raise Minflo_robust.Diag.Error_exn instead of returning [Error]. *)
+
+val parse_file_exn : string -> Netlist.t
+(** @raise Minflo_robust.Diag.Error_exn instead of returning [Error]. *)
 
 val to_string : Netlist.t -> string
 (** Render in [.bench] syntax; [parse_string (to_string nl)] is structurally

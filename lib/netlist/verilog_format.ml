@@ -1,7 +1,10 @@
-exception Parse_error of { line : int; message : string }
+module Diag = Minflo_robust.Diag
 
-let fail line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+(* internal located failure; wrapped into [Diag.Parse_error] at the API
+   boundary so the file name can be attached *)
+exception Located of int * string
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Located (line, message))) fmt
 
 (* ---------- lexer ---------- *)
 
@@ -117,7 +120,7 @@ let parse_statement st =
   | (Punct c, line) :: _ -> fail line "unexpected %C at statement start" c
   | [] -> None
 
-let parse_string ?name text =
+let parse_internal ?name text =
   let tokens = tokenize text in
   (* module header *)
   let module_name, body =
@@ -191,14 +194,30 @@ let parse_string ?name text =
   (try Netlist.validate nl with Invalid_argument m -> fail 0 "%s" m);
   nl
 
+let located ?file body =
+  match body () with
+  | nl -> Ok nl
+  | exception Located (line, msg) -> Error (Diag.Parse_error { file; line; msg })
+
+let parse_string ?name text = located (fun () -> parse_internal ?name text)
+
 let parse_file path =
-  let ic = open_in path in
-  let text =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  parse_string ~name:(Filename.remove_extension (Filename.basename path)) text
+  match open_in path with
+  | exception Sys_error msg -> Error (Diag.Io_error { file = path; msg })
+  | ic ->
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let name = Filename.remove_extension (Filename.basename path) in
+    located ~file:path (fun () -> parse_internal ~name text)
+
+let parse_string_exn ?name text =
+  match parse_string ?name text with Ok nl -> nl | Error e -> Diag.fail e
+
+let parse_file_exn path =
+  match parse_file path with Ok nl -> nl | Error e -> Diag.fail e
 
 (* ---------- writer ---------- *)
 

@@ -17,13 +17,21 @@
     fine. Behavioral constructs ([assign], [always], ...) are rejected with
     a located error. *)
 
-exception Parse_error of { line : int; message : string }
+val parse_string :
+  ?name:string -> string -> (Netlist.t, Minflo_robust.Diag.error) result
+(** The netlist takes the module's name unless [name] is given. Malformed or
+    unsupported input yields [Error (Parse_error _)] with a 1-based line
+    number. *)
 
-val parse_string : ?name:string -> string -> Netlist.t
-(** The netlist takes the module's name unless [name] is given.
-    @raise Parse_error on malformed or unsupported input. *)
+val parse_file : string -> (Netlist.t, Minflo_robust.Diag.error) result
+(** Unreadable files yield [Error (Io_error _)]; parse failures carry the
+    file name. *)
 
-val parse_file : string -> Netlist.t
+val parse_string_exn : ?name:string -> string -> Netlist.t
+(** @raise Minflo_robust.Diag.Error_exn instead of returning [Error]. *)
+
+val parse_file_exn : string -> Netlist.t
+(** @raise Minflo_robust.Diag.Error_exn instead of returning [Error]. *)
 
 val to_string : Netlist.t -> string
 (** Structural Verilog; identifiers unsuitable for Verilog are escaped with

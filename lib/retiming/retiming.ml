@@ -168,6 +168,7 @@ let min_registers t ~period =
   | Solution { values; _ } -> Ok values
   | Infeasible_lp -> Error "period infeasible"
   | Unbounded_lp -> Error "register objective unbounded (graph not strongly constrained)"
+  | Aborted_lp -> Error "retiming LP aborted (run budget exhausted)"
 
 let apply t r =
   if Array.length r <> node_count t then invalid_arg "Retiming.apply: wrong r length";

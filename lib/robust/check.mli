@@ -1,0 +1,39 @@
+(** Post-phase invariant checking.
+
+    The optimizer's phases come with mathematical guarantees (flow
+    conservation and reduced-cost optimality of the MCF solution, FSDU
+    non-negativity, the W-phase fixpoint meeting its budgets, sizes finite
+    and within bounds). A {!t} accumulates the outcome of asserting each of
+    them after the phase that establishes it, without aborting the run:
+    failures become data — typed {!Diag.Invariant} errors a caller or the
+    [--check] CLI flag can act on.
+
+    {!run} guards the assertion body: an exception inside a check is itself
+    recorded as a failed finding, never propagated. *)
+
+type finding = { name : string; ok : bool; detail : string }
+
+type t
+
+val create : unit -> t
+
+val run : t -> string -> (unit -> (unit, string) result) -> unit
+(** [run t name body] records a finding named [name]; [Error detail] or any
+    exception marks it failed. *)
+
+val record : t -> string -> (unit, string) result -> unit
+(** Like {!run} for an already-computed verdict. *)
+
+val findings : t -> finding list
+(** In execution order. *)
+
+val ok : t -> bool
+(** No failed findings (vacuously true when nothing ran). *)
+
+val failures : t -> finding list
+
+val first_failure : t -> Diag.error option
+(** The first failed finding as an [Invariant] error. *)
+
+val to_string : t -> string
+(** One line per finding, [ok]/[FAIL] tagged. *)

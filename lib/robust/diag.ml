@@ -1,0 +1,196 @@
+module Vec = Minflo_util.Vec
+
+type severity = Debug | Info | Warning | Error
+
+let severity_rank = function Debug -> 0 | Info -> 1 | Warning -> 2 | Error -> 3
+
+let severity_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+type error =
+  | Parse_error of { file : string option; line : int; msg : string }
+  | Unknown_circuit of { name : string; known : string list }
+  | Io_error of { file : string; msg : string }
+  | Infeasible_budget of {
+      vertex : int;
+      label : string;
+      budget : float;
+      intrinsic : float;
+    }
+  | Unsafe_timing of { cp : float; deadline : float }
+  | Solver_diverged of { solver : string; iters : int }
+  | Numeric of { what : string; value : float }
+  | Budget_exhausted of { resource : string; spent : float; limit : float }
+  | Oscillation of { area : float; repeats : int }
+  | Unmet_target of { target : float; achieved : float }
+  | Invariant of { what : string; detail : string }
+  | Fault_injected of { site : string }
+  | Internal of string
+
+exception Error_exn of error
+
+let fail e = raise (Error_exn e)
+
+let error_code = function
+  | Parse_error _ -> "parse-error"
+  | Unknown_circuit _ -> "unknown-circuit"
+  | Io_error _ -> "io-error"
+  | Infeasible_budget _ -> "infeasible-budget"
+  | Unsafe_timing _ -> "unsafe-timing"
+  | Solver_diverged _ -> "solver-diverged"
+  | Numeric _ -> "numeric"
+  | Budget_exhausted _ -> "budget-exhausted"
+  | Oscillation _ -> "oscillation"
+  | Unmet_target _ -> "unmet-target"
+  | Invariant _ -> "invariant"
+  | Fault_injected _ -> "fault-injected"
+  | Internal _ -> "internal"
+
+let to_string = function
+  | Parse_error { file; line; msg } ->
+    let where =
+      match file with
+      | Some f -> Printf.sprintf "%s:%d" f line
+      | None -> Printf.sprintf "line %d" line
+    in
+    Printf.sprintf "parse error at %s: %s" where msg
+  | Unknown_circuit { name; known } ->
+    Printf.sprintf "unknown circuit %S: not a file, and not one of {%s}" name
+      (String.concat ", " known)
+  | Io_error { file; msg } -> Printf.sprintf "cannot read %s: %s" file msg
+  | Infeasible_budget { vertex; label; budget; intrinsic } ->
+    Printf.sprintf
+      "infeasible budget %g at vertex %d (%s): at or below the intrinsic delay %g"
+      budget vertex label intrinsic
+  | Unsafe_timing { cp; deadline } ->
+    Printf.sprintf "circuit unsafe: critical path %.4g exceeds deadline %.4g" cp
+      deadline
+  | Solver_diverged { solver; iters } ->
+    Printf.sprintf "solver %s diverged after %d iterations" solver iters
+  | Numeric { what; value } -> Printf.sprintf "numeric failure: %s = %g" what value
+  | Budget_exhausted { resource; spent; limit } ->
+    Printf.sprintf "run budget exhausted: %s %g of %g" resource spent limit
+  | Oscillation { area; repeats } ->
+    Printf.sprintf "oscillation: area %.6g revisited %d consecutive times" area
+      repeats
+  | Unmet_target { target; achieved } ->
+    Printf.sprintf "delay target %.4g not met: best achievable %.4g" target
+      achieved
+  | Invariant { what; detail } ->
+    Printf.sprintf "invariant %S violated: %s" what detail
+  | Fault_injected { site } -> Printf.sprintf "injected fault at %s" site
+  | Internal msg -> Printf.sprintf "internal error: %s" msg
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* ---------- hand-rolled JSON (no external dependency) ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let jfloat v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v else jstr (Printf.sprintf "%h" v)
+
+let obj fields =
+  let fields = List.map (fun (k, v) -> Printf.sprintf "%s: %s" (jstr k) v) fields in
+  Printf.sprintf "{%s}" (String.concat ", " fields)
+
+let to_json e =
+  let code = ("code", jstr (error_code e)) in
+  match e with
+  | Parse_error { file; line; msg } ->
+    obj
+      [ code;
+        ("file", match file with Some f -> jstr f | None -> "null");
+        ("line", string_of_int line);
+        ("msg", jstr msg) ]
+  | Unknown_circuit { name; known } ->
+    obj
+      [ code;
+        ("name", jstr name);
+        ("known", Printf.sprintf "[%s]" (String.concat ", " (List.map jstr known)))
+      ]
+  | Io_error { file; msg } -> obj [ code; ("file", jstr file); ("msg", jstr msg) ]
+  | Infeasible_budget { vertex; label; budget; intrinsic } ->
+    obj
+      [ code;
+        ("vertex", string_of_int vertex);
+        ("label", jstr label);
+        ("budget", jfloat budget);
+        ("intrinsic", jfloat intrinsic) ]
+  | Unsafe_timing { cp; deadline } ->
+    obj [ code; ("cp", jfloat cp); ("deadline", jfloat deadline) ]
+  | Solver_diverged { solver; iters } ->
+    obj [ code; ("solver", jstr solver); ("iters", string_of_int iters) ]
+  | Numeric { what; value } -> obj [ code; ("what", jstr what); ("value", jfloat value) ]
+  | Budget_exhausted { resource; spent; limit } ->
+    obj
+      [ code; ("resource", jstr resource); ("spent", jfloat spent);
+        ("limit", jfloat limit) ]
+  | Oscillation { area; repeats } ->
+    obj [ code; ("area", jfloat area); ("repeats", string_of_int repeats) ]
+  | Unmet_target { target; achieved } ->
+    obj [ code; ("target", jfloat target); ("achieved", jfloat achieved) ]
+  | Invariant { what; detail } ->
+    obj [ code; ("what", jstr what); ("detail", jstr detail) ]
+  | Fault_injected { site } -> obj [ code; ("site", jstr site) ]
+  | Internal msg -> obj [ code; ("msg", jstr msg) ]
+
+(* ---------- event log ---------- *)
+
+type event = { severity : severity; source : string; message : string }
+
+type log = { events : event Vec.t }
+
+let dummy_event = { severity = Debug; source = ""; message = "" }
+
+let create_log () = { events = Vec.create ~dummy:dummy_event () }
+
+let log t severity ~source message =
+  ignore (Vec.push t.events { severity; source; message })
+
+let logf t severity ~source fmt =
+  Printf.ksprintf (fun message -> log t severity ~source message) fmt
+
+let events t = Vec.to_list t.events
+
+let events_above t sev =
+  List.filter (fun e -> severity_rank e.severity >= severity_rank sev) (events t)
+
+let max_severity t =
+  if Vec.length t.events = 0 then None
+  else
+    Some
+      (Vec.fold
+         (fun acc e -> if severity_rank e.severity > severity_rank acc then e.severity else acc)
+         Debug t.events)
+
+let event_to_string e =
+  Printf.sprintf "[%s] %s: %s" (severity_to_string e.severity) e.source e.message
+
+let log_to_json t =
+  let one e =
+    obj
+      [ ("severity", jstr (severity_to_string e.severity));
+        ("source", jstr e.source);
+        ("message", jstr e.message) ]
+  in
+  Printf.sprintf "[%s]" (String.concat ", " (List.map one (events t)))

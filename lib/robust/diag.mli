@@ -1,0 +1,96 @@
+(** Structured diagnostics for the whole tool stack.
+
+    Every failure mode a caller might want to react to programmatically is a
+    constructor of {!error}; free-text [failwith]/[string] errors are reserved
+    for genuine internal bugs ({!Internal}). The sizing engine, the flow
+    solvers and the netlist parsers all report through this type, so the CLI
+    can map any failure to a stable exit code and a rendered message, and
+    tests can assert on the *kind* of failure rather than on message text.
+
+    A {!log} is a severity-tagged event trail the engine threads through a
+    run; it is cheap (a vector of records), deterministic, and renderable as
+    text or JSON for post-mortem analysis. *)
+
+type severity = Debug | Info | Warning | Error
+
+val severity_rank : severity -> int
+(** [Debug = 0] … [Error = 3]; total order for filtering. *)
+
+val severity_to_string : severity -> string
+
+type error =
+  | Parse_error of { file : string option; line : int; msg : string }
+      (** Malformed [.bench] / [.v] / liberty input, with source location. *)
+  | Unknown_circuit of { name : string; known : string list }
+      (** A circuit spec that is neither a file nor a suite entry. *)
+  | Io_error of { file : string; msg : string }
+  | Infeasible_budget of {
+      vertex : int;
+      label : string;
+      budget : float;
+      intrinsic : float;
+    }
+      (** A delay budget at or below the intrinsic delay [a_ii]: no size can
+          achieve it (the W-phase failure mode). *)
+  | Unsafe_timing of { cp : float; deadline : float }
+      (** The circuit misses the deadline before optimization even starts. *)
+  | Solver_diverged of { solver : string; iters : int }
+      (** A flow solver failed to reach optimality (stalled, cycled, or was
+          defeated by degenerate pivots). *)
+  | Numeric of { what : string; value : float }
+      (** A non-finite or out-of-range number where a sane one was required. *)
+  | Budget_exhausted of { resource : string; spent : float; limit : float }
+      (** A run budget (wall clock, iterations, pivots) ran out. *)
+  | Oscillation of { area : float; repeats : int }
+      (** The D/W iteration cycled through the same area [repeats] times. *)
+  | Unmet_target of { target : float; achieved : float }
+      (** Optimization finished but the delay target was not reached. *)
+  | Invariant of { what : string; detail : string }
+      (** A post-phase invariant check failed (see {!Check}). *)
+  | Fault_injected of { site : string }
+      (** A deliberate test fault (see {!Fault}). *)
+  | Internal of string  (** A bug: a state the design rules out. *)
+
+exception Error_exn of error
+(** For contexts that cannot return a [result]; carries the typed error. *)
+
+val fail : error -> 'a
+(** [raise (Error_exn e)]. *)
+
+val error_code : error -> string
+(** Stable machine-readable tag, e.g. ["parse-error"], ["budget-exhausted"].
+    Documented in the README's failure-mode table; tests and scripts key on
+    it. *)
+
+val to_string : error -> string
+
+val pp : Format.formatter -> error -> unit
+
+val to_json : error -> string
+(** One-line JSON object [{"code": …, …}] with the constructor's fields. *)
+
+(** {1 Event log} *)
+
+type event = { severity : severity; source : string; message : string }
+
+type log
+
+val create_log : unit -> log
+
+val log : log -> severity -> source:string -> string -> unit
+
+val logf :
+  log -> severity -> source:string -> ('a, unit, string, unit) format4 -> 'a
+
+val events : log -> event list
+(** In emission order. *)
+
+val events_above : log -> severity -> event list
+
+val max_severity : log -> severity option
+(** [None] when the log is empty. *)
+
+val event_to_string : event -> string
+
+val log_to_json : log -> string
+(** JSON array of event objects. *)

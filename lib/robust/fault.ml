@@ -1,0 +1,37 @@
+module Rng = Minflo_util.Rng
+
+type action =
+  | Fail of Diag.error
+  | Perturb of float
+
+type armed = {
+  action : action;
+  mutable remaining : int;
+  prob : float;
+  mutable fired : int;
+}
+
+type t = { rng : Rng.t; table : (string, armed) Hashtbl.t }
+
+let create ?(seed = 0) () = { rng = Rng.create seed; table = Hashtbl.create 8 }
+
+let arm t ~site ?(count = max_int) ?(prob = 1.0) action =
+  Hashtbl.replace t.table site { action; remaining = count; prob; fired = 0 }
+
+let fire t ~site =
+  match Hashtbl.find_opt t.table site with
+  | None -> None
+  | Some a ->
+    if a.remaining <= 0 then None
+    else if a.prob < 1.0 && Rng.float t.rng 1.0 >= a.prob then None
+    else begin
+      a.remaining <- a.remaining - 1;
+      a.fired <- a.fired + 1;
+      Some a.action
+    end
+
+let fired t ~site =
+  match Hashtbl.find_opt t.table site with None -> 0 | Some a -> a.fired
+
+let sites t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare

@@ -1,0 +1,38 @@
+(** Deterministic fault injection.
+
+    A fault plan is a set of armed sites; the engine asks {!fire} at each
+    site it passes (["dphase.simplex"], ["wphase"], …) and reacts to the
+    returned action — failing the phase with a typed error, or perturbing a
+    solver result so the invariant checks have something to catch. Plans are
+    seeded through {!Minflo_util.Rng}, so probabilistic faults replay
+    identically from a seed, and tests can prove that every fallback rung and
+    budget path is actually exercised.
+
+    A site that was never armed never fires; production runs simply pass no
+    plan. *)
+
+type action =
+  | Fail of Diag.error  (** the site reports this error instead of running. *)
+  | Perturb of float    (** corrupt the site's numeric result by this much. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** An empty plan (no armed sites). [seed] drives probabilistic firing;
+    default 0. *)
+
+val arm : t -> site:string -> ?count:int -> ?prob:float -> action -> unit
+(** Arm [site]. The fault fires at most [count] times (default: every
+    visit), each visit independently with probability [prob] (default 1.0,
+    drawn from the plan's seeded generator). Re-arming a site replaces its
+    previous setting. *)
+
+val fire : t -> site:string -> action option
+(** Called by the engine at an instrumented site; [Some action] when the
+    fault fires now (and consumes one of its [count]). *)
+
+val fired : t -> site:string -> int
+(** How many times the site has fired so far — test assertions key on it. *)
+
+val sites : t -> string list
+(** Armed sites, sorted. *)

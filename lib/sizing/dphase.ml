@@ -3,11 +3,23 @@ module Delay_model = Minflo_tech.Delay_model
 module Balance = Minflo_timing.Balance
 module Sta = Minflo_timing.Sta
 module Diff_lp = Minflo_flow.Diff_lp
+module Mcf = Minflo_flow.Mcf
+module Diag = Minflo_robust.Diag
+module Budget = Minflo_robust.Budget
+module Check = Minflo_robust.Check
+module Fault = Minflo_robust.Fault
+
+type solver = [ `Simplex | `Ssp | `Bellman_ford ]
+
+let solver_name = function
+  | `Simplex -> "simplex"
+  | `Ssp -> "ssp"
+  | `Bellman_ford -> "bellman-ford"
 
 type options = {
   eta : float;
   scale : float;
-  solver : [ `Simplex | `Ssp ];
+  solver : solver;
   balance_mode : [ `Alap | `Asap ];
 }
 
@@ -21,14 +33,13 @@ type outcome = {
   lp_objective : int;
 }
 
-let solve ?(options = default_options) model ~sizes ~delays ~deadline =
+let solve ?(options = default_options) ?budget ?fault ?checks model ~sizes
+    ~delays ~deadline =
   let n = Delay_model.num_vertices model in
   let g = model.Delay_model.graph in
   let sta = Sta.analyze model ~delays ~deadline in
   if not (Sta.is_safe ~eps:1e-6 sta) then
-    Error
-      (Printf.sprintf "Dphase: circuit unsafe (CP %.4g > deadline %.4g)"
-         sta.critical_path deadline)
+    Error (Diag.Unsafe_timing { cp = sta.critical_path; deadline })
   else begin
     let bal = Balance.balance ~mode:options.balance_mode model ~delays ~deadline in
     let weights = Sensitivity.weights model ~sizes ~delays in
@@ -72,20 +83,74 @@ let solve ?(options = default_options) model ~sizes ~delays ~deadline =
       if model.Delay_model.is_sink.(i) then
         Diff_lp.add_le lp rdmy.(i) ground (q bal.sink_fsdu.(i))
     done;
-    match Diff_lp.solve ~solver:options.solver lp with
-    | Diff_lp.Infeasible_lp ->
-      Error "Dphase: displacement LP infeasible — balanced FSDUs violated (bug)"
-    | Diff_lp.Unbounded_lp ->
-      Error "Dphase: displacement LP unbounded — trust region missing (bug)"
-    | Diff_lp.Solution { values; objective = lp_objective } ->
-      let delta =
-        Array.init n (fun i ->
-            float_of_int (values.(rdmy.(i)) - values.(r.(i))) /. s)
+    let sname = solver_name options.solver in
+    let site = "dphase." ^ sname in
+    match Option.bind fault (fun f -> Fault.fire f ~site) with
+    | Some (Fault.Fail e) -> Error e
+    | (None | Some (Fault.Perturb _)) as fired ->
+      let perturb =
+        match fired with Some (Fault.Perturb m) -> Some m | _ -> None
       in
-      let budgets = Array.init n (fun i -> delays.(i) +. delta.(i)) in
-      let objective =
-        Array.fold_left ( +. ) 0.0
-          (Array.init n (fun i -> weights.(i) *. delta.(i)))
+      let on_solution p (sol : Mcf.solution) =
+        (* a Perturb fault pushes one dual value past its trust-region bound:
+           exactly the symptom of a solver that stopped short of optimality *)
+        (match perturb with
+        | Some mag when n > 0 && sol.status = Mcf.Optimal ->
+          sol.potential.(rdmy.(0)) <-
+            sol.potential.(rdmy.(0)) + max 1 (int_of_float (mag *. s))
+        | _ -> ());
+        match checks with
+        | Some c when sol.status = Mcf.Optimal ->
+          Check.record c ("dphase.mcf-optimality." ^ sname)
+            (Result.map_error Diag.to_string (Mcf.check_optimality p sol))
+        | _ -> ()
       in
-      Ok { budgets; delta; objective; lp_objective }
+      (match Diff_lp.solve ~solver:options.solver ?budget ~on_solution lp with
+      | Diff_lp.Infeasible_lp ->
+        Error
+          (Diag.Internal
+             "Dphase: displacement LP infeasible — balanced FSDUs violated (bug)")
+      | Diff_lp.Unbounded_lp ->
+        Error
+          (Diag.Internal
+             "Dphase: displacement LP unbounded — trust region missing (bug)")
+      | Diff_lp.Aborted_lp ->
+        Error
+          (match budget with
+          | Some b -> (
+            match Budget.check b with
+            | Some e -> e
+            | None ->
+              Diag.Budget_exhausted
+                { resource = "pivots";
+                  spent = float_of_int (Budget.pivots b);
+                  limit = float_of_int (Budget.pivots b) })
+          | None -> Diag.Internal "Dphase: solver aborted without a budget")
+      | Diff_lp.Solution { values; objective = lp_objective } ->
+        let assignment = Result.map ignore (Diff_lp.check_assignment lp values) in
+        (match checks with
+        | Some c -> Check.record c "dphase.fsdu-nonnegative" assignment
+        | None -> ());
+        (match assignment with
+        | Error _ ->
+          (* the returned duals violate the very constraints the solver was
+             given: it diverged (or was made to look like it did) *)
+          Error
+            (Diag.Solver_diverged
+               { solver = sname;
+                 iters =
+                   (match budget with Some b -> Budget.pivots b | None -> 0) })
+        | Ok () ->
+          let delta =
+            Array.init n (fun i ->
+                float_of_int (values.(rdmy.(i)) - values.(r.(i))) /. s)
+          in
+          let budgets = Array.init n (fun i -> delays.(i) +. delta.(i)) in
+          let objective =
+            Array.fold_left ( +. ) 0.0
+              (Array.init n (fun i -> weights.(i) *. delta.(i)))
+          in
+          if not (Float.is_finite objective) then
+            Error (Diag.Numeric { what = "dphase.objective"; value = objective })
+          else Ok { budgets; delta; objective; lp_objective }))
   end

@@ -9,13 +9,22 @@
     power-of-10 trick) and solved with the network simplex, whose optimal
     node potentials are exactly [r]. *)
 
+type solver = [ `Simplex | `Ssp | `Bellman_ford ]
+(** [`Simplex] and [`Ssp] are exact; [`Bellman_ford] is the feasibility
+    repair of {!Minflo_flow.Diff_lp.solve} — the last rung of the fallback
+    chain, trading optimality of the step for guaranteed progress. *)
+
+val solver_name : solver -> string
+(** ["simplex"], ["ssp"], ["bellman-ford"]; also the suffix of the fault
+    site ["dphase.<name>"]. *)
+
 type options = {
   eta : float;
       (** trust region: [MAXdD(i) = eta * delay(i)], [MINdD(i)] symmetric
           but floored above the intrinsic delay (Theorem 3's small-step
           requirement). *)
   scale : float;  (** delay integerization factor (units per time unit). *)
-  solver : [ `Simplex | `Ssp ];
+  solver : solver;
   balance_mode : [ `Alap | `Asap ];
       (** which balanced configuration seeds the displacement; Theorem 1
           says the optimum is the same, making this a pure ablation knob. *)
@@ -35,11 +44,25 @@ type outcome = {
 
 val solve :
   ?options:options ->
+  ?budget:Minflo_robust.Budget.t ->
+  ?fault:Minflo_robust.Fault.t ->
+  ?checks:Minflo_robust.Check.t ->
   Minflo_tech.Delay_model.t ->
   sizes:float array ->
   delays:float array ->
   deadline:float ->
-  (outcome, string) result
-(** [Error] if the circuit is unsafe for the deadline or the LP turns out
-    infeasible (which Theorem 2 rules out for safe inputs — it would
-    indicate a bug, and the message says so). *)
+  (outcome, Minflo_robust.Diag.error) result
+(** Typed failures: [Unsafe_timing] when the circuit misses the deadline
+    going in; [Budget_exhausted] when [budget] trips inside the flow solver;
+    [Solver_diverged] when the returned duals violate the LP's own
+    constraints (which deterministic solvers only do under fault injection);
+    [Internal] for states the theory rules out.
+
+    [fault] is consulted at site ["dphase.<solver>"]: [Fail e] returns
+    [Error e] without solving, [Perturb mag] corrupts one dual value of the
+    flow solution by [mag * scale] units so the divergence detector (and the
+    [checks] oracle) have something real to catch.
+
+    [checks] records the ["dphase.mcf-optimality.<solver>"] and
+    ["dphase.fsdu-nonnegative"] invariants instead of trusting the theory
+    silently. *)

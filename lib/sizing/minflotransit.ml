@@ -1,5 +1,10 @@
 module Delay_model = Minflo_tech.Delay_model
 module Sta = Minflo_timing.Sta
+module Diag = Minflo_robust.Diag
+module Budget = Minflo_robust.Budget
+module Fallback = Minflo_robust.Fallback
+module Check = Minflo_robust.Check
+module Fault = Minflo_robust.Fault
 
 let log_src = Logs.Src.create "minflotransit" ~doc:"MINFLOTRANSIT driver"
 
@@ -11,8 +16,11 @@ type options = {
   eta_min : float;
   max_iterations : int;
   rel_tol : float;
-  solver : [ `Simplex | `Ssp ];
+  solver : [ `Auto | `Simplex | `Ssp | `Bellman_ford ];
   tilos_bump : float;
+  limits : Budget.limits;
+  osc_tol : float;
+  osc_window : int;
 }
 
 let default_options =
@@ -22,7 +30,10 @@ let default_options =
     max_iterations = 100;
     rel_tol = 1e-4;
     solver = `Simplex;
-    tilos_bump = 1.1 }
+    tilos_bump = 1.1;
+    limits = Budget.no_limits;
+    osc_tol = 1e-9;
+    osc_window = 3 }
 
 type iteration = {
   iter : int;
@@ -30,7 +41,14 @@ type iteration = {
   cp : float;
   eta : float;
   predicted_gain : float;
+  solver : string;
 }
+
+type stop_reason =
+  | Stop_converged
+  | Stop_max_iterations
+  | Stop_budget of Diag.error
+  | Stop_oscillation of { area : float; repeats : int }
 
 type result = {
   sizes : float array;
@@ -41,63 +59,210 @@ type result = {
   trace : iteration list;
   tilos : Tilos.result;
   area_saving_pct : float;
+  stop : stop_reason;
+  solver_used : string option;
+  budget_exhausted : bool;
 }
 
-let refine_from ?(options = default_options) model ~target ~init ~tilos =
+let stop_reason_to_string = function
+  | Stop_converged -> "converged"
+  | Stop_max_iterations -> "max-iterations"
+  | Stop_budget e -> "budget: " ^ Diag.to_string e
+  | Stop_oscillation { area; repeats } ->
+    Printf.sprintf "oscillation: area %g repeated %d times" area repeats
+
+let dlog log severity fmt =
+  Printf.ksprintf
+    (fun msg ->
+      match log with
+      | Some l -> Diag.log l severity ~source:"minflotransit" msg
+      | None -> ())
+    fmt
+
+(* The D-phase as a fallback chain: `Auto degrades simplex -> ssp ->
+   bellman-ford on retryable failures; a pinned solver is a 1-rung chain. *)
+let dphase_rungs = function
+  | `Auto -> [ `Simplex; `Ssp; `Bellman_ford ]
+  | (`Simplex | `Ssp | `Bellman_ford) as s -> [ s ]
+
+let refine_with ?fault ?log ?checks ~budget ?(options = default_options) model
+    ~target ~init ~tilos =
   let x = ref (Array.copy init) in
   let area = ref (Delay_model.area model !x) in
   let eta = ref options.eta0 in
   let trace = ref [] in
   let iters = ref 0 in
   let continue = ref true in
-  while !continue && !iters < options.max_iterations && !eta >= options.eta_min do
-    let delays = Delay_model.delays model !x in
-    let dopts = { Dphase.default_options with eta = !eta; solver = options.solver } in
-    let step =
-      match Dphase.solve ~options:dopts model ~sizes:!x ~delays ~deadline:target with
-      | Error e ->
-        Log.warn (fun m -> m "D-phase failed: %s" e);
-        None
-      | Ok dres -> (
-        match Wphase.solve model ~budgets:dres.budgets with
+  let stop = ref Stop_converged in
+  let solver_used = ref None in
+  (* oscillation: consecutive REJECTED candidates landing on the same area.
+     Accepted iterations require a strict decrease and cannot cycle. *)
+  let osc_area = ref nan in
+  let osc_repeats = ref 0 in
+  while !continue && !eta >= options.eta_min do
+    if !iters >= options.max_iterations then begin
+      stop := Stop_max_iterations;
+      continue := false
+    end
+    else
+      match Budget.check budget with
+      | Some e ->
+        dlog log Diag.Warning "run budget exhausted: %s" (Diag.to_string e);
+        stop := Stop_budget e;
+        continue := false
+      | None ->
+        Budget.tick_iteration budget;
+        let delays = Delay_model.delays model !x in
+        let attempt solver () =
+          let dopts =
+            { Dphase.default_options with eta = !eta; solver }
+          in
+          Dphase.solve ~options:dopts ~budget ?fault ?checks model ~sizes:!x
+            ~delays ~deadline:target
+        in
+        let rungs =
+          List.map
+            (fun s ->
+              { Fallback.name = Dphase.solver_name s; attempt = attempt s })
+            (dphase_rungs options.solver)
+        in
+        let step =
+          match Fallback.run ?log rungs with
+          | Error e -> Error e
+          | Ok { value = dres; rung; failures } ->
+            List.iter
+              (fun (name, e) ->
+                Log.warn (fun m ->
+                    m "D-phase solver %s failed: %s" name (Diag.to_string e)))
+              failures;
+            (match Wphase.solve ?fault model ~budgets:dres.budgets with
+            | Error e -> Error e
+            | Ok wres ->
+              (match checks with
+              | Some c ->
+                Check.record c "wphase.sizes-in-bounds"
+                  (let bad = ref None in
+                   Array.iteri
+                     (fun i v ->
+                       if
+                         (not (Float.is_finite v))
+                         || v < model.Delay_model.min_size -. 1e-9
+                         || v > model.Delay_model.max_size +. 1e-9
+                       then
+                         if !bad = None then
+                           bad := Some (Printf.sprintf "size %g at vertex %d" v i))
+                     wres.sizes;
+                   match !bad with Some d -> Error d | None -> Ok ())
+              | None -> ());
+              if not wres.feasible then Ok None
+              else begin
+                let delays' = Delay_model.delays model wres.sizes in
+                let cp' = Sta.critical_path_only model ~delays:delays' in
+                (match checks with
+                | Some c ->
+                  Check.record c "wphase.budgets-met"
+                    (let bad = ref None in
+                     Array.iteri
+                       (fun i d ->
+                         if d > dres.budgets.(i) +. 1e-6 && !bad = None then
+                           bad :=
+                             Some
+                               (Printf.sprintf
+                                  "vertex %d delay %g exceeds budget %g" i d
+                                  dres.budgets.(i)))
+                       delays';
+                     match !bad with Some d -> Error d | None -> Ok ())
+                | None -> ());
+                if cp' > target *. (1.0 +. 1e-9) then Ok None
+                else
+                  Ok
+                    (Some
+                       ( wres.sizes,
+                         Delay_model.area model wres.sizes,
+                         cp',
+                         dres.objective,
+                         rung ))
+              end)
+        in
+        (match step with
         | Error e ->
-          Log.warn (fun m -> m "W-phase failed: %s" e);
-          None
-        | Ok wres ->
-          if not wres.feasible then None
-          else begin
-            let delays' = Delay_model.delays model wres.sizes in
-            let cp' = Sta.critical_path_only model ~delays:delays' in
-            if cp' > target *. (1.0 +. 1e-9) then None
-            else Some (wres.sizes, Delay_model.area model wres.sizes, cp', dres.objective)
-          end)
-    in
-    match step with
-    | Some (x', area', cp', predicted) when area' < !area *. (1.0 -. options.rel_tol) ->
-      incr iters;
-      x := x';
-      area := area';
-      trace :=
-        { iter = !iters; area = area'; cp = cp'; eta = !eta; predicted_gain = predicted }
-        :: !trace;
-      Log.debug (fun m -> m "iter %d: area %.1f cp %.4g eta %.3g" !iters area' cp' !eta)
-    | Some (x', area', cp', _) when area' < !area ->
-      (* small improvement: take it, then tighten the trust region *)
-      incr iters;
-      x := x';
-      area := area';
-      eta := !eta *. options.eta_shrink;
-      trace :=
-        { iter = !iters; area = area'; cp = cp'; eta = !eta; predicted_gain = 0.0 }
-        :: !trace;
-      if !eta < options.eta_min then continue := false
-    | _ ->
-      (* no improvement at this trust region *)
-      eta := !eta *. options.eta_shrink
+          (* typed phase failure: keep the best-so-far sizing. A budget
+             failure ends the run with its reason; anything else shrinks
+             the trust region and retries, like a rejected candidate. *)
+          (match e with
+          | Diag.Budget_exhausted _ ->
+            stop := Stop_budget e;
+            continue := false
+          | _ ->
+            dlog log Diag.Warning "iteration failed: %s" (Diag.to_string e);
+            Log.warn (fun m -> m "iteration failed: %s" (Diag.to_string e));
+            eta := !eta *. options.eta_shrink)
+        | Ok (Some (x', area', cp', predicted, rung))
+          when area' < !area *. (1.0 -. options.rel_tol) ->
+          incr iters;
+          x := x';
+          area := area';
+          osc_repeats := 0;
+          solver_used := Some rung;
+          trace :=
+            { iter = !iters;
+              area = area';
+              cp = cp';
+              eta = !eta;
+              predicted_gain = predicted;
+              solver = rung }
+            :: !trace;
+          dlog log Diag.Info "iter %d: area %.1f cp %.4g eta %.3g via %s"
+            !iters area' cp' !eta rung;
+          Log.debug (fun m ->
+              m "iter %d: area %.1f cp %.4g eta %.3g" !iters area' cp' !eta)
+        | Ok (Some (x', area', cp', _, rung)) when area' < !area ->
+          (* small improvement: take it, then tighten the trust region *)
+          incr iters;
+          x := x';
+          area := area';
+          osc_repeats := 0;
+          solver_used := Some rung;
+          eta := !eta *. options.eta_shrink;
+          trace :=
+            { iter = !iters;
+              area = area';
+              cp = cp';
+              eta = !eta;
+              predicted_gain = 0.0;
+              solver = rung }
+            :: !trace;
+          if !eta < options.eta_min then continue := false
+        | Ok rejected ->
+          (* no improvement at this trust region *)
+          (match rejected with
+          | Some (_, area', _, _, _) ->
+            if
+              Float.is_finite !osc_area
+              && abs_float (area' -. !osc_area)
+                 <= options.osc_tol *. max 1.0 (abs_float area')
+            then incr osc_repeats
+            else begin
+              osc_area := area';
+              osc_repeats := 1
+            end;
+            if !osc_repeats >= options.osc_window then begin
+              dlog log Diag.Warning
+                "oscillation: rejected area %g seen %d consecutive times"
+                area' !osc_repeats;
+              stop := Stop_oscillation { area = area'; repeats = !osc_repeats };
+              continue := false
+            end
+          | None -> ());
+          if !continue then eta := !eta *. options.eta_shrink)
   done;
   let delays = Delay_model.delays model !x in
   let cp = Sta.critical_path_only model ~delays in
   let tilos_area = (tilos : Tilos.result).area in
+  let budget_exhausted =
+    (match !stop with Stop_budget _ -> true | _ -> false)
+    || Budget.exhausted budget
+  in
   { sizes = !x;
     area = !area;
     cp;
@@ -106,10 +271,20 @@ let refine_from ?(options = default_options) model ~target ~init ~tilos =
     trace = List.rev !trace;
     tilos;
     area_saving_pct =
-      (if tilos_area > 0.0 then 100.0 *. (tilos_area -. !area) /. tilos_area else 0.0) }
+      (if tilos_area > 0.0 then 100.0 *. (tilos_area -. !area) /. tilos_area
+       else 0.0);
+    stop = !stop;
+    solver_used = !solver_used;
+    budget_exhausted }
 
-let optimize ?(options = default_options) model ~target =
-  let tilos = Tilos.size ~bump:options.tilos_bump model ~target in
+let refine_from ?(options = default_options) ?fault ?log ?checks model ~target
+    ~init ~tilos =
+  let budget = Budget.start options.limits in
+  refine_with ?fault ?log ?checks ~budget ~options model ~target ~init ~tilos
+
+let optimize ?(options = default_options) ?fault ?log ?checks model ~target =
+  let budget = Budget.start options.limits in
+  let tilos = Tilos.size ~bump:options.tilos_bump ~budget model ~target in
   if not tilos.met then
     { sizes = tilos.sizes;
       area = tilos.area;
@@ -118,10 +293,17 @@ let optimize ?(options = default_options) model ~target =
       iterations = 0;
       trace = [];
       tilos;
-      area_saving_pct = 0.0 }
-  else refine_from ~options model ~target ~init:tilos.sizes ~tilos
+      area_saving_pct = 0.0;
+      stop =
+        (match Budget.check budget with
+        | Some e -> Stop_budget e
+        | None -> Stop_converged);
+      solver_used = None;
+      budget_exhausted = Budget.exhausted budget }
+  else refine_with ?fault ?log ?checks ~budget ~options model ~target
+      ~init:tilos.sizes ~tilos
 
-let refine ?(options = default_options) model ~target ~init =
+let refine ?(options = default_options) ?fault ?log ?checks model ~target ~init =
   let delays = Delay_model.delays model init in
   let cp = Sta.critical_path_only model ~delays in
   let pseudo_tilos =
@@ -131,4 +313,4 @@ let refine ?(options = default_options) model ~target ~init =
       final_cp = cp;
       area = Delay_model.area model init }
   in
-  refine_from ~options model ~target ~init ~tilos:pseudo_tilos
+  refine_from ~options ?fault ?log ?checks model ~target ~init ~tilos:pseudo_tilos

@@ -9,7 +9,16 @@
 
     The trust region [eta] bounds each D-phase's delay changes (Theorem 3's
     small-step condition); when an iteration fails to improve, [eta]
-    shrinks geometrically before giving up. *)
+    shrinks geometrically before giving up.
+
+    {b Resilience.} The driver is hardened through [minflo_robust]: run
+    budgets ({!options.limits}) bound wall clock, D/W iterations and flow
+    pivots — on exhaustion the best feasible sizing so far is returned,
+    flagged, never an exception; the [`Auto] solver degrades
+    simplex → SSP → Bellman-Ford feasibility repair on retryable failures
+    ({!Minflo_robust.Fallback}); oscillating rejected candidates terminate
+    the run with a typed reason; and optional fault injection / invariant
+    recording make every one of these paths testable. *)
 
 type options = {
   eta0 : float;          (** initial trust region (default 0.5). *)
@@ -17,8 +26,18 @@ type options = {
   eta_min : float;       (** stop once eta falls below this (default 1e-3). *)
   max_iterations : int;  (** hard cap (default 100; paper: "a few tens"). *)
   rel_tol : float;       (** relative area improvement considered negligible. *)
-  solver : [ `Simplex | `Ssp ];
+  solver : [ `Auto | `Simplex | `Ssp | `Bellman_ford ];
+      (** [`Auto] = fallback chain simplex → ssp → bellman-ford; a concrete
+          solver pins a 1-rung chain (default [`Simplex]). *)
   tilos_bump : float;
+  limits : Minflo_robust.Budget.limits;
+      (** run budget for the whole optimization (default {!Minflo_robust.Budget.no_limits}). *)
+  osc_tol : float;
+      (** areas of rejected candidates within this relative tolerance count
+          as "the same" for oscillation detection. *)
+  osc_window : int;
+      (** consecutive same-area rejections that trigger
+          {!Stop_oscillation} (default 3). *)
 }
 
 val default_options : options
@@ -29,7 +48,18 @@ type iteration = {
   cp : float;
   eta : float;
   predicted_gain : float;  (** D-phase first-order objective. *)
+  solver : string;         (** fallback rung that produced this step. *)
 }
+
+type stop_reason =
+  | Stop_converged        (** trust region exhausted / no further gain. *)
+  | Stop_max_iterations
+  | Stop_budget of Minflo_robust.Diag.error
+      (** a run budget tripped; carries the typed [Budget_exhausted]. *)
+  | Stop_oscillation of { area : float; repeats : int }
+      (** rejected candidates cycled on the same area. *)
+
+val stop_reason_to_string : stop_reason -> string
 
 type result = {
   sizes : float array;
@@ -40,15 +70,34 @@ type result = {
   trace : iteration list;        (** per accepted iteration. *)
   tilos : Tilos.result;          (** the seed solution. *)
   area_saving_pct : float;       (** area saving over the TILOS seed, %. *)
+  stop : stop_reason;
+  solver_used : string option;
+      (** rung of the most recent accepted D-phase ([None] if none). *)
+  budget_exhausted : bool;
+      (** the run ended on (or after tripping) a run budget; [sizes] is the
+          best feasible solution found before that. *)
 }
 
 val optimize :
-  ?options:options -> Minflo_tech.Delay_model.t -> target:float -> result
+  ?options:options ->
+  ?fault:Minflo_robust.Fault.t ->
+  ?log:Minflo_robust.Diag.log ->
+  ?checks:Minflo_robust.Check.t ->
+  Minflo_tech.Delay_model.t ->
+  target:float ->
+  result
 (** Runs TILOS then the D/W iteration. [met = false] when even TILOS cannot
-    reach the target (the returned sizes are then the TILOS attempt). *)
+    reach the target (the returned sizes are then the TILOS attempt). The
+    run budget covers TILOS bumps and the refinement together. [fault],
+    [log] and [checks] are optional observers: fault plans fire at the
+    instrumented sites, the log collects a severity-tagged event trail, and
+    checks accumulate post-phase invariant findings ([--check] in the CLI). *)
 
 val refine :
   ?options:options ->
+  ?fault:Minflo_robust.Fault.t ->
+  ?log:Minflo_robust.Diag.log ->
+  ?checks:Minflo_robust.Check.t ->
   Minflo_tech.Delay_model.t ->
   target:float ->
   init:float array ->
@@ -57,6 +106,9 @@ val refine :
 
 val refine_from :
   ?options:options ->
+  ?fault:Minflo_robust.Fault.t ->
+  ?log:Minflo_robust.Diag.log ->
+  ?checks:Minflo_robust.Check.t ->
   Minflo_tech.Delay_model.t ->
   target:float ->
   init:float array ->

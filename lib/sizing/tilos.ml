@@ -54,7 +54,7 @@ let sensitivity model eng bump i =
     (own_gain -. fanin_penalty) /. darea
   end
 
-let size ?(bump = 1.1) ?(max_bumps = 2_000_000) ?init model ~target =
+let size ?(bump = 1.1) ?(max_bumps = 2_000_000) ?budget ?init model ~target =
   let n = Delay_model.num_vertices model in
   let start =
     match init with
@@ -75,6 +75,14 @@ let size ?(bump = 1.1) ?(max_bumps = 2_000_000) ?init model ~target =
       finished := true
     end
     else if !bumps >= max_bumps then finished := true
+    else if
+      match budget with
+      | Some b -> not (Minflo_robust.Budget.tick_pivot b)
+      | None -> false
+    then
+      (* run budget exhausted: stop bumping and return the best-so-far
+         sizing with [met] reporting honestly *)
+      finished := true
     else begin
       (* candidates: vertices on a maximal-finish path, via the incremental
          engine's tight-edge backtrace *)

@@ -1,4 +1,5 @@
 module Delay_model = Minflo_tech.Delay_model
+module Diag = Minflo_robust.Diag
 
 type result = {
   sizes : float array;
@@ -7,19 +8,28 @@ type result = {
   sweeps : int;
 }
 
-let solve model ~budgets =
+let solve ?fault model ~budgets =
   let n = Delay_model.num_vertices model in
-  if Array.length budgets <> n then Error "Wphase: wrong budget vector length"
+  match Option.bind fault (fun f -> Minflo_robust.Fault.fire f ~site:"wphase") with
+  | Some (Minflo_robust.Fault.Fail e) -> Error e
+  | (Some (Minflo_robust.Fault.Perturb _) | None) as fired ->
+  let perturb =
+    match fired with Some (Minflo_robust.Fault.Perturb m) -> Some m | _ -> None
+  in
+  if Array.length budgets <> n then
+    Error (Diag.Internal "Wphase: wrong budget vector length")
   else begin
     let bad = ref None in
     Array.iteri
       (fun i d ->
-        if d <= model.Delay_model.a_self.(i) +. 1e-12 then
+        if d <= model.Delay_model.a_self.(i) +. 1e-12 && !bad = None then
           bad :=
             Some
-              (Printf.sprintf
-                 "Wphase: budget %g at vertex %d (%s) is below the intrinsic delay %g" d i
-                 model.Delay_model.labels.(i) model.Delay_model.a_self.(i)))
+              (Diag.Infeasible_budget
+                 { vertex = i;
+                   label = model.Delay_model.labels.(i);
+                   budget = d;
+                   intrinsic = model.Delay_model.a_self.(i) }))
       budgets;
     match !bad with
     | Some e -> Error e
@@ -65,5 +75,12 @@ let solve model ~budgets =
         (fun i _ ->
           if required i > x.(i) +. 1e-6 then violated := i :: !violated)
         x;
+      (* a Perturb fault silently shrinks one size AFTER the feasibility
+         verdict — the stale verdict is exactly what the post-phase
+         invariant checks exist to catch *)
+      (match perturb with
+      | Some mag when n > 0 ->
+        x.(0) <- max model.Delay_model.min_size (x.(0) /. (1.0 +. abs_float mag))
+      | _ -> ());
       Ok { sizes = x; feasible = !violated = []; violated = List.rev !violated; sweeps = !sweeps }
   end

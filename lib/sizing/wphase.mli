@@ -21,6 +21,14 @@ type result = {
 }
 
 val solve :
-  Minflo_tech.Delay_model.t -> budgets:float array -> (result, string) Stdlib.result
-(** [Error] when some budget is at or below the intrinsic delay [a_ii]
-    (no size can achieve it). *)
+  ?fault:Minflo_robust.Fault.t ->
+  Minflo_tech.Delay_model.t ->
+  budgets:float array ->
+  (result, Minflo_robust.Diag.error) Stdlib.result
+(** [Error (Infeasible_budget _)] when some budget is at or below the
+    intrinsic delay [a_ii] (no size can achieve it).
+
+    [fault] is consulted at site ["wphase"]: [Fail e] returns [Error e];
+    [Perturb mag] shrinks one size after the feasibility verdict was
+    computed, so the verdict is a lie that only a post-phase invariant
+    check (or the driver's own STA) can expose. *)

@@ -75,7 +75,10 @@ let check model ~delays t =
           report "sink %d FSDU %g inconsistent with potential (%g)" i f expect
       end)
     t.sink_fsdu;
-  match !bad with Some e -> Error e | None -> Ok ()
+  match !bad with
+  | Some detail ->
+    Error (Minflo_robust.Diag.Invariant { what = "fsdu-balance"; detail })
+  | None -> Ok ()
 
 let displacement_between a b = Array.map2 (fun pb pa -> pb -. pa) b.potential a.potential
 

@@ -34,9 +34,15 @@ val balance :
 (** Requires a safe circuit ([CP <= deadline]); FSDUs are non-negative then.
     Default mode [`Alap]. *)
 
-val check : Minflo_tech.Delay_model.t -> delays:float array -> t -> (unit, string) result
+val check :
+  Minflo_tech.Delay_model.t ->
+  delays:float array ->
+  t ->
+  (unit, Minflo_robust.Diag.error) result
 (** Verifies non-negativity of every FSDU and exact path balance (via the
-    potential identity on each edge). Test-suite oracle for Theorems 1-2. *)
+    potential identity on each edge); failures are typed
+    [Invariant {what = "fsdu-balance"; _}] diagnostics. Test-suite oracle
+    for Theorems 1-2 and the [--check] post-phase invariant. *)
 
 val displacement_between : t -> t -> float array
 (** [displacement_between a b]: the vertex relabeling [r] with

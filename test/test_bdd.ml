@@ -192,7 +192,7 @@ let prop_bench_roundtrip_equiv =
     ~count:30 QCheck.small_nat (fun seed ->
       let nl = Gen.random_dag ~gates:20 ~inputs:5 ~outputs:3 ~seed:(seed + 333) () in
       let nl2 =
-        Minflo_netlist.Bench_format.parse_string
+        Minflo_netlist.Bench_format.parse_string_exn
           (Minflo_netlist.Bench_format.to_string nl)
       in
       Check.equivalent nl nl2 = Check.Equivalent)

@@ -21,6 +21,7 @@ let status_str = function
   | Mcf.Optimal -> "Optimal"
   | Mcf.Infeasible -> "Infeasible"
   | Mcf.Unbounded -> "Unbounded"
+  | Mcf.Aborted -> "Aborted"
 
 let solve_both p = (Simplex.solve p, Ssp.solve p)
 
@@ -44,10 +45,10 @@ let test_two_parallel_arcs () =
   check int "ssp cheap arc saturated" 4 s2.flow.(0);
   (match Mcf.check_optimality p s1 with
   | Ok () -> ()
-  | Error e -> Alcotest.fail ("simplex slackness: " ^ e));
+  | Error e -> Alcotest.fail ("simplex slackness: " ^ Minflo_robust.Diag.to_string e));
   match Mcf.check_optimality p s2 with
   | Ok () -> ()
-  | Error e -> Alcotest.fail ("ssp slackness: " ^ e)
+  | Error e -> Alcotest.fail ("ssp slackness: " ^ Minflo_robust.Diag.to_string e)
 
 (* classic 4-node transportation instance *)
 let test_transportation () =
@@ -383,6 +384,7 @@ let test_diff_lp_basic () =
     check int "difference" 3 (values.(x) - values.(y))
   | Infeasible_lp -> Alcotest.fail "infeasible"
   | Unbounded_lp -> Alcotest.fail "unbounded"
+  | Aborted_lp -> Alcotest.fail "aborted"
 
 let test_diff_lp_chain () =
   (* chain x0 <= x1 <= x2 (i.e. x_i - x_{i+1} <= 0) with x2 - x0 <= 5;
@@ -412,6 +414,7 @@ let test_diff_lp_infeasible () =
   | Infeasible_lp -> ()
   | Solution _ -> Alcotest.fail "expected infeasible, got solution"
   | Unbounded_lp -> Alcotest.fail "expected infeasible, got unbounded"
+  | Aborted_lp -> Alcotest.fail "expected infeasible, got aborted"
 
 let test_diff_lp_unbounded () =
   (* maximize x - y with only x - y >= constraint missing: no upper bound *)
@@ -424,6 +427,7 @@ let test_diff_lp_unbounded () =
   | Unbounded_lp -> ()
   | Solution _ -> Alcotest.fail "expected unbounded, got solution"
   | Infeasible_lp -> Alcotest.fail "expected unbounded, got infeasible"
+  | Aborted_lp -> Alcotest.fail "expected unbounded, got aborted"
 
 (* brute force oracle for tiny LPs: enumerate assignments in [-bound, bound] *)
 let brute_force_lp lp nvars bound =
@@ -475,7 +479,8 @@ let prop_diff_lp_matches_brute_force =
         Result.is_ok (Diff_lp.check_assignment lp values) && objective >= best
       | Unbounded_lp, _ -> true (* objective direction unconstrained *)
       | Solution _, None -> false (* solver found a solution, brute force none *)
-      | Infeasible_lp, _ -> false (* our construction is always feasible *))
+      | Infeasible_lp, _ -> false (* our construction is always feasible *)
+      | Aborted_lp, _ -> false (* no budget is installed here *))
 
 let prop_diff_lp_solvers_agree =
   QCheck.Test.make ~name:"Diff_lp via simplex and via SSP agree" ~count:100

@@ -113,7 +113,7 @@ let c17_text =
    19 = NAND(11, 7)\n22 = NAND(10, 16)\n23 = NAND(16, 19)\n"
 
 let test_bench_parse () =
-  let nl = Bench.parse_string ~name:"c17" c17_text in
+  let nl = Bench.parse_string_exn ~name:"c17" c17_text in
   check int "gates" 6 (Netlist.gate_count nl);
   check int "inputs" 5 (Netlist.input_count nl);
   check int "outputs" 2 (List.length (Netlist.outputs nl))
@@ -121,12 +121,12 @@ let test_bench_parse () =
 let test_bench_forward_refs () =
   (* gates may be declared before their fanins textually *)
   let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(m)\nm = NAND(a, a)\n" in
-  let nl = Bench.parse_string text in
+  let nl = Bench.parse_string_exn text in
   check int "gates" 2 (Netlist.gate_count nl)
 
 let test_bench_roundtrip () =
   let nl = Gen.c17 () in
-  let nl2 = Bench.parse_string (Bench.to_string nl) in
+  let nl2 = Bench.parse_string_exn (Bench.to_string nl) in
   check int "gates" (Netlist.gate_count nl) (Netlist.gate_count nl2);
   check int "inputs" (Netlist.input_count nl) (Netlist.input_count nl2);
   (* simulation agreement on all 32 input patterns *)
@@ -141,8 +141,11 @@ let test_bench_roundtrip () =
 let test_bench_errors () =
   let expect_error text =
     match Bench.parse_string text with
-    | exception Bench.Parse_error _ -> ()
-    | _ -> Alcotest.fail "expected parse error"
+    | Error (Minflo_robust.Diag.Parse_error { line; _ }) ->
+      check bool "line number is positive" true (line >= 1)
+    | Error e ->
+      Alcotest.fail ("expected Parse_error, got " ^ Minflo_robust.Diag.to_string e)
+    | Ok _ -> Alcotest.fail "expected parse error"
   in
   expect_error "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
   expect_error "INPUT(a)\nOUTPUT(y)\ny = NAND(a\n";
@@ -155,7 +158,7 @@ let test_bench_errors () =
 let test_bench_roundtrip_suite () =
   (* writer/parser agree structurally on a large generated circuit *)
   let nl = Gen.alu ~width:4 () in
-  let nl2 = Bench.parse_string (Bench.to_string nl) in
+  let nl2 = Bench.parse_string_exn (Bench.to_string nl) in
   check int "gates" (Netlist.gate_count nl) (Netlist.gate_count nl2);
   check int "depth" (Netlist.depth nl) (Netlist.depth nl2)
 

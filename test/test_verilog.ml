@@ -26,7 +26,7 @@ endmodule
 |}
 
 let test_parse_c17 () =
-  let nl = V.parse_string c17_v in
+  let nl = V.parse_string_exn c17_v in
   check int "gates" 6 (Netlist.gate_count nl);
   check int "inputs" 5 (Netlist.input_count nl);
   check int "outputs" 2 (List.length (Netlist.outputs nl));
@@ -36,14 +36,14 @@ let test_parse_c17 () =
 
 let test_parse_without_instance_names () =
   let nl =
-    V.parse_string
+    V.parse_string_exn
       "module m (a, b, y);\n input a, b;\n output y;\n nand (y, a, b);\nendmodule\n"
   in
   check int "gates" 1 (Netlist.gate_count nl)
 
 let test_parse_block_comments_and_forward_refs () =
   let nl =
-    V.parse_string
+    V.parse_string_exn
       "module m (a, y); /* ports */ input a; output y;\n\
        wire t;\n\
        not (y, t); // uses t before its driver appears\n\
@@ -54,8 +54,10 @@ let test_parse_block_comments_and_forward_refs () =
 
 let expect_error text =
   match V.parse_string text with
-  | exception V.Parse_error _ -> ()
-  | _ -> Alcotest.fail "expected parse error"
+  | Error (Minflo_robust.Diag.Parse_error { line; _ }) ->
+    check bool "line number is positive" true (line >= 1)
+  | Error e -> Alcotest.fail ("expected Parse_error, got " ^ Minflo_robust.Diag.to_string e)
+  | Ok _ -> Alcotest.fail "expected parse error"
 
 let test_parse_errors () =
   expect_error "module m (a, y); input a; output y; assign y = a;\nendmodule";
@@ -73,7 +75,7 @@ let test_parse_errors () =
 let test_roundtrip_generators () =
   List.iter
     (fun nl ->
-      let nl2 = V.parse_string (V.to_string nl) in
+      let nl2 = V.parse_string_exn (V.to_string nl) in
       check int "gates" (Netlist.gate_count nl) (Netlist.gate_count nl2);
       check bool "formally equivalent" true (Check.equivalent nl nl2 = Check.Equivalent))
     [ Gen.c17 ();
@@ -89,25 +91,26 @@ let test_sanitization () =
   Netlist.mark_output nl g;
   Netlist.validate nl;
   let text = V.to_string nl in
-  let nl2 = V.parse_string text in
+  let nl2 = V.parse_string_exn text in
   check bool "roundtrips" true (Check.equivalent nl nl2 = Check.Equivalent)
 
 let prop_verilog_roundtrip_random =
   QCheck.Test.make ~name:"verilog round-trips random netlists (formally)"
     ~count:30 QCheck.small_nat (fun seed ->
       let nl = Gen.random_dag ~gates:25 ~inputs:5 ~outputs:3 ~seed:(seed + 555) () in
-      let nl2 = V.parse_string (V.to_string nl) in
+      let nl2 = V.parse_string_exn (V.to_string nl) in
       Check.equivalent nl nl2 = Check.Equivalent)
 
 let prop_lexer_never_crashes =
-  (* random byte soup must raise Parse_error (or parse), never anything else *)
+  (* random byte soup must become a typed Parse_error (or parse), never an
+     exception *)
   QCheck.Test.make ~name:"parser turns garbage into Parse_error, not crashes"
     ~count:200
     QCheck.(string_of_size (Gen.int_range 0 200))
     (fun text ->
       match V.parse_string text with
-      | _ -> true
-      | exception V.Parse_error _ -> true
+      | Ok _ | Error (Minflo_robust.Diag.Parse_error _) -> true
+      | Error _ -> false
       | exception _ -> false)
 
 let prop_bench_parser_never_crashes =
@@ -116,8 +119,8 @@ let prop_bench_parser_never_crashes =
     QCheck.(string_of_size (Gen.int_range 0 200))
     (fun text ->
       match Minflo_netlist.Bench_format.parse_string text with
-      | _ -> true
-      | exception Minflo_netlist.Bench_format.Parse_error _ -> true
+      | Ok _ | Error (Minflo_robust.Diag.Parse_error _) -> true
+      | Error _ -> false
       | exception _ -> false)
 
 let () =
