@@ -12,11 +12,13 @@ open Minflo
 
 let exit_code_of_error (e : Diag.error) =
   match e with
-  | Diag.Parse_error _ | Diag.Unknown_circuit _ | Diag.Io_error _ -> 2
+  | Diag.Parse_error _ | Diag.Unknown_circuit _ | Diag.Io_error _
+  | Diag.Checkpoint_invalid _ -> 2
   | Diag.Unmet_target _ | Diag.Unsafe_timing _ | Diag.Infeasible_budget _
-  | Diag.Budget_exhausted _ | Diag.Oscillation _ -> 1
+  | Diag.Budget_exhausted _ | Diag.Oscillation _ | Diag.Job_timeout _ -> 1
   | Diag.Solver_diverged _ | Diag.Numeric _ | Diag.Invariant _
-  | Diag.Fault_injected _ | Diag.Internal _ -> 3
+  | Diag.Fault_injected _ | Diag.Differential_mismatch _ | Diag.Job_crashed _
+  | Diag.Internal _ -> 3
 
 let load_circuit spec : (Netlist.t, Diag.error) result =
   if Sys.file_exists spec then begin
@@ -109,10 +111,10 @@ let fault_arg =
                  repeatable. For exercising the fallback chain and budget \
                  paths.")
 
-let make_fault_plan = function
+let make_fault_plan ?(seed = 0) = function
   | [] -> None
   | sites ->
-    let f = Fault.create ~seed:0 () in
+    let f = Fault.create ~seed () in
     List.iter
       (fun site -> Fault.arm f ~site (Fault.Fail (Diag.Fault_injected { site })))
       sites;
@@ -409,6 +411,171 @@ let strash_cmd =
        ~doc:"Structurally hash a netlist through an AIG (and verify).")
     Term.(const run $ circuit_arg $ out $ formal)
 
+(* ---------- batch ---------- *)
+
+let batch_cmd =
+  let circuits =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"CIRCUIT"
+             ~doc:"Circuits to size (suite names or .bench/.v paths); the \
+                   batch grid is every circuit at every factor with every \
+                   solver.")
+  in
+  let factors =
+    Arg.(value & opt (list float) [ 0.5 ]
+         & info [ "factors" ] ~doc:"Comma-separated delay factors.")
+  in
+  let solvers =
+    Arg.(value
+         & opt
+             (list
+                (enum
+                   [ ("auto", `Auto); ("simplex", `Simplex); ("ssp", `Ssp);
+                     ("bf", `Bellman_ford) ]))
+             [ `Auto ]
+         & info [ "solvers" ] ~doc:"Comma-separated D-phase solvers.")
+  in
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:"Directory for per-job checkpoints and the crash-safe \
+                   journal ($(docv)/journal.jsonl). Without it there is no \
+                   checkpointing, journaling or resume.")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Skip jobs the journal records as complete and restart \
+                   interrupted jobs from their last validated checkpoint; \
+                   the resumed results are bit-identical to an \
+                   uninterrupted run.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Concurrent job processes.")
+  in
+  let retries =
+    Arg.(value & opt int 2
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Extra attempts for transiently failing jobs (timeouts, \
+                   crashes, retryable solver errors), with exponential \
+                   backoff. Deterministic failures are quarantined instead.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"S"
+             ~doc:"Hard per-attempt wall-clock limit; a job past it is \
+                   SIGKILLed and treated as a transient failure.")
+  in
+  let differential =
+    Arg.(value & flag
+         & info [ "differential" ]
+             ~doc:"Re-run every successful job under an independent D-phase \
+                   solver and flag area disagreement beyond the tolerance \
+                   as a differential-mismatch diagnostic (exit code 3).")
+  in
+  let diff_tolerance =
+    Arg.(value & opt float Differential.default_tolerance
+         & info [ "diff-tolerance" ] ~docv:"T"
+             ~doc:"Relative area tolerance for --differential.")
+  in
+  let no_isolate =
+    Arg.(value & flag
+         & info [ "no-isolate" ]
+             ~doc:"Run jobs in-process instead of forked children (no \
+                   timeout enforcement; for debugging).")
+  in
+  let fault_seed =
+    Arg.(value & opt int 0
+         & info [ "fault-seed" ] ~docv:"SEED"
+             ~doc:"Seed for the --inject-fault plan (recorded in \
+                   checkpoints).")
+  in
+  let run circuits factors solvers checkpoint_dir resume jobs retries timeout
+      differential diff_tolerance no_isolate max_seconds max_iterations
+      max_pivots fault_sites fault_seed =
+    let grid = Job.cross ~circuits ~factors ~solvers in
+    let limits =
+      Budget.limits ?wall_seconds:max_seconds ?max_iterations ?max_pivots ()
+    in
+    let config =
+      { Batch.checkpoint_dir;
+        resume;
+        supervise =
+          { Supervisor.default_config with
+            parallel = jobs;
+            retries;
+            timeout_seconds = timeout;
+            isolate = not no_isolate };
+        differential;
+        diff_tolerance;
+        engine = { Minflotransit.default_options with limits };
+        fault_seed = (if fault_sites = [] then None else Some fault_seed);
+        make_fault = (fun () -> make_fault_plan ~seed:fault_seed fault_sites) }
+    in
+    match Batch.run ~config grid with
+    | Error e -> Diag.fail e
+    | Ok s ->
+      let table =
+        Table.create
+          ~columns:
+            [ ("job", Table.Left); ("status", Table.Left);
+              ("area ratio", Table.Right); ("iters", Table.Right);
+              ("attempts", Table.Right); ("differential", Table.Left) ]
+      in
+      List.iter
+        (fun (r : Batch.job_report) ->
+          let status, area, iters =
+            match r.outcome with
+            | None -> ("skipped (journal)", "-", "-")
+            | Some (Ok o) ->
+              ( (if o.Job.resumed then "ok (resumed)" else "ok"),
+                Printf.sprintf "%.3f" o.Job.area_ratio,
+                string_of_int o.Job.iterations )
+            | Some (Error e) ->
+              ( (if r.quarantined then "quarantined " else "failed ")
+                ^ "[" ^ Diag.error_code e ^ "]",
+                "-", "-" )
+          in
+          let diff =
+            match r.differential with
+            | None -> "-"
+            | Some (Ok ()) -> "agree"
+            | Some (Error e) -> "MISMATCH [" ^ Diag.error_code e ^ "]"
+          in
+          Table.add_row table
+            [ Job.id r.job; status; area; iters;
+              string_of_int r.attempts; diff ])
+        s.reports;
+      Table.print table;
+      Fmt.pr "batch: %d ok, %d failed, %d skipped, %d differential mismatches@."
+        s.ok s.failed s.skipped s.mismatches;
+      (* exit with the worst per-job failure, same mapping as single runs *)
+      let worst =
+        List.fold_left
+          (fun acc (r : Batch.job_report) ->
+            let acc =
+              match r.outcome with
+              | Some (Error e) -> max acc (exit_code_of_error e)
+              | _ -> acc
+            in
+            match r.differential with
+            | Some (Error e) -> max acc (exit_code_of_error e)
+            | _ -> acc)
+          0 s.reports
+      in
+      if worst > 0 then exit worst
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run a grid of sizing jobs under supervision: checkpoint/resume, \
+             per-job isolation with retry and quarantine, optional \
+             cross-solver differential verification.")
+    Term.(const run $ circuits $ factors $ solvers $ checkpoint_dir $ resume
+          $ jobs $ retries $ timeout $ differential $ diff_tolerance
+          $ no_isolate $ max_seconds_arg $ max_iterations_arg $ max_pivots_arg
+          $ fault_arg $ fault_seed)
+
 (* ---------- power ---------- *)
 
 let power_cmd =
@@ -434,8 +601,8 @@ let power_cmd =
 let main_cmd =
   let doc = "MINFLOTRANSIT: min-cost-flow based transistor sizing" in
   Cmd.group (Cmd.info "minflo" ~version:"1.0.0" ~doc)
-    [ gen_cmd; stats_cmd; sta_cmd; size_cmd; sweep_cmd; verify_cmd; convert_cmd;
-      strash_cmd; power_cmd ]
+    [ gen_cmd; stats_cmd; sta_cmd; size_cmd; sweep_cmd; batch_cmd; verify_cmd;
+      convert_cmd; strash_cmd; power_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -22,7 +22,9 @@
     - {!Mcf}, {!Network_simplex}, {!Ssp}, {!Dinic}, {!Diff_lp},
       {!Bellman_ford} — the network-flow substrate ([minflo_flow]);
     - {!Tilos}, {!Wphase}, {!Dphase}, {!Sensitivity}, {!Minflotransit},
-      {!Sweep} — the sizing engines ([minflo_sizing]). *)
+      {!Sweep} — the sizing engines ([minflo_sizing]);
+    - {!Job}, {!Checkpoint}, {!Journal}, {!Supervisor}, {!Differential},
+      {!Batch} — the crash-safe batch runner ([minflo_runner]). *)
 
 (* util *)
 module Vec = Minflo_util.Vec
@@ -109,3 +111,12 @@ module Discrete = Minflo_sizing.Discrete
 module Optimality = Minflo_sizing.Optimality
 module Minflotransit = Minflo_sizing.Minflotransit
 module Sweep = Minflo_sizing.Sweep
+
+(* batch runner: crash-safe checkpoint/resume, per-job process isolation,
+   cross-solver differential verification *)
+module Job = Minflo_runner.Job
+module Checkpoint = Minflo_runner.Checkpoint
+module Journal = Minflo_runner.Journal
+module Supervisor = Minflo_runner.Supervisor
+module Differential = Minflo_runner.Differential
+module Batch = Minflo_runner.Batch

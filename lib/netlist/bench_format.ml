@@ -66,8 +66,22 @@ let parse_line lineno raw =
       | _ -> fail lineno "expected INPUT/OUTPUT/assignment, got %S" s)
   end
 
-let parse_internal ?(name = "bench") text =
+let parse_internal ?name text =
   let lines = String.split_on_char '\n' text in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> (
+      (* recover the name our own writer puts on the first line ("# <name>"),
+         so parse (to_string nl) preserves it and printing is a fixpoint;
+         anything that doesn't look like a bare identifier (e.g. a prose
+         header in a foreign file) falls back to the generic name *)
+      match lines with
+      | first :: _ when String.length first > 1 && first.[0] = '#' ->
+        let cand = strip (String.sub first 1 (String.length first - 1)) in
+        if cand <> "" && not (String.contains cand ' ') then cand else "bench"
+      | _ -> "bench")
+  in
   let statements =
     List.filteri (fun _ _ -> true) lines
     |> List.mapi (fun i l -> (i + 1, parse_line (i + 1) l))

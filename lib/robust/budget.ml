@@ -18,13 +18,20 @@ type t = {
 }
 
 let start limits =
-  { limits; t0 = Unix.gettimeofday (); iterations = 0; pivots = 0; tripped = None }
+  { limits; t0 = Mono.now (); iterations = 0; pivots = 0; tripped = None }
+
+let resume limits ~elapsed ~iterations ~pivots =
+  { limits;
+    t0 = Mono.now () -. (max 0.0 elapsed);
+    iterations = max 0 iterations;
+    pivots = max 0 pivots;
+    tripped = None }
 
 let unlimited () = start no_limits
 
 let wall_check_period = 1024
 
-let elapsed t = Unix.gettimeofday () -. t.t0
+let elapsed t = Mono.now () -. t.t0
 
 let check_wall t =
   match t.limits.wall_seconds with

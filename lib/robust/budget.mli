@@ -26,7 +26,15 @@ val limits :
 type t
 
 val start : limits -> t
-(** A fresh meter; the wall clock starts now. *)
+(** A fresh meter; the wall clock starts now. Time is read from the
+    monotonic clock ({!Mono}), so system-clock jumps can neither trip nor
+    extend a wall-second budget. *)
+
+val resume : limits -> elapsed:float -> iterations:int -> pivots:int -> t
+(** A meter continuing a checkpointed run: the wall clock is backdated by
+    [elapsed] seconds and the counters restored, so the resumed run only
+    has whatever headroom the interrupted run had left. The trip state is
+    re-derived from the restored meters on the next {!check}. *)
 
 val unlimited : unit -> t
 

@@ -28,6 +28,17 @@ type error =
   | Unmet_target of { target : float; achieved : float }
   | Invariant of { what : string; detail : string }
   | Fault_injected of { site : string }
+  | Checkpoint_invalid of { file : string; reason : string }
+  | Differential_mismatch of {
+      job : string;
+      solver_a : string;
+      solver_b : string;
+      value_a : float;
+      value_b : float;
+      tolerance : float;
+    }
+  | Job_timeout of { job : string; seconds : float }
+  | Job_crashed of { job : string; detail : string }
   | Internal of string
 
 exception Error_exn of error
@@ -47,6 +58,10 @@ let error_code = function
   | Unmet_target _ -> "unmet-target"
   | Invariant _ -> "invariant"
   | Fault_injected _ -> "fault-injected"
+  | Checkpoint_invalid _ -> "checkpoint-invalid"
+  | Differential_mismatch _ -> "differential-mismatch"
+  | Job_timeout _ -> "job-timeout"
+  | Job_crashed _ -> "job-crashed"
   | Internal _ -> "internal"
 
 let to_string = function
@@ -82,6 +97,16 @@ let to_string = function
   | Invariant { what; detail } ->
     Printf.sprintf "invariant %S violated: %s" what detail
   | Fault_injected { site } -> Printf.sprintf "injected fault at %s" site
+  | Checkpoint_invalid { file; reason } ->
+    Printf.sprintf "checkpoint %s is unusable: %s" file reason
+  | Differential_mismatch { job; solver_a; solver_b; value_a; value_b; tolerance }
+    ->
+    Printf.sprintf
+      "differential mismatch on %s: %s gives %.6g, %s gives %.6g (tolerance %g)"
+      job solver_a value_a solver_b value_b tolerance
+  | Job_timeout { job; seconds } ->
+    Printf.sprintf "job %s timed out after %.3g seconds" job seconds
+  | Job_crashed { job; detail } -> Printf.sprintf "job %s crashed: %s" job detail
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
@@ -152,6 +177,18 @@ let to_json e =
   | Invariant { what; detail } ->
     obj [ code; ("what", jstr what); ("detail", jstr detail) ]
   | Fault_injected { site } -> obj [ code; ("site", jstr site) ]
+  | Checkpoint_invalid { file; reason } ->
+    obj [ code; ("file", jstr file); ("reason", jstr reason) ]
+  | Differential_mismatch { job; solver_a; solver_b; value_a; value_b; tolerance }
+    ->
+    obj
+      [ code; ("job", jstr job); ("solver_a", jstr solver_a);
+        ("solver_b", jstr solver_b); ("value_a", jfloat value_a);
+        ("value_b", jfloat value_b); ("tolerance", jfloat tolerance) ]
+  | Job_timeout { job; seconds } ->
+    obj [ code; ("job", jstr job); ("seconds", jfloat seconds) ]
+  | Job_crashed { job; detail } ->
+    obj [ code; ("job", jstr job); ("detail", jstr detail) ]
   | Internal msg -> obj [ code; ("msg", jstr msg) ]
 
 (* ---------- event log ---------- *)

@@ -49,6 +49,25 @@ type error =
       (** A post-phase invariant check failed (see {!Check}). *)
   | Fault_injected of { site : string }
       (** A deliberate test fault (see {!Fault}). *)
+  | Checkpoint_invalid of { file : string; reason : string }
+      (** A checkpoint that cannot seed a resume: wrong magic/version,
+          truncated, or written for a different circuit (hash mismatch). *)
+  | Differential_mismatch of {
+      job : string;
+      solver_a : string;
+      solver_b : string;
+      value_a : float;
+      value_b : float;
+      tolerance : float;
+    }
+      (** Two independent solvers disagreed on a job's result beyond
+          tolerance — evidence of a solver bug (or an injected fault). *)
+  | Job_timeout of { job : string; seconds : float }
+      (** A supervised batch job exceeded its hard wall-clock timeout and
+          was killed. Transient: the supervisor retries it. *)
+  | Job_crashed of { job : string; detail : string }
+      (** A supervised batch job died without reporting a result (signal,
+          nonzero exit, unreadable result file). Transient. *)
   | Internal of string  (** A bug: a state the design rules out. *)
 
 exception Error_exn of error

@@ -1,0 +1,3 @@
+external now : unit -> float = "minflo_mono_now"
+
+let elapsed_since t0 = now () -. t0

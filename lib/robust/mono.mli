@@ -1,0 +1,18 @@
+(** Monotonic wall clock.
+
+    Run budgets and sweep timings must never be distorted by NTP
+    adjustments, leap seconds, or an operator setting the system clock:
+    a backwards jump under [Unix.gettimeofday] could extend a wall-clock
+    budget indefinitely, and a forward jump could trip it spuriously.
+    This module reads [clock_gettime(CLOCK_MONOTONIC)] through a tiny C
+    stub (falling back to [gettimeofday] only on platforms without a
+    monotonic clock), so elapsed-time arithmetic is immune to wall-clock
+    jumps. *)
+
+val now : unit -> float
+(** Seconds since an arbitrary fixed origin (typically boot). Only
+    differences of two readings are meaningful; never compare against
+    calendar time. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now () -. t0]. *)

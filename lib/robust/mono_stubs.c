@@ -1,0 +1,25 @@
+/* Monotonic clock stub for Minflo_robust.Mono.
+
+   CLOCK_MONOTONIC where available (Linux, BSD, macOS >= 10.12); plain
+   gettimeofday as a last resort so the library still builds on exotic
+   platforms — there the jump-immunity guarantee is best-effort only. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value minflo_mono_now(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

@@ -1,0 +1,310 @@
+module Diag = Minflo_robust.Diag
+module Budget = Minflo_robust.Budget
+module Elmore = Minflo_tech.Elmore
+module Tech = Minflo_tech.Tech
+module Tilos = Minflo_sizing.Tilos
+module Minflotransit = Minflo_sizing.Minflotransit
+module Sweep = Minflo_sizing.Sweep
+
+type config = {
+  checkpoint_dir : string option;
+  resume : bool;
+  supervise : Supervisor.config;
+  differential : bool;
+  diff_tolerance : float;
+  engine : Minflotransit.options;
+  fault_seed : int option;
+  make_fault : unit -> Minflo_robust.Fault.t option;
+}
+
+let default_config =
+  { checkpoint_dir = None;
+    resume = false;
+    supervise = Supervisor.default_config;
+    differential = false;
+    diff_tolerance = Differential.default_tolerance;
+    engine = Minflotransit.default_options;
+    fault_seed = None;
+    make_fault = (fun () -> None) }
+
+type job_report = {
+  job : Job.t;
+  outcome : (Job.outcome, Diag.error) result option;
+  attempts : int;
+  quarantined : bool;
+  differential : (unit, Diag.error) result option;
+}
+
+type summary = {
+  reports : job_report list;
+  ok : int;
+  failed : int;
+  skipped : int;
+  mismatches : int;
+}
+
+let rec mkdirs dir =
+  if Sys.file_exists dir then
+    if Sys.is_directory dir then Ok ()
+    else Error (Diag.Io_error { file = dir; msg = "exists and is not a directory" })
+  else
+    match mkdirs (Filename.dirname dir) with
+    | Error _ as e -> e
+    | Ok () -> (
+      try
+        Unix.mkdir dir 0o755;
+        Ok ()
+      with
+      | Unix.Unix_error (Unix.EEXIST, _, _) -> Ok ()
+      | Unix.Unix_error (e, _, _) ->
+        Error (Diag.Io_error { file = dir; msg = Unix.error_message e }))
+
+let checkpoint_path cfg job =
+  Option.map
+    (fun dir -> Filename.concat dir (Job.file_slug job ^ ".ckpt"))
+    cfg.checkpoint_dir
+
+(* ---------- one job, in the calling process ---------- *)
+
+let run_job cfg (job : Job.t) : (Job.outcome, Diag.error) result =
+  match Job.load_circuit job.circuit with
+  | Error _ as e -> e
+  | Ok nl -> (
+    let model = Elmore.of_netlist Tech.default_130nm nl in
+    let d0 = Sweep.dmin model in
+    let a0 = Sweep.min_area model in
+    let target = job.factor *. d0 in
+    let hash = Checkpoint.hash_netlist nl in
+    let solver_name = Job.solver_name job.solver in
+    let options = { cfg.engine with Minflotransit.solver = job.solver } in
+    let ckpt = checkpoint_path cfg job in
+    let fault = cfg.make_fault () in
+    let save_checkpoint budget tilos snap =
+      match ckpt with
+      | None -> ()
+      | Some path ->
+        (* a failed checkpoint write must not kill a healthy run; the
+           journal still has the last good one thanks to atomic replace *)
+        ignore
+          (Checkpoint.save path
+             { Checkpoint.circuit = job.circuit;
+               circuit_hash = hash;
+               target;
+               solver = solver_name;
+               fault_seed = cfg.fault_seed;
+               snapshot = snap;
+               tilos;
+               budget_iterations = Budget.iterations budget;
+               budget_pivots = Budget.pivots budget;
+               budget_elapsed = Budget.elapsed budget })
+    in
+    let finish ~resumed (r : Minflotransit.result) =
+      if r.budget_exhausted then
+        (* keep the checkpoint: --resume with a larger budget continues *)
+        match r.stop with
+        | Minflotransit.Stop_budget e -> Error e
+        | _ ->
+          Error
+            (Diag.Budget_exhausted
+               { resource = "unknown"; spent = 0.0; limit = 0.0 })
+      else begin
+        (match ckpt with
+        | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+        | None -> ());
+        Ok
+          { Job.job;
+            area = r.area;
+            area_ratio = r.area /. a0;
+            cp = r.cp;
+            target;
+            met = r.met;
+            iterations = r.iterations;
+            saving_pct = r.area_saving_pct;
+            stop = Minflotransit.stop_reason_to_string r.stop;
+            resumed }
+      end
+    in
+    let resume_state =
+      if not cfg.resume then Ok None
+      else
+        match ckpt with
+        | Some path when Sys.file_exists path -> (
+          match Checkpoint.load path with
+          | Error _ as e -> e
+          | Ok ck -> (
+            match
+              Checkpoint.validate ~file:path ck ~circuit_hash:hash ~target
+                ~solver:solver_name
+            with
+            | Error _ as e -> e
+            | Ok () -> Ok (Some ck)))
+        | _ -> Ok None
+    in
+    match resume_state with
+    | Error _ as e -> e
+    | Ok (Some ck) ->
+      let budget =
+        Budget.resume options.limits ~elapsed:ck.budget_elapsed
+          ~iterations:ck.budget_iterations ~pivots:ck.budget_pivots
+      in
+      finish ~resumed:true
+        (Minflotransit.refine_with ?fault
+           ~on_iteration:(save_checkpoint budget ck.tilos)
+           ~resume:ck.snapshot ~budget ~options model ~target
+           ~init:ck.tilos.sizes ~tilos:ck.tilos)
+    | Ok None -> (
+      let budget = Budget.start options.limits in
+      let tilos = Tilos.size ~bump:options.tilos_bump ~budget model ~target in
+      match Budget.check budget with
+      | Some e -> Error e (* tripped inside TILOS: nothing to checkpoint *)
+      | None ->
+        if not tilos.met then
+          Error (Diag.Unmet_target { target; achieved = tilos.final_cp })
+        else
+          finish ~resumed:false
+            (Minflotransit.refine_with ?fault
+               ~on_iteration:(save_checkpoint budget tilos)
+               ~budget ~options model ~target ~init:tilos.sizes ~tilos)))
+
+(* ---------- the batch ---------- *)
+
+let journal_path dir = Filename.concat dir "journal.jsonl"
+
+let run ?(config = default_config) jobs =
+  let journal =
+    match config.checkpoint_dir with
+    | None -> Ok None
+    | Some dir -> (
+      match mkdirs dir with
+      | Error _ as e -> e
+      | Ok () -> (
+        match Journal.open_append (journal_path dir) with
+        | Error _ as e -> e
+        | Ok j -> Ok (Some j)))
+  in
+  match journal with
+  | Error e -> Error e
+  | Ok journal ->
+    let done_areas =
+      match (config.resume, config.checkpoint_dir) with
+      | true, Some dir -> Journal.completed (journal_path dir)
+      | _ -> Hashtbl.create 1
+    in
+    let to_run =
+      List.filter (fun j -> not (Hashtbl.mem done_areas (Job.id j))) jobs
+    in
+    (match journal with
+    | Some jr ->
+      Journal.event jr
+        ~fields:
+          [ Journal.field_int "jobs" (List.length jobs);
+            Journal.field_int "skipped" (List.length jobs - List.length to_run);
+            Journal.field_bool "resume" config.resume;
+            Journal.field_bool "differential" config.differential ]
+        "batch-start"
+    | None -> ());
+    let on_done id (o : Job.outcome Supervisor.outcome) =
+      match (o.Supervisor.verdict, journal) with
+      | Ok oc, Some jr ->
+        Journal.event jr ~job:id
+          ~fields:
+            [ Journal.field_float "area" oc.Job.area;
+              Journal.field_float "area_ratio" oc.Job.area_ratio;
+              Journal.field_bool "met" oc.Job.met;
+              Journal.field_int "iterations" oc.Job.iterations;
+              Journal.field_bool "resumed" oc.Job.resumed ]
+          "job-ok"
+      | _ -> ()
+    in
+    let outcomes =
+      Supervisor.run_all ~config:config.supervise ?journal ~on_done
+        (List.map (fun j -> (Job.id j, fun () -> run_job config j)) to_run)
+    in
+    let outcome_by_id = Hashtbl.create (List.length outcomes) in
+    List.iter (fun (id, o) -> Hashtbl.replace outcome_by_id id o) outcomes;
+    (* differential legs: re-run each successful job under an independent
+       solver. No checkpoints for these — they are verification only, and a
+       secondary leg must never collide with a primary job's state. *)
+    let diff_by_id = Hashtbl.create 16 in
+    if config.differential then begin
+      let succeeded =
+        List.filter_map
+          (fun j ->
+            let id = Job.id j in
+            match Hashtbl.find_opt outcome_by_id id with
+            | Some { Supervisor.verdict = Ok oc; _ } -> Some (j, id, oc)
+            | _ -> None)
+          to_run
+      in
+      let diff_cfg =
+        { config with
+          checkpoint_dir = None;
+          resume = false;
+          differential = false }
+      in
+      let secondary =
+        Supervisor.run_all ~config:config.supervise ?journal
+          (List.map
+             (fun (j, id, _) ->
+               let sj = { j with Job.solver = Differential.counterpart j.Job.solver } in
+               ("diff:" ^ id, fun () -> run_job diff_cfg sj))
+             succeeded)
+      in
+      List.iter2
+        (fun (_, id, primary) (_, so) ->
+          let verdict =
+            match so.Supervisor.verdict with
+            | Error _ as e -> e
+            | Ok b ->
+              Differential.compare_outcomes ~tolerance:config.diff_tolerance
+                ~job_id:id ~a:primary ~b
+          in
+          (match (verdict, journal) with
+          | Ok (), Some jr -> Journal.event jr ~job:id "diff-ok"
+          | Error e, Some jr -> Journal.event jr ~job:id ~error:e "diff-fail"
+          | _, None -> ());
+          Hashtbl.replace diff_by_id id verdict)
+        succeeded secondary
+    end;
+    let reports =
+      List.map
+        (fun j ->
+          let id = Job.id j in
+          match Hashtbl.find_opt outcome_by_id id with
+          | None ->
+            { job = j;
+              outcome = None;
+              attempts = 0;
+              quarantined = false;
+              differential = None }
+          | Some o ->
+            { job = j;
+              outcome = Some o.Supervisor.verdict;
+              attempts = o.Supervisor.attempts;
+              quarantined = o.Supervisor.quarantined;
+              differential = Hashtbl.find_opt diff_by_id id })
+        jobs
+    in
+    let count p = List.length (List.filter p reports) in
+    let summary =
+      { reports;
+        ok = count (fun r -> match r.outcome with Some (Ok _) -> true | _ -> false);
+        failed =
+          count (fun r -> match r.outcome with Some (Error _) -> true | _ -> false);
+        skipped = count (fun r -> r.outcome = None);
+        mismatches =
+          count (fun r ->
+              match r.differential with Some (Error _) -> true | _ -> false) }
+    in
+    (match journal with
+    | Some jr ->
+      Journal.event jr
+        ~fields:
+          [ Journal.field_int "ok" summary.ok;
+            Journal.field_int "failed" summary.failed;
+            Journal.field_int "skipped" summary.skipped;
+            Journal.field_int "mismatches" summary.mismatches ]
+        "batch-end";
+      Journal.close jr
+    | None -> ());
+    Ok summary

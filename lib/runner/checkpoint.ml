@@ -1,0 +1,258 @@
+module Diag = Minflo_robust.Diag
+module Minflotransit = Minflo_sizing.Minflotransit
+module Tilos = Minflo_sizing.Tilos
+module Bench_format = Minflo_netlist.Bench_format
+
+type t = {
+  circuit : string;
+  circuit_hash : int64;
+  target : float;
+  solver : string;
+  fault_seed : int option;
+  snapshot : Minflotransit.snapshot;
+  tilos : Tilos.result;
+  budget_iterations : int;
+  budget_pivots : int;
+  budget_elapsed : float;
+}
+
+let version = 1
+
+let magic = "minflo-checkpoint"
+
+(* ---------- circuit hashing ---------- *)
+
+(* FNV-1a 64-bit over the canonical .bench rendering: cheap, stable across
+   processes (unlike Hashtbl.hash on boxed data), and any structural edit
+   to the netlist changes the text. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let hash_netlist nl = fnv1a64 (Bench_format.to_string nl)
+
+(* ---------- rendering ---------- *)
+
+(* %h renders floats as C99 hex literals: bit-exact through
+   float_of_string, which is what makes resume bit-identical. *)
+let hex_float f = Printf.sprintf "%h" f
+
+let render ck =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let floats a =
+    String.concat " " (Array.to_list (Array.map hex_float a))
+  in
+  line "%s %d" magic version;
+  line "circuit %s" ck.circuit;
+  line "circuit-hash %016Lx" ck.circuit_hash;
+  line "target %s" (hex_float ck.target);
+  line "solver %s" ck.solver;
+  line "fault-seed %s"
+    (match ck.fault_seed with Some s -> string_of_int s | None -> "-");
+  let s = ck.snapshot in
+  line "iter %d" s.Minflotransit.snap_iter;
+  line "eta %s" (hex_float s.snap_eta);
+  line "area %s" (hex_float s.snap_area);
+  line "osc-area %s" (hex_float s.snap_osc_area);
+  line "osc-repeats %d" s.snap_osc_repeats;
+  line "solver-used %s"
+    (match s.snap_solver with Some name -> name | None -> "-");
+  line "budget-iterations %d" ck.budget_iterations;
+  line "budget-pivots %d" ck.budget_pivots;
+  line "budget-elapsed %s" (hex_float ck.budget_elapsed);
+  line "tilos-met %b" ck.tilos.Tilos.met;
+  line "tilos-bumps %d" ck.tilos.bumps;
+  line "tilos-cp %s" (hex_float ck.tilos.final_cp);
+  line "tilos-area %s" (hex_float ck.tilos.area);
+  line "sizes %d %s" (Array.length s.snap_sizes) (floats s.snap_sizes);
+  line "tilos-sizes %d %s" (Array.length ck.tilos.sizes) (floats ck.tilos.sizes);
+  line "end";
+  Buffer.contents b
+
+(* ---------- atomic save ---------- *)
+
+let save path ck =
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out tmp in
+    output_string oc (render ck);
+    flush oc;
+    Unix.fsync (Unix.descr_of_out_channel oc);
+    close_out oc;
+    Unix.rename tmp path;
+    (* fsync the directory so the rename itself survives a crash *)
+    (try
+       let dir = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+       (try Unix.fsync dir with Unix.Unix_error _ -> ());
+       Unix.close dir
+     with Unix.Unix_error _ -> ());
+    Ok ()
+  with
+  | Sys_error msg -> Error (Diag.Io_error { file = tmp; msg })
+  | Unix.Unix_error (e, _, _) ->
+    Error (Diag.Io_error { file = tmp; msg = Unix.error_message e })
+
+(* ---------- load ---------- *)
+
+let invalid file reason = Error (Diag.Checkpoint_invalid { file; reason })
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines)
+  with
+  | exception Sys_error msg -> Error (Diag.Io_error { file = path; msg })
+  | [] -> invalid path "empty file"
+  | header :: rest -> (
+    let fields = Hashtbl.create 32 in
+    List.iter
+      (fun l ->
+        match String.index_opt l ' ' with
+        | Some i ->
+          Hashtbl.replace fields (String.sub l 0 i)
+            (String.sub l (i + 1) (String.length l - i - 1))
+        | None -> Hashtbl.replace fields l "")
+      rest;
+    let field k =
+      match Hashtbl.find_opt fields k with
+      | Some v -> Ok v
+      | None -> invalid path (Printf.sprintf "missing field %S" k)
+    in
+    let ( let* ) = Result.bind in
+    let num kind conv k =
+      let* v = field k in
+      match conv v with
+      | Some x -> Ok x
+      | None -> invalid path (Printf.sprintf "field %S is not %s: %S" k kind v)
+    in
+    let int_field = num "an integer" int_of_string_opt in
+    let float_field = num "a float" float_of_string_opt in
+    let floats_field k =
+      let* v = field k in
+      match String.split_on_char ' ' v |> List.filter (fun s -> s <> "") with
+      | [] -> invalid path (Printf.sprintf "field %S is empty" k)
+      | n :: xs -> (
+        match int_of_string_opt n with
+        | None -> invalid path (Printf.sprintf "field %S has no length" k)
+        | Some n ->
+          let parsed = List.filter_map float_of_string_opt xs in
+          if List.length parsed <> n || List.length xs <> n then
+            invalid path
+              (Printf.sprintf "field %S: expected %d values" k n)
+          else Ok (Array.of_list parsed))
+    in
+    match String.split_on_char ' ' header with
+    | [ m; v ] when m = magic -> (
+      match int_of_string_opt v with
+      | Some v when v = version ->
+        if not (Hashtbl.mem fields "end") then
+          invalid path "truncated (no end marker)"
+        else
+          let* circuit = field "circuit" in
+          let* hash_hex = field "circuit-hash" in
+          let* circuit_hash =
+            match Int64.of_string_opt ("0x" ^ hash_hex) with
+            | Some h -> Ok h
+            | None -> invalid path "malformed circuit-hash"
+          in
+          let* target = float_field "target" in
+          let* solver = field "solver" in
+          let* fault_seed_s = field "fault-seed" in
+          let* fault_seed =
+            if fault_seed_s = "-" then Ok None
+            else
+              match int_of_string_opt fault_seed_s with
+              | Some s -> Ok (Some s)
+              | None -> invalid path "malformed fault-seed"
+          in
+          let* snap_iter = int_field "iter" in
+          let* snap_eta = float_field "eta" in
+          let* snap_area = float_field "area" in
+          let* snap_osc_area = float_field "osc-area" in
+          let* snap_osc_repeats = int_field "osc-repeats" in
+          let* solver_used = field "solver-used" in
+          let* budget_iterations = int_field "budget-iterations" in
+          let* budget_pivots = int_field "budget-pivots" in
+          let* budget_elapsed = float_field "budget-elapsed" in
+          let* tilos_met = field "tilos-met" in
+          let* tilos_met =
+            match bool_of_string_opt tilos_met with
+            | Some b -> Ok b
+            | None -> invalid path "malformed tilos-met"
+          in
+          let* tilos_bumps = int_field "tilos-bumps" in
+          let* tilos_cp = float_field "tilos-cp" in
+          let* tilos_area = float_field "tilos-area" in
+          let* snap_sizes = floats_field "sizes" in
+          let* tilos_sizes = floats_field "tilos-sizes" in
+          Ok
+            { circuit;
+              circuit_hash;
+              target;
+              solver;
+              fault_seed;
+              snapshot =
+                { Minflotransit.snap_iter;
+                  snap_sizes;
+                  snap_area;
+                  snap_eta;
+                  snap_osc_area;
+                  snap_osc_repeats;
+                  snap_solver =
+                    (if solver_used = "-" then None else Some solver_used) };
+              tilos =
+                { Tilos.sizes = tilos_sizes;
+                  met = tilos_met;
+                  bumps = tilos_bumps;
+                  final_cp = tilos_cp;
+                  area = tilos_area };
+              budget_iterations;
+              budget_pivots;
+              budget_elapsed }
+      | Some v ->
+        invalid path
+          (Printf.sprintf "format version %d (this build reads %d)" v version)
+      | None -> invalid path "malformed version")
+    | _ -> invalid path "not a minflo checkpoint (bad magic)")
+
+let validate ~file ck ~circuit_hash ~target ~solver =
+  if ck.circuit_hash <> circuit_hash then
+    Error
+      (Diag.Checkpoint_invalid
+         { file;
+           reason =
+             Printf.sprintf
+               "circuit hash mismatch: checkpoint %016Lx, run %016Lx — the \
+                circuit changed since the checkpoint was written"
+               ck.circuit_hash circuit_hash })
+  else if Int64.bits_of_float ck.target <> Int64.bits_of_float target then
+    Error
+      (Diag.Checkpoint_invalid
+         { file;
+           reason =
+             Printf.sprintf "target mismatch: checkpoint %g, run %g" ck.target
+               target })
+  else if ck.solver <> solver then
+    Error
+      (Diag.Checkpoint_invalid
+         { file;
+           reason =
+             Printf.sprintf "solver mismatch: checkpoint %s, run %s" ck.solver
+               solver })
+  else Ok ()

@@ -1,0 +1,144 @@
+module Diag = Minflo_robust.Diag
+module Mono = Minflo_robust.Mono
+
+type t = {
+  path : string;
+  oc : out_channel;
+  fd : Unix.file_descr;
+  t0 : float;
+  mutable seq : int;
+}
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+
+let jfloat v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v
+  else jstr (Printf.sprintf "%h" v)
+
+let field_str k v = (k, jstr v)
+let field_float k v = (k, jfloat v)
+let field_int k v = (k, string_of_int v)
+let field_bool k v = (k, string_of_bool v)
+
+let open_append path =
+  try
+    let fd =
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    in
+    Ok
+      { path; oc = Unix.out_channel_of_descr fd; fd; t0 = Mono.now (); seq = 0 }
+  with Unix.Unix_error (e, _, _) ->
+    Error (Diag.Io_error { file = path; msg = Unix.error_message e })
+
+let path t = t.path
+
+let event t ?job ?error ?(fields = []) name =
+  t.seq <- t.seq + 1;
+  let parts =
+    [ ("event", jstr name);
+      ("seq", string_of_int t.seq);
+      ("t", Printf.sprintf "%.3f" (Mono.now () -. t.t0)) ]
+    @ (match job with Some j -> [ ("job", jstr j) ] | None -> [])
+    @ fields
+    @ (match error with
+      | Some e ->
+        [ ("code", jstr (Diag.error_code e)); ("error", Diag.to_json e) ]
+      | None -> [])
+  in
+  let line =
+    Printf.sprintf "{%s}"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (jstr k) v) parts))
+  in
+  (* a journaling failure must never kill the run it documents *)
+  try
+    output_string t.oc (line ^ "\n");
+    flush t.oc;
+    Unix.fsync t.fd
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let close t = try close_out t.oc with Sys_error _ -> ()
+
+(* ---------- scanning (our own lines only; tolerant of truncation) ---------- *)
+
+(* Minimal field extraction from a line this module wrote: find ["key": and
+   read either a quoted string or a bare token. Not a general JSON parser —
+   it only needs to read back the writer above. *)
+let find_field line key =
+  let pat = Printf.sprintf "\"%s\": " key in
+  let ll = String.length line and lp = String.length pat in
+  let rec search i =
+    if i + lp > ll then None
+    else if String.sub line i lp = pat then Some (i + lp)
+    else search (i + 1)
+  in
+  match search 0 with
+  | None -> None
+  | Some start ->
+    if start >= ll then None
+    else if line.[start] = '"' then begin
+      let buf = Buffer.create 16 in
+      let rec go i =
+        if i >= ll then None
+        else
+          match line.[i] with
+          | '\\' when i + 1 < ll ->
+            Buffer.add_char buf line.[i + 1];
+            go (i + 2)
+          | '"' -> Some (Buffer.contents buf)
+          | c ->
+            Buffer.add_char buf c;
+            go (i + 1)
+      in
+      go (start + 1)
+    end
+    else begin
+      let stop = ref start in
+      while
+        !stop < ll && (match line.[!stop] with ',' | '}' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      Some (String.trim (String.sub line start (!stop - start)))
+    end
+
+let completed path =
+  let table = Hashtbl.create 64 in
+  (match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    (try
+       while true do
+         let line = input_line ic in
+         let n = String.length line in
+         (* a line truncated by a crash mid-write has no closing brace *)
+         if n > 0 && line.[0] = '{' && line.[n - 1] = '}' then
+           match find_field line "event" with
+           | Some "job-ok" -> (
+             match (find_field line "job", find_field line "area") with
+             | Some job, Some area -> (
+               match float_of_string_opt area with
+               | Some a -> Hashtbl.replace table job a
+               | None -> ())
+             | _ -> ())
+           | _ -> ()
+       done
+     with End_of_file -> ());
+    close_in_noerr ic);
+  table

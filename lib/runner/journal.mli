@@ -1,0 +1,46 @@
+(** Crash-safe append-only JSONL journal of batch events.
+
+    Every job event the supervisor observes — start, attempt, retry,
+    success, quarantine, timeout, differential verdict — is one JSON
+    object per line, appended, flushed and fsynced before the runner
+    proceeds, so the journal is a faithful prefix of the run even after a
+    SIGKILL. Typed errors are embedded verbatim with
+    {!Minflo_robust.Diag.to_json}, so scripts can key on the same stable
+    [code] fields the CLI exit codes are derived from.
+
+    The journal doubles as the batch's completion record: on [--resume],
+    {!completed} scans an existing journal and returns the jobs that
+    already finished, which the runner then skips. A line truncated by a
+    crash mid-write is ignored by the scanner. *)
+
+type t
+
+val open_append : string -> (t, Minflo_robust.Diag.error) result
+(** Open (creating if needed) for appending. *)
+
+val path : t -> string
+
+val event :
+  t ->
+  ?job:string ->
+  ?error:Minflo_robust.Diag.error ->
+  ?fields:(string * string) list ->
+  string ->
+  unit
+(** [event t ~job ~error ~fields name] appends one line
+    [{"event": name, "t": seconds, "job": …, …fields, "error": {…}}] and
+    fsyncs it. [fields] values must already be rendered JSON (use
+    {!field_str} / {!field_float} / {!field_int}). Write failures are
+    silent — journaling must never kill the run it documents. *)
+
+val field_str : string -> string -> string * string
+val field_float : string -> float -> string * string
+val field_int : string -> int -> string * string
+val field_bool : string -> bool -> string * string
+
+val close : t -> unit
+
+val completed : string -> (string, float) Hashtbl.t
+(** [completed path] scans the journal for ["job-ok"] events and returns
+    job id -> final area. Missing file means an empty table; malformed or
+    truncated lines are skipped. *)

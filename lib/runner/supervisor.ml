@@ -1,0 +1,293 @@
+module Diag = Minflo_robust.Diag
+module Fallback = Minflo_robust.Fallback
+module Mono = Minflo_robust.Mono
+
+type config = {
+  parallel : int;
+  timeout_seconds : float option;
+  retries : int;
+  backoff_base : float;
+  isolate : bool;
+}
+
+let default_config =
+  { parallel = 1;
+    timeout_seconds = None;
+    retries = 2;
+    backoff_base = 0.5;
+    isolate = true }
+
+type 'a outcome = {
+  verdict : ('a, Diag.error) result;
+  attempts : int;
+  quarantined : bool;
+}
+
+(* transient = worth retrying on a clean process: environmental failures
+   (timeout, crash) and the solver failures a re-run could dodge. *)
+let transient = function
+  | Diag.Job_timeout _ | Diag.Job_crashed _ -> true
+  | e -> Fallback.retryable e
+
+(* an identical typed solver error on consecutive attempts is deterministic
+   in practice — quarantine instead of burning the remaining retries.
+   Timeouts and crashes are environmental and keep their full budget. *)
+let repeats_deterministically prev e =
+  match (prev, e) with
+  | Some p, e -> (
+    match e with
+    | Diag.Job_timeout _ | Diag.Job_crashed _ -> false
+    | _ -> Diag.error_code p = Diag.error_code e)
+  | None, _ -> false
+
+(* ---------- one attempt in a forked child ---------- *)
+
+let write_result file (r : ('a, Diag.error) result) =
+  let oc = open_out_bin file in
+  Marshal.to_channel oc r [];
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+  close_out oc
+
+let read_result file : ('a, Diag.error) result option =
+  match open_in_bin file with
+  | exception Sys_error _ -> None
+  | ic ->
+    let r = try Some (Marshal.from_channel ic) with _ -> None in
+    close_in_noerr ic;
+    r
+
+type running = {
+  id : string;
+  pid : int;
+  result_file : string;
+  deadline : float option;
+  mutable killed : bool;
+}
+
+let spawn ~timeout id thunk =
+  let result_file = Filename.temp_file "minflo-job-" ".result" in
+  (* avoid duplicated buffered output in the child *)
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    let r =
+      try thunk () with
+      | Diag.Error_exn e -> Error e
+      | exn -> Error (Diag.Internal (Printexc.to_string exn))
+    in
+    (try write_result result_file r with _ -> ());
+    (* _exit: never run the parent's at_exit handlers in the child *)
+    Unix._exit 0
+  | pid ->
+    { id;
+      pid;
+      result_file;
+      deadline = Option.map (fun s -> Mono.now () +. s) timeout;
+      killed = false }
+
+let reap_verdict cfg (r : running) status : ('a, Diag.error) result =
+  let cleanup v =
+    (try Sys.remove r.result_file with Sys_error _ -> ());
+    v
+  in
+  if r.killed then
+    cleanup
+      (Error
+         (Diag.Job_timeout
+            { job = r.id;
+              seconds = Option.value cfg.timeout_seconds ~default:0.0 }))
+  else
+    match status with
+    | Unix.WEXITED 0 -> (
+      match read_result r.result_file with
+      | Some v -> cleanup v
+      | None ->
+        cleanup
+          (Error
+             (Diag.Job_crashed
+                { job = r.id; detail = "result file missing or unreadable" })))
+    | Unix.WEXITED code ->
+      cleanup
+        (Error
+           (Diag.Job_crashed
+              { job = r.id; detail = Printf.sprintf "exit code %d" code }))
+    | Unix.WSIGNALED sg | Unix.WSTOPPED sg ->
+      cleanup
+        (Error
+           (Diag.Job_crashed
+              { job = r.id; detail = Printf.sprintf "killed by signal %d" sg }))
+
+(* ---------- the scheduler ---------- *)
+
+type 'a task = {
+  t_id : string;
+  thunk : unit -> ('a, Diag.error) result;
+  mutable attempts : int;
+  mutable ready_at : float;  (* backoff gate; monotonic seconds *)
+  mutable last_error : Diag.error option;
+}
+
+let journal_event journal ?job ?error ?fields name =
+  match journal with
+  | Some j -> Journal.event j ?job ?error ?fields name
+  | None -> ()
+
+let run_all ?(config = default_config) ?journal ?on_done tasks =
+  let cfg = { config with parallel = max 1 config.parallel } in
+  let order = List.map fst tasks in
+  let results : (string, 'a outcome) Hashtbl.t =
+    Hashtbl.create (List.length tasks)
+  in
+  let pending =
+    Queue.of_seq
+      (List.to_seq
+         (List.map
+            (fun (t_id, thunk) ->
+              { t_id; thunk; attempts = 0; ready_at = 0.0; last_error = None })
+            tasks))
+  in
+  let delayed : 'a task list ref = ref [] in
+  let running : (running * 'a task) list ref = ref [] in
+  let finish task (verdict : ('a, Diag.error) result) ~quarantined =
+    let outcome = { verdict; attempts = task.attempts; quarantined } in
+    Hashtbl.replace results task.t_id outcome;
+    match on_done with Some f -> f task.t_id outcome | None -> ()
+  in
+  (* route one attempt's failure: retry, quarantine, or final failure *)
+  let handle_failure task e =
+    let deterministic =
+      (not (transient e)) || repeats_deterministically task.last_error e
+    in
+    if deterministic then begin
+      journal_event journal ~job:task.t_id ~error:e
+        ~fields:[ Journal.field_int "attempts" task.attempts ]
+        "job-quarantined";
+      finish task (Error e) ~quarantined:true
+    end
+    else if task.attempts > cfg.retries then begin
+      journal_event journal ~job:task.t_id ~error:e
+        ~fields:[ Journal.field_int "attempts" task.attempts ]
+        "job-failed";
+      finish task (Error e) ~quarantined:false
+    end
+    else begin
+      let delay = cfg.backoff_base *. (2.0 ** float_of_int (task.attempts - 1)) in
+      journal_event journal ~job:task.t_id ~error:e
+        ~fields:
+          [ Journal.field_int "attempt" task.attempts;
+            Journal.field_float "backoff_seconds" delay ]
+        "job-retry";
+      task.last_error <- Some e;
+      task.ready_at <- Mono.now () +. delay;
+      delayed := task :: !delayed
+    end
+  in
+  let handle_result task (verdict : ('a, Diag.error) result) =
+    match verdict with
+    | Ok _ -> finish task verdict ~quarantined:false
+    | Error e -> handle_failure task e
+  in
+  let run_in_process task =
+    task.attempts <- task.attempts + 1;
+    journal_event journal ~job:task.t_id
+      ~fields:[ Journal.field_int "attempt" task.attempts ]
+      "job-spawn";
+    let v =
+      try task.thunk () with
+      | Diag.Error_exn e -> Error e
+      | exn -> Error (Diag.Internal (Printexc.to_string exn))
+    in
+    handle_result task v
+  in
+  let spawn_task task =
+    task.attempts <- task.attempts + 1;
+    journal_event journal ~job:task.t_id
+      ~fields:[ Journal.field_int "attempt" task.attempts ]
+      "job-spawn";
+    let r = spawn ~timeout:cfg.timeout_seconds task.t_id task.thunk in
+    running := (r, task) :: !running
+  in
+  let next_ready () =
+    let now = Mono.now () in
+    match Queue.take_opt pending with
+    | Some t -> Some t
+    | None -> (
+      match List.partition (fun t -> t.ready_at <= now) !delayed with
+      | ready :: rest_ready, rest ->
+        delayed := rest_ready @ rest;
+        Some ready
+      | [], _ -> None)
+  in
+  if not cfg.isolate then begin
+    (* in-process: sequential, with the same retry/quarantine routing *)
+    let rec drain () =
+      match next_ready () with
+      | Some t -> (
+        run_in_process t;
+        drain ())
+      | None ->
+        if !delayed <> [] then begin
+          Unix.sleepf 0.01;
+          drain ()
+        end
+    in
+    drain ()
+  end
+  else begin
+    let poll_running () =
+      let still = ref [] in
+      List.iter
+        (fun ((r, task) as entry) ->
+          (* hard timeout: SIGKILL, reap on a later poll *)
+          (match r.deadline with
+          | Some d when (not r.killed) && Mono.now () > d ->
+            journal_event journal ~job:r.id
+              ~fields:
+                [ Journal.field_float "timeout_seconds"
+                    (Option.value cfg.timeout_seconds ~default:0.0) ]
+              "job-timeout";
+            (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
+            r.killed <- true
+          | _ -> ());
+          match Unix.waitpid [ Unix.WNOHANG ] r.pid with
+          | 0, _ -> still := entry :: !still
+          | _, status -> handle_result task (reap_verdict cfg r status)
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+            handle_result task
+              (Error (Diag.Job_crashed { job = r.id; detail = "lost child" })))
+        !running;
+      running := !still
+    in
+    let rec loop () =
+      (* fill free slots with ready tasks *)
+      let rec fill () =
+        if List.length !running < cfg.parallel then
+          match next_ready () with
+          | Some t ->
+            spawn_task t;
+            fill ()
+          | None -> ()
+      in
+      fill ();
+      if !running <> [] || !delayed <> [] || not (Queue.is_empty pending)
+      then begin
+        poll_running ();
+        if !running <> [] || !delayed <> [] then Unix.sleepf 0.01;
+        loop ()
+      end
+    in
+    loop ()
+  end;
+  List.map
+    (fun id ->
+      match Hashtbl.find_opt results id with
+      | Some o -> (id, o)
+      | None ->
+        ( id,
+          { verdict =
+              Error (Diag.Internal ("supervisor lost track of job " ^ id));
+            attempts = 0;
+            quarantined = false } ))
+    order

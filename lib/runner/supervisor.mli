@@ -1,0 +1,55 @@
+(** Supervised execution of batch tasks in isolated child processes.
+
+    Each task runs in a forked child with a hard wall-clock timeout; a
+    hang, crash (segfault, OOM-kill, SIGKILL) or typed failure in one job
+    can never take down the batch or corrupt another job's state. The
+    supervisor classifies failures:
+
+    - {e transient} — timeouts, crashes, and the retryable solver errors
+      of {!Minflo_robust.Fallback.retryable} — are retried with
+      exponential backoff, up to the configured retry budget;
+    - {e deterministic} — structural errors (unmet target, parse errors,
+      infeasible budgets, …), or a typed solver error repeating with the
+      same code on consecutive attempts — quarantine the job immediately:
+      it is reported failed and never retried, so a poisoned input cannot
+      consume the batch's time.
+
+    Results cross the process boundary via [Marshal] on a per-job scratch
+    file, so task thunks must return plain data (no closures, no abstract
+    handles). Tasks run to completion in submission order subject to the
+    parallelism cap; the returned list is in submission order. *)
+
+type config = {
+  parallel : int;                  (** concurrent children (default 1). *)
+  timeout_seconds : float option;  (** per-attempt hard kill (SIGKILL). *)
+  retries : int;                   (** extra attempts for transient failures. *)
+  backoff_base : float;            (** first retry delay, seconds; doubles. *)
+  isolate : bool;
+      (** [false] runs thunks in-process (no fork, no timeout enforcement)
+          — retained for tests and debugging; retry/quarantine logic is
+          identical. *)
+}
+
+val default_config : config
+(** [parallel = 1; timeout_seconds = None; retries = 2;
+    backoff_base = 0.5; isolate = true]. *)
+
+type 'a outcome = {
+  verdict : ('a, Minflo_robust.Diag.error) result;
+  attempts : int;       (** attempts actually made (>= 1). *)
+  quarantined : bool;   (** failed deterministically; retries withheld. *)
+}
+
+val run_all :
+  ?config:config ->
+  ?journal:Journal.t ->
+  ?on_done:(string -> 'a outcome -> unit) ->
+  (string * (unit -> ('a, Minflo_robust.Diag.error) result)) list ->
+  (string * 'a outcome) list
+(** [run_all tasks] supervises every [(id, thunk)] and returns the
+    outcomes in submission order. Lifecycle events ([job-spawn],
+    [job-retry], [job-timeout], [job-crashed], [job-quarantined],
+    [job-failed]) are appended to [journal] as they happen. [on_done] runs
+    in the parent the moment a task reaches its final outcome (success,
+    quarantine or retry exhaustion) — the batch layer uses it to journal
+    completions crash-safely as they happen, not when the batch ends. *)

@@ -50,6 +50,20 @@ type stop_reason =
   | Stop_budget of Diag.error
   | Stop_oscillation of { area : float; repeats : int }
 
+(* Full loop state at the bottom of one D/W pass: everything the refinement
+   loop reads. Restarting the loop from a snapshot replays the remaining
+   passes exactly (the phases are deterministic in [sizes] and [eta]), which
+   is what makes checkpoint/resume bit-identical to an uninterrupted run. *)
+type snapshot = {
+  snap_iter : int;
+  snap_sizes : float array;
+  snap_area : float;
+  snap_eta : float;
+  snap_osc_area : float;
+  snap_osc_repeats : int;
+  snap_solver : string option;
+}
+
 type result = {
   sizes : float array;
   area : float;
@@ -85,20 +99,34 @@ let dphase_rungs = function
   | `Auto -> [ `Simplex; `Ssp; `Bellman_ford ]
   | (`Simplex | `Ssp | `Bellman_ford) as s -> [ s ]
 
-let refine_with ?fault ?log ?checks ~budget ?(options = default_options) model
-    ~target ~init ~tilos =
-  let x = ref (Array.copy init) in
-  let area = ref (Delay_model.area model !x) in
-  let eta = ref options.eta0 in
+let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
+    ?(options = default_options) model ~target ~init ~tilos =
+  let x =
+    ref
+      (match resume with
+      | Some s -> Array.copy s.snap_sizes
+      | None -> Array.copy init)
+  in
+  let area =
+    ref
+      (match resume with
+      | Some s -> s.snap_area
+      | None -> Delay_model.area model !x)
+  in
+  let eta = ref (match resume with Some s -> s.snap_eta | None -> options.eta0) in
   let trace = ref [] in
-  let iters = ref 0 in
+  let iters = ref (match resume with Some s -> s.snap_iter | None -> 0) in
   let continue = ref true in
   let stop = ref Stop_converged in
-  let solver_used = ref None in
+  let solver_used =
+    ref (match resume with Some s -> s.snap_solver | None -> None)
+  in
   (* oscillation: consecutive REJECTED candidates landing on the same area.
      Accepted iterations require a strict decrease and cannot cycle. *)
-  let osc_area = ref nan in
-  let osc_repeats = ref 0 in
+  let osc_area = ref (match resume with Some s -> s.snap_osc_area | None -> nan) in
+  let osc_repeats =
+    ref (match resume with Some s -> s.snap_osc_repeats | None -> 0)
+  in
   while !continue && !eta >= options.eta_min do
     if !iters >= options.max_iterations then begin
       stop := Stop_max_iterations;
@@ -254,7 +282,22 @@ let refine_with ?fault ?log ?checks ~budget ?(options = default_options) model
               continue := false
             end
           | None -> ());
-          if !continue then eta := !eta *. options.eta_shrink)
+          if !continue then eta := !eta *. options.eta_shrink);
+        (* checkpoint hook: the loop state at the bottom of this pass is a
+           valid resume point — replaying from it is bit-identical. Skipped
+           once the run has decided to stop (the final state is the result,
+           not a resume point). *)
+        (match on_iteration with
+        | Some f when !continue ->
+          f
+            { snap_iter = !iters;
+              snap_sizes = Array.copy !x;
+              snap_area = !area;
+              snap_eta = !eta;
+              snap_osc_area = !osc_area;
+              snap_osc_repeats = !osc_repeats;
+              snap_solver = !solver_used }
+        | _ -> ())
   done;
   let delays = Delay_model.delays model !x in
   let cp = Sta.critical_path_only model ~delays in
@@ -277,12 +320,14 @@ let refine_with ?fault ?log ?checks ~budget ?(options = default_options) model
     solver_used = !solver_used;
     budget_exhausted }
 
-let refine_from ?(options = default_options) ?fault ?log ?checks model ~target
-    ~init ~tilos =
+let refine_from ?(options = default_options) ?fault ?log ?checks ?on_iteration
+    model ~target ~init ~tilos =
   let budget = Budget.start options.limits in
-  refine_with ?fault ?log ?checks ~budget ~options model ~target ~init ~tilos
+  refine_with ?fault ?log ?checks ?on_iteration ~budget ~options model ~target
+    ~init ~tilos
 
-let optimize ?(options = default_options) ?fault ?log ?checks model ~target =
+let optimize ?(options = default_options) ?fault ?log ?checks ?on_iteration
+    model ~target =
   let budget = Budget.start options.limits in
   let tilos = Tilos.size ~bump:options.tilos_bump ~budget model ~target in
   if not tilos.met then
@@ -300,8 +345,8 @@ let optimize ?(options = default_options) ?fault ?log ?checks model ~target =
         | None -> Stop_converged);
       solver_used = None;
       budget_exhausted = Budget.exhausted budget }
-  else refine_with ?fault ?log ?checks ~budget ~options model ~target
-      ~init:tilos.sizes ~tilos
+  else refine_with ?fault ?log ?checks ?on_iteration ~budget ~options model
+      ~target ~init:tilos.sizes ~tilos
 
 let refine ?(options = default_options) ?fault ?log ?checks model ~target ~init =
   let delays = Delay_model.delays model init in

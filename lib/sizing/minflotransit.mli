@@ -59,6 +59,27 @@ type stop_reason =
   | Stop_oscillation of { area : float; repeats : int }
       (** rejected candidates cycled on the same area. *)
 
+(** {1 Checkpointable loop state}
+
+    A {!snapshot} is the complete state of the D/W refinement loop at the
+    bottom of one pass: sizes, best area, trust region, iteration counter
+    and the oscillation detector. Because both phases are deterministic
+    functions of that state, restarting from a snapshot (via the [?resume]
+    argument of {!refine_with}) replays the remaining passes exactly — the
+    final sizing is bit-identical to the uninterrupted run. The batch
+    runner ([Minflo_runner.Checkpoint]) serializes snapshots to disk after
+    every pass, which is what makes [--resume] after a crash, SIGKILL or
+    budget trip lossless. *)
+type snapshot = {
+  snap_iter : int;              (** accepted-iteration counter. *)
+  snap_sizes : float array;     (** current (best) sizing. *)
+  snap_area : float;            (** area of [snap_sizes]. *)
+  snap_eta : float;             (** current trust region. *)
+  snap_osc_area : float;        (** oscillation detector: last rejected area. *)
+  snap_osc_repeats : int;       (** oscillation detector: repeat count. *)
+  snap_solver : string option;  (** rung of the last accepted D-phase. *)
+}
+
 val stop_reason_to_string : stop_reason -> string
 
 type result = {
@@ -83,6 +104,7 @@ val optimize :
   ?fault:Minflo_robust.Fault.t ->
   ?log:Minflo_robust.Diag.log ->
   ?checks:Minflo_robust.Check.t ->
+  ?on_iteration:(snapshot -> unit) ->
   Minflo_tech.Delay_model.t ->
   target:float ->
   result
@@ -109,6 +131,7 @@ val refine_from :
   ?fault:Minflo_robust.Fault.t ->
   ?log:Minflo_robust.Diag.log ->
   ?checks:Minflo_robust.Check.t ->
+  ?on_iteration:(snapshot -> unit) ->
   Minflo_tech.Delay_model.t ->
   target:float ->
   init:float array ->
@@ -116,3 +139,25 @@ val refine_from :
   result
 (** Like {!refine} but records the given TILOS result as the baseline that
     [area_saving_pct] is measured against. *)
+
+val refine_with :
+  ?fault:Minflo_robust.Fault.t ->
+  ?log:Minflo_robust.Diag.log ->
+  ?checks:Minflo_robust.Check.t ->
+  ?on_iteration:(snapshot -> unit) ->
+  ?resume:snapshot ->
+  budget:Minflo_robust.Budget.t ->
+  ?options:options ->
+  Minflo_tech.Delay_model.t ->
+  target:float ->
+  init:float array ->
+  tilos:Tilos.result ->
+  result
+(** The underlying refinement loop with every hook exposed: a
+    caller-supplied [budget] meter (use {!Minflo_robust.Budget.resume} to
+    restore checkpointed meters), [on_iteration] called with a {!snapshot}
+    at the bottom of every pass that will be followed by another, and
+    [resume] to restart the loop from a snapshot instead of [init]
+    (in which case [init] is ignored). Resuming from the last snapshot of
+    an interrupted run and letting it converge produces the same final
+    sizing, bit for bit, as the uninterrupted run. *)

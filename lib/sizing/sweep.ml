@@ -1,5 +1,6 @@
 module Delay_model = Minflo_tech.Delay_model
 module Sta = Minflo_timing.Sta
+module Mono = Minflo_robust.Mono
 
 type point = {
   factor : float;
@@ -25,15 +26,15 @@ let at_factor ?(options = Minflotransit.default_options) model ~factor =
   let d0 = dmin model in
   let a0 = min_area model in
   let target = factor *. d0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mono.now () in
   let tilos = Tilos.size ~bump:options.tilos_bump model ~target in
-  let t1 = Unix.gettimeofday () in
+  let t1 = Mono.now () in
   let refined =
     if tilos.met then
       Some (Minflotransit.refine_from ~options model ~target ~init:tilos.sizes ~tilos)
     else None
   in
-  let t2 = Unix.gettimeofday () in
+  let t2 = Mono.now () in
   match refined with
   | None ->
     { factor; target;

@@ -182,6 +182,46 @@ let prop_three_solvers_agree =
         && Result.is_ok (Mcf.check_optimality p s3)
       | a, b -> a = b)
 
+(* fixed-seed differential sweep: 50 pinned instances on which all three
+   independent solver families must agree simultaneously. Unlike the QCheck
+   properties above (fresh instances every run), these seeds are frozen so
+   a regression in any solver reproduces identically in CI; a failure
+   prints the whole instance for replay. *)
+
+let problem_to_string (p : Mcf.problem) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "num_nodes = %d\nsupply = [|%s|]\n" p.num_nodes
+       (String.concat "; "
+          (Array.to_list (Array.map string_of_int p.supply))));
+  Array.iteri
+    (fun i a ->
+      Buffer.add_string b
+        (Printf.sprintf "arc %d: %d -> %d cap %d cost %d\n" i a.Mcf.src
+           a.Mcf.dst a.Mcf.cap a.Mcf.cost))
+    p.arcs;
+  Buffer.contents b
+
+let test_differential_fixed_seeds () =
+  for seed = 1 to 50 do
+    let p = random_problem ((seed * 48271) + 7) in
+    let s1 = Simplex.solve p
+    and s2 = Ssp.solve p
+    and s3 = Cost_scaling.solve p in
+    if s1.status <> s2.status || s2.status <> s3.status then
+      Alcotest.failf
+        "seed %d: statuses simplex=%s ssp=%s cost-scaling=%s on instance:\n%s"
+        seed (status_str s1.status) (status_str s2.status)
+        (status_str s3.status) (problem_to_string p);
+    match s1.status with
+    | Mcf.Optimal ->
+      if s1.objective <> s2.objective || s2.objective <> s3.objective then
+        Alcotest.failf
+          "seed %d: objectives simplex=%d ssp=%d cost-scaling=%d on instance:\n%s"
+          seed s1.objective s2.objective s3.objective (problem_to_string p)
+    | _ -> ()
+  done
+
 let prop_simplex_certificate =
   QCheck.Test.make
     ~name:"simplex optimal solutions satisfy complementary slackness"
@@ -524,6 +564,8 @@ let () =
           tc "self loop" `Quick test_self_loop_arc;
           QCheck_alcotest.to_alcotest prop_solvers_agree;
           QCheck_alcotest.to_alcotest prop_three_solvers_agree;
+          tc "differential sweep, 50 fixed seeds" `Quick
+            test_differential_fixed_seeds;
           QCheck_alcotest.to_alcotest prop_simplex_certificate ] );
       ( "decompose",
         [ tc "zero flow" `Quick test_decompose_zero_flow;

@@ -162,6 +162,23 @@ let test_bench_roundtrip_suite () =
   check int "gates" (Netlist.gate_count nl) (Netlist.gate_count nl2);
   check int "depth" (Netlist.depth nl) (Netlist.depth nl2)
 
+let test_bench_print_stability () =
+  (* the printed form is a fixpoint: parse -> print -> parse -> print
+     yields the same text — nothing (ordering, names, formatting) drifts
+     across a write/read cycle, so checkpointed circuit hashes over the
+     rendering are stable *)
+  List.iter
+    (fun nl ->
+      let first = Bench.to_string nl in
+      let second = Bench.to_string (Bench.parse_string_exn first) in
+      check Alcotest.string "second print equals first" first second;
+      let third = Bench.to_string (Bench.parse_string_exn second) in
+      check Alcotest.string "third print equals second" second third)
+    [ Gen.c17 ();
+      Gen.ripple_carry_adder ~bits:8 ();
+      Gen.alu ~width:4 ();
+      Iscas85.circuit "c432" ]
+
 (* ---------- generator functional correctness ---------- *)
 
 let out_values nl values = List.map (fun o -> values.(o)) (Netlist.outputs nl)
@@ -483,6 +500,7 @@ let () =
           tc "forward refs" `Quick test_bench_forward_refs;
           tc "roundtrip c17" `Quick test_bench_roundtrip;
           tc "roundtrip alu" `Quick test_bench_roundtrip_suite;
+          tc "print stability" `Quick test_bench_print_stability;
           tc "errors" `Quick test_bench_errors ] );
       ( "generators",
         [ QCheck_alcotest.to_alcotest prop_adder_compact;

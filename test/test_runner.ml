@@ -1,0 +1,609 @@
+(* Tests for the crash-safe batch runner: checkpoint round trips and
+   validation, journal crash tolerance, supervised isolation with
+   retry/backoff/quarantine, bit-identical resume, and cross-solver
+   differential verification. *)
+
+module Diag = Minflo_robust.Diag
+module Budget = Minflo_robust.Budget
+module Fault = Minflo_robust.Fault
+module Generators = Minflo_netlist.Generators
+module Bench_format = Minflo_netlist.Bench_format
+module Minflotransit = Minflo_sizing.Minflotransit
+module Tilos = Minflo_sizing.Tilos
+module Job = Minflo_runner.Job
+module Checkpoint = Minflo_runner.Checkpoint
+module Journal = Minflo_runner.Journal
+module Supervisor = Minflo_runner.Supervisor
+module Differential = Minflo_runner.Differential
+module Batch = Minflo_runner.Batch
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir name =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "minflo-runner-%s-%d" name (Unix.getpid ()))
+  in
+  rm_rf d;
+  Unix.mkdir d 0o755;
+  d
+
+let bits = Int64.bits_of_float
+
+let check_float_bits name a b =
+  if bits a <> bits b then
+    Alcotest.failf "%s: %.17g (%016Lx) <> %.17g (%016Lx)" name a (bits a) b
+      (bits b)
+
+(* ---------- jobs ---------- *)
+
+let test_job_id_and_slug () =
+  let j = { Job.circuit = "c432"; factor = 0.5; solver = `Simplex } in
+  check string "id" "c432@0.500/simplex" (Job.id j);
+  let p = { Job.circuit = "bench/my adder.bench"; factor = 0.75; solver = `Auto } in
+  let slug = Job.file_slug p in
+  String.iter
+    (fun c ->
+      let ok =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '.' || c = '_' || c = '-'
+      in
+      if not ok then Alcotest.failf "slug %S has unsafe char %c" slug c)
+    slug
+
+let test_job_cross () =
+  let grid =
+    Job.cross ~circuits:[ "a"; "b" ] ~factors:[ 0.5; 0.8 ]
+      ~solvers:[ `Simplex; `Ssp ]
+  in
+  check int "grid size" 8 (List.length grid);
+  check string "circuits-major order" "a@0.500/simplex" (Job.id (List.hd grid));
+  (* ids are unique *)
+  let ids = List.sort_uniq compare (List.map Job.id grid) in
+  check int "unique ids" 8 (List.length ids)
+
+let test_job_solver_names () =
+  List.iter
+    (fun s ->
+      match Job.solver_of_string (Job.solver_name s) with
+      | Some s' -> check bool "solver name round trip" true (s = s')
+      | None -> Alcotest.failf "unparsable solver name %s" (Job.solver_name s))
+    [ `Auto; `Simplex; `Ssp; `Bellman_ford ]
+
+(* ---------- checkpoints ---------- *)
+
+let sample_checkpoint () =
+  { Checkpoint.circuit = "c17";
+    circuit_hash = Checkpoint.hash_netlist (Generators.c17 ());
+    target = 0.1 +. 0.2 (* deliberately not representable prettily *);
+    solver = "simplex";
+    fault_seed = Some 42;
+    snapshot =
+      { Minflotransit.snap_iter = 7;
+        snap_sizes = [| 1.0; Float.pi; 1e-300; 0.1; 3.3333333333333335 |];
+        snap_area = 12.345678901234567;
+        snap_eta = 0.125;
+        snap_osc_area = 1.0000000000000002;
+        snap_osc_repeats = 2;
+        snap_solver = Some "ssp" };
+    tilos =
+      { Tilos.sizes = [| 1.1; 2.2; 4.4; 0.30000000000000004; 1.0 |];
+        met = true;
+        bumps = 31;
+        final_cp = 0.09999999999999999;
+        area = 17.5 };
+    budget_iterations = 9;
+    budget_pivots = 12345;
+    budget_elapsed = 1.5 }
+
+let test_checkpoint_roundtrip () =
+  let dir = fresh_dir "ckpt-rt" in
+  let file = Filename.concat dir "a.ckpt" in
+  let ck = sample_checkpoint () in
+  (match Checkpoint.save file ck with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" (Diag.to_string e));
+  (match Checkpoint.load file with
+  | Error e -> Alcotest.failf "load: %s" (Diag.to_string e)
+  | Ok ck' ->
+    check string "circuit" ck.circuit ck'.Checkpoint.circuit;
+    check bool "hash" true (ck.circuit_hash = ck'.Checkpoint.circuit_hash);
+    check string "solver" ck.solver ck'.Checkpoint.solver;
+    check bool "fault seed" true (ck.fault_seed = ck'.Checkpoint.fault_seed);
+    check_float_bits "target" ck.target ck'.Checkpoint.target;
+    let s = ck.snapshot and s' = ck'.Checkpoint.snapshot in
+    check int "iter" s.snap_iter s'.Minflotransit.snap_iter;
+    check int "osc repeats" s.snap_osc_repeats s'.Minflotransit.snap_osc_repeats;
+    check bool "snap solver" true (s.snap_solver = s'.Minflotransit.snap_solver);
+    check_float_bits "area" s.snap_area s'.Minflotransit.snap_area;
+    check_float_bits "eta" s.snap_eta s'.Minflotransit.snap_eta;
+    check_float_bits "osc area" s.snap_osc_area s'.Minflotransit.snap_osc_area;
+    Array.iteri
+      (fun i x -> check_float_bits (Printf.sprintf "size %d" i) x
+          s'.Minflotransit.snap_sizes.(i))
+      s.snap_sizes;
+    Array.iteri
+      (fun i x -> check_float_bits (Printf.sprintf "tilos size %d" i) x
+          ck'.Checkpoint.tilos.Tilos.sizes.(i))
+      ck.tilos.Tilos.sizes;
+    check_float_bits "tilos cp" ck.tilos.final_cp ck'.Checkpoint.tilos.Tilos.final_cp;
+    check int "budget iterations" ck.budget_iterations ck'.Checkpoint.budget_iterations;
+    check int "budget pivots" ck.budget_pivots ck'.Checkpoint.budget_pivots;
+    check_float_bits "budget elapsed" ck.budget_elapsed ck'.Checkpoint.budget_elapsed);
+  rm_rf dir
+
+let test_checkpoint_rejects_garbage () =
+  let dir = fresh_dir "ckpt-bad" in
+  let file = Filename.concat dir "bad.ckpt" in
+  let oc = open_out file in
+  output_string oc "not a checkpoint\n";
+  close_out oc;
+  (match Checkpoint.load file with
+  | Error (Diag.Checkpoint_invalid _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Diag.to_string e)
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  (* a truncated file (crash mid-write of a non-atomic copy) is rejected *)
+  let good = Filename.concat dir "good.ckpt" in
+  (match Checkpoint.save good (sample_checkpoint ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" (Diag.to_string e));
+  let text =
+    let ic = open_in_bin good in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let oc = open_out_bin file in
+  output_string oc (String.sub text 0 (String.length text / 2));
+  close_out oc;
+  (match Checkpoint.load file with
+  | Error (Diag.Checkpoint_invalid _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Diag.to_string e)
+  | Ok _ -> Alcotest.fail "truncated checkpoint accepted");
+  (* missing file is an io error, not a crash *)
+  (match Checkpoint.load (Filename.concat dir "absent.ckpt") with
+  | Error (Diag.Io_error _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Diag.to_string e)
+  | Ok _ -> Alcotest.fail "missing checkpoint accepted");
+  rm_rf dir
+
+let test_checkpoint_validate () =
+  let dir = fresh_dir "ckpt-val" in
+  let file = Filename.concat dir "v.ckpt" in
+  let ck = sample_checkpoint () in
+  let hash = ck.circuit_hash in
+  (match Checkpoint.validate ~file ck ~circuit_hash:hash ~target:ck.target
+           ~solver:"simplex" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid rejected: %s" (Diag.to_string e));
+  (match Checkpoint.validate ~file ck ~circuit_hash:(Int64.add hash 1L)
+           ~target:ck.target ~solver:"simplex" with
+  | Error (Diag.Checkpoint_invalid { file = f; _ }) ->
+    check string "error carries the file" file f
+  | Error e -> Alcotest.failf "wrong error: %s" (Diag.to_string e)
+  | Ok () -> Alcotest.fail "foreign circuit accepted");
+  (match Checkpoint.validate ~file ck ~circuit_hash:hash ~target:ck.target
+           ~solver:"ssp" with
+  | Error (Diag.Checkpoint_invalid _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Diag.to_string e)
+  | Ok () -> Alcotest.fail "wrong solver accepted");
+  (match Checkpoint.validate ~file ck ~circuit_hash:hash
+           ~target:(ck.target *. (1.0 +. 1e-15)) ~solver:"simplex" with
+  | Error (Diag.Checkpoint_invalid _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Diag.to_string e)
+  | Ok () -> Alcotest.fail "different target accepted");
+  rm_rf dir
+
+let test_circuit_hash_sensitivity () =
+  let h8 = Checkpoint.hash_netlist (Generators.ripple_carry_adder ~bits:8 ()) in
+  let h8' = Checkpoint.hash_netlist (Generators.ripple_carry_adder ~bits:8 ()) in
+  let h9 = Checkpoint.hash_netlist (Generators.ripple_carry_adder ~bits:9 ()) in
+  check bool "stable" true (h8 = h8');
+  check bool "sensitive" true (h8 <> h9)
+
+(* ---------- journal ---------- *)
+
+let test_journal_completed_scan () =
+  let dir = fresh_dir "journal" in
+  let path = Filename.concat dir "journal.jsonl" in
+  (match Journal.open_append path with
+  | Error e -> Alcotest.failf "open: %s" (Diag.to_string e)
+  | Ok j ->
+    Journal.event j ~job:"a@0.500/simplex"
+      ~fields:[ Journal.field_float "area" 12.5 ] "job-ok";
+    Journal.event j ~job:"b@0.500/simplex"
+      ~error:(Diag.Job_timeout { job = "b@0.500/simplex"; seconds = 1.0 })
+      "job-failed";
+    Journal.event j ~job:"c \"quoted\"@0.500/ssp"
+      ~fields:[ Journal.field_float "area" 99.0 ] "job-ok";
+    Journal.close j);
+  (* simulate a crash mid-append: a truncated trailing line *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"event\": \"job-ok\", \"job\": \"d@0.5";
+  close_out oc;
+  let table = Journal.completed path in
+  check int "two completed jobs" 2 (Hashtbl.length table);
+  (match Hashtbl.find_opt table "a@0.500/simplex" with
+  | Some a -> check_float_bits "area read back" 12.5 a
+  | None -> Alcotest.fail "job a missing");
+  check bool "escaped job key survives" true
+    (Hashtbl.mem table "c \"quoted\"@0.500/ssp");
+  check bool "failed job not completed" false (Hashtbl.mem table "b@0.500/simplex");
+  (* scanning a missing journal is empty, not an error *)
+  check int "missing journal" 0
+    (Hashtbl.length (Journal.completed (Filename.concat dir "nope.jsonl")));
+  rm_rf dir
+
+(* ---------- supervisor ---------- *)
+
+let sup ?(parallel = 1) ?timeout ?(retries = 2) ?(isolate = true) () =
+  { Supervisor.parallel; timeout_seconds = timeout; retries;
+    backoff_base = 0.01; isolate }
+
+let test_supervisor_ok_isolated () =
+  match Supervisor.run_all ~config:(sup ()) [ ("t", fun () -> Ok 42) ] with
+  | [ ("t", { Supervisor.verdict = Ok v; attempts = 1; quarantined = false }) ]
+    -> check int "marshalled result" 42 v
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let test_supervisor_retries_transient () =
+  (* fails on the first attempt, succeeds once the marker file exists;
+     state is communicated through the filesystem because each attempt
+     runs in its own process *)
+  let dir = fresh_dir "sup-retry" in
+  let marker = Filename.concat dir "attempted" in
+  let thunk () =
+    if Sys.file_exists marker then Ok 1
+    else begin
+      close_out (open_out marker);
+      Error (Diag.Solver_diverged { solver = "simplex"; iters = 3 })
+    end
+  in
+  (match Supervisor.run_all ~config:(sup ()) [ ("t", thunk) ] with
+  | [ (_, { Supervisor.verdict = Ok 1; attempts = 2; quarantined = false }) ] -> ()
+  | [ (_, o) ] ->
+    Alcotest.failf "attempts=%d quarantined=%b ok=%b" o.Supervisor.attempts
+      o.Supervisor.quarantined
+      (Result.is_ok o.Supervisor.verdict)
+  | _ -> Alcotest.fail "unexpected outcome");
+  rm_rf dir
+
+let test_supervisor_quarantines_structural () =
+  let thunk () = Error (Diag.Unmet_target { target = 1.0; achieved = 2.0 }) in
+  match Supervisor.run_all ~config:(sup ()) [ ("t", thunk) ] with
+  | [ (_, { Supervisor.verdict = Error (Diag.Unmet_target _); attempts = 1;
+            quarantined = true }) ] -> ()
+  | _ -> Alcotest.fail "structural failure was not quarantined on sight"
+
+let test_supervisor_quarantines_repeat_offender () =
+  (* retryable error, but identical on consecutive attempts: one retry to
+     observe the repetition, then quarantine without burning the rest *)
+  let thunk () = Error (Diag.Solver_diverged { solver = "simplex"; iters = 3 }) in
+  match Supervisor.run_all ~config:(sup ~retries:5 ()) [ ("t", thunk) ] with
+  | [ (_, { Supervisor.verdict = Error (Diag.Solver_diverged _); attempts = 2;
+            quarantined = true }) ] -> ()
+  | [ (_, o) ] ->
+    Alcotest.failf "attempts=%d quarantined=%b" o.Supervisor.attempts
+      o.Supervisor.quarantined
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let test_supervisor_timeout_kills () =
+  let thunk () =
+    while true do
+      ignore (Sys.opaque_identity 0)
+    done;
+    Ok 0
+  in
+  match
+    Supervisor.run_all ~config:(sup ~timeout:0.2 ~retries:0 ()) [ ("t", thunk) ]
+  with
+  | [ (_, { Supervisor.verdict = Error (Diag.Job_timeout _); quarantined = false;
+            _ }) ] -> ()
+  | [ (_, o) ] ->
+    Alcotest.failf "quarantined=%b error=%s" o.Supervisor.quarantined
+      (match o.Supervisor.verdict with
+      | Error e -> Diag.error_code e
+      | Ok _ -> "ok")
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let test_supervisor_crash_is_contained () =
+  let thunk () = Unix._exit 9 in
+  match
+    Supervisor.run_all ~config:(sup ~retries:0 ()) [ ("t", thunk) ]
+  with
+  | [ (_, { Supervisor.verdict = Error (Diag.Job_crashed _); _ }) ] -> ()
+  | _ -> Alcotest.fail "abnormal exit not reported as a crash"
+
+let test_supervisor_parallel_order () =
+  let tasks =
+    List.init 6 (fun i -> (string_of_int i, fun () -> Ok (i * i)))
+  in
+  let out = Supervisor.run_all ~config:(sup ~parallel:3 ()) tasks in
+  check int "all ran" 6 (List.length out);
+  List.iteri
+    (fun i (id, o) ->
+      check string "submission order" (string_of_int i) id;
+      match o.Supervisor.verdict with
+      | Ok v -> check int "value" (i * i) v
+      | Error e -> Alcotest.failf "task %d: %s" i (Diag.to_string e))
+    out
+
+let test_supervisor_in_process_mode () =
+  let calls = ref 0 in
+  (* distinct (but retryable) errors on the first two attempts, so the
+     repeat-offender quarantine does not kick in *)
+  let thunk () =
+    incr calls;
+    match !calls with
+    | 1 -> Error (Diag.Numeric { what = "flaky"; value = 1.0 })
+    | 2 -> Error (Diag.Solver_diverged { solver = "simplex"; iters = 5 })
+    | n -> Ok n
+  in
+  match
+    Supervisor.run_all ~config:(sup ~isolate:false ~retries:5 ())
+      [ ("t", thunk) ]
+  with
+  | [ (_, { Supervisor.verdict = Ok 3; attempts = 3; _ }) ] -> ()
+  | [ (_, o) ] -> Alcotest.failf "attempts=%d" o.Supervisor.attempts
+  | _ -> Alcotest.fail "unexpected outcome"
+
+(* ---------- batch: bit-identical resume ---------- *)
+
+(* Interrupt a run by tripping its iteration budget (the same code path a
+   SIGKILL resumes through: the last on-disk checkpoint), then resume it
+   and require the final area to match the uninterrupted run bit for bit. *)
+let resume_bit_identical ~name ~circuit ~factor ~interrupt_after () =
+  let dir = fresh_dir name in
+  let job = { Job.circuit; factor; solver = `Simplex } in
+  let base_cfg = Batch.default_config in
+  let baseline =
+    match Batch.run_job base_cfg job with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "baseline: %s" (Diag.to_string e)
+  in
+  check bool "baseline refined past the seed" true (baseline.Job.iterations > 0);
+  let interrupted_cfg =
+    { base_cfg with
+      Batch.checkpoint_dir = Some dir;
+      engine =
+        { Minflotransit.default_options with
+          limits = Budget.limits ~max_iterations:interrupt_after () } }
+  in
+  (match Batch.run_job interrupted_cfg job with
+  | Error (Diag.Budget_exhausted _) -> ()
+  | Error e -> Alcotest.failf "interrupt: %s" (Diag.to_string e)
+  | Ok _ ->
+    Alcotest.failf "run converged before the %d-pass interrupt" interrupt_after);
+  let ckpt = Filename.concat dir (Job.file_slug job ^ ".ckpt") in
+  check bool "interrupted run left a checkpoint" true (Sys.file_exists ckpt);
+  let resumed_cfg =
+    { base_cfg with Batch.checkpoint_dir = Some dir; resume = true }
+  in
+  (match Batch.run_job resumed_cfg job with
+  | Error e -> Alcotest.failf "resume: %s" (Diag.to_string e)
+  | Ok o ->
+    check bool "outcome marked resumed" true o.Job.resumed;
+    check bool "met" true o.Job.met;
+    check_float_bits "final area (resumed vs uninterrupted)" baseline.Job.area
+      o.Job.area;
+    check int "iteration count" baseline.Job.iterations o.Job.iterations;
+    check bool "checkpoint consumed on success" false (Sys.file_exists ckpt));
+  rm_rf dir
+
+let test_resume_iscas85 =
+  resume_bit_identical ~name:"resume-c432" ~circuit:"c432" ~factor:0.6
+    ~interrupt_after:2
+
+let test_resume_generated_adder () =
+  (* a generated circuit, loaded through the .bench file path route *)
+  let dir = fresh_dir "resume-adder-src" in
+  let file = Filename.concat dir "adder8.bench" in
+  Bench_format.write_file file (Generators.ripple_carry_adder ~bits:8 ());
+  resume_bit_identical ~name:"resume-adder" ~circuit:file ~factor:0.6
+    ~interrupt_after:2 ();
+  rm_rf dir
+
+let test_resume_supervised_batch () =
+  (* the same guarantee end to end through Batch.run: supervised children,
+     journal bookkeeping, quarantine of the budget-tripped job, then a
+     --resume-style second batch *)
+  let dir = fresh_dir "resume-batch" in
+  let job = { Job.circuit = "c17"; factor = 0.6; solver = `Simplex } in
+  let baseline =
+    match Batch.run_job Batch.default_config job with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "baseline: %s" (Diag.to_string e)
+  in
+  let interrupted_cfg =
+    { Batch.default_config with
+      checkpoint_dir = Some dir;
+      supervise = sup ~retries:3 ();
+      engine =
+        { Minflotransit.default_options with
+          limits = Budget.limits ~max_iterations:2 () } }
+  in
+  (match Batch.run ~config:interrupted_cfg [ job ] with
+  | Error e -> Alcotest.failf "interrupted batch: %s" (Diag.to_string e)
+  | Ok s ->
+    check int "failed" 1 s.Batch.failed;
+    match s.Batch.reports with
+    | [ r ] ->
+      check bool "budget trip quarantined, not retried" true r.Batch.quarantined;
+      check int "single attempt" 1 r.Batch.attempts
+    | _ -> Alcotest.fail "expected one report");
+  let resumed_cfg =
+    { Batch.default_config with
+      checkpoint_dir = Some dir;
+      resume = true;
+      supervise = sup () }
+  in
+  (match Batch.run ~config:resumed_cfg [ job ] with
+  | Error e -> Alcotest.failf "resumed batch: %s" (Diag.to_string e)
+  | Ok s -> (
+    check int "ok" 1 s.Batch.ok;
+    match s.Batch.reports with
+    | [ { Batch.outcome = Some (Ok o); _ } ] ->
+      check bool "resumed" true o.Job.resumed;
+      check_float_bits "area" baseline.Job.area o.Job.area
+    | _ -> Alcotest.fail "expected one successful report"));
+  (* a third run skips the job entirely: the journal records it complete *)
+  (match Batch.run ~config:resumed_cfg [ job ] with
+  | Error e -> Alcotest.failf "skip batch: %s" (Diag.to_string e)
+  | Ok s ->
+    check int "skipped" 1 s.Batch.skipped;
+    check int "ok" 0 s.Batch.ok);
+  rm_rf dir
+
+let test_resume_rejects_foreign_checkpoint () =
+  (* checkpoint from one circuit must not seed another *)
+  let dir = fresh_dir "resume-foreign" in
+  let job = { Job.circuit = "c17"; factor = 0.6; solver = `Simplex } in
+  let cfg =
+    { Batch.default_config with
+      checkpoint_dir = Some dir;
+      engine =
+        { Minflotransit.default_options with
+          limits = Budget.limits ~max_iterations:2 () } }
+  in
+  (match Batch.run_job cfg job with
+  | Error (Diag.Budget_exhausted _) -> ()
+  | _ -> Alcotest.fail "expected a budget trip");
+  (* swap in a different circuit under the same job id *)
+  let evil = Filename.concat dir "evil.bench" in
+  Bench_format.write_file evil (Generators.ripple_carry_adder ~bits:4 ());
+  let ckpt = Filename.concat dir (Job.file_slug job ^ ".ckpt") in
+  (match Checkpoint.load ckpt with
+  | Error e -> Alcotest.failf "load: %s" (Diag.to_string e)
+  | Ok ck ->
+    (match
+       Checkpoint.validate ~file:ckpt ck
+         ~circuit_hash:
+           (Checkpoint.hash_netlist (Generators.ripple_carry_adder ~bits:4 ()))
+         ~target:ck.Checkpoint.target ~solver:"simplex"
+     with
+    | Error (Diag.Checkpoint_invalid _) -> ()
+    | Error e -> Alcotest.failf "wrong error: %s" (Diag.to_string e)
+    | Ok () -> Alcotest.fail "foreign checkpoint validated"));
+  rm_rf dir
+
+(* ---------- differential verification ---------- *)
+
+let test_differential_counterpart_is_independent () =
+  List.iter
+    (fun s ->
+      check bool
+        (Printf.sprintf "counterpart of %s differs" (Job.solver_name s))
+        true
+        (Differential.counterpart s <> s))
+    [ `Auto; `Simplex; `Ssp; `Bellman_ford ]
+
+let test_differential_catches_seeded_fault () =
+  (* primary leg runs SSP cleanly; the simplex counterpart leg is poisoned
+     through the fault plan, degrades to its TILOS seed, and the area gap
+     must surface as the typed differential-mismatch diagnostic *)
+  let job = { Job.circuit = "c17"; factor = 0.6; solver = `Ssp } in
+  let make_fault () =
+    let f = Fault.create ~seed:7 () in
+    Fault.arm f ~site:"dphase.simplex"
+      (Fault.Fail (Diag.Fault_injected { site = "dphase.simplex" }));
+    Some f
+  in
+  let cfg =
+    { Batch.default_config with
+      supervise = sup ~isolate:false ();
+      differential = true;
+      fault_seed = Some 7;
+      make_fault }
+  in
+  match Batch.run ~config:cfg [ job ] with
+  | Error e -> Alcotest.failf "batch: %s" (Diag.to_string e)
+  | Ok s -> (
+    check int "mismatches" 1 s.Batch.mismatches;
+    match s.Batch.reports with
+    | [ { Batch.differential = Some (Error e); _ } ] -> (
+      check string "stable code" "differential-mismatch" (Diag.error_code e);
+      match e with
+      | Diag.Differential_mismatch m ->
+        check string "primary solver" "ssp" m.solver_a;
+        check string "secondary solver" "simplex" m.solver_b;
+        check bool "areas actually differ" true (m.value_a <> m.value_b)
+      | _ -> Alcotest.fail "wrong constructor")
+    | _ -> Alcotest.fail "expected one report with a differential verdict")
+
+let test_differential_clean_run_agrees () =
+  let job = { Job.circuit = "c17"; factor = 0.6; solver = `Simplex } in
+  let cfg =
+    { Batch.default_config with
+      supervise = sup ~isolate:false ();
+      differential = true }
+  in
+  match Batch.run ~config:cfg [ job ] with
+  | Error e -> Alcotest.failf "batch: %s" (Diag.to_string e)
+  | Ok s -> (
+    check int "mismatches" 0 s.Batch.mismatches;
+    match s.Batch.reports with
+    | [ { Batch.differential = Some (Ok ()); _ } ] -> ()
+    | _ -> Alcotest.fail "expected an agreeing differential verdict")
+
+let () =
+  Alcotest.run "runner"
+    [ ( "job",
+        [ Alcotest.test_case "id and slug" `Quick test_job_id_and_slug;
+          Alcotest.test_case "cross grid" `Quick test_job_cross;
+          Alcotest.test_case "solver names round trip" `Quick
+            test_job_solver_names ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "bit-exact round trip" `Quick
+            test_checkpoint_roundtrip;
+          Alcotest.test_case "garbage and truncation rejected" `Quick
+            test_checkpoint_rejects_garbage;
+          Alcotest.test_case "validation" `Quick test_checkpoint_validate;
+          Alcotest.test_case "circuit hash sensitivity" `Quick
+            test_circuit_hash_sensitivity ] );
+      ( "journal",
+        [ Alcotest.test_case "completed scan survives truncation" `Quick
+            test_journal_completed_scan ] );
+      ( "supervisor",
+        [ Alcotest.test_case "isolated success" `Quick test_supervisor_ok_isolated;
+          Alcotest.test_case "transient failure retries" `Quick
+            test_supervisor_retries_transient;
+          Alcotest.test_case "structural failure quarantines" `Quick
+            test_supervisor_quarantines_structural;
+          Alcotest.test_case "repeat offender quarantines" `Quick
+            test_supervisor_quarantines_repeat_offender;
+          Alcotest.test_case "timeout kills the child" `Quick
+            test_supervisor_timeout_kills;
+          Alcotest.test_case "crash is contained" `Quick
+            test_supervisor_crash_is_contained;
+          Alcotest.test_case "parallel keeps submission order" `Quick
+            test_supervisor_parallel_order;
+          Alcotest.test_case "in-process mode" `Quick
+            test_supervisor_in_process_mode ] );
+      ( "resume",
+        [ Alcotest.test_case "bit-identical (c432)" `Slow test_resume_iscas85;
+          Alcotest.test_case "bit-identical (generated adder)" `Quick
+            test_resume_generated_adder;
+          Alcotest.test_case "supervised batch end to end" `Quick
+            test_resume_supervised_batch;
+          Alcotest.test_case "foreign checkpoint rejected" `Quick
+            test_resume_rejects_foreign_checkpoint ] );
+      ( "differential",
+        [ Alcotest.test_case "counterpart independence" `Quick
+            test_differential_counterpart_is_independent;
+          Alcotest.test_case "seeded fault is caught" `Quick
+            test_differential_catches_seeded_fault;
+          Alcotest.test_case "clean run agrees" `Quick
+            test_differential_clean_run_agrees ] ) ]

@@ -83,6 +83,21 @@ let test_roundtrip_generators () =
       Gen.parity_tree ~width:5 ();
       Gen.alu ~width:3 () ]
 
+let test_print_stability () =
+  (* the printed form is a fixpoint: parse -> print -> parse -> print
+     yields the same text, so nothing drifts across write/read cycles *)
+  List.iter
+    (fun nl ->
+      let first = V.to_string nl in
+      let second = V.to_string (V.parse_string_exn first) in
+      check Alcotest.string "second print equals first" first second;
+      let third = V.to_string (V.parse_string_exn second) in
+      check Alcotest.string "third print equals second" second third)
+    [ Gen.c17 ();
+      Gen.ripple_carry_adder ~bits:8 ();
+      Gen.parity_tree ~width:5 ();
+      Gen.alu ~width:4 () ]
+
 let test_sanitization () =
   (* bench-style numeric names must be escaped into legal verilog *)
   let nl = Netlist.create ~name:"123bad name" () in
@@ -133,6 +148,7 @@ let () =
           tc "errors" `Quick test_parse_errors ] );
       ( "write",
         [ tc "roundtrip generators" `Quick test_roundtrip_generators;
+          tc "print stability" `Quick test_print_stability;
           tc "sanitization" `Quick test_sanitization;
           QCheck_alcotest.to_alcotest prop_verilog_roundtrip_random ] );
       ( "robustness",
