@@ -12,8 +12,8 @@ open Minflo
 
 let exit_code_of_error (e : Diag.error) =
   match e with
-  | Diag.Parse_error _ | Diag.Unknown_circuit _ | Diag.Io_error _
-  | Diag.Checkpoint_invalid _ -> 2
+  | Diag.Parse_error _ | Diag.Lint_error _ | Diag.Unknown_circuit _
+  | Diag.Io_error _ | Diag.Checkpoint_invalid _ -> 2
   | Diag.Unmet_target _ | Diag.Unsafe_timing _ | Diag.Infeasible_budget _
   | Diag.Budget_exhausted _ | Diag.Oscillation _ | Diag.Job_timeout _ -> 1
   | Diag.Solver_diverged _ | Diag.Numeric _ | Diag.Invariant _
@@ -491,9 +491,17 @@ let batch_cmd =
              ~doc:"Seed for the --inject-fault plan (recorded in \
                    checkpoints).")
   in
+  let no_preflight =
+    Arg.(value & flag
+         & info [ "no-preflight" ]
+             ~doc:"Skip the pre-fork lint gate. By default every distinct \
+                   circuit is linted first and jobs on circuits with parse \
+                   errors or Error-severity findings are quarantined \
+                   immediately, with zero attempts.")
+  in
   let run circuits factors solvers checkpoint_dir resume jobs retries timeout
       differential diff_tolerance no_isolate max_seconds max_iterations
-      max_pivots fault_sites fault_seed =
+      max_pivots fault_sites fault_seed no_preflight =
     let grid = Job.cross ~circuits ~factors ~solvers in
     let limits =
       Budget.limits ?wall_seconds:max_seconds ?max_iterations ?max_pivots ()
@@ -511,7 +519,8 @@ let batch_cmd =
         diff_tolerance;
         engine = { Minflotransit.default_options with limits };
         fault_seed = (if fault_sites = [] then None else Some fault_seed);
-        make_fault = (fun () -> make_fault_plan ~seed:fault_seed fault_sites) }
+        make_fault = (fun () -> make_fault_plan ~seed:fault_seed fault_sites);
+        preflight = not no_preflight }
     in
     match Batch.run ~config grid with
     | Error e -> Diag.fail e
@@ -574,7 +583,7 @@ let batch_cmd =
     Term.(const run $ circuits $ factors $ solvers $ checkpoint_dir $ resume
           $ jobs $ retries $ timeout $ differential $ diff_tolerance
           $ no_isolate $ max_seconds_arg $ max_iterations_arg $ max_pivots_arg
-          $ fault_arg $ fault_seed)
+          $ fault_arg $ fault_seed $ no_preflight)
 
 (* ---------- power ---------- *)
 
@@ -598,11 +607,194 @@ let power_cmd =
     (Cmd.info "power" ~doc:"Switching-power report for a sized circuit.")
     Term.(const run $ circuit_arg $ factor_arg)
 
+(* ---------- lint ---------- *)
+
+let lint_cmd =
+  let circuits =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"CIRCUIT"
+             ~doc:"Circuits to lint: .bench/.v file paths or built-in suite \
+                   names; repeatable.")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("sarif", `Sarif) ]) `Text
+         & info [ "format" ]
+             ~doc:"Report format: human-readable $(b,text) (default) or \
+                   $(b,sarif) (SARIF 2.1.0 JSON, the schema GitHub code \
+                   scanning ingests).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Fail (exit 2) on warnings too; shorthand for \
+                   --fail-on=warning.")
+  in
+  let fail_on =
+    Arg.(value
+         & opt
+             (enum
+                [ ("error", Lint_rule.Error); ("warning", Lint_rule.Warning);
+                  ("info", Lint_rule.Info) ])
+             Lint_rule.Error
+         & info [ "fail-on" ]
+             ~doc:"Lowest severity that makes the exit code non-zero \
+                   (default error).")
+  in
+  let max_fanout =
+    Arg.(value & opt (some int) None
+         & info [ "max-fanout" ] ~docv:"N"
+             ~doc:"Enable the MF007 pass: warn when a signal fans out to \
+                   more than $(docv) gate pins.")
+  in
+  let run circuits format out strict fail_on max_fanout =
+    let config = { Lint.default_config with fanout_bound = max_fanout } in
+    let findings =
+      List.concat_map
+        (fun spec ->
+          match Job.load_raw spec with
+          | Ok raw -> Lint.check ~config raw
+          | Error (Diag.Parse_error { file; line; col; msg }) ->
+            (* unparseable input is itself a finding, so a SARIF report (and
+               the exit code) still covers the file *)
+            [ Lint_finding.make ~file
+                ~loc:{ Raw.line; col }
+                Lint_rule.mf000_syntax msg ]
+          | Error e -> Diag.fail e)
+        circuits
+    in
+    let text =
+      match format with
+      | `Text -> Lint_report.render findings
+      | `Sarif -> Sarif.render findings
+    in
+    (match out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc
+    | None -> print_string text);
+    let fail_on = if strict then Lint_rule.Warning else fail_on in
+    let code = Lint_report.exit_code ~fail_on findings in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis of netlists: combinational cycles (with their \
+             member gates), multi-driven and undriven nets, dangling \
+             inputs, dead logic, duplicate declarations, gate arity, \
+             fanout bounds and technology coverage. Rules MF000-MF010; \
+             exit 2 at or above the --fail-on severity.")
+    Term.(const run $ circuits $ format $ out $ strict $ fail_on $ max_fanout)
+
+(* ---------- audit-cert ---------- *)
+
+let audit_cert_cmd =
+  let solvers_arg =
+    Arg.(value
+         & opt
+             (list
+                (enum
+                   [ ("simplex", `Simplex); ("ssp", `Ssp);
+                     ("cost-scaling", `Cost_scaling) ]))
+             [ `Simplex; `Ssp; `Cost_scaling ]
+         & info [ "solvers" ]
+             ~doc:"Comma-separated MCF solvers whose certificates to audit \
+                   (default: all three).")
+  in
+  let audit_fault_arg =
+    Arg.(value & opt_all string []
+         & info [ "inject-fault" ] ~docv:"SITE"
+             ~doc:"Corrupt the named solver's solution before auditing \
+                   (audit.simplex, audit.ssp, audit.cost-scaling); \
+                   repeatable. The audit must then fail — this is how the \
+                   auditor itself is tested.")
+  in
+  let run name granularity factor solvers fault_sites =
+    let nl = circuit name in
+    let model = build_model granularity nl in
+    let d0 = Sweep.dmin model in
+    let target = factor *. d0 in
+    (* a real D-phase workload: TILOS first, so the displacement LP is built
+       at a feasible, representative operating point *)
+    let tilos = Tilos.size model ~target in
+    if not tilos.met then
+      Diag.fail (Diag.Unmet_target { target; achieved = tilos.final_cp });
+    let sizes = tilos.sizes in
+    let delays = Delay_model.delays model sizes in
+    let problem =
+      match Dphase.displacement_problem model ~sizes ~delays ~deadline:target with
+      | Ok p -> p
+      | Error e -> Diag.fail e
+    in
+    (* unlike the engine's --inject-fault (which arms Fail to exercise the
+       fallback chain), the audit sites arm Perturb: the point is a silently
+       corrupted solution that only the auditor can catch *)
+    let fault =
+      match fault_sites with
+      | [] -> None
+      | sites ->
+        let f = Fault.create ~seed:0 () in
+        List.iter (fun site -> Fault.arm f ~site (Fault.Perturb 1.0)) sites;
+        Some f
+    in
+    Fmt.pr "displacement LP for %s @@ %.2f: %d nodes, %d arcs@."
+      (Netlist.name nl) factor problem.Mcf.num_nodes
+      (Array.length problem.Mcf.arcs);
+    let audit_one (tag, solve) =
+      let sol = solve problem in
+      (* a Perturb fault bumps one arc's flow: breaks conservation at its
+         endpoints and leaves the stale objective behind *)
+      (match Option.bind fault (fun f -> Fault.fire f ~site:("audit." ^ tag)) with
+      | Some (Fault.Perturb mag) when Array.length sol.Mcf.flow > 0 ->
+        sol.Mcf.flow.(0) <- sol.Mcf.flow.(0) + max 1 (int_of_float mag)
+      | Some (Fault.Fail e) -> Diag.fail e
+      | _ -> ());
+      let findings = Audit.check problem sol in
+      if findings = [] then begin
+        Fmt.pr "%-14s certificate OK (objective %d)@." tag sol.Mcf.objective;
+        false
+      end
+      else begin
+        Fmt.pr "%-14s certificate REJECTED:@." tag;
+        print_string (Lint_report.render findings);
+        Lint_finding.exceeds ~fail_on:Lint_rule.Error findings
+      end
+    in
+    let named = function
+      | `Simplex -> ("simplex", Network_simplex.solve ?budget:None)
+      | `Ssp -> ("ssp", Ssp.solve ?budget:None)
+      | `Cost_scaling -> ("cost-scaling", Cost_scaling.solve ?budget:None)
+    in
+    let bad = List.filter audit_one (List.map named solvers) in
+    if bad <> [] then
+      Diag.fail
+        (Diag.Invariant
+           { what = "audit-cert";
+             detail =
+               Printf.sprintf "%d of %d certificates rejected" (List.length bad)
+                 (List.length solvers) })
+  in
+  Cmd.v
+    (Cmd.info "audit-cert"
+       ~doc:"Independently audit min-cost-flow optimality certificates: \
+             solve the circuit's D-phase displacement LP with each solver, \
+             then re-verify flow bounds, conservation, complementary \
+             slackness and the objective from first principles (rules \
+             MF101-MF105) without a second solve. A rejected certificate \
+             exits 3.")
+    Term.(const run $ circuit_arg $ model_arg $ factor_arg $ solvers_arg
+          $ audit_fault_arg)
+
 let main_cmd =
   let doc = "MINFLOTRANSIT: min-cost-flow based transistor sizing" in
   Cmd.group (Cmd.info "minflo" ~version:"1.0.0" ~doc)
     [ gen_cmd; stats_cmd; sta_cmd; size_cmd; sweep_cmd; batch_cmd; verify_cmd;
-      convert_cmd; strash_cmd; power_cmd ]
+      convert_cmd; strash_cmd; power_cmd; lint_cmd; audit_cert_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

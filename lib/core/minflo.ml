@@ -23,6 +23,8 @@
       {!Bellman_ford} — the network-flow substrate ([minflo_flow]);
     - {!Tilos}, {!Wphase}, {!Dphase}, {!Sensitivity}, {!Minflotransit},
       {!Sweep} — the sizing engines ([minflo_sizing]);
+    - {!Lint}, {!Audit}, {!Sarif}, {!Lint_report} — the static analyzer and
+      flow-certificate auditor ([minflo_lint]);
     - {!Job}, {!Checkpoint}, {!Journal}, {!Supervisor}, {!Differential},
       {!Batch} — the crash-safe batch runner ([minflo_runner]). *)
 
@@ -53,6 +55,7 @@ module Dot = Minflo_graph.Dot
 module Mcf = Minflo_flow.Mcf
 module Network_simplex = Minflo_flow.Network_simplex
 module Ssp = Minflo_flow.Ssp
+module Cost_scaling = Minflo_flow.Cost_scaling
 module Dinic = Minflo_flow.Dinic
 module Bellman_ford = Minflo_flow.Bellman_ford
 module Diff_lp = Minflo_flow.Diff_lp
@@ -60,6 +63,7 @@ module Diff_lp = Minflo_flow.Diff_lp
 (* netlist *)
 module Gate = Minflo_netlist.Gate
 module Netlist = Minflo_netlist.Netlist
+module Raw = Minflo_netlist.Raw
 module Bench_format = Minflo_netlist.Bench_format
 module Verilog_format = Minflo_netlist.Verilog_format
 module Generators = Minflo_netlist.Generators
@@ -111,6 +115,14 @@ module Discrete = Minflo_sizing.Discrete
 module Optimality = Minflo_sizing.Optimality
 module Minflotransit = Minflo_sizing.Minflotransit
 module Sweep = Minflo_sizing.Sweep
+
+(* static analysis: netlist linter and flow-certificate auditor *)
+module Lint_rule = Minflo_lint.Rule
+module Lint_finding = Minflo_lint.Finding
+module Lint = Minflo_lint.Lint
+module Audit = Minflo_lint.Audit
+module Sarif = Minflo_lint.Sarif
+module Lint_report = Minflo_lint.Report
 
 (* batch runner: crash-safe checkpoint/resume, per-job process isolation,
    cross-solver differential verification *)

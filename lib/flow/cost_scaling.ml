@@ -205,6 +205,35 @@ let solve ?budget (p : Mcf.problem) : Mcf.solution =
   else if Ssp.has_unbounded_negative_cycle p then fail Unbounded
   else begin
     try
+      (* Clamp uncapacitated arcs to (total supply + total finite capacity
+         + 1). Some minimal optimal flow fits: its path flows sum to the
+         total supply, and every cycle in its decomposition rides on at
+         least one finite arc (an all-infinite negative cycle was rejected
+         above, and positive/zero-cost cycles are removable), so cycle flow
+         through any arc is bounded by the finite capacities. The spare
+         unit of headroom means no clamped arc is ever saturated, making
+         the clamped problem's dual certificate valid for the original.
+         Without this, the refine step saturates "infinite" arcs and the
+         push/relabel phase must drain ~10^17 units of artificial excess. *)
+      let total_supply =
+        Array.fold_left (fun acc b -> if b > 0 then acc + b else acc) 0 p.supply
+      in
+      let finite_cap =
+        Array.fold_left
+          (fun acc (a : Mcf.arc) ->
+            if a.cap < Mcf.infinite_capacity then acc + a.cap else acc)
+          0 p.arcs
+      in
+      let bound = total_supply + finite_cap + 1 in
+      let p =
+        if bound <= 0 (* overflowed: give up on clamping *) then p
+        else
+          { p with
+            arcs =
+              Array.map
+                (fun (a : Mcf.arc) -> { a with cap = min a.cap bound })
+                p.arcs }
+      in
       let t = build p in
       if not (initial_feasible_flow t) then fail Infeasible
       else begin

@@ -32,6 +32,13 @@ val add_objective : t -> var -> int -> unit
 (** [add_objective lp x c] adds [c * x] to the maximization objective
     (cumulative). *)
 
+val to_problem : t -> Mcf.problem
+(** The dual min-cost-flow problem: one node per variable, one arc [x -> y]
+    with cost [w] (and unbounded capacity) per constraint [x - y <= w], and
+    supplies from the objective coefficients. Any MCF solver's optimal node
+    potentials on this problem are an optimal LP assignment — this is what
+    [minflo audit-cert] feeds the certificate auditor. *)
+
 type outcome =
   | Solution of { values : int array; objective : int }
       (** Optimal variable assignment (one value per variable, in creation

@@ -1,0 +1,81 @@
+(* Tarjan's SCC algorithm, iterative (explicit work stack): index/lowlink
+   discovery with a component stack. Component ids are assigned in the order
+   components are completed, which for Tarjan is reverse topological order
+   of the condensation. *)
+
+let components g =
+  let n = Digraph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  (* work items: (node, remaining successor list). *)
+  let work = ref [] in
+  let push_node v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    work := (v, ref (Digraph.succ g v)) :: !work
+  in
+  let rec drain () =
+    match !work with
+    | [] -> ()
+    | (v, succs) :: rest -> (
+      match !succs with
+      | w :: more ->
+        succs := more;
+        if index.(w) = -1 then push_node w
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w);
+        drain ()
+      | [] ->
+        if lowlink.(v) = index.(v) then begin
+          (* pop the component *)
+          let rec pop () =
+            match !stack with
+            | [] -> ()
+            | w :: tl ->
+              stack := tl;
+              on_stack.(w) <- false;
+              comp.(w) <- !next_comp;
+              if w <> v then pop ()
+          in
+          pop ();
+          incr next_comp
+        end;
+        work := rest;
+        (match rest with
+        | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+        | [] -> ());
+        drain ())
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then begin
+      push_node v;
+      drain ()
+    end
+  done;
+  (comp, !next_comp)
+
+let groups g =
+  let comp, count = components g in
+  let buckets = Array.make count [] in
+  (* iterate in reverse id order so each bucket ends up in discovery order *)
+  for v = Digraph.node_count g - 1 downto 0 do
+    buckets.(comp.(v)) <- v :: buckets.(comp.(v))
+  done;
+  (* component ids are reverse topological; emit topological order *)
+  List.init count (fun i -> buckets.(count - 1 - i))
+
+let cyclic_groups g =
+  let has_self_loop v = List.mem v (Digraph.succ g v) in
+  List.filter
+    (function
+      | [] -> false
+      | [ v ] -> has_self_loop v
+      | _ :: _ :: _ -> true)
+    (groups g)

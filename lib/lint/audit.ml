@@ -1,0 +1,114 @@
+module Mcf = Minflo_flow.Mcf
+
+let cap_per_rule = 32
+
+(* collect violations of one rule; past [cap_per_rule] they are summarized
+   in a single closing finding so a garbage certificate stays readable *)
+let capped rule violations =
+  let n = List.length violations in
+  if n <= cap_per_rule then
+    List.map (fun (msg, related) -> Finding.make ~related rule msg) violations
+  else
+    let kept = List.filteri (fun i _ -> i < cap_per_rule) violations in
+    List.map (fun (msg, related) -> Finding.make ~related rule msg) kept
+    @ [ Finding.make rule
+          (Printf.sprintf "... and %d more %s violations (truncated)"
+             (n - cap_per_rule) rule.Rule.name) ]
+
+let check (p : Mcf.problem) (s : Mcf.solution) =
+  if s.status <> Mcf.Optimal then
+    [ Finding.make Rule.mf105_not_optimal
+        (Printf.sprintf
+           "solver status is %s, not Optimal; there is no certificate to audit"
+           (match s.status with
+           | Mcf.Optimal -> "Optimal"
+           | Mcf.Infeasible -> "Infeasible"
+           | Mcf.Unbounded -> "Unbounded"
+           | Mcf.Aborted -> "Aborted")) ]
+  else begin
+    let m = Array.length p.arcs in
+    let shape_problems = ref [] in
+    if Array.length s.flow <> m then
+      shape_problems :=
+        ( Printf.sprintf "flow array has %d entries for %d arcs"
+            (Array.length s.flow) m,
+          [] )
+        :: !shape_problems;
+    if Array.length s.potential <> p.num_nodes then
+      shape_problems :=
+        ( Printf.sprintf "potential array has %d entries for %d nodes"
+            (Array.length s.potential) p.num_nodes,
+          [] )
+        :: !shape_problems;
+    if !shape_problems <> [] then capped Rule.mf101_flow_bounds !shape_problems
+    else begin
+      (* MF101: arc bounds *)
+      let bounds = ref [] in
+      Array.iteri
+        (fun a (arc : Mcf.arc) ->
+          let f = s.flow.(a) in
+          if f < 0 || f > arc.cap then
+            bounds :=
+              ( Printf.sprintf "arc %d (%d -> %d): flow %d outside [0, %d]" a
+                  arc.src arc.dst f arc.cap,
+                [ Printf.sprintf "arc:%d" a ] )
+              :: !bounds)
+        p.arcs;
+      (* MF102: conservation *)
+      let net = Array.make p.num_nodes 0 in
+      Array.iteri
+        (fun a (arc : Mcf.arc) ->
+          net.(arc.src) <- net.(arc.src) + s.flow.(a);
+          net.(arc.dst) <- net.(arc.dst) - s.flow.(a))
+        p.arcs;
+      let conservation = ref [] in
+      Array.iteri
+        (fun v supply ->
+          if net.(v) <> supply then
+            conservation :=
+              ( Printf.sprintf
+                  "node %d: net outflow %d but supply %d (imbalance %d)" v
+                  net.(v) supply
+                  (net.(v) - supply),
+                [ Printf.sprintf "node:%d" v ] )
+              :: !conservation)
+        p.supply;
+      (* MF103: complementary slackness against the returned potentials *)
+      let slackness = ref [] in
+      Array.iteri
+        (fun a (arc : Mcf.arc) ->
+          let rc = arc.cost - s.potential.(arc.src) + s.potential.(arc.dst) in
+          let f = s.flow.(a) in
+          if f < arc.cap && rc < 0 then
+            slackness :=
+              ( Printf.sprintf
+                  "arc %d (%d -> %d): reduced cost %d < 0 with residual \
+                   capacity %d"
+                  a arc.src arc.dst rc (arc.cap - f),
+                [ Printf.sprintf "arc:%d" a ] )
+              :: !slackness
+          else if f > 0 && rc > 0 then
+            slackness :=
+              ( Printf.sprintf
+                  "arc %d (%d -> %d): reduced cost %d > 0 with positive flow \
+                   %d"
+                  a arc.src arc.dst rc f,
+                [ Printf.sprintf "arc:%d" a ] )
+              :: !slackness)
+        p.arcs;
+      (* MF104: objective *)
+      let objective =
+        let total = ref 0 in
+        Array.iteri (fun a (arc : Mcf.arc) -> total := !total + (arc.cost * s.flow.(a))) p.arcs;
+        if !total <> s.objective then
+          [ ( Printf.sprintf "reported objective %d but the flow costs %d"
+                s.objective !total,
+              [] ) ]
+        else []
+      in
+      capped Rule.mf101_flow_bounds (List.rev !bounds)
+      @ capped Rule.mf102_conservation (List.rev !conservation)
+      @ capped Rule.mf103_slackness (List.rev !slackness)
+      @ capped Rule.mf104_objective objective
+    end
+  end

@@ -1,0 +1,43 @@
+module Raw = Minflo_netlist.Raw
+module Diag = Minflo_robust.Diag
+
+type t = {
+  rule : Rule.t;
+  file : string option;
+  loc : Raw.loc;
+  message : string;
+  related : string list;
+}
+
+let make ?(file = None) ?(loc = Raw.no_loc) ?(related = []) rule message =
+  { rule; file; loc; message; related }
+
+let compare a b =
+  let c = Stdlib.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.loc.line b.loc.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.loc.col b.loc.col in
+      if c <> 0 then c else String.compare a.rule.id b.rule.id
+
+let to_diag t =
+  Diag.Lint_error
+    { rule = t.rule.id; file = t.file; line = t.loc.line; msg = t.message }
+
+let worst findings =
+  List.fold_left
+    (fun acc f ->
+      match acc with
+      | None -> Some f.rule.severity
+      | Some s ->
+        if Rule.severity_rank f.rule.severity > Rule.severity_rank s then
+          Some f.rule.severity
+        else acc)
+    None findings
+
+let exceeds ~fail_on findings =
+  match worst findings with
+  | None -> false
+  | Some s -> Rule.severity_rank s >= Rule.severity_rank fail_on

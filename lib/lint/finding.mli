@@ -1,0 +1,31 @@
+(** A single diagnostic produced by {!Lint} or {!Audit}. *)
+
+type t = {
+  rule : Rule.t;
+  file : string option;
+  loc : Minflo_netlist.Raw.loc;  (** {!Minflo_netlist.Raw.no_loc} if unknown *)
+  message : string;
+  related : string list;
+      (** the signals/gates involved — e.g. every member of a reported
+          cycle — so callers can act on them without parsing [message] *)
+}
+
+val make :
+  ?file:string option ->
+  ?loc:Minflo_netlist.Raw.loc ->
+  ?related:string list ->
+  Rule.t ->
+  string ->
+  t
+
+val compare : t -> t -> int
+(** Stable report order: file, then line, then column, then rule id. *)
+
+val to_diag : t -> Minflo_robust.Diag.error
+(** As a typed [Lint_error] for the existing error/exit-code machinery. *)
+
+val worst : t list -> Rule.severity option
+(** Highest severity present, [None] on an empty list. *)
+
+val exceeds : fail_on:Rule.severity -> t list -> bool
+(** Whether any finding is at or above the threshold. *)

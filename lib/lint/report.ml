@@ -1,0 +1,34 @@
+module Raw = Minflo_netlist.Raw
+
+let pp_finding fmt (f : Finding.t) =
+  (match f.file with
+  | Some file when f.loc.Raw.line > 0 ->
+    if f.loc.Raw.col > 0 then
+      Format.fprintf fmt "%s:%d:%d: " file f.loc.Raw.line f.loc.Raw.col
+    else Format.fprintf fmt "%s:%d: " file f.loc.Raw.line
+  | Some file -> Format.fprintf fmt "%s: " file
+  | None when f.loc.Raw.line > 0 -> Format.fprintf fmt "line %d: " f.loc.Raw.line
+  | None -> ());
+  Format.fprintf fmt "%s %s (%s): %s"
+    (Rule.severity_to_string f.rule.severity)
+    f.rule.id f.rule.name f.message
+
+let render findings =
+  if findings = [] then "no findings\n"
+  else begin
+    let buf = Buffer.create 1024 in
+    let count sev =
+      List.length (List.filter (fun (f : Finding.t) -> f.rule.severity = sev) findings)
+    in
+    List.iter
+      (fun f -> Buffer.add_string buf (Format.asprintf "%a\n" pp_finding f))
+      findings;
+    let errors = count Rule.Error and warnings = count Rule.Warning in
+    Buffer.add_string buf
+      (Printf.sprintf "%d error(s), %d warning(s), %d finding(s) total\n" errors
+         warnings (List.length findings));
+    Buffer.contents buf
+  end
+
+let exit_code ?(fail_on = Rule.Error) findings =
+  if Finding.exceeds ~fail_on findings then 2 else 0

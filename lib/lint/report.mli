@@ -1,0 +1,14 @@
+(** Human-readable rendering of findings and exit-code policy. *)
+
+val pp_finding : Format.formatter -> Finding.t -> unit
+(** [file:line:col: severity MF001 (slug): message]. Location segments are
+    omitted when unknown. *)
+
+val render : Finding.t list -> string
+(** One finding per line, followed by a [N error(s), M warning(s)] summary
+    line. Empty input renders as ["no findings\n"]. *)
+
+val exit_code : ?fail_on:Rule.severity -> Finding.t list -> int
+(** Map findings to the CLI exit-code convention: [0] when nothing reaches
+    the [fail_on] threshold (default [Error]), [2] — the "bad input" code —
+    otherwise. [--strict] mode is [~fail_on:Warning]. *)

@@ -1,0 +1,134 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+type t = { id : string; severity : severity; name : string; summary : string }
+
+let mf000_syntax =
+  { id = "MF000";
+    severity = Error;
+    name = "syntax-error";
+    summary = "The file could not be parsed as a .bench or Verilog netlist." }
+
+let mf001_cycle =
+  { id = "MF001";
+    severity = Error;
+    name = "combinational-cycle";
+    summary =
+      "Gates form a combinational feedback loop; static timing is undefined." }
+
+let mf002_multi_driven =
+  { id = "MF002";
+    severity = Error;
+    name = "multi-driven-net";
+    summary = "A signal is driven by more than one gate, or by a gate and a \
+               primary input." }
+
+let mf003_undriven =
+  { id = "MF003";
+    severity = Error;
+    name = "undriven-net";
+    summary = "A signal is used as a fanin or output but is neither a primary \
+               input nor driven by any gate." }
+
+let mf004_dangling_input =
+  { id = "MF004";
+    severity = Warning;
+    name = "dangling-input";
+    summary = "A primary input drives nothing and is not an output." }
+
+let mf005_dead_gate =
+  { id = "MF005";
+    severity = Warning;
+    name = "dead-gate";
+    summary = "No primary output is reachable from this gate; it cannot \
+               affect the circuit function." }
+
+let mf006_duplicate_decl =
+  { id = "MF006";
+    severity = Error;
+    name = "duplicate-declaration";
+    summary = "The same signal is declared as a primary input more than once." }
+
+let mf007_fanout_bound =
+  { id = "MF007";
+    severity = Warning;
+    name = "fanout-bound";
+    summary = "A signal's fanout exceeds the configured bound." }
+
+let mf008_tech_coverage =
+  { id = "MF008";
+    severity = Error;
+    name = "tech-coverage";
+    summary = "Gate arity exceeds the technology's widest series transistor \
+               stack; no cell exists for it." }
+
+let mf009_empty_interface =
+  { id = "MF009";
+    severity = Error;
+    name = "empty-interface";
+    summary = "The circuit declares no primary inputs or no primary outputs." }
+
+let mf010_bad_arity =
+  { id = "MF010";
+    severity = Error;
+    name = "bad-arity";
+    summary = "A gate has too few or too many fanins for its kind." }
+
+let mf101_flow_bounds =
+  { id = "MF101";
+    severity = Error;
+    name = "flow-capacity";
+    summary = "An arc's flow is negative or exceeds its capacity." }
+
+let mf102_conservation =
+  { id = "MF102";
+    severity = Error;
+    name = "flow-conservation";
+    summary = "A node's net outflow does not equal its supply." }
+
+let mf103_slackness =
+  { id = "MF103";
+    severity = Error;
+    name = "complementary-slackness";
+    summary = "The flow and the node potentials violate complementary \
+               slackness; the certificate does not prove optimality." }
+
+let mf104_objective =
+  { id = "MF104";
+    severity = Error;
+    name = "objective-mismatch";
+    summary = "The reported objective differs from the cost of the returned \
+               flow." }
+
+let mf105_not_optimal =
+  { id = "MF105";
+    severity = Warning;
+    name = "non-optimal-status";
+    summary = "The solver did not report Optimal; the certificate checks are \
+               vacuous." }
+
+let all =
+  [ mf000_syntax; mf001_cycle; mf002_multi_driven; mf003_undriven;
+    mf004_dangling_input; mf005_dead_gate; mf006_duplicate_decl;
+    mf007_fanout_bound; mf008_tech_coverage; mf009_empty_interface;
+    mf010_bad_arity; mf101_flow_bounds; mf102_conservation; mf103_slackness;
+    mf104_objective; mf105_not_optimal ]
+
+let find id = List.find_opt (fun r -> r.id = id) all

@@ -1,0 +1,10 @@
+(** SARIF 2.1.0 output.
+
+    Renders findings as a Static Analysis Results Interchange Format log —
+    the schema GitHub code scanning ingests — with one [run], the full rule
+    catalog in [tool.driver.rules], and one [result] per finding with
+    [ruleId], [ruleIndex], [level], and a [physicalLocation] when the
+    finding has a source position. *)
+
+val render : ?tool_version:string -> Finding.t list -> string
+(** A complete SARIF 2.1.0 JSON document (UTF-8, trailing newline). *)

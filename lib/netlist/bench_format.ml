@@ -2,9 +2,10 @@ module Diag = Minflo_robust.Diag
 
 (* internal located failure; wrapped into [Diag.Parse_error] at the API
    boundary so the file name can be attached *)
-exception Located of int * string
+exception Located of int * int * string
 
-let fail line fmt = Printf.ksprintf (fun message -> raise (Located (line, message))) fmt
+let fail line col fmt =
+  Printf.ksprintf (fun message -> raise (Located (line, col, message))) fmt
 
 type statement =
   | St_input of string
@@ -21,18 +22,18 @@ let strip s =
   String.sub s !i (!j - !i + 1)
 
 (* "NAME ( a , b )" -> (NAME, [a; b]) *)
-let parse_call line s =
+let parse_call line col s =
   match String.index_opt s '(' with
-  | None -> fail line "expected '(' in %S" s
+  | None -> fail line col "expected '(' in %S" s
   | Some i ->
     let fname = strip (String.sub s 0 i) in
     let rest = String.sub s (i + 1) (String.length s - i - 1) in
     (match String.rindex_opt rest ')' with
-    | None -> fail line "missing ')' in %S" s
+    | None -> fail line col "missing ')' in %S" s
     | Some j ->
       let args = String.sub rest 0 j in
       let tail = strip (String.sub rest (j + 1) (String.length rest - j - 1)) in
-      if tail <> "" then fail line "trailing characters %S" tail;
+      if tail <> "" then fail line col "trailing characters %S" tail;
       let parts = String.split_on_char ',' args |> List.map strip in
       let parts = List.filter (fun p -> p <> "") parts in
       (fname, parts))
@@ -45,28 +46,38 @@ let parse_line lineno raw =
   in
   if s = "" then None
   else begin
+    (* 1-based column of the statement's first character *)
+    let col =
+      let n = String.length raw in
+      let i = ref 0 in
+      while !i < n && is_space raw.[!i] do incr i done;
+      !i + 1
+    in
+    let loc = { Raw.line = lineno; col } in
     match String.index_opt s '=' with
     | Some i ->
       let lhs = strip (String.sub s 0 i) in
       let rhs = strip (String.sub s (i + 1) (String.length s - i - 1)) in
-      if lhs = "" then fail lineno "empty gate name";
-      let fname, args = parse_call lineno rhs in
+      if lhs = "" then fail lineno col "empty gate name";
+      let fname, args = parse_call lineno col rhs in
       (match Gate.of_string fname with
-      | Some k -> Some (St_gate (lhs, k, args))
+      | Some k -> Some (loc, St_gate (lhs, k, args))
       | None ->
         if String.uppercase_ascii fname = "DFF" then
-          fail lineno "sequential element DFF is not supported (combinational sizing only)"
-        else fail lineno "unknown gate type %S" fname)
+          fail lineno col
+            "sequential element DFF is not supported (combinational sizing only)"
+        else fail lineno col "unknown gate type %S" fname)
     | None ->
-      let fname, args = parse_call lineno s in
+      let fname, args = parse_call lineno col s in
       (match (String.uppercase_ascii fname, args) with
-      | "INPUT", [ a ] -> Some (St_input a)
-      | "OUTPUT", [ a ] -> Some (St_output a)
-      | ("INPUT" | "OUTPUT"), _ -> fail lineno "%s takes exactly one signal" fname
-      | _ -> fail lineno "expected INPUT/OUTPUT/assignment, got %S" s)
+      | "INPUT", [ a ] -> Some (loc, St_input a)
+      | "OUTPUT", [ a ] -> Some (loc, St_output a)
+      | ("INPUT" | "OUTPUT"), _ ->
+        fail lineno col "%s takes exactly one signal" fname
+      | _ -> fail lineno col "expected INPUT/OUTPUT/assignment, got %S" s)
   end
 
-let parse_internal ?name text =
+let parse_raw_internal ?file ?name text : Raw.t =
   let lines = String.split_on_char '\n' text in
   let name =
     match name with
@@ -83,84 +94,51 @@ let parse_internal ?name text =
       | _ -> "bench")
   in
   let statements =
-    List.filteri (fun _ _ -> true) lines
-    |> List.mapi (fun i l -> (i + 1, parse_line (i + 1) l))
-    |> List.filter_map (fun (i, s) -> Option.map (fun s -> (i, s)) s)
+    List.mapi (fun i l -> parse_line (i + 1) l) lines |> List.filter_map Fun.id
   in
-  let nl = Netlist.create ~name () in
-  (* pass 1: declare inputs *)
-  List.iter
-    (fun (line, st) ->
-      match st with
-      | St_input nm ->
-        if Netlist.find nl nm <> None then fail line "duplicate INPUT(%s)" nm
-        else ignore (Netlist.add_input nl nm)
-      | _ -> ())
-    statements;
-  (* pass 2: add gates in dependency order (iterate until fixpoint to allow
-     textual forward references) *)
-  let gates =
-    List.filter_map
-      (fun (line, st) ->
-        match st with St_gate (nm, k, args) -> Some (line, nm, k, args) | _ -> None)
-      statements
-  in
-  let remaining = ref gates in
-  let progress = ref true in
-  while !remaining <> [] && !progress do
-    progress := false;
-    remaining :=
-      List.filter
-        (fun (line, nm, k, args) ->
-          let resolved = List.map (Netlist.find nl) args in
-          if List.for_all Option.is_some resolved then begin
-            (try ignore (Netlist.add_gate nl nm k (List.map Option.get resolved))
-             with Invalid_argument m -> fail line "%s" m);
-            progress := true;
-            false
-          end
-          else true)
-        !remaining
-  done;
-  (match !remaining with
-  | (line, nm, _, args) :: _ ->
-    let missing =
-      List.filter (fun a -> Netlist.find nl a = None) args |> String.concat ", "
-    in
-    fail line "gate %S has undefined or cyclic fanins: %s" nm missing
-  | [] -> ());
-  (* pass 3: outputs *)
-  List.iter
-    (fun (line, st) ->
-      match st with
-      | St_output nm -> (
-        match Netlist.find nl nm with
-        | Some v -> Netlist.mark_output nl v
-        | None -> fail line "OUTPUT(%s) refers to an undefined signal" nm)
-      | _ -> ())
-    statements;
-  (try Netlist.validate nl
-   with Invalid_argument m -> fail 0 "%s" m);
-  nl
+  let pick f = List.filter_map f statements in
+  { Raw.file;
+    circuit = name;
+    inputs =
+      pick (function loc, St_input nm -> Some (nm, loc) | _ -> None);
+    outputs =
+      pick (function loc, St_output nm -> Some (nm, loc) | _ -> None);
+    gates =
+      pick (function
+        | loc, St_gate (nm, k, args) ->
+          Some { Raw.g_name = nm; g_kind = k; g_fanins = args; g_loc = loc }
+        | _ -> None) }
 
 let located ?file body =
   match body () with
-  | nl -> Ok nl
-  | exception Located (line, msg) -> Error (Diag.Parse_error { file; line; msg })
+  | v -> Ok v
+  | exception Located (line, col, msg) ->
+    Error (Diag.Parse_error { file; line; col; msg })
 
-let parse_string ?name text = located (fun () -> parse_internal ?name text)
-
-let parse_file path =
+let read_file path =
   match open_in path with
   | exception Sys_error msg -> Error (Diag.Io_error { file = path; msg })
   | ic ->
-    let text =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
+    Ok
+      (Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
+
+let parse_raw_string ?name text =
+  located (fun () -> parse_raw_internal ?name text)
+
+let parse_raw_file path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok text ->
     let base = Filename.remove_extension (Filename.basename path) in
-    located ~file:path (fun () -> parse_internal ~name:base text)
+    located ~file:path (fun () -> parse_raw_internal ~file:path ~name:base text)
+
+let parse_string ?name text =
+  Result.join (Result.map Raw.elaborate (parse_raw_string ?name text))
+
+let parse_file path =
+  Result.join (Result.map Raw.elaborate (parse_raw_file path))
 
 let parse_string_exn ?name text =
   match parse_string ?name text with Ok nl -> nl | Error e -> Diag.fail e

@@ -11,10 +11,19 @@
     forward references as long as the circuit is acyclic. Flip-flop ([DFF])
     declarations are rejected — this tool sizes combinational logic. *)
 
+val parse_raw_string :
+  ?name:string -> string -> (Raw.t, Minflo_robust.Diag.error) result
+(** Syntactic phase only: statements with source locations, no name
+    resolution. Semantically malformed circuits (cycles, duplicate or
+    undefined signals) parse fine here — the linter consumes this form. *)
+
+val parse_raw_file : string -> (Raw.t, Minflo_robust.Diag.error) result
+
 val parse_string :
   ?name:string -> string -> (Netlist.t, Minflo_robust.Diag.error) result
 (** [Error (Parse_error _)] with a 1-based line number on malformed input.
-    A successful result is validated. *)
+    A successful result is validated. Equivalent to {!parse_raw_string}
+    followed by {!Raw.elaborate}. *)
 
 val parse_file : string -> (Netlist.t, Minflo_robust.Diag.error) result
 (** Netlist named after the file's basename. Unreadable files yield

@@ -29,14 +29,19 @@ let pad_random nl ~target_gates ~seed ?(extra_inputs = 0) () =
     let out = Netlist.create ~name:(Netlist.name nl) () in
     ignore (copy_into ~prefix:"" nl out);
     let base_count = Netlist.node_count out in
+    (* the fresh inputs are handed out first, so none is left dangling *)
+    let fresh = Queue.create () in
     for i = 0 to extra_inputs - 1 do
-      ignore (Netlist.add_input out (Printf.sprintf "xin%d" i))
+      Queue.add (Netlist.add_input out (Printf.sprintf "xin%d" i)) fresh
     done;
     (* p taps + (p-1) XOR collectors (+1 optional NOT) = deficit gates *)
     let p = max 1 ((deficit + 1) / 2) in
     let needs_extra_not = 2 * p - 1 < deficit in
     let kinds = [| Gate.Nand; Gate.Nor; Gate.And; Gate.Or; Gate.Xor; Gate.Xnor |] in
-    let pick () = Rng.int rng (Netlist.node_count out) in
+    let pick () =
+      if not (Queue.is_empty fresh) then Queue.pop fresh
+      else Rng.int rng (Netlist.node_count out)
+    in
     let taps =
       List.init p (fun i ->
           let k = Rng.pick rng kinds in

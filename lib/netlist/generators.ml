@@ -418,18 +418,23 @@ let random_dag ~gates ~inputs ~outputs ~seed () =
   let rng = Rng.create seed in
   let nl = Netlist.create ~name:(Printf.sprintf "rand%d_s%d" gates seed) () in
   let pis = Array.init inputs (fun i -> Netlist.add_input nl (Printf.sprintf "pi%d" i)) in
-  ignore pis;
+  (* every input is handed out before random picks start, so none dangles *)
+  let unused = Queue.create () in
+  Array.iter (fun v -> Queue.add v unused) pis;
   let kinds =
     [| Gate.Nand; Gate.Nand; Gate.Nor; Gate.And; Gate.Or; Gate.Not; Gate.Xor |]
   in
   (* locality-biased source pick: prefer recent nodes to mimic levelized
      structure; occasionally reach far back to create reconvergence *)
   let pick_src () =
-    let n = Netlist.node_count nl in
-    if Rng.int rng 4 = 0 then Rng.int rng n
+    if not (Queue.is_empty unused) then Queue.pop unused
     else begin
-      let window = max 1 (n / 4) in
-      n - 1 - Rng.int rng window
+      let n = Netlist.node_count nl in
+      if Rng.int rng 4 = 0 then Rng.int rng n
+      else begin
+        let window = max 1 (n / 4) in
+        n - 1 - Rng.int rng window
+      end
     end
   in
   for _ = 1 to gates do

@@ -1,0 +1,130 @@
+module Diag = Minflo_robust.Diag
+
+type loc = { line : int; col : int }
+
+let no_loc = { line = 0; col = 0 }
+
+let pp_loc fmt l =
+  if l.col > 0 then Format.fprintf fmt "%d:%d" l.line l.col
+  else Format.fprintf fmt "%d" l.line
+
+type gate_decl = {
+  g_name : string;
+  g_kind : Gate.kind;
+  g_fanins : string list;
+  g_loc : loc;
+}
+
+type t = {
+  file : string option;
+  circuit : string;
+  inputs : (string * loc) list;
+  outputs : (string * loc) list;
+  gates : gate_decl list;
+}
+
+let of_netlist nl =
+  let inputs =
+    List.map (fun v -> (Netlist.node_name nl v, no_loc)) (Netlist.inputs nl)
+  in
+  let outputs =
+    List.map (fun v -> (Netlist.node_name nl v, no_loc)) (Netlist.outputs nl)
+  in
+  let gates = ref [] in
+  Netlist.iter_gates nl (fun v ->
+      match Netlist.kind nl v with
+      | Netlist.Gate k ->
+        gates :=
+          { g_name = Netlist.node_name nl v;
+            g_kind = k;
+            g_fanins = List.map (Netlist.node_name nl) (Netlist.fanins nl v);
+            g_loc = no_loc }
+          :: !gates
+      | Netlist.Input -> ());
+  { file = None;
+    circuit = Netlist.name nl;
+    inputs;
+    outputs;
+    gates = List.rev !gates }
+
+let signal_names t =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let touch nm =
+    if not (Hashtbl.mem seen nm) then begin
+      Hashtbl.add seen nm ();
+      acc := nm :: !acc
+    end
+  in
+  List.iter (fun (nm, _) -> touch nm) t.inputs;
+  List.iter
+    (fun g ->
+      touch g.g_name;
+      List.iter touch g.g_fanins)
+    t.gates;
+  List.iter (fun (nm, _) -> touch nm) t.outputs;
+  List.rev !acc
+
+(* ---------- elaboration ---------- *)
+
+exception Fail of Diag.error
+
+let elaborate t =
+  let fail loc fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise
+          (Fail
+             (Diag.Parse_error
+                { file = t.file; line = loc.line; col = loc.col; msg })))
+      fmt
+  in
+  try
+    let nl = Netlist.create ~name:t.circuit () in
+    (* pass 1: inputs, in declaration order *)
+    List.iter
+      (fun (nm, loc) ->
+        if Netlist.find nl nm <> None then fail loc "duplicate INPUT(%s)" nm
+        else ignore (Netlist.add_input nl nm))
+      t.inputs;
+    (* pass 2: gates, iterated to a fixpoint so textual forward references
+       resolve; what remains is undefined or cyclic *)
+    let remaining = ref t.gates in
+    let progress = ref true in
+    while !remaining <> [] && !progress do
+      progress := false;
+      remaining :=
+        List.filter
+          (fun g ->
+            let resolved = List.map (Netlist.find nl) g.g_fanins in
+            if List.for_all Option.is_some resolved then begin
+              (try
+                 ignore
+                   (Netlist.add_gate nl g.g_name g.g_kind
+                      (List.map Option.get resolved))
+               with Invalid_argument m -> fail g.g_loc "%s" m);
+              progress := true;
+              false
+            end
+            else true)
+          !remaining
+    done;
+    (match !remaining with
+    | g :: _ ->
+      let missing =
+        List.filter (fun a -> Netlist.find nl a = None) g.g_fanins
+        |> String.concat ", "
+      in
+      fail g.g_loc "gate %S has undefined or cyclic fanins: %s" g.g_name missing
+    | [] -> ());
+    (* pass 3: outputs *)
+    List.iter
+      (fun (nm, loc) ->
+        match Netlist.find nl nm with
+        | Some v -> Netlist.mark_output nl v
+        | None -> fail loc "OUTPUT(%s) refers to an undefined signal" nm)
+      t.outputs;
+    (try Netlist.validate nl
+     with Invalid_argument m -> fail { line = 1; col = 0 } "%s" m);
+    Ok nl
+  with Fail e -> Error e

@@ -1,21 +1,36 @@
 module Diag = Minflo_robust.Diag
 
 (* internal located failure; wrapped into [Diag.Parse_error] at the API
-   boundary so the file name can be attached *)
-exception Located of int * string
+   boundary so the file name can be attached. Carries line and column. *)
+exception Located of int * int * string
 
-let fail line fmt = Printf.ksprintf (fun message -> raise (Located (line, message))) fmt
+let fail_at (loc : Raw.loc) fmt =
+  Printf.ksprintf
+    (fun message -> raise (Located (loc.line, loc.col, message)))
+    fmt
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Located (line, 0, message))) fmt
 
 (* ---------- lexer ---------- *)
 
 type token = Ident of string | Punct of char
 
-let tokenize text =
-  (* returns (token, line) list with comments stripped *)
+(* every token carries its 1-based (line, column) start *)
+type ltoken = token * Raw.loc
+
+let tokenize text : ltoken list =
   let n = String.length text in
   let tokens = ref [] in
   let line = ref 1 in
+  let bol = ref 0 in
+  (* index of the first byte of the current line *)
   let i = ref 0 in
+  let here () = { Raw.line = !line; col = !i - !bol + 1 } in
+  let newline () =
+    incr line;
+    bol := !i + 1
+  in
   let is_ident_char c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
     || c = '_' || c = '$' || c = '.'
@@ -23,7 +38,7 @@ let tokenize text =
   while !i < n do
     let c = text.[!i] in
     if c = '\n' then begin
-      incr line;
+      newline ();
       incr i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
@@ -34,7 +49,7 @@ let tokenize text =
       i := !i + 2;
       let closed = ref false in
       while !i < n && not !closed do
-        if text.[!i] = '\n' then incr line;
+        if text.[!i] = '\n' then newline ();
         if !i + 1 < n && text.[!i] = '*' && text.[!i + 1] = '/' then begin
           closed := true;
           i := !i + 2
@@ -45,31 +60,33 @@ let tokenize text =
     end
     else if c = '\\' then begin
       (* escaped identifier: backslash to next whitespace *)
+      let loc = here () in
       let start = !i + 1 in
       i := start;
       while !i < n && text.[!i] <> ' ' && text.[!i] <> '\t' && text.[!i] <> '\n' do
         incr i
       done;
-      tokens := (Ident (String.sub text start (!i - start)), !line) :: !tokens
+      tokens := (Ident (String.sub text start (!i - start)), loc) :: !tokens
     end
     else if is_ident_char c then begin
+      let loc = here () in
       let start = !i in
       while !i < n && is_ident_char text.[!i] do incr i done;
-      tokens := (Ident (String.sub text start (!i - start)), !line) :: !tokens
+      tokens := (Ident (String.sub text start (!i - start)), loc) :: !tokens
     end
     else if c = '(' || c = ')' || c = ',' || c = ';' then begin
-      tokens := (Punct c, !line) :: !tokens;
+      tokens := (Punct c, here ()) :: !tokens;
       incr i
     end
-    else fail !line "unexpected character %C" c
+    else fail_at (here ()) "unexpected character %C" c
   done;
   List.rev !tokens
 
 (* ---------- parser ---------- *)
 
 type statement =
-  | Decl of [ `Input | `Output | `Wire ] * string list
-  | Inst of Gate.kind * string list * int (* terminals, line *)
+  | Decl of [ `Input | `Output | `Wire ] * (string * Raw.loc) list
+  | Inst of Gate.kind * (string * Raw.loc) list * Raw.loc
 
 let split_statements tokens =
   (* statements are token runs terminated by ';'; the module header is the
@@ -79,29 +96,32 @@ let split_statements tokens =
       (* 'endmodule' carries no ';' *)
       (match List.rev current with
       | [] | [ (Ident "endmodule", _) ] -> ()
-      | (Ident w, line) :: _ -> fail line "missing ';' after %S" w
-      | (Punct c, line) :: _ -> fail line "missing ';' after %C" c);
+      | (Ident w, loc) :: _ -> fail_at loc "missing ';' after %S" w
+      | (Punct c, loc) :: _ -> fail_at loc "missing ';' after %C" c);
       List.rev acc
     | (Punct ';', _) :: rest -> go (List.rev current :: acc) [] rest
     | tok :: rest -> go acc (tok :: current) rest
   in
   go [] [] tokens
 
-let idents_of ~line tokens =
+let idents_of ~loc tokens =
   List.filter_map
     (function
-      | Ident s, _ -> Some s
+      | Ident s, l -> Some (s, (l : Raw.loc))
       | Punct (',' | '(' | ')'), _ -> None
-      | Punct c, l -> fail (max line l) "unexpected %C in declaration" c)
+      | Punct c, (l : Raw.loc) ->
+        fail_at
+          (if l.line > loc.Raw.line then l else loc)
+          "unexpected %C in declaration" c)
     tokens
 
 let parse_statement st =
   match st with
-  | (Ident "input", line) :: rest -> Some (Decl (`Input, idents_of ~line rest))
-  | (Ident "output", line) :: rest -> Some (Decl (`Output, idents_of ~line rest))
-  | (Ident "wire", line) :: rest -> Some (Decl (`Wire, idents_of ~line rest))
+  | (Ident "input", loc) :: rest -> Some (Decl (`Input, idents_of ~loc rest))
+  | (Ident "output", loc) :: rest -> Some (Decl (`Output, idents_of ~loc rest))
+  | (Ident "wire", loc) :: rest -> Some (Decl (`Wire, idents_of ~loc rest))
   | (Ident "endmodule", _) :: _ -> None
-  | (Ident kw, line) :: rest -> (
+  | (Ident kw, loc) :: rest -> (
     match Gate.of_string kw with
     | Some kind ->
       (* optional instance name before '(' *)
@@ -110,108 +130,82 @@ let parse_statement st =
         | (Ident _, _) :: ((Punct '(', _) :: _ as r) -> r
         | r -> r
       in
-      let terminals = idents_of ~line rest in
-      Some (Inst (kind, terminals, line))
+      let terminals = idents_of ~loc rest in
+      Some (Inst (kind, terminals, loc))
     | None ->
       (match kw with
       | "assign" | "always" | "reg" | "initial" | "parameter" ->
-        fail line "behavioral construct %S is not supported (structural netlists only)" kw
-      | _ -> fail line "unknown primitive or keyword %S" kw))
-  | (Punct c, line) :: _ -> fail line "unexpected %C at statement start" c
+        fail_at loc
+          "behavioral construct %S is not supported (structural netlists only)"
+          kw
+      | _ -> fail_at loc "unknown primitive or keyword %S" kw))
+  | (Punct c, loc) :: _ -> fail_at loc "unexpected %C at statement start" c
   | [] -> None
 
-let parse_internal ?name text =
+let parse_raw_internal ?file ?name text : Raw.t =
   let tokens = tokenize text in
   (* module header *)
   let module_name, body =
     match tokens with
-    | (Ident "module", line) :: (Ident mname, _) :: rest ->
+    | (Ident "module", loc) :: (Ident mname, _) :: rest ->
       (* skip the port list through its ';' *)
       let rec skip = function
         | (Punct ';', _) :: rest -> rest
         | _ :: rest -> skip rest
-        | [] -> fail line "module header missing ';'"
+        | [] -> fail_at loc "module header missing ';'"
       in
       (mname, skip rest)
-    | (_, line) :: _ -> fail line "expected 'module'"
+    | (_, loc) :: _ -> fail_at loc "expected 'module'"
     | [] -> fail 1 "empty input"
   in
   let statements = List.filter_map parse_statement (split_statements body) in
-  let nl = Netlist.create ~name:(Option.value ~default:module_name name) () in
-  (* declare inputs *)
-  List.iter
-    (function
-      | Decl (`Input, names) ->
-        List.iter (fun nm -> ignore (Netlist.add_input nl nm)) names
-      | _ -> ())
-    statements;
-  (* add gates with forward-reference resolution, as in Bench_format *)
-  let gates =
-    List.filter_map
-      (function
-        | Inst (kind, terminals, line) -> (
+  let pick f = List.concat_map f statements in
+  { Raw.file;
+    circuit = Option.value ~default:module_name name;
+    inputs = pick (function Decl (`Input, names) -> names | _ -> []);
+    outputs = pick (function Decl (`Output, names) -> names | _ -> []);
+    gates =
+      pick (function
+        | Inst (kind, terminals, loc) -> (
           match terminals with
-          | out :: ins when ins <> [] -> Some (line, out, kind, ins)
-          | _ -> fail line "gate needs an output and at least one input")
-        | Decl _ -> None)
-      statements
-  in
-  let remaining = ref gates in
-  let progress = ref true in
-  while !remaining <> [] && !progress do
-    progress := false;
-    remaining :=
-      List.filter
-        (fun (line, out, kind, ins) ->
-          let resolved = List.map (Netlist.find nl) ins in
-          if List.for_all Option.is_some resolved then begin
-            (try ignore (Netlist.add_gate nl out kind (List.map Option.get resolved))
-             with Invalid_argument m -> fail line "%s" m);
-            progress := true;
-            false
-          end
-          else true)
-        !remaining
-  done;
-  (match !remaining with
-  | (line, out, _, ins) :: _ ->
-    let missing = List.filter (fun a -> Netlist.find nl a = None) ins in
-    fail line "gate %S has undefined or cyclic inputs: %s" out
-      (String.concat ", " missing)
-  | [] -> ());
-  (* outputs *)
-  List.iter
-    (function
-      | Decl (`Output, names) ->
-        List.iter
-          (fun nm ->
-            match Netlist.find nl nm with
-            | Some v -> Netlist.mark_output nl v
-            | None -> fail 0 "output %S is never driven" nm)
-          names
-      | _ -> ())
-    statements;
-  (try Netlist.validate nl with Invalid_argument m -> fail 0 "%s" m);
-  nl
+          | (out, _) :: ins when ins <> [] ->
+            [ { Raw.g_name = out;
+                g_kind = kind;
+                g_fanins = List.map fst ins;
+                g_loc = loc } ]
+          | _ -> fail_at loc "gate needs an output and at least one input")
+        | Decl _ -> []) }
 
 let located ?file body =
   match body () with
-  | nl -> Ok nl
-  | exception Located (line, msg) -> Error (Diag.Parse_error { file; line; msg })
+  | v -> Ok v
+  | exception Located (line, col, msg) ->
+    Error (Diag.Parse_error { file; line; col; msg })
 
-let parse_string ?name text = located (fun () -> parse_internal ?name text)
-
-let parse_file path =
+let read_file path =
   match open_in path with
   | exception Sys_error msg -> Error (Diag.Io_error { file = path; msg })
   | ic ->
-    let text =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
+    Ok
+      (Fun.protect
+         ~finally:(fun () -> close_in ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
+
+let parse_raw_string ?name text =
+  located (fun () -> parse_raw_internal ?name text)
+
+let parse_raw_file path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok text ->
     let name = Filename.remove_extension (Filename.basename path) in
-    located ~file:path (fun () -> parse_internal ~name text)
+    located ~file:path (fun () -> parse_raw_internal ~file:path ~name text)
+
+let parse_string ?name text =
+  Result.join (Result.map Raw.elaborate (parse_raw_string ?name text))
+
+let parse_file path =
+  Result.join (Result.map Raw.elaborate (parse_raw_file path))
 
 let parse_string_exn ?name text =
   match parse_string ?name text with Ok nl -> nl | Error e -> Diag.fail e

@@ -17,11 +17,19 @@
     fine. Behavioral constructs ([assign], [always], ...) are rejected with
     a located error. *)
 
+val parse_raw_string :
+  ?name:string -> string -> (Raw.t, Minflo_robust.Diag.error) result
+(** Syntactic phase only: declarations with source locations, no name
+    resolution. Semantically malformed circuits (cycles, duplicate or
+    undefined signals) parse fine here — the linter consumes this form. *)
+
+val parse_raw_file : string -> (Raw.t, Minflo_robust.Diag.error) result
+
 val parse_string :
   ?name:string -> string -> (Netlist.t, Minflo_robust.Diag.error) result
 (** The netlist takes the module's name unless [name] is given. Malformed or
-    unsupported input yields [Error (Parse_error _)] with a 1-based line
-    number. *)
+    unsupported input yields [Error (Parse_error _)] with 1-based line and
+    column numbers. Equivalent to {!parse_raw_string} then {!Raw.elaborate}. *)
 
 val parse_file : string -> (Netlist.t, Minflo_robust.Diag.error) result
 (** Unreadable files yield [Error (Io_error _)]; parse failures carry the

@@ -11,7 +11,8 @@ let severity_to_string = function
   | Error -> "error"
 
 type error =
-  | Parse_error of { file : string option; line : int; msg : string }
+  | Parse_error of { file : string option; line : int; col : int; msg : string }
+  | Lint_error of { rule : string; file : string option; line : int; msg : string }
   | Unknown_circuit of { name : string; known : string list }
   | Io_error of { file : string; msg : string }
   | Infeasible_budget of {
@@ -47,6 +48,7 @@ let fail e = raise (Error_exn e)
 
 let error_code = function
   | Parse_error _ -> "parse-error"
+  | Lint_error _ -> "lint-error"
   | Unknown_circuit _ -> "unknown-circuit"
   | Io_error _ -> "io-error"
   | Infeasible_budget _ -> "infeasible-budget"
@@ -64,14 +66,20 @@ let error_code = function
   | Job_crashed _ -> "job-crashed"
   | Internal _ -> "internal"
 
+let location ?(file = None) ~line ~col () =
+  match (file, col) with
+  | Some f, c when c > 0 -> Printf.sprintf "%s:%d:%d" f line c
+  | Some f, _ -> Printf.sprintf "%s:%d" f line
+  | None, c when c > 0 -> Printf.sprintf "line %d, column %d" line c
+  | None, _ -> Printf.sprintf "line %d" line
+
 let to_string = function
-  | Parse_error { file; line; msg } ->
-    let where =
-      match file with
-      | Some f -> Printf.sprintf "%s:%d" f line
-      | None -> Printf.sprintf "line %d" line
-    in
-    Printf.sprintf "parse error at %s: %s" where msg
+  | Parse_error { file; line; col; msg } ->
+    Printf.sprintf "parse error at %s: %s" (location ~file ~line ~col ()) msg
+  | Lint_error { rule; file; line; msg } ->
+    Printf.sprintf "lint rule %s at %s: %s" rule
+      (location ~file ~line ~col:0 ())
+      msg
   | Unknown_circuit { name; known } ->
     Printf.sprintf "unknown circuit %S: not a file, and not one of {%s}" name
       (String.concat ", " known)
@@ -141,9 +149,17 @@ let obj fields =
 let to_json e =
   let code = ("code", jstr (error_code e)) in
   match e with
-  | Parse_error { file; line; msg } ->
+  | Parse_error { file; line; col; msg } ->
     obj
       [ code;
+        ("file", match file with Some f -> jstr f | None -> "null");
+        ("line", string_of_int line);
+        ("col", string_of_int col);
+        ("msg", jstr msg) ]
+  | Lint_error { rule; file; line; msg } ->
+    obj
+      [ code;
+        ("rule", jstr rule);
         ("file", match file with Some f -> jstr f | None -> "null");
         ("line", string_of_int line);
         ("msg", jstr msg) ]

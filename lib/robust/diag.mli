@@ -19,8 +19,14 @@ val severity_rank : severity -> int
 val severity_to_string : severity -> string
 
 type error =
-  | Parse_error of { file : string option; line : int; msg : string }
-      (** Malformed [.bench] / [.v] / liberty input, with source location. *)
+  | Parse_error of { file : string option; line : int; col : int; msg : string }
+      (** Malformed [.bench] / [.v] / liberty input, with source location
+          ([col] is 1-based; 0 when the column is unknown). *)
+  | Lint_error of { rule : string; file : string option; line : int; msg : string }
+      (** A static-analysis finding of error severity (see
+          [Minflo_lint.Rule] for the stable [rule] ids, ["MF001"]…). The
+          batch pre-flight gate quarantines circuits with this error
+          before forking a job. *)
   | Unknown_circuit of { name : string; known : string list }
       (** A circuit spec that is neither a file nor a suite entry. *)
   | Io_error of { file : string; msg : string }

@@ -15,6 +15,7 @@ type config = {
   engine : Minflotransit.options;
   fault_seed : int option;
   make_fault : unit -> Minflo_robust.Fault.t option;
+  preflight : bool;
 }
 
 let default_config =
@@ -25,7 +26,8 @@ let default_config =
     diff_tolerance = Differential.default_tolerance;
     engine = Minflotransit.default_options;
     fault_seed = None;
-    make_fault = (fun () -> None) }
+    make_fault = (fun () -> None);
+    preflight = true }
 
 type job_report = {
   job : Job.t;
@@ -203,6 +205,48 @@ let run ?(config = default_config) jobs =
             Journal.field_bool "differential" config.differential ]
         "batch-start"
     | None -> ());
+    (* pre-flight lint gate: a parse or lint error is structural — the
+       circuit will fail identically on every attempt — so such jobs are
+       quarantined here, before any process is forked, with no retries and
+       no backoff. One check per distinct circuit spec, not per job. *)
+    let lint_verdicts = Hashtbl.create 8 in
+    let lint_error spec =
+      match Hashtbl.find_opt lint_verdicts spec with
+      | Some v -> v
+      | None ->
+        let v =
+          if not config.preflight then None
+          else
+            match Job.load_raw spec with
+            | Error e -> Some e
+            | Ok raw -> (
+              let findings = Minflo_lint.Lint.check raw in
+              match
+                List.find_opt
+                  (fun (f : Minflo_lint.Finding.t) ->
+                    f.rule.severity = Minflo_lint.Rule.Error)
+                  findings
+              with
+              | Some f -> Some (Minflo_lint.Finding.to_diag f)
+              | None -> None)
+        in
+        Hashtbl.replace lint_verdicts spec v;
+        v
+    in
+    let gated, to_run =
+      List.partition (fun j -> lint_error j.Job.circuit <> None) to_run
+    in
+    let outcome_by_id = Hashtbl.create 16 in
+    List.iter
+      (fun j ->
+        let e = Option.get (lint_error j.Job.circuit) in
+        let id = Job.id j in
+        (match journal with
+        | Some jr -> Journal.event jr ~job:id ~error:e "job-lint-quarantined"
+        | None -> ());
+        Hashtbl.replace outcome_by_id id
+          { Supervisor.verdict = Error e; attempts = 0; quarantined = true })
+      gated;
     let on_done id (o : Job.outcome Supervisor.outcome) =
       match (o.Supervisor.verdict, journal) with
       | Ok oc, Some jr ->
@@ -220,7 +264,6 @@ let run ?(config = default_config) jobs =
       Supervisor.run_all ~config:config.supervise ?journal ~on_done
         (List.map (fun j -> (Job.id j, fun () -> run_job config j)) to_run)
     in
-    let outcome_by_id = Hashtbl.create (List.length outcomes) in
     List.iter (fun (id, o) -> Hashtbl.replace outcome_by_id id o) outcomes;
     (* differential legs: re-run each successful job under an independent
        solver. No checkpoints for these — they are verification only, and a

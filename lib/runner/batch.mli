@@ -36,6 +36,12 @@ type config = {
   make_fault : unit -> Minflo_robust.Fault.t option;
       (** builds the fault plan for one attempt, called inside the child so
           each attempt gets fresh fire counts. Default: no plan. *)
+  preflight : bool;
+      (** lint every distinct circuit before forking anything (default
+          [true]). A parse error or any Error-severity finding is
+          structural — it would fail identically on every attempt — so the
+          job is quarantined immediately: zero attempts, no retries, no
+          backoff, journaled as [job-lint-quarantined]. *)
 }
 
 val default_config : config

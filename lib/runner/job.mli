@@ -36,6 +36,12 @@ val load_circuit : string -> (Minflo_netlist.Netlist.t, Minflo_robust.Diag.error
     [.bench] file path, the embedded [c17], or an {!Minflo_netlist.Iscas85}
     suite name. *)
 
+val load_raw : string -> (Minflo_netlist.Raw.t, Minflo_robust.Diag.error) result
+(** Same spec resolution, but stop before elaboration: files are parsed to
+    their raw form (with source locations, no name resolution), built-in
+    circuits go through {!Minflo_netlist.Raw.of_netlist}. This is what the
+    batch pre-flight lint gate runs on. *)
+
 (** Plain-data result of a completed sizing job — free of closures and
     abstract types so it can cross the child-process boundary via
     [Marshal]. *)

@@ -33,8 +33,16 @@ type outcome = {
   lp_objective : int;
 }
 
-let solve ?(options = default_options) ?budget ?fault ?checks model ~sizes
-    ~delays ~deadline =
+(* the displacement LP plus the variable maps needed to read a solution
+   back out of its duals *)
+type lp_build = {
+  lp : Diff_lp.t;
+  r : int array;
+  rdmy : int array;
+  weights : float array;
+}
+
+let build_lp ?(options = default_options) model ~sizes ~delays ~deadline =
   let n = Delay_model.num_vertices model in
   let g = model.Delay_model.graph in
   let sta = Sta.analyze model ~delays ~deadline in
@@ -83,6 +91,21 @@ let solve ?(options = default_options) ?budget ?fault ?checks model ~sizes
       if model.Delay_model.is_sink.(i) then
         Diff_lp.add_le lp rdmy.(i) ground (q bal.sink_fsdu.(i))
     done;
+    Ok { lp; r; rdmy; weights }
+  end
+
+let displacement_problem ?options model ~sizes ~delays ~deadline =
+  Result.map
+    (fun b -> Diff_lp.to_problem b.lp)
+    (build_lp ?options model ~sizes ~delays ~deadline)
+
+let solve ?(options = default_options) ?budget ?fault ?checks model ~sizes
+    ~delays ~deadline =
+  match build_lp ~options model ~sizes ~delays ~deadline with
+  | Error e -> Error e
+  | Ok { lp; r; rdmy; weights } ->
+    let n = Delay_model.num_vertices model in
+    let s = options.scale in
     let sname = solver_name options.solver in
     let site = "dphase." ^ sname in
     match Option.bind fault (fun f -> Fault.fire f ~site) with
@@ -153,4 +176,3 @@ let solve ?(options = default_options) ?budget ?fault ?checks model ~sizes
           if not (Float.is_finite objective) then
             Error (Diag.Numeric { what = "dphase.objective"; value = objective })
           else Ok { budgets; delta; objective; lp_objective }))
-  end

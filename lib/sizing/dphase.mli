@@ -42,6 +42,19 @@ type outcome = {
           last float digits. *)
 }
 
+val displacement_problem :
+  ?options:options ->
+  Minflo_tech.Delay_model.t ->
+  sizes:float array ->
+  delays:float array ->
+  deadline:float ->
+  (Minflo_flow.Mcf.problem, Minflo_robust.Diag.error) result
+(** The displacement LP of Eq. 10 as its dual min-cost-flow problem, without
+    solving it. This is the real-workload substrate for [minflo audit-cert]:
+    solve it with any {!Minflo_flow.Mcf} solver and hand problem + solution
+    to the certificate auditor. Fails like {!solve} does on an unsafe
+    starting point ([Unsafe_timing]). *)
+
 val solve :
   ?options:options ->
   ?budget:Minflo_robust.Budget.t ->

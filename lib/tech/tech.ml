@@ -11,6 +11,7 @@ type t = {
   wire_area : float;
   min_size : float;
   max_size : float;
+  max_stack : int;
 }
 
 (* Representative 0.13 um-class values: a minimum NMOS around 8.5 kohm, PMOS
@@ -28,7 +29,8 @@ let default_130nm =
     r_wire = 400.0;
     wire_area = 0.3;
     min_size = 1.0;
-    max_size = 1024.0 }
+    max_size = 1024.0;
+    max_stack = 32 }
 
 let scaled ?(r = 1.0) ?(c = 1.0) t =
   { t with

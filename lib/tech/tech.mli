@@ -27,6 +27,10 @@ type t = {
           simultaneous wire-sizing mode of Section 2.1). *)
   min_size : float;
   max_size : float;
+  max_stack : int;
+      (** widest series transistor stack the gate model will realize; a
+          NAND/NOR/AND/OR whose arity exceeds it has no cell in this
+          technology (linter rule MF008). *)
 }
 
 val default_130nm : t

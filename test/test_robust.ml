@@ -27,7 +27,12 @@ let string = Alcotest.string
 
 let test_diag_error_codes () =
   check string "parse" "parse-error"
-    (Diag.error_code (Diag.Parse_error { file = None; line = 3; msg = "x" }));
+    (Diag.error_code
+       (Diag.Parse_error { file = None; line = 3; col = 0; msg = "x" }));
+  check string "lint" "lint-error"
+    (Diag.error_code
+       (Diag.Lint_error
+          { rule = "MF001"; file = None; line = 1; msg = "cycle" }));
   check string "unknown" "unknown-circuit"
     (Diag.error_code (Diag.Unknown_circuit { name = "z"; known = [] }));
   check string "budget" "budget-exhausted"
@@ -45,7 +50,8 @@ let contains hay needle =
 
 let test_diag_json () =
   let j =
-    Diag.to_json (Diag.Parse_error { file = Some "a.bench"; line = 7; msg = "bad" })
+    Diag.to_json
+      (Diag.Parse_error { file = Some "a.bench"; line = 7; col = 2; msg = "bad" })
   in
   check bool "has code" true (contains j "parse-error");
   check bool "has line" true (contains j "7");

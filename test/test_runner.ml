@@ -543,6 +543,85 @@ let test_differential_catches_seeded_fault () =
       | _ -> Alcotest.fail "wrong constructor")
     | _ -> Alcotest.fail "expected one report with a differential verdict")
 
+(* ---------- pre-flight lint gate ---------- *)
+
+let cyclic_bench_file dir =
+  let file = Filename.concat dir "looped.bench" in
+  let oc = open_out file in
+  output_string oc
+    "INPUT(a)\nOUTPUT(y)\ng1 = AND(g2, a)\ng2 = AND(g1, a)\ny = NAND(g1, a)\n";
+  close_out oc;
+  file
+
+let test_preflight_quarantines_lint_failure () =
+  let dir = fresh_dir "preflight" in
+  let file = cyclic_bench_file dir in
+  (* two jobs on the same broken circuit plus one healthy one: the broken
+     pair is gated before any fork (zero attempts), the healthy job runs *)
+  let jobs =
+    [ { Job.circuit = file; factor = 0.6; solver = `Simplex };
+      { Job.circuit = file; factor = 0.8; solver = `Ssp };
+      { Job.circuit = "c17"; factor = 0.6; solver = `Simplex } ]
+  in
+  let cfg =
+    { Batch.default_config with
+      checkpoint_dir = Some dir;
+      supervise = sup ~isolate:false () }
+  in
+  (match Batch.run ~config:cfg jobs with
+  | Error e -> Alcotest.failf "batch: %s" (Diag.to_string e)
+  | Ok s -> (
+    check int "ok" 1 s.Batch.ok;
+    check int "failed" 2 s.Batch.failed;
+    match s.Batch.reports with
+    | [ r1; r2; r3 ] ->
+      List.iter
+        (fun (r : Batch.job_report) ->
+          check bool "quarantined" true r.Batch.quarantined;
+          check int "zero attempts: never forked" 0 r.Batch.attempts;
+          match r.Batch.outcome with
+          | Some (Error (Diag.Lint_error { rule; line; _ })) ->
+            check string "rule" "MF001" rule;
+            check int "line of the first cycle member" 3 line
+          | _ -> Alcotest.fail "expected a typed lint error")
+        [ r1; r2 ];
+      check bool "healthy job unaffected" true
+        (match r3.Batch.outcome with Some (Ok _) -> true | _ -> false)
+    | _ -> Alcotest.fail "expected three reports"));
+  (* the gate is journaled as its own event, distinct from job-fail *)
+  let journal = In_channel.with_open_text (Filename.concat dir "journal.jsonl")
+      In_channel.input_all in
+  check bool "journaled" true
+    (let needle = "job-lint-quarantined" in
+     let lh = String.length journal and ln = String.length needle in
+     let rec go i = i + ln <= lh && (String.sub journal i ln = needle || go (i + 1)) in
+     go 0);
+  rm_rf dir
+
+let test_preflight_can_be_disabled () =
+  let dir = fresh_dir "preflight-off" in
+  let file = cyclic_bench_file dir in
+  let job = { Job.circuit = file; factor = 0.6; solver = `Simplex } in
+  let cfg =
+    { Batch.default_config with
+      supervise = sup ~isolate:false ();
+      preflight = false }
+  in
+  (match Batch.run ~config:cfg [ job ] with
+  | Error e -> Alcotest.failf "batch: %s" (Diag.to_string e)
+  | Ok s -> (
+    match s.Batch.reports with
+    | [ r ] -> (
+      (* without the gate the job reaches the supervisor, which burns an
+         attempt before quarantining the (structural) parse failure *)
+      check bool "still quarantined" true r.Batch.quarantined;
+      check bool "attempted at least once" true (r.Batch.attempts >= 1);
+      match r.Batch.outcome with
+      | Some (Error (Diag.Parse_error _)) -> ()
+      | _ -> Alcotest.fail "expected the elaborator's parse error")
+    | _ -> Alcotest.fail "expected one report"));
+  rm_rf dir
+
 let test_differential_clean_run_agrees () =
   let job = { Job.circuit = "c17"; factor = 0.6; solver = `Simplex } in
   let cfg =
@@ -600,6 +679,11 @@ let () =
             test_resume_supervised_batch;
           Alcotest.test_case "foreign checkpoint rejected" `Quick
             test_resume_rejects_foreign_checkpoint ] );
+      ( "preflight",
+        [ Alcotest.test_case "lint failure quarantined without a fork" `Quick
+            test_preflight_quarantines_lint_failure;
+          Alcotest.test_case "gate can be disabled" `Quick
+            test_preflight_can_be_disabled ] );
       ( "differential",
         [ Alcotest.test_case "counterpart independence" `Quick
             test_differential_counterpart_is_independent;
