@@ -26,7 +26,9 @@
     - {!Lint}, {!Audit}, {!Sarif}, {!Lint_report} — the static analyzer and
       flow-certificate auditor ([minflo_lint]);
     - {!Job}, {!Checkpoint}, {!Journal}, {!Supervisor}, {!Differential},
-      {!Batch} — the crash-safe batch runner ([minflo_runner]). *)
+      {!Batch} — the crash-safe batch runner ([minflo_runner]);
+    - {!Fingerprint}, {!Gen_mut}, {!Oracle}, {!Shrink}, {!Corpus},
+      {!Campaign} — the differential fuzzing harness ([minflo_fuzz]). *)
 
 (* util *)
 module Vec = Minflo_util.Vec
@@ -132,3 +134,13 @@ module Journal = Minflo_runner.Journal
 module Supervisor = Minflo_runner.Supervisor
 module Differential = Minflo_runner.Differential
 module Batch = Minflo_runner.Batch
+
+(* differential fuzzing harness: seeded campaigns, failure fingerprints,
+   delta-debugging shrinker, deterministic replay corpus *)
+module Mutate = Minflo_netlist.Mutate
+module Fingerprint = Minflo_fuzz.Fingerprint
+module Gen_mut = Minflo_fuzz.Gen_mut
+module Oracle = Minflo_fuzz.Oracle
+module Shrink = Minflo_fuzz.Shrink
+module Corpus = Minflo_fuzz.Corpus
+module Campaign = Minflo_fuzz.Campaign

@@ -1,0 +1,53 @@
+(** On-disk minimal reproducers.
+
+    A repro file is everything [minflo replay] needs to re-run a failure
+    bit-deterministically: the fingerprint it must reproduce, the campaign
+    case seed it came from (provenance only — the netlist itself is
+    stored, not re-generated), the full oracle configuration (floats in
+    the checkpoint's bit-exact spelling), and the shrunk netlist as
+    canonical [.bench] text. The format is line-oriented and versioned:
+
+    {v
+    minflo-repro 1
+    fingerprint engine/fault-injected/dphase.simplex
+    seed 1042
+    target-factor 0x1.3333333333333p-1
+    dw-iterations 12
+    budget-iterations 4000
+    budget-pivots 2000000
+    solvers simplex ssp
+    differential true
+    tolerance 0x1.47ae147ae147bp-6
+    fault-site dphase.simplex
+    fault-seed 0
+    netlist 9
+    # fz_...
+    ...8 more .bench lines...
+    end
+    v}
+
+    Writes are atomic (tmp + rename), like checkpoints. *)
+
+type repro = {
+  fingerprint : Fingerprint.t;
+  seed : int;                  (** campaign case seed (provenance). *)
+  config : Oracle.config;
+  netlist : Minflo_netlist.Netlist.t;
+}
+
+val file_name : repro -> string
+(** ["<fingerprint-slug>-<seed>.repro"] — stable, collision-free within a
+    campaign (one repro per fresh fingerprint). *)
+
+val save : dir:string -> repro -> (string, Minflo_robust.Diag.error) result
+(** Writes atomically under [dir] (created if missing) and returns the
+    full path. *)
+
+val load : string -> (repro, Minflo_robust.Diag.error) result
+(** Typed failures: [Io_error] on unreadable files,
+    [Checkpoint_invalid] on bad magic/version/fields, [Parse_error] on a
+    corrupt embedded netlist. *)
+
+val list : string -> string list
+(** The [.repro] files under a directory, sorted; [] if the directory does
+    not exist. *)

@@ -1,0 +1,54 @@
+module Diag = Minflo_robust.Diag
+
+type t = {
+  phase : string;
+  code : string;
+  detail : string;
+}
+
+let make ?(detail = "") ~phase ~code () = { phase; code; detail }
+
+(* the discriminating stable field of each error kind; numeric payloads
+   (areas, counts, line numbers) are deliberately dropped — they vary
+   between a failure and its shrunk reproducer *)
+let detail_of_error = function
+  | Diag.Lint_error { rule; _ } -> rule
+  | Diag.Invariant { what; _ } -> what
+  | Diag.Fault_injected { site } -> site
+  | Diag.Solver_diverged { solver; _ } -> solver
+  | Diag.Differential_mismatch { solver_a; solver_b; _ } ->
+    solver_a ^ "-" ^ solver_b
+  | Diag.Budget_exhausted { resource; _ } -> resource
+  | Diag.Numeric { what; _ } -> what
+  | _ -> ""
+
+let of_error ~phase e =
+  { phase; code = Diag.error_code e; detail = detail_of_error e }
+
+let equal a b = a.phase = b.phase && a.code = b.code && a.detail = b.detail
+
+let compare a b =
+  match String.compare a.phase b.phase with
+  | 0 -> (
+    match String.compare a.code b.code with
+    | 0 -> String.compare a.detail b.detail
+    | c -> c)
+  | c -> c
+
+let to_string t =
+  if t.detail = "" then Printf.sprintf "%s/%s" t.phase t.code
+  else Printf.sprintf "%s/%s/%s" t.phase t.code t.detail
+
+let of_string s =
+  match String.split_on_char '/' s with
+  | phase :: code :: rest when phase <> "" && code <> "" ->
+    Some { phase; code; detail = String.concat "/" rest }
+  | _ -> None
+
+let slug t =
+  String.map
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '-')
+    (to_string t)

@@ -1,0 +1,79 @@
+module Rng = Minflo_util.Rng
+module Netlist = Minflo_netlist.Netlist
+module Raw = Minflo_netlist.Raw
+module Gate = Minflo_netlist.Gate
+module Mutate = Minflo_netlist.Mutate
+module Generators = Minflo_netlist.Generators
+
+type profile = {
+  max_gates : int;
+  max_inputs : int;
+  max_outputs : int;
+  mutation_rounds : int;
+}
+
+let default_profile =
+  { max_gates = 40; max_inputs = 8; max_outputs = 5; mutation_rounds = 4 }
+
+(* boundary shapes are hand-built raw netlists; a failure to elaborate one
+   is a bug in this module, not a finding *)
+let build ~name ~inputs ~outputs ~gates =
+  let sig_list = List.map (fun n -> (n, Raw.no_loc)) in
+  let raw =
+    { Raw.file = None;
+      circuit = name;
+      inputs = sig_list inputs;
+      outputs = sig_list outputs;
+      gates }
+  in
+  match Raw.elaborate raw with
+  | Ok nl -> nl
+  | Error e -> Minflo_robust.Diag.fail e
+
+let decl name kind fanins =
+  { Raw.g_name = name; g_kind = kind; g_fanins = fanins; g_loc = Raw.no_loc }
+
+let single_gate () =
+  build ~name:"fz_single" ~inputs:[ "a"; "b" ] ~outputs:[ "g" ]
+    ~gates:[ decl "g" Gate.Nand [ "a"; "b" ] ]
+
+let bare_wire () =
+  build ~name:"fz_wire" ~inputs:[ "a" ] ~outputs:[ "g" ]
+    ~gates:[ decl "g" Gate.Buf [ "a" ] ]
+
+let inverter_chain rng =
+  let depth = 48 + Rng.int rng 100 in
+  let name i = Printf.sprintf "n%d" i in
+  let gates =
+    List.init depth (fun i ->
+        decl (name i) Gate.Not [ (if i = 0 then "a" else name (i - 1)) ])
+  in
+  build ~name:"fz_chain" ~inputs:[ "a" ] ~outputs:[ name (depth - 1) ] ~gates
+
+let wide_gate rng =
+  let width = 8 + Rng.int rng 24 in
+  let ins = List.init width (Printf.sprintf "i%d") in
+  build ~name:"fz_wide" ~inputs:ins ~outputs:[ "g" ]
+    ~gates:[ decl "g" Gate.And ins ]
+
+let boundary rng =
+  match Rng.int rng 4 with
+  | 0 -> single_gate ()
+  | 1 -> bare_wire ()
+  | 2 -> inverter_chain rng
+  | _ -> wide_gate rng
+
+let random_case rng profile =
+  let gates = 3 + Rng.int rng (max 1 (profile.max_gates - 2)) in
+  let inputs = 2 + Rng.int rng (max 1 (profile.max_inputs - 1)) in
+  let outputs = 1 + Rng.int rng (max 1 profile.max_outputs) in
+  let dag_seed = Rng.int rng 1000000007 in
+  let nl = Generators.random_dag ~gates ~inputs ~outputs ~seed:dag_seed () in
+  let rounds = Rng.int rng (profile.mutation_rounds + 1) in
+  if rounds = 0 then nl
+  else Mutate.mutate ~seed:(Rng.int rng 1000000007) ~rounds nl
+
+let case ?(profile = default_profile) ~seed () =
+  let rng = Rng.create seed in
+  (* one case in eight is a boundary shape *)
+  if Rng.int rng 8 = 0 then boundary rng else random_case rng profile

@@ -1,0 +1,29 @@
+(** Fuzz-case generation: random netlists plus structural mutation.
+
+    A case is a valid netlist derived deterministically from a single
+    integer seed: mostly {!Minflo_netlist.Generators.random_dag} instances
+    pushed through a few rounds of {!Minflo_netlist.Mutate} (gate splices,
+    kind swaps, reconvergent rewires, fanin widening, deep inverter
+    chains), with a fraction of hand-built boundary shapes the parametric
+    generator never emits — a single gate, a bare wire, a long inverter
+    chain, one enormously wide gate — mixed in at a fixed cadence so every
+    campaign exercises them.
+
+    Cases are {e valid} by construction (they elaborate and pass
+    [Netlist.validate]); the point of the harness is to find bugs in the
+    analysis and sizing stack, not to re-test the parser's rejection paths
+    (the linter and parser have their own negative tests). *)
+
+type profile = {
+  max_gates : int;       (** upper bound on random-DAG gate count. *)
+  max_inputs : int;
+  max_outputs : int;
+  mutation_rounds : int; (** max mutation rounds applied per case. *)
+}
+
+val default_profile : profile
+(** 40 gates, 8 inputs, 5 outputs, 4 mutation rounds — small enough that a
+    full sizing run per case keeps a 200-iteration campaign fast. *)
+
+val case : ?profile:profile -> seed:int -> unit -> Minflo_netlist.Netlist.t
+(** The case for [seed]. Equal seeds give identical netlists. *)

@@ -1,0 +1,363 @@
+module Diag = Minflo_robust.Diag
+module Budget = Minflo_robust.Budget
+module Check = Minflo_robust.Check
+module Fault = Minflo_robust.Fault
+module Netlist = Minflo_netlist.Netlist
+module Raw = Minflo_netlist.Raw
+module Bench_format = Minflo_netlist.Bench_format
+module Tech = Minflo_tech.Tech
+module Elmore = Minflo_tech.Elmore
+module Delay_model = Minflo_tech.Delay_model
+module Sta = Minflo_timing.Sta
+module Dphase = Minflo_sizing.Dphase
+module Minflotransit = Minflo_sizing.Minflotransit
+module Sweep = Minflo_sizing.Sweep
+module Mcf = Minflo_flow.Mcf
+module Network_simplex = Minflo_flow.Network_simplex
+module Ssp = Minflo_flow.Ssp
+module Cost_scaling = Minflo_flow.Cost_scaling
+module Lint = Minflo_lint.Lint
+module Audit = Minflo_lint.Audit
+module Rule = Minflo_lint.Rule
+module Job = Minflo_runner.Job
+
+type config = {
+  target_factor : float;
+  dw_iterations : int;
+  budget_iterations : int;
+  budget_pivots : int;
+  solvers : Job.solver list;
+  differential : bool;
+  tolerance : float;
+  fault_site : string option;
+  fault_seed : int;
+}
+
+let default_config =
+  { target_factor = 0.6;
+    dw_iterations = 12;
+    budget_iterations = 4000;
+    budget_pivots = 2_000_000;
+    solvers = [ `Simplex; `Ssp ];
+    differential = true;
+    tolerance = 0.02;
+    fault_site = None;
+    fault_seed = 0 }
+
+type failure = {
+  fingerprint : Fingerprint.t;
+  info : string;
+}
+
+type outcome = {
+  failures : failure list;
+  gates : int;
+  met : bool;
+  area : float;
+}
+
+let fingerprints o =
+  List.fold_left
+    (fun acc f ->
+      if List.exists (Fingerprint.equal f.fingerprint) acc then acc
+      else f.fingerprint :: acc)
+    [] o.failures
+  |> List.rev
+
+(* ---------- failure accumulation ---------- *)
+
+type sink = failure list ref
+
+let flag (sink : sink) fingerprint fmt =
+  Printf.ksprintf (fun info -> sink := { fingerprint; info } :: !sink) fmt
+
+let flag_error sink ~phase e =
+  flag sink (Fingerprint.of_error ~phase e) "%s" (Diag.to_string e)
+
+(* every stage runs under this guard: a raise is itself a finding, and can
+   never take the oracle (or the campaign driver) down *)
+let guard sink ~phase body =
+  match body () with
+  | v -> Some v
+  | exception Diag.Error_exn e ->
+    flag_error sink ~phase e;
+    None
+  | exception exn ->
+    flag sink
+      (Fingerprint.make ~phase ~code:"crash" ~detail:(Printexc.to_string exn)
+         ())
+      "uncaught exception: %s" (Printexc.to_string exn);
+    None
+
+(* ---------- fault plumbing ---------- *)
+
+let is_engine_site s = not (String.length s >= 6 && String.sub s 0 6 = "audit.")
+
+(* make sure the leg list actually visits the faulted site *)
+let effective_solvers cfg =
+  let need =
+    match cfg.fault_site with
+    | Some "dphase.simplex" -> Some `Simplex
+    | Some "dphase.ssp" -> Some `Ssp
+    | Some "dphase.bellman-ford" -> Some `Bellman_ford
+    | _ -> None
+  in
+  match need with
+  | Some s when not (List.mem s cfg.solvers) -> cfg.solvers @ [ s ]
+  | _ -> cfg.solvers
+
+let make_plan cfg =
+  match cfg.fault_site with
+  | None -> None
+  | Some site ->
+    let plan = Fault.create ~seed:cfg.fault_seed () in
+    let action =
+      if is_engine_site site then Fault.Fail (Diag.Fault_injected { site })
+      else Fault.Perturb 1.0
+    in
+    Fault.arm plan ~site action;
+    Some plan
+
+(* ---------- stages ---------- *)
+
+let roundtrip_stage sink nl =
+  ignore
+    (guard sink ~phase:"parse" (fun () ->
+         match Bench_format.parse_string (Bench_format.to_string nl) with
+         | Error e -> flag_error sink ~phase:"parse" e
+         | Ok nl' ->
+           if
+             Netlist.gate_count nl' <> Netlist.gate_count nl
+             || Netlist.input_count nl' <> Netlist.input_count nl
+             || List.length (Netlist.outputs nl')
+                <> List.length (Netlist.outputs nl)
+           then
+             flag sink
+               (Fingerprint.make ~phase:"parse" ~code:"roundtrip-mismatch" ())
+               "print/reparse changed shape: %d/%d/%d -> %d/%d/%d"
+               (Netlist.gate_count nl) (Netlist.input_count nl)
+               (List.length (Netlist.outputs nl))
+               (Netlist.gate_count nl') (Netlist.input_count nl')
+               (List.length (Netlist.outputs nl'))))
+
+let lint_stage sink nl =
+  ignore
+    (guard sink ~phase:"lint" (fun () ->
+         (* tech coverage (MF008) is off: mutated cases legally exceed the
+            stack bound; structural errors are the generator contract *)
+         let config = { Lint.fanout_bound = None; tech = None } in
+         Lint.check ~config (Raw.of_netlist nl)
+         |> List.iter (fun (f : Minflo_lint.Finding.t) ->
+                if f.rule.Rule.severity = Rule.Error then
+                  flag sink
+                    (Fingerprint.make ~phase:"lint" ~code:f.rule.Rule.id ())
+                    "%s" f.message)))
+
+type leg = {
+  leg_solver : Job.solver;
+  leg_result : Minflotransit.result;
+}
+
+let engine_leg sink cfg ?fault model ~target solver =
+  guard sink ~phase:"engine" (fun () ->
+      let checks = Check.create () in
+      let options =
+        { Minflotransit.default_options with
+          solver;
+          max_iterations = cfg.dw_iterations;
+          limits =
+            Budget.limits ~max_iterations:cfg.budget_iterations
+              ~max_pivots:cfg.budget_pivots () }
+      in
+      let result = Minflotransit.optimize ~options ?fault ~checks model ~target in
+      List.iter
+        (fun (f : Check.finding) ->
+          flag sink
+            (Fingerprint.make ~phase:"check" ~code:"invariant" ~detail:f.name
+               ())
+            "[%s] %s: %s" (Job.solver_name solver) f.name f.detail)
+        (Check.failures checks);
+      (* the result itself must be sane regardless of how the run ended *)
+      let n = Array.length result.Minflotransit.sizes in
+      let bad_size = ref None in
+      Array.iteri
+        (fun i x ->
+          if !bad_size = None
+             && (not (Float.is_finite x)
+                || x < model.Delay_model.min_size *. (1. -. 1e-9)
+                || x > model.Delay_model.max_size *. (1. +. 1e-9))
+          then bad_size := Some (i, x))
+        result.sizes;
+      (match !bad_size with
+      | Some (i, x) ->
+        flag sink
+          (Fingerprint.make ~phase:"engine" ~code:"invariant"
+             ~detail:"sizes-bounds" ())
+          "[%s] size %d out of bounds: %g" (Job.solver_name solver) i x
+      | None ->
+        let area = Delay_model.area model result.sizes in
+        let rel = abs_float (area -. result.area) /. Float.max 1e-12 area in
+        if rel > 1e-6 then
+          flag sink
+            (Fingerprint.make ~phase:"engine" ~code:"invariant"
+               ~detail:"area-mismatch" ())
+            "[%s] reported area %.17g but sizes give %.17g"
+            (Job.solver_name solver) result.area area;
+        if result.met && n > 0 then begin
+          let delays = Delay_model.delays model result.sizes in
+          let cp = Sta.critical_path_only model ~delays in
+          if cp > target *. (1. +. 1e-9) then
+            flag sink
+              (Fingerprint.make ~phase:"engine" ~code:"invariant"
+                 ~detail:"met-but-late" ())
+              "[%s] met=true but cp %.17g > target %.17g"
+              (Job.solver_name solver) cp target
+        end);
+      { leg_solver = solver; leg_result = result })
+
+let engine_differential sink cfg legs =
+  match legs with
+  | ({ leg_result = a; leg_solver = sa } as _la) :: rest ->
+    List.iter
+      (fun { leg_result = b; leg_solver = sb } ->
+        if
+          a.Minflotransit.met && b.Minflotransit.met
+          && (not a.budget_exhausted) && not b.budget_exhausted
+        then begin
+          let gap =
+            abs_float (a.area -. b.area)
+            /. Float.max 1e-12 (Float.max a.area b.area)
+          in
+          if gap > cfg.tolerance then
+            flag sink
+              (Fingerprint.make ~phase:"differential"
+                 ~code:"differential-mismatch"
+                 ~detail:(Job.solver_name sa ^ "-" ^ Job.solver_name sb)
+                 ())
+              "final areas diverge: %s=%.17g %s=%.17g (gap %.3g > %.3g)"
+              (Job.solver_name sa) a.area (Job.solver_name sb) b.area gap
+              cfg.tolerance
+        end)
+      rest
+  | [] -> ()
+
+(* LP-level differential: the displacement problem at the TILOS seed,
+   solved by all three independent MCF solvers, objectives compared
+   exactly, each certificate independently audited. This is also where the
+   audit.* fault sites corrupt a certificate (mirroring the CLI's
+   audit-cert --inject-fault). *)
+let lp_differential sink cfg ?fault model ~target (tilos : Minflo_sizing.Tilos.result) =
+  ignore
+    (guard sink ~phase:"audit" (fun () ->
+         let delays = Delay_model.delays model tilos.sizes in
+         match
+           Dphase.displacement_problem model ~sizes:tilos.sizes ~delays
+             ~deadline:target
+         with
+         | Error e -> flag_error sink ~phase:"audit" e
+         | Ok problem ->
+           let solve_with name solve =
+             let budget = Budget.start (Budget.limits ~max_pivots:cfg.budget_pivots ()) in
+             (name, solve ?budget:(Some budget) problem)
+           in
+           let sols =
+             [ solve_with "simplex" Network_simplex.solve;
+               solve_with "ssp" Ssp.solve;
+               solve_with "cost-scaling" Cost_scaling.solve ]
+           in
+           (* objectives of exact optimal solutions agree exactly *)
+           (match
+              List.filter (fun (_, s) -> s.Mcf.status = Mcf.Optimal) sols
+            with
+           | (na, sa) :: rest ->
+             List.iter
+               (fun (nb, sb) ->
+                 if sb.Mcf.objective <> sa.Mcf.objective then
+                   flag sink
+                     (Fingerprint.make ~phase:"differential"
+                        ~code:"differential-mismatch"
+                        ~detail:("lp-" ^ na ^ "-" ^ nb) ())
+                     "LP objectives diverge: %s=%d %s=%d" na sa.Mcf.objective
+                     nb sb.Mcf.objective)
+               rest
+           | [] -> ());
+           List.iter
+             (fun (tag, sol) ->
+               if sol.Mcf.status <> Mcf.Aborted then begin
+                 (* audit.* fault sites corrupt the certificate pre-audit *)
+                 (match fault with
+                 | Some plan -> (
+                   match Fault.fire plan ~site:("audit." ^ tag) with
+                   | Some (Fault.Perturb _) | Some (Fault.Fail _) ->
+                     if Array.length sol.Mcf.flow > 0 then
+                       sol.Mcf.flow.(0) <- sol.Mcf.flow.(0) + 1
+                   | None -> ())
+                 | None -> ());
+                 Audit.check problem sol
+                 |> List.iter (fun (f : Minflo_lint.Finding.t) ->
+                        flag sink
+                          (Fingerprint.make ~phase:"audit"
+                             ~code:f.rule.Rule.id ~detail:tag ())
+                          "[%s] %s" tag f.message)
+               end)
+             sols))
+
+let fired_stage sink fault =
+  match fault with
+  | None -> ()
+  | Some plan ->
+    List.iter
+      (fun site ->
+        let n = Fault.fired plan ~site in
+        if n > 0 then
+          flag sink
+            (Fingerprint.make
+               ~phase:(if is_engine_site site then "engine" else "audit")
+               ~code:"fault-injected" ~detail:site ())
+            "armed fault at %s fired %d time(s)" site n)
+      (Fault.sites plan)
+
+(* ---------- the oracle ---------- *)
+
+let run cfg nl =
+  let sink : sink = ref [] in
+  let gates = Netlist.gate_count nl in
+  roundtrip_stage sink nl;
+  lint_stage sink nl;
+  let met, area =
+    match
+      guard sink ~phase:"model" (fun () ->
+          let model = Elmore.of_netlist Tech.default_130nm nl in
+          Delay_model.validate model;
+          let dmin = Sweep.dmin model in
+          (model, cfg.target_factor *. dmin))
+    with
+    | None -> (false, nan)
+    | Some (model, target) ->
+      let fault = make_plan cfg in
+      let legs =
+        List.filter_map
+          (fun s -> engine_leg sink cfg ?fault model ~target s)
+          (effective_solvers cfg)
+      in
+      (* an engine-site fault deliberately skews one leg; differential
+         comparison is only meaningful on clean runs *)
+      let engine_faulted =
+        match cfg.fault_site with
+        | Some s -> is_engine_site s
+        | None -> false
+      in
+      if not engine_faulted then engine_differential sink cfg legs;
+      (if cfg.differential then
+         match legs with
+         | { leg_result; _ } :: _ when leg_result.Minflotransit.tilos.met ->
+           lp_differential sink cfg ?fault model ~target
+             leg_result.Minflotransit.tilos
+         | _ -> ());
+      fired_stage sink fault;
+      (match legs with
+      | { leg_result; _ } :: _ ->
+        (leg_result.Minflotransit.met, leg_result.Minflotransit.area)
+      | [] -> (false, nan))
+  in
+  { failures = List.rev !sink; gates; met; area }

@@ -7,6 +7,13 @@ exception Located of int * int * string
 let fail line col fmt =
   Printf.ksprintf (fun message -> raise (Located (line, col, message))) fmt
 
+(* reject pathologically long names before they travel any further *)
+let check_token line col s =
+  if String.length s > Raw.max_token_length then
+    fail line col "token of %d bytes exceeds the %d-byte limit"
+      (String.length s) Raw.max_token_length;
+  s
+
 type statement =
   | St_input of string
   | St_output of string
@@ -36,7 +43,8 @@ let parse_call line col s =
       if tail <> "" then fail line col "trailing characters %S" tail;
       let parts = String.split_on_char ',' args |> List.map strip in
       let parts = List.filter (fun p -> p <> "") parts in
-      (fname, parts))
+      (check_token line col fname,
+       List.map (fun p -> check_token line col p) parts))
 
 let parse_line lineno raw =
   let s =
@@ -59,6 +67,7 @@ let parse_line lineno raw =
       let lhs = strip (String.sub s 0 i) in
       let rhs = strip (String.sub s (i + 1) (String.length s - i - 1)) in
       if lhs = "" then fail lineno col "empty gate name";
+      let lhs = check_token lineno col lhs in
       let fname, args = parse_call lineno col rhs in
       (match Gate.of_string fname with
       | Some k -> Some (loc, St_gate (lhs, k, args))

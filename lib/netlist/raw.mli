@@ -38,6 +38,12 @@ type t = {
   gates : gate_decl list;
 }
 
+val max_token_length : int
+(** Longest name/identifier either parser accepts (1024 bytes). Longer
+    tokens — fuzz inputs, corrupted files — are rejected with a located
+    [Parse_error] (an MF000 finding through the linter) at the point of
+    lexing, before they can reach elaboration or a report. *)
+
 val of_netlist : Netlist.t -> t
 (** View an in-memory netlist as a raw netlist (locations unknown). Lets
     the linter run on generated circuits. *)

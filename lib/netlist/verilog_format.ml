@@ -66,12 +66,18 @@ let tokenize text : ltoken list =
       while !i < n && text.[!i] <> ' ' && text.[!i] <> '\t' && text.[!i] <> '\n' do
         incr i
       done;
+      if !i - start > Raw.max_token_length then
+        fail_at loc "token of %d bytes exceeds the %d-byte limit" (!i - start)
+          Raw.max_token_length;
       tokens := (Ident (String.sub text start (!i - start)), loc) :: !tokens
     end
     else if is_ident_char c then begin
       let loc = here () in
       let start = !i in
       while !i < n && is_ident_char text.[!i] do incr i done;
+      if !i - start > Raw.max_token_length then
+        fail_at loc "token of %d bytes exceeds the %d-byte limit" (!i - start)
+          Raw.max_token_length;
       tokens := (Ident (String.sub text start (!i - start)), loc) :: !tokens
     end
     else if c = '(' || c = ')' || c = ',' || c = ';' then begin

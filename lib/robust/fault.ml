@@ -35,3 +35,19 @@ let fired t ~site =
 
 let sites t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+
+(* The catalog of every instrumented site in the tree. Each entry names a
+   [fire] call somewhere in the engine or the audit pipeline; the fuzz
+   campaign sweeps this list and the reachability of every entry is
+   asserted by the test-suite, so a renamed or removed call site fails a
+   test instead of silently orphaning the catalog. *)
+let all_points =
+  [ "audit.cost-scaling";
+    "audit.simplex";
+    "audit.ssp";
+    "dphase.bellman-ford";
+    "dphase.simplex";
+    "dphase.ssp";
+    "wphase" ]
+
+let is_known_point site = List.mem site all_points

@@ -36,3 +36,15 @@ val fired : t -> site:string -> int
 
 val sites : t -> string list
 (** Armed sites, sorted. *)
+
+val all_points : string list
+(** The catalog of every instrumented injection site in the tree, sorted:
+    the D-phase solver rungs (["dphase.simplex"], ["dphase.ssp"],
+    ["dphase.bellman-ford"]), the W-phase (["wphase"]), and the
+    certificate-audit corruption points (["audit.simplex"], ["audit.ssp"],
+    ["audit.cost-scaling"]). [minflo fuzz --list-faults] prints it, the
+    CLI validates every [--inject-fault] argument against it, and the fuzz
+    campaign sweeps it. *)
+
+val is_known_point : string -> bool
+(** Membership in {!all_points}. *)

@@ -40,8 +40,19 @@ let hash_netlist nl = fnv1a64 (Bench_format.to_string nl)
 (* ---------- rendering ---------- *)
 
 (* %h renders floats as C99 hex literals: bit-exact through
-   float_of_string, which is what makes resume bit-identical. *)
-let hex_float f = Printf.sprintf "%h" f
+   float_of_string, which is what makes resume bit-identical. The one gap
+   is nan: %h collapses every nan to the three bytes "nan", losing sign
+   and payload, so nans are spelled "nan:<bits>" and parsed back
+   bit-for-bit. Infinities round-trip through %h as written. *)
+let hex_float f =
+  if Float.is_nan f then Printf.sprintf "nan:%016Lx" (Int64.bits_of_float f)
+  else Printf.sprintf "%h" f
+
+let parse_hex_float s =
+  if String.length s > 4 && String.sub s 0 4 = "nan:" then
+    Option.map Int64.float_of_bits
+      (Int64.of_string_opt ("0x" ^ String.sub s 4 (String.length s - 4)))
+  else float_of_string_opt s
 
 let render ck =
   let b = Buffer.create 1024 in
@@ -142,7 +153,7 @@ let load path =
       | None -> invalid path (Printf.sprintf "field %S is not %s: %S" k kind v)
     in
     let int_field = num "an integer" int_of_string_opt in
-    let float_field = num "a float" float_of_string_opt in
+    let float_field = num "a float" parse_hex_float in
     let floats_field k =
       let* v = field k in
       match String.split_on_char ' ' v |> List.filter (fun s -> s <> "") with
@@ -151,7 +162,7 @@ let load path =
         match int_of_string_opt n with
         | None -> invalid path (Printf.sprintf "field %S has no length" k)
         | Some n ->
-          let parsed = List.filter_map float_of_string_opt xs in
+          let parsed = List.filter_map parse_hex_float xs in
           if List.length parsed <> n || List.length xs <> n then
             invalid path
               (Printf.sprintf "field %S: expected %d values" k n)

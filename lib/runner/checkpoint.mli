@@ -37,6 +37,16 @@ val hash_netlist : Minflo_netlist.Netlist.t -> int64
 (** FNV-1a over the canonical [.bench] rendering: stable across processes
     and builds, sensitive to any structural change. *)
 
+val hex_float : float -> string
+(** Bit-exact float spelling: C99 hex ([%h]) for finite values and
+    infinities, ["nan:<16 hex digits>"] for nans (whose sign and payload
+    [%h] would collapse to the three bytes ["nan"]). Inverse of
+    {!parse_hex_float}. Also used by the fuzz corpus format. *)
+
+val parse_hex_float : string -> float option
+(** Reads everything {!hex_float} writes (plus ordinary decimal floats);
+    the round trip is bit-identical, nan payloads included. *)
+
 val save : string -> t -> (unit, Minflo_robust.Diag.error) result
 (** [save path ck] atomically replaces [path]. [Io_error] on failure. *)
 

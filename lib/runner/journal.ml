@@ -39,8 +39,22 @@ let field_bool k v = (k, string_of_bool v)
 let open_append path =
   try
     let fd =
-      Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+      Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644
     in
+    (* A crash mid-write can leave the file without a final newline. If we
+       appended straight after such a torn line, the next event would glue
+       onto it and the scanner would drop both (worse, [find_field] would
+       read the torn line's fields). Terminate the torn line first; the
+       scanner already skips lines without a closing brace. *)
+    (try
+       let len = Unix.lseek fd 0 Unix.SEEK_END in
+       if len > 0 then begin
+         ignore (Unix.lseek fd (len - 1) Unix.SEEK_SET);
+         let b = Bytes.create 1 in
+         if Unix.read fd b 0 1 = 1 && Bytes.get b 0 <> '\n' then
+           ignore (Unix.write_substring fd "\n" 0 1)
+       end
+     with Unix.Unix_error _ -> ());
     Ok
       { path; oc = Unix.out_channel_of_descr fd; fd; t0 = Mono.now (); seq = 0 }
   with Unix.Unix_error (e, _, _) ->

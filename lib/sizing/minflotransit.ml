@@ -192,12 +192,17 @@ let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
                     (let bad = ref None in
                      Array.iteri
                        (fun i d ->
-                         if d > dres.budgets.(i) +. 1e-6 && !bad = None then
+                         let b = dres.budgets.(i) in
+                         (* tolerance must scale with the budget: delays
+                            run ~1e5 in ps-like units, where a bare 1e-6
+                            absolute slack is below float rounding *)
+                         if d > b +. 1e-6 +. 1e-9 *. Float.abs b
+                            && !bad = None
+                         then
                            bad :=
                              Some
                                (Printf.sprintf
-                                  "vertex %d delay %g exceeds budget %g" i d
-                                  dres.budgets.(i)))
+                                  "vertex %d delay %g exceeds budget %g" i d b))
                        delays';
                      match !bad with Some d -> Error d | None -> Ok ())
                 | None -> ());

@@ -155,6 +155,87 @@ let test_bench_errors () =
   (* cyclic definition *)
   expect_error "INPUT(a)\nOUTPUT(y)\ny = NAND(a, z)\nz = NAND(a, y)\n"
 
+let deep_chain_bench n =
+  let b = Buffer.create (n * 16) in
+  Buffer.add_string b "INPUT(x0)\n";
+  Buffer.add_string b (Printf.sprintf "OUTPUT(x%d)\n" n);
+  for i = 1 to n do
+    Buffer.add_string b (Printf.sprintf "x%d = NOT(x%d)\n" i (i - 1))
+  done;
+  Buffer.contents b
+
+let test_bench_deep_chain () =
+  (* elaboration is iterative: a 20k-deep inverter chain must not blow
+     the stack (the old recursive resolver overflowed near ~10k) *)
+  List.iter
+    (fun n ->
+      match Bench.parse_string (deep_chain_bench n) with
+      | Ok nl ->
+        check int (Printf.sprintf "%d gates" n) n (Netlist.gate_count nl);
+        check int (Printf.sprintf "depth %d" n) n (Netlist.depth nl)
+      | Error e ->
+        Alcotest.failf "depth %d rejected: %s" n
+          (Minflo_robust.Diag.to_string e))
+    [ 10_000; 20_000 ]
+
+let test_bench_token_cap () =
+  (* a pathological token (name longer than Raw.max_token_length) is a
+     parse error with a line number, not memory exhaustion or a crash *)
+  let cap = Minflo_netlist.Raw.max_token_length in
+  let huge = String.make (cap + 1) 'a' in
+  let expect_error text =
+    match Bench.parse_string text with
+    | Error (Minflo_robust.Diag.Parse_error { line; _ }) ->
+      check bool "line number is positive" true (line >= 1)
+    | Error e ->
+      Alcotest.fail
+        ("expected Parse_error, got " ^ Minflo_robust.Diag.to_string e)
+    | Ok _ -> Alcotest.fail "oversized token accepted"
+  in
+  expect_error (Printf.sprintf "INPUT(%s)\nOUTPUT(y)\ny = NOT(%s)\n" huge huge);
+  expect_error (Printf.sprintf "INPUT(a)\nOUTPUT(%s)\n%s = NOT(a)\n" huge huge);
+  (* a name exactly at the cap is fine *)
+  let edge = String.make cap 'a' in
+  (match
+     Bench.parse_string
+       (Printf.sprintf "INPUT(%s)\nOUTPUT(y)\ny = NOT(%s)\n" edge edge)
+   with
+  | Ok nl -> check int "cap-length name accepted" 1 (Netlist.gate_count nl)
+  | Error e ->
+    Alcotest.failf "cap-length name rejected: %s"
+      (Minflo_robust.Diag.to_string e))
+
+let test_verilog_deep_and_token_cap () =
+  let n = 10_000 in
+  let b = Buffer.create (n * 24) in
+  Buffer.add_string b "module chain(x0, y);\n  input x0;\n  output y;\n";
+  for i = 1 to n do
+    Buffer.add_string b (Printf.sprintf "  wire x%d;\n" i)
+  done;
+  for i = 1 to n do
+    Buffer.add_string b
+      (Printf.sprintf "  not g%d(x%d, x%d);\n" i i (i - 1))
+  done;
+  Buffer.add_string b (Printf.sprintf "  buf gy(y, x%d);\nendmodule\n" n);
+  (match Minflo_netlist.Verilog_format.parse_string (Buffer.contents b) with
+  | Ok nl ->
+    check bool "10k-deep verilog chain parses" true
+      (Netlist.gate_count nl >= n)
+  | Error e ->
+    Alcotest.failf "deep verilog rejected: %s" (Minflo_robust.Diag.to_string e));
+  let huge = String.make (Minflo_netlist.Raw.max_token_length + 1) 'z' in
+  match
+    Minflo_netlist.Verilog_format.parse_string
+      (Printf.sprintf
+         "module m(a, y);\n  input a;\n  output y;\n  wire %s;\n  not g1(%s, a);\n  buf g2(y, %s);\nendmodule\n"
+         huge huge huge)
+  with
+  | Error (Minflo_robust.Diag.Parse_error _) -> ()
+  | Error e ->
+    Alcotest.failf "expected Parse_error, got %s"
+      (Minflo_robust.Diag.to_string e)
+  | Ok _ -> Alcotest.fail "oversized verilog token accepted"
+
 let test_bench_roundtrip_suite () =
   (* writer/parser agree structurally on a large generated circuit *)
   let nl = Gen.alu ~width:4 () in
@@ -543,7 +624,11 @@ let () =
           tc "roundtrip c17" `Quick test_bench_roundtrip;
           tc "roundtrip alu" `Quick test_bench_roundtrip_suite;
           tc "print stability" `Quick test_bench_print_stability;
-          tc "errors" `Quick test_bench_errors ] );
+          tc "errors" `Quick test_bench_errors;
+          tc "deep chains elaborate iteratively" `Quick test_bench_deep_chain;
+          tc "token length capped" `Quick test_bench_token_cap;
+          tc "verilog deep chain and token cap" `Quick
+            test_verilog_deep_and_token_cap ] );
       ( "generators",
         [ QCheck_alcotest.to_alcotest prop_adder_compact;
           QCheck_alcotest.to_alcotest prop_adder_nand;

@@ -247,6 +247,91 @@ let test_journal_completed_scan () =
     (Hashtbl.length (Journal.completed (Filename.concat dir "nope.jsonl")));
   rm_rf dir
 
+let test_journal_torn_line_recovery () =
+  let dir = fresh_dir "journal-torn" in
+  let path = Filename.concat dir "journal.jsonl" in
+  (match Journal.open_append path with
+  | Error e -> Alcotest.failf "open: %s" (Diag.to_string e)
+  | Ok j ->
+    Journal.event j ~job:"a@0.500/simplex"
+      ~fields:[ Journal.field_float "area" 1.0 ] "job-ok";
+    Journal.close j);
+  (* crash mid-append: the final line has no terminating newline *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"event\": \"job-ok\", \"job\": \"torn@0.5";
+  close_out oc;
+  (* the next open_append must seal the torn line so later events are not
+     glued onto it *)
+  (match Journal.open_append path with
+  | Error e -> Alcotest.failf "reopen: %s" (Diag.to_string e)
+  | Ok j ->
+    Journal.event j ~job:"b@0.500/simplex"
+      ~fields:[ Journal.field_float "area" 2.0 ] "job-ok";
+    Journal.close j);
+  let table = Journal.completed path in
+  check int "both intact jobs completed" 2 (Hashtbl.length table);
+  check bool "pre-crash job" true (Hashtbl.mem table "a@0.500/simplex");
+  check bool "post-crash job" true (Hashtbl.mem table "b@0.500/simplex");
+  check bool "torn job discarded" false
+    (Hashtbl.fold
+       (fun k _ acc ->
+         acc || (String.length k >= 4 && String.sub k 0 4 = "torn"))
+       table false);
+  (* sealing is idempotent: a clean reopen adds nothing *)
+  let size_of p = (Unix.stat p).Unix.st_size in
+  let before = size_of path in
+  (match Journal.open_append path with
+  | Error e -> Alcotest.failf "idempotent reopen: %s" (Diag.to_string e)
+  | Ok j -> Journal.close j);
+  check int "clean reopen writes nothing" before (size_of path);
+  rm_rf dir
+
+let test_checkpoint_special_floats () =
+  (* the "%h" encoding must round-trip every float bit pattern the engine
+     can produce, including the non-finite ones a diverging run leaves in
+     a snapshot *)
+  let payload_nan = Int64.float_of_bits 0x7ff8_0000_dead_beefL in
+  let specials =
+    [ Float.nan; payload_nan; Float.infinity; Float.neg_infinity; -0.0;
+      Float.min_float; Float.max_float; 4.9e-324 (* subnormal *) ]
+  in
+  List.iter
+    (fun f ->
+      match Checkpoint.parse_hex_float (Checkpoint.hex_float f) with
+      | Some f' -> check_float_bits (Checkpoint.hex_float f) f f'
+      | None ->
+        Alcotest.failf "unparsable own rendering %S" (Checkpoint.hex_float f))
+    specials;
+  (* and through a whole checkpoint file *)
+  let dir = fresh_dir "ckpt-special" in
+  let file = Filename.concat dir "s.ckpt" in
+  let ck = sample_checkpoint () in
+  let ck =
+    { ck with
+      Checkpoint.snapshot =
+        { ck.snapshot with
+          Minflotransit.snap_sizes =
+            [| Float.nan; payload_nan; Float.infinity; Float.neg_infinity;
+               -0.0 |];
+          snap_area = Float.infinity } }
+  in
+  (match Checkpoint.save file ck with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" (Diag.to_string e));
+  (match Checkpoint.load file with
+  | Error e -> Alcotest.failf "load: %s" (Diag.to_string e)
+  | Ok ck' ->
+    check_float_bits "inf area" ck.snapshot.snap_area
+      ck'.Checkpoint.snapshot.Minflotransit.snap_area;
+    Array.iteri
+      (fun i x ->
+        check_float_bits
+          (Printf.sprintf "special size %d" i)
+          x
+          ck'.Checkpoint.snapshot.Minflotransit.snap_sizes.(i))
+      ck.snapshot.snap_sizes);
+  rm_rf dir
+
 (* ---------- supervisor ---------- *)
 
 let sup ?(parallel = 1) ?timeout ?(retries = 2) ?(isolate = true) () =
@@ -651,10 +736,14 @@ let () =
             test_checkpoint_rejects_garbage;
           Alcotest.test_case "validation" `Quick test_checkpoint_validate;
           Alcotest.test_case "circuit hash sensitivity" `Quick
-            test_circuit_hash_sensitivity ] );
+            test_circuit_hash_sensitivity;
+          Alcotest.test_case "nan/inf round-trip bit-exact" `Quick
+            test_checkpoint_special_floats ] );
       ( "journal",
         [ Alcotest.test_case "completed scan survives truncation" `Quick
-            test_journal_completed_scan ] );
+            test_journal_completed_scan;
+          Alcotest.test_case "torn final line sealed on reopen" `Quick
+            test_journal_torn_line_recovery ] );
       ( "supervisor",
         [ Alcotest.test_case "isolated success" `Quick test_supervisor_ok_isolated;
           Alcotest.test_case "transient failure retries" `Quick
