@@ -17,16 +17,8 @@ open Minflo
 
 let tech = Tech.default_130nm
 
-let model_cache : (string, Delay_model.t) Hashtbl.t = Hashtbl.create 16
-
-let model_of name =
-  match Hashtbl.find_opt model_cache name with
-  | Some m -> m
-  | None ->
-    let nl = Iscas85.circuit name in
-    let m = Elmore.of_netlist tech nl in
-    Hashtbl.add model_cache name m;
-    m
+(* content-keyed and shared with the batch runner / CLI sweep *)
+let model_of name = Model_cache.model ~tech (Iscas85.circuit name)
 
 (* ---------------------------------------------------------------- Table 1 *)
 

@@ -57,7 +57,7 @@ let model_arg =
 let build_model granularity nl =
   let tech = Tech.default_130nm in
   match granularity with
-  | `Gate -> Elmore.of_netlist tech nl
+  | `Gate -> Model_cache.model ~tech nl
   | `Transistor -> Transistor.of_netlist tech (Transform.to_nand_inv nl)
 
 let factor_arg =
@@ -102,6 +102,15 @@ let max_pivots_arg =
   Arg.(value & opt (some int) None
        & info [ "max-pivots" ] ~docv:"N"
            ~doc:"Budget on cumulative flow-solver pivots.")
+
+let warm_start_arg =
+  Arg.(value & flag
+       & info [ "warm-start" ]
+           ~doc:"Reuse flow-solver state (the simplex spanning-tree basis, \
+                 the SSP potentials) across D-phase solves instead of \
+                 rebuilding it each iteration. The trajectory — every \
+                 iterate, the final sizing — is bit-identical to a cold \
+                 run; only the pivot counts drop (see $(b,minflo bench)).")
 
 (* every --inject-fault argument, on every subcommand, is validated against
    the catalog of instrumented sites at parse time *)
@@ -216,7 +225,7 @@ let size_cmd =
     Arg.(value & flag & info [ "dump-sizes" ] ~doc:"Print every size variable.")
   in
   let run name granularity factor tool dump solver do_check max_seconds
-      max_iterations max_pivots fault_sites =
+      max_iterations max_pivots fault_sites warm_start =
     let nl = circuit name in
     let model = build_model granularity nl in
     let d0 = Sweep.dmin model in
@@ -235,7 +244,9 @@ let size_cmd =
         let limits =
           Budget.limits ?wall_seconds:max_seconds ?max_iterations ?max_pivots ()
         in
-        let options = { Minflotransit.default_options with solver; limits } in
+        let options =
+          { Minflotransit.default_options with solver; limits; warm_start }
+        in
         let fault = make_fault_plan fault_sites in
         let log = Diag.create_log () in
         let r =
@@ -275,7 +286,7 @@ let size_cmd =
     (Cmd.info "size" ~doc:"Size a circuit for a delay target.")
     Term.(const run $ circuit_arg $ model_arg $ factor_arg $ tool $ dump
           $ solver_arg $ check_arg $ max_seconds_arg $ max_iterations_arg
-          $ max_pivots_arg $ fault_arg)
+          $ max_pivots_arg $ fault_arg $ warm_start_arg)
 
 (* ---------- sweep ---------- *)
 
@@ -515,7 +526,7 @@ let batch_cmd =
   in
   let run circuits factors solvers checkpoint_dir resume jobs retries timeout
       differential diff_tolerance no_isolate max_seconds max_iterations
-      max_pivots fault_sites fault_seed no_preflight =
+      max_pivots fault_sites fault_seed no_preflight warm_start =
     let grid = Job.cross ~circuits ~factors ~solvers in
     let limits =
       Budget.limits ?wall_seconds:max_seconds ?max_iterations ?max_pivots ()
@@ -531,9 +542,9 @@ let batch_cmd =
             isolate = not no_isolate };
         differential;
         diff_tolerance;
-        engine = { Minflotransit.default_options with limits };
+        engine = { Minflotransit.default_options with limits; warm_start };
         fault_seed = (if fault_sites = [] then None else Some fault_seed);
-        make_fault = (fun () -> make_fault_plan ~seed:fault_seed fault_sites);
+        make_fault = (fun _ -> make_fault_plan ~seed:fault_seed fault_sites);
         preflight = not no_preflight }
     in
     match Batch.run ~config grid with
@@ -597,7 +608,103 @@ let batch_cmd =
     Term.(const run $ circuits $ factors $ solvers $ checkpoint_dir $ resume
           $ jobs $ retries $ timeout $ differential $ diff_tolerance
           $ no_isolate $ max_seconds_arg $ max_iterations_arg $ max_pivots_arg
-          $ fault_arg $ fault_seed $ no_preflight)
+          $ fault_arg $ fault_seed $ no_preflight $ warm_start_arg)
+
+(* ---------- bench ---------- *)
+
+let bench_cmd =
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ]
+             ~doc:"Run the CI smoke subset (c432, c880) instead of the full \
+                   grid (adds c1908, c6288).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the machine-readable baseline document (one \
+                   experiment per line) instead of the table.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the JSON document to $(docv) instead of stdout \
+                   (implies --json).")
+  in
+  let check =
+    Arg.(value & opt (some string) None
+         & info [ "check" ] ~docv:"BASELINE"
+             ~doc:"Compare this run against a checked-in baseline JSON \
+                   file. The comparison is exact on areas, iteration counts \
+                   and every perf counter — wall time is excluded, it is \
+                   the only non-deterministic field. Any divergence exits 3.")
+  in
+  let run quick json out check =
+    Logs.set_level (Some Logs.Error);
+    let experiments = Benchmarks.suite ~quick () in
+    (if json || out <> None then begin
+       let text = Benchmarks.render experiments in
+       match out with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc text;
+         close_out oc;
+         Fmt.pr "wrote %s (%d experiments)@." path (List.length experiments)
+       | None -> print_string text
+     end
+     else begin
+       let table =
+         Table.create
+           ~columns:
+             [ ("circuit", Table.Left); ("mode", Table.Left);
+               ("area", Table.Right); ("iters", Table.Right);
+               ("pivots", Table.Right); ("relabels", Table.Right);
+               ("sweeps", Table.Right); ("wall s", Table.Right) ]
+       in
+       List.iter
+         (fun (e : Benchmarks.experiment) ->
+           Table.add_row table
+             [ e.circuit; e.mode;
+               Printf.sprintf "%.3f" e.area;
+               string_of_int e.iterations;
+               string_of_int e.counters.Perf.pivots;
+               string_of_int e.counters.Perf.relabels;
+               string_of_int e.counters.Perf.sweeps;
+               Printf.sprintf "%.2f" e.wall_seconds ])
+         experiments;
+       Table.print table;
+       List.iter
+         (fun c ->
+           match Benchmarks.pivot_reduction experiments ~circuit:c with
+           | Some pct ->
+             Fmt.pr "%s: warm start saves %.1f%% of simplex pivots@." c pct
+           | None -> ())
+         (List.sort_uniq compare
+            (List.map (fun (e : Benchmarks.experiment) -> e.circuit)
+               experiments))
+     end);
+    match check with
+    | None -> ()
+    | Some baseline -> (
+      match Benchmarks.check ~baseline experiments with
+      | Ok () -> Fmt.pr "bench: counters match baseline %s@." baseline
+      | Error diffs ->
+        List.iter (fun d -> Fmt.epr "bench diverges:@.%s@." d) diffs;
+        Diag.fail
+          (Diag.Invariant
+             { what = "bench";
+               detail =
+                 Printf.sprintf "%d experiment(s) diverge from %s"
+                   (List.length diffs) baseline }))
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run the deterministic benchmark suite: the full engine, cold \
+             and warm, on ISCAS-85 circuits, reporting areas and the \
+             deterministic perf counters (pivots, relabels, sweeps, bumps). \
+             With --check, a counter drifting from the checked-in baseline \
+             exits 3 — the CI bench-smoke gate.")
+    Term.(const run $ quick $ json $ out $ check)
 
 (* ---------- power ---------- *)
 
@@ -1061,9 +1168,9 @@ let replay_cmd =
 let main_cmd =
   let doc = "MINFLOTRANSIT: min-cost-flow based transistor sizing" in
   Cmd.group (Cmd.info "minflo" ~version:"1.0.0" ~doc)
-    [ gen_cmd; stats_cmd; sta_cmd; size_cmd; sweep_cmd; batch_cmd; verify_cmd;
-      convert_cmd; strash_cmd; power_cmd; lint_cmd; audit_cert_cmd; fuzz_cmd;
-      replay_cmd ]
+    [ gen_cmd; stats_cmd; sta_cmd; size_cmd; sweep_cmd; batch_cmd; bench_cmd;
+      verify_cmd; convert_cmd; strash_cmd; power_cmd; lint_cmd; audit_cert_cmd;
+      fuzz_cmd; replay_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -46,6 +46,7 @@ module Budget = Minflo_robust.Budget
 module Fallback = Minflo_robust.Fallback
 module Invariants = Minflo_robust.Check
 module Fault = Minflo_robust.Fault
+module Perf = Minflo_robust.Perf
 
 (* graph *)
 module Digraph = Minflo_graph.Digraph
@@ -91,6 +92,7 @@ module Liberty = Minflo_tech.Liberty
 module Delay_model = Minflo_tech.Delay_model
 module Elmore = Minflo_tech.Elmore
 module Transistor = Minflo_tech.Transistor
+module Model_cache = Minflo_tech.Model_cache
 
 (* timing *)
 module Sta = Minflo_timing.Sta
@@ -134,6 +136,7 @@ module Journal = Minflo_runner.Journal
 module Supervisor = Minflo_runner.Supervisor
 module Differential = Minflo_runner.Differential
 module Batch = Minflo_runner.Batch
+module Benchmarks = Minflo_runner.Benchmarks
 
 (* differential fuzzing harness: seeded campaigns, failure fingerprints,
    delta-debugging shrinker, deterministic replay corpus *)

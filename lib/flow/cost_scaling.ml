@@ -141,6 +141,7 @@ let refine ?budget t eps =
           (* isolated excess: cannot happen on a feasible start *)
           continue := false
         else begin
+          Minflo_robust.Perf.tick_relabel ();
           t.pi.(u) <- !best + eps;
           t.current.(u) <- t.adj_start.(u)
         end

@@ -95,7 +95,19 @@ let solve_by_feasibility t =
   | Negative_cycle _ -> Infeasible_lp
   | Distances values -> Solution { values; objective = objective_value t values }
 
-let solve ?(solver = `Simplex) ?budget ?on_solution t =
+type warm = {
+  ws_simplex : Network_simplex.state;
+  ws_ssp : Ssp.state;
+}
+
+let make_warm () =
+  { ws_simplex = Network_simplex.make_state (); ws_ssp = Ssp.make_state () }
+
+let drop_warm w =
+  Network_simplex.drop w.ws_simplex;
+  Ssp.drop w.ws_ssp
+
+let solve ?(solver = `Simplex) ?budget ?warm ?(canonical = false) ?on_solution t =
   (* The dual LP [max b.pi : pi(u) - pi(v) <= w] is bounded iff the flow
      problem is feasible, and feasible iff the constraint graph has no
      negative cycle; MCF statuses map accordingly. *)
@@ -109,9 +121,18 @@ let solve ?(solver = `Simplex) ?budget ?on_solution t =
     | (`Simplex | `Ssp) as s ->
       let p = to_problem t in
       let sol =
-        match s with
-        | `Simplex -> Network_simplex.solve ?budget p
-        | `Ssp -> Ssp.solve ?budget p
+        match (s, warm) with
+        | `Simplex, Some w -> Network_simplex.solve_warm ?budget w.ws_simplex p
+        | `Simplex, None -> Network_simplex.solve ?budget p
+        | `Ssp, Some w -> Ssp.solve_warm ?budget w.ws_ssp p
+        | `Ssp, None -> Ssp.solve ?budget p
+      in
+      (* canonicalize BEFORE the observer so fault-injection perturbations
+         land on the final values and divergence checks still bite *)
+      let sol =
+        if canonical && sol.status = Optimal then
+          { sol with potential = Mcf.canonical_potentials p sol }
+        else sol
       in
       (match on_solution with None -> () | Some f -> f p sol);
       (match sol.status with

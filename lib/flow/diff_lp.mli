@@ -52,9 +52,22 @@ type outcome =
   | Aborted_lp
       (** A run budget ({!Minflo_robust.Budget}) was exhausted mid-solve. *)
 
+type warm
+(** Reusable warm-start state covering both exact solvers (each keeps its
+    own: a spanning-tree basis for [`Simplex], Johnson potentials for
+    [`Ssp]). Never share one [warm] across concurrently running solves. *)
+
+val make_warm : unit -> warm
+(** Fresh warm state; the first solve through it is a cold start. *)
+
+val drop_warm : warm -> unit
+(** Forget all retained solver state. *)
+
 val solve :
   ?solver:[ `Simplex | `Ssp | `Bellman_ford ] ->
   ?budget:Minflo_robust.Budget.t ->
+  ?warm:warm ->
+  ?canonical:bool ->
   ?on_solution:(Mcf.problem -> Mcf.solution -> unit) ->
   t ->
   outcome
@@ -62,9 +75,21 @@ val solve :
     [`Bellman_ford] skips the flow solve and returns a merely {e feasible}
     assignment by shortest-path repair over the reversed constraint graph —
     the last rung of the {!Minflo_robust.Fallback} chain. [budget] is
-    threaded into the flow solver's pivot loop. [on_solution] observes (and
-    may perturb, for fault injection) the raw flow solution before it is
-    mapped back to LP values; it is not called by [`Bellman_ford]. *)
+    threaded into the flow solver's pivot loop.
+
+    [warm] lets consecutive solves over the same constraint-graph shape
+    reuse solver state (see {!Network_simplex.solve_warm},
+    {!Ssp.solve_warm}); ignored by [`Bellman_ford].
+
+    [canonical] replaces the optimal potentials with
+    {!Mcf.canonical_potentials} before anything observes them, so the
+    returned assignment is independent of solver and starting basis —
+    required when warm-started runs must reproduce cold runs bit-for-bit.
+
+    [on_solution] observes (and may perturb, for fault injection) the flow
+    solution — after canonicalization, so perturbations land on the final
+    values — before it is mapped back to LP values; it is not called by
+    [`Bellman_ford]. *)
 
 val check_assignment : t -> int array -> (int, string) result
 (** Verifies all constraints under the assignment; on success returns the

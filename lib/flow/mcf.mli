@@ -59,6 +59,18 @@ val check_optimality :
     [solution.potential]: reduced cost >= 0 on arcs below capacity and <= 0
     on arcs above zero flow. Used heavily by the test-suite. *)
 
+val canonical_potentials : problem -> solution -> int array
+(** The componentwise-maximal optimal dual with every potential capped at 0
+    — a canonical representative of the optimal dual face, independent of
+    which optimal basis the solver ended on. Warm-started and cold-started
+    solves (and different solvers) therefore return bit-identical duals
+    after canonicalization, which is what lets the warm-started engine
+    reproduce the cold engine's trajectory exactly. One Dijkstra over the
+    complementary-slackness constraint graph, using [solution.potential] as
+    the Johnson reweighting. If [solution] is not an [Optimal] certificate
+    (fault injection, solver bug), the raw potentials are returned
+    unchanged so downstream divergence detectors still see the defect. *)
+
 type decomposition = {
   paths : (int list * int) list;
       (** arc-id sequences from a supply node to a demand node, with the

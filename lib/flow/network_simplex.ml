@@ -6,10 +6,17 @@
      cycle is traversed in its own orientation starting at the apex), which
      keeps the tree strongly feasible and prevents cycling;
    - explicit child lists (first_child / next_sib / prev_sib), so re-hanging
-     a subtree and refreshing its depths/potentials costs O(subtree).
+     a subtree and refreshing its depths/potentials costs O(subtree);
+   - an optional reusable [state]: across calls that keep the network shape
+     (same nodes, same arc endpoints) the optimal spanning-tree basis of the
+     previous solve seeds the next one, so a solve after a small cost/supply
+     change needs only the pivots that repair optimality, not the full climb
+     out of the artificial basis.
 
    All arithmetic is on OCaml ints; capacities are clamped to
    Mcf.infinite_capacity so sums cannot overflow 63-bit ints. *)
+
+module Perf = Minflo_robust.Perf
 
 let state_tree = 0
 let state_lower = 1
@@ -168,138 +175,316 @@ type cycle_arc = { arc : int; increase : bool; below : int }
 
 exception Aborted_exn
 
-let solve ?budget (p : Mcf.problem) : Mcf.solution =
-  Mcf.validate p;
+(* Pivot from the current (strongly feasible) basis to optimality. *)
+let run_pivots ?budget t =
   let tick () =
+    Perf.tick_pivot ();
     match budget with
     | None -> ()
     | Some b -> if not (Minflo_robust.Budget.tick_pivot b) then raise Aborted_exn
   in
-  if not (Mcf.is_balanced p) then
-    { status = Infeasible;
-      flow = Array.make (Array.length p.arcs) 0;
-      potential = Array.make p.num_nodes 0;
+  let continue = ref true in
+  while !continue do
+    let e = find_entering t in
+    if e < 0 then continue := false
+    else begin
+      tick ();
+      (* push direction: along the arc when at lower bound, against when
+         at upper bound *)
+      let s = t.state.(e) in
+      let tail = if s = state_lower then t.src.(e) else t.dst.(e) in
+      let head = if s = state_lower then t.dst.(e) else t.src.(e) in
+      (* walk up to the apex, collecting both paths *)
+      let tside = ref [] and hside = ref [] in
+      let u = ref tail and v = ref head in
+      while t.depth.(!u) > t.depth.(!v) do
+        let a = t.parc.(!u) in
+        (* cycle orientation crosses a as parent(u) -> u on the tail
+           side: increases flow iff the arc points down to u *)
+        tside := { arc = a; increase = t.dst.(a) = !u; below = !u } :: !tside;
+        u := t.parent.(!u)
+      done;
+      while t.depth.(!v) > t.depth.(!u) do
+        let a = t.parc.(!v) in
+        (* head side is traversed v -> parent(v): increases flow iff the
+           arc points up from v *)
+        hside := { arc = a; increase = t.src.(a) = !v; below = !v } :: !hside;
+        v := t.parent.(!v)
+      done;
+      while !u <> !v do
+        let a = t.parc.(!u) in
+        tside := { arc = a; increase = t.dst.(a) = !u; below = !u } :: !tside;
+        u := t.parent.(!u);
+        let b = t.parc.(!v) in
+        hside := { arc = b; increase = t.src.(b) = !v; below = !v } :: !hside;
+        v := t.parent.(!v)
+      done;
+      (* cycle in orientation starting at the apex:
+         apex -> tail (tside, already apex-first), entering arc,
+         head -> apex (hside collected head-first, so reverse) *)
+      let entering =
+        { arc = e; increase = s = state_lower; below = -1 }
+      in
+      let cycle = !tside @ (entering :: List.rev !hside) in
+      let residual ca =
+        if ca.increase then t.cap.(ca.arc) - t.flow.(ca.arc)
+        else t.flow.(ca.arc)
+      in
+      let delta = List.fold_left (fun d ca -> min d (residual ca)) max_int cycle in
+      if delta >= Mcf.infinite_capacity / 2 then raise Unbounded_exn;
+      (* Cunningham: last blocking arc in cycle orientation *)
+      let leaving = ref entering in
+      List.iter (fun ca -> if residual ca = delta then leaving := ca) cycle;
+      if delta > 0 then
+        List.iter
+          (fun ca ->
+            t.flow.(ca.arc) <-
+              (if ca.increase then t.flow.(ca.arc) + delta
+               else t.flow.(ca.arc) - delta))
+          cycle;
+      if !leaving == entering || !leaving.arc = e then
+        (* the entering arc itself blocks: it moves bound-to-bound *)
+        t.state.(e) <- -s
+      else begin
+        let lv = !leaving in
+        (* the subtree under [lv.below] is cut; find the entering-arc
+           endpoint inside it: it is [tail] if lv is on the tail side *)
+        let on_tail_side =
+          List.exists (fun ca -> ca.arc = lv.arc) !tside
+        in
+        let q = if on_tail_side then tail else head in
+        let pnode = if on_tail_side then head else tail in
+        (* leaving arc becomes nonbasic *)
+        t.state.(lv.arc) <-
+          (if t.flow.(lv.arc) = 0 then state_lower else state_upper);
+        t.state.(e) <- state_tree;
+        (* re-root the cut subtree at q, hanging it from pnode via e *)
+        let cur = ref q in
+        let new_parent = ref pnode and new_parc = ref e in
+        let stop = lv.below in
+        let finished = ref false in
+        while not !finished do
+          let c = !cur in
+          let old_parent = t.parent.(c) and old_parc = t.parc.(c) in
+          detach t c;
+          attach t c !new_parent;
+          t.parc.(c) <- !new_parc;
+          if c = stop then finished := true
+          else begin
+            new_parent := c;
+            new_parc := old_parc;
+            cur := old_parent
+          end
+        done;
+        refresh_subtree t q
+      end
+    end
+  done
+
+let solution_of t p : Mcf.solution =
+  (* optimality reached; check artificial arcs *)
+  let infeasible = ref false in
+  for a = t.m_real to t.m - 1 do
+    if t.flow.(a) > 0 then infeasible := true
+  done;
+  let flow = Array.sub t.flow 0 t.m_real in
+  let potential = Array.sub t.pi 0 t.n in
+  if !infeasible then { status = Infeasible; flow; potential; objective = 0 }
+  else { status = Optimal; flow; potential; objective = Mcf.flow_cost p flow }
+
+let run ?budget t p : Mcf.solution =
+  try
+    run_pivots ?budget t;
+    solution_of t p
+  with
+  | Unbounded_exn ->
+    { status = Unbounded;
+      flow = Array.make t.m_real 0;
+      potential = Array.sub t.pi 0 t.n;
       objective = 0 }
+  | Aborted_exn ->
+    { status = Aborted;
+      flow = Array.make t.m_real 0;
+      potential = Array.sub t.pi 0 t.n;
+      objective = 0 }
+
+let unbalanced p : Mcf.solution =
+  { status = Infeasible;
+    flow = Array.make (Array.length p.Mcf.arcs) 0;
+    potential = Array.make p.Mcf.num_nodes 0;
+    objective = 0 }
+
+let solve ?budget (p : Mcf.problem) : Mcf.solution =
+  Mcf.validate p;
+  if not (Mcf.is_balanced p) then unbalanced p
   else begin
-    let t = create p in
-    (try
-       let continue = ref true in
-       while !continue do
-         let e = find_entering t in
-         if e < 0 then continue := false
-         else begin
-           tick ();
-           (* push direction: along the arc when at lower bound, against when
-              at upper bound *)
-           let s = t.state.(e) in
-           let tail = if s = state_lower then t.src.(e) else t.dst.(e) in
-           let head = if s = state_lower then t.dst.(e) else t.src.(e) in
-           (* walk up to the apex, collecting both paths *)
-           let tside = ref [] and hside = ref [] in
-           let u = ref tail and v = ref head in
-           while t.depth.(!u) > t.depth.(!v) do
-             let a = t.parc.(!u) in
-             (* cycle orientation crosses a as parent(u) -> u on the tail
-                side: increases flow iff the arc points down to u *)
-             tside := { arc = a; increase = t.dst.(a) = !u; below = !u } :: !tside;
-             u := t.parent.(!u)
-           done;
-           while t.depth.(!v) > t.depth.(!u) do
-             let a = t.parc.(!v) in
-             (* head side is traversed v -> parent(v): increases flow iff the
-                arc points up from v *)
-             hside := { arc = a; increase = t.src.(a) = !v; below = !v } :: !hside;
-             v := t.parent.(!v)
-           done;
-           while !u <> !v do
-             let a = t.parc.(!u) in
-             tside := { arc = a; increase = t.dst.(a) = !u; below = !u } :: !tside;
-             u := t.parent.(!u);
-             let b = t.parc.(!v) in
-             hside := { arc = b; increase = t.src.(b) = !v; below = !v } :: !hside;
-             v := t.parent.(!v)
-           done;
-           (* cycle in orientation starting at the apex:
-              apex -> tail (tside, already apex-first), entering arc,
-              head -> apex (hside collected head-first, so reverse) *)
-           let entering =
-             { arc = e; increase = s = state_lower; below = -1 }
-           in
-           let cycle = !tside @ (entering :: List.rev !hside) in
-           let residual ca =
-             if ca.increase then t.cap.(ca.arc) - t.flow.(ca.arc)
-             else t.flow.(ca.arc)
-           in
-           let delta = List.fold_left (fun d ca -> min d (residual ca)) max_int cycle in
-           if delta >= Mcf.infinite_capacity / 2 then raise Unbounded_exn;
-           (* Cunningham: last blocking arc in cycle orientation *)
-           let leaving = ref entering in
-           List.iter (fun ca -> if residual ca = delta then leaving := ca) cycle;
-           if delta > 0 then
-             List.iter
-               (fun ca ->
-                 t.flow.(ca.arc) <-
-                   (if ca.increase then t.flow.(ca.arc) + delta
-                    else t.flow.(ca.arc) - delta))
-               cycle;
-           if !leaving == entering || !leaving.arc = e then
-             (* the entering arc itself blocks: it moves bound-to-bound *)
-             t.state.(e) <- -s
-           else begin
-             let lv = !leaving in
-             (* the subtree under [lv.below] is cut; find the entering-arc
-                endpoint inside it: it is [tail] if lv is on the tail side *)
-             let on_tail_side =
-               List.exists (fun ca -> ca.arc = lv.arc) !tside
-             in
-             let q = if on_tail_side then tail else head in
-             let pnode = if on_tail_side then head else tail in
-             (* leaving arc becomes nonbasic *)
-             t.state.(lv.arc) <-
-               (if t.flow.(lv.arc) = 0 then state_lower else state_upper);
-             t.state.(e) <- state_tree;
-             (* re-root the cut subtree at q, hanging it from pnode via e *)
-             let cur = ref q in
-             let new_parent = ref pnode and new_parc = ref e in
-             let stop = lv.below in
-             let finished = ref false in
-             while not !finished do
-               let c = !cur in
-               let old_parent = t.parent.(c) and old_parc = t.parc.(c) in
-               detach t c;
-               attach t c !new_parent;
-               t.parc.(c) <- !new_parc;
-               if c = stop then finished := true
-               else begin
-                 new_parent := c;
-                 new_parc := old_parc;
-                 cur := old_parent
-               end
-             done;
-             refresh_subtree t q
-           end
-         end
-       done;
-       (* optimality reached; check artificial arcs *)
-       let infeasible = ref false in
-       for a = t.m_real to t.m - 1 do
-         if t.flow.(a) > 0 then infeasible := true
-       done;
-       let flow = Array.sub t.flow 0 t.m_real in
-       let potential = Array.sub t.pi 0 t.n in
-       if !infeasible then
-         { status = Infeasible; flow; potential; objective = 0 }
-       else
-         { status = Optimal; flow; potential; objective = Mcf.flow_cost p flow }
-     with
-    | Unbounded_exn ->
-      { status = Unbounded;
-        flow = Array.make t.m_real 0;
-        potential = Array.sub t.pi 0 t.n;
-        objective = 0 }
-    | Aborted_exn ->
-      { status = Aborted;
-        flow = Array.make t.m_real 0;
-        potential = Array.sub t.pi 0 t.n;
-        objective = 0 })
+    Perf.tick_cold_start ();
+    run ?budget (create p) p
+  end
+
+(* ---------- warm starts ---------- *)
+
+type state = { mutable basis : t option }
+
+let make_state () = { basis = None }
+let drop st = st.basis <- None
+let is_warm st = st.basis <> None
+
+(* The basis can be reused iff the network shape is unchanged: same node
+   count, same arc count, same endpoints arc by arc. Costs, capacities and
+   supplies are free to change. *)
+let compatible t (p : Mcf.problem) =
+  t.n = p.num_nodes
+  && t.m_real = Array.length p.arcs
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i (a : Mcf.arc) ->
+      if t.src.(i) <> a.src || t.dst.(i) <> a.dst then ok := false)
+    p.arcs;
+  !ok
+
+(* Re-seed the retained spanning tree with new costs/capacities/supplies.
+
+   Invariants restored here (see DESIGN §8):
+   - cost change: the tree and all flows stay primal feasible as they are;
+     only the potentials are stale, so they are recomputed from the root
+     over the (re-costed) tree arcs.
+   - supply/capacity change: nonbasic arcs stay pinned at their bounds, so
+     the tree flows are uniquely determined by leaf-to-root accumulation of
+     node excess. A tree arc whose required flow would leave [0, cap] — or
+     would be only weakly feasible (zero flow pointing leafward, at-cap flow
+     pointing rootward, either of which would break Cunningham's
+     anti-cycling guarantee) — is cut, and the node below it is re-hung
+     directly on the root via its own artificial arc, re-oriented along the
+     excess it must carry. The result is a strongly feasible basis whatever
+     the new data; big-M pivots then drive any artificial flow back out. *)
+let rewarm t (p : Mcf.problem) =
+  let n = t.n and m_real = t.m_real in
+  let root = n in
+  let max_cost = ref 1 in
+  Array.iteri
+    (fun i (a : Mcf.arc) ->
+      t.cost.(i) <- a.cost;
+      t.cap.(i) <- min a.cap Mcf.infinite_capacity;
+      if abs a.cost > !max_cost then max_cost := abs a.cost)
+    p.arcs;
+  (* refresh big-M against the new cost range *)
+  let big_m = ((n + 1) * !max_cost) + 1 in
+  for a = m_real to t.m - 1 do
+    t.cost.(a) <- big_m
+  done;
+  (* pin nonbasic arcs to their bounds under the new capacities *)
+  for a = 0 to t.m - 1 do
+    if t.state.(a) = state_upper then begin
+      if t.cap.(a) >= Mcf.infinite_capacity then begin
+        t.state.(a) <- state_lower;
+        t.flow.(a) <- 0
+      end
+      else t.flow.(a) <- t.cap.(a)
+    end
+    else if t.state.(a) = state_lower then t.flow.(a) <- 0
+  done;
+  (* node excess once nonbasic flows are pinned *)
+  let need = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    need.(v) <- p.supply.(v)
+  done;
+  for a = 0 to t.m - 1 do
+    if t.state.(a) <> state_tree && t.flow.(a) > 0 then begin
+      need.(t.src.(a)) <- need.(t.src.(a)) - t.flow.(a);
+      need.(t.dst.(a)) <- need.(t.dst.(a)) + t.flow.(a)
+    end
+  done;
+  (* children-before-parents order = reverse of a root-first preorder *)
+  let order = Array.make n 0 in
+  let len = ref 0 in
+  let stack = ref [ root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      if v <> root then begin
+        order.(!len) <- v;
+        incr len
+      end;
+      let c = ref t.first_child.(v) in
+      while !c <> -1 do
+        stack := !c :: !stack;
+        c := t.next_sib.(!c)
+      done
+  done;
+  for k = !len - 1 downto 0 do
+    let v = order.(k) in
+    let a = t.parc.(v) in
+    let par = t.parent.(v) in
+    let e = need.(v) in
+    let upward = t.src.(a) = v in
+    let f = if upward then e else -e in
+    let strongly_feasible =
+      f >= 0 && f <= t.cap.(a)
+      && (upward || f > 0)
+      && ((not upward) || f < t.cap.(a))
+    in
+    if strongly_feasible then begin
+      t.flow.(a) <- f;
+      need.(par) <- need.(par) + e
+    end
+    else begin
+      (* cut [a]; re-hang v on its own artificial arc, which (unlike real
+         arcs) we may freely re-orient: it is internal bookkeeping and never
+         part of the returned solution *)
+      let aa = m_real + v in
+      if a <> aa then begin
+        t.state.(a) <- state_lower;
+        t.flow.(a) <- 0;
+        t.state.(aa) <- state_tree;
+        detach t v;
+        attach t v root;
+        t.parc.(v) <- aa
+      end;
+      if e >= 0 then begin
+        t.src.(aa) <- v;
+        t.dst.(aa) <- root;
+        t.flow.(aa) <- e
+      end
+      else begin
+        t.src.(aa) <- root;
+        t.dst.(aa) <- v;
+        t.flow.(aa) <- -e
+      end
+    end
+  done;
+  (* depths and potentials from scratch: subtrees moved and costs changed *)
+  let c = ref t.first_child.(root) in
+  while !c <> -1 do
+    refresh_subtree t !c;
+    c := t.next_sib.(!c)
+  done;
+  t.scan_pos <- 0
+
+let solve_warm ?budget (st : state) (p : Mcf.problem) : Mcf.solution =
+  Mcf.validate p;
+  if not (Mcf.is_balanced p) then begin
+    st.basis <- None;
+    unbalanced p
+  end
+  else begin
+    let t =
+      match st.basis with
+      | Some t when compatible t p ->
+        Perf.tick_warm_start ();
+        rewarm t p;
+        t
+      | _ ->
+        Perf.tick_cold_start ();
+        create p
+    in
+    let sol = run ?budget t p in
+    (* only an optimal basis is worth keeping: after Aborted the tree is
+       mid-pivot but consistent — still reusable — whereas Infeasible and
+       Unbounded leave nothing to warm-start from *)
+    st.basis <- (match sol.status with Optimal | Aborted -> Some t | _ -> None);
+    sol
   end

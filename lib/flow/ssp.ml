@@ -1,4 +1,5 @@
 module Heap = Minflo_util.Heap
+module Perf = Minflo_robust.Perf
 
 (* Residual representation: arc [a] of the problem yields a forward entry
    (residual cap - flow, cost) and a backward entry (residual flow, -cost).
@@ -76,6 +77,7 @@ let cancel_negative_cycles ?budget t =
   let continue = ref true in
   while !continue && !bounded do
     tick budget;
+    Perf.tick_relabel ();
     let srcs = ref [] and dsts = ref [] and ws = ref [] and ids = ref [] in
     for e = (2 * Array.length t.p.arcs) - 1 downto 0 do
       if residual t e > 0 then begin
@@ -153,87 +155,174 @@ let dijkstra t s dist pred =
    with Found_deficit u -> target := u);
   if !target < 0 then None else Some (!target, final)
 
+let fail_solution (p : Mcf.problem) status =
+  { Mcf.status;
+    flow = Array.make (Array.length p.arcs) 0;
+    potential = Array.make p.num_nodes 0;
+    objective = 0 }
+
+(* Bellman-Ford over the current residual graph (which must be free of
+   negative cycles) to establish valid Johnson potentials. *)
+let init_potentials t =
+  Perf.tick_relabel ();
+  let m = Array.length t.p.arcs in
+  let srcs = ref [] and dsts = ref [] and ws = ref [] in
+  for e = 0 to (2 * m) - 1 do
+    if residual t e > 0 then begin
+      srcs := entry_src t e :: !srcs;
+      dsts := entry_dst t e :: !dsts;
+      ws := entry_cost t e :: !ws
+    end
+  done;
+  match
+    Bellman_ford.run_all
+      { num_nodes = t.p.num_nodes;
+        arc_src = Array.of_list !srcs;
+        arc_dst = Array.of_list !dsts;
+        arc_weight = Array.of_list !ws }
+  with
+  | Distances d -> Array.blit d 0 t.pot 0 t.p.num_nodes
+  | Negative_cycle _ -> assert false
+
+(* The augmentation loop proper. Requires: t.pot is a valid potential for
+   the current residual graph (all residual reduced costs non-negative). *)
+let augment ?budget t : Mcf.solution =
+  let p = t.p in
+  let dist = Array.make p.num_nodes max_int in
+  let pred = Array.make p.num_nodes (-1) in
+  let infeasible = ref false in
+  let continue = ref true in
+  while !continue && not !infeasible do
+    match Array.to_seq t.excess |> Seq.zip (Seq.ints 0)
+          |> Seq.find (fun (_, e) -> e > 0) with
+    | None -> continue := false
+    | Some (s, _) -> (
+      tick budget;
+      match dijkstra t s dist pred with
+      | None -> infeasible := true
+      | Some (target, final) ->
+        (* potentials update (Johnson) *)
+        Perf.tick_relabel ();
+        let dt = dist.(target) in
+        for v = 0 to p.num_nodes - 1 do
+          if Minflo_util.Bitset.mem final v then t.pot.(v) <- t.pot.(v) + dist.(v)
+          else if dist.(v) < max_int then
+            t.pot.(v) <- t.pot.(v) + min dist.(v) dt
+          else t.pot.(v) <- t.pot.(v) + dt
+        done;
+        (* bottleneck along the path *)
+        let delta = ref (min t.excess.(s) (-t.excess.(target))) in
+        let v = ref target in
+        while !v <> s do
+          let e = pred.(!v) in
+          delta := min !delta (residual t e);
+          v := entry_src t e
+        done;
+        let v = ref target in
+        while !v <> s do
+          let e = pred.(!v) in
+          let a = entry_arc e in
+          t.flow.(a) <-
+            (if entry_forward e then t.flow.(a) + !delta
+             else t.flow.(a) - !delta);
+          v := entry_src t e
+        done;
+        t.excess.(s) <- t.excess.(s) - !delta;
+        t.excess.(target) <- t.excess.(target) + !delta)
+  done;
+  if !infeasible then fail_solution p Infeasible
+  else
+    { status = Optimal;
+      flow = Array.copy t.flow;
+      potential = Array.map (fun x -> -x) t.pot;
+      objective = Mcf.flow_cost p t.flow }
+
 let solve ?budget (p : Mcf.problem) : Mcf.solution =
   Mcf.validate p;
-  let m = Array.length p.arcs in
-  let fail status =
-    { Mcf.status;
-      flow = Array.make m 0;
-      potential = Array.make p.num_nodes 0;
-      objective = 0 }
-  in
-  if not (Mcf.is_balanced p) then fail Infeasible
+  if not (Mcf.is_balanced p) then fail_solution p Infeasible
   else begin
+    Perf.tick_cold_start ();
     try
-    let t = build p in
-    if not (cancel_negative_cycles ?budget t) then fail Unbounded
-    else begin
-      (* after cancellation the residual graph has no negative cycle, so
-         Bellman-Ford distances give valid starting potentials *)
-      let srcs = ref [] and dsts = ref [] and ws = ref [] in
-      for e = 0 to (2 * m) - 1 do
-        if residual t e > 0 then begin
-          srcs := entry_src t e :: !srcs;
-          dsts := entry_dst t e :: !dsts;
-          ws := entry_cost t e :: !ws
+      let t = build p in
+      if not (cancel_negative_cycles ?budget t) then fail_solution p Unbounded
+      else begin
+        init_potentials t;
+        augment ?budget t
+      end
+    with Aborted_exn -> fail_solution p Aborted
+  end
+
+(* ---------- warm starts ---------- *)
+
+type state = { mutable cache : t option }
+
+let make_state () = { cache = None }
+let drop st = st.cache <- None
+let is_warm st = st.cache <> None
+
+let compatible t (p : Mcf.problem) =
+  t.p.num_nodes = p.num_nodes
+  && Array.length t.p.arcs = Array.length p.arcs
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i (a : Mcf.arc) ->
+      let b = t.p.arcs.(i) in
+      if b.src <> a.src || b.dst <> a.dst then ok := false)
+    p.arcs;
+  !ok
+
+(* With zero flow, the only residual entries are the forward ones with
+   positive capacity, so the retained potentials are valid iff every such
+   arc has non-negative reduced cost under the new costs — an O(m) check
+   that decides whether the Bellman-Ford initialization (and negative-cycle
+   cancellation) can be skipped entirely. *)
+let pot_valid t =
+  let ok = ref true in
+  Array.iter
+    (fun (a : Mcf.arc) ->
+      if a.cap > 0 && a.cost + t.pot.(a.src) - t.pot.(a.dst) < 0 then ok := false)
+    t.p.arcs;
+  !ok
+
+let solve_warm ?budget (st : state) (p : Mcf.problem) : Mcf.solution =
+  Mcf.validate p;
+  if not (Mcf.is_balanced p) then begin
+    st.cache <- None;
+    fail_solution p Infeasible
+  end
+  else begin
+    let t, warm =
+      match st.cache with
+      | Some old when compatible old p ->
+        (* reuse the adjacency and working arrays; restart the flow from
+           zero but keep the potentials from the previous optimum *)
+        let t = { old with p } in
+        Array.fill t.flow 0 (Array.length t.flow) 0;
+        Array.blit p.supply 0 t.excess 0 p.num_nodes;
+        if pot_valid t then begin
+          Perf.tick_warm_start ();
+          (t, true)
         end
-      done;
-      (match
-         Bellman_ford.run_all
-           { num_nodes = p.num_nodes;
-             arc_src = Array.of_list !srcs;
-             arc_dst = Array.of_list !dsts;
-             arc_weight = Array.of_list !ws }
-       with
-      | Distances d -> Array.blit d 0 t.pot 0 p.num_nodes
-      | Negative_cycle _ -> assert false);
-      let dist = Array.make p.num_nodes max_int in
-      let pred = Array.make p.num_nodes (-1) in
-      let infeasible = ref false in
-      let continue = ref true in
-      while !continue && not !infeasible do
-        match Array.to_seq t.excess |> Seq.zip (Seq.ints 0)
-              |> Seq.find (fun (_, e) -> e > 0) with
-        | None -> continue := false
-        | Some (s, _) -> (
-          tick budget;
-          match dijkstra t s dist pred with
-          | None -> infeasible := true
-          | Some (target, final) ->
-            (* potentials update (Johnson) *)
-            let dt = dist.(target) in
-            for v = 0 to p.num_nodes - 1 do
-              if Minflo_util.Bitset.mem final v then t.pot.(v) <- t.pot.(v) + dist.(v)
-              else if dist.(v) < max_int then
-                t.pot.(v) <- t.pot.(v) + min dist.(v) dt
-              else t.pot.(v) <- t.pot.(v) + dt
-            done;
-            (* bottleneck along the path *)
-            let delta = ref (min t.excess.(s) (-t.excess.(target))) in
-            let v = ref target in
-            while !v <> s do
-              let e = pred.(!v) in
-              delta := min !delta (residual t e);
-              v := entry_src t e
-            done;
-            let v = ref target in
-            while !v <> s do
-              let e = pred.(!v) in
-              let a = entry_arc e in
-              t.flow.(a) <-
-                (if entry_forward e then t.flow.(a) + !delta
-                 else t.flow.(a) - !delta);
-              v := entry_src t e
-            done;
-            t.excess.(s) <- t.excess.(s) - !delta;
-            t.excess.(target) <- t.excess.(target) + !delta)
-      done;
-      if !infeasible then fail Infeasible
-      else
-        { status = Optimal;
-          flow = Array.copy t.flow;
-          potential = Array.map (fun x -> -x) t.pot;
-          objective = Mcf.flow_cost p t.flow }
-    end
-    with Aborted_exn -> fail Aborted
+        else begin
+          Perf.tick_cold_start ();
+          (t, false)
+        end
+      | _ ->
+        Perf.tick_cold_start ();
+        (build p, false)
+    in
+    let sol =
+      try
+        if warm then augment ?budget t
+        else if not (cancel_negative_cycles ?budget t) then
+          fail_solution p Unbounded
+        else begin
+          init_potentials t;
+          augment ?budget t
+        end
+      with Aborted_exn -> fail_solution p Aborted
+    in
+    st.cache <- (if sol.status = Optimal then Some t else None);
+    sol
   end

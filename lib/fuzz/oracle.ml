@@ -302,6 +302,75 @@ let lp_differential sink cfg ?fault model ~target (tilos : Minflo_sizing.Tilos.r
                end)
              sols))
 
+(* Warm-vs-cold leg: prime a simplex basis on the displacement LP at the
+   TILOS seed, perturb the arc costs deterministically (the shape of a D/W
+   iteration: same network, moved costs), and solve the perturbed LP both
+   cold and through the retained basis. An exact objective mismatch, a
+   status disagreement, or an audit finding on either certificate is the
+   warm-start machinery corrupting a solve. *)
+let warm_cold_stage sink cfg model ~target (tilos : Minflo_sizing.Tilos.result) =
+  ignore
+    (guard sink ~phase:"dphase" (fun () ->
+         let delays = Delay_model.delays model tilos.sizes in
+         match
+           Dphase.displacement_problem model ~sizes:tilos.sizes ~delays
+             ~deadline:target
+         with
+         | Error e -> flag_error sink ~phase:"dphase" e
+         | Ok problem ->
+           let budget () =
+             Budget.start (Budget.limits ~max_pivots:cfg.budget_pivots ())
+           in
+           let st = Network_simplex.make_state () in
+           let seed = Network_simplex.solve_warm ~budget:(budget ()) st problem in
+           if seed.Mcf.status = Mcf.Optimal then begin
+             let perturbed =
+               { problem with
+                 Mcf.arcs =
+                   Array.mapi
+                     (fun i (a : Mcf.arc) ->
+                       if i mod 3 = 0 then { a with Mcf.cost = a.cost + 1 }
+                       else a)
+                     problem.Mcf.arcs }
+             in
+             let cold = Network_simplex.solve ~budget:(budget ()) perturbed in
+             let warm =
+               Network_simplex.solve_warm ~budget:(budget ()) st perturbed
+             in
+             let status_name = function
+               | Mcf.Optimal -> "optimal"
+               | Mcf.Infeasible -> "infeasible"
+               | Mcf.Unbounded -> "unbounded"
+               | Mcf.Aborted -> "aborted"
+             in
+             if cold.Mcf.status <> warm.Mcf.status then
+               flag sink
+                 (Fingerprint.make ~phase:"dphase" ~code:"warm-cold-mismatch"
+                    ~detail:"status" ())
+                 "warm/cold status diverge on perturbed LP: cold=%s warm=%s"
+                 (status_name cold.Mcf.status)
+                 (status_name warm.Mcf.status)
+             else if
+               cold.Mcf.status = Mcf.Optimal
+               && cold.Mcf.objective <> warm.Mcf.objective
+             then
+               flag sink
+                 (Fingerprint.make ~phase:"dphase" ~code:"warm-cold-mismatch" ())
+                 "warm objective %d <> cold objective %d on perturbed LP"
+                 warm.Mcf.objective cold.Mcf.objective;
+             List.iter
+               (fun (tag, sol) ->
+                 if sol.Mcf.status <> Mcf.Aborted then
+                   Audit.check perturbed sol
+                   |> List.iter (fun (f : Minflo_lint.Finding.t) ->
+                          flag sink
+                            (Fingerprint.make ~phase:"dphase"
+                               ~code:"warm-cold-mismatch"
+                               ~detail:(tag ^ "-" ^ f.rule.Rule.id) ())
+                            "[%s] %s" tag f.message))
+               [ ("cold", cold); ("warm", warm) ]
+           end))
+
 let fired_stage sink fault =
   match fault with
   | None -> ()
@@ -352,6 +421,8 @@ let run cfg nl =
          match legs with
          | { leg_result; _ } :: _ when leg_result.Minflotransit.tilos.met ->
            lp_differential sink cfg ?fault model ~target
+             leg_result.Minflotransit.tilos;
+           warm_cold_stage sink cfg model ~target
              leg_result.Minflotransit.tilos
          | _ -> ());
       fired_stage sink fault;

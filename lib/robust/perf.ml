@@ -1,0 +1,85 @@
+type counters = {
+  mutable pivots : int;
+  mutable relabels : int;
+  mutable sweeps : int;
+  mutable bumps : int;
+  mutable warm_starts : int;
+  mutable cold_starts : int;
+}
+
+let zero () =
+  { pivots = 0;
+    relabels = 0;
+    sweeps = 0;
+    bumps = 0;
+    warm_starts = 0;
+    cold_starts = 0 }
+
+let current = zero ()
+
+let reset () =
+  current.pivots <- 0;
+  current.relabels <- 0;
+  current.sweeps <- 0;
+  current.bumps <- 0;
+  current.warm_starts <- 0;
+  current.cold_starts <- 0
+
+let snapshot () =
+  { pivots = current.pivots;
+    relabels = current.relabels;
+    sweeps = current.sweeps;
+    bumps = current.bumps;
+    warm_starts = current.warm_starts;
+    cold_starts = current.cold_starts }
+
+let diff before after =
+  { pivots = after.pivots - before.pivots;
+    relabels = after.relabels - before.relabels;
+    sweeps = after.sweeps - before.sweeps;
+    bumps = after.bumps - before.bumps;
+    warm_starts = after.warm_starts - before.warm_starts;
+    cold_starts = after.cold_starts - before.cold_starts }
+
+let add a b =
+  { pivots = a.pivots + b.pivots;
+    relabels = a.relabels + b.relabels;
+    sweeps = a.sweeps + b.sweeps;
+    bumps = a.bumps + b.bumps;
+    warm_starts = a.warm_starts + b.warm_starts;
+    cold_starts = a.cold_starts + b.cold_starts }
+
+let equal a b =
+  a.pivots = b.pivots && a.relabels = b.relabels && a.sweeps = b.sweeps
+  && a.bumps = b.bumps
+  && a.warm_starts = b.warm_starts
+  && a.cold_starts = b.cold_starts
+
+let tick_pivot () = current.pivots <- current.pivots + 1
+let tick_relabel () = current.relabels <- current.relabels + 1
+let tick_sweep () = current.sweeps <- current.sweeps + 1
+let tick_bump () = current.bumps <- current.bumps + 1
+let tick_warm_start () = current.warm_starts <- current.warm_starts + 1
+let tick_cold_start () = current.cold_starts <- current.cold_starts + 1
+
+let to_fields c =
+  [ ("pivots", c.pivots);
+    ("relabels", c.relabels);
+    ("sweeps", c.sweeps);
+    ("bumps", c.bumps);
+    ("warm_starts", c.warm_starts);
+    ("cold_starts", c.cold_starts) ]
+
+let pp fmt c =
+  Format.fprintf fmt "@[<h>";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%s=%d" k v)
+    (to_fields c);
+  Format.fprintf fmt "@]"
+
+let timed f =
+  let t0 = Mono.now () in
+  let v = f () in
+  (v, Mono.now () -. t0)

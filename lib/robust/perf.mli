@@ -1,0 +1,66 @@
+(** Deterministic performance counters for the flow/sizing hot paths.
+
+    A single ambient set of monotonically increasing counters, ticked from
+    the inner loops of the solvers and engines:
+
+    - [pivots]: network-simplex basis exchanges;
+    - [relabels]: potential-update rounds (SSP Johnson updates, cost-scaling
+      relabels, Bellman-Ford passes);
+    - [sweeps]: full forward/backward STA passes over the timing graph;
+    - [bumps]: TILOS size bumps;
+    - [warm_starts] / [cold_starts]: how often a flow solve could reuse a
+      previous basis / had to rebuild it from scratch.
+
+    Unlike wall time, every one of these is a pure function of the inputs,
+    so two identical runs produce identical counters — the property the
+    bench baseline ([BENCH_pr5.json]) and the CI bench-smoke job rely on.
+    Wall time is measured separately via {!Mono} and never compared.
+
+    The counters are process-global on purpose: threading a record through
+    every solver call would put an argument on the hottest paths for a
+    debug-observability feature. Readers that need a per-region view take a
+    {!snapshot} before and {!diff} after. *)
+
+type counters = {
+  mutable pivots : int;
+  mutable relabels : int;
+  mutable sweeps : int;
+  mutable bumps : int;
+  mutable warm_starts : int;
+  mutable cold_starts : int;
+}
+
+val zero : unit -> counters
+(** A fresh all-zero counter record (not the ambient one). *)
+
+val current : counters
+(** The ambient process-global counters. Mutated by the [tick_*] family. *)
+
+val reset : unit -> unit
+(** Zeroes {!current}. *)
+
+val snapshot : unit -> counters
+(** A copy of {!current} at this instant. *)
+
+val diff : counters -> counters -> counters
+(** [diff before after] — counters spent between two snapshots. *)
+
+val add : counters -> counters -> counters
+val equal : counters -> counters -> bool
+
+val tick_pivot : unit -> unit
+val tick_relabel : unit -> unit
+val tick_sweep : unit -> unit
+val tick_bump : unit -> unit
+val tick_warm_start : unit -> unit
+val tick_cold_start : unit -> unit
+
+val to_fields : counters -> (string * int) list
+(** [(name, value)] pairs in a fixed order — the serialization used by the
+    journal ([job-perf] events) and the bench JSON. *)
+
+val pp : Format.formatter -> counters -> unit
+
+val timed : (unit -> 'a) -> 'a * float
+(** [timed f] runs [f] and returns its result with the elapsed monotonic
+    wall time in seconds ({!Mono}). *)

@@ -1,6 +1,5 @@
 module Diag = Minflo_robust.Diag
 module Budget = Minflo_robust.Budget
-module Elmore = Minflo_tech.Elmore
 module Tech = Minflo_tech.Tech
 module Tilos = Minflo_sizing.Tilos
 module Minflotransit = Minflo_sizing.Minflotransit
@@ -14,7 +13,7 @@ type config = {
   diff_tolerance : float;
   engine : Minflotransit.options;
   fault_seed : int option;
-  make_fault : unit -> Minflo_robust.Fault.t option;
+  make_fault : Job.t -> Minflo_robust.Fault.t option;
   preflight : bool;
 }
 
@@ -26,7 +25,7 @@ let default_config =
     diff_tolerance = Differential.default_tolerance;
     engine = Minflotransit.default_options;
     fault_seed = None;
-    make_fault = (fun () -> None);
+    make_fault = (fun _ -> None);
     preflight = true }
 
 type job_report = {
@@ -68,11 +67,26 @@ let checkpoint_path cfg job =
 
 (* ---------- one job, in the calling process ---------- *)
 
-let run_job cfg (job : Job.t) : (Job.outcome, Diag.error) result =
+let run_job ?(emit : Supervisor.emit option) cfg (job : Job.t) :
+    (Job.outcome, Diag.error) result =
+  let emit_event ?fields name =
+    match emit with Some e -> e ?fields name | None -> ()
+  in
+  let perf0 = Minflo_robust.Perf.snapshot () in
+  let emit_perf () =
+    let spent = Minflo_robust.Perf.(diff perf0 (snapshot ())) in
+    emit_event
+      ~fields:
+        (List.map
+           (fun (k, v) -> Journal.field_int k v)
+           (Minflo_robust.Perf.to_fields spent))
+      "job-perf"
+  in
+  let result =
   match Job.load_circuit job.circuit with
   | Error _ as e -> e
   | Ok nl -> (
-    let model = Elmore.of_netlist Tech.default_130nm nl in
+    let model = Minflo_tech.Model_cache.model ~tech:Tech.default_130nm nl in
     let d0 = Sweep.dmin model in
     let a0 = Sweep.min_area model in
     let target = job.factor *. d0 in
@@ -80,8 +94,14 @@ let run_job cfg (job : Job.t) : (Job.outcome, Diag.error) result =
     let solver_name = Job.solver_name job.solver in
     let options = { cfg.engine with Minflotransit.solver = job.solver } in
     let ckpt = checkpoint_path cfg job in
-    let fault = cfg.make_fault () in
+    let fault = cfg.make_fault job in
     let save_checkpoint budget tilos snap =
+      emit_event
+        ~fields:
+          [ Journal.field_int "iter" snap.Minflotransit.snap_iter;
+            Journal.field_float "area" snap.Minflotransit.snap_area;
+            Journal.field_float "eta" snap.Minflotransit.snap_eta ]
+        "job-checkpoint";
       match ckpt with
       | None -> ()
       | Some path ->
@@ -167,6 +187,9 @@ let run_job cfg (job : Job.t) : (Job.outcome, Diag.error) result =
             (Minflotransit.refine_with ?fault
                ~on_iteration:(save_checkpoint budget tilos)
                ~budget ~options model ~target ~init:tilos.sizes ~tilos)))
+  in
+  emit_perf ();
+  result
 
 (* ---------- the batch ---------- *)
 
@@ -261,8 +284,8 @@ let run ?(config = default_config) jobs =
       | _ -> ()
     in
     let outcomes =
-      Supervisor.run_all ~config:config.supervise ?journal ~on_done
-        (List.map (fun j -> (Job.id j, fun () -> run_job config j)) to_run)
+      Supervisor.run_all_tasks ~config:config.supervise ?journal ~on_done
+        (List.map (fun j -> (Job.id j, fun emit -> run_job ~emit config j)) to_run)
     in
     List.iter (fun (id, o) -> Hashtbl.replace outcome_by_id id o) outcomes;
     (* differential legs: re-run each successful job under an independent
@@ -286,11 +309,11 @@ let run ?(config = default_config) jobs =
           differential = false }
       in
       let secondary =
-        Supervisor.run_all ~config:config.supervise ?journal
+        Supervisor.run_all_tasks ~config:config.supervise ?journal
           (List.map
              (fun (j, id, _) ->
                let sj = { j with Job.solver = Differential.counterpart j.Job.solver } in
-               ("diff:" ^ id, fun () -> run_job diff_cfg sj))
+               ("diff:" ^ id, fun emit -> run_job ~emit diff_cfg sj))
              succeeded)
       in
       List.iter2

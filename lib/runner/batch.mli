@@ -33,9 +33,10 @@ type config = {
   engine : Minflo_sizing.Minflotransit.options;
       (** base engine options; [solver] is overridden per job. *)
   fault_seed : int option;  (** recorded in checkpoints for bookkeeping. *)
-  make_fault : unit -> Minflo_robust.Fault.t option;
-      (** builds the fault plan for one attempt, called inside the child so
-          each attempt gets fresh fire counts. Default: no plan. *)
+  make_fault : Job.t -> Minflo_robust.Fault.t option;
+      (** builds the fault plan for one attempt of one job, called inside
+          the child so each attempt gets fresh fire counts (and may target
+          specific jobs). Default: no plan. *)
   preflight : bool;
       (** lint every distinct circuit before forking anything (default
           [true]). A parse error or any Error-severity finding is
@@ -65,11 +66,16 @@ type summary = {
 }
 
 val run_job :
-  config -> Job.t -> (Job.outcome, Minflo_robust.Diag.error) result
+  ?emit:Supervisor.emit ->
+  config ->
+  Job.t ->
+  (Job.outcome, Minflo_robust.Diag.error) result
 (** One job, in the calling process: load the circuit, seed with TILOS,
     refine with checkpointing after every pass (resuming from a validated
-    checkpoint when configured). Exposed for tests; {!run} is the
-    supervised entry point. *)
+    checkpoint when configured). [emit] (from the supervisor) receives a
+    [job-checkpoint] event per D/W pass and one final [job-perf] event
+    carrying the {!Minflo_robust.Perf} counters the job spent. Exposed for
+    tests; {!run} is the supervised entry point. *)
 
 val run :
   ?config:config -> Job.t list -> (summary, Minflo_robust.Diag.error) result

@@ -1,0 +1,172 @@
+module Diag = Minflo_robust.Diag
+module Perf = Minflo_robust.Perf
+module Tech = Minflo_tech.Tech
+module Sweep = Minflo_sizing.Sweep
+module Minflotransit = Minflo_sizing.Minflotransit
+
+type experiment = {
+  circuit : string;
+  mode : string;
+  target_factor : float;
+  area : float;
+  met : bool;
+  iterations : int;
+  counters : Perf.counters;
+  wall_seconds : float;
+}
+
+let schema = "minflo-bench/1"
+let quick_circuits = [ "c432"; "c880" ]
+let full_circuits = [ "c432"; "c880"; "c1908"; "c6288" ]
+let target_factor = 0.6
+
+let run_one ~circuit ~warm =
+  let nl = Minflo_netlist.Iscas85.circuit circuit in
+  let model = Minflo_tech.Model_cache.model ~tech:Tech.default_130nm nl in
+  let target = target_factor *. Sweep.dmin model in
+  let options =
+    { Minflotransit.default_options with
+      Minflotransit.warm_start = warm;
+      canonical_duals = true }
+  in
+  let before = Perf.snapshot () in
+  let result, wall =
+    Perf.timed (fun () -> Minflotransit.optimize ~options model ~target)
+  in
+  { circuit;
+    mode = (if warm then "warm" else "cold");
+    target_factor;
+    area = result.Minflotransit.area;
+    met = result.Minflotransit.met;
+    iterations = result.Minflotransit.iterations;
+    counters = Perf.(diff before (snapshot ()));
+    wall_seconds = wall }
+
+let suite ?(quick = false) () =
+  let circuits = if quick then quick_circuits else full_circuits in
+  List.concat_map
+    (fun c -> [ run_one ~circuit:c ~warm:false; run_one ~circuit:c ~warm:true ])
+    circuits
+
+(* ---------- rendering ---------- *)
+
+(* The stable part of one experiment: everything that is a pure function of
+   the inputs. Wall time is appended separately and never compared. *)
+let stable_json e =
+  let counters =
+    String.concat ", "
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\": %d" k v)
+         (Perf.to_fields e.counters))
+  in
+  Printf.sprintf
+    "{\"circuit\": \"%s\", \"mode\": \"%s\", \"target_factor\": %.3f, \
+     \"area\": %.9f, \"met\": %b, \"iterations\": %d, %s"
+    e.circuit e.mode e.target_factor e.area e.met e.iterations counters
+
+let to_json e =
+  Printf.sprintf "%s, \"wall_seconds\": %.3f}" (stable_json e) e.wall_seconds
+
+let render experiments =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{\"schema\": \"%s\",\n" schema);
+  Buffer.add_string buf " \"experiments\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (to_json e);
+      if i < List.length experiments - 1 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n')
+    experiments;
+  Buffer.add_string buf " ]}\n";
+  Buffer.contents buf
+
+(* ---------- baseline check ---------- *)
+
+(* Reduce a rendered experiment line to its stable prefix: everything up to
+   the volatile ["wall_seconds"] field. Works on both freshly rendered
+   lines and baseline-file lines, so the comparison is string-exact. *)
+let stable_prefix line =
+  let pat = ", \"wall_seconds\":" in
+  let ll = String.length line and lp = String.length pat in
+  let rec search i =
+    if i + lp > ll then line
+    else if String.sub line i lp = pat then String.sub line 0 i
+    else search (i + 1)
+  in
+  search 0
+
+let baseline_lines path =
+  match open_in path with
+  | exception Sys_error msg -> Error (Diag.Io_error { file = path; msg })
+  | ic ->
+    let lines = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if String.length line > 0 && line.[0] = '{' then begin
+           let line =
+             if line.[String.length line - 1] = ',' then
+               String.sub line 0 (String.length line - 1)
+             else line
+           in
+           (* skip the header object; experiment lines carry "circuit" *)
+           let is_experiment =
+             let pat = "\"circuit\":" in
+             let ll = String.length line and lp = String.length pat in
+             let rec go i =
+               if i + lp > ll then false
+               else String.sub line i lp = pat || go (i + 1)
+             in
+             go 0
+           in
+           if is_experiment then lines := stable_prefix line :: !lines
+         end
+       done
+     with End_of_file -> ());
+    close_in_noerr ic;
+    Ok (List.rev !lines)
+
+let check ~baseline experiments =
+  match baseline_lines baseline with
+  | Error e -> Error [ Diag.to_string e ]
+  | Ok base ->
+    (* Experiments are keyed by (circuit, mode): every experiment this run
+       produced must match its baseline entry exactly. Baseline entries the
+       run did not exercise are fine — that is what lets the CI smoke job
+       run the quick grid against the full checked-in baseline. *)
+    let diffs =
+      List.concat_map
+        (fun e ->
+          let key =
+            Printf.sprintf "{\"circuit\": \"%s\", \"mode\": \"%s\"," e.circuit
+              e.mode
+          in
+          let starts_with p s =
+            String.length s >= String.length p
+            && String.sub s 0 (String.length p) = p
+          in
+          let f = stable_prefix (to_json e) in
+          match List.find_opt (starts_with key) base with
+          | None ->
+            [ Printf.sprintf "no baseline entry for %s/%s" e.circuit e.mode ]
+          | Some b when b <> f ->
+            [ Printf.sprintf "baseline: %s}\n     run: %s}" b f ]
+          | Some _ -> [])
+        experiments
+    in
+    if diffs = [] then Ok () else Error diffs
+
+(* ---------- the headline metric ---------- *)
+
+let pivot_reduction experiments ~circuit =
+  let find mode =
+    List.find_opt (fun e -> e.circuit = circuit && e.mode = mode) experiments
+  in
+  match (find "cold", find "warm") with
+  | Some c, Some w when c.counters.Perf.pivots > 0 ->
+    Some
+      (100.
+      *. float_of_int (c.counters.Perf.pivots - w.counters.Perf.pivots)
+      /. float_of_int c.counters.Perf.pivots)
+  | _ -> None

@@ -1,0 +1,46 @@
+(** The deterministic benchmark suite behind [minflo bench].
+
+    Each experiment runs the full engine (TILOS seed + D/W refinement) on
+    one ISCAS-85 circuit in one mode — [cold] (fresh flow solve per
+    D-phase) or [warm] (basis reuse across D-phases) — and records the
+    final area plus the {!Minflo_robust.Perf} counters spent. Counters are
+    pure functions of the inputs, so a checked-in baseline
+    ([BENCH_pr5.json]) can be compared {e exactly} on every CI run; wall
+    time is recorded for human eyes and never compared. *)
+
+type experiment = {
+  circuit : string;
+  mode : string;  (** ["cold"] or ["warm"]. *)
+  target_factor : float;
+  area : float;
+  met : bool;
+  iterations : int;
+  counters : Minflo_robust.Perf.counters;
+  wall_seconds : float;  (** volatile; excluded from {!check}. *)
+}
+
+val schema : string
+
+val suite : ?quick:bool -> unit -> experiment list
+(** Runs the benchmark grid: cold and warm legs for each circuit —
+    [c432, c880] when [quick] (the CI smoke set), plus [c1908, c6288] in
+    the full run. Order is deterministic. *)
+
+val to_json : experiment -> string
+(** One experiment as a single-line JSON object. *)
+
+val render : experiment list -> string
+(** The full baseline document: a [schema] header and one experiment per
+    line (so diffs and the baseline check stay line-oriented). *)
+
+val check : baseline:string -> experiment list -> (unit, string list) result
+(** [check ~baseline experiments] compares this run against the checked-in
+    baseline file, field-exact on everything {e except} wall time.
+    Experiments are matched by (circuit, mode), so a [--quick] run checks
+    cleanly against the full baseline; an experiment with no baseline entry
+    is itself a divergence. [Error] carries one human-readable line per
+    divergence. *)
+
+val pivot_reduction : experiment list -> circuit:string -> float option
+(** Percent reduction in simplex pivots of the warm leg vs the cold leg
+    for one circuit; [None] if either leg is missing. *)

@@ -24,18 +24,9 @@ let magic = "minflo-checkpoint"
 
 (* FNV-1a 64-bit over the canonical .bench rendering: cheap, stable across
    processes (unlike Hashtbl.hash on boxed data), and any structural edit
-   to the netlist changes the text. *)
-let fnv1a64 s =
-  let prime = 0x100000001b3L in
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.logxor !h (Int64.of_int (Char.code c));
-      h := Int64.mul !h prime)
-    s;
-  !h
-
-let hash_netlist nl = fnv1a64 (Bench_format.to_string nl)
+   to the netlist changes the text. Shared with the model cache so a
+   checkpoint's circuit binding and the cache key agree by construction. *)
+let hash_netlist = Minflo_tech.Model_cache.hash_netlist
 
 (* ---------- rendering ---------- *)
 

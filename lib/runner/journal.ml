@@ -132,6 +132,88 @@ let find_field line key =
       Some (String.trim (String.sub line start (!stop - start)))
     end
 
+(* ---------- canonicalization ---------- *)
+
+(* Split the inside of one written object into its top-level "key": value
+   segments. Values can nest objects/arrays (embedded Diag errors) and
+   contain commas inside strings, so track string state and bracket depth.
+   Only needs to read back what [event] above wrote. *)
+let top_level_parts inner =
+  let parts = ref [] and buf = Buffer.create 64 in
+  let depth = ref 0 and in_str = ref false and esc = ref false in
+  String.iter
+    (fun c ->
+      if !esc then begin
+        esc := false;
+        Buffer.add_char buf c
+      end
+      else
+        match c with
+        | '\\' when !in_str ->
+          esc := true;
+          Buffer.add_char buf c
+        | '"' ->
+          in_str := not !in_str;
+          Buffer.add_char buf c
+        | ('{' | '[') when not !in_str ->
+          incr depth;
+          Buffer.add_char buf c
+        | ('}' | ']') when not !in_str ->
+          decr depth;
+          Buffer.add_char buf c
+        | ',' when (not !in_str) && !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+        | c -> Buffer.add_char buf c)
+    inner;
+  if Buffer.length buf > 0 then parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts
+
+let volatile_keys = [ "\"seq\":"; "\"t\":"; "\"backoff_seconds\":" ]
+
+let strip_volatile line =
+  let n = String.length line in
+  if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then line
+  else begin
+    let keep part =
+      not
+        (List.exists
+           (fun k ->
+             String.length part >= String.length k
+             && String.sub part 0 (String.length k) = k)
+           volatile_keys)
+    in
+    let parts =
+      List.filter keep (top_level_parts (String.sub line 1 (n - 2)))
+    in
+    "{" ^ String.concat ", " parts ^ "}"
+  end
+
+let canonical path =
+  let lines = ref [] in
+  (match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    (try
+       while true do
+         let line = input_line ic in
+         let n = String.length line in
+         if n > 0 && line.[0] = '{' && line.[n - 1] = '}' then
+           lines := strip_volatile line :: !lines
+       done
+     with End_of_file -> ());
+    close_in_noerr ic);
+  let keyed =
+    List.rev_map
+      (fun line ->
+        (Option.value ~default:"" (find_field line "job"), line))
+      !lines
+  in
+  (* stable sort on the job id: within one job the order events were
+     journaled in is preserved (and is deterministic — see Supervisor's
+     pipe drain); lines without a job field sort first in original order *)
+  List.map snd (List.stable_sort (fun (a, _) (b, _) -> compare a b) keyed)
+
 let completed path =
   let table = Hashtbl.create 64 in
   (match open_in path with

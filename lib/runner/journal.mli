@@ -44,3 +44,13 @@ val completed : string -> (string, float) Hashtbl.t
 (** [completed path] scans the journal for ["job-ok"] events and returns
     job id -> final area. Missing file means an empty table; malformed or
     truncated lines are skipped. *)
+
+val canonical : string -> string list
+(** The journal's lines in canonical form: volatile fields ([seq], [t],
+    [backoff_seconds]) removed, truncated lines dropped, and lines stably
+    sorted by their [job] field (lines without one first, in original
+    order). Two runs of the same batch are equivalent iff their canonical
+    journals are equal — in particular, [-j N] reorders events {e between}
+    jobs but never within one, so the canonical journal of a parallel run
+    is bit-identical to the sequential run's. The test-suite and the batch
+    differential rely on exactly this. *)

@@ -57,23 +57,64 @@ let read_result file : ('a, Diag.error) result option =
     close_in_noerr ic;
     r
 
+type emit = ?fields:(string * string) list -> string -> unit
+
 type running = {
   id : string;
   pid : int;
   result_file : string;
   deadline : float option;
   mutable killed : bool;
+  (* worker -> parent journal-event pipe: the child writes one
+     US-separated record per event, the parent is the only process that
+     ever touches journal.jsonl (single-writer crash safety) *)
+  pipe_r : Unix.file_descr;
+  pipe_buf : Buffer.t;
 }
+
+(* Pipe protocol: one newline-terminated record per event,
+   name \x1f key1 \x1f value1 \x1f key2 \x1f value2 ...
+   Values are pre-rendered JSON (Journal.field_str etc.), whose escaping already
+   keeps control characters — newline and \x1f included — out of the raw
+   bytes; a record that would still contain either is dropped rather than
+   corrupting the framing. *)
+let render_emit_record name fields =
+  let parts = name :: List.concat_map (fun (k, v) -> [ k; v ]) fields in
+  if
+    List.for_all
+      (fun s -> not (String.exists (fun c -> c = '\n' || c = '\x1f') s))
+      parts
+  then Some (String.concat "\x1f" parts ^ "\n")
+  else None
+
+let parse_emit_record line =
+  match String.split_on_char '\x1f' line with
+  | [] | [ "" ] -> None
+  | name :: rest ->
+    let rec pairs = function
+      | k :: v :: tl -> (k, v) :: pairs tl
+      | _ -> []
+    in
+    Some (name, pairs rest)
 
 let spawn ~timeout id thunk =
   let result_file = Filename.temp_file "minflo-job-" ".result" in
+  let pr, pw = Unix.pipe () in
   (* avoid duplicated buffered output in the child *)
   flush stdout;
   flush stderr;
   match Unix.fork () with
   | 0 ->
+    Unix.close pr;
+    let emit ?(fields = []) name =
+      match render_emit_record name fields with
+      | None -> ()
+      | Some line -> (
+        try ignore (Unix.write_substring pw line 0 (String.length line))
+        with Unix.Unix_error _ -> ())
+    in
     let r =
-      try thunk () with
+      try thunk emit with
       | Diag.Error_exn e -> Error e
       | exn -> Error (Diag.Internal (Printexc.to_string exn))
     in
@@ -81,11 +122,18 @@ let spawn ~timeout id thunk =
     (* _exit: never run the parent's at_exit handlers in the child *)
     Unix._exit 0
   | pid ->
+    (* the parent closes the write end immediately, so once this child
+       exits the pipe reaches EOF — no other process can hold it open
+       (children only ever inherit read ends of earlier pipes) *)
+    Unix.close pw;
+    Unix.set_nonblock pr;
     { id;
       pid;
       result_file;
       deadline = Option.map (fun s -> Mono.now () +. s) timeout;
-      killed = false }
+      killed = false;
+      pipe_r = pr;
+      pipe_buf = Buffer.create 256 }
 
 let reap_verdict cfg (r : running) status : ('a, Diag.error) result =
   let cleanup v =
@@ -123,7 +171,7 @@ let reap_verdict cfg (r : running) status : ('a, Diag.error) result =
 
 type 'a task = {
   t_id : string;
-  thunk : unit -> ('a, Diag.error) result;
+  thunk : emit -> ('a, Diag.error) result;
   mutable attempts : int;
   mutable ready_at : float;  (* backoff gate; monotonic seconds *)
   mutable last_error : Diag.error option;
@@ -134,7 +182,48 @@ let journal_event journal ?job ?error ?fields name =
   | Some j -> Journal.event j ?job ?error ?fields name
   | None -> ()
 
-let run_all ?(config = default_config) ?journal ?on_done tasks =
+(* journal the complete records accumulated in [r]'s pipe buffer, keeping
+   any trailing partial record for the next drain *)
+let flush_pipe_lines journal r =
+  let s = Buffer.contents r.pipe_buf in
+  match String.rindex_opt s '\n' with
+  | None -> ()
+  | Some last ->
+    Buffer.clear r.pipe_buf;
+    Buffer.add_substring r.pipe_buf s (last + 1) (String.length s - last - 1);
+    List.iter
+      (fun line ->
+        if line <> "" then
+          match parse_emit_record line with
+          | Some (name, fields) -> journal_event journal ~job:r.id ~fields name
+          | None -> ())
+      (String.split_on_char '\n' (String.sub s 0 last))
+
+(* read whatever the worker has written so far (non-blocking); called on
+   every poll so a chatty worker can never fill the pipe and stall *)
+let drain_pipe journal r =
+  let bytes = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read r.pipe_r bytes 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes r.pipe_buf bytes 0 n;
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ();
+  flush_pipe_lines journal r
+
+(* final drain once the child has exited: the write end is closed, so the
+   read loop runs to EOF — every event the worker emitted lands in the
+   journal BEFORE the verdict event, making within-job order deterministic
+   regardless of the parallelism level *)
+let close_pipe journal r =
+  drain_pipe journal r;
+  (try Unix.close r.pipe_r with Unix.Unix_error _ -> ())
+
+let run_all_tasks ?(config = default_config) ?journal ?on_done tasks =
   let cfg = { config with parallel = max 1 config.parallel } in
   let order = List.map fst tasks in
   let results : (string, 'a outcome) Hashtbl.t =
@@ -194,8 +283,10 @@ let run_all ?(config = default_config) ?journal ?on_done tasks =
     journal_event journal ~job:task.t_id
       ~fields:[ Journal.field_int "attempt" task.attempts ]
       "job-spawn";
+    (* no pipe needed: the worker IS the journal owner's process *)
+    let emit ?fields name = journal_event journal ~job:task.t_id ?fields name in
     let v =
-      try task.thunk () with
+      try task.thunk emit with
       | Diag.Error_exn e -> Error e
       | exn -> Error (Diag.Internal (Printexc.to_string exn))
     in
@@ -252,9 +343,14 @@ let run_all ?(config = default_config) ?journal ?on_done tasks =
             r.killed <- true
           | _ -> ());
           match Unix.waitpid [ Unix.WNOHANG ] r.pid with
-          | 0, _ -> still := entry :: !still
-          | _, status -> handle_result task (reap_verdict cfg r status)
+          | 0, _ ->
+            drain_pipe journal r;
+            still := entry :: !still
+          | _, status ->
+            close_pipe journal r;
+            handle_result task (reap_verdict cfg r status)
           | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+            close_pipe journal r;
             handle_result task
               (Error (Diag.Job_crashed { job = r.id; detail = "lost child" })))
         !running;
@@ -291,3 +387,7 @@ let run_all ?(config = default_config) ?journal ?on_done tasks =
             attempts = 0;
             quarantined = false } ))
     order
+
+let run_all ?config ?journal ?on_done tasks =
+  run_all_tasks ?config ?journal ?on_done
+    (List.map (fun (id, thunk) -> (id, fun (_ : emit) -> thunk ())) tasks)

@@ -40,6 +40,16 @@ type 'a outcome = {
   quarantined : bool;   (** failed deterministically; retries withheld. *)
 }
 
+type emit = ?fields:(string * string) list -> string -> unit
+(** A worker's channel for journal events. Field values must be
+    pre-rendered JSON ({!Journal.field_str} and friends). In isolated mode
+    the event crosses a dedicated worker->parent pipe and the {e parent}
+    appends it (the journal stays single-writer, so its crash-safety
+    guarantees survive any parallelism level); in-process mode appends
+    directly. Events carry the task's id as their [job] field. All events
+    a worker emitted are journaled before the task's verdict event, so
+    within-job event order is deterministic regardless of [parallel]. *)
+
 val run_all :
   ?config:config ->
   ?journal:Journal.t ->
@@ -53,3 +63,13 @@ val run_all :
     in the parent the moment a task reaches its final outcome (success,
     quarantine or retry exhaustion) — the batch layer uses it to journal
     completions crash-safely as they happen, not when the batch ends. *)
+
+val run_all_tasks :
+  ?config:config ->
+  ?journal:Journal.t ->
+  ?on_done:(string -> 'a outcome -> unit) ->
+  (string * (emit -> ('a, Minflo_robust.Diag.error) result)) list ->
+  (string * 'a outcome) list
+(** Like {!run_all}, but each thunk receives an {!emit} through which the
+    worker can add its own events (checkpoint progress, perf counters) to
+    the batch journal from inside the child process. *)

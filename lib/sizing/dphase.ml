@@ -21,10 +21,15 @@ type options = {
   scale : float;
   solver : solver;
   balance_mode : [ `Alap | `Asap ];
+  canonical_duals : bool;
 }
 
 let default_options =
-  { eta = 0.5; scale = 1.0e4; solver = `Simplex; balance_mode = `Alap }
+  { eta = 0.5;
+    scale = 1.0e4;
+    solver = `Simplex;
+    balance_mode = `Alap;
+    canonical_duals = false }
 
 type outcome = {
   budgets : float array;
@@ -99,8 +104,8 @@ let displacement_problem ?options model ~sizes ~delays ~deadline =
     (fun b -> Diff_lp.to_problem b.lp)
     (build_lp ?options model ~sizes ~delays ~deadline)
 
-let solve ?(options = default_options) ?budget ?fault ?checks model ~sizes
-    ~delays ~deadline =
+let solve ?(options = default_options) ?budget ?warm ?fault ?checks model
+    ~sizes ~delays ~deadline =
   match build_lp ~options model ~sizes ~delays ~deadline with
   | Error e -> Error e
   | Ok { lp; r; rdmy; weights } ->
@@ -128,7 +133,10 @@ let solve ?(options = default_options) ?budget ?fault ?checks model ~sizes
             (Result.map_error Diag.to_string (Mcf.check_optimality p sol))
         | _ -> ()
       in
-      (match Diff_lp.solve ~solver:options.solver ?budget ~on_solution lp with
+      (match
+         Diff_lp.solve ~solver:options.solver ?budget ?warm
+           ~canonical:options.canonical_duals ~on_solution lp
+       with
       | Diff_lp.Infeasible_lp ->
         Error
           (Diag.Internal

@@ -28,6 +28,13 @@ type options = {
   balance_mode : [ `Alap | `Asap ];
       (** which balanced configuration seeds the displacement; Theorem 1
           says the optimum is the same, making this a pure ablation knob. *)
+  canonical_duals : bool;
+      (** replace the solver's optimal duals with
+          {!Minflo_flow.Mcf.canonical_potentials} so the step taken is
+          independent of solver and starting basis. Off by default (the
+          historical behavior); forced on by the engine whenever warm starts
+          are enabled, since a warm solve may otherwise land on a different
+          vertex of the optimal dual face than a cold one. *)
 }
 
 val default_options : options
@@ -58,6 +65,7 @@ val displacement_problem :
 val solve :
   ?options:options ->
   ?budget:Minflo_robust.Budget.t ->
+  ?warm:Minflo_flow.Diff_lp.warm ->
   ?fault:Minflo_robust.Fault.t ->
   ?checks:Minflo_robust.Check.t ->
   Minflo_tech.Delay_model.t ->

@@ -21,6 +21,8 @@ type options = {
   limits : Budget.limits;
   osc_tol : float;
   osc_window : int;
+  warm_start : bool;
+  canonical_duals : bool;
 }
 
 let default_options =
@@ -33,7 +35,9 @@ let default_options =
     tilos_bump = 1.1;
     limits = Budget.no_limits;
     osc_tol = 1e-9;
-    osc_window = 3 }
+    osc_window = 3;
+    warm_start = false;
+    canonical_duals = false }
 
 type iteration = {
   iter : int;
@@ -127,6 +131,14 @@ let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
   let osc_repeats =
     ref (match resume with Some s -> s.snap_osc_repeats | None -> 0)
   in
+  (* one warm context for the whole refinement: the displacement LP keeps
+     its constraint-graph shape across iterations (and across trust-region
+     retries), which is exactly the reuse condition of the flow solvers.
+     Warm starts force canonical duals — without them a warm solve may pick
+     a different vertex of the optimal dual face than a cold one and the
+     trajectories would drift apart. *)
+  let warm = if options.warm_start then Some (Minflo_flow.Diff_lp.make_warm ()) else None in
+  let canonical = options.canonical_duals || options.warm_start in
   while !continue && !eta >= options.eta_min do
     if !iters >= options.max_iterations then begin
       stop := Stop_max_iterations;
@@ -143,10 +155,13 @@ let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
         let delays = Delay_model.delays model !x in
         let attempt solver () =
           let dopts =
-            { Dphase.default_options with eta = !eta; solver }
+            { Dphase.default_options with
+              eta = !eta;
+              solver;
+              canonical_duals = canonical }
           in
-          Dphase.solve ~options:dopts ~budget ?fault ?checks model ~sizes:!x
-            ~delays ~deadline:target
+          Dphase.solve ~options:dopts ~budget ?warm ?fault ?checks model
+            ~sizes:!x ~delays ~deadline:target
         in
         let rungs =
           List.map

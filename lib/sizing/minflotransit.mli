@@ -38,6 +38,20 @@ type options = {
   osc_window : int;
       (** consecutive same-area rejections that trigger
           {!Stop_oscillation} (default 3). *)
+  warm_start : bool;
+      (** reuse flow-solver state (spanning-tree basis for the simplex,
+          Johnson potentials for SSP) across D-phase solves, so iteration
+          [k+1] starts from iteration [k]'s optimal basis instead of the
+          all-artificial one. Implies [canonical_duals], which is what makes
+          the warm trajectory — every iterate, every area, the final sizing
+          — bit-identical to the cold one (verified by the test-suite and
+          the fuzz oracle). Default [false]: the historical single-solve
+          behavior, and the mode used whenever checkpoints may be resumed
+          (warm state is in-memory only and not part of a {!snapshot}). *)
+  canonical_duals : bool;
+      (** make every D-phase step independent of solver/basis by
+          canonicalizing the LP duals ({!Minflo_flow.Mcf.canonical_potentials});
+          forced on by [warm_start]. Default [false]. *)
 }
 
 val default_options : options

@@ -14,41 +14,53 @@ type result = {
 (* Local sensitivity of bumping vertex i: the change in the delay of the
    critical path segment through i — i's own delay drops, the critical
    fanin's delay grows because its load grows — per unit of added area.
-   This is the classic TILOS figure of merit. *)
-let sensitivity model eng bump i =
-  let g = model.Delay_model.graph in
+   This is the classic TILOS figure of merit.
+
+   [preds] is the per-vertex fanin array, precomputed once per [size] call:
+   this runs once per critical vertex per bump, and [Digraph.pred] builds a
+   fresh list on every call — on big circuits that allocation (plus the
+   closure-per-element folds it fed) dominated the greedy loop. Everything
+   here is now straight array iteration with no per-call allocation. *)
+let sensitivity model eng bump (preds : int array array) i =
   let old_xi = Inc.size eng i in
   let new_xi = min (old_xi *. bump) model.Delay_model.max_size in
   if new_xi <= old_xi then neg_infinity
   else begin
     let d_new =
       (* delay of i with the larger size: only the 1/x_i part shrinks *)
+      let coeffs = model.Delay_model.a_coeffs.(i) in
       let acc = ref model.Delay_model.b.(i) in
-      Array.iter
-        (fun (j, a) -> acc := !acc +. (a *. Inc.size eng j))
-        model.Delay_model.a_coeffs.(i);
+      for k = 0 to Array.length coeffs - 1 do
+        let j, a = coeffs.(k) in
+        acc := !acc +. (a *. Inc.size eng j)
+      done;
       model.Delay_model.a_self.(i) +. (!acc /. new_xi)
     in
     let own_gain = Inc.delay eng i -. d_new in
     (* critical fanin k: the one realizing AT(i); its delay grows by
        a_ki * (new_xi - old_xi) / x_k *)
+    let fanin = preds.(i) in
+    let best = ref (-1) and best_f = ref neg_infinity in
+    for idx = 0 to Array.length fanin - 1 do
+      let k = fanin.(idx) in
+      let f = Inc.finish eng k in
+      if f > !best_f then begin
+        best_f := f;
+        best := k
+      end
+    done;
     let fanin_penalty =
-      match
-        List.fold_left
-          (fun best k ->
-            match best with
-            | Some bk when Inc.finish eng bk >= Inc.finish eng k -> best
-            | _ -> Some k)
-          None (Digraph.pred g i)
-      with
-      | None -> 0.0
-      | Some k ->
-        let a_ki =
-          Array.fold_left
-            (fun acc (j, a) -> if j = i then acc +. a else acc)
-            0.0 model.Delay_model.a_coeffs.(k)
-        in
-        a_ki *. (new_xi -. old_xi) /. Inc.size eng k
+      if !best < 0 then 0.0
+      else begin
+        let k = !best in
+        let coeffs = model.Delay_model.a_coeffs.(k) in
+        let a_ki = ref 0.0 in
+        for idx = 0 to Array.length coeffs - 1 do
+          let j, a = coeffs.(idx) in
+          if j = i then a_ki := !a_ki +. a
+        done;
+        !a_ki *. (new_xi -. old_xi) /. Inc.size eng k
+      end
     in
     let darea = model.Delay_model.area_weight.(i) *. (new_xi -. old_xi) in
     (own_gain -. fanin_penalty) /. darea
@@ -66,6 +78,8 @@ let size ?(bump = 1.1) ?(max_bumps = 2_000_000) ?budget ?init model ~target =
         x0
   in
   let eng = Inc.create model ~sizes:start in
+  let g = model.Delay_model.graph in
+  let preds = Array.init n (fun i -> Array.of_list (Digraph.pred g i)) in
   let bumps = ref 0 in
   let finished = ref false in
   let met = ref false in
@@ -90,7 +104,7 @@ let size ?(bump = 1.1) ?(max_bumps = 2_000_000) ?budget ?init model ~target =
       let best = ref (-1) and best_s = ref 0.0 in
       List.iter
         (fun i ->
-          let s = sensitivity model eng bump i in
+          let s = sensitivity model eng bump preds i in
           if s > !best_s then begin
             best_s := s;
             best := i
@@ -124,6 +138,7 @@ let size ?(bump = 1.1) ?(max_bumps = 2_000_000) ?budget ?init model ~target =
         finished := true
       else begin
         Inc.set_size eng !best (min (Inc.size eng !best *. bump) model.Delay_model.max_size);
+        Minflo_robust.Perf.tick_bump ();
         incr bumps
       end
     end

@@ -11,6 +11,7 @@ type t = {
 }
 
 let arrivals model ~delays =
+  Minflo_robust.Perf.tick_sweep ();
   let g = model.Delay_model.graph in
   let order = Topo.sort g in
   let n = Digraph.node_count g in
@@ -35,6 +36,7 @@ let analyze model ~delays ~deadline =
   let at = arrivals model ~delays in
   let cp = ref 0.0 in
   Array.iteri (fun i a -> if a +. delays.(i) > !cp then cp := a +. delays.(i)) at;
+  Minflo_robust.Perf.tick_sweep ();
   let rt = Array.make n infinity in
   for k = n - 1 downto 0 do
     let i = order.(k) in

@@ -600,7 +600,7 @@ let test_differential_catches_seeded_fault () =
      through the fault plan, degrades to its TILOS seed, and the area gap
      must surface as the typed differential-mismatch diagnostic *)
   let job = { Job.circuit = "c17"; factor = 0.6; solver = `Ssp } in
-  let make_fault () =
+  let make_fault _ =
     let f = Fault.create ~seed:7 () in
     Fault.arm f ~site:"dphase.simplex"
       (Fault.Fail (Diag.Fault_injected { site = "dphase.simplex" }));
