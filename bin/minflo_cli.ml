@@ -13,9 +13,10 @@ open Minflo
 let exit_code_of_error (e : Diag.error) =
   match e with
   | Diag.Parse_error _ | Diag.Lint_error _ | Diag.Unknown_circuit _
-  | Diag.Io_error _ | Diag.Checkpoint_invalid _ -> 2
+  | Diag.Io_error _ | Diag.Checkpoint_invalid _ | Diag.Journal_locked _ -> 2
   | Diag.Unmet_target _ | Diag.Unsafe_timing _ | Diag.Infeasible_budget _
-  | Diag.Budget_exhausted _ | Diag.Oscillation _ | Diag.Job_timeout _ -> 1
+  | Diag.Budget_exhausted _ | Diag.Oscillation _ | Diag.Job_timeout _
+  | Diag.Overloaded _ | Diag.Draining -> 1
   | Diag.Solver_diverged _ | Diag.Numeric _ | Diag.Invariant _
   | Diag.Fault_injected _ | Diag.Differential_mismatch _ | Diag.Job_crashed _
   | Diag.Internal _ -> 3
@@ -1165,12 +1166,235 @@ let replay_cmd =
              reproducer exits 2.")
     Term.(const run $ paths_arg)
 
+(* ---------- serve / client / loadgen ---------- *)
+
+let socket_arg =
+  Arg.(value & opt string "minflo.sock"
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket the daemon listens on.")
+
+let serve_cmd =
+  let run_dir =
+    Arg.(value & opt string "minflo-serve"
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"Run directory: the crash-safe journal \
+                   ($(docv)/journal.jsonl, advisory-locked so a second \
+                   daemon on the same directory fails fast) and per-job \
+                   checkpoints. Restarting on the same directory recovers \
+                   accepted-but-unfinished jobs and the result cache from \
+                   the journal.")
+  in
+  let jobs =
+    Arg.(value & opt int 2
+         & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Concurrent worker processes.")
+  in
+  let queue =
+    Arg.(value & opt int 16
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission queue capacity; submissions beyond it are \
+                   rejected with a typed $(b,overloaded) response instead \
+                   of queueing unboundedly.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) (Some 300.0)
+         & info [ "timeout" ] ~docv:"S"
+             ~doc:"Hard per-attempt wall-clock limit for one job; a worker \
+                   past it is SIGKILLed and the job retried as a transient \
+                   failure.")
+  in
+  let retries =
+    Arg.(value & opt int 2
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Extra attempts for transiently failing jobs (timeouts, \
+                   worker crashes), with exponential backoff; deterministic \
+                   failures are quarantined instead.")
+  in
+  let no_preflight =
+    Arg.(value & flag
+         & info [ "no-preflight" ]
+             ~doc:"Skip the admission-time lint gate.")
+  in
+  let run socket dir jobs queue timeout retries no_preflight =
+    match
+      Serve.run
+        ~config:
+          { Serve.socket_path = socket;
+            run_dir = dir;
+            parallel = jobs;
+            queue_capacity = queue;
+            timeout_seconds = timeout;
+            retries;
+            backoff_base = 0.5;
+            preflight = not no_preflight }
+        ()
+    with
+    | Ok () -> ()
+    | Error e -> Diag.fail e
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the sizing daemon: accept jobs over a unix socket, \
+             schedule them across supervised worker processes with \
+             admission control, per-request budgets, idempotent result \
+             caching, journal-backed crash recovery and graceful drain on \
+             SIGTERM (or the $(b,drain) op).")
+    Term.(const run $ socket_arg $ run_dir $ jobs $ queue $ timeout $ retries
+          $ no_preflight)
+
+(* map a daemon response to the CLI's stable exit codes *)
+let client_exit_code response =
+  if Serve_json.bool_field "ok" response = Some true then 0
+  else
+    match Serve_json.str_field "code" response with
+    | Some ("bad-request" | "unknown-job") -> 2
+    | Some "internal" -> 3
+    | _ -> 1
+
+let client_cmd =
+  let action =
+    Arg.(required
+         & pos 0
+             (some
+                (enum
+                   [ ("submit", `Submit); ("status", `Status);
+                     ("result", `Result); ("cancel", `Cancel);
+                     ("stats", `Stats); ("health", `Health);
+                     ("drain", `Drain) ]))
+             None
+         & info [] ~docv:"ACTION"
+             ~doc:"One of $(b,submit) CIRCUIT, $(b,status) JOB, \
+                   $(b,result) JOB, $(b,cancel) JOB, $(b,stats), \
+                   $(b,health), $(b,drain).")
+  in
+  let operand =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"CIRCUIT|JOB"
+             ~doc:"The circuit to submit, or the job id to query.")
+  in
+  let wait =
+    Arg.(value & flag
+         & info [ "wait" ]
+             ~doc:"With $(b,result): block until the job is terminal.")
+  in
+  let sleep =
+    Arg.(value & opt float 0.0
+         & info [ "sleep" ] ~docv:"S"
+             ~doc:"With $(b,submit): artificial pre-solve latency (load \
+                   testing).")
+  in
+  let run socket action operand factor solver max_seconds max_iterations
+      max_pivots wait sleep =
+    let need what =
+      match operand with
+      | Some v -> v
+      | None ->
+        Fmt.epr "minflo client: this action requires a %s operand@." what;
+        exit 2
+    in
+    let req =
+      match action with
+      | `Submit ->
+        Serve_protocol.Submit
+          { Serve_protocol.circuit = need "circuit";
+            factor;
+            solver;
+            max_seconds;
+            max_iterations;
+            max_pivots;
+            sleep_seconds = sleep }
+      | `Status -> Serve_protocol.Status (need "job id")
+      | `Result -> Serve_protocol.Result { id = need "job id"; wait }
+      | `Cancel -> Serve_protocol.Cancel (need "job id")
+      | `Stats -> Serve_protocol.Stats
+      | `Health -> Serve_protocol.Health
+      | `Drain -> Serve_protocol.Drain
+    in
+    match
+      Serve_client.one_shot ~socket (Serve_protocol.request_to_json req)
+    with
+    | Error e -> Diag.fail e
+    | Ok response ->
+      print_endline (Serve_json.to_string response);
+      let code = client_exit_code response in
+      if code > 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running $(b,minflo serve) daemon: submit jobs, \
+             query status and results (optionally blocking), cancel, and \
+             probe stats/health/drain. Prints the daemon's JSON response; \
+             exit code follows the response ($(b,overloaded), \
+             $(b,draining) and pending map to 1, bad input to 2).")
+    Term.(const run $ socket_arg $ action $ operand $ factor_arg $ solver_arg
+          $ max_seconds_arg $ max_iterations_arg $ max_pivots_arg $ wait
+          $ sleep)
+
+let loadgen_cmd =
+  let circuits =
+    Arg.(value & pos_all string [ "c17" ]
+         & info [] ~docv:"CIRCUIT" ~doc:"Circuits to cycle through.")
+  in
+  let count =
+    Arg.(value & opt int 4
+         & info [ "count"; "n" ] ~docv:"N" ~doc:"Well-formed jobs to submit.")
+  in
+  let sleep =
+    Arg.(value & opt float 0.0
+         & info [ "sleep" ] ~docv:"S"
+             ~doc:"Artificial per-job latency, to make overload and drain \
+                   windows reproducible.")
+  in
+  let lint_bad =
+    Arg.(value & opt int 0
+         & info [ "lint-bad" ] ~docv:"N"
+             ~doc:"Additional jobs the admission lint gate must reject.")
+  in
+  let tiny_budget =
+    Arg.(value & opt int 0
+         & info [ "tiny-budget" ] ~docv:"N"
+             ~doc:"Additional jobs with a 1-iteration run budget \
+                   (exercises best-feasible-on-exhaustion).")
+  in
+  let deadline =
+    Arg.(value & opt float 300.0
+         & info [ "deadline" ] ~docv:"S"
+             ~doc:"Give up polling after this many seconds.")
+  in
+  let run socket circuits factor solver count sleep lint_bad tiny_budget
+      deadline =
+    match
+      Loadgen.run
+        { Loadgen.socket;
+          circuits;
+          factor;
+          solver;
+          count;
+          sleep_seconds = sleep;
+          lint_bad;
+          tiny_budget;
+          poll_interval = 0.05;
+          deadline_seconds = deadline }
+    with
+    | Error e -> Diag.fail e
+    | Ok summary -> print_endline (Serve_json.to_string summary)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a deterministic job mix at a running daemon — \
+             well-formed jobs, lint-rejected jobs, tiny-budget jobs — \
+             poll everything to a terminal state and print a JSON summary \
+             (accepted/overloaded/rejected counts, terminal states, and \
+             the daemon's own stats). The CI serve-smoke job asserts on \
+             this output.")
+    Term.(const run $ socket_arg $ circuits $ factor_arg $ solver_arg $ count
+          $ sleep $ lint_bad $ tiny_budget $ deadline)
+
 let main_cmd =
   let doc = "MINFLOTRANSIT: min-cost-flow based transistor sizing" in
   Cmd.group (Cmd.info "minflo" ~version:"1.0.0" ~doc)
     [ gen_cmd; stats_cmd; sta_cmd; size_cmd; sweep_cmd; batch_cmd; bench_cmd;
       verify_cmd; convert_cmd; strash_cmd; power_cmd; lint_cmd; audit_cert_cmd;
-      fuzz_cmd; replay_cmd ]
+      fuzz_cmd; replay_cmd; serve_cmd; client_cmd; loadgen_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -27,6 +27,8 @@
       flow-certificate auditor ([minflo_lint]);
     - {!Job}, {!Checkpoint}, {!Journal}, {!Supervisor}, {!Differential},
       {!Batch} — the crash-safe batch runner ([minflo_runner]);
+    - {!Serve}, {!Serve_protocol}, {!Serve_client}, {!Loadgen} — the
+      sizing-as-a-service daemon ([minflo_serve]);
     - {!Fingerprint}, {!Gen_mut}, {!Oracle}, {!Shrink}, {!Corpus},
       {!Campaign} — the differential fuzzing harness ([minflo_fuzz]). *)
 
@@ -137,6 +139,14 @@ module Supervisor = Minflo_runner.Supervisor
 module Differential = Minflo_runner.Differential
 module Batch = Minflo_runner.Batch
 module Benchmarks = Minflo_runner.Benchmarks
+
+(* sizing-as-a-service daemon: admission control, crash recovery,
+   graceful drain, health probes over a unix socket *)
+module Serve_json = Minflo_serve.Json
+module Serve_protocol = Minflo_serve.Protocol
+module Serve = Minflo_serve.Server
+module Serve_client = Minflo_serve.Client
+module Loadgen = Minflo_serve.Loadgen
 
 (* differential fuzzing harness: seeded campaigns, failure fingerprints,
    delta-debugging shrinker, deterministic replay corpus *)

@@ -40,6 +40,9 @@ type error =
     }
   | Job_timeout of { job : string; seconds : float }
   | Job_crashed of { job : string; detail : string }
+  | Overloaded of { depth : int; limit : int }
+  | Draining
+  | Journal_locked of { file : string }
   | Internal of string
 
 exception Error_exn of error
@@ -64,6 +67,9 @@ let error_code = function
   | Differential_mismatch _ -> "differential-mismatch"
   | Job_timeout _ -> "job-timeout"
   | Job_crashed _ -> "job-crashed"
+  | Overloaded _ -> "overloaded"
+  | Draining -> "draining"
+  | Journal_locked _ -> "journal-locked"
   | Internal _ -> "internal"
 
 let location ?(file = None) ~line ~col () =
@@ -115,6 +121,15 @@ let to_string = function
   | Job_timeout { job; seconds } ->
     Printf.sprintf "job %s timed out after %.3g seconds" job seconds
   | Job_crashed { job; detail } -> Printf.sprintf "job %s crashed: %s" job detail
+  | Overloaded { depth; limit } ->
+    Printf.sprintf
+      "server overloaded: admission queue at %d of %d; retry later" depth limit
+  | Draining -> "server draining: no new work is admitted"
+  | Journal_locked { file } ->
+    Printf.sprintf
+      "journal %s is locked by another live minflo instance; refusing to \
+       interleave writes"
+      file
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
@@ -205,6 +220,10 @@ let to_json e =
     obj [ code; ("job", jstr job); ("seconds", jfloat seconds) ]
   | Job_crashed { job; detail } ->
     obj [ code; ("job", jstr job); ("detail", jstr detail) ]
+  | Overloaded { depth; limit } ->
+    obj [ code; ("depth", string_of_int depth); ("limit", string_of_int limit) ]
+  | Draining -> obj [ code ]
+  | Journal_locked { file } -> obj [ code; ("file", jstr file) ]
   | Internal msg -> obj [ code; ("msg", jstr msg) ]
 
 (* ---------- event log ---------- *)

@@ -74,6 +74,18 @@ type error =
   | Job_crashed of { job : string; detail : string }
       (** A supervised batch job died without reporting a result (signal,
           nonzero exit, unreadable result file). Transient. *)
+  | Overloaded of { depth : int; limit : int }
+      (** The serve daemon's bounded admission queue is full: the request
+          was rejected outright (explicit backpressure) instead of being
+          queued unboundedly. Safe for the client to retry later. *)
+  | Draining
+      (** The serve daemon received a drain request (or SIGTERM) and no
+          longer admits work; in-flight jobs are being finished or
+          checkpointed. *)
+  | Journal_locked of { file : string }
+      (** Another live minflo process holds the advisory lock on this run
+          directory's journal; a second writer would interleave and corrupt
+          it, so the open fails fast instead. *)
   | Internal of string  (** A bug: a state the design rules out. *)
 
 exception Error_exn of error

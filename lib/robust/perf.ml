@@ -5,6 +5,9 @@ type counters = {
   mutable bumps : int;
   mutable warm_starts : int;
   mutable cold_starts : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable rejections : int;
 }
 
 let zero () =
@@ -13,7 +16,10 @@ let zero () =
     sweeps = 0;
     bumps = 0;
     warm_starts = 0;
-    cold_starts = 0 }
+    cold_starts = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    rejections = 0 }
 
 let current = zero ()
 
@@ -23,7 +29,10 @@ let reset () =
   current.sweeps <- 0;
   current.bumps <- 0;
   current.warm_starts <- 0;
-  current.cold_starts <- 0
+  current.cold_starts <- 0;
+  current.cache_hits <- 0;
+  current.cache_misses <- 0;
+  current.rejections <- 0
 
 let snapshot () =
   { pivots = current.pivots;
@@ -31,7 +40,10 @@ let snapshot () =
     sweeps = current.sweeps;
     bumps = current.bumps;
     warm_starts = current.warm_starts;
-    cold_starts = current.cold_starts }
+    cold_starts = current.cold_starts;
+    cache_hits = current.cache_hits;
+    cache_misses = current.cache_misses;
+    rejections = current.rejections }
 
 let diff before after =
   { pivots = after.pivots - before.pivots;
@@ -39,7 +51,10 @@ let diff before after =
     sweeps = after.sweeps - before.sweeps;
     bumps = after.bumps - before.bumps;
     warm_starts = after.warm_starts - before.warm_starts;
-    cold_starts = after.cold_starts - before.cold_starts }
+    cold_starts = after.cold_starts - before.cold_starts;
+    cache_hits = after.cache_hits - before.cache_hits;
+    cache_misses = after.cache_misses - before.cache_misses;
+    rejections = after.rejections - before.rejections }
 
 let add a b =
   { pivots = a.pivots + b.pivots;
@@ -47,13 +62,19 @@ let add a b =
     sweeps = a.sweeps + b.sweeps;
     bumps = a.bumps + b.bumps;
     warm_starts = a.warm_starts + b.warm_starts;
-    cold_starts = a.cold_starts + b.cold_starts }
+    cold_starts = a.cold_starts + b.cold_starts;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    rejections = a.rejections + b.rejections }
 
 let equal a b =
   a.pivots = b.pivots && a.relabels = b.relabels && a.sweeps = b.sweeps
   && a.bumps = b.bumps
   && a.warm_starts = b.warm_starts
   && a.cold_starts = b.cold_starts
+  && a.cache_hits = b.cache_hits
+  && a.cache_misses = b.cache_misses
+  && a.rejections = b.rejections
 
 let tick_pivot () = current.pivots <- current.pivots + 1
 let tick_relabel () = current.relabels <- current.relabels + 1
@@ -61,6 +82,9 @@ let tick_sweep () = current.sweeps <- current.sweeps + 1
 let tick_bump () = current.bumps <- current.bumps + 1
 let tick_warm_start () = current.warm_starts <- current.warm_starts + 1
 let tick_cold_start () = current.cold_starts <- current.cold_starts + 1
+let tick_cache_hit () = current.cache_hits <- current.cache_hits + 1
+let tick_cache_miss () = current.cache_misses <- current.cache_misses + 1
+let tick_rejection () = current.rejections <- current.rejections + 1
 
 let to_fields c =
   [ ("pivots", c.pivots);
@@ -68,7 +92,10 @@ let to_fields c =
     ("sweeps", c.sweeps);
     ("bumps", c.bumps);
     ("warm_starts", c.warm_starts);
-    ("cold_starts", c.cold_starts) ]
+    ("cold_starts", c.cold_starts);
+    ("cache_hits", c.cache_hits);
+    ("cache_misses", c.cache_misses);
+    ("rejections", c.rejections) ]
 
 let pp fmt c =
   Format.fprintf fmt "@[<h>";

@@ -9,7 +9,12 @@
     - [sweeps]: full forward/backward STA passes over the timing graph;
     - [bumps]: TILOS size bumps;
     - [warm_starts] / [cold_starts]: how often a flow solve could reuse a
-      previous basis / had to rebuild it from scratch.
+      previous basis / had to rebuild it from scratch;
+    - [cache_hits] / [cache_misses]: shared-state reuse across requests —
+      the {!Minflo_tech.Model_cache} delay-model cache and the serve
+      daemon's result cache both tick these;
+    - [rejections]: admission-control rejections (bounded-queue overload,
+      drain refusals, pre-flight lint gating) by the serve daemon.
 
     Unlike wall time, every one of these is a pure function of the inputs,
     so two identical runs produce identical counters — the property the
@@ -28,6 +33,9 @@ type counters = {
   mutable bumps : int;
   mutable warm_starts : int;
   mutable cold_starts : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable rejections : int;
 }
 
 val zero : unit -> counters
@@ -54,6 +62,9 @@ val tick_sweep : unit -> unit
 val tick_bump : unit -> unit
 val tick_warm_start : unit -> unit
 val tick_cold_start : unit -> unit
+val tick_cache_hit : unit -> unit
+val tick_cache_miss : unit -> unit
+val tick_rejection : unit -> unit
 
 val to_fields : counters -> (string * int) list
 (** [(name, value)] pairs in a fixed order — the serialization used by the

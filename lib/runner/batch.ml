@@ -67,8 +67,8 @@ let checkpoint_path cfg job =
 
 (* ---------- one job, in the calling process ---------- *)
 
-let run_job ?(emit : Supervisor.emit option) cfg (job : Job.t) :
-    (Job.outcome, Diag.error) result =
+let run_job ?(emit : Supervisor.emit option) ?(exhausted_ok = false) cfg
+    (job : Job.t) : (Job.outcome, Diag.error) result =
   let emit_event ?fields name =
     match emit with Some e -> e ?fields name | None -> ()
   in
@@ -121,7 +121,11 @@ let run_job ?(emit : Supervisor.emit option) cfg (job : Job.t) :
                budget_elapsed = Budget.elapsed budget })
     in
     let finish ~resumed (r : Minflotransit.result) =
-      if r.budget_exhausted then
+      (* [exhausted_ok]: a serving parent would rather have the best
+         feasible sizing found before the budget tripped than a bare
+         error — the engine guarantees every iterate is feasible, so if
+         the seed met the target the exhausted result still does. *)
+      if r.budget_exhausted && not (exhausted_ok && r.met) then
         (* keep the checkpoint: --resume with a larger budget continues *)
         match r.stop with
         | Minflotransit.Stop_budget e -> Error e
@@ -131,8 +135,9 @@ let run_job ?(emit : Supervisor.emit option) cfg (job : Job.t) :
                { resource = "unknown"; spent = 0.0; limit = 0.0 })
       else begin
         (match ckpt with
-        | Some p -> ( try Sys.remove p with Sys_error _ -> ())
-        | None -> ());
+        | Some p when not r.budget_exhausted -> (
+          try Sys.remove p with Sys_error _ -> ())
+        | _ -> ());
         Ok
           { Job.job;
             area = r.area;
@@ -143,7 +148,8 @@ let run_job ?(emit : Supervisor.emit option) cfg (job : Job.t) :
             iterations = r.iterations;
             saving_pct = r.area_saving_pct;
             stop = Minflotransit.stop_reason_to_string r.stop;
-            resumed }
+            resumed;
+            perf = Minflo_robust.Perf.(diff perf0 (snapshot ())) }
       end
     in
     let resume_state =
@@ -210,6 +216,39 @@ let run ?(config = default_config) jobs =
   match journal with
   | Error e -> Error e
   | Ok journal ->
+    (* Seal on SIGTERM/SIGINT: a batch killed by an operator (or a CI
+       timeout) must leave a journal that says so — one [run-interrupted]
+       event, then a clean close — instead of just stopping mid-file.
+       Checkpoints on disk stay valid, so [--resume] picks up from here.
+       Workers forked by the supervisor reset these handlers to the
+       default disposition, so only the journal-owning parent ever
+       seals. *)
+    let restore_signals =
+      match journal with
+      | None -> fun () -> ()
+      | Some jr ->
+        let seal name code _ =
+          Journal.event jr
+            ~fields:[ Journal.field_str "signal" name ]
+            "run-interrupted";
+          Journal.close jr;
+          exit code
+        in
+        let old =
+          List.filter_map
+            (fun (sg, name, code) ->
+              try
+                Some (sg, Sys.signal sg (Sys.Signal_handle (seal name code)))
+              with Invalid_argument _ | Sys_error _ -> None)
+            [ (Sys.sigterm, "SIGTERM", 143); (Sys.sigint, "SIGINT", 130) ]
+        in
+        fun () ->
+          List.iter
+            (fun (sg, behavior) ->
+              try Sys.set_signal sg behavior
+              with Invalid_argument _ | Sys_error _ -> ())
+            old
+    in
     let done_areas =
       match (config.resume, config.checkpoint_dir) with
       | true, Some dir -> Journal.completed (journal_path dir)
@@ -373,4 +412,5 @@ let run ?(config = default_config) jobs =
         "batch-end";
       Journal.close jr
     | None -> ());
+    restore_signals ();
     Ok summary

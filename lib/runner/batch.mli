@@ -67,6 +67,7 @@ type summary = {
 
 val run_job :
   ?emit:Supervisor.emit ->
+  ?exhausted_ok:bool ->
   config ->
   Job.t ->
   (Job.outcome, Minflo_robust.Diag.error) result
@@ -74,8 +75,13 @@ val run_job :
     refine with checkpointing after every pass (resuming from a validated
     checkpoint when configured). [emit] (from the supervisor) receives a
     [job-checkpoint] event per D/W pass and one final [job-perf] event
-    carrying the {!Minflo_robust.Perf} counters the job spent. Exposed for
-    tests; {!run} is the supervised entry point. *)
+    carrying the {!Minflo_robust.Perf} counters the job spent.
+    [exhausted_ok] (default [false]) turns a budget trip on a
+    target-meeting sizing into a success carrying the best feasible
+    solution (its [stop] field records the trip; the checkpoint is kept so
+    a resubmission with a larger budget resumes) — the serve daemon's
+    per-request budget semantics. Exposed for tests; {!run} is the
+    supervised entry point. *)
 
 val run :
   ?config:config -> Job.t list -> (summary, Minflo_robust.Diag.error) result

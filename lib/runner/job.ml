@@ -84,4 +84,5 @@ type outcome = {
   saving_pct : float;
   stop : string;
   resumed : bool;
+  perf : Minflo_robust.Perf.counters;
 }

@@ -56,4 +56,7 @@ type outcome = {
   saving_pct : float;    (** area saving over the TILOS seed. *)
   stop : string;         (** rendered {!Minflo_sizing.Minflotransit.stop_reason}. *)
   resumed : bool;        (** this outcome continued from a checkpoint. *)
+  perf : Minflo_robust.Perf.counters;
+      (** solver work this job spent (process-global counters diffed across
+          the run) — lets a supervising parent accumulate worker effort. *)
 }

@@ -41,6 +41,31 @@ let open_append path =
     let fd =
       Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644
     in
+    (* Advisory whole-file lock: the journal's crash-safety story assumes a
+       single writer, so a second live minflo instance pointed at the same
+       run directory must fail fast with a typed diagnostic instead of
+       interleaving (and thereby corrupting) event lines. The lock is a
+       POSIX record lock: it dies with the process, so a SIGKILLed daemon
+       never wedges its run directory, and a restarted one takes over
+       cleanly. *)
+    let locked =
+      try
+        ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+        Unix.lockf fd Unix.F_TLOCK 0;
+        true
+      with
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES | Unix.EWOULDBLOCK), _, _)
+        ->
+        false
+      | Unix.Unix_error _ ->
+        (* a filesystem without lock support (some network mounts) must not
+           make journaling unusable; fall back to lockless appends there *)
+        true
+    in
+    if not locked then begin
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise (Diag.Error_exn (Diag.Journal_locked { file = path }))
+    end;
     (* A crash mid-write can leave the file without a final newline. If we
        appended straight after such a torn line, the next event would glue
        onto it and the scanner would drop both (worse, [find_field] would
@@ -57,8 +82,10 @@ let open_append path =
      with Unix.Unix_error _ -> ());
     Ok
       { path; oc = Unix.out_channel_of_descr fd; fd; t0 = Mono.now (); seq = 0 }
-  with Unix.Unix_error (e, _, _) ->
+  with
+  | Unix.Unix_error (e, _, _) ->
     Error (Diag.Io_error { file = path; msg = Unix.error_message e })
+  | Diag.Error_exn e -> Error e
 
 let path t = t.path
 
@@ -238,3 +265,24 @@ let completed path =
      with End_of_file -> ());
     close_in_noerr ic);
   table
+
+(* ---------- generic scan (the serve daemon's recovery hook) ---------- *)
+
+let scan path =
+  let lines = ref [] in
+  (match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    (try
+       while true do
+         let line = input_line ic in
+         let n = String.length line in
+         (* a line truncated by a crash mid-write has no closing brace *)
+         if n > 0 && line.[0] = '{' && line.[n - 1] = '}' then
+           match find_field line "event" with
+           | Some ev -> lines := (ev, line) :: !lines
+           | None -> ()
+       done
+     with End_of_file -> ());
+    close_in_noerr ic);
+  List.rev !lines

@@ -54,3 +54,16 @@ val canonical : string -> string list
     jobs but never within one, so the canonical journal of a parallel run
     is bit-identical to the sequential run's. The test-suite and the batch
     differential rely on exactly this. *)
+
+val scan : string -> (string * string) list
+(** [scan path] returns every complete event line as [(event, line)], in
+    journal order; truncated lines are dropped. Use {!find_field} to pull
+    individual fields back out of a line. Missing file means an empty
+    list. This is the serve daemon's recovery substrate: accepted-but-
+    unfinished jobs are exactly those with an acceptance event and no
+    terminal event. *)
+
+val find_field : string -> string -> string option
+(** [find_field line key] extracts [key]'s value from a line this module
+    wrote: quoted strings are unescaped, bare tokens returned verbatim.
+    Not a general JSON parser — it only reads back {!event}'s output. *)

@@ -65,6 +65,7 @@ type running = {
   result_file : string;
   deadline : float option;
   mutable killed : bool;
+  mutable cancelled : bool;
   (* worker -> parent journal-event pipe: the child writes one
      US-separated record per event, the parent is the only process that
      ever touches journal.jsonl (single-writer crash safety) *)
@@ -105,6 +106,14 @@ let spawn ~timeout id thunk =
   flush stderr;
   match Unix.fork () with
   | 0 ->
+    (* the parent may have drain/seal handlers on SIGTERM/SIGINT that touch
+       the journal; a worker inheriting them would become a second journal
+       writer the moment someone signals the process group. Reset to the
+       default disposition before any user code runs. *)
+    (try Sys.set_signal Sys.sigterm Sys.Signal_default
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint Sys.Signal_default
+     with Invalid_argument _ | Sys_error _ -> ());
     Unix.close pr;
     let emit ?(fields = []) name =
       match render_emit_record name fields with
@@ -132,6 +141,7 @@ let spawn ~timeout id thunk =
       result_file;
       deadline = Option.map (fun s -> Mono.now () +. s) timeout;
       killed = false;
+      cancelled = false;
       pipe_r = pr;
       pipe_buf = Buffer.create 256 }
 
@@ -140,7 +150,9 @@ let reap_verdict cfg (r : running) status : ('a, Diag.error) result =
     (try Sys.remove r.result_file with Sys_error _ -> ());
     v
   in
-  if r.killed then
+  if r.cancelled then
+    cleanup (Error (Diag.Job_crashed { job = r.id; detail = "cancelled" }))
+  else if r.killed then
     cleanup
       (Error
          (Diag.Job_timeout
@@ -167,7 +179,7 @@ let reap_verdict cfg (r : running) status : ('a, Diag.error) result =
            (Diag.Job_crashed
               { job = r.id; detail = Printf.sprintf "killed by signal %d" sg }))
 
-(* ---------- the scheduler ---------- *)
+(* ---------- the incremental pool ---------- *)
 
 type 'a task = {
   t_id : string;
@@ -175,6 +187,16 @@ type 'a task = {
   mutable attempts : int;
   mutable ready_at : float;  (* backoff gate; monotonic seconds *)
   mutable last_error : Diag.error option;
+}
+
+type 'a pool = {
+  cfg : config;
+  journal : Journal.t option;
+  on_done : (string -> 'a outcome -> unit) option;
+  pending : 'a task Queue.t;
+  mutable delayed : 'a task list;
+  mutable running : (running * 'a task) list;
+  mutable finished : (string * 'a outcome) list;  (* reversed; drained by step *)
 }
 
 let journal_event journal ?job ?error ?fields name =
@@ -223,103 +245,212 @@ let close_pipe journal r =
   drain_pipe journal r;
   (try Unix.close r.pipe_r with Unix.Unix_error _ -> ())
 
+let pool_create ?(config = default_config) ?journal ?on_done () =
+  { cfg = { config with parallel = max 1 config.parallel };
+    journal;
+    on_done;
+    pending = Queue.create ();
+    delayed = [];
+    running = [];
+    finished = [] }
+
+let pool_submit p ~id thunk =
+  Queue.add
+    { t_id = id; thunk; attempts = 0; ready_at = 0.0; last_error = None }
+    p.pending
+
+let finish p task (verdict : ('a, Diag.error) result) ~quarantined =
+  let outcome = { verdict; attempts = task.attempts; quarantined } in
+  p.finished <- (task.t_id, outcome) :: p.finished;
+  match p.on_done with Some f -> f task.t_id outcome | None -> ()
+
+(* route one attempt's failure: retry, quarantine, or final failure. A
+   cancelled worker's verdict bypasses the retry logic entirely. *)
+let handle_failure p task e =
+  let deterministic =
+    (not (transient e)) || repeats_deterministically task.last_error e
+  in
+  if deterministic then begin
+    journal_event p.journal ~job:task.t_id ~error:e
+      ~fields:[ Journal.field_int "attempts" task.attempts ]
+      "job-quarantined";
+    finish p task (Error e) ~quarantined:true
+  end
+  else if task.attempts > p.cfg.retries then begin
+    journal_event p.journal ~job:task.t_id ~error:e
+      ~fields:[ Journal.field_int "attempts" task.attempts ]
+      "job-failed";
+    finish p task (Error e) ~quarantined:false
+  end
+  else begin
+    let delay =
+      p.cfg.backoff_base *. (2.0 ** float_of_int (task.attempts - 1))
+    in
+    journal_event p.journal ~job:task.t_id ~error:e
+      ~fields:
+        [ Journal.field_int "attempt" task.attempts;
+          Journal.field_float "backoff_seconds" delay ]
+      "job-retry";
+    task.last_error <- Some e;
+    task.ready_at <- Mono.now () +. delay;
+    p.delayed <- task :: p.delayed
+  end
+
+let handle_result p task ~cancelled (verdict : ('a, Diag.error) result) =
+  match verdict with
+  | Ok _ -> finish p task verdict ~quarantined:false
+  | Error _ when cancelled -> finish p task verdict ~quarantined:false
+  | Error e -> handle_failure p task e
+
+let spawn_task p task =
+  task.attempts <- task.attempts + 1;
+  journal_event p.journal ~job:task.t_id
+    ~fields:[ Journal.field_int "attempt" task.attempts ]
+    "job-spawn";
+  let r = spawn ~timeout:p.cfg.timeout_seconds task.t_id task.thunk in
+  p.running <- (r, task) :: p.running
+
+let next_ready p =
+  let now = Mono.now () in
+  match Queue.take_opt p.pending with
+  | Some t -> Some t
+  | None -> (
+    match List.partition (fun t -> t.ready_at <= now) p.delayed with
+    | ready :: rest_ready, rest ->
+      p.delayed <- rest_ready @ rest;
+      Some ready
+    | [], _ -> None)
+
+let poll_running p =
+  let still = ref [] in
+  List.iter
+    (fun ((r, task) as entry) ->
+      (* hard timeout: SIGKILL, reap on a later poll *)
+      (match r.deadline with
+      | Some d when (not r.killed) && (not r.cancelled) && Mono.now () > d ->
+        journal_event p.journal ~job:r.id
+          ~fields:
+            [ Journal.field_float "timeout_seconds"
+                (Option.value p.cfg.timeout_seconds ~default:0.0) ]
+          "job-timeout";
+        (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        r.killed <- true
+      | _ -> ());
+      match Unix.waitpid [ Unix.WNOHANG ] r.pid with
+      | 0, _ ->
+        drain_pipe p.journal r;
+        still := entry :: !still
+      | _, status ->
+        close_pipe p.journal r;
+        handle_result p task ~cancelled:r.cancelled
+          (reap_verdict p.cfg r status)
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+        close_pipe p.journal r;
+        handle_result p task ~cancelled:r.cancelled
+          (Error (Diag.Job_crashed { job = r.id; detail = "lost child" })))
+    p.running;
+  p.running <- !still
+
+let pool_step p =
+  let rec fill () =
+    if List.length p.running < p.cfg.parallel then
+      match next_ready p with
+      | Some t ->
+        spawn_task p t;
+        fill ()
+      | None -> ()
+  in
+  fill ();
+  if p.running <> [] then poll_running p;
+  let done_now = List.rev p.finished in
+  p.finished <- [];
+  done_now
+
+let pool_cancel p id =
+  (* pending: drop it from the queue *)
+  let found = ref false in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun t ->
+      if t.t_id = id && not !found then found := true else Queue.add t keep)
+    p.pending;
+  if !found then begin
+    Queue.clear p.pending;
+    Queue.transfer keep p.pending;
+    `Cancelled_pending
+  end
+  else if
+    (* delayed (awaiting a retry slot): drop it *)
+    List.exists (fun t -> t.t_id = id) p.delayed
+  then begin
+    p.delayed <- List.filter (fun t -> t.t_id <> id) p.delayed;
+    `Cancelled_pending
+  end
+  else
+    match List.find_opt (fun (r, _) -> r.id = id) p.running with
+    | Some (r, _) ->
+      r.cancelled <- true;
+      (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      `Killed_running
+    | None -> `Not_found
+
+let pool_running_count p = List.length p.running
+
+let pool_queued_count p = Queue.length p.pending + List.length p.delayed
+
+let pool_load p = pool_running_count p + pool_queued_count p
+
+let pool_idle p = pool_load p = 0
+
+(* ---------- batch scheduling on top of the pool ---------- *)
+
 let run_all_tasks ?(config = default_config) ?journal ?on_done tasks =
   let cfg = { config with parallel = max 1 config.parallel } in
   let order = List.map fst tasks in
   let results : (string, 'a outcome) Hashtbl.t =
     Hashtbl.create (List.length tasks)
   in
-  let pending =
-    Queue.of_seq
-      (List.to_seq
-         (List.map
-            (fun (t_id, thunk) ->
-              { t_id; thunk; attempts = 0; ready_at = 0.0; last_error = None })
-            tasks))
-  in
-  let delayed : 'a task list ref = ref [] in
-  let running : (running * 'a task) list ref = ref [] in
-  let finish task (verdict : ('a, Diag.error) result) ~quarantined =
-    let outcome = { verdict; attempts = task.attempts; quarantined } in
-    Hashtbl.replace results task.t_id outcome;
-    match on_done with Some f -> f task.t_id outcome | None -> ()
-  in
-  (* route one attempt's failure: retry, quarantine, or final failure *)
-  let handle_failure task e =
-    let deterministic =
-      (not (transient e)) || repeats_deterministically task.last_error e
-    in
-    if deterministic then begin
-      journal_event journal ~job:task.t_id ~error:e
-        ~fields:[ Journal.field_int "attempts" task.attempts ]
-        "job-quarantined";
-      finish task (Error e) ~quarantined:true
-    end
-    else if task.attempts > cfg.retries then begin
-      journal_event journal ~job:task.t_id ~error:e
-        ~fields:[ Journal.field_int "attempts" task.attempts ]
-        "job-failed";
-      finish task (Error e) ~quarantined:false
-    end
-    else begin
-      let delay = cfg.backoff_base *. (2.0 ** float_of_int (task.attempts - 1)) in
-      journal_event journal ~job:task.t_id ~error:e
-        ~fields:
-          [ Journal.field_int "attempt" task.attempts;
-            Journal.field_float "backoff_seconds" delay ]
-        "job-retry";
-      task.last_error <- Some e;
-      task.ready_at <- Mono.now () +. delay;
-      delayed := task :: !delayed
-    end
-  in
-  let handle_result task (verdict : ('a, Diag.error) result) =
-    match verdict with
-    | Ok _ -> finish task verdict ~quarantined:false
-    | Error e -> handle_failure task e
-  in
-  let run_in_process task =
-    task.attempts <- task.attempts + 1;
-    journal_event journal ~job:task.t_id
-      ~fields:[ Journal.field_int "attempt" task.attempts ]
-      "job-spawn";
-    (* no pipe needed: the worker IS the journal owner's process *)
-    let emit ?fields name = journal_event journal ~job:task.t_id ?fields name in
-    let v =
-      try task.thunk emit with
-      | Diag.Error_exn e -> Error e
-      | exn -> Error (Diag.Internal (Printexc.to_string exn))
-    in
-    handle_result task v
-  in
-  let spawn_task task =
-    task.attempts <- task.attempts + 1;
-    journal_event journal ~job:task.t_id
-      ~fields:[ Journal.field_int "attempt" task.attempts ]
-      "job-spawn";
-    let r = spawn ~timeout:cfg.timeout_seconds task.t_id task.thunk in
-    running := (r, task) :: !running
-  in
-  let next_ready () =
-    let now = Mono.now () in
-    match Queue.take_opt pending with
-    | Some t -> Some t
-    | None -> (
-      match List.partition (fun t -> t.ready_at <= now) !delayed with
-      | ready :: rest_ready, rest ->
-        delayed := rest_ready @ rest;
-        Some ready
-      | [], _ -> None)
+  let record id outcome =
+    Hashtbl.replace results id outcome;
+    match on_done with Some f -> f id outcome | None -> ()
   in
   if not cfg.isolate then begin
-    (* in-process: sequential, with the same retry/quarantine routing *)
+    (* in-process: sequential, with the same retry/quarantine routing as
+       the pool, minus forking. Reuses the pool's failure router on a
+       fork-free pool so the journal events and quarantine decisions are
+       byte-identical to the isolated mode's. *)
+    let p = pool_create ~config:cfg ?journal ?on_done:None () in
+    List.iter
+      (fun (t_id, thunk) ->
+        Queue.add
+          { t_id; thunk; attempts = 0; ready_at = 0.0; last_error = None }
+          p.pending)
+      tasks;
+    let run_in_process task =
+      task.attempts <- task.attempts + 1;
+      journal_event journal ~job:task.t_id
+        ~fields:[ Journal.field_int "attempt" task.attempts ]
+        "job-spawn";
+      (* no pipe needed: the worker IS the journal owner's process *)
+      let emit ?fields name =
+        journal_event journal ~job:task.t_id ?fields name
+      in
+      let v =
+        try task.thunk emit with
+        | Diag.Error_exn e -> Error e
+        | exn -> Error (Diag.Internal (Printexc.to_string exn))
+      in
+      handle_result p task ~cancelled:false v
+    in
     let rec drain () =
-      match next_ready () with
-      | Some t -> (
+      match next_ready p with
+      | Some t ->
         run_in_process t;
-        drain ())
+        List.iter (fun (id, o) -> record id o) (List.rev p.finished);
+        p.finished <- [];
+        drain ()
       | None ->
-        if !delayed <> [] then begin
+        if p.delayed <> [] then begin
           Unix.sleepf 0.01;
           drain ()
         end
@@ -327,50 +458,12 @@ let run_all_tasks ?(config = default_config) ?journal ?on_done tasks =
     drain ()
   end
   else begin
-    let poll_running () =
-      let still = ref [] in
-      List.iter
-        (fun ((r, task) as entry) ->
-          (* hard timeout: SIGKILL, reap on a later poll *)
-          (match r.deadline with
-          | Some d when (not r.killed) && Mono.now () > d ->
-            journal_event journal ~job:r.id
-              ~fields:
-                [ Journal.field_float "timeout_seconds"
-                    (Option.value cfg.timeout_seconds ~default:0.0) ]
-              "job-timeout";
-            (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
-            r.killed <- true
-          | _ -> ());
-          match Unix.waitpid [ Unix.WNOHANG ] r.pid with
-          | 0, _ ->
-            drain_pipe journal r;
-            still := entry :: !still
-          | _, status ->
-            close_pipe journal r;
-            handle_result task (reap_verdict cfg r status)
-          | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
-            close_pipe journal r;
-            handle_result task
-              (Error (Diag.Job_crashed { job = r.id; detail = "lost child" })))
-        !running;
-      running := !still
-    in
+    let p = pool_create ~config:cfg ?journal ?on_done:(Some record) () in
+    List.iter (fun (id, thunk) -> pool_submit p ~id thunk) tasks;
     let rec loop () =
-      (* fill free slots with ready tasks *)
-      let rec fill () =
-        if List.length !running < cfg.parallel then
-          match next_ready () with
-          | Some t ->
-            spawn_task t;
-            fill ()
-          | None -> ()
-      in
-      fill ();
-      if !running <> [] || !delayed <> [] || not (Queue.is_empty pending)
-      then begin
-        poll_running ();
-        if !running <> [] || !delayed <> [] then Unix.sleepf 0.01;
+      ignore (pool_step p);
+      if not (pool_idle p) then begin
+        if p.running <> [] || p.delayed <> [] then Unix.sleepf 0.01;
         loop ()
       end
     in

@@ -73,3 +73,61 @@ val run_all_tasks :
 (** Like {!run_all}, but each thunk receives an {!emit} through which the
     worker can add its own events (checkpoint progress, perf counters) to
     the batch journal from inside the child process. *)
+
+(** {1 Incremental pool}
+
+    The batch entry points above block until every task finishes. A
+    long-running daemon instead needs to feed tasks in as they arrive and
+    harvest outcomes between [select] wake-ups; [pool_step] does one
+    non-blocking scheduling round (spawn into free slots, SIGKILL
+    overdue workers, reap exited ones, drain worker event pipes) and
+    returns whatever finished since the last call. Retry, backoff,
+    quarantine and journaling semantics are identical to {!run_all_tasks}
+    — that function is itself implemented on the pool. *)
+
+type 'a pool
+
+val pool_create :
+  ?config:config ->
+  ?journal:Journal.t ->
+  ?on_done:(string -> 'a outcome -> unit) ->
+  unit ->
+  'a pool
+(** An empty pool. [on_done] fires in the submitting process the moment a
+    task reaches a final outcome (also reported by the next {!pool_step}).
+    Workers forked by the pool reset SIGTERM/SIGINT to their default
+    disposition, so a daemon's drain/seal handlers never run — and never
+    touch the journal — inside a child. *)
+
+val pool_submit :
+  'a pool ->
+  id:string ->
+  (emit -> ('a, Minflo_robust.Diag.error) result) ->
+  unit
+(** Enqueue a task; it starts on a later {!pool_step} when a slot frees
+    up. Ids are the caller's concern — submitting a duplicate id yields
+    two independent tasks. *)
+
+val pool_step : 'a pool -> (string * 'a outcome) list
+(** One non-blocking scheduling round; returns tasks that reached a final
+    outcome during this call, in completion order. Call it regularly
+    (e.g. on every [select] timeout): timeout enforcement and retry
+    backoff both advance only inside [pool_step]. *)
+
+val pool_cancel :
+  'a pool -> string -> [ `Cancelled_pending | `Killed_running | `Not_found ]
+(** Cancel a task by id. A task still queued (or awaiting a retry slot)
+    is silently dropped and never reported by {!pool_step}. A running
+    task's worker is SIGKILLed; the task then finishes — without retry —
+    with [Error (Job_crashed {detail = "cancelled"})] on a later
+    {!pool_step}. *)
+
+val pool_running_count : 'a pool -> int
+val pool_queued_count : 'a pool -> int
+(** Queued = submitted-but-unstarted plus retries awaiting backoff. *)
+
+val pool_load : 'a pool -> int
+(** [pool_running_count + pool_queued_count]. *)
+
+val pool_idle : 'a pool -> bool
+(** [pool_load = 0]: every submitted task has reached a final outcome. *)

@@ -1,0 +1,33 @@
+type 'a t = {
+  q : 'a Queue.t;
+  capacity : int;
+  mutable peak : int;
+}
+
+let create ~capacity = { q = Queue.create (); capacity = max 0 capacity; peak = 0 }
+
+let length t = Queue.length t.q
+
+let capacity t = t.capacity
+
+let peak t = t.peak
+
+let note_depth t =
+  let d = Queue.length t.q in
+  if d > t.peak then t.peak <- d
+
+let push t x =
+  if Queue.length t.q >= t.capacity then Error (`Full (Queue.length t.q))
+  else begin
+    Queue.add x t.q;
+    note_depth t;
+    Ok ()
+  end
+
+let push_force t x =
+  Queue.add x t.q;
+  note_depth t
+
+let pop t = Queue.take_opt t.q
+
+let is_empty t = Queue.is_empty t.q

@@ -1,0 +1,26 @@
+(** A bounded FIFO with a high-water mark — the daemon's admission queue.
+
+    Backpressure is explicit: a full queue rejects at {!push} time and the
+    daemon turns that into a typed [overloaded] response, instead of
+    accepting unbounded work and letting latency (or memory) blow up
+    silently. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val push : 'a t -> 'a -> (unit, [ `Full of int ]) result
+(** [Error (`Full depth)] when the queue already holds [capacity] items. *)
+
+val push_force : 'a t -> 'a -> unit
+(** Enqueue even past capacity — only for journal recovery, where the
+    items were already admitted by a previous daemon life and must not be
+    dropped. *)
+
+val pop : 'a t -> 'a option
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_empty : 'a t -> bool
+
+val peak : 'a t -> int
+(** Highest depth ever observed (reported by the [stats] op). *)

@@ -1,0 +1,73 @@
+module Diag = Minflo_robust.Diag
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t }
+
+let connect socket_path : (conn, Diag.error) result =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> Ok { fd; buf = Buffer.create 256 }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Diag.Io_error { file = socket_path; msg = Unix.error_message e })
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let read_line conn : (string, Diag.error) result =
+  let rec take () =
+    let s = Buffer.contents conn.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+      Buffer.clear conn.buf;
+      Buffer.add_substring conn.buf s (i + 1) (String.length s - i - 1);
+      Ok (String.sub s 0 i)
+    | None -> (
+      let bytes = Bytes.create 4096 in
+      match Unix.read conn.fd bytes 0 4096 with
+      | 0 ->
+        Error
+          (Diag.Io_error
+             { file = "daemon socket"; msg = "connection closed by daemon" })
+      | n ->
+        Buffer.add_subbytes conn.buf bytes 0 n;
+        take ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> take ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Diag.Io_error { file = "daemon socket"; msg = Unix.error_message e }))
+  in
+  take ()
+
+let request conn (j : Json.t) : (Json.t, Diag.error) result =
+  let line = Json.to_string j ^ "\n" in
+  let n = String.length line in
+  let rec write_all off =
+    if off >= n then Ok ()
+    else
+      match Unix.write_substring conn.fd line off (n - off) with
+      | written -> write_all (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Diag.Io_error { file = "daemon socket"; msg = Unix.error_message e })
+  in
+  match write_all 0 with
+  | Error _ as e -> e
+  | Ok () -> (
+    match read_line conn with
+    | Error _ as e -> e
+    | Ok line -> (
+      match Json.parse line with
+      | Ok j -> Ok j
+      | Error msg ->
+        Error
+          (Diag.Io_error
+             { file = "daemon socket"; msg = "bad response: " ^ msg })))
+
+let one_shot ~socket (j : Json.t) : (Json.t, Diag.error) result =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok conn ->
+    let r = request conn j in
+    close conn;
+    r

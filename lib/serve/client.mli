@@ -1,0 +1,16 @@
+(** Client side of the serve protocol: blocking request/response over the
+    daemon's unix socket. One JSON value per line in each direction. *)
+
+type conn
+
+val connect : string -> (conn, Minflo_robust.Diag.error) result
+
+val request : conn -> Json.t -> (Json.t, Minflo_robust.Diag.error) result
+(** Send one request, block until its response line. With
+    [{"op":"result", "wait":true}] this blocks until the job is terminal
+    — the daemon parks the connection. *)
+
+val one_shot : socket:string -> Json.t -> (Json.t, Minflo_robust.Diag.error) result
+(** Connect, {!request}, close. *)
+
+val close : conn -> unit

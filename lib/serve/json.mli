@@ -1,0 +1,43 @@
+(** Minimal JSON for the serve wire protocol.
+
+    The daemon speaks newline-delimited JSON over a unix socket; this is
+    the self-contained value type, parser and printer it uses (the
+    toolchain deliberately has no JSON dependency). It covers exactly what
+    the protocol needs: objects, arrays, strings, finite numbers, bools
+    and null, one value per line.
+
+    Numbers print in the shortest form that parses back to the identical
+    float — the daemon's bit-identical replay guarantees ride on values
+    surviving print/parse round trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+  | Raw of string
+      (** printer-only escape hatch: splices a pre-rendered JSON fragment
+          (e.g. {!Minflo_robust.Diag.to_json} output) verbatim. The parser
+          never produces it. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of one complete value; [Error] carries a message with a
+    byte offset. Rejects trailing garbage. *)
+
+val to_string : t -> string
+(** One line, no trailing newline. [Num nan] and infinities render as
+    [null] (the protocol never produces them). *)
+
+(** {1 Accessors} — each returns [None] on a missing key or wrong shape. *)
+
+val member : string -> t -> t option
+val to_str : t -> string option
+val to_num : t -> float option
+val to_int : t -> int option
+val to_bool : t -> bool option
+val str_field : string -> t -> string option
+val num_field : string -> t -> float option
+val int_field : string -> t -> int option
+val bool_field : string -> t -> bool option

@@ -1,0 +1,30 @@
+(** Deterministic load generator for the serve daemon.
+
+    Drives a configurable mix through one connection: well-formed sizing
+    jobs (with optional artificial [sleep_seconds] latency, to make
+    overload and drain windows reproducible), jobs the lint gate must
+    reject, and jobs with a deliberately tiny run budget (exercising the
+    best-feasible-on-exhaustion path). Then polls every accepted job to a
+    terminal state and returns a JSON summary — counts of accepted /
+    overloaded / draining / lint-rejected submissions and of terminal
+    states, plus the daemon's own [stats] response. The CI serve-smoke job
+    asserts on this summary. *)
+
+type config = {
+  socket : string;
+  circuits : string list;
+  factor : float;
+  solver : Minflo_runner.Job.solver;
+  count : int;
+  sleep_seconds : float;
+  lint_bad : int;
+  tiny_budget : int;
+  poll_interval : float;
+  deadline_seconds : float;
+}
+
+val default_config : config
+
+val run : config -> (Json.t, Minflo_robust.Diag.error) result
+(** [Error] only on transport failure or the polling deadline; rejections
+    by the daemon are data, counted in the summary. *)

@@ -1,0 +1,49 @@
+(** The serve wire protocol: newline-delimited JSON requests/responses.
+
+    Every request is one JSON object on one line with an ["op"] field;
+    every response is one JSON object on one line with an ["ok"] bool.
+    Failures carry a typed {!Minflo_robust.Diag} error: a stable ["code"],
+    a human ["message"], and the structured ["error"] object — so clients
+    can branch on [overloaded] vs [draining] vs [lint] without parsing
+    prose. *)
+
+type submit = {
+  circuit : string;       (** suite name or path, as in {!Minflo_runner.Job}. *)
+  factor : float;         (** delay target as a fraction of Dmin. *)
+  solver : Minflo_runner.Job.solver;
+  max_seconds : float option;    (** per-request run budget: wall clock. *)
+  max_iterations : int option;   (** per-request run budget: D/W passes. *)
+  max_pivots : int option;       (** per-request run budget: flow pivots. *)
+  sleep_seconds : float;
+      (** artificial pre-solve latency (load testing; default 0). *)
+}
+
+type request =
+  | Submit of submit
+  | Status of string          (** one job's lifecycle state. *)
+  | Result of { id : string; wait : bool }
+      (** final result; [wait] parks the connection until terminal. *)
+  | Cancel of string
+  | Stats                     (** queue depth, perf counters, job counts. *)
+  | Health                    (** liveness/readiness probe. *)
+  | Drain
+      (** stop admitting, finish in-flight work, seal the journal, exit. *)
+
+val job_key : submit -> string
+(** The job's identity — {!Minflo_runner.Job.id} plus a suffix for any
+    custom budget or sleep. Submitting the same key twice is idempotent:
+    the daemon answers the second from its result cache. *)
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+
+val ok : (string * Json.t) list -> Json.t
+(** [{"ok": true, ...fields}]. *)
+
+val error_response :
+  ?fields:(string * Json.t) list -> Minflo_robust.Diag.error -> Json.t
+(** [{"ok": false, "code": ..., "message": ..., "error": {...}}]. *)
+
+val bad_request : string -> Json.t
+(** Protocol-level failure (unparsable line, unknown op): code
+    ["bad-request"]. *)

@@ -1,0 +1,845 @@
+module Diag = Minflo_robust.Diag
+module Perf = Minflo_robust.Perf
+module Mono = Minflo_robust.Mono
+module Budget = Minflo_robust.Budget
+module Job = Minflo_runner.Job
+module Batch = Minflo_runner.Batch
+module Journal = Minflo_runner.Journal
+module Supervisor = Minflo_runner.Supervisor
+module Minflotransit = Minflo_sizing.Minflotransit
+
+type config = {
+  socket_path : string;
+  run_dir : string;
+  parallel : int;
+  queue_capacity : int;
+  timeout_seconds : float option;
+  retries : int;
+  backoff_base : float;
+  preflight : bool;
+}
+
+let default_config =
+  { socket_path = "minflo.sock";
+    run_dir = "minflo-serve";
+    parallel = 2;
+    queue_capacity = 16;
+    timeout_seconds = Some 300.0;
+    retries = 2;
+    backoff_base = 0.5;
+    preflight = true }
+
+(* ---------- job table ---------- *)
+
+type failure = {
+  f_code : string;
+  f_message : string;
+  f_raw : string;  (* pre-rendered JSON error object *)
+  f_quarantined : bool;
+}
+
+type state =
+  | Queued
+  | Running
+  | Done of (string * Json.t) list  (* the rendered result response fields *)
+  | Failed of failure
+  | Cancelled
+
+type entry = {
+  key : string;
+  spec : Protocol.submit;
+  mutable state : state;
+  mutable cancelling : bool;
+}
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done _ -> "done"
+  | Failed _ -> "failed"
+  | Cancelled -> "cancelled"
+
+let slug key =
+  String.map
+    (fun c ->
+      match c with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '-')
+    key
+
+let rec mkdirs dir =
+  if Sys.file_exists dir then ()
+  else begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let outcome_fields key (spec : Protocol.submit) (o : Job.outcome) =
+  [ ("id", Json.Str key);
+    ("state", Json.Str "done");
+    ("circuit", Json.Str spec.circuit);
+    ("factor", Json.Num spec.factor);
+    ("solver", Json.Str (Job.solver_name spec.solver));
+    ("area", Json.Num o.area);
+    ("area_ratio", Json.Num o.area_ratio);
+    ("cp", Json.Num o.cp);
+    ("target", Json.Num o.target);
+    ("met", Json.Bool o.met);
+    ("iterations", Json.Num (float_of_int o.iterations));
+    ("saving_pct", Json.Num o.saving_pct);
+    ("stop", Json.Str o.stop);
+    ("resumed", Json.Bool o.resumed) ]
+
+let journal_result jr key (o : Job.outcome) =
+  Journal.event jr ~job:key
+    ~fields:
+      [ Journal.field_float "area" o.area;
+        Journal.field_float "area_ratio" o.area_ratio;
+        Journal.field_float "cp" o.cp;
+        Journal.field_float "target" o.target;
+        Journal.field_bool "met" o.met;
+        Journal.field_int "iterations" o.iterations;
+        Journal.field_float "saving_pct" o.saving_pct;
+        Journal.field_str "stop" o.stop;
+        Journal.field_bool "resumed" o.resumed ]
+    "job-result"
+
+(* the [error] object is always the last field [Journal.event] writes, so
+   the raw JSON between its key and the line's closing brace is the whole
+   (possibly nested) object *)
+let extract_raw_error line =
+  let pat = "\"error\": " in
+  let ll = String.length line and lp = String.length pat in
+  let rec search i =
+    if i + lp > ll then None
+    else if String.sub line i lp = pat then Some (i + lp)
+    else search (i + 1)
+  in
+  match search 0 with
+  | Some start when ll > start + 1 -> String.sub line start (ll - start - 1)
+  | _ -> "{}"
+
+(* ---------- recovery: rebuild the job table from a previous life ---------- *)
+
+let recover_submit line : Protocol.submit option =
+  match
+    ( Journal.find_field line "circuit",
+      Option.bind (Journal.find_field line "factor") float_of_string_opt,
+      Option.bind (Journal.find_field line "solver") Job.solver_of_string )
+  with
+  | Some circuit, Some factor, Some solver ->
+    let num key = Option.bind (Journal.find_field line key) float_of_string_opt in
+    let int key = Option.bind (Journal.find_field line key) int_of_string_opt in
+    Some
+      { Protocol.circuit;
+        factor;
+        solver;
+        max_seconds = num "max_seconds";
+        max_iterations = int "max_iterations";
+        max_pivots = int "max_pivots";
+        sleep_seconds = Option.value (num "sleep_seconds") ~default:0.0 }
+  | _ -> None
+
+let recover_done_fields key spec line =
+  let num k = Option.bind (Journal.find_field line k) float_of_string_opt in
+  let bool k = Option.bind (Journal.find_field line k) bool_of_string_opt in
+  match
+    ( num "area",
+      num "area_ratio",
+      num "cp",
+      num "target",
+      bool "met",
+      num "saving_pct",
+      Option.bind (Journal.find_field line "iterations") int_of_string_opt,
+      Journal.find_field line "stop",
+      bool "resumed" )
+  with
+  | ( Some area,
+      Some area_ratio,
+      Some cp,
+      Some target,
+      Some met,
+      Some saving_pct,
+      Some iterations,
+      Some stop,
+      Some resumed ) ->
+    Some
+      (outcome_fields key spec
+         { Job.job =
+             { Job.circuit = spec.Protocol.circuit;
+               factor = spec.Protocol.factor;
+               solver = spec.Protocol.solver };
+           area;
+           area_ratio;
+           cp;
+           target;
+           met;
+           iterations;
+           saving_pct;
+           stop;
+           resumed;
+           perf = Perf.zero () })
+  | _ -> None
+
+(* replay the journal of a previous daemon life: accepted jobs reappear in
+   the table, terminal ones with their exact recorded result (numbers
+   round-trip bit-identically through the journal), unfinished ones as
+   [Queued] for requeueing *)
+let recover_table journal_path =
+  let table : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (event, line) ->
+      match Journal.find_field line "job" with
+      | None -> ()
+      | Some key -> (
+        match event with
+        | "serve-accepted" -> (
+          match recover_submit line with
+          | None -> ()
+          | Some spec -> (
+            match Hashtbl.find_opt table key with
+            | Some e ->
+              (* resubmission after cancel: back to the queue *)
+              if e.state = Cancelled then e.state <- Queued
+            | None ->
+              Hashtbl.replace table key
+                { key; spec; state = Queued; cancelling = false };
+              order := key :: !order))
+        | "job-result" -> (
+          match Hashtbl.find_opt table key with
+          | Some e -> (
+            match recover_done_fields key e.spec line with
+            | Some fields -> e.state <- Done fields
+            | None -> ())
+          | None -> ())
+        | "job-failed" | "job-quarantined" | "job-lint-quarantined" -> (
+          match Hashtbl.find_opt table key with
+          | Some e ->
+            let code =
+              Option.value (Journal.find_field line "code") ~default:"internal"
+            in
+            e.state <-
+              Failed
+                { f_code = code;
+                  f_message = code;
+                  f_raw = extract_raw_error line;
+                  f_quarantined = event <> "job-failed" }
+          | None -> ())
+        | "job-cancelled" -> (
+          match Hashtbl.find_opt table key with
+          | Some e -> e.state <- Cancelled
+          | None -> ())
+        | _ -> ()))
+    (Journal.scan journal_path);
+  (table, List.rev !order)
+
+(* ---------- the worker thunk ---------- *)
+
+let worker_thunk cfg (spec : Protocol.submit) (emit : Supervisor.emit) =
+  if spec.sleep_seconds > 0.0 then Unix.sleepf spec.sleep_seconds;
+  let key = Protocol.job_key spec in
+  (* per-key checkpoint directory: jobs that share a circuit but differ in
+     budget must never resume from each other's state *)
+  let ckpt_dir =
+    Filename.concat (Filename.concat cfg.run_dir "checkpoints") (slug key)
+  in
+  let limits =
+    Budget.limits ?wall_seconds:spec.max_seconds
+      ?max_iterations:spec.max_iterations ?max_pivots:spec.max_pivots ()
+  in
+  let bcfg =
+    { Batch.default_config with
+      Batch.checkpoint_dir = Some ckpt_dir;
+      resume = true;
+      preflight = false (* gated at admission, in the parent *);
+      engine =
+        { Minflotransit.default_options with
+          Minflotransit.limits;
+          (* warm bases across D-phase solves; the warm trajectory is
+             bit-identical to the cold one, so checkpoint resume (which
+             replays cold from the snapshot) stays exact *)
+          warm_start = true;
+          canonical_duals = true } }
+  in
+  Batch.run_job ~emit ~exhausted_ok:true bcfg
+    { Job.circuit = spec.circuit; factor = spec.factor; solver = spec.solver }
+
+(* ---------- client bookkeeping ---------- *)
+
+type client = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+  mutable alive : bool;
+}
+
+let write_all client s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring client.fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> client.alive <- false
+  in
+  go 0
+
+let send client json = write_all client (Json.to_string json ^ "\n")
+
+(* ---------- the daemon ---------- *)
+
+let unknown_job id =
+  Json.Obj
+    [ ("ok", Json.Bool false);
+      ("code", Json.Str "unknown-job");
+      ("id", Json.Str id) ]
+
+let run ?(config = default_config) () : (unit, Diag.error) result =
+  let cfg = { config with parallel = max 1 config.parallel } in
+  mkdirs cfg.run_dir;
+  let journal_path = Filename.concat cfg.run_dir "journal.jsonl" in
+  (* replay the previous life's journal BEFORE taking the append lock:
+     POSIX record locks die when the process closes *any* descriptor for
+     the file, so a scan after [open_append] would silently release the
+     single-instance lock *)
+  let table, order = recover_table journal_path in
+  match Journal.open_append journal_path with
+  | Error e -> Error e (* Journal_locked: another live daemon owns this dir *)
+  | Ok jr -> (
+    (* stale socket from a SIGKILLed life: nobody is listening, remove it;
+       a live listener means a config clash (same socket, different run
+       dir — the journal lock would have caught the same run dir) *)
+    let socket_check =
+      if not (Sys.file_exists cfg.socket_path) then Ok ()
+      else begin
+        let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect probe (Unix.ADDR_UNIX cfg.socket_path) with
+        | () ->
+          (try Unix.close probe with Unix.Unix_error _ -> ());
+          Error
+            (Diag.Io_error
+               { file = cfg.socket_path;
+                 msg = "socket already in use by a live daemon" })
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+          ->
+          (try Unix.close probe with Unix.Unix_error _ -> ());
+          (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+          Ok ()
+        | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close probe with Unix.Unix_error _ -> ());
+          Error
+            (Diag.Io_error
+               { file = cfg.socket_path; msg = Unix.error_message e })
+      end
+    in
+    match socket_check with
+    | Error e ->
+      Journal.close jr;
+      Error e
+    | Ok () ->
+      let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+      Unix.listen listen_fd 64;
+      let old_pipe =
+        try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+        with Invalid_argument _ | Sys_error _ -> None
+      in
+      let t0 = Mono.now () in
+      Journal.event jr
+        ~fields:
+          [ Journal.field_str "socket" cfg.socket_path;
+            Journal.field_int "parallel" cfg.parallel;
+            Journal.field_int "queue_capacity" cfg.queue_capacity;
+            Journal.field_int "pid" (Unix.getpid ()) ]
+        "serve-start";
+      (* recovery: accepted-but-unfinished jobs from a previous life go
+         back on the queue; finished ones stock the result cache *)
+      let admission : string Bounded_queue.t =
+        Bounded_queue.create ~capacity:cfg.queue_capacity
+      in
+      let requeued = ref 0 and cached = ref 0 in
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt table key with
+          | Some e when e.state = Queued ->
+            mkdirs
+              (Filename.concat
+                 (Filename.concat cfg.run_dir "checkpoints")
+                 (slug key));
+            Bounded_queue.push_force admission key;
+            incr requeued
+          | Some { state = Done _; _ } -> incr cached
+          | _ -> ())
+        order;
+      if order <> [] then
+        Journal.event jr
+          ~fields:
+            [ Journal.field_int "jobs" (List.length order);
+              Journal.field_int "requeued" !requeued;
+              Journal.field_int "cached" !cached ]
+          "serve-recovered";
+      let pool : Job.outcome Supervisor.pool =
+        Supervisor.pool_create
+          ~config:
+            { Supervisor.parallel = cfg.parallel;
+              timeout_seconds = cfg.timeout_seconds;
+              retries = cfg.retries;
+              backoff_base = cfg.backoff_base;
+              isolate = true }
+          ~journal:jr ()
+      in
+      let clients : client list ref = ref [] in
+      let waiters : (string, client list) Hashtbl.t = Hashtbl.create 8 in
+      let worker_perf = ref (Perf.zero ()) in
+      let draining = ref false in
+      let drain_signal = ref false in
+      let old_term =
+        try
+          Some
+            (Sys.signal Sys.sigterm
+               (Sys.Signal_handle (fun _ -> drain_signal := true)))
+        with Invalid_argument _ | Sys_error _ -> None
+      in
+      let old_int =
+        try
+          Some
+            (Sys.signal Sys.sigint
+               (Sys.Signal_handle (fun _ -> drain_signal := true)))
+        with Invalid_argument _ | Sys_error _ -> None
+      in
+      let start_drain reason =
+        if not !draining then begin
+          draining := true;
+          Journal.event jr
+            ~fields:[ Journal.field_str "reason" reason ]
+            "serve-drain-start"
+        end
+      in
+      let render_terminal entry =
+        match entry.state with
+        | Done fields -> Json.Obj (("ok", Json.Bool true) :: fields)
+        | Failed f ->
+          Json.Obj
+            [ ("ok", Json.Bool false);
+              ("id", Json.Str entry.key);
+              ("state", Json.Str "failed");
+              ("code", Json.Str f.f_code);
+              ("message", Json.Str f.f_message);
+              ("error", Json.Raw f.f_raw);
+              ("quarantined", Json.Bool f.f_quarantined) ]
+        | Cancelled ->
+          Json.Obj
+            [ ("ok", Json.Bool false);
+              ("id", Json.Str entry.key);
+              ("state", Json.Str "cancelled");
+              ("code", Json.Str "cancelled") ]
+        | Queued | Running ->
+          Json.Obj
+            [ ("ok", Json.Bool false);
+              ("id", Json.Str entry.key);
+              ("state", Json.Str (state_name entry.state));
+              ("code", Json.Str "pending") ]
+      in
+      let notify_waiters entry =
+        match Hashtbl.find_opt waiters entry.key with
+        | None -> ()
+        | Some parked ->
+          Hashtbl.remove waiters entry.key;
+          let response = render_terminal entry in
+          List.iter (fun c -> if c.alive then send c response) parked
+      in
+      let handle_finished (key, (o : Job.outcome Supervisor.outcome)) =
+        match Hashtbl.find_opt table key with
+        | None -> ()
+        | Some entry ->
+          (match o.Supervisor.verdict with
+          | Ok oc ->
+            worker_perf := Perf.add !worker_perf oc.Job.perf;
+            journal_result jr key oc;
+            entry.state <- Done (outcome_fields key entry.spec oc)
+          | Error _ when entry.cancelling ->
+            Journal.event jr ~job:key "job-cancelled";
+            entry.state <- Cancelled
+          | Error e ->
+            (* the pool already journaled job-failed / job-quarantined *)
+            entry.state <-
+              Failed
+                { f_code = Diag.error_code e;
+                  f_message = Diag.to_string e;
+                  f_raw = Diag.to_json e;
+                  f_quarantined = o.Supervisor.quarantined });
+          notify_waiters entry
+      in
+      (* a forked worker inherits the listening socket and every client
+         connection; if the daemon is later SIGKILLed, those inherited
+         descriptors would keep the dead daemon's socket answering
+         connects and wedge the restart's stale-socket probe — drop them
+         first thing in the child *)
+      let close_inherited_fds () =
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        List.iter
+          (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+          !clients
+      in
+      let rec promote () =
+        if Supervisor.pool_load pool < cfg.parallel then
+          match Bounded_queue.pop admission with
+          | None -> ()
+          | Some key ->
+            (match Hashtbl.find_opt table key with
+            | Some entry when entry.state = Queued ->
+              entry.state <- Running;
+              Supervisor.pool_submit pool ~id:key (fun emit ->
+                  close_inherited_fds ();
+                  worker_thunk cfg entry.spec emit)
+            | _ -> () (* cancelled while queued: skip *));
+            promote ()
+      in
+      let lint_error spec =
+        if not cfg.preflight then None
+        else
+          match Job.load_raw spec with
+          | Error e -> Some e
+          | Ok raw -> (
+            let findings = Minflo_lint.Lint.check raw in
+            match
+              List.find_opt
+                (fun (f : Minflo_lint.Finding.t) ->
+                  f.rule.severity = Minflo_lint.Rule.Error)
+                findings
+            with
+            | Some f -> Some (Minflo_lint.Finding.to_diag f)
+            | None -> None)
+      in
+      let journal_accepted key (s : Protocol.submit) =
+        Journal.event jr ~job:key
+          ~fields:
+            ([ Journal.field_str "circuit" s.circuit;
+               Journal.field_float "factor" s.factor;
+               Journal.field_str "solver" (Job.solver_name s.solver) ]
+            @ (match s.max_seconds with
+              | Some v -> [ Journal.field_float "max_seconds" v ]
+              | None -> [])
+            @ (match s.max_iterations with
+              | Some v -> [ Journal.field_int "max_iterations" v ]
+              | None -> [])
+            @ (match s.max_pivots with
+              | Some v -> [ Journal.field_int "max_pivots" v ]
+              | None -> [])
+            @
+            if s.sleep_seconds > 0.0 then
+              [ Journal.field_float "sleep_seconds" s.sleep_seconds ]
+            else [])
+          "serve-accepted"
+      in
+      let handle_submit (s : Protocol.submit) =
+        let key = Protocol.job_key s in
+        let existing = Hashtbl.find_opt table key in
+        match existing with
+        | Some ({ state = Done _; _ } as entry) ->
+          (* the result cache: same work, zero solves *)
+          Perf.tick_cache_hit ();
+          Json.Obj
+            (match render_terminal entry with
+            | Json.Obj fields -> fields @ [ ("resubmitted", Json.Bool true) ]
+            | _ -> assert false)
+        | Some ({ state = Queued | Running | Failed _; _ } as entry) ->
+          Protocol.ok
+            [ ("id", Json.Str key);
+              ("state", Json.Str (state_name entry.state));
+              ("resubmitted", Json.Bool true) ]
+        | (None | Some { state = Cancelled; _ }) when !draining ->
+          Perf.tick_rejection ();
+          Protocol.error_response Diag.Draining
+        | (None | Some { state = Cancelled; _ })
+          when Bounded_queue.length admission >= Bounded_queue.capacity admission
+          ->
+          Perf.tick_rejection ();
+          Protocol.error_response
+            (Diag.Overloaded
+               { depth = Bounded_queue.length admission;
+                 limit = Bounded_queue.capacity admission })
+        | None | Some { state = Cancelled; _ } -> (
+          match lint_error s.circuit with
+          | Some e ->
+            (* structural reject, but still an accepted-and-recorded job:
+               status/result queries answer from the table, and a restart
+               reconstructs the same terminal state *)
+            Perf.tick_rejection ();
+            journal_accepted key s;
+            Journal.event jr ~job:key ~error:e "job-lint-quarantined";
+            let entry =
+              { key;
+                spec = s;
+                state =
+                  Failed
+                    { f_code = Diag.error_code e;
+                      f_message = Diag.to_string e;
+                      f_raw = Diag.to_json e;
+                      f_quarantined = true };
+                cancelling = false }
+            in
+            Hashtbl.replace table key entry;
+            Protocol.error_response ~fields:[ ("id", Json.Str key) ] e
+          | None -> (
+            match Job.load_circuit s.circuit with
+            | Error e ->
+              Perf.tick_rejection ();
+              Protocol.error_response e
+            | Ok nl ->
+              (* build (or reuse) the delay model in the parent: workers
+                 inherit it copy-on-write, and repeats hit the cache *)
+              ignore (Minflo_tech.Model_cache.model nl);
+              mkdirs
+                (Filename.concat
+                   (Filename.concat cfg.run_dir "checkpoints")
+                   (slug key));
+              journal_accepted key s;
+              (match existing with
+              | Some entry ->
+                entry.state <- Queued;
+                entry.cancelling <- false
+              | None ->
+                Hashtbl.replace table key
+                  { key; spec = s; state = Queued; cancelling = false });
+              (match Bounded_queue.push admission key with
+              | Ok () -> ()
+              | Error (`Full _) ->
+                (* capacity was checked above; unreachable single-threaded *)
+                Bounded_queue.push_force admission key);
+              Protocol.ok
+                [ ("id", Json.Str key);
+                  ("state", Json.Str "queued");
+                  ("position", Json.Num (float_of_int (Bounded_queue.length admission))) ]))
+      in
+      let handle_cancel id =
+        match Hashtbl.find_opt table id with
+        | None -> unknown_job id
+        | Some entry -> (
+          match entry.state with
+          | Queued ->
+            entry.state <- Cancelled;
+            Journal.event jr ~job:id "job-cancelled";
+            notify_waiters entry;
+            Protocol.ok
+              [ ("id", Json.Str id); ("cancelled", Json.Str "pending") ]
+          | Running -> (
+            entry.cancelling <- true;
+            match Supervisor.pool_cancel pool id with
+            | `Cancelled_pending ->
+              entry.state <- Cancelled;
+              Journal.event jr ~job:id "job-cancelled";
+              notify_waiters entry;
+              Protocol.ok
+                [ ("id", Json.Str id); ("cancelled", Json.Str "pending") ]
+            | `Killed_running ->
+              (* terminal state lands via pool_step -> handle_finished *)
+              Protocol.ok
+                [ ("id", Json.Str id); ("cancelled", Json.Str "running") ]
+            | `Not_found ->
+              entry.state <- Cancelled;
+              Journal.event jr ~job:id "job-cancelled";
+              notify_waiters entry;
+              Protocol.ok
+                [ ("id", Json.Str id); ("cancelled", Json.Str "pending") ])
+          | Done _ | Failed _ | Cancelled ->
+            Json.Obj
+              [ ("ok", Json.Bool false);
+                ("code", Json.Str "already-terminal");
+                ("id", Json.Str id);
+                ("state", Json.Str (state_name entry.state)) ])
+      in
+      let job_counts () =
+        let q = ref 0 and r = ref 0 and d = ref 0 and f = ref 0 and c = ref 0 in
+        Hashtbl.iter
+          (fun _ e ->
+            match e.state with
+            | Queued -> incr q
+            | Running -> incr r
+            | Done _ -> incr d
+            | Failed _ -> incr f
+            | Cancelled -> incr c)
+          table;
+        (!q, !r, !d, !f, !c)
+      in
+      let handle_stats () =
+        let q, r, d, f, c = job_counts () in
+        let counters = Perf.add (Perf.snapshot ()) !worker_perf in
+        Protocol.ok
+          [ ("pid", Json.Num (float_of_int (Unix.getpid ())));
+            ("uptime_seconds", Json.Num (Mono.now () -. t0));
+            ("draining", Json.Bool !draining);
+            ( "jobs",
+              Json.Obj
+                [ ("queued", Json.Num (float_of_int q));
+                  ("running", Json.Num (float_of_int r));
+                  ("done", Json.Num (float_of_int d));
+                  ("failed", Json.Num (float_of_int f));
+                  ("cancelled", Json.Num (float_of_int c)) ] );
+            ( "queue",
+              Json.Obj
+                [ ( "depth",
+                    Json.Num (float_of_int (Bounded_queue.length admission)) );
+                  ( "capacity",
+                    Json.Num (float_of_int (Bounded_queue.capacity admission))
+                  );
+                  ("peak", Json.Num (float_of_int (Bounded_queue.peak admission)))
+                ] );
+            ( "counters",
+              Json.Obj
+                (List.map
+                   (fun (k, v) -> (k, Json.Num (float_of_int v)))
+                   (Perf.to_fields counters)) ) ]
+      in
+      let handle_health () =
+        let _, r, _, _, _ = job_counts () in
+        Protocol.ok
+          [ ("status", Json.Str (if !draining then "draining" else "ok"));
+            ("pid", Json.Num (float_of_int (Unix.getpid ())));
+            ( "in_flight",
+              Json.Num
+                (float_of_int (r + Bounded_queue.length admission)) ) ]
+      in
+      (* returns [None] when the client was parked (result --wait) *)
+      let handle_request client req : Json.t option =
+        match req with
+        | Protocol.Submit s -> Some (handle_submit s)
+        | Protocol.Status id -> (
+          match Hashtbl.find_opt table id with
+          | None -> Some (unknown_job id)
+          | Some entry ->
+            Some
+              (Protocol.ok
+                 [ ("id", Json.Str id);
+                   ("state", Json.Str (state_name entry.state)) ]))
+        | Protocol.Result { id; wait } -> (
+          match Hashtbl.find_opt table id with
+          | None -> Some (unknown_job id)
+          | Some entry -> (
+            match entry.state with
+            | Done _ | Failed _ | Cancelled -> Some (render_terminal entry)
+            | Queued | Running ->
+              if wait then begin
+                Hashtbl.replace waiters id
+                  (client
+                  :: Option.value (Hashtbl.find_opt waiters id) ~default:[]);
+                None
+              end
+              else Some (render_terminal entry)))
+        | Protocol.Cancel id -> Some (handle_cancel id)
+        | Protocol.Stats -> Some (handle_stats ())
+        | Protocol.Health -> Some (handle_health ())
+        | Protocol.Drain ->
+          start_drain "request";
+          Some (Protocol.ok [ ("draining", Json.Bool true) ])
+      in
+      let process_line client line =
+        if String.trim line <> "" then
+          let response =
+            match Json.parse line with
+            | Error msg -> Some (Protocol.bad_request msg)
+            | Ok j -> (
+              match Protocol.request_of_json j with
+              | Error msg -> Some (Protocol.bad_request msg)
+              | Ok req -> handle_request client req)
+          in
+          match response with Some r -> send client r | None -> ()
+      in
+      let read_client client =
+        let bytes = Bytes.create 4096 in
+        (match Unix.read client.fd bytes 0 4096 with
+        | 0 -> client.alive <- false
+        | n -> Buffer.add_subbytes client.rbuf bytes 0 n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          ()
+        | exception Unix.Unix_error _ -> client.alive <- false);
+        if Buffer.length client.rbuf > 1_000_000 then begin
+          send client (Protocol.bad_request "request line too long");
+          client.alive <- false
+        end;
+        let s = Buffer.contents client.rbuf in
+        match String.rindex_opt s '\n' with
+        | None -> ()
+        | Some last ->
+          Buffer.clear client.rbuf;
+          Buffer.add_substring client.rbuf s (last + 1)
+            (String.length s - last - 1);
+          List.iter
+            (fun line -> if client.alive then process_line client line)
+            (String.split_on_char '\n' (String.sub s 0 last))
+      in
+      let accept_clients () =
+        match Unix.accept listen_fd with
+        | fd, _ ->
+          clients := { fd; rbuf = Buffer.create 256; alive = true } :: !clients
+        | exception Unix.Unix_error _ -> ()
+      in
+      let reap_clients () =
+        let dead, live = List.partition (fun c -> not c.alive) !clients in
+        clients := live;
+        List.iter
+          (fun c ->
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            (* forget any parked waits from this connection *)
+            Hashtbl.iter
+              (fun key parked ->
+                if List.memq c parked then
+                  Hashtbl.replace waiters key
+                    (List.filter (fun w -> not (w == c)) parked))
+              (Hashtbl.copy waiters))
+          dead
+      in
+      let rec loop () =
+        let fds = listen_fd :: List.map (fun c -> c.fd) !clients in
+        let readable =
+          match Unix.select fds [] [] 0.05 with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        if List.mem listen_fd readable then accept_clients ();
+        List.iter
+          (fun c -> if List.mem c.fd readable then read_client c)
+          !clients;
+        List.iter handle_finished (Supervisor.pool_step pool);
+        promote ();
+        reap_clients ();
+        if !drain_signal then start_drain "signal";
+        if
+          !draining
+          && Bounded_queue.is_empty admission
+          && Supervisor.pool_idle pool
+        then ()
+        else loop ()
+      in
+      loop ();
+      let _, _, d, f, c = job_counts () in
+      Journal.event jr
+        ~fields:
+          [ Journal.field_int "done" d;
+            Journal.field_int "failed" f;
+            Journal.field_int "cancelled" c ]
+        "serve-drain-complete";
+      Journal.close jr;
+      List.iter
+        (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+        !clients;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+      (match old_pipe with
+      | Some b -> (
+        try Sys.set_signal Sys.sigpipe b
+        with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ());
+      (match old_term with
+      | Some b -> (
+        try Sys.set_signal Sys.sigterm b
+        with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ());
+      (match old_int with
+      | Some b -> (
+        try Sys.set_signal Sys.sigint b
+        with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ());
+      Ok ())

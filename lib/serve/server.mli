@@ -1,0 +1,56 @@
+(** The sizing-as-a-service daemon.
+
+    [run] listens on a unix socket for newline-delimited JSON requests
+    ({!Protocol}) and schedules accepted sizing jobs across forked workers
+    ({!Minflo_runner.Supervisor}'s pool — per-attempt hard timeouts,
+    exponential-backoff retry of transient failures, quarantine of
+    deterministic ones). The parent process is the only journal writer and
+    the only scheduler; workers inherit the delay-model cache
+    copy-on-write.
+
+    Robustness contract:
+
+    - {b admission control}: a bounded queue; a full queue answers
+      [overloaded] (typed, with depth and limit) instead of accepting
+      unbounded work. Rejections tick {!Minflo_robust.Perf} counters.
+    - {b idempotency / result cache}: a job's key
+      ({!Protocol.job_key}) identifies its work; resubmitting a served key
+      is answered from the in-memory result cache with zero solves.
+    - {b crash recovery}: every accepted job is journaled ([serve-accepted],
+      fsynced) before the client hears "accepted"; terminal states are
+      journaled too ([job-result] carries the full result, round-tripping
+      bit-identically). A daemon restarted on the same run directory
+      replays the journal: finished jobs restock the result cache,
+      accepted-but-unfinished ones are requeued and — thanks to the batch
+      layer's checkpoints — resume to bit-identical results.
+    - {b single instance}: the journal's advisory lock makes a second
+      daemon on the same run directory fail fast with [journal-locked].
+    - {b graceful drain}: SIGTERM/SIGINT (or the [drain] op) stops
+      admission, finishes or checkpoints in-flight work, seals the journal
+      and exits. SIGKILL is the tested worst case: recovery handles it.
+
+    Per-request budgets map to {!Minflo_robust.Budget} limits; a budget
+    that trips on a target-meeting sizing returns that best feasible
+    result (flagged via its [stop] field) rather than an error. *)
+
+type config = {
+  socket_path : string;
+  run_dir : string;        (** journal, checkpoints, recovery state. *)
+  parallel : int;          (** concurrent forked workers. *)
+  queue_capacity : int;    (** admission queue bound. *)
+  timeout_seconds : float option;  (** per-attempt hard kill. *)
+  retries : int;
+  backoff_base : float;
+  preflight : bool;        (** lint gate at admission. *)
+}
+
+val default_config : config
+(** [socket_path = "minflo.sock"; run_dir = "minflo-serve"; parallel = 2;
+    queue_capacity = 16; timeout_seconds = Some 300.; retries = 2;
+    backoff_base = 0.5; preflight = true]. *)
+
+val run : ?config:config -> unit -> (unit, Minflo_robust.Diag.error) result
+(** Run the daemon until drained. Returns [Error Journal_locked] if
+    another live daemon owns the run directory, [Error (Io_error _)] if
+    the socket is in use; otherwise blocks until a drain completes and
+    returns [Ok ()]. *)

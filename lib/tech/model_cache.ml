@@ -19,9 +19,11 @@ let model ?(tech = Tech.default_130nm) nl =
   match Hashtbl.find_opt table key with
   | Some m ->
     incr hits;
+    Minflo_robust.Perf.tick_cache_hit ();
     m
   | None ->
     incr misses;
+    Minflo_robust.Perf.tick_cache_miss ();
     let m = Elmore.of_netlist tech nl in
     Hashtbl.add table key m;
     m

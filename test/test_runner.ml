@@ -445,6 +445,251 @@ let test_supervisor_in_process_mode () =
   | [ (_, o) ] -> Alcotest.failf "attempts=%d" o.Supervisor.attempts
   | _ -> Alcotest.fail "unexpected outcome"
 
+let test_supervisor_timeout_then_success () =
+  (* attempt 1 wedges (and is SIGKILLed by the timeout), attempt 2 runs
+     clean: a timeout is environmental, so the retry budget applies *)
+  let dir = fresh_dir "sup-timeout-retry" in
+  let marker = Filename.concat dir "attempted" in
+  let thunk () =
+    if Sys.file_exists marker then Ok 7
+    else begin
+      close_out (open_out marker);
+      while true do
+        ignore (Sys.opaque_identity 0)
+      done;
+      Ok 0
+    end
+  in
+  (match
+     Supervisor.run_all ~config:(sup ~timeout:0.3 ~retries:2 ()) [ ("t", thunk) ]
+   with
+  | [ (_, { Supervisor.verdict = Ok 7; attempts = 2; quarantined = false }) ] ->
+    ()
+  | [ (_, o) ] ->
+    Alcotest.failf "attempts=%d quarantined=%b ok=%b" o.Supervisor.attempts
+      o.Supervisor.quarantined
+      (Result.is_ok o.Supervisor.verdict)
+  | _ -> Alcotest.fail "unexpected outcome");
+  rm_rf dir
+
+let test_supervisor_quarantines_when_error_stabilizes () =
+  (* distinct transient errors keep the retry budget alive; the moment the
+     same typed code repeats on consecutive attempts, the failure counts
+     as deterministic and the job is quarantined without burning the rest
+     of a large budget *)
+  let dir = fresh_dir "sup-stabilize" in
+  let counter = Filename.concat dir "n" in
+  let thunk () =
+    let n =
+      if Sys.file_exists counter then
+        let ic = open_in counter in
+        let v = int_of_string (input_line ic) in
+        close_in ic;
+        v
+      else 0
+    in
+    let oc = open_out counter in
+    output_string oc (string_of_int (n + 1));
+    close_out oc;
+    if n = 0 then Error (Diag.Numeric { what = "first"; value = 1.0 })
+    else Error (Diag.Solver_diverged { solver = "simplex"; iters = n })
+  in
+  (match
+     Supervisor.run_all ~config:(sup ~retries:10 ()) [ ("t", thunk) ]
+   with
+  | [ (_, { Supervisor.verdict = Error (Diag.Solver_diverged _); attempts = 3;
+            quarantined = true }) ] -> ()
+  | [ (_, o) ] ->
+    Alcotest.failf "attempts=%d quarantined=%b" o.Supervisor.attempts
+      o.Supervisor.quarantined
+  | _ -> Alcotest.fail "unexpected outcome");
+  rm_rf dir
+
+let test_supervisor_sigkill_between_checkpoints_requeues () =
+  (* the worker emits a checkpoint event, then dies by SIGKILL before the
+     next one — exactly a mid-job machine crash. The supervisor must
+     classify the crash as transient, requeue, and the retry must succeed;
+     the journal must hold attempt 1's checkpoint event, the retry, and
+     the final verdict in within-job order *)
+  let dir = fresh_dir "sup-sigkill-ckpt" in
+  let marker = Filename.concat dir "attempted" in
+  let jpath = Filename.concat dir "journal.jsonl" in
+  let journal =
+    match Journal.open_append jpath with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "journal: %s" (Diag.to_string e)
+  in
+  let thunk (emit : Supervisor.emit) =
+    if Sys.file_exists marker then begin
+      emit ~fields:[ Journal.field_int "iter" 1 ] "job-checkpoint";
+      Ok 99
+    end
+    else begin
+      close_out (open_out marker);
+      emit ~fields:[ Journal.field_int "iter" 0 ] "job-checkpoint";
+      (* give the parent's pipe a moment, then die like a crashed host *)
+      Unix.sleepf 0.05;
+      Unix.kill (Unix.getpid ()) Sys.sigkill;
+      Ok 0
+    end
+  in
+  (match
+     Supervisor.run_all_tasks ~config:(sup ~retries:2 ()) ~journal
+       [ ("t", thunk) ]
+   with
+  | [ (_, { Supervisor.verdict = Ok 99; attempts = 2; quarantined = false }) ]
+    -> ()
+  | [ (_, o) ] ->
+    Alcotest.failf "attempts=%d quarantined=%b ok=%b" o.Supervisor.attempts
+      o.Supervisor.quarantined
+      (Result.is_ok o.Supervisor.verdict)
+  | _ -> Alcotest.fail "unexpected outcome");
+  Journal.close journal;
+  let events = List.map fst (Journal.scan jpath) in
+  let expect =
+    [ "job-spawn"; "job-checkpoint"; "job-retry"; "job-spawn";
+      "job-checkpoint" ]
+  in
+  check (Alcotest.list string) "journal event order" expect events;
+  rm_rf dir
+
+(* ---------- supervisor: incremental pool ---------- *)
+
+let test_pool_incremental_submit_and_cancel () =
+  let dir = fresh_dir "pool-inc" in
+  let slow = Filename.concat dir "slow-started" in
+  let pool =
+    Supervisor.pool_create ~config:(sup ~parallel:1 ~retries:0 ()) ()
+  in
+  Alcotest.(check bool) "fresh pool is idle" true (Supervisor.pool_idle pool);
+  Supervisor.pool_submit pool ~id:"slow" (fun _ ->
+      close_out (open_out slow);
+      Unix.sleepf 5.0;
+      Ok 1);
+  Supervisor.pool_submit pool ~id:"queued" (fun _ -> Ok 2);
+  Supervisor.pool_submit pool ~id:"third" (fun _ -> Ok 3);
+  check int "load counts queued and running" 3 (Supervisor.pool_load pool);
+  (* let the slow job actually start *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec wait_start () =
+    ignore (Supervisor.pool_step pool);
+    if Sys.file_exists slow then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "slow job never started"
+    else begin
+      Unix.sleepf 0.01;
+      wait_start ()
+    end
+  in
+  wait_start ();
+  check int "one running" 1 (Supervisor.pool_running_count pool);
+  (match Supervisor.pool_cancel pool "queued" with
+  | `Cancelled_pending -> ()
+  | _ -> Alcotest.fail "queued task should cancel from the queue");
+  (match Supervisor.pool_cancel pool "slow" with
+  | `Killed_running -> ()
+  | _ -> Alcotest.fail "running task should be killed");
+  (match Supervisor.pool_cancel pool "missing" with
+  | `Not_found -> ()
+  | _ -> Alcotest.fail "unknown id should be Not_found");
+  let finished = ref [] in
+  let rec drain () =
+    finished := !finished @ Supervisor.pool_step pool;
+    if not (Supervisor.pool_idle pool) then begin
+      Unix.sleepf 0.01;
+      drain ()
+    end
+  in
+  drain ();
+  (* cancelled-from-queue never reports; killed-running reports a crashed
+     verdict without retrying; "third" completes normally *)
+  let by_id id = List.assoc_opt id !finished in
+  (match by_id "queued" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "queue-cancelled task must not report");
+  (match by_id "slow" with
+  | Some { Supervisor.verdict = Error (Diag.Job_crashed { detail; _ });
+           attempts = 1; _ } ->
+    check string "cancel detail" "cancelled" detail
+  | _ -> Alcotest.fail "killed task should finish as a cancelled crash");
+  (match by_id "third" with
+  | Some { Supervisor.verdict = Ok 3; _ } -> ()
+  | _ -> Alcotest.fail "remaining task should complete");
+  rm_rf dir
+
+(* ---------- journal: single-writer advisory lock ---------- *)
+
+let test_journal_lock_excludes_second_process () =
+  let dir = fresh_dir "journal-lock" in
+  let path = Filename.concat dir "journal.jsonl" in
+  (match Journal.open_append path with
+  | Error e -> Alcotest.failf "first open: %s" (Diag.to_string e)
+  | Ok j -> (
+    Journal.event j "held";
+    (* POSIX record locks are per-process, so the conflict only shows from
+       another process *)
+    match Unix.fork () with
+    | 0 ->
+      let code =
+        match Journal.open_append path with
+        | Error (Diag.Journal_locked _) -> 0
+        | Error _ -> 1
+        | Ok _ -> 2
+      in
+      Unix._exit code
+    | pid -> (
+      let _, status = Unix.waitpid [] pid in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED 1 -> Alcotest.fail "child got a non-lock error"
+      | Unix.WEXITED 2 -> Alcotest.fail "child acquired the held lock"
+      | _ -> Alcotest.fail "child died abnormally");
+      Journal.close j;
+      (* the lock dies with the holder: reopening now must succeed *)
+      match Journal.open_append path with
+      | Ok j2 -> Journal.close j2
+      | Error e ->
+        Alcotest.failf "reopen after close: %s" (Diag.to_string e))));
+  rm_rf dir
+
+(* ---------- batch: SIGTERM seals the journal ---------- *)
+
+let test_batch_sigterm_seals_journal () =
+  let dir = fresh_dir "batch-sigterm" in
+  let jobs =
+    [ { Job.circuit = "c432"; factor = 0.4; solver = `Simplex };
+      { Job.circuit = "c432"; factor = 0.45; solver = `Simplex } ]
+  in
+  let cfg =
+    { Batch.default_config with
+      Batch.checkpoint_dir = Some dir;
+      supervise = sup ~parallel:1 () }
+  in
+  match Unix.fork () with
+  | 0 ->
+    (* stdout belongs to alcotest; the batch child stays silent *)
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stdout;
+    ignore (Batch.run ~config:cfg jobs);
+    Unix._exit 0
+  | pid ->
+    Unix.sleepf 0.4;
+    (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+    let _, status = Unix.waitpid [] pid in
+    let events = List.map fst (Journal.scan (Filename.concat dir "journal.jsonl")) in
+    (match status with
+    | Unix.WEXITED 143 ->
+      if not (List.mem "run-interrupted" events) then
+        Alcotest.failf "no run-interrupted event; got: %s"
+          (String.concat ", " events)
+    | Unix.WEXITED 0 ->
+      (* the batch outran the signal — the seal path wasn't exercised, but
+         the journal must still be complete *)
+      if not (List.mem "batch-end" events) then
+        Alcotest.fail "batch finished but journal has no batch-end"
+    | _ -> Alcotest.fail "batch child died abnormally");
+    rm_rf dir
+
 (* ---------- batch: bit-identical resume ---------- *)
 
 (* Interrupt a run by tripping its iteration budget (the same code path a
@@ -743,7 +988,9 @@ let () =
         [ Alcotest.test_case "completed scan survives truncation" `Quick
             test_journal_completed_scan;
           Alcotest.test_case "torn final line sealed on reopen" `Quick
-            test_journal_torn_line_recovery ] );
+            test_journal_torn_line_recovery;
+          Alcotest.test_case "advisory lock excludes a second process" `Quick
+            test_journal_lock_excludes_second_process ] );
       ( "supervisor",
         [ Alcotest.test_case "isolated success" `Quick test_supervisor_ok_isolated;
           Alcotest.test_case "transient failure retries" `Quick
@@ -759,7 +1006,15 @@ let () =
           Alcotest.test_case "parallel keeps submission order" `Quick
             test_supervisor_parallel_order;
           Alcotest.test_case "in-process mode" `Quick
-            test_supervisor_in_process_mode ] );
+            test_supervisor_in_process_mode;
+          Alcotest.test_case "timeout then success" `Quick
+            test_supervisor_timeout_then_success;
+          Alcotest.test_case "quarantine when the error stabilizes" `Quick
+            test_supervisor_quarantines_when_error_stabilizes;
+          Alcotest.test_case "sigkill between checkpoints requeues" `Quick
+            test_supervisor_sigkill_between_checkpoints_requeues;
+          Alcotest.test_case "incremental pool submit and cancel" `Quick
+            test_pool_incremental_submit_and_cancel ] );
       ( "resume",
         [ Alcotest.test_case "bit-identical (c432)" `Slow test_resume_iscas85;
           Alcotest.test_case "bit-identical (generated adder)" `Quick
@@ -767,7 +1022,9 @@ let () =
           Alcotest.test_case "supervised batch end to end" `Quick
             test_resume_supervised_batch;
           Alcotest.test_case "foreign checkpoint rejected" `Quick
-            test_resume_rejects_foreign_checkpoint ] );
+            test_resume_rejects_foreign_checkpoint;
+          Alcotest.test_case "sigterm seals the journal" `Quick
+            test_batch_sigterm_seals_journal ] );
       ( "preflight",
         [ Alcotest.test_case "lint failure quarantined without a fork" `Quick
             test_preflight_quarantines_lint_failure;

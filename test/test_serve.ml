@@ -1,0 +1,482 @@
+(* The sizing-as-a-service daemon: wire format, admission queue, and
+   end-to-end lifecycle tests that fork a real daemon over a unix socket —
+   including the acceptance scenario (SIGKILL with in-flight jobs, restart
+   on the same run directory, bit-identical recovered results). *)
+
+module Json = Minflo_serve.Json
+module Protocol = Minflo_serve.Protocol
+module Bounded_queue = Minflo_serve.Bounded_queue
+module Server = Minflo_serve.Server
+module Client = Minflo_serve.Client
+module Loadgen = Minflo_serve.Loadgen
+module Journal = Minflo_runner.Journal
+module Diag = Minflo_robust.Diag
+
+let check = Alcotest.check
+let int = Alcotest.int
+let string = Alcotest.string
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let fresh_dir name =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) ("minflo-" ^ name) in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+(* ---------- json ---------- *)
+
+let test_json_roundtrip () =
+  let src = {|{"a": 1, "b": [true, null, "xé\n"], "c": -2.5}|} in
+  (match Json.parse src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok j ->
+    check (Alcotest.option Alcotest.int) "int field" (Some 1)
+      (Json.int_field "a" j);
+    (match Json.member "b" j with
+    | Some (Json.List [ Json.Bool true; Json.Null; Json.Str s ]) ->
+      check string "escapes decoded" "x\xc3\xa9\n" s
+    | _ -> Alcotest.fail "array shape");
+    check (Alcotest.option (Alcotest.float 0.)) "negative number" (Some (-2.5))
+      (Json.num_field "c" j);
+    (* print/parse round trip is structural identity *)
+    match Json.parse (Json.to_string j) with
+    | Ok j2 -> check string "reprint stable" (Json.to_string j) (Json.to_string j2)
+    | Error e -> Alcotest.failf "reparse: %s" e);
+  (match Json.parse {|{"a": 1} trailing|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Json.parse {|{"a": }|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed object accepted"
+
+let test_json_number_bits () =
+  (* the daemon's bit-identical recovery rides on numbers surviving
+     print/parse unchanged *)
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Num f)) with
+      | Ok (Json.Num g) ->
+        if Int64.bits_of_float f <> Int64.bits_of_float g then
+          Alcotest.failf "%h reparsed as %h" f g
+      | _ -> Alcotest.failf "%h did not reparse as a number" f)
+    [ 0.0; -0.0; 0.1; 1.0 /. 3.0; 1e300; 4.94e-324; 12345.6789;
+      1.0000000000000002; 745.0; -42.125 ]
+
+(* ---------- protocol ---------- *)
+
+let roundtrip req =
+  let j = Protocol.request_to_json req in
+  match Protocol.request_of_json j with
+  | Error e -> Alcotest.failf "of_json: %s" e
+  | Ok req2 ->
+    check string "request round trip"
+      (Json.to_string j)
+      (Json.to_string (Protocol.request_to_json req2))
+
+let submit_spec ?max_seconds ?max_iterations ?max_pivots ?(sleep = 0.0)
+    ?(factor = 1.3) circuit =
+  { Protocol.circuit; factor; solver = `Simplex; max_seconds; max_iterations;
+    max_pivots; sleep_seconds = sleep }
+
+let test_protocol_roundtrip () =
+  roundtrip (Protocol.Submit (submit_spec "c17"));
+  roundtrip
+    (Protocol.Submit
+       (submit_spec ~max_seconds:2.5 ~max_iterations:7 ~max_pivots:1000
+          ~sleep:0.25 ~factor:0.45 "c432"));
+  roundtrip (Protocol.Status "some-id");
+  roundtrip (Protocol.Result { id = "some-id"; wait = true });
+  roundtrip (Protocol.Result { id = "some-id"; wait = false });
+  roundtrip (Protocol.Cancel "some-id");
+  roundtrip Protocol.Stats;
+  roundtrip Protocol.Health;
+  roundtrip Protocol.Drain
+
+let test_protocol_validation () =
+  let reject j what =
+    match Protocol.request_of_json j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  reject (Json.Obj [ ("op", Json.Str "launch-missiles") ]) "unknown op";
+  reject
+    (Json.Obj
+       [ ("op", Json.Str "submit"); ("circuit", Json.Str "c17");
+         ("factor", Json.Num (-1.0)) ])
+    "negative factor";
+  reject
+    (Json.Obj
+       [ ("op", Json.Str "submit"); ("circuit", Json.Str "c17");
+         ("factor", Json.Num 1.3); ("solver", Json.Str "quantum") ])
+    "unknown solver";
+  reject (Json.Obj [ ("op", Json.Str "status") ]) "status without id";
+  reject (Json.Str "not an object") "non-object request"
+
+let test_protocol_job_key () =
+  let plain = Protocol.job_key (submit_spec "c17") in
+  check Alcotest.bool "default budgets need no suffix" false
+    (String.contains plain '#');
+  let budgeted = Protocol.job_key (submit_spec ~max_iterations:3 "c17") in
+  check Alcotest.bool "custom budget gets a suffix" true
+    (String.contains budgeted '#');
+  if plain = budgeted then
+    Alcotest.fail "budget must change the job identity";
+  let other = Protocol.job_key (submit_spec ~max_iterations:4 "c17") in
+  if budgeted = other then
+    Alcotest.fail "different budgets must have different identities";
+  check string "same spec, same key" budgeted
+    (Protocol.job_key (submit_spec ~max_iterations:3 "c17"))
+
+(* ---------- bounded queue ---------- *)
+
+let test_bounded_queue () =
+  let q = Bounded_queue.create ~capacity:2 in
+  check Alcotest.bool "starts empty" true (Bounded_queue.is_empty q);
+  (match Bounded_queue.push q "a" with Ok () -> () | Error _ -> Alcotest.fail "push a");
+  (match Bounded_queue.push q "b" with Ok () -> () | Error _ -> Alcotest.fail "push b");
+  (match Bounded_queue.push q "c" with
+  | Error (`Full 2) -> ()
+  | Error (`Full n) -> Alcotest.failf "full at depth %d" n
+  | Ok () -> Alcotest.fail "push past capacity accepted");
+  check (Alcotest.option string) "fifo pop" (Some "a") (Bounded_queue.pop q);
+  (match Bounded_queue.push q "c" with Ok () -> () | Error _ -> Alcotest.fail "push c");
+  (* recovery path may exceed the bound *)
+  Bounded_queue.push_force q "forced";
+  check int "forced past capacity" 3 (Bounded_queue.length q);
+  check int "capacity unchanged" 2 (Bounded_queue.capacity q);
+  check int "peak is the high-water mark" 3 (Bounded_queue.peak q);
+  check (Alcotest.option string) "pop b" (Some "b") (Bounded_queue.pop q);
+  check (Alcotest.option string) "pop c" (Some "c") (Bounded_queue.pop q);
+  check (Alcotest.option string) "pop forced" (Some "forced") (Bounded_queue.pop q);
+  check (Alcotest.option string) "drained" None (Bounded_queue.pop q)
+
+(* ---------- end to end: a forked daemon over a real socket ---------- *)
+
+let daemon_cfg ?(parallel = 2) ?(queue = 16) dir =
+  { Server.socket_path = Filename.concat dir "minflo.sock";
+    run_dir = Filename.concat dir "run";
+    parallel;
+    queue_capacity = queue;
+    timeout_seconds = Some 60.0;
+    retries = 1;
+    backoff_base = 0.05;
+    preflight = true }
+
+let start_daemon cfg =
+  match Unix.fork () with
+  | 0 ->
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stdout;
+    Unix.dup2 devnull Unix.stderr;
+    let code =
+      match Server.run ~config:cfg () with
+      | Ok () -> 0
+      | Error (Diag.Journal_locked _) -> 3
+      | Error _ -> 1
+    in
+    Unix._exit code
+  | pid -> pid
+
+let rpc cfg req =
+  match
+    Client.one_shot ~socket:cfg.Server.socket_path
+      (Protocol.request_to_json req)
+  with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "rpc: %s" (Diag.to_string e)
+
+let wait_ready cfg =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    let up =
+      match
+        Client.one_shot ~socket:cfg.Server.socket_path
+          (Protocol.request_to_json Protocol.Health)
+      with
+      | Ok j -> Json.bool_field "ok" j = Some true
+      | Error _ -> false
+    in
+    if up then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "daemon never became healthy"
+    else begin
+      Unix.sleepf 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let wait_state cfg id want =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    match Json.str_field "state" (rpc cfg (Protocol.Status id)) with
+    | Some st when st = want -> ()
+    | _ when Unix.gettimeofday () > deadline ->
+      Alcotest.failf "job %s never reached state %s" id want
+    | _ ->
+      Unix.sleepf 0.05;
+      go ()
+  in
+  go ()
+
+let submit_ok cfg spec =
+  let r = rpc cfg (Protocol.Submit spec) in
+  match (Json.bool_field "ok" r, Json.str_field "id" r) with
+  | Some true, Some id -> (id, r)
+  | _ -> Alcotest.failf "submit rejected: %s" (Json.to_string r)
+
+let stop_daemon pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  status
+
+let journal_events cfg =
+  List.map fst
+    (Journal.scan (Filename.concat cfg.Server.run_dir "journal.jsonl"))
+
+let counter_of stats name =
+  match Json.member "counters" stats with
+  | Some c -> Option.value (Json.int_field name c) ~default:(-1)
+  | None -> -1
+
+let test_e2e_submit_result_cache () =
+  let dir = fresh_dir "serve-e2e" in
+  let cfg = daemon_cfg dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  let id, _ = submit_ok cfg (submit_spec "c17") in
+  let res = rpc cfg (Protocol.Result { id; wait = true }) in
+  check (Alcotest.option string) "terminal state" (Some "done")
+    (Json.str_field "state" res);
+  (match Json.num_field "area" res with
+  | Some a when a > 0.0 -> ()
+  | _ -> Alcotest.fail "result carries no positive area");
+  check (Alcotest.option Alcotest.bool) "met" (Some true)
+    (Json.bool_field "met" res);
+  (* idempotent resubmit is answered from the cache, not re-solved *)
+  let again = rpc cfg (Protocol.Submit (submit_spec "c17")) in
+  check (Alcotest.option Alcotest.bool) "resubmitted flag" (Some true)
+    (Json.bool_field "resubmitted" again);
+  check (Alcotest.option string) "served from cache" (Some "done")
+    (Json.str_field "state" again);
+  let stats = rpc cfg (Protocol.Stats) in
+  check Alcotest.bool "cache hit counted" true (counter_of stats "cache_hits" >= 1);
+  (* unknown ids are a typed error, not a hang *)
+  let missing = rpc cfg (Protocol.Status "no-such-id") in
+  check (Alcotest.option Alcotest.bool) "unknown id rejected" (Some false)
+    (Json.bool_field "ok" missing);
+  let bye = rpc cfg Protocol.Drain in
+  check (Alcotest.option Alcotest.bool) "drain acknowledged" (Some true)
+    (Json.bool_field "ok" bye);
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "daemon did not exit cleanly after drain");
+  let events = journal_events cfg in
+  List.iter
+    (fun e ->
+      if not (List.mem e events) then Alcotest.failf "journal lacks %s" e)
+    [ "serve-start"; "serve-accepted"; "job-result"; "serve-drain-start";
+      "serve-drain-complete" ];
+  rm_rf dir
+
+let test_e2e_overload_cancel_sigterm () =
+  let dir = fresh_dir "serve-overload" in
+  let cfg = daemon_cfg ~parallel:1 ~queue:1 dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  (* slot: one slow job running, one parked in the admission queue *)
+  let a, _ = submit_ok cfg (submit_spec ~sleep:5.0 ~factor:1.30 "c17") in
+  wait_state cfg a "running";
+  let b, _ = submit_ok cfg (submit_spec ~sleep:5.0 ~factor:1.31 "c17") in
+  let r3 = rpc cfg (Protocol.Submit (submit_spec ~sleep:5.0 ~factor:1.32 "c17")) in
+  check (Alcotest.option Alcotest.bool) "third submit rejected" (Some false)
+    (Json.bool_field "ok" r3);
+  check (Alcotest.option string) "typed overload" (Some "overloaded")
+    (Json.str_field "code" r3);
+  let stats = rpc cfg (Protocol.Stats) in
+  check Alcotest.bool "rejection counted" true
+    (counter_of stats "rejections" >= 1);
+  (* cancel the queued job, then the running one *)
+  let cb = rpc cfg (Protocol.Cancel b) in
+  check (Alcotest.option Alcotest.bool) "queued cancel ok" (Some true)
+    (Json.bool_field "ok" cb);
+  let ca = rpc cfg (Protocol.Cancel a) in
+  check (Alcotest.option Alcotest.bool) "running cancel ok" (Some true)
+    (Json.bool_field "ok" ca);
+  let ra = rpc cfg (Protocol.Result { id = a; wait = true }) in
+  check (Alcotest.option string) "running job cancelled" (Some "cancelled")
+    (Json.str_field "state" ra);
+  (* cancelling a terminal job is a typed no-op *)
+  let again = rpc cfg (Protocol.Cancel a) in
+  check (Alcotest.option string) "already terminal" (Some "already-terminal")
+    (Json.str_field "code" again);
+  (* SIGTERM drains: nothing is in flight, so the exit is prompt and clean *)
+  (match stop_daemon pid with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "daemon did not drain cleanly on SIGTERM");
+  let events = journal_events cfg in
+  check Alcotest.bool "drain journaled" true
+    (List.mem "serve-drain-start" events
+    && List.mem "serve-drain-complete" events);
+  check Alcotest.bool "cancellations journaled" true
+    (List.length (List.filter (fun e -> e = "job-cancelled") events) >= 2);
+  rm_rf dir
+
+(* fields whose equality defines "the same sizing result" — identity and
+   provenance fields ([id] embeds the sleep suffix, [resumed] records the
+   recovery itself) are excluded by construction *)
+let result_signature res =
+  String.concat ";"
+    (List.map
+       (fun k ->
+         let v =
+           match Json.member k res with
+           | Some v -> Json.to_string v
+           | None -> "<missing>"
+         in
+         k ^ "=" ^ v)
+       [ "circuit"; "factor"; "solver"; "area"; "area_ratio"; "cp"; "target";
+         "met"; "iterations"; "saving_pct"; "stop" ])
+
+let test_e2e_sigkill_restart_recovers () =
+  (* baseline: the same two sizings served by an uninterrupted daemon *)
+  let base_dir = fresh_dir "serve-baseline" in
+  let base = daemon_cfg base_dir in
+  let bpid = start_daemon base in
+  wait_ready base;
+  let b1, _ = submit_ok base (submit_spec ~factor:1.30 "c17") in
+  let b2, _ = submit_ok base (submit_spec ~factor:1.35 "c17") in
+  let sig1 = result_signature (rpc base (Protocol.Result { id = b1; wait = true })) in
+  let sig2 = result_signature (rpc base (Protocol.Result { id = b2; wait = true })) in
+  ignore (rpc base Protocol.Drain);
+  ignore (Unix.waitpid [] bpid);
+  rm_rf base_dir;
+  (* the crash run: one job mid-flight, one queued, daemon SIGKILLed *)
+  let dir = fresh_dir "serve-recover" in
+  let cfg = daemon_cfg ~parallel:1 dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  let k1, _ = submit_ok cfg (submit_spec ~sleep:2.0 ~factor:1.30 "c17") in
+  let k2, _ = submit_ok cfg (submit_spec ~sleep:2.0 ~factor:1.35 "c17") in
+  wait_state cfg k1 "running";
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  (* restart on the same run directory: the journal replays, both accepted
+     jobs are requeued and must reach terminal states *)
+  let pid2 = start_daemon cfg in
+  wait_ready cfg;
+  let events = journal_events cfg in
+  check Alcotest.bool "recovery journaled" true
+    (List.mem "serve-recovered" events);
+  let r1 = rpc cfg (Protocol.Result { id = k1; wait = true }) in
+  let r2 = rpc cfg (Protocol.Result { id = k2; wait = true }) in
+  check (Alcotest.option string) "k1 terminal" (Some "done")
+    (Json.str_field "state" r1);
+  check (Alcotest.option string) "k2 terminal" (Some "done")
+    (Json.str_field "state" r2);
+  check string "k1 bit-identical to uninterrupted run" sig1 (result_signature r1);
+  check string "k2 bit-identical to uninterrupted run" sig2 (result_signature r2);
+  (* a served key resubmitted after recovery is a pure cache hit *)
+  let again =
+    rpc cfg (Protocol.Submit (submit_spec ~sleep:2.0 ~factor:1.30 "c17"))
+  in
+  check (Alcotest.option Alcotest.bool) "recovered result is cached" (Some true)
+    (Json.bool_field "resubmitted" again);
+  let stats = rpc cfg (Protocol.Stats) in
+  check Alcotest.bool "cache hit counted after recovery" true
+    (counter_of stats "cache_hits" >= 1);
+  ignore (rpc cfg Protocol.Drain);
+  (match Unix.waitpid [] pid2 with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "restarted daemon did not drain cleanly");
+  (* audit: every accepted job reached a terminal journal event *)
+  let events = journal_events cfg in
+  let count e = List.length (List.filter (( = ) e) events) in
+  check Alcotest.bool "no accepted job lost" true
+    (count "serve-accepted" = 2 && count "job-result" >= 2);
+  rm_rf dir
+
+let test_e2e_second_daemon_locked () =
+  let dir = fresh_dir "serve-locked" in
+  let cfg = daemon_cfg dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  (* same run directory, different socket: must fail fast, typed *)
+  let cfg2 =
+    { cfg with Server.socket_path = Filename.concat dir "other.sock" }
+  in
+  let pid2 = start_daemon cfg2 in
+  (match Unix.waitpid [] pid2 with
+  | _, Unix.WEXITED 3 -> ()
+  | _, Unix.WEXITED 0 -> Alcotest.fail "second daemon ran on a locked run dir"
+  | _ -> Alcotest.fail "second daemon died with the wrong diagnostic");
+  ignore (rpc cfg Protocol.Drain);
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "first daemon did not drain cleanly");
+  rm_rf dir
+
+let test_e2e_loadgen_mix () =
+  let dir = fresh_dir "serve-loadgen" in
+  let cfg = daemon_cfg dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  let summary =
+    match
+      Loadgen.run
+        { Loadgen.default_config with
+          Loadgen.socket = cfg.Server.socket_path;
+          circuits = [ "c17" ];
+          count = 2;
+          lint_bad = 1;
+          tiny_budget = 1;
+          deadline_seconds = 60.0 }
+    with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "loadgen: %s" (Diag.to_string e)
+  in
+  let field k = Option.value (Json.int_field k summary) ~default:(-1) in
+  check int "submitted" 4 (field "submitted");
+  check int "lint gate rejected the bad circuit" 1 (field "lint_rejected");
+  (* the tiny-budget job still terminates (best-feasible or failed), and
+     every well-formed job reaches "done" *)
+  check Alcotest.bool "all accepted jobs terminal" true
+    (field "accepted" = field "done" + field "failed" + field "cancelled");
+  check Alcotest.bool "well-formed jobs done" true (field "done" >= 2);
+  ignore (rpc cfg Protocol.Drain);
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "daemon did not drain cleanly");
+  rm_rf dir
+
+let () =
+  Alcotest.run "serve"
+    [ ( "json",
+        [ Alcotest.test_case "parse/print round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "numbers keep their bits" `Quick
+            test_json_number_bits ] );
+      ( "protocol",
+        [ Alcotest.test_case "request round trip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "validation" `Quick test_protocol_validation;
+          Alcotest.test_case "job identity" `Quick test_protocol_job_key ] );
+      ( "queue",
+        [ Alcotest.test_case "bounded fifo with high-water mark" `Quick
+            test_bounded_queue ] );
+      ( "daemon",
+        [ Alcotest.test_case "submit, result, cache, drain" `Quick
+            test_e2e_submit_result_cache;
+          Alcotest.test_case "overload, cancel, sigterm drain" `Quick
+            test_e2e_overload_cancel_sigterm;
+          Alcotest.test_case "sigkill + restart recovers bit-identically" `Slow
+            test_e2e_sigkill_restart_recovers;
+          Alcotest.test_case "second daemon is locked out" `Quick
+            test_e2e_second_daemon_locked;
+          Alcotest.test_case "loadgen mix reaches terminal states" `Quick
+            test_e2e_loadgen_mix ] ) ]
