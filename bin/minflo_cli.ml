@@ -16,10 +16,11 @@ let exit_code_of_error (e : Diag.error) =
   | Diag.Io_error _ | Diag.Checkpoint_invalid _ | Diag.Journal_locked _ -> 2
   | Diag.Unmet_target _ | Diag.Unsafe_timing _ | Diag.Infeasible_budget _
   | Diag.Budget_exhausted _ | Diag.Oscillation _ | Diag.Job_timeout _
-  | Diag.Overloaded _ | Diag.Draining -> 1
+  | Diag.Overloaded _ | Diag.Draining | Diag.Connect_refused _
+  | Diag.Net_timeout _ -> 1
   | Diag.Solver_diverged _ | Diag.Numeric _ | Diag.Invariant _
   | Diag.Fault_injected _ | Diag.Differential_mismatch _ | Diag.Job_crashed _
-  | Diag.Internal _ -> 3
+  | Diag.Torn_response _ | Diag.Internal _ -> 3
 
 let load_circuit spec : (Netlist.t, Diag.error) result =
   if Sys.file_exists spec then begin
@@ -1166,12 +1167,50 @@ let replay_cmd =
              reproducer exits 2.")
     Term.(const run $ paths_arg)
 
-(* ---------- serve / client / loadgen ---------- *)
+(* ---------- serve / client / loadgen / chaosproxy ---------- *)
 
 let socket_arg =
   Arg.(value & opt string "minflo.sock"
        & info [ "socket" ] ~docv:"PATH"
            ~doc:"Unix socket the daemon listens on.")
+
+let endpoint_conv =
+  let parse s =
+    match Serve_transport.parse s with
+    | Ok e -> Ok e
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun ppf e -> Fmt.string ppf (Serve_transport.to_string e))
+
+(* client-side endpoint selection: --tcp HOST:PORT wins over --socket *)
+let client_endpoint socket tcp =
+  match tcp with
+  | Some e -> e
+  | None -> Serve_transport.Unix_sock socket
+
+let client_tcp_arg =
+  Arg.(value & opt (some endpoint_conv) None
+       & info [ "tcp" ] ~docv:"HOST:PORT"
+           ~doc:"Connect over TCP instead of the unix socket.")
+
+let retries_arg =
+  Arg.(value & opt int 3
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Total connection/request attempts before giving up with a \
+                 typed error; transport failures (connect-refused, \
+                 net-timeout, torn-response) are retried with exponential \
+                 backoff and jitter, daemon responses never are.")
+
+let backoff_arg =
+  Arg.(value & opt float 0.1
+       & info [ "backoff" ] ~docv:"S"
+           ~doc:"First retry delay in seconds; doubles per retry, jittered.")
+
+let net_seed_arg =
+  Arg.(value & opt int 0
+       & info [ "retry-seed" ] ~docv:"N"
+           ~doc:"Seed for the retry jitter stream (reproducible runs).")
 
 let serve_cmd =
   let run_dir =
@@ -1214,15 +1253,52 @@ let serve_cmd =
          & info [ "no-preflight" ]
              ~doc:"Skip the admission-time lint gate.")
   in
-  let run socket dir jobs queue timeout retries no_preflight =
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Also listen on this TCP endpoint (port 0 lets the \
+                   kernel pick; the actual address is journaled in the \
+                   $(b,serve-start) event's $(b,tcp) field). The unix \
+                   socket stays active either way.")
+  in
+  let io_timeout =
+    Arg.(value & opt float 30.0
+         & info [ "io-timeout" ] ~docv:"S"
+             ~doc:"Per-connection read/write deadline: a peer stalled \
+                   mid-request, or not reading its response, this long is \
+                   disconnected. Parked $(b,result --wait) connections are \
+                   exempt.")
+  in
+  let watchdog =
+    Arg.(value & opt float 60.0
+         & info [ "watchdog" ] ~docv:"S"
+             ~doc:"Worker liveness deadline: a worker whose event pipe \
+                   stays silent (no events, no heartbeats) this long is \
+                   SIGKILLed and its job requeued as a transient failure. \
+                   0 disables.")
+  in
+  let cache_bytes =
+    Arg.(value & opt int (64 * 1024 * 1024)
+         & info [ "cache-bytes" ] ~docv:"BYTES"
+             ~doc:"Byte budget for the in-memory result cache; past it the \
+                   least recently used results are evicted (still served \
+                   from the journal, counted by the $(b,evictions) perf \
+                   counter).")
+  in
+  let run socket tcp dir jobs queue timeout watchdog io_timeout cache_bytes
+      retries no_preflight =
     match
       Serve.run
         ~config:
           { Serve.socket_path = socket;
+            tcp;
             run_dir = dir;
             parallel = jobs;
             queue_capacity = queue;
             timeout_seconds = timeout;
+            watchdog_seconds = (if watchdog > 0.0 then Some watchdog else None);
+            io_timeout_seconds = io_timeout;
+            cache_bytes;
             retries;
             backoff_base = 0.5;
             preflight = not no_preflight }
@@ -1233,13 +1309,15 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Run the sizing daemon: accept jobs over a unix socket, \
-             schedule them across supervised worker processes with \
-             admission control, per-request budgets, idempotent result \
-             caching, journal-backed crash recovery and graceful drain on \
-             SIGTERM (or the $(b,drain) op).")
-    Term.(const run $ socket_arg $ run_dir $ jobs $ queue $ timeout $ retries
-          $ no_preflight)
+       ~doc:"Run the sizing daemon: accept jobs over a unix socket (and \
+             optionally TCP), schedule them across supervised worker \
+             processes with admission control, per-request budgets, a \
+             worker liveness watchdog, per-connection I/O deadlines, \
+             idempotent result caching under a byte budget, \
+             journal-backed crash recovery and graceful drain on SIGTERM \
+             (or the $(b,drain) op).")
+    Term.(const run $ socket_arg $ tcp $ run_dir $ jobs $ queue $ timeout
+          $ watchdog $ io_timeout $ cache_bytes $ retries $ no_preflight)
 
 (* map a daemon response to the CLI's stable exit codes *)
 let client_exit_code response =
@@ -1282,8 +1360,17 @@ let client_cmd =
              ~doc:"With $(b,submit): artificial pre-solve latency (load \
                    testing).")
   in
-  let run socket action operand factor solver max_seconds max_iterations
-      max_pivots wait sleep =
+  let timeout =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"S"
+             ~doc:"Per-attempt network deadline. A daemon that dies \
+                   mid-$(b,--wait), or stalls, yields a typed \
+                   $(b,net-timeout) error and exit code 1 instead of \
+                   hanging forever. Default: 30s, except $(b,result \
+                   --wait) which waits indefinitely unless this is set.")
+  in
+  let run socket tcp action operand factor solver max_seconds max_iterations
+      max_pivots wait sleep timeout retries backoff retry_seed =
     let need what =
       match operand with
       | Some v -> v
@@ -1309,8 +1396,23 @@ let client_cmd =
       | `Health -> Serve_protocol.Health
       | `Drain -> Serve_protocol.Drain
     in
+    let waiting = match req with Serve_protocol.Result r -> r.wait | _ -> false in
+    let retry =
+      { Serve_client.attempts =
+          (* an explicit deadline on a blocking wait bounds the TOTAL
+             wait, so it must not be multiplied by retries *)
+          (if waiting && timeout <> None then 1 else max 1 retries);
+        backoff_base = backoff;
+        timeout =
+          (match timeout with
+          | Some t -> Some t
+          | None -> if waiting then None else Some 30.0);
+        seed = retry_seed }
+    in
     match
-      Serve_client.one_shot ~socket (Serve_protocol.request_to_json req)
+      Serve_client.one_shot ~retry
+        ~endpoint:(client_endpoint socket tcp)
+        (Serve_protocol.request_to_json req)
     with
     | Error e -> Diag.fail e
     | Ok response ->
@@ -1320,14 +1422,19 @@ let client_cmd =
   in
   Cmd.v
     (Cmd.info "client"
-       ~doc:"Talk to a running $(b,minflo serve) daemon: submit jobs, \
-             query status and results (optionally blocking), cancel, and \
-             probe stats/health/drain. Prints the daemon's JSON response; \
-             exit code follows the response ($(b,overloaded), \
-             $(b,draining) and pending map to 1, bad input to 2).")
-    Term.(const run $ socket_arg $ action $ operand $ factor_arg $ solver_arg
-          $ max_seconds_arg $ max_iterations_arg $ max_pivots_arg $ wait
-          $ sleep)
+       ~doc:"Talk to a running $(b,minflo serve) daemon over its unix \
+             socket or TCP: submit jobs, query status and results \
+             (optionally blocking), cancel, and probe \
+             stats/health/drain. Transport failures are retried with \
+             backoff, then reported typed: $(b,connect-refused) and \
+             $(b,net-timeout) exit 1, $(b,torn-response) exits 3. Prints \
+             the daemon's JSON response; exit code follows the response \
+             ($(b,overloaded), $(b,draining) and pending map to 1, bad \
+             input to 2).")
+    Term.(const run $ socket_arg $ client_tcp_arg $ action $ operand
+          $ factor_arg $ solver_arg $ max_seconds_arg $ max_iterations_arg
+          $ max_pivots_arg $ wait $ sleep $ timeout $ retries_arg
+          $ backoff_arg $ net_seed_arg)
 
 let loadgen_cmd =
   let circuits =
@@ -1360,11 +1467,21 @@ let loadgen_cmd =
          & info [ "deadline" ] ~docv:"S"
              ~doc:"Give up polling after this many seconds.")
   in
-  let run socket circuits factor solver count sleep lint_bad tiny_budget
-      deadline =
+  let timeout =
+    Arg.(value & opt float 30.0
+         & info [ "timeout" ] ~docv:"S"
+             ~doc:"Per-attempt network deadline for every request.")
+  in
+  let run socket tcp circuits factor solver count sleep lint_bad tiny_budget
+      deadline timeout retries backoff retry_seed =
     match
       Loadgen.run
-        { Loadgen.socket;
+        { Loadgen.endpoint = client_endpoint socket tcp;
+          retry =
+            { Serve_client.attempts = max 1 retries;
+              backoff_base = backoff;
+              timeout = Some timeout;
+              seed = retry_seed };
           circuits;
           factor;
           solver;
@@ -1384,17 +1501,115 @@ let loadgen_cmd =
              well-formed jobs, lint-rejected jobs, tiny-budget jobs — \
              poll everything to a terminal state and print a JSON summary \
              (accepted/overloaded/rejected counts, terminal states, and \
-             the daemon's own stats). The CI serve-smoke job asserts on \
-             this output.")
-    Term.(const run $ socket_arg $ circuits $ factor_arg $ solver_arg $ count
-          $ sleep $ lint_bad $ tiny_budget $ deadline)
+             the daemon's own stats). All traffic rides the retrying \
+             client, so a run pointed through $(b,minflo chaosproxy) \
+             measures end-to-end resilience. The CI serve-smoke and \
+             chaos-smoke jobs assert on this output.")
+    Term.(const run $ socket_arg $ client_tcp_arg $ circuits $ factor_arg
+          $ solver_arg $ count $ sleep $ lint_bad $ tiny_budget $ deadline
+          $ timeout $ retries_arg $ backoff_arg $ net_seed_arg)
+
+let chaosproxy_cmd =
+  let listen =
+    Arg.(value & opt endpoint_conv (Serve_transport.Tcp ("127.0.0.1", 0))
+         & info [ "listen" ] ~docv:"ENDPOINT"
+             ~doc:"Where to accept clients: $(b,HOST:PORT) (port 0 lets \
+                   the kernel pick) or $(b,unix:PATH). The actual \
+                   endpoint is printed on stdout.")
+  in
+  let upstream =
+    Arg.(value & opt endpoint_conv (Serve_transport.Unix_sock "minflo.sock")
+         & info [ "upstream" ] ~docv:"ENDPOINT"
+             ~doc:"The real daemon to forward to.")
+  in
+  let faults =
+    Arg.(value & opt_all fault_site_conv []
+         & info [ "inject-fault" ] ~docv:"SITE"
+             ~doc:"Arm a network fault site ($(b,net.accept-drop), \
+                   $(b,net.read-stall), $(b,net.torn-write), \
+                   $(b,net.delayed-response)); repeatable. Validated \
+                   against the same catalog as every other \
+                   $(b,--inject-fault).")
+  in
+  let fault_count =
+    Arg.(value & opt (some int) None
+         & info [ "fault-count" ] ~docv:"N"
+             ~doc:"Each armed site fires at most N times (default: every \
+                   visit).")
+  in
+  let fault_prob =
+    Arg.(value & opt (some float) None
+         & info [ "fault-prob" ] ~docv:"P"
+             ~doc:"Each visit fires with probability P, drawn from the \
+                   seeded stream (default 1.0).")
+  in
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Seed for probabilistic firing; a chaos run replays \
+                   exactly from its seed.")
+  in
+  let delay =
+    Arg.(value & opt float 0.2
+         & info [ "delay" ] ~docv:"S"
+             ~doc:"Stall/delay duration injected by $(b,net.read-stall) \
+                   and $(b,net.delayed-response).")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"On exit, write a JSON object of per-site fired counts \
+                   here — CI asserts the schedule actually fired.")
+  in
+  let run listen upstream faults fault_count fault_prob seed delay report =
+    List.iter
+      (fun site ->
+        if not (String.length site > 4 && String.sub site 0 4 = "net.") then begin
+          Fmt.epr
+            "minflo chaosproxy: %s is not a network fault site (want net.*)@."
+            site;
+          exit 2
+        end)
+      faults;
+    match
+      Chaosproxy.run
+        ~config:
+          { Chaosproxy.listen;
+            upstream;
+            faults =
+              List.map
+                (fun site ->
+                  { Chaosproxy.site; count = fault_count; prob = fault_prob })
+                faults;
+            seed;
+            delay_seconds = delay;
+            connect_timeout = 5.0;
+            report_path = report }
+        ()
+    with
+    | Ok () -> ()
+    | Error e -> Diag.fail e
+  in
+  Cmd.v
+    (Cmd.info "chaosproxy"
+       ~doc:"Interpose deterministic network faults between real clients \
+             and a real $(b,minflo serve) daemon: dropped accepts, \
+             stalled requests, torn response lines, delayed responses — \
+             each a seeded, replayable schedule. Runs until SIGTERM, \
+             then writes the fired-count report. The end-to-end chaos \
+             tests drive $(b,minflo loadgen) through this proxy and \
+             assert every accepted job still resolves bit-identically to \
+             a fault-free run.")
+    Term.(const run $ listen $ upstream $ faults $ fault_count $ fault_prob
+          $ seed $ delay $ report)
 
 let main_cmd =
   let doc = "MINFLOTRANSIT: min-cost-flow based transistor sizing" in
   Cmd.group (Cmd.info "minflo" ~version:"1.0.0" ~doc)
     [ gen_cmd; stats_cmd; sta_cmd; size_cmd; sweep_cmd; batch_cmd; bench_cmd;
       verify_cmd; convert_cmd; strash_cmd; power_cmd; lint_cmd; audit_cert_cmd;
-      fuzz_cmd; replay_cmd; serve_cmd; client_cmd; loadgen_cmd ]
+      fuzz_cmd; replay_cmd; serve_cmd; client_cmd; loadgen_cmd;
+      chaosproxy_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -27,8 +27,9 @@
       flow-certificate auditor ([minflo_lint]);
     - {!Job}, {!Checkpoint}, {!Journal}, {!Supervisor}, {!Differential},
       {!Batch} — the crash-safe batch runner ([minflo_runner]);
-    - {!Serve}, {!Serve_protocol}, {!Serve_client}, {!Loadgen} — the
-      sizing-as-a-service daemon ([minflo_serve]);
+    - {!Serve}, {!Serve_protocol}, {!Serve_transport}, {!Serve_client},
+      {!Loadgen}, {!Chaosproxy} — the sizing-as-a-service daemon, its
+      retrying clients and the network chaos proxy ([minflo_serve]);
     - {!Fingerprint}, {!Gen_mut}, {!Oracle}, {!Shrink}, {!Corpus},
       {!Campaign} — the differential fuzzing harness ([minflo_fuzz]). *)
 
@@ -141,12 +142,16 @@ module Batch = Minflo_runner.Batch
 module Benchmarks = Minflo_runner.Benchmarks
 
 (* sizing-as-a-service daemon: admission control, crash recovery,
-   graceful drain, health probes over a unix socket *)
+   graceful drain, health probes over unix sockets and TCP, retrying
+   clients, byte-budgeted result cache, network chaos proxy *)
 module Serve_json = Minflo_serve.Json
 module Serve_protocol = Minflo_serve.Protocol
 module Serve = Minflo_serve.Server
+module Serve_transport = Minflo_serve.Transport
 module Serve_client = Minflo_serve.Client
+module Serve_result_cache = Minflo_serve.Result_cache
 module Loadgen = Minflo_serve.Loadgen
+module Chaosproxy = Minflo_serve.Chaosproxy
 
 (* differential fuzzing harness: seeded campaigns, failure fingerprints,
    delta-debugging shrinker, deterministic replay corpus *)

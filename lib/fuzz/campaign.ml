@@ -77,7 +77,8 @@ let run_case cfg nl =
         timeout_seconds = cfg.timeout_seconds;
         retries = 0;
         backoff_base = 0.0;
-        isolate = true }
+        isolate = true;
+        watchdog_seconds = None }
     in
     match
       Supervisor.run_all ~config:sup_cfg

@@ -43,6 +43,9 @@ type error =
   | Overloaded of { depth : int; limit : int }
   | Draining
   | Journal_locked of { file : string }
+  | Connect_refused of { endpoint : string; attempts : int }
+  | Net_timeout of { endpoint : string; op : string; seconds : float }
+  | Torn_response of { endpoint : string; bytes : int }
   | Internal of string
 
 exception Error_exn of error
@@ -70,6 +73,9 @@ let error_code = function
   | Overloaded _ -> "overloaded"
   | Draining -> "draining"
   | Journal_locked _ -> "journal-locked"
+  | Connect_refused _ -> "connect-refused"
+  | Net_timeout _ -> "net-timeout"
+  | Torn_response _ -> "torn-response"
   | Internal _ -> "internal"
 
 let location ?(file = None) ~line ~col () =
@@ -130,6 +136,18 @@ let to_string = function
       "journal %s is locked by another live minflo instance; refusing to \
        interleave writes"
       file
+  | Connect_refused { endpoint; attempts } ->
+    Printf.sprintf "cannot connect to %s (%d attempt%s); is the daemon up?"
+      endpoint attempts
+      (if attempts = 1 then "" else "s")
+  | Net_timeout { endpoint; op; seconds } ->
+    Printf.sprintf "network timeout: no %s from %s within %g seconds" op
+      endpoint seconds
+  | Torn_response { endpoint; bytes } ->
+    Printf.sprintf
+      "torn response from %s: connection closed mid-line (%d bytes of an \
+       incomplete JSON line)"
+      endpoint bytes
   | Internal msg -> Printf.sprintf "internal error: %s" msg
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
@@ -224,6 +242,14 @@ let to_json e =
     obj [ code; ("depth", string_of_int depth); ("limit", string_of_int limit) ]
   | Draining -> obj [ code ]
   | Journal_locked { file } -> obj [ code; ("file", jstr file) ]
+  | Connect_refused { endpoint; attempts } ->
+    obj [ code; ("endpoint", jstr endpoint); ("attempts", string_of_int attempts) ]
+  | Net_timeout { endpoint; op; seconds } ->
+    obj
+      [ code; ("endpoint", jstr endpoint); ("op", jstr op);
+        ("seconds", jfloat seconds) ]
+  | Torn_response { endpoint; bytes } ->
+    obj [ code; ("endpoint", jstr endpoint); ("bytes", string_of_int bytes) ]
   | Internal msg -> obj [ code; ("msg", jstr msg) ]
 
 (* ---------- event log ---------- *)

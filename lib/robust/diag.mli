@@ -86,6 +86,18 @@ type error =
       (** Another live minflo process holds the advisory lock on this run
           directory's journal; a second writer would interleave and corrupt
           it, so the open fails fast instead. *)
+  | Connect_refused of { endpoint : string; attempts : int }
+      (** No daemon is listening at [endpoint] (connection refused, or a
+          missing unix socket), still true after [attempts] tries. Safe to
+          retry once a daemon is up. *)
+  | Net_timeout of { endpoint : string; op : string; seconds : float }
+      (** A network deadline expired: the peer at [endpoint] produced no
+          [op] (["connect"], ["response"], …) within [seconds]. Replaces
+          hanging forever on a stalled or half-open connection. *)
+  | Torn_response of { endpoint : string; bytes : int }
+      (** The connection closed (or the line ended) before a complete JSON
+          response line arrived — a daemon death or a torn write, never a
+          parse crash. [bytes] is the length of the incomplete line. *)
   | Internal of string  (** A bug: a state the design rules out. *)
 
 exception Error_exn of error

@@ -48,6 +48,10 @@ let all_points =
     "dphase.bellman-ford";
     "dphase.simplex";
     "dphase.ssp";
+    "net.accept-drop";
+    "net.delayed-response";
+    "net.read-stall";
+    "net.torn-write";
     "wphase" ]
 
 let is_known_point site = List.mem site all_points

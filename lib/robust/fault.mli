@@ -40,11 +40,14 @@ val sites : t -> string list
 val all_points : string list
 (** The catalog of every instrumented injection site in the tree, sorted:
     the D-phase solver rungs (["dphase.simplex"], ["dphase.ssp"],
-    ["dphase.bellman-ford"]), the W-phase (["wphase"]), and the
+    ["dphase.bellman-ford"]), the W-phase (["wphase"]), the
     certificate-audit corruption points (["audit.simplex"], ["audit.ssp"],
-    ["audit.cost-scaling"]). [minflo fuzz --list-faults] prints it, the
-    CLI validates every [--inject-fault] argument against it, and the fuzz
-    campaign sweeps it. *)
+    ["audit.cost-scaling"]), and the network sites the chaos proxy
+    interposes between a client and a daemon (["net.accept-drop"],
+    ["net.read-stall"], ["net.torn-write"], ["net.delayed-response"]).
+    [minflo fuzz --list-faults] prints it, the CLI validates every
+    [--inject-fault] argument against it, and the fuzz campaign sweeps the
+    engine/audit entries. *)
 
 val is_known_point : string -> bool
 (** Membership in {!all_points}. *)

@@ -8,6 +8,7 @@ type counters = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable rejections : int;
+  mutable evictions : int;
 }
 
 let zero () =
@@ -19,7 +20,8 @@ let zero () =
     cold_starts = 0;
     cache_hits = 0;
     cache_misses = 0;
-    rejections = 0 }
+    rejections = 0;
+    evictions = 0 }
 
 let current = zero ()
 
@@ -32,7 +34,8 @@ let reset () =
   current.cold_starts <- 0;
   current.cache_hits <- 0;
   current.cache_misses <- 0;
-  current.rejections <- 0
+  current.rejections <- 0;
+  current.evictions <- 0
 
 let snapshot () =
   { pivots = current.pivots;
@@ -43,7 +46,8 @@ let snapshot () =
     cold_starts = current.cold_starts;
     cache_hits = current.cache_hits;
     cache_misses = current.cache_misses;
-    rejections = current.rejections }
+    rejections = current.rejections;
+    evictions = current.evictions }
 
 let diff before after =
   { pivots = after.pivots - before.pivots;
@@ -54,7 +58,8 @@ let diff before after =
     cold_starts = after.cold_starts - before.cold_starts;
     cache_hits = after.cache_hits - before.cache_hits;
     cache_misses = after.cache_misses - before.cache_misses;
-    rejections = after.rejections - before.rejections }
+    rejections = after.rejections - before.rejections;
+    evictions = after.evictions - before.evictions }
 
 let add a b =
   { pivots = a.pivots + b.pivots;
@@ -65,7 +70,8 @@ let add a b =
     cold_starts = a.cold_starts + b.cold_starts;
     cache_hits = a.cache_hits + b.cache_hits;
     cache_misses = a.cache_misses + b.cache_misses;
-    rejections = a.rejections + b.rejections }
+    rejections = a.rejections + b.rejections;
+    evictions = a.evictions + b.evictions }
 
 let equal a b =
   a.pivots = b.pivots && a.relabels = b.relabels && a.sweeps = b.sweeps
@@ -75,6 +81,7 @@ let equal a b =
   && a.cache_hits = b.cache_hits
   && a.cache_misses = b.cache_misses
   && a.rejections = b.rejections
+  && a.evictions = b.evictions
 
 let tick_pivot () = current.pivots <- current.pivots + 1
 let tick_relabel () = current.relabels <- current.relabels + 1
@@ -85,6 +92,7 @@ let tick_cold_start () = current.cold_starts <- current.cold_starts + 1
 let tick_cache_hit () = current.cache_hits <- current.cache_hits + 1
 let tick_cache_miss () = current.cache_misses <- current.cache_misses + 1
 let tick_rejection () = current.rejections <- current.rejections + 1
+let tick_eviction () = current.evictions <- current.evictions + 1
 
 let to_fields c =
   [ ("pivots", c.pivots);
@@ -95,7 +103,8 @@ let to_fields c =
     ("cold_starts", c.cold_starts);
     ("cache_hits", c.cache_hits);
     ("cache_misses", c.cache_misses);
-    ("rejections", c.rejections) ]
+    ("rejections", c.rejections);
+    ("evictions", c.evictions) ]
 
 let pp fmt c =
   Format.fprintf fmt "@[<h>";

@@ -14,7 +14,9 @@
       the {!Minflo_tech.Model_cache} delay-model cache and the serve
       daemon's result cache both tick these;
     - [rejections]: admission-control rejections (bounded-queue overload,
-      drain refusals, pre-flight lint gating) by the serve daemon.
+      drain refusals, pre-flight lint gating) by the serve daemon;
+    - [evictions]: result-cache entries dropped under the daemon's memory
+      byte budget (LRU; the journal still holds every evicted result).
 
     Unlike wall time, every one of these is a pure function of the inputs,
     so two identical runs produce identical counters — the property the
@@ -36,6 +38,7 @@ type counters = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable rejections : int;
+  mutable evictions : int;
 }
 
 val zero : unit -> counters
@@ -65,6 +68,7 @@ val tick_cold_start : unit -> unit
 val tick_cache_hit : unit -> unit
 val tick_cache_miss : unit -> unit
 val tick_rejection : unit -> unit
+val tick_eviction : unit -> unit
 
 val to_fields : counters -> (string * int) list
 (** [(name, value)] pairs in a fixed order — the serialization used by the

@@ -196,7 +196,8 @@ let top_level_parts inner =
   if Buffer.length buf > 0 then parts := Buffer.contents buf :: !parts;
   List.rev_map String.trim !parts
 
-let volatile_keys = [ "\"seq\":"; "\"t\":"; "\"backoff_seconds\":" ]
+let volatile_keys =
+  [ "\"seq\":"; "\"t\":"; "\"backoff_seconds\":"; "\"pid\":" ]
 
 let strip_volatile line =
   let n = String.length line in

@@ -47,7 +47,7 @@ val completed : string -> (string, float) Hashtbl.t
 
 val canonical : string -> string list
 (** The journal's lines in canonical form: volatile fields ([seq], [t],
-    [backoff_seconds]) removed, truncated lines dropped, and lines stably
+    [backoff_seconds], [pid]) removed, truncated lines dropped, and lines stably
     sorted by their [job] field (lines without one first, in original
     order). Two runs of the same batch are equivalent iff their canonical
     journals are equal — in particular, [-j N] reorders events {e between}

@@ -8,6 +8,7 @@ type config = {
   retries : int;
   backoff_base : float;
   isolate : bool;
+  watchdog_seconds : float option;
 }
 
 let default_config =
@@ -15,7 +16,8 @@ let default_config =
     timeout_seconds = None;
     retries = 2;
     backoff_base = 0.5;
-    isolate = true }
+    isolate = true;
+    watchdog_seconds = None }
 
 type 'a outcome = {
   verdict : ('a, Diag.error) result;
@@ -66,6 +68,11 @@ type running = {
   deadline : float option;
   mutable killed : bool;
   mutable cancelled : bool;
+  mutable watchdogged : bool;
+  (* liveness: bumped whenever the worker's pipe yields bytes — heartbeats
+     count exactly like real events, so the watchdog only fires on true
+     silence (a wedged runtime, a SIGSTOP, a livelock with signals lost) *)
+  mutable last_activity : float;
   (* worker -> parent journal-event pipe: the child writes one
      US-separated record per event, the parent is the only process that
      ever touches journal.jsonl (single-writer crash safety) *)
@@ -98,7 +105,11 @@ let parse_emit_record line =
     in
     Some (name, pairs rest)
 
-let spawn ~timeout id thunk =
+(* liveness-only pipe record; the parent bumps [last_activity] and drops
+   it instead of journaling *)
+let heartbeat_record = "job-heartbeat\n"
+
+let spawn ~timeout ~watchdog id thunk =
   let result_file = Filename.temp_file "minflo-job-" ".result" in
   let pr, pw = Unix.pipe () in
   (* avoid duplicated buffered output in the child *)
@@ -115,6 +126,29 @@ let spawn ~timeout id thunk =
     (try Sys.set_signal Sys.sigint Sys.Signal_default
      with Invalid_argument _ | Sys_error _ -> ());
     Unix.close pr;
+    (* heartbeat: a SIGALRM interval timer writes one liveness record per
+       tick, independent of job structure — a worker deep in a long solver
+       phase (or asleep in artificial latency) still proves it is alive.
+       [Unix.sleepf] resumes after EINTR, so the timer never shortens a
+       sleep; pipe writes below PIPE_BUF are atomic, so heartbeat records
+       never interleave with event records. *)
+    (match watchdog with
+    | Some w ->
+      let interval = Float.max 0.02 (w /. 4.0) in
+      (try
+         Sys.set_signal Sys.sigalrm
+           (Sys.Signal_handle
+              (fun _ ->
+                try
+                  ignore
+                    (Unix.write_substring pw heartbeat_record 0
+                       (String.length heartbeat_record))
+                with Unix.Unix_error _ -> ()));
+         ignore
+           (Unix.setitimer Unix.ITIMER_REAL
+              { Unix.it_interval = interval; it_value = interval })
+       with Invalid_argument _ | Sys_error _ | Unix.Unix_error _ -> ())
+    | None -> ());
     let emit ?(fields = []) name =
       match render_emit_record name fields with
       | None -> ()
@@ -142,6 +176,8 @@ let spawn ~timeout id thunk =
       deadline = Option.map (fun s -> Mono.now () +. s) timeout;
       killed = false;
       cancelled = false;
+      watchdogged = false;
+      last_activity = Mono.now ();
       pipe_r = pr;
       pipe_buf = Buffer.create 256 }
 
@@ -152,6 +188,15 @@ let reap_verdict cfg (r : running) status : ('a, Diag.error) result =
   in
   if r.cancelled then
     cleanup (Error (Diag.Job_crashed { job = r.id; detail = "cancelled" }))
+  else if r.watchdogged then
+    (* transient by construction: a clean re-run gets a fresh heartbeat *)
+    cleanup
+      (Error
+         (Diag.Job_crashed
+            { job = r.id;
+              detail =
+                Printf.sprintf "watchdog: no heartbeat for %g seconds"
+                  (Option.value cfg.watchdog_seconds ~default:0.0) }))
   else if r.killed then
     cleanup
       (Error
@@ -217,6 +262,7 @@ let flush_pipe_lines journal r =
       (fun line ->
         if line <> "" then
           match parse_emit_record line with
+          | Some ("job-heartbeat", _) -> () (* liveness only, never journaled *)
           | Some (name, fields) -> journal_event journal ~job:r.id ~fields name
           | None -> ())
       (String.split_on_char '\n' (String.sub s 0 last))
@@ -230,6 +276,7 @@ let drain_pipe journal r =
     | 0 -> ()
     | n ->
       Buffer.add_subbytes r.pipe_buf bytes 0 n;
+      r.last_activity <- Mono.now ();
       go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error _ -> ()
@@ -304,10 +351,17 @@ let handle_result p task ~cancelled (verdict : ('a, Diag.error) result) =
 
 let spawn_task p task =
   task.attempts <- task.attempts + 1;
+  let r =
+    spawn ~timeout:p.cfg.timeout_seconds ~watchdog:p.cfg.watchdog_seconds
+      task.t_id task.thunk
+  in
+  (* pid in the journal lets an operator (or a chaos test) target the live
+     worker; [Journal.canonical] strips it as volatile *)
   journal_event p.journal ~job:task.t_id
-    ~fields:[ Journal.field_int "attempt" task.attempts ]
+    ~fields:
+      [ Journal.field_int "attempt" task.attempts;
+        Journal.field_int "pid" r.pid ]
     "job-spawn";
-  let r = spawn ~timeout:p.cfg.timeout_seconds task.t_id task.thunk in
   p.running <- (r, task) :: p.running
 
 let next_ready p =
@@ -335,6 +389,24 @@ let poll_running p =
           "job-timeout";
         (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
         r.killed <- true
+      | _ -> ());
+      (* watchdog: a worker silent past its deadline — no events, no
+         heartbeats — is wedged (SIGSTOP, livelock, lost in a non-OCaml
+         call). Kill it; the verdict routes through the transient retry
+         path, so the job is requeued on a clean process. *)
+      (match p.cfg.watchdog_seconds with
+      | Some w
+        when (not r.killed)
+             && (not r.cancelled)
+             && (not r.watchdogged)
+             && Mono.now () -. r.last_activity > w ->
+        journal_event p.journal ~job:r.id
+          ~fields:
+            [ Journal.field_float "silent_seconds"
+                (Mono.now () -. r.last_activity) ]
+          "job-watchdog-kill";
+        (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        r.watchdogged <- true
       | _ -> ());
       match Unix.waitpid [ Unix.WNOHANG ] r.pid with
       | 0, _ ->

@@ -28,11 +28,20 @@ type config = {
       (** [false] runs thunks in-process (no fork, no timeout enforcement)
           — retained for tests and debugging; retry/quarantine logic is
           identical. *)
+  watchdog_seconds : float option;
+      (** Liveness deadline (isolated mode only). Each worker carries a
+          SIGALRM heartbeat timer writing a liveness record to its event
+          pipe every [watchdog/4] seconds; a worker whose pipe stays
+          silent — no events, no heartbeats — for longer than this is
+          SIGKILLed ([job-watchdog-kill] journaled) and the job requeued
+          through the ordinary transient-retry path. Catches wedged
+          workers (SIGSTOP, livelock, a hang in a non-OCaml call) long
+          before the absolute [timeout_seconds] would. [None] disables. *)
 }
 
 val default_config : config
 (** [parallel = 1; timeout_seconds = None; retries = 2;
-    backoff_base = 0.5; isolate = true]. *)
+    backoff_base = 0.5; isolate = true; watchdog_seconds = None]. *)
 
 type 'a outcome = {
   verdict : ('a, Minflo_robust.Diag.error) result;

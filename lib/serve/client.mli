@@ -1,16 +1,69 @@
-(** Client side of the serve protocol: blocking request/response over the
-    daemon's unix socket. One JSON value per line in each direction. *)
+(** Client side of the serve protocol, with the resilience layer every
+    caller ([minflo client], [minflo loadgen], the tests) goes through:
+    bounded retries with exponential backoff and seeded jitter, per-op
+    deadlines, and typed network failures — a dead daemon, a stalled
+    peer, or a torn response line can never hang a caller forever or
+    surface as a parse crash.
+
+    Retrying is safe because every protocol op is idempotent: [submit]
+    dedupes on the job key (a resend of an accepted job answers
+    [resubmitted]), the query ops are reads, and [cancel] is stable once
+    terminal. A {e response the daemon produced} — even a typed rejection
+    like [overloaded] — is never retried: it is an answer. Only transport
+    failures are: [connect-refused], [net-timeout], [torn-response], and
+    untyped I/O errors. *)
+
+(** {1 One connection} *)
 
 type conn
 
-val connect : string -> (conn, Minflo_robust.Diag.error) result
+val connect :
+  ?timeout:float ->
+  Transport.endpoint ->
+  (conn, Minflo_robust.Diag.error) result
+(** Dial; [timeout] bounds the connect {e and} arms kernel read/write
+    deadlines on the connection, so every later {!request} on it is
+    bounded too. *)
 
 val request : conn -> Json.t -> (Json.t, Minflo_robust.Diag.error) result
-(** Send one request, block until its response line. With
-    [{"op":"result", "wait":true}] this blocks until the job is terminal
-    — the daemon parks the connection. *)
-
-val one_shot : socket:string -> Json.t -> (Json.t, Minflo_robust.Diag.error) result
-(** Connect, {!request}, close. *)
+(** Send one request, await its one-line response. Failure modes:
+    [Net_timeout] past the deadline, [Torn_response] when the connection
+    closes mid-line or the line does not parse, [Io_error] otherwise.
+    With [{"op":"result", "wait":true}] this blocks (up to the deadline)
+    while the daemon parks the connection. *)
 
 val close : conn -> unit
+
+(** {1 Retrying sessions} *)
+
+type retry = {
+  attempts : int;          (** total tries, [>= 1]. *)
+  backoff_base : float;    (** first retry delay, seconds; doubles. *)
+  timeout : float option;  (** per-attempt connect + I/O deadline. *)
+  seed : int;              (** jitter stream — replays exactly. *)
+}
+
+val default_retry : retry
+(** [attempts = 3; backoff_base = 0.1; timeout = Some 30.0; seed = 0]. *)
+
+type session
+
+val session : ?retry:retry -> Transport.endpoint -> session
+(** A lazily-connected session. Connections are dialed on first use and
+    redialed after any failure (the old connection's state is unknowable
+    — half a response may be in flight — so it is always dropped). *)
+
+val rpc : session -> Json.t -> (Json.t, Minflo_robust.Diag.error) result
+(** {!request} with the session's retry policy. Delay before retry [k]
+    is [backoff_base * 2^(k-1)], jittered multiplicatively in
+    [\[0.5, 1.5)] from the seeded stream. The final error reports how
+    many attempts were made where the type carries it. *)
+
+val close_session : session -> unit
+
+val one_shot :
+  ?retry:retry ->
+  endpoint:Transport.endpoint ->
+  Json.t ->
+  (Json.t, Minflo_robust.Diag.error) result
+(** [session], one {!rpc}, [close_session]. *)

@@ -8,10 +8,17 @@
     terminal state and returns a JSON summary — counts of accepted /
     overloaded / draining / lint-rejected submissions and of terminal
     states, plus the daemon's own [stats] response. The CI serve-smoke job
-    asserts on this summary. *)
+    asserts on this summary.
+
+    All traffic goes through a retrying {!Client.session}, so a run
+    pointed through the chaos proxy rides out injected connection drops,
+    stalls and torn lines — the summary then measures {e end-to-end}
+    resilience, not one lucky connection. An id accepted twice (a retried
+    submit whose first send did land) is counted once. *)
 
 type config = {
-  socket : string;
+  endpoint : Transport.endpoint;
+  retry : Client.retry;
   circuits : string list;
   factor : float;
   solver : Minflo_runner.Job.solver;
@@ -26,5 +33,6 @@ type config = {
 val default_config : config
 
 val run : config -> (Json.t, Minflo_robust.Diag.error) result
-(** [Error] only on transport failure or the polling deadline; rejections
-    by the daemon are data, counted in the summary. *)
+(** [Error] only on transport failure that survived the retry budget, or
+    on the polling deadline; rejections by the daemon are data, counted
+    in the summary. *)

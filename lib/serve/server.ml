@@ -10,10 +10,14 @@ module Minflotransit = Minflo_sizing.Minflotransit
 
 type config = {
   socket_path : string;
+  tcp : string option;
   run_dir : string;
   parallel : int;
   queue_capacity : int;
   timeout_seconds : float option;
+  watchdog_seconds : float option;
+  io_timeout_seconds : float;
+  cache_bytes : int;
   retries : int;
   backoff_base : float;
   preflight : bool;
@@ -21,10 +25,14 @@ type config = {
 
 let default_config =
   { socket_path = "minflo.sock";
+    tcp = None;
     run_dir = "minflo-serve";
     parallel = 2;
     queue_capacity = 16;
     timeout_seconds = Some 300.0;
+    watchdog_seconds = Some 60.0;
+    io_timeout_seconds = 30.0;
+    cache_bytes = 64 * 1024 * 1024;
     retries = 2;
     backoff_base = 0.5;
     preflight = true }
@@ -38,10 +46,13 @@ type failure = {
   f_quarantined : bool;
 }
 
+(* [Done] carries no payload: the rendered result fields live in the
+   byte-budgeted {!Result_cache}, with the journal as the durable copy a
+   query falls back to after an eviction *)
 type state =
   | Queued
   | Running
-  | Done of (string * Json.t) list  (* the rendered result response fields *)
+  | Done
   | Failed of failure
   | Cancelled
 
@@ -55,7 +66,7 @@ type entry = {
 let state_name = function
   | Queued -> "queued"
   | Running -> "running"
-  | Done _ -> "done"
+  | Done -> "done"
   | Failed _ -> "failed"
   | Cancelled -> "cancelled"
 
@@ -185,9 +196,13 @@ let recover_done_fields key spec line =
 (* replay the journal of a previous daemon life: accepted jobs reappear in
    the table, terminal ones with their exact recorded result (numbers
    round-trip bit-identically through the journal), unfinished ones as
-   [Queued] for requeueing *)
+   [Queued] for requeueing. Recovered result fields come back separately
+   so the caller can restock its cache up to the byte budget. *)
 let recover_table journal_path =
   let table : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+  let results : (string, (string * Json.t) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let order = ref [] in
   List.iter
     (fun (event, line) ->
@@ -211,7 +226,9 @@ let recover_table journal_path =
           match Hashtbl.find_opt table key with
           | Some e -> (
             match recover_done_fields key e.spec line with
-            | Some fields -> e.state <- Done fields
+            | Some fields ->
+              e.state <- Done;
+              Hashtbl.replace results key fields
             | None -> ())
           | None -> ())
         | "job-failed" | "job-quarantined" | "job-lint-quarantined" -> (
@@ -233,7 +250,7 @@ let recover_table journal_path =
           | None -> ())
         | _ -> ()))
     (Journal.scan journal_path);
-  (table, List.rev !order)
+  (table, List.rev !order, results)
 
 (* ---------- the worker thunk ---------- *)
 
@@ -268,24 +285,51 @@ let worker_thunk cfg (spec : Protocol.submit) (emit : Supervisor.emit) =
 
 (* ---------- client bookkeeping ---------- *)
 
+(* Connections are nonblocking with a per-direction buffer, and anything
+   left half-done — a partial request line in [rbuf], an unflushed
+   response in [wbuf] — is subject to the I/O deadline. A parked
+   [result --wait] connection has both buffers empty, so it can wait as
+   long as it likes; a peer that stalls mid-request or stops reading its
+   response gets reaped and can never wedge the accept loop. *)
 type client = {
   fd : Unix.file_descr;
   rbuf : Buffer.t;
+  wbuf : Buffer.t;
   mutable alive : bool;
+  mutable last_activity : float;
 }
 
-let write_all client s =
+let flush_client client =
+  let s = Buffer.contents client.wbuf in
   let n = String.length s in
-  let rec go off =
-    if off < n then
-      match Unix.write_substring client.fd s off (n - off) with
-      | written -> go (off + written)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-      | exception Unix.Unix_error _ -> client.alive <- false
-  in
-  go 0
+  if n > 0 then begin
+    let rec go off =
+      if off >= n then off
+      else
+        match Unix.write_substring client.fd s off (n - off) with
+        | 0 -> off
+        | written ->
+          client.last_activity <- Mono.now ();
+          go (off + written)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+          off
+        | exception Unix.Unix_error _ ->
+          client.alive <- false;
+          n
+    in
+    let off = go 0 in
+    Buffer.clear client.wbuf;
+    if client.alive && off < n then
+      Buffer.add_substring client.wbuf s off (n - off)
+  end
 
-let send client json = write_all client (Json.to_string json ^ "\n")
+let send client json =
+  if client.alive then begin
+    Buffer.add_string client.wbuf (Json.to_string json ^ "\n");
+    flush_client client
+  end
 
 (* ---------- the daemon ---------- *)
 
@@ -296,14 +340,18 @@ let unknown_job id =
       ("id", Json.Str id) ]
 
 let run ?(config = default_config) () : (unit, Diag.error) result =
-  let cfg = { config with parallel = max 1 config.parallel } in
+  let cfg =
+    { config with
+      parallel = max 1 config.parallel;
+      cache_bytes = max 0 config.cache_bytes }
+  in
   mkdirs cfg.run_dir;
   let journal_path = Filename.concat cfg.run_dir "journal.jsonl" in
   (* replay the previous life's journal BEFORE taking the append lock:
      POSIX record locks die when the process closes *any* descriptor for
      the file, so a scan after [open_append] would silently release the
      single-instance lock *)
-  let table, order = recover_table journal_path in
+  let table, order, recovered = recover_table journal_path in
   match Journal.open_append journal_path with
   | Error e -> Error e (* Journal_locked: another live daemon owns this dir *)
   | Ok jr -> (
@@ -337,10 +385,34 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
     | Error e ->
       Journal.close jr;
       Error e
-    | Ok () ->
+    | Ok () -> (
       let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
       Unix.listen listen_fd 64;
+      let tcp_setup =
+        match cfg.tcp with
+        | None -> Ok None
+        | Some spec -> (
+          match Transport.parse spec with
+          | Error msg -> Error (Diag.Io_error { file = spec; msg })
+          | Ok (Transport.Unix_sock _) ->
+            Error
+              (Diag.Io_error { file = spec; msg = "--tcp expects HOST:PORT" })
+          | Ok ep -> (
+            match Transport.listen ep with
+            | Error e -> Error e
+            | Ok (fd, actual) -> Ok (Some (fd, actual))))
+      in
+      match tcp_setup with
+      | Error e ->
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+        Journal.close jr;
+        Error e
+      | Ok tcp_listen ->
+      let listen_fds =
+        listen_fd :: (match tcp_listen with Some (fd, _) -> [ fd ] | None -> [])
+      in
       let old_pipe =
         try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
         with Invalid_argument _ | Sys_error _ -> None
@@ -348,13 +420,31 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
       let t0 = Mono.now () in
       Journal.event jr
         ~fields:
-          [ Journal.field_str "socket" cfg.socket_path;
-            Journal.field_int "parallel" cfg.parallel;
-            Journal.field_int "queue_capacity" cfg.queue_capacity;
-            Journal.field_int "pid" (Unix.getpid ()) ]
+          ([ Journal.field_str "socket" cfg.socket_path;
+             Journal.field_int "parallel" cfg.parallel;
+             Journal.field_int "queue_capacity" cfg.queue_capacity;
+             Journal.field_int "cache_bytes" cfg.cache_bytes;
+             Journal.field_int "pid" (Unix.getpid ()) ]
+          @
+          (* journal the *actual* TCP endpoint: with port 0 this is how
+             anyone — tests included — learns which port the kernel gave *)
+          match tcp_listen with
+          | Some (_, actual) ->
+            [ Journal.field_str "tcp" (Transport.to_string actual) ]
+          | None -> [])
         "serve-start";
+      let cache : (string * Json.t) list Result_cache.t =
+        Result_cache.create ~budget_bytes:cfg.cache_bytes
+      in
+      let cache_put key fields =
+        let rendered =
+          Json.to_string (Json.Obj (("ok", Json.Bool true) :: fields))
+        in
+        Result_cache.put cache key fields ~bytes:(String.length rendered)
+      in
       (* recovery: accepted-but-unfinished jobs from a previous life go
-         back on the queue; finished ones stock the result cache *)
+         back on the queue; finished ones restock the result cache, the
+         budget deciding how many stay resident (oldest evict first) *)
       let admission : string Bounded_queue.t =
         Bounded_queue.create ~capacity:cfg.queue_capacity
       in
@@ -369,7 +459,11 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
                  (slug key));
             Bounded_queue.push_force admission key;
             incr requeued
-          | Some { state = Done _; _ } -> incr cached
+          | Some { state = Done; _ } ->
+            (match Hashtbl.find_opt recovered key with
+            | Some fields -> cache_put key fields
+            | None -> ());
+            incr cached
           | _ -> ())
         order;
       if order <> [] then
@@ -386,7 +480,8 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
               timeout_seconds = cfg.timeout_seconds;
               retries = cfg.retries;
               backoff_base = cfg.backoff_base;
-              isolate = true }
+              isolate = true;
+              watchdog_seconds = cfg.watchdog_seconds }
           ~journal:jr ()
       in
       let clients : client list ref = ref [] in
@@ -416,9 +511,39 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
             "serve-drain-start"
         end
       in
+      (* a [Done] entry's fields come from the cache, or — after an
+         eviction under memory pressure — from the journal, which holds
+         every result ever produced; a journal hit re-warms the cache *)
+      let done_fields entry =
+        match Result_cache.find cache entry.key with
+        | Some fields -> Some fields
+        | None ->
+          let found = ref None in
+          List.iter
+            (fun (event, line) ->
+              if
+                event = "job-result"
+                && Journal.find_field line "job" = Some entry.key
+              then
+                match recover_done_fields entry.key entry.spec line with
+                | Some fields -> found := Some fields
+                | None -> ())
+            (Journal.scan journal_path);
+          (match !found with
+          | Some fields -> cache_put entry.key fields
+          | None -> ());
+          !found
+      in
       let render_terminal entry =
         match entry.state with
-        | Done fields -> Json.Obj (("ok", Json.Bool true) :: fields)
+        | Done -> (
+          match done_fields entry with
+          | Some fields -> Json.Obj (("ok", Json.Bool true) :: fields)
+          | None ->
+            (* unreachable: [job-result] is journaled (and fsynced)
+               before the state flips to [Done] *)
+            Protocol.error_response ~fields:[ ("id", Json.Str entry.key) ]
+              (Diag.Internal "result not in cache or journal"))
         | Failed f ->
           Json.Obj
             [ ("ok", Json.Bool false);
@@ -457,7 +582,8 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
           | Ok oc ->
             worker_perf := Perf.add !worker_perf oc.Job.perf;
             journal_result jr key oc;
-            entry.state <- Done (outcome_fields key entry.spec oc)
+            cache_put key (outcome_fields key entry.spec oc);
+            entry.state <- Done
           | Error _ when entry.cancelling ->
             Journal.event jr ~job:key "job-cancelled";
             entry.state <- Cancelled
@@ -477,7 +603,9 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
          connects and wedge the restart's stale-socket probe — drop them
          first thing in the child *)
       let close_inherited_fds () =
-        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        List.iter
+          (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+          listen_fds;
         List.iter
           (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
           !clients
@@ -537,8 +665,9 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
         let key = Protocol.job_key s in
         let existing = Hashtbl.find_opt table key in
         match existing with
-        | Some ({ state = Done _; _ } as entry) ->
-          (* the result cache: same work, zero solves *)
+        | Some ({ state = Done; _ } as entry) ->
+          (* the result cache: same work, zero solves (an evicted entry
+             is answered from the journal and re-warmed) *)
           Perf.tick_cache_hit ();
           Json.Obj
             (match render_terminal entry with
@@ -643,7 +772,7 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
               notify_waiters entry;
               Protocol.ok
                 [ ("id", Json.Str id); ("cancelled", Json.Str "pending") ])
-          | Done _ | Failed _ | Cancelled ->
+          | Done | Failed _ | Cancelled ->
             Json.Obj
               [ ("ok", Json.Bool false);
                 ("code", Json.Str "already-terminal");
@@ -657,7 +786,7 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
             match e.state with
             | Queued -> incr q
             | Running -> incr r
-            | Done _ -> incr d
+            | Done -> incr d
             | Failed _ -> incr f
             | Cancelled -> incr c)
           table;
@@ -685,6 +814,16 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
                     Json.Num (float_of_int (Bounded_queue.capacity admission))
                   );
                   ("peak", Json.Num (float_of_int (Bounded_queue.peak admission)))
+                ] );
+            ( "cache",
+              Json.Obj
+                [ ( "entries",
+                    Json.Num (float_of_int (Result_cache.entries cache)) );
+                  ("bytes", Json.Num (float_of_int (Result_cache.bytes cache)));
+                  ( "budget",
+                    Json.Num (float_of_int (Result_cache.budget cache)) );
+                  ( "evictions",
+                    Json.Num (float_of_int (Result_cache.evictions cache)) )
                 ] );
             ( "counters",
               Json.Obj
@@ -718,7 +857,7 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
           | None -> Some (unknown_job id)
           | Some entry -> (
             match entry.state with
-            | Done _ | Failed _ | Cancelled -> Some (render_terminal entry)
+            | Done | Failed _ | Cancelled -> Some (render_terminal entry)
             | Queued | Running ->
               if wait then begin
                 Hashtbl.replace waiters id
@@ -750,7 +889,9 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
         let bytes = Bytes.create 4096 in
         (match Unix.read client.fd bytes 0 4096 with
         | 0 -> client.alive <- false
-        | n -> Buffer.add_subbytes client.rbuf bytes 0 n
+        | n ->
+          client.last_activity <- Mono.now ();
+          Buffer.add_subbytes client.rbuf bytes 0 n
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
           ->
           ()
@@ -770,10 +911,18 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
             (fun line -> if client.alive then process_line client line)
             (String.split_on_char '\n' (String.sub s 0 last))
       in
-      let accept_clients () =
-        match Unix.accept listen_fd with
+      let accept_clients lfd =
+        match Unix.accept lfd with
         | fd, _ ->
-          clients := { fd; rbuf = Buffer.create 256; alive = true } :: !clients
+          Unix.set_nonblock fd;
+          Transport.set_nodelay fd;
+          clients :=
+            { fd;
+              rbuf = Buffer.create 256;
+              wbuf = Buffer.create 256;
+              alive = true;
+              last_activity = Mono.now () }
+            :: !clients
         | exception Unix.Unix_error _ -> ()
       in
       let reap_clients () =
@@ -792,15 +941,39 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
           dead
       in
       let rec loop () =
-        let fds = listen_fd :: List.map (fun c -> c.fd) !clients in
-        let readable =
-          match Unix.select fds [] [] 0.05 with
-          | r, _, _ -> r
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        let fds = listen_fds @ List.map (fun c -> c.fd) !clients in
+        let wfds =
+          List.filter_map
+            (fun c ->
+              if c.alive && Buffer.length c.wbuf > 0 then Some c.fd else None)
+            !clients
         in
-        if List.mem listen_fd readable then accept_clients ();
+        let readable, writable =
+          match Unix.select fds wfds [] 0.05 with
+          | r, w, _ -> (r, w)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+        in
+        List.iter
+          (fun lfd -> if List.mem lfd readable then accept_clients lfd)
+          listen_fds;
         List.iter
           (fun c -> if List.mem c.fd readable then read_client c)
+          !clients;
+        List.iter
+          (fun c -> if List.mem c.fd writable then flush_client c)
+          !clients;
+        (* the I/O deadline: any connection with half-done work — a
+           partial request line buffered, or a response the peer is not
+           reading — is reaped once it stalls past the deadline. A parked
+           [result --wait] has both buffers empty and is exempt. *)
+        let now = Mono.now () in
+        List.iter
+          (fun c ->
+            if
+              c.alive
+              && (Buffer.length c.rbuf > 0 || Buffer.length c.wbuf > 0)
+              && now -. c.last_activity > cfg.io_timeout_seconds
+            then c.alive <- false)
           !clients;
         List.iter handle_finished (Supervisor.pool_step pool);
         promote ();
@@ -825,7 +998,9 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
       List.iter
         (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
         !clients;
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        listen_fds;
       (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
       (match old_pipe with
       | Some b -> (
@@ -842,4 +1017,4 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
         try Sys.set_signal Sys.sigint b
         with Invalid_argument _ | Sys_error _ -> ())
       | None -> ());
-      Ok ())
+      Ok ()))

@@ -1,6 +1,7 @@
 (** The sizing-as-a-service daemon.
 
-    [run] listens on a unix socket for newline-delimited JSON requests
+    [run] listens on a unix socket — and, with [tcp] set, a TCP endpoint
+    too — for newline-delimited JSON requests
     ({!Protocol}) and schedules accepted sizing jobs across forked workers
     ({!Minflo_runner.Supervisor}'s pool — per-attempt hard timeouts,
     exponential-backoff retry of transient failures, quarantine of
@@ -15,7 +16,18 @@
       unbounded work. Rejections tick {!Minflo_robust.Perf} counters.
     - {b idempotency / result cache}: a job's key
       ({!Protocol.job_key}) identifies its work; resubmitting a served key
-      is answered from the in-memory result cache with zero solves.
+      is answered from the in-memory result cache with zero solves. The
+      cache is LRU under [cache_bytes]; an eviction under memory pressure
+      costs a journal re-read on the next query, never the answer.
+    - {b connection deadlines}: client descriptors are nonblocking with
+      buffered writes; a peer stalled mid-request or ignoring its
+      response past [io_timeout_seconds] is disconnected, so a half-open
+      or wedged connection can never stall the accept loop or leak a
+      descriptor.
+    - {b worker watchdog}: a forked worker heartbeats over its event
+      pipe; one silent past [watchdog_seconds] (wedged, SIGSTOPped,
+      livelocked) is SIGKILLed and its job retried like any other
+      transient crash.
     - {b crash recovery}: every accepted job is journaled ([serve-accepted],
       fsynced) before the client hears "accepted"; terminal states are
       journaled too ([job-result] carries the full result, round-tripping
@@ -35,19 +47,37 @@
 
 type config = {
   socket_path : string;
+  tcp : string option;
+      (** also listen on this ["HOST:PORT"] (port [0] lets the kernel
+          pick; the actual endpoint is journaled in [serve-start]'s
+          [tcp] field). [None]: unix socket only. *)
   run_dir : string;        (** journal, checkpoints, recovery state. *)
   parallel : int;          (** concurrent forked workers. *)
   queue_capacity : int;    (** admission queue bound. *)
   timeout_seconds : float option;  (** per-attempt hard kill. *)
+  watchdog_seconds : float option;
+      (** worker liveness deadline ({!Minflo_runner.Supervisor}): a
+          worker whose event pipe stays silent this long is SIGKILLed
+          and its job requeued. [None] disables. *)
+  io_timeout_seconds : float;
+      (** per-connection deadline: a peer stalled mid-request or not
+          reading its response this long is disconnected. Parked
+          [result --wait] connections (no pending bytes either way) are
+          exempt. *)
+  cache_bytes : int;
+      (** result-cache byte budget; LRU eviction past it (evicted
+          results remain answerable from the journal). *)
   retries : int;
   backoff_base : float;
   preflight : bool;        (** lint gate at admission. *)
 }
 
 val default_config : config
-(** [socket_path = "minflo.sock"; run_dir = "minflo-serve"; parallel = 2;
-    queue_capacity = 16; timeout_seconds = Some 300.; retries = 2;
-    backoff_base = 0.5; preflight = true]. *)
+(** [socket_path = "minflo.sock"; tcp = None; run_dir = "minflo-serve";
+    parallel = 2; queue_capacity = 16; timeout_seconds = Some 300.;
+    watchdog_seconds = Some 60.; io_timeout_seconds = 30.;
+    cache_bytes = 64 MiB; retries = 2; backoff_base = 0.5;
+    preflight = true]. *)
 
 val run : ?config:config -> unit -> (unit, Minflo_robust.Diag.error) result
 (** Run the daemon until drained. Returns [Error Journal_locked] if

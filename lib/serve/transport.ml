@@ -1,0 +1,166 @@
+module Diag = Minflo_robust.Diag
+
+type endpoint =
+  | Unix_sock of string
+  | Tcp of string * int
+
+let to_string = function
+  | Unix_sock path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let parse s =
+  if s = "" then Error "empty endpoint"
+  else if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    let path = String.sub s 5 (String.length s - 5) in
+    if path = "" then Error "empty unix socket path" else Ok (Unix_sock path)
+  else
+    (* HOST:PORT iff the text after the last colon is a port number;
+       anything else (including bare names with no colon) is a socket
+       path, so existing --socket values keep meaning what they meant *)
+    match String.rindex_opt s ':' with
+    | None -> Ok (Unix_sock s)
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 && host <> "" -> Ok (Tcp (host, p))
+      | Some _ -> Error (Printf.sprintf "port out of range in %S" s)
+      | None -> Ok (Unix_sock s))
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> Ok addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 ->
+      Ok addrs.(0)
+    | _ -> Error (Diag.Io_error { file = host; msg = "cannot resolve host" })
+    | exception Not_found ->
+      Error (Diag.Io_error { file = host; msg = "cannot resolve host" }))
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Nagle would add up to 40ms to every one-line request/response
+   exchange; the protocol is strictly request/response so there is
+   nothing to coalesce *)
+let set_nodelay fd =
+  try Unix.setsockopt fd Unix.TCP_NODELAY true
+  with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let listen ?(backlog = 64) endpoint :
+    (Unix.file_descr * endpoint, Diag.error) result =
+  match endpoint with
+  | Unix_sock path -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd backlog
+    with
+    | () -> Ok (fd, endpoint)
+    | exception Unix.Unix_error (e, _, _) ->
+      close_quietly fd;
+      Error (Diag.Io_error { file = path; msg = Unix.error_message e }))
+  | Tcp (host, port) -> (
+    match resolve host with
+    | Error _ as e -> e
+    | Ok addr -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (addr, port));
+        Unix.listen fd backlog;
+        (* port 0 asks the kernel to pick: report what it picked, so a
+           test (or an operator scraping the journal) can find the
+           daemon without racing it for a port number *)
+        Unix.getsockname fd
+      with
+      | Unix.ADDR_INET (bound, actual) ->
+        Ok (fd, Tcp (Unix.string_of_inet_addr bound, actual))
+      | Unix.ADDR_UNIX _ -> Ok (fd, endpoint)
+      | exception Unix.Unix_error (e, _, _) ->
+        close_quietly fd;
+        Error
+          (Diag.Io_error
+             { file = to_string endpoint; msg = Unix.error_message e })))
+
+let refused endpoint =
+  Diag.Connect_refused { endpoint = to_string endpoint; attempts = 1 }
+
+(* a peer (or a chaos proxy) hard-closing mid-exchange must surface as
+   EPIPE — a retryable [Io_error] — not as a fatal SIGPIPE; the daemon
+   ignores the signal for itself, dialing callers need the same *)
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ | Sys_error _ -> ())
+
+let connect ?timeout endpoint : (Unix.file_descr, Diag.error) result =
+  Lazy.force ignore_sigpipe;
+  let name = to_string endpoint in
+  let domain, addr =
+    match endpoint with
+    | Unix_sock path -> (Unix.PF_UNIX, Ok (Unix.ADDR_UNIX path))
+    | Tcp (host, port) ->
+      ( Unix.PF_INET,
+        Result.map (fun a -> Unix.ADDR_INET (a, port)) (resolve host) )
+  in
+  match addr with
+  | Error _ as e -> e
+  | Ok addr -> (
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    let finish_ok () =
+      set_nodelay fd;
+      Ok fd
+    in
+    let fail e =
+      close_quietly fd;
+      Error e
+    in
+    match timeout with
+    | None -> (
+      match Unix.connect fd addr with
+      | () -> finish_ok ()
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+        fail (refused endpoint)
+      | exception Unix.Unix_error (e, _, _) ->
+        fail (Diag.Io_error { file = name; msg = Unix.error_message e }))
+    | Some seconds -> (
+      (* nonblocking connect + select: a peer that accepts SYNs but never
+         completes the handshake (or a dead routed host) cannot hold the
+         client past its deadline *)
+      Unix.set_nonblock fd;
+      let pending =
+        match Unix.connect fd addr with
+        | () -> Ok false
+        | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> Ok true
+        | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+          ->
+          Error (refused endpoint)
+        | exception Unix.Unix_error (e, _, _) ->
+          Error (Diag.Io_error { file = name; msg = Unix.error_message e })
+      in
+      match pending with
+      | Error e -> fail e
+      | Ok false ->
+        Unix.clear_nonblock fd;
+        finish_ok ()
+      | Ok true -> (
+        match Unix.select [] [ fd ] [] seconds with
+        | _, [], _ ->
+          fail (Diag.Net_timeout { endpoint = name; op = "connect"; seconds })
+        | _ -> (
+          match Unix.getsockopt_error fd with
+          | None ->
+            Unix.clear_nonblock fd;
+            finish_ok ()
+          | Some (Unix.ECONNREFUSED | Unix.ENOENT) -> fail (refused endpoint)
+          | Some e ->
+            fail (Diag.Io_error { file = name; msg = Unix.error_message e }))
+        | exception Unix.Unix_error (e, _, _) ->
+          fail (Diag.Io_error { file = name; msg = Unix.error_message e }))))
+
+let set_io_timeout fd seconds =
+  try
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO seconds
+  with Unix.Unix_error _ | Invalid_argument _ -> ()

@@ -1,0 +1,48 @@
+(** Where the daemon listens and clients connect: a unix socket for
+    same-host work, TCP for multi-host serving. One abstraction so the
+    server, the client, the load generator and the chaos proxy all accept
+    either transport through a single flag syntax.
+
+    TCP connections get [TCP_NODELAY] (the protocol is one-line
+    request/response; Nagle would tax every exchange) and deadline
+    support, so a stalled or half-open peer produces a typed
+    {!Minflo_robust.Diag.Net_timeout} instead of an unbounded hang. *)
+
+type endpoint =
+  | Unix_sock of string  (** filesystem path of a unix-domain socket. *)
+  | Tcp of string * int  (** host (name or literal address) and port. *)
+
+val parse : string -> (endpoint, string) result
+(** ["HOST:PORT"] is TCP; ["unix:PATH"] — or any string whose last
+    colon-suffix is not a port number, including plain paths — is a unix
+    socket. Port [0] is allowed for TCP: the kernel picks, and the daemon
+    journals the port it got. *)
+
+val to_string : endpoint -> string
+(** The display form diagnostics carry: [PATH] or [HOST:PORT]. *)
+
+val listen :
+  ?backlog:int ->
+  endpoint ->
+  (Unix.file_descr * endpoint, Minflo_robust.Diag.error) result
+(** Bind and listen. The returned endpoint is the {e actual} one — for
+    TCP port [0] it carries the kernel-assigned port. Unix-socket callers
+    handle stale-file cleanup themselves before calling. *)
+
+val connect :
+  ?timeout:float ->
+  endpoint ->
+  (Unix.file_descr, Minflo_robust.Diag.error) result
+(** Connect, optionally bounded by [timeout] seconds (nonblocking connect
+    + select, so an unreachable host cannot wedge the caller). A peer
+    actively refusing — or a missing socket file — is the typed
+    [Connect_refused]; a deadline expiry is [Net_timeout]. *)
+
+val set_nodelay : Unix.file_descr -> unit
+(** [TCP_NODELAY] (best-effort; silently a no-op on unix sockets). *)
+
+val set_io_timeout : Unix.file_descr -> float -> unit
+(** Arm kernel read/write deadlines ([SO_RCVTIMEO]/[SO_SNDTIMEO]) on a
+    connected descriptor; a blocked read then fails with [EAGAIN], which
+    the client layer maps to [Net_timeout]. Best-effort (a no-op where
+    unsupported). *)

@@ -114,7 +114,7 @@ let test_fingerprint_slug () =
 
 let test_fault_sites () =
   let pts = Fault.all_points in
-  check int "seven instrumented sites" 7 (List.length pts);
+  check int "eleven instrumented sites" 11 (List.length pts);
   check bool "sorted and duplicate-free" true
     (List.sort_uniq String.compare pts = pts);
   List.iter
@@ -123,9 +123,11 @@ let test_fault_sites () =
     pts;
   check bool "bogus site rejected" false (Fault.is_known_point "bogus.site");
   check bool "prefix alone rejected" false (Fault.is_known_point "dphase");
-  (* the enumeration covers both halves of the oracle's fault plan *)
+  (* the enumeration covers both halves of the oracle's fault plan, plus
+     the chaos proxy's network sites *)
   check bool "has an engine site" true (List.mem "wphase" pts);
-  check bool "has an audit site" true (List.mem "audit.simplex" pts)
+  check bool "has an audit site" true (List.mem "audit.simplex" pts);
+  check bool "has a network site" true (List.mem "net.torn-write" pts)
 
 (* ---------- case generation ---------- *)
 

@@ -334,9 +334,10 @@ let test_checkpoint_special_floats () =
 
 (* ---------- supervisor ---------- *)
 
-let sup ?(parallel = 1) ?timeout ?(retries = 2) ?(isolate = true) () =
+let sup ?(parallel = 1) ?timeout ?(retries = 2) ?(isolate = true) ?watchdog ()
+    =
   { Supervisor.parallel; timeout_seconds = timeout; retries;
-    backoff_base = 0.01; isolate }
+    backoff_base = 0.01; isolate; watchdog_seconds = watchdog }
 
 let test_supervisor_ok_isolated () =
   match Supervisor.run_all ~config:(sup ()) [ ("t", fun () -> Ok 42) ] with
@@ -470,6 +471,47 @@ let test_supervisor_timeout_then_success () =
       o.Supervisor.quarantined
       (Result.is_ok o.Supervisor.verdict)
   | _ -> Alcotest.fail "unexpected outcome");
+  rm_rf dir
+
+let test_supervisor_watchdog_requeues_wedged_worker () =
+  (* attempt 1 wedges with its heartbeat suppressed — the parent can only
+     learn it is dead from the silence — attempt 2 runs clean *)
+  let dir = fresh_dir "sup-watchdog" in
+  let marker = Filename.concat dir "attempted" in
+  let jpath = Filename.concat dir "journal.jsonl" in
+  let journal =
+    match Journal.open_append jpath with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "journal: %s" (Diag.to_string e)
+  in
+  let thunk () =
+    if Sys.file_exists marker then Ok 7
+    else begin
+      close_out (open_out marker);
+      (* block SIGALRM so the heartbeat timer never fires, then hang:
+         the event pipe goes silent exactly like a livelocked worker *)
+      ignore (Unix.sigprocmask Unix.SIG_BLOCK [ Sys.sigalrm ]);
+      Unix.sleep 30;
+      Ok 0
+    end
+  in
+  (match
+     Supervisor.run_all ~config:(sup ~watchdog:0.3 ~retries:2 ()) ~journal
+       [ ("t", thunk) ]
+   with
+  | [ (_, { Supervisor.verdict = Ok 7; attempts = 2; quarantined = false }) ]
+    -> ()
+  | [ (_, o) ] ->
+    Alcotest.failf "attempts=%d quarantined=%b ok=%b" o.Supervisor.attempts
+      o.Supervisor.quarantined
+      (Result.is_ok o.Supervisor.verdict)
+  | _ -> Alcotest.fail "unexpected outcome");
+  Journal.close journal;
+  let events = List.map fst (Journal.scan jpath) in
+  check Alcotest.bool "watchdog kill journaled" true
+    (List.mem "job-watchdog-kill" events);
+  check int "spawned twice" 2
+    (List.length (List.filter (( = ) "job-spawn") events));
   rm_rf dir
 
 let test_supervisor_quarantines_when_error_stabilizes () =
@@ -1007,6 +1049,8 @@ let () =
             test_supervisor_parallel_order;
           Alcotest.test_case "in-process mode" `Quick
             test_supervisor_in_process_mode;
+          Alcotest.test_case "watchdog requeues a wedged worker" `Quick
+            test_supervisor_watchdog_requeues_wedged_worker;
           Alcotest.test_case "timeout then success" `Quick
             test_supervisor_timeout_then_success;
           Alcotest.test_case "quarantine when the error stabilizes" `Quick

@@ -7,7 +7,10 @@ module Json = Minflo_serve.Json
 module Protocol = Minflo_serve.Protocol
 module Bounded_queue = Minflo_serve.Bounded_queue
 module Server = Minflo_serve.Server
+module Transport = Minflo_serve.Transport
 module Client = Minflo_serve.Client
+module Result_cache = Minflo_serve.Result_cache
+module Chaosproxy = Minflo_serve.Chaosproxy
 module Loadgen = Minflo_serve.Loadgen
 module Journal = Minflo_runner.Journal
 module Diag = Minflo_robust.Diag
@@ -157,14 +160,74 @@ let test_bounded_queue () =
   check (Alcotest.option string) "pop forced" (Some "forced") (Bounded_queue.pop q);
   check (Alcotest.option string) "drained" None (Bounded_queue.pop q)
 
+(* ---------- transport ---------- *)
+
+let endpoint_t : Transport.endpoint Alcotest.testable =
+  Alcotest.testable
+    (fun ppf ep -> Format.pp_print_string ppf (Transport.to_string ep))
+    ( = )
+
+let test_transport_parse () =
+  let ok s want =
+    match Transport.parse s with
+    | Ok got -> check endpoint_t s want got
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  in
+  ok "127.0.0.1:8080" (Transport.Tcp ("127.0.0.1", 8080));
+  ok "localhost:0" (Transport.Tcp ("localhost", 0));
+  ok "unix:/tmp/x.sock" (Transport.Unix_sock "/tmp/x.sock");
+  ok "minflo.sock" (Transport.Unix_sock "minflo.sock");
+  (* a colon whose suffix is not a port keeps meaning "socket path" *)
+  ok "/var/run/odd:name" (Transport.Unix_sock "/var/run/odd:name");
+  List.iter
+    (fun s ->
+      match Transport.parse s with
+      | Error _ -> ()
+      | Ok ep ->
+        Alcotest.failf "%s accepted as %s" s (Transport.to_string ep))
+    [ ""; "unix:"; "host:70000"; ":9" ]
+
+(* ---------- result cache ---------- *)
+
+let test_result_cache_lru () =
+  let c = Result_cache.create ~budget_bytes:100 in
+  Result_cache.put c "a" 1 ~bytes:40;
+  Result_cache.put c "b" 2 ~bytes:40;
+  check (Alcotest.option int) "a resident" (Some 1) (Result_cache.find c "a");
+  (* the [find] above made "a" hot, so pressure evicts "b" *)
+  Result_cache.put c "c" 3 ~bytes:40;
+  check (Alcotest.option int) "cold entry evicted" None (Result_cache.find c "b");
+  check (Alcotest.option int) "hot entry kept" (Some 1) (Result_cache.find c "a");
+  check (Alcotest.option int) "new entry kept" (Some 3) (Result_cache.find c "c");
+  check int "bytes within budget" 80 (Result_cache.bytes c);
+  check int "one eviction so far" 1 (Result_cache.evictions c);
+  (* an entry larger than the whole budget passes straight through *)
+  Result_cache.put c "big" 4 ~bytes:200;
+  check (Alcotest.option int) "oversized never resident" None
+    (Result_cache.find c "big");
+  check int "oversized flushed everything" 0 (Result_cache.bytes c);
+  check int "evictions accumulate" 4 (Result_cache.evictions c);
+  (* replacement re-accounts instead of double-counting *)
+  Result_cache.put c "x" 5 ~bytes:50;
+  Result_cache.put c "x" 6 ~bytes:60;
+  check int "replace keeps one entry" 1 (Result_cache.entries c);
+  check int "replace re-accounts bytes" 60 (Result_cache.bytes c);
+  check (Alcotest.option int) "replace keeps latest" (Some 6)
+    (Result_cache.find c "x")
+
 (* ---------- end to end: a forked daemon over a real socket ---------- *)
 
-let daemon_cfg ?(parallel = 2) ?(queue = 16) dir =
+let daemon_cfg ?(parallel = 2) ?(queue = 16) ?tcp ?watchdog
+    ?(io_timeout = 30.0) ?(cache_bytes = 64 * 1024 * 1024) dir =
   { Server.socket_path = Filename.concat dir "minflo.sock";
+    tcp;
     run_dir = Filename.concat dir "run";
     parallel;
     queue_capacity = queue;
     timeout_seconds = Some 60.0;
+    watchdog_seconds = watchdog;
+    io_timeout_seconds = io_timeout;
+    cache_bytes;
     retries = 1;
     backoff_base = 0.05;
     preflight = true }
@@ -184,20 +247,27 @@ let start_daemon cfg =
     Unix._exit code
   | pid -> pid
 
-let rpc cfg req =
+let unix_ep cfg = Transport.Unix_sock cfg.Server.socket_path
+
+(* test helpers talk straight to the daemon: one attempt, no backoff, so
+   a broken daemon fails the test instead of being papered over *)
+let no_retry = { Client.default_retry with attempts = 1; timeout = None }
+
+let rpc_ep ep req =
   match
-    Client.one_shot ~socket:cfg.Server.socket_path
-      (Protocol.request_to_json req)
+    Client.one_shot ~retry:no_retry ~endpoint:ep (Protocol.request_to_json req)
   with
   | Ok j -> j
   | Error e -> Alcotest.failf "rpc: %s" (Diag.to_string e)
+
+let rpc cfg req = rpc_ep (unix_ep cfg) req
 
 let wait_ready cfg =
   let deadline = Unix.gettimeofday () +. 15.0 in
   let rec go () =
     let up =
       match
-        Client.one_shot ~socket:cfg.Server.socket_path
+        Client.one_shot ~retry:no_retry ~endpoint:(unix_ep cfg)
           (Protocol.request_to_json Protocol.Health)
       with
       | Ok j -> Json.bool_field "ok" j = Some true
@@ -245,6 +315,88 @@ let counter_of stats name =
   match Json.member "counters" stats with
   | Some c -> Option.value (Json.int_field name c) ~default:(-1)
   | None -> -1
+
+(* ---------- client resilience against misbehaving peers ---------- *)
+
+(* a stub "daemon" exhibiting exactly one pathology: accept, read the
+   request, then either go silent or tear the response mid-line *)
+let stub_server path behavior =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 4;
+       let c, _ = Unix.accept fd in
+       let buf = Bytes.create 4096 in
+       ignore (Unix.read c buf 0 4096);
+       match behavior with
+       | `Silent -> Unix.sleepf 30.0
+       | `Torn ->
+         ignore (Unix.write_substring c {|{"ok": tru|} 0 10);
+         Unix.close c;
+         Unix.sleepf 0.5
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+let wait_for_socket path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.02
+  done
+
+let reap pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+let health_json = Protocol.request_to_json Protocol.Health
+
+let test_client_connect_refused () =
+  let retry =
+    { Client.attempts = 3; backoff_base = 0.01; timeout = Some 0.5; seed = 7 }
+  in
+  let ep = Transport.Unix_sock "/nonexistent/minflo-nowhere.sock" in
+  match Client.one_shot ~retry ~endpoint:ep health_json with
+  | Error (Diag.Connect_refused { attempts; _ }) ->
+    check int "all attempts spent" 3 attempts
+  | Error e -> Alcotest.failf "wrong diagnostic: %s" (Diag.to_string e)
+  | Ok _ -> Alcotest.fail "connected to nothing"
+
+let test_client_net_timeout () =
+  let dir = fresh_dir "client-timeout" in
+  let path = Filename.concat dir "stub.sock" in
+  let pid = stub_server path `Silent in
+  wait_for_socket path;
+  let retry =
+    { Client.attempts = 1; backoff_base = 0.01; timeout = Some 0.3; seed = 0 }
+  in
+  (match Client.one_shot ~retry ~endpoint:(Transport.Unix_sock path) health_json with
+  | Error (Diag.Net_timeout { op; seconds; _ }) ->
+    check string "timed out waiting for" "response" op;
+    check (Alcotest.float 0.001) "deadline reported" 0.3 seconds
+  | Error e -> Alcotest.failf "wrong diagnostic: %s" (Diag.to_string e)
+  | Ok _ -> Alcotest.fail "a silent peer produced a response");
+  reap pid;
+  rm_rf dir
+
+let test_client_torn_response () =
+  let dir = fresh_dir "client-torn" in
+  let path = Filename.concat dir "stub.sock" in
+  let pid = stub_server path `Torn in
+  wait_for_socket path;
+  let retry =
+    { Client.attempts = 1; backoff_base = 0.01; timeout = Some 2.0; seed = 0 }
+  in
+  (match Client.one_shot ~retry ~endpoint:(Transport.Unix_sock path) health_json with
+  | Error (Diag.Torn_response { bytes; _ }) ->
+    check int "incomplete line length" 10 bytes
+  | Error e -> Alcotest.failf "wrong diagnostic: %s" (Diag.to_string e)
+  | Ok _ -> Alcotest.fail "a torn line parsed as a response");
+  reap pid;
+  rm_rf dir
 
 let test_e2e_submit_result_cache () =
   let dir = fresh_dir "serve-e2e" in
@@ -432,7 +584,7 @@ let test_e2e_loadgen_mix () =
     match
       Loadgen.run
         { Loadgen.default_config with
-          Loadgen.socket = cfg.Server.socket_path;
+          Loadgen.endpoint = unix_ep cfg;
           circuits = [ "c17" ];
           count = 2;
           lint_bad = 1;
@@ -456,6 +608,338 @@ let test_e2e_loadgen_mix () =
   | _ -> Alcotest.fail "daemon did not drain cleanly");
   rm_rf dir
 
+(* the actual TCP endpoint (port 0 resolved) from the serve-start line *)
+let tcp_endpoint_of_journal cfg =
+  let path = Filename.concat cfg.Server.run_dir "journal.jsonl" in
+  match
+    List.find_map
+      (fun (event, line) ->
+        if event = "serve-start" then Journal.find_field line "tcp" else None)
+      (Journal.scan path)
+  with
+  | None -> Alcotest.fail "serve-start journaled no tcp endpoint"
+  | Some s -> (
+    match Transport.parse s with
+    | Ok ep -> ep
+    | Error e -> Alcotest.failf "journaled tcp endpoint %S: %s" s e)
+
+let test_e2e_tcp () =
+  let dir = fresh_dir "serve-tcp" in
+  let cfg = daemon_cfg ~tcp:"127.0.0.1:0" dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  let ep = tcp_endpoint_of_journal cfg in
+  (match ep with
+  | Transport.Tcp (_, port) ->
+    check Alcotest.bool "kernel-assigned port journaled" true (port > 0)
+  | Transport.Unix_sock _ -> Alcotest.fail "journaled endpoint is not TCP");
+  let id =
+    let r = rpc_ep ep (Protocol.Submit (submit_spec "c17")) in
+    match (Json.bool_field "ok" r, Json.str_field "id" r) with
+    | Some true, Some id -> id
+    | _ -> Alcotest.failf "tcp submit rejected: %s" (Json.to_string r)
+  in
+  let res = rpc_ep ep (Protocol.Result { id; wait = true }) in
+  check (Alcotest.option string) "solved over tcp" (Some "done")
+    (Json.str_field "state" res);
+  (* both transports front the same daemon: the unix socket sees the job *)
+  let st = rpc cfg (Protocol.Status id) in
+  check (Alcotest.option string) "same state over unix socket" (Some "done")
+    (Json.str_field "state" st);
+  let bye = rpc_ep ep Protocol.Drain in
+  check (Alcotest.option Alcotest.bool) "drain over tcp" (Some true)
+    (Json.bool_field "ok" bye);
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "daemon did not exit cleanly after tcp drain");
+  rm_rf dir
+
+let test_e2e_io_deadline_reaps_stalled_peer () =
+  let dir = fresh_dir "serve-deadline" in
+  let cfg = daemon_cfg ~io_timeout:0.4 dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  (* half a request, then silence: the daemon must reap us, not wait *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX cfg.Server.socket_path);
+  ignore (Unix.write_substring fd {|{"op":|} 0 6);
+  Transport.set_io_timeout fd 10.0;
+  let buf = Bytes.create 16 in
+  (match Unix.read fd buf 0 16 with
+  | 0 -> ()
+  | n -> Alcotest.failf "expected EOF from the reaper, got %d bytes" n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Alcotest.fail "daemon never reaped the stalled connection");
+  Unix.close fd;
+  (* the daemon itself is unharmed and still serving *)
+  let h = rpc cfg Protocol.Health in
+  check (Alcotest.option Alcotest.bool) "daemon healthy after reap" (Some true)
+    (Json.bool_field "ok" h);
+  ignore (rpc cfg Protocol.Drain);
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "daemon did not drain cleanly");
+  rm_rf dir
+
+(* the worker pid the supervisor journaled for [id]'s latest spawn *)
+let worker_pid cfg id =
+  let path = Filename.concat cfg.Server.run_dir "journal.jsonl" in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    let hit =
+      List.find_map
+        (fun (event, line) ->
+          if event = "job-spawn" && Journal.find_field line "job" = Some id
+          then Option.bind (Journal.find_field line "pid") int_of_string_opt
+          else None)
+        (Journal.scan path)
+    in
+    match hit with
+    | Some pid -> pid
+    | None when Unix.gettimeofday () > deadline ->
+      Alcotest.failf "no job-spawn journaled for %s" id
+    | None ->
+      Unix.sleepf 0.05;
+      go ()
+  in
+  go ()
+
+let test_e2e_watchdog_kills_silent_worker () =
+  let dir = fresh_dir "serve-watchdog" in
+  let cfg = daemon_cfg ~parallel:1 ~watchdog:0.4 dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  let id, _ = submit_ok cfg (submit_spec ~sleep:2.5 "c17") in
+  wait_state cfg id "running";
+  (* freeze the worker: heartbeats stop, the watchdog must notice *)
+  let victim = worker_pid cfg id in
+  Unix.kill victim Sys.sigstop;
+  let res = rpc cfg (Protocol.Result { id; wait = true }) in
+  check (Alcotest.option string) "requeued job still completes" (Some "done")
+    (Json.str_field "state" res);
+  (match Json.num_field "area" res with
+  | Some a when a > 0.0 -> ()
+  | _ -> Alcotest.fail "retried result carries no positive area");
+  let events = journal_events cfg in
+  check Alcotest.bool "watchdog kill journaled" true
+    (List.mem "job-watchdog-kill" events);
+  check Alcotest.bool "job respawned after the kill" true
+    (List.length (List.filter (( = ) "job-spawn") events) >= 2);
+  ignore (rpc cfg Protocol.Drain);
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "daemon did not drain cleanly");
+  rm_rf dir
+
+let test_e2e_cache_eviction_under_pressure () =
+  let dir = fresh_dir "serve-evict" in
+  (* a budget smaller than two rendered results: the third job must evict *)
+  let cfg = daemon_cfg ~cache_bytes:400 dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  let ids =
+    List.map
+      (fun factor ->
+        let id, _ = submit_ok cfg (submit_spec ~factor "c17") in
+        let r = rpc cfg (Protocol.Result { id; wait = true }) in
+        check (Alcotest.option string) "job done" (Some "done")
+          (Json.str_field "state" r);
+        id)
+      [ 1.30; 1.31; 1.32 ]
+  in
+  let stats = rpc cfg Protocol.Stats in
+  (match Json.member "cache" stats with
+  | None -> Alcotest.fail "stats carries no cache block"
+  | Some c ->
+    let get k = Option.value (Json.int_field k c) ~default:(-1) in
+    check Alcotest.bool "evictions under pressure" true (get "evictions" >= 1);
+    check Alcotest.bool "resident bytes within budget" true
+      (get "bytes" >= 0 && get "bytes" <= get "budget");
+    check int "budget echoed" 400 (get "budget"));
+  check Alcotest.bool "evictions perf counter ticked" true
+    (counter_of stats "evictions" >= 1);
+  (* evicted results are re-read from the journal, not lost: every id —
+     at most one can still be resident — answers done, and a resubmit of
+     the first key is still the idempotent cache path *)
+  List.iter
+    (fun id ->
+      let r = rpc cfg (Protocol.Result { id; wait = false }) in
+      check (Alcotest.option string) "evicted result recovered" (Some "done")
+        (Json.str_field "state" r);
+      match Json.num_field "area" r with
+      | Some a when a > 0.0 -> ()
+      | _ -> Alcotest.fail "recovered result carries no positive area")
+    ids;
+  let again = rpc cfg (Protocol.Submit (submit_spec ~factor:1.30 "c17")) in
+  check (Alcotest.option Alcotest.bool) "resubmit of evicted key" (Some true)
+    (Json.bool_field "resubmitted" again);
+  check (Alcotest.option string) "answered terminal" (Some "done")
+    (Json.str_field "state" again);
+  ignore (rpc cfg Protocol.Drain);
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "daemon did not drain cleanly");
+  rm_rf dir
+
+let test_e2e_drain_edges () =
+  (* drain with zero in-flight jobs: prompt, clean, fully journaled *)
+  let dir = fresh_dir "serve-drain-idle" in
+  let cfg = daemon_cfg dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  let bye = rpc cfg Protocol.Drain in
+  check (Alcotest.option Alcotest.bool) "idle drain acknowledged" (Some true)
+    (Json.bool_field "ok" bye);
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "idle daemon did not drain cleanly");
+  let events = journal_events cfg in
+  check Alcotest.bool "idle drain journaled" true
+    (List.mem "serve-drain-start" events
+    && List.mem "serve-drain-complete" events);
+  rm_rf dir;
+  (* submit during drain with a full queue: the typed answer must be
+     [draining], not [overloaded] — drain outranks the queue bound *)
+  let dir = fresh_dir "serve-drain-full" in
+  let cfg = daemon_cfg ~parallel:1 ~queue:1 dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  let a, _ = submit_ok cfg (submit_spec ~sleep:1.0 ~factor:1.30 "c17") in
+  wait_state cfg a "running";
+  let _b, _ = submit_ok cfg (submit_spec ~sleep:1.0 ~factor:1.31 "c17") in
+  ignore (rpc cfg Protocol.Drain);
+  let r3 =
+    rpc cfg (Protocol.Submit (submit_spec ~sleep:1.0 ~factor:1.32 "c17"))
+  in
+  check (Alcotest.option Alcotest.bool) "submit during drain rejected"
+    (Some false) (Json.bool_field "ok" r3);
+  check (Alcotest.option string) "draining outranks overloaded"
+    (Some "draining") (Json.str_field "code" r3);
+  (* both accepted jobs still finish before the daemon exits *)
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "draining daemon did not exit cleanly");
+  let events = journal_events cfg in
+  check Alcotest.bool "accepted jobs resolved during drain" true
+    (List.length (List.filter (( = ) "job-result") events) >= 2);
+  rm_rf dir
+
+(* the acceptance scenario: a loaded daemon behind a fault-injecting
+   proxy, one worker SIGKILLed mid-load — every accepted job must still
+   resolve, bit-identical to the fault-free baseline *)
+let test_e2e_chaos_bit_identical () =
+  let specs ~slow =
+    (* the first job sleeps long enough to be murdered mid-flight; sleeps
+       are identity-only (the key suffix), never part of the signature *)
+    List.map
+      (fun (factor, s) ->
+        submit_spec ~sleep:(if slow then s else 0.0) ~factor "c17")
+      [ (1.30, 2.0); (1.31, 0.3); (1.32, 0.3); (1.33, 0.3) ]
+  in
+  (* baseline: the same sizings from an unmolested daemon *)
+  let base_dir = fresh_dir "chaos-base" in
+  let base = daemon_cfg base_dir in
+  let bpid = start_daemon base in
+  wait_ready base;
+  let sigs_base =
+    List.map
+      (fun spec ->
+        let id, _ = submit_ok base spec in
+        result_signature (rpc base (Protocol.Result { id; wait = true })))
+      (specs ~slow:false)
+  in
+  ignore (rpc base Protocol.Drain);
+  ignore (Unix.waitpid [] bpid);
+  rm_rf base_dir;
+  (* the chaos run *)
+  let dir = fresh_dir "chaos-run" in
+  let cfg = daemon_cfg ~parallel:2 dir in
+  let pid = start_daemon cfg in
+  wait_ready cfg;
+  let proxy_sock = Filename.concat dir "proxy.sock" in
+  let report = Filename.concat dir "chaos-report.json" in
+  let arm ?count site = { Chaosproxy.site; count; prob = None } in
+  let pcfg =
+    { Chaosproxy.default_config with
+      Chaosproxy.listen = Transport.Unix_sock proxy_sock;
+      upstream = unix_ep cfg;
+      faults =
+        [ arm ~count:1 "net.accept-drop";
+          arm ~count:1 "net.read-stall";
+          arm ~count:1 "net.torn-write";
+          arm ~count:2 "net.delayed-response" ];
+      seed = 42;
+      delay_seconds = 0.1;
+      report_path = Some report }
+  in
+  let ppid =
+    match Unix.fork () with
+    | 0 ->
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      Unix.dup2 devnull Unix.stdout;
+      Unix.dup2 devnull Unix.stderr;
+      ignore (Chaosproxy.run ~config:pcfg ());
+      Unix._exit 0
+    | p -> p
+  in
+  wait_for_socket proxy_sock;
+  let retry =
+    { Client.attempts = 8; backoff_base = 0.05; timeout = Some 10.0; seed = 1 }
+  in
+  let s = Client.session ~retry (Transport.Unix_sock proxy_sock) in
+  let chaos_rpc req =
+    match Client.rpc s (Protocol.request_to_json req) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "chaos rpc: %s" (Diag.to_string e)
+  in
+  let ids =
+    List.map
+      (fun spec ->
+        let r = chaos_rpc (Protocol.Submit spec) in
+        match (Json.bool_field "ok" r, Json.str_field "id" r) with
+        | Some true, Some id -> id
+        | _ -> Alcotest.failf "chaos submit rejected: %s" (Json.to_string r))
+      (specs ~slow:true)
+  in
+  (* murder the worker on the slow job, mid-load *)
+  Unix.kill (worker_pid cfg (List.hd ids)) Sys.sigkill;
+  let sigs_chaos =
+    List.map
+      (fun id ->
+        let r = chaos_rpc (Protocol.Result { id; wait = true }) in
+        check (Alcotest.option string) "chaos job terminal" (Some "done")
+          (Json.str_field "state" r);
+        result_signature r)
+      ids
+  in
+  Client.close_session s;
+  List.iter2
+    (fun a b -> check string "bit-identical under chaos" a b)
+    sigs_base sigs_chaos;
+  (* audit: nothing accepted was lost, and the kill forced a respawn *)
+  let events = journal_events cfg in
+  let count e = List.length (List.filter (( = ) e) events) in
+  check Alcotest.bool "every accepted job resolved" true
+    (count "serve-accepted" = 4 && count "job-result" >= 4);
+  check Alcotest.bool "killed worker respawned" true (count "job-spawn" >= 5);
+  ignore (rpc cfg Protocol.Drain);
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "chaos daemon did not drain cleanly");
+  (* the proxy's report proves the faults actually fired *)
+  (try Unix.kill ppid Sys.sigterm with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] ppid);
+  (match
+     Json.parse (In_channel.with_open_text report In_channel.input_all)
+   with
+  | Ok rep ->
+    check (Alcotest.option int) "accept-drop fired once" (Some 1)
+      (Json.int_field "net.accept-drop" rep);
+    check Alcotest.bool "torn-write fired" true
+      (Option.value (Json.int_field "net.torn-write" rep) ~default:0 >= 1)
+  | Error e -> Alcotest.failf "chaos report unreadable: %s" e);
+  rm_rf dir
+
 let () =
   Alcotest.run "serve"
     [ ( "json",
@@ -469,6 +953,18 @@ let () =
       ( "queue",
         [ Alcotest.test_case "bounded fifo with high-water mark" `Quick
             test_bounded_queue ] );
+      ( "transport",
+        [ Alcotest.test_case "endpoint parsing" `Quick test_transport_parse ] );
+      ( "cache",
+        [ Alcotest.test_case "lru eviction under a byte budget" `Quick
+            test_result_cache_lru ] );
+      ( "client",
+        [ Alcotest.test_case "connect refused after bounded retries" `Quick
+            test_client_connect_refused;
+          Alcotest.test_case "silent peer is a typed timeout" `Quick
+            test_client_net_timeout;
+          Alcotest.test_case "torn line is a typed error, not a crash" `Quick
+            test_client_torn_response ] );
       ( "daemon",
         [ Alcotest.test_case "submit, result, cache, drain" `Quick
             test_e2e_submit_result_cache;
@@ -479,4 +975,16 @@ let () =
           Alcotest.test_case "second daemon is locked out" `Quick
             test_e2e_second_daemon_locked;
           Alcotest.test_case "loadgen mix reaches terminal states" `Quick
-            test_e2e_loadgen_mix ] ) ]
+            test_e2e_loadgen_mix;
+          Alcotest.test_case "tcp transport fronts the same daemon" `Quick
+            test_e2e_tcp;
+          Alcotest.test_case "io deadline reaps a stalled peer" `Quick
+            test_e2e_io_deadline_reaps_stalled_peer;
+          Alcotest.test_case "watchdog kills a silent worker" `Slow
+            test_e2e_watchdog_kills_silent_worker;
+          Alcotest.test_case "cache eviction under memory pressure" `Quick
+            test_e2e_cache_eviction_under_pressure;
+          Alcotest.test_case "drain edges: idle exit, full-queue submit" `Quick
+            test_e2e_drain_edges;
+          Alcotest.test_case "chaos run is bit-identical to fault-free" `Slow
+            test_e2e_chaos_bit_identical ] ) ]
