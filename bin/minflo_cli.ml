@@ -14,7 +14,8 @@ let exit_code_of_error (e : Diag.error) =
   match e with
   | Diag.Parse_error _ | Diag.Lint_error _ | Diag.Unknown_circuit _
   | Diag.Io_error _ | Diag.Checkpoint_invalid _ | Diag.Journal_locked _ -> 2
-  | Diag.Unmet_target _ | Diag.Unsafe_timing _ | Diag.Infeasible_budget _
+  | Diag.Unmet_target _ | Diag.Infeasible_target _ | Diag.Unsafe_timing _
+  | Diag.Infeasible_budget _
   | Diag.Budget_exhausted _ | Diag.Oscillation _ | Diag.Job_timeout _
   | Diag.Overloaded _ | Diag.Draining | Diag.Connect_refused _
   | Diag.Net_timeout _ -> 1
@@ -226,8 +227,17 @@ let size_cmd =
   let dump =
     Arg.(value & flag & info [ "dump-sizes" ] ~doc:"Print every size variable.")
   in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a proof-carrying run trace (newline-delimited JSON) \
+                   to $(docv): the TILOS seed, every accepted D/W iteration \
+                   with its sizes, delay budgets and min-cost-flow \
+                   certificate, and the final result. Verify it later with \
+                   $(b,minflo audit-run).")
+  in
   let run name granularity factor tool dump solver do_check max_seconds
-      max_iterations max_pivots fault_sites warm_start =
+      max_iterations max_pivots fault_sites warm_start trace_out =
     let nl = circuit name in
     let model = build_model granularity nl in
     let d0 = Sweep.dmin model in
@@ -235,6 +245,12 @@ let size_cmd =
     let target = factor *. d0 in
     Fmt.pr "circuit %s: %d sized vertices, Dmin %.4g, target %.4g@."
       (Netlist.name nl) (Delay_model.num_vertices model) d0 target;
+    (* interval bound analysis: a target below the static delay floor is
+       rejected here, with a witness path, before any solver runs *)
+    let bounds = Bounds.compute model in
+    (match Bounds.infeasible_target_error model bounds ~target with
+    | Some e -> Diag.fail e
+    | None -> ());
     let checks = if do_check then Some (Invariants.create ()) else None in
     let sizes, area, cp, met =
       match tool with
@@ -251,9 +267,29 @@ let size_cmd =
         in
         let fault = make_fault_plan fault_sites in
         let log = Diag.create_log () in
-        let r =
-          Minflotransit.optimize ~options ?fault ~log ?checks model ~target
+        (* steps arrive during the run but the trace file wants them after
+           the tilos record (only available at the end), so buffer *)
+        let steps = ref [] in
+        let on_step =
+          match trace_out with
+          | Some _ -> Some (fun s -> steps := s :: !steps)
+          | None -> None
         in
+        let r =
+          Minflotransit.optimize ~options ?fault ~log ?checks ?on_step model
+            ~target
+        in
+        (match trace_out with
+        | Some path ->
+          let oc = open_out path in
+          let w = Trace.create oc model ~circuit:(Netlist.name nl) ~target in
+          Trace.record_tilos w r.tilos;
+          List.iter (Trace.record_step w) (List.rev !steps);
+          Trace.record_result w r;
+          close_out oc;
+          Fmt.pr "trace: %d step records written to %s@."
+            (List.length !steps) path
+        | None -> ());
         List.iter
           (fun ev -> Fmt.epr "%s@." (Diag.event_to_string ev))
           (Diag.events_above log Diag.Warning);
@@ -288,7 +324,7 @@ let size_cmd =
     (Cmd.info "size" ~doc:"Size a circuit for a delay target.")
     Term.(const run $ circuit_arg $ model_arg $ factor_arg $ tool $ dump
           $ solver_arg $ check_arg $ max_seconds_arg $ max_iterations_arg
-          $ max_pivots_arg $ fault_arg $ warm_start_arg)
+          $ max_pivots_arg $ fault_arg $ warm_start_arg $ trace_arg)
 
 (* ---------- sweep ---------- *)
 
@@ -774,13 +810,40 @@ let lint_cmd =
              ~doc:"Enable the MF007 pass: warn when a signal fans out to \
                    more than $(docv) gate pins.")
   in
-  let run circuits format out strict fail_on max_fanout =
+  let bounds_factor =
+    Arg.(value & opt (some float) None
+         & info [ "bounds-factor" ] ~docv:"F"
+             ~doc:"Enable the interval-bound passes (MF201 statically \
+                   infeasible target, MF202 pinned gates, MF203 \
+                   slack-irrelevant gates): elaborate each clean circuit at \
+                   gate granularity and analyze the achievable-delay \
+                   intervals against a target of $(docv) times its \
+                   minimum-size critical path.")
+  in
+  let run circuits format out strict fail_on max_fanout bounds_factor =
     let config = { Lint.default_config with fanout_bound = max_fanout } in
     let findings =
       List.concat_map
         (fun spec ->
           match Job.load_raw spec with
-          | Ok raw -> Lint.check ~config raw
+          | Ok raw ->
+            let structural = Lint.check ~config raw in
+            let bounds =
+              (* the bound analysis needs an elaborated timing model, which
+                 only exists for structurally clean netlists *)
+              match bounds_factor with
+              | Some f
+                when not
+                       (Lint_finding.exceeds ~fail_on:Lint_rule.Error
+                          structural) -> (
+                match load_circuit spec with
+                | Ok nl ->
+                  let model = build_model `Gate nl in
+                  Bounds.check model ~target:(f *. Sweep.dmin model)
+                | Error _ -> [])
+              | _ -> []
+            in
+            structural @ bounds
           | Error (Diag.Parse_error { file; line; col; msg }) ->
             (* unparseable input is itself a finding, so a SARIF report (and
                the exit code) still covers the file *)
@@ -810,9 +873,15 @@ let lint_cmd =
        ~doc:"Static analysis of netlists: combinational cycles (with their \
              member gates), multi-driven and undriven nets, dangling \
              inputs, dead logic, duplicate declarations, gate arity, \
-             fanout bounds and technology coverage. Rules MF000-MF010; \
-             exit 2 at or above the --fail-on severity.")
-    Term.(const run $ circuits $ format $ out $ strict $ fail_on $ max_fanout)
+             fanout bounds and technology coverage (rules MF000-MF010), \
+             plus technology-model monotonicity (MF204) and — with \
+             $(b,--bounds-factor) — the interval-bound passes: statically \
+             infeasible delay targets with a witness critical path (MF201), \
+             gates the target pins at their best case (MF202) and gates \
+             whose worst case still meets it (MF203). Exit 2 at or above \
+             the --fail-on severity.")
+    Term.(const run $ circuits $ format $ out $ strict $ fail_on $ max_fanout
+          $ bounds_factor)
 
 (* ---------- audit-cert ---------- *)
 
@@ -912,6 +981,63 @@ let audit_cert_cmd =
              exits 3.")
     Term.(const run $ circuit_arg $ model_arg $ factor_arg $ solvers_arg
           $ audit_fault_arg)
+
+(* ---------- audit-run ---------- *)
+
+let audit_run_cmd =
+  let trace_pos =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"TRACE"
+             ~doc:"Trace file written by $(b,minflo size --trace).")
+  in
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("sarif", `Sarif) ]) `Text
+         & info [ "format" ]
+             ~doc:"Report format: $(b,text) (default) or $(b,sarif).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the report to $(docv) instead of stdout.")
+  in
+  let run name granularity factor trace_path format out =
+    let nl = circuit name in
+    let model = build_model granularity nl in
+    let target = factor *. Sweep.dmin model in
+    if not (Sys.file_exists trace_path) then
+      Diag.fail (Diag.Io_error { file = trace_path; msg = "no such file" });
+    let findings = Trace.audit_file model ~target trace_path in
+    if findings = [] then
+      Fmt.pr "trace OK: %s @@ factor %.2f verified against %s@." trace_path
+        factor (Netlist.name nl)
+    else begin
+      let text =
+        match format with
+        | `Text -> Lint_report.render findings
+        | `Sarif -> Sarif.render findings
+      in
+      match out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+      | None -> print_string text
+    end;
+    let code = Lint_report.exit_code ~fail_on:Lint_rule.Error findings in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "audit-run"
+       ~doc:"Independently verify a proof-carrying engine trace (from \
+             $(b,minflo size --trace)): recompute every claimed area and \
+             delay from the recorded sizes, check the W-phase delay \
+             budgets, demand monotone area progress, rebuild every D-phase \
+             displacement LP from scratch and re-audit its min-cost-flow \
+             certificate (rules MF210-MF215 plus MF101-MF105). Any \
+             tampered field — one arc cost, one flow value, one claimed \
+             area — is detected; findings exit 2.")
+    Term.(const run $ circuit_arg $ model_arg $ factor_arg $ trace_pos
+          $ format $ out)
 
 (* ---------- fuzz ---------- *)
 
@@ -1608,7 +1734,7 @@ let main_cmd =
   Cmd.group (Cmd.info "minflo" ~version:"1.0.0" ~doc)
     [ gen_cmd; stats_cmd; sta_cmd; size_cmd; sweep_cmd; batch_cmd; bench_cmd;
       verify_cmd; convert_cmd; strash_cmd; power_cmd; lint_cmd; audit_cert_cmd;
-      fuzz_cmd; replay_cmd; serve_cmd; client_cmd; loadgen_cmd;
+      audit_run_cmd; fuzz_cmd; replay_cmd; serve_cmd; client_cmd; loadgen_cmd;
       chaosproxy_cmd ]
 
 let () =

@@ -23,8 +23,9 @@
       {!Bellman_ford} — the network-flow substrate ([minflo_flow]);
     - {!Tilos}, {!Wphase}, {!Dphase}, {!Sensitivity}, {!Minflotransit},
       {!Sweep} — the sizing engines ([minflo_sizing]);
-    - {!Lint}, {!Audit}, {!Sarif}, {!Lint_report} — the static analyzer and
-      flow-certificate auditor ([minflo_lint]);
+    - {!Lint}, {!Bounds}, {!Audit}, {!Trace}, {!Sarif}, {!Lint_report} —
+      the static analyzer, interval bound analysis, flow-certificate
+      auditor and proof-carrying trace auditor ([minflo_lint]);
     - {!Job}, {!Checkpoint}, {!Journal}, {!Supervisor}, {!Differential},
       {!Batch} — the crash-safe batch runner ([minflo_runner]);
     - {!Serve}, {!Serve_protocol}, {!Serve_transport}, {!Serve_client},
@@ -123,11 +124,14 @@ module Optimality = Minflo_sizing.Optimality
 module Minflotransit = Minflo_sizing.Minflotransit
 module Sweep = Minflo_sizing.Sweep
 
-(* static analysis: netlist linter and flow-certificate auditor *)
+(* static analysis: netlist linter, interval bound analysis,
+   flow-certificate auditor and proof-carrying trace auditor *)
 module Lint_rule = Minflo_lint.Rule
 module Lint_finding = Minflo_lint.Finding
 module Lint = Minflo_lint.Lint
+module Bounds = Minflo_lint.Bounds
 module Audit = Minflo_lint.Audit
+module Trace = Minflo_lint.Trace
 module Sarif = Minflo_lint.Sarif
 module Lint_report = Minflo_lint.Report
 

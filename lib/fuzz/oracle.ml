@@ -371,6 +371,72 @@ let warm_cold_stage sink cfg model ~target (tilos : Minflo_sizing.Tilos.result) 
                [ ("cold", cold); ("warm", warm) ]
            end))
 
+(* Static-vs-solver feasibility oracle. The interval-bound analysis
+   (MF201) claims a target below the static delay floor is unmeetable by
+   ANY sizing in the box — so a solver leg reporting met=true on such a
+   target means either the bounds are unsound or the solver lies about
+   feasibility; both are findings. In the other direction, every leg's
+   final critical path must land inside [cp_lo, cp_hi] (its sizes are in
+   the box, and the bounds claim to contain every in-box sizing), and the
+   infeasibility witness must be a real path that achieves the floor. *)
+let bounds_stage sink model ~target legs =
+  ignore
+    (guard sink ~phase:"bounds" (fun () ->
+         let module Bounds = Minflo_lint.Bounds in
+         let b = Bounds.compute model in
+         List.iter
+           (fun { leg_solver; leg_result } ->
+             let cp = leg_result.Minflotransit.cp in
+             if
+               cp < b.Bounds.cp_lo *. (1. -. 1e-9)
+               || cp > b.Bounds.cp_hi *. (1. +. 1e-9)
+             then
+               flag sink
+                 (Fingerprint.make ~phase:"bounds"
+                    ~code:"solver-feasibility-mismatch"
+                    ~detail:(Job.solver_name leg_solver ^ "-containment") ())
+                 "[%s] final cp %.17g escapes the static interval [%.17g, \
+                  %.17g]"
+                 (Job.solver_name leg_solver) cp b.Bounds.cp_lo b.Bounds.cp_hi)
+           legs;
+         if Bounds.infeasible b ~target then begin
+           List.iter
+             (fun { leg_solver; leg_result } ->
+               if leg_result.Minflotransit.met then
+                 flag sink
+                   (Fingerprint.make ~phase:"bounds"
+                      ~code:"solver-feasibility-mismatch"
+                      ~detail:(Job.solver_name leg_solver) ())
+                   "[%s] claims to meet target %.17g below the static floor \
+                    %.17g"
+                   (Job.solver_name leg_solver) target b.Bounds.cp_lo)
+             legs;
+           let path = Bounds.witness_path model b in
+           let g = model.Delay_model.graph in
+           let rec edges_ok = function
+             | i :: (j :: _ as rest) ->
+               List.mem j (Minflo_graph.Digraph.succ g i) && edges_ok rest
+             | _ -> true
+           in
+           let plen =
+             List.fold_left
+               (fun acc i -> acc +. b.Bounds.d_lo.(i))
+               0.0 path
+           in
+           if not (edges_ok path) then
+             flag sink
+               (Fingerprint.make ~phase:"bounds" ~code:"witness-invalid" ())
+               "MF201 witness is not a path of the timing graph"
+           else if
+             abs_float (plen -. b.Bounds.cp_lo)
+             > 1e-9 *. Float.max 1.0 b.Bounds.cp_lo
+           then
+             flag sink
+               (Fingerprint.make ~phase:"bounds" ~code:"witness-invalid" ())
+               "MF201 witness path sums to %.17g, not the claimed floor %.17g"
+               plen b.Bounds.cp_lo
+         end))
+
 let fired_stage sink fault =
   match fault with
   | None -> ()
@@ -416,7 +482,10 @@ let run cfg nl =
         | Some s -> is_engine_site s
         | None -> false
       in
-      if not engine_faulted then engine_differential sink cfg legs;
+      if not engine_faulted then begin
+        engine_differential sink cfg legs;
+        bounds_stage sink model ~target legs
+      end;
       (if cfg.differential then
          match legs with
          | { leg_result; _ } :: _ when leg_result.Minflotransit.tilos.met ->

@@ -24,3 +24,8 @@ val check : Minflo_flow.Mcf.problem -> Minflo_flow.Mcf.solution -> Finding.t lis
 (** Empty list: the certificate is valid. Findings are capped at 32 per rule
     (a corrupted certificate can violate thousands of constraints); a
     closing finding under the same rule reports how many were truncated. *)
+
+val capped : Rule.t -> (string * string list) list -> Finding.t list
+(** [(message, related)] pairs as findings under one rule, truncated at 32
+    with a closing count — shared by the bound analyzer and trace auditor,
+    whose per-gate / per-arc findings have the same flooding problem. *)

@@ -304,7 +304,9 @@ let check ?(config = default_config) raw =
     | None -> acc
   in
   let acc =
-    match config.tech with Some t -> check_tech v t acc | None -> acc
+    match config.tech with
+    | Some t -> Bounds.check_tech t @ check_tech v t acc
+    | None -> acc
   in
   List.sort Finding.compare acc
 

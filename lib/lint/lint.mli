@@ -17,7 +17,14 @@
     - MF007 fanout bound (opt-in via {!config})
     - MF008 technology coverage (gate arity vs. {!Minflo_tech.Tech.t}
       [max_stack])
-    - MF009 empty interface, MF010 gate arity *)
+    - MF009 empty interface, MF010 gate arity
+    - MF204 technology-model monotonicity ({!Bounds.check_tech}, run
+      whenever a technology is configured)
+
+    The target-dependent interval-bound rules (MF201–MF203) need a delay
+    target and an elaborated model, so they live in {!Bounds.check} and are
+    wired in by the CLI, the server admission gate and the batch
+    preflight rather than here. *)
 
 type config = {
   fanout_bound : int option;

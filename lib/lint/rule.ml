@@ -124,11 +124,87 @@ let mf105_not_optimal =
     summary = "The solver did not report Optimal; the certificate checks are \
                vacuous." }
 
+let mf201_infeasible_target =
+  { id = "MF201";
+    severity = Error;
+    name = "infeasible-target";
+    summary = "The delay target is below the interval-bound lower bound on \
+               the circuit delay; no sizing can meet it." }
+
+let mf202_pinned_gate =
+  { id = "MF202";
+    severity = Info;
+    name = "pinned-gate";
+    summary = "Every feasible sizing holds this gate at (or within tolerance \
+               of) its best-case configuration: the target leaves it no \
+               sizing freedom." }
+
+let mf203_slack_irrelevant =
+  { id = "MF203";
+    severity = Info;
+    name = "slack-irrelevant-gate";
+    summary = "Every path through this gate meets the target even at the \
+               worst-case sizing; it can be frozen at minimum size." }
+
+let mf204_tech_non_monotone =
+  { id = "MF204";
+    severity = Warning;
+    name = "tech-non-monotone";
+    summary = "A gate-model entry is non-positive or decreases as the arity \
+               grows; the monotonicity the bound analysis (and TILOS) relies \
+               on does not hold." }
+
+let mf210_trace_malformed =
+  { id = "MF210";
+    severity = Error;
+    name = "trace-malformed";
+    summary = "An engine trace record is missing, truncated, out of order, \
+               or not valid JSON." }
+
+let mf211_trace_claim =
+  { id = "MF211";
+    severity = Error;
+    name = "trace-claim-mismatch";
+    summary = "A claimed area, delay or objective in the trace differs from \
+               its independent recomputation from the recorded sizes." }
+
+let mf212_trace_budget =
+  { id = "MF212";
+    severity = Error;
+    name = "trace-budget-violation";
+    summary = "The recorded W-phase sizes do not meet the recorded D-phase \
+               delay budgets within tolerance." }
+
+let mf213_trace_progress =
+  { id = "MF213";
+    severity = Error;
+    name = "trace-nonmonotone-progress";
+    summary = "The engine claims monotone area descent but a recorded \
+               iteration does not improve on its predecessor." }
+
+let mf214_trace_final =
+  { id = "MF214";
+    severity = Error;
+    name = "trace-infeasible-final";
+    summary = "The final sizing fails an independent STA against the target, \
+               is out of bounds, or contradicts the recorded run." }
+
+let mf215_trace_lp =
+  { id = "MF215";
+    severity = Error;
+    name = "trace-lp-mismatch";
+    summary = "A recorded displacement LP differs from the one independently \
+               rebuilt from the circuit at the recorded sizes (tampered \
+               costs, arcs or supplies)." }
+
 let all =
   [ mf000_syntax; mf001_cycle; mf002_multi_driven; mf003_undriven;
     mf004_dangling_input; mf005_dead_gate; mf006_duplicate_decl;
     mf007_fanout_bound; mf008_tech_coverage; mf009_empty_interface;
     mf010_bad_arity; mf101_flow_bounds; mf102_conservation; mf103_slackness;
-    mf104_objective; mf105_not_optimal ]
+    mf104_objective; mf105_not_optimal; mf201_infeasible_target;
+    mf202_pinned_gate; mf203_slack_irrelevant; mf204_tech_non_monotone;
+    mf210_trace_malformed; mf211_trace_claim; mf212_trace_budget;
+    mf213_trace_progress; mf214_trace_final; mf215_trace_lp ]
 
 let find id = List.find_opt (fun r -> r.id = id) all

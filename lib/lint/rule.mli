@@ -6,7 +6,8 @@
     rule table — so renumbering is a breaking change.
 
     MF0xx rules are netlist structure; MF1xx rules are flow-certificate
-    audits. *)
+    audits; MF20x rules are interval-bound analysis ({!Bounds}); MF21x
+    rules are engine-trace audits ({!Trace}). *)
 
 type severity = Error | Warning | Info
 
@@ -45,6 +46,18 @@ val mf102_conservation : t
 val mf103_slackness : t
 val mf104_objective : t
 val mf105_not_optimal : t
+
+val mf201_infeasible_target : t
+val mf202_pinned_gate : t
+val mf203_slack_irrelevant : t
+val mf204_tech_non_monotone : t
+
+val mf210_trace_malformed : t
+val mf211_trace_claim : t
+val mf212_trace_budget : t
+val mf213_trace_progress : t
+val mf214_trace_final : t
+val mf215_trace_lp : t
 
 val all : t list
 (** The full catalog, in id order. *)

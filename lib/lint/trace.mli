@@ -1,0 +1,67 @@
+(** Proof-carrying engine traces and their independent auditor (MF21x).
+
+    A trace is newline-delimited JSON describing one MINFLOTRANSIT run:
+
+    - a [header] record (schema version, circuit name, vertex count,
+      delay target, size box);
+    - a [tilos] record with the seed sizing and its claimed area/delay;
+    - one [step] record per {e accepted} D/W iteration — the accepted
+      sizes, the claimed area and critical path, the D-phase delay budgets
+      the W-phase reports meeting, and (for the exact solvers) the full
+      min-cost-flow certificate: the displacement LP's nodes, arcs and
+      supplies plus the flow, potentials and objective the engine acted on;
+    - a closing [final] record mirroring the run's result.
+
+    The auditor replays the whole file against nothing but the circuit
+    model: every claim is recomputed from the recorded sizes, every LP is
+    rebuilt from scratch at the preceding sizing via
+    {!Minflo_sizing.Dphase.displacement_problem}, and every flow
+    certificate goes through the first-principles {!Audit.check}. A single
+    tampered field — one arc cost, one flow value, one claimed area —
+    surfaces as a typed finding: MF210 structural damage, MF211 claim
+    mismatches, MF212 budget violations, MF213 non-monotone progress,
+    MF214 final-record infeasibility, MF215 LP-rebuild mismatches, and
+    MF101–MF105 for invalid flow certificates.
+
+    Capacities equal to {!Minflo_flow.Mcf.infinite_capacity} are encoded
+    as [-1] on the wire: the sentinel survives the float round trip that
+    [max_int / 8] would not. *)
+
+val version : int
+(** Current schema version, written into (and demanded of) the header. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val create :
+  out_channel ->
+  Minflo_tech.Delay_model.t ->
+  circuit:string ->
+  target:float ->
+  writer
+(** Emits the header immediately. Records are flushed as written, so an
+    interrupted run leaves a valid (truncated) prefix that the auditor
+    reports as MF210 rather than garbage. *)
+
+val record_tilos : writer -> Minflo_sizing.Tilos.result -> unit
+
+val record_step : writer -> Minflo_sizing.Minflotransit.step -> unit
+(** Pass as the engine's [?on_step] hook (partially applied). *)
+
+val record_result : writer -> Minflo_sizing.Minflotransit.result -> unit
+
+(** {1 Auditing} *)
+
+val audit : Minflo_tech.Delay_model.t -> target:float -> string -> Finding.t list
+(** [audit model ~target content] replays a complete trace (the raw file
+    content) and returns every discrepancy. An empty list means the trace
+    is machine-checked: the run really did produce a monotone sequence of
+    feasible sizings with valid flow certificates, ending in a sizing that
+    independently meets (or honestly misses) the target. [target] is the
+    deadline the auditor expects; a header targeting anything else is
+    rejected as MF210 — auditing someone else's trace proves nothing. *)
+
+val audit_file :
+  Minflo_tech.Delay_model.t -> target:float -> string -> Finding.t list
+(** {!audit} on a file path. *)

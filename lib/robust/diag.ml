@@ -27,6 +27,11 @@ type error =
   | Budget_exhausted of { resource : string; spent : float; limit : float }
   | Oscillation of { area : float; repeats : int }
   | Unmet_target of { target : float; achieved : float }
+  | Infeasible_target of {
+      target : float;
+      lower_bound : float;
+      witness : string list;
+    }
   | Invariant of { what : string; detail : string }
   | Fault_injected of { site : string }
   | Checkpoint_invalid of { file : string; reason : string }
@@ -64,6 +69,7 @@ let error_code = function
   | Budget_exhausted _ -> "budget-exhausted"
   | Oscillation _ -> "oscillation"
   | Unmet_target _ -> "unmet-target"
+  | Infeasible_target _ -> "infeasible-target"
   | Invariant _ -> "invariant"
   | Fault_injected _ -> "fault-injected"
   | Checkpoint_invalid _ -> "checkpoint-invalid"
@@ -114,6 +120,12 @@ let to_string = function
   | Unmet_target { target; achieved } ->
     Printf.sprintf "delay target %.4g not met: best achievable %.4g" target
       achieved
+  | Infeasible_target { target; lower_bound; witness } ->
+    Printf.sprintf
+      "delay target %.4g is statically infeasible: below the interval-bound \
+       lower bound %.4g (witness path: %s)"
+      target lower_bound
+      (if witness = [] then "-" else String.concat " -> " witness)
   | Invariant { what; detail } ->
     Printf.sprintf "invariant %S violated: %s" what detail
   | Fault_injected { site } -> Printf.sprintf "injected fault at %s" site
@@ -223,6 +235,12 @@ let to_json e =
     obj [ code; ("area", jfloat area); ("repeats", string_of_int repeats) ]
   | Unmet_target { target; achieved } ->
     obj [ code; ("target", jfloat target); ("achieved", jfloat achieved) ]
+  | Infeasible_target { target; lower_bound; witness } ->
+    obj
+      [ code; ("target", jfloat target); ("lower_bound", jfloat lower_bound);
+        ( "witness",
+          Printf.sprintf "[%s]" (String.concat ", " (List.map jstr witness)) )
+      ]
   | Invariant { what; detail } ->
     obj [ code; ("what", jstr what); ("detail", jstr detail) ]
   | Fault_injected { site } -> obj [ code; ("site", jstr site) ]

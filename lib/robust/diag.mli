@@ -51,6 +51,16 @@ type error =
       (** The D/W iteration cycled through the same area [repeats] times. *)
   | Unmet_target of { target : float; achieved : float }
       (** Optimization finished but the delay target was not reached. *)
+  | Infeasible_target of {
+      target : float;
+      lower_bound : float;
+      witness : string list;
+    }
+      (** The target is below the interval-bound lower bound on the circuit
+          delay ({!Minflo_lint.Bounds}): provably unreachable by any sizing,
+          detected before any solve. [witness] is the statically-critical
+          path (vertex labels) whose best-case delay already exceeds the
+          target. *)
   | Invariant of { what : string; detail : string }
       (** A post-phase invariant check failed (see {!Check}). *)
   | Fault_injected of { site : string }

@@ -309,6 +309,52 @@ let run ?(config = default_config) jobs =
         Hashtbl.replace outcome_by_id id
           { Supervisor.verdict = Error e; attempts = 0; quarantined = true })
       gated;
+    (* interval-bound gate: a delay target below the circuit's static
+       floor (MF201) fails identically under every solver, so those jobs
+       are quarantined with a witness path instead of burning attempts.
+       One model build per distinct circuit; one float compare per job.
+       The model/dmin recipe must mirror [run_job]'s exactly, or the gate
+       would judge a different target than the job would run. *)
+    let bounds_by_spec = Hashtbl.create 8 in
+    let bounds_error (j : Job.t) =
+      if not config.preflight then None
+      else begin
+        let per_circuit =
+          match Hashtbl.find_opt bounds_by_spec j.Job.circuit with
+          | Some v -> v
+          | None ->
+            let v =
+              match Job.load_circuit j.Job.circuit with
+              | Error _ -> None (* already quarantined by the lint gate *)
+              | Ok nl ->
+                let model =
+                  Minflo_tech.Model_cache.model ~tech:Tech.default_130nm nl
+                in
+                Some (model, Sweep.dmin model, Minflo_lint.Bounds.compute model)
+            in
+            Hashtbl.replace bounds_by_spec j.Job.circuit v;
+            v
+        in
+        match per_circuit with
+        | None -> None
+        | Some (model, dmin, b) ->
+          Minflo_lint.Bounds.infeasible_target_error model b
+            ~target:(j.Job.factor *. dmin)
+      end
+    in
+    let gated_bounds, to_run =
+      List.partition (fun j -> bounds_error j <> None) to_run
+    in
+    List.iter
+      (fun j ->
+        let e = Option.get (bounds_error j) in
+        let id = Job.id j in
+        (match journal with
+        | Some jr -> Journal.event jr ~job:id ~error:e "job-bounds-quarantined"
+        | None -> ());
+        Hashtbl.replace outcome_by_id id
+          { Supervisor.verdict = Error e; attempts = 0; quarantined = true })
+      gated_bounds;
     let on_done id (o : Job.outcome Supervisor.outcome) =
       match (o.Supervisor.verdict, journal) with
       | Ok oc, Some jr ->

@@ -1,261 +1,4 @@
-type t =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of t list
-  | Obj of (string * t) list
-  | Raw of string
-
-(* ---------- printing ---------- *)
-
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-(* shortest representation that round-trips: the daemon's bit-identical
-   recovery guarantee rides on numbers surviving
-   print -> parse -> print unchanged *)
-let num_to_string v =
-  if Float.is_integer v && Float.abs v < 1e15 then
-    Printf.sprintf "%.0f" v
-  else if Float.is_finite v then begin
-    let s = Printf.sprintf "%.15g" v in
-    if float_of_string s = v then s else Printf.sprintf "%.17g" v
-  end
-  else "null" (* nan/inf are not JSON; the protocol never produces them *)
-
-let rec write buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Num v -> Buffer.add_string buf (num_to_string v)
-  | Str s ->
-    Buffer.add_char buf '"';
-    Buffer.add_string buf (escape s);
-    Buffer.add_char buf '"'
-  | List items ->
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i item ->
-        if i > 0 then Buffer.add_char buf ',';
-        write buf item)
-      items;
-    Buffer.add_char buf ']'
-  | Obj fields ->
-    Buffer.add_char buf '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char buf ',';
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (escape k);
-        Buffer.add_string buf "\":";
-        write buf v)
-      fields;
-    Buffer.add_char buf '}'
-  | Raw s -> Buffer.add_string buf s
-
-let to_string v =
-  let buf = Buffer.create 256 in
-  write buf v;
-  Buffer.contents buf
-
-(* ---------- parsing ---------- *)
-
-exception Bad of string
-
-let parse (s : string) : (t, string) result =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some x when x = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word v =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      v
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string"
-      else
-        match s.[!pos] with
-        | '"' -> advance ()
-        | '\\' ->
-          advance ();
-          (if !pos >= n then fail "unterminated escape"
-           else
-             match s.[!pos] with
-             | '"' -> Buffer.add_char buf '"'
-             | '\\' -> Buffer.add_char buf '\\'
-             | '/' -> Buffer.add_char buf '/'
-             | 'n' -> Buffer.add_char buf '\n'
-             | 't' -> Buffer.add_char buf '\t'
-             | 'r' -> Buffer.add_char buf '\r'
-             | 'b' -> Buffer.add_char buf '\b'
-             | 'f' -> Buffer.add_char buf '\012'
-             | 'u' ->
-               if !pos + 4 >= n then fail "truncated \\u escape"
-               else begin
-                 let hex = String.sub s (!pos + 1) 4 in
-                 (match int_of_string_opt ("0x" ^ hex) with
-                 | None -> fail "bad \\u escape"
-                 | Some code when code < 0x80 ->
-                   Buffer.add_char buf (Char.chr code)
-                 | Some code ->
-                   (* re-encode the BMP code point as UTF-8; enough for a
-                      line protocol whose strings are circuit names *)
-                   if code < 0x800 then begin
-                     Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
-                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
-                   end
-                   else begin
-                     Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
-                     Buffer.add_char buf
-                       (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
-                     Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
-                   end);
-                 pos := !pos + 4
-               end
-             | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
-          advance ();
-          go ()
-        | c ->
-          Buffer.add_char buf c;
-          advance ();
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let numchar c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c -> numchar c | None -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub s start (!pos - start)) with
-    | Some v -> Num v
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        List []
-      end
-      else begin
-        let items = ref [ parse_value () ] in
-        let rec more () =
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            items := parse_value () :: !items;
-            more ()
-          | Some ']' -> advance ()
-          | _ -> fail "expected ',' or ']'"
-        in
-        more ();
-        List (List.rev !items)
-      end
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let field () =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          (k, parse_value ())
-        in
-        let fields = ref [ field () ] in
-        let rec more () =
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            fields := field () :: !fields;
-            more ()
-          | Some '}' -> advance ()
-          | _ -> fail "expected ',' or '}'"
-        in
-        more ();
-        Obj (List.rev !fields)
-      end
-    | Some _ -> parse_number ()
-  in
-  match
-    let v = parse_value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-  with
-  | v -> Ok v
-  | exception Bad msg -> Error msg
-
-(* ---------- accessors ---------- *)
-
-let member key = function
-  | Obj fields -> List.assoc_opt key fields
-  | _ -> None
-
-let to_str = function Str s -> Some s | _ -> None
-let to_num = function Num v -> Some v | _ -> None
-let to_bool = function Bool b -> Some b | _ -> None
-
-let to_int = function
-  | Num v when Float.is_integer v && Float.abs v < 1e15 ->
-    Some (int_of_float v)
-  | _ -> None
-
-let str_field key j = Option.bind (member key j) to_str
-let num_field key j = Option.bind (member key j) to_num
-let int_field key j = Option.bind (member key j) to_int
-let bool_field key j = Option.bind (member key j) to_bool
+(* The serve protocol's JSON dialect now lives in [Minflo_util.Json] so the
+   trace auditor ([Minflo_lint.Trace]) can parse the same format without a
+   dependency cycle; this module re-exports it under its historical name. *)
+include Minflo_util.Json

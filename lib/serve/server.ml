@@ -231,7 +231,8 @@ let recover_table journal_path =
               Hashtbl.replace results key fields
             | None -> ())
           | None -> ())
-        | "job-failed" | "job-quarantined" | "job-lint-quarantined" -> (
+        | "job-failed" | "job-quarantined" | "job-lint-quarantined"
+        | "job-infeasible-quarantined" -> (
           match Hashtbl.find_opt table key with
           | Some e ->
             let code =
@@ -640,6 +641,36 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
             | Some f -> Some (Minflo_lint.Finding.to_diag f)
             | None -> None)
       in
+      (* MF201 admission gate: the interval-bound delay floor of a circuit
+         is a static property, so a factor below it is rejected here with a
+         typed error and a witness path — no worker, no solver. Memoized
+         per circuit spec; the factor check itself is a float compare. *)
+      let bounds_cache = Hashtbl.create 7 in
+      let bounds_error (s : Protocol.submit) =
+        if not cfg.preflight then None
+        else
+          match
+            match Hashtbl.find_opt bounds_cache s.Protocol.circuit with
+            | Some v -> v
+            | None ->
+              let v =
+                match Job.load_circuit s.Protocol.circuit with
+                | Error _ -> None (* load errors surface below, unchanged *)
+                | Ok nl ->
+                  let model = Minflo_tech.Model_cache.model nl in
+                  Some
+                    ( model,
+                      Minflo_sizing.Sweep.dmin model,
+                      Minflo_lint.Bounds.compute model )
+              in
+              Hashtbl.replace bounds_cache s.Protocol.circuit v;
+              v
+          with
+          | None -> None
+          | Some (model, dmin, bounds) ->
+            Minflo_lint.Bounds.infeasible_target_error model bounds
+              ~target:(s.Protocol.factor *. dmin)
+      in
       let journal_accepted key (s : Protocol.submit) =
         Journal.event jr ~job:key
           ~fields:
@@ -711,7 +742,29 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
             in
             Hashtbl.replace table key entry;
             Protocol.error_response ~fields:[ ("id", Json.Str key) ] e
-          | None -> (
+          | None ->
+            match bounds_error s with
+            | Some e ->
+              (* statically infeasible target: same accepted-and-recorded
+                 terminal shape as a lint quarantine, so status queries and
+                 restarts behave identically *)
+              Perf.tick_rejection ();
+              journal_accepted key s;
+              Journal.event jr ~job:key ~error:e "job-infeasible-quarantined";
+              let entry =
+                { key;
+                  spec = s;
+                  state =
+                    Failed
+                      { f_code = Diag.error_code e;
+                        f_message = Diag.to_string e;
+                        f_raw = Diag.to_json e;
+                        f_quarantined = true };
+                  cancelling = false }
+              in
+              Hashtbl.replace table key entry;
+              Protocol.error_response ~fields:[ ("id", Json.Str key) ] e
+            | None -> (
             match Job.load_circuit s.circuit with
             | Error e ->
               Perf.tick_rejection ();

@@ -38,6 +38,8 @@ type outcome = {
   lp_objective : int;
 }
 
+type certificate = { problem : Mcf.problem; solution : Mcf.solution }
+
 (* the displacement LP plus the variable maps needed to read a solution
    back out of its duals *)
 type lp_build = {
@@ -104,8 +106,8 @@ let displacement_problem ?options model ~sizes ~delays ~deadline =
     (fun b -> Diff_lp.to_problem b.lp)
     (build_lp ?options model ~sizes ~delays ~deadline)
 
-let solve ?(options = default_options) ?budget ?warm ?fault ?checks model
-    ~sizes ~delays ~deadline =
+let solve ?(options = default_options) ?budget ?warm ?fault ?checks
+    ?certificate model ~sizes ~delays ~deadline =
   match build_lp ~options model ~sizes ~delays ~deadline with
   | Error e -> Error e
   | Ok { lp; r; rdmy; weights } ->
@@ -127,11 +129,24 @@ let solve ?(options = default_options) ?budget ?warm ?fault ?checks model
           sol.potential.(rdmy.(0)) <-
             sol.potential.(rdmy.(0)) + max 1 (int_of_float (mag *. s))
         | _ -> ());
-        match checks with
+        (match checks with
         | Some c when sol.status = Mcf.Optimal ->
           Check.record c ("dphase.mcf-optimality." ^ sname)
             (Result.map_error Diag.to_string (Mcf.check_optimality p sol))
-        | _ -> ()
+        | _ -> ());
+        (* snapshot for the proof-carrying trace: exactly the (possibly
+           perturbed) certificate the engine is about to act on. Copied —
+           the solver owns and may reuse these arrays. *)
+        match certificate with
+        | Some cell ->
+          cell :=
+            Some
+              { problem = p;
+                solution =
+                  { sol with
+                    flow = Array.copy sol.flow;
+                    potential = Array.copy sol.potential } }
+        | None -> ()
       in
       (match
          Diff_lp.solve ~solver:options.solver ?budget ?warm

@@ -49,6 +49,15 @@ type outcome = {
           last float digits. *)
 }
 
+type certificate = {
+  problem : Minflo_flow.Mcf.problem;
+  solution : Minflo_flow.Mcf.solution;
+}
+(** The LP-duality evidence behind one D-phase step: the displacement
+    min-cost-flow problem and the solution whose potentials became the
+    displacement labels. {!Minflo_lint.Audit.check}-able as is; recorded in
+    proof-carrying traces and re-verified by [minflo audit-run]. *)
+
 val displacement_problem :
   ?options:options ->
   Minflo_tech.Delay_model.t ->
@@ -68,6 +77,7 @@ val solve :
   ?warm:Minflo_flow.Diff_lp.warm ->
   ?fault:Minflo_robust.Fault.t ->
   ?checks:Minflo_robust.Check.t ->
+  ?certificate:certificate option ref ->
   Minflo_tech.Delay_model.t ->
   sizes:float array ->
   delays:float array ->
@@ -86,4 +96,10 @@ val solve :
 
     [checks] records the ["dphase.mcf-optimality.<solver>"] and
     ["dphase.fsdu-nonnegative"] invariants instead of trusting the theory
-    silently. *)
+    silently.
+
+    [certificate], when supplied, receives a copy of the flow problem and
+    solution actually used (after canonicalization and any [Perturb]
+    fault). [`Bellman_ford] produces no certificate — the feasibility
+    repair never constructs a flow solution — so the cell is left
+    untouched on that rung. *)

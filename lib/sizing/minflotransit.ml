@@ -48,6 +48,21 @@ type iteration = {
   solver : string;
 }
 
+(* everything the proof-carrying trace records about one accepted D/W pass:
+   the claims (area, cp, budgets) plus the evidence (the flow certificate
+   whose potentials were the displacement). *)
+type step = {
+  step_iter : int;
+  step_solver : string;
+  step_eta : float;
+  step_area : float;
+  step_cp : float;
+  step_predicted : float;
+  step_sizes : float array;
+  step_budgets : float array;
+  step_certificate : Dphase.certificate option;
+}
+
 type stop_reason =
   | Stop_converged
   | Stop_max_iterations
@@ -103,7 +118,23 @@ let dphase_rungs = function
   | `Auto -> [ `Simplex; `Ssp; `Bellman_ford ]
   | (`Simplex | `Ssp | `Bellman_ford) as s -> [ s ]
 
-let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
+let emit_step on_step ~iter ~rung ~eta ~area ~cp ~predicted ~sizes ~budgets
+    ~cert =
+  match on_step with
+  | None -> ()
+  | Some f ->
+    f
+      { step_iter = iter;
+        step_solver = rung;
+        step_eta = eta;
+        step_area = area;
+        step_cp = cp;
+        step_predicted = predicted;
+        step_sizes = Array.copy sizes;
+        step_budgets = Array.copy budgets;
+        step_certificate = cert }
+
+let refine_with ?fault ?log ?checks ?on_iteration ?on_step ?resume ~budget
     ?(options = default_options) model ~target ~init ~tilos =
   let x =
     ref
@@ -153,6 +184,11 @@ let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
       | None ->
         Budget.tick_iteration budget;
         let delays = Delay_model.delays model !x in
+        let eta_used = !eta in
+        (* one cell per pass, cleared per rung: a rung that wrote a
+           certificate and then failed must not leak it into the trace of
+           the rung that actually succeeded *)
+        let cert = ref None in
         let attempt solver () =
           let dopts =
             { Dphase.default_options with
@@ -160,8 +196,10 @@ let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
               solver;
               canonical_duals = canonical }
           in
-          Dphase.solve ~options:dopts ~budget ?warm ?fault ?checks model
-            ~sizes:!x ~delays ~deadline:target
+          cert := None;
+          Dphase.solve ~options:dopts ~budget ?warm ?fault ?checks
+            ?certificate:(if on_step = None then None else Some cert)
+            model ~sizes:!x ~delays ~deadline:target
         in
         let rungs =
           List.map
@@ -229,7 +267,8 @@ let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
                          Delay_model.area model wres.sizes,
                          cp',
                          dres.objective,
-                         rung ))
+                         rung,
+                         dres.budgets ))
               end)
         in
         (match step with
@@ -245,7 +284,7 @@ let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
             dlog log Diag.Warning "iteration failed: %s" (Diag.to_string e);
             Log.warn (fun m -> m "iteration failed: %s" (Diag.to_string e));
             eta := !eta *. options.eta_shrink)
-        | Ok (Some (x', area', cp', predicted, rung))
+        | Ok (Some (x', area', cp', predicted, rung, budgets'))
           when area' < !area *. (1.0 -. options.rel_tol) ->
           incr iters;
           x := x';
@@ -260,11 +299,14 @@ let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
               predicted_gain = predicted;
               solver = rung }
             :: !trace;
+          emit_step on_step ~iter:!iters ~rung ~eta:eta_used ~area:area'
+            ~cp:cp' ~predicted ~sizes:x' ~budgets:budgets' ~cert:!cert;
           dlog log Diag.Info "iter %d: area %.1f cp %.4g eta %.3g via %s"
             !iters area' cp' !eta rung;
           Log.debug (fun m ->
               m "iter %d: area %.1f cp %.4g eta %.3g" !iters area' cp' !eta)
-        | Ok (Some (x', area', cp', _, rung)) when area' < !area ->
+        | Ok (Some (x', area', cp', predicted, rung, budgets'))
+          when area' < !area ->
           (* small improvement: take it, then tighten the trust region *)
           incr iters;
           x := x';
@@ -280,11 +322,13 @@ let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
               predicted_gain = 0.0;
               solver = rung }
             :: !trace;
+          emit_step on_step ~iter:!iters ~rung ~eta:eta_used ~area:area'
+            ~cp:cp' ~predicted ~sizes:x' ~budgets:budgets' ~cert:!cert;
           if !eta < options.eta_min then continue := false
         | Ok rejected ->
           (* no improvement at this trust region *)
           (match rejected with
-          | Some (_, area', _, _, _) ->
+          | Some (_, area', _, _, _, _) ->
             if
               Float.is_finite !osc_area
               && abs_float (area' -. !osc_area)
@@ -341,13 +385,13 @@ let refine_with ?fault ?log ?checks ?on_iteration ?resume ~budget
     budget_exhausted }
 
 let refine_from ?(options = default_options) ?fault ?log ?checks ?on_iteration
-    model ~target ~init ~tilos =
+    ?on_step model ~target ~init ~tilos =
   let budget = Budget.start options.limits in
-  refine_with ?fault ?log ?checks ?on_iteration ~budget ~options model ~target
-    ~init ~tilos
+  refine_with ?fault ?log ?checks ?on_iteration ?on_step ~budget ~options model
+    ~target ~init ~tilos
 
 let optimize ?(options = default_options) ?fault ?log ?checks ?on_iteration
-    model ~target =
+    ?on_step model ~target =
   let budget = Budget.start options.limits in
   let tilos = Tilos.size ~bump:options.tilos_bump ~budget model ~target in
   if not tilos.met then
@@ -365,8 +409,8 @@ let optimize ?(options = default_options) ?fault ?log ?checks ?on_iteration
         | None -> Stop_converged);
       solver_used = None;
       budget_exhausted = Budget.exhausted budget }
-  else refine_with ?fault ?log ?checks ?on_iteration ~budget ~options model
-      ~target ~init:tilos.sizes ~tilos
+  else refine_with ?fault ?log ?checks ?on_iteration ?on_step ~budget ~options
+      model ~target ~init:tilos.sizes ~tilos
 
 let refine ?(options = default_options) ?fault ?log ?checks model ~target ~init =
   let delays = Delay_model.delays model init in

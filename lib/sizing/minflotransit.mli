@@ -65,6 +65,28 @@ type iteration = {
   solver : string;         (** fallback rung that produced this step. *)
 }
 
+(** One accepted D/W pass as recorded in a proof-carrying trace
+    ({!Minflo_lint.Trace}): every claim the engine makes about the step —
+    the accepted sizing, its area and critical path, the D-phase delay
+    budgets the W-phase met — together with the min-cost-flow certificate
+    that justified the displacement. [step_certificate] is [None] exactly
+    when the step came from the Bellman-Ford feasibility rung, which
+    produces no flow solution. Delivered through the [?on_step] hook;
+    unlike {!iteration} (a summary for humans), a [step] carries enough to
+    re-verify the pass from scratch. *)
+type step = {
+  step_iter : int;
+  step_solver : string;
+  step_eta : float;            (** trust region the D-phase ran with. *)
+  step_area : float;           (** claimed area of [step_sizes]. *)
+  step_cp : float;             (** claimed critical path of [step_sizes]. *)
+  step_predicted : float;      (** D-phase first-order predicted gain. *)
+  step_sizes : float array;
+  step_budgets : float array;  (** D-phase budgets; the W-phase fixpoint
+                                   claim is [delay <= budget] per vertex. *)
+  step_certificate : Dphase.certificate option;
+}
+
 type stop_reason =
   | Stop_converged        (** trust region exhausted / no further gain. *)
   | Stop_max_iterations
@@ -119,6 +141,7 @@ val optimize :
   ?log:Minflo_robust.Diag.log ->
   ?checks:Minflo_robust.Check.t ->
   ?on_iteration:(snapshot -> unit) ->
+  ?on_step:(step -> unit) ->
   Minflo_tech.Delay_model.t ->
   target:float ->
   result
@@ -146,6 +169,7 @@ val refine_from :
   ?log:Minflo_robust.Diag.log ->
   ?checks:Minflo_robust.Check.t ->
   ?on_iteration:(snapshot -> unit) ->
+  ?on_step:(step -> unit) ->
   Minflo_tech.Delay_model.t ->
   target:float ->
   init:float array ->
@@ -159,6 +183,7 @@ val refine_with :
   ?log:Minflo_robust.Diag.log ->
   ?checks:Minflo_robust.Check.t ->
   ?on_iteration:(snapshot -> unit) ->
+  ?on_step:(step -> unit) ->
   ?resume:snapshot ->
   budget:Minflo_robust.Budget.t ->
   ?options:options ->
@@ -174,4 +199,9 @@ val refine_with :
     [resume] to restart the loop from a snapshot instead of [init]
     (in which case [init] is ignored). Resuming from the last snapshot of
     an interrupted run and letting it converge produces the same final
-    sizing, bit for bit, as the uninterrupted run. *)
+    sizing, bit for bit, as the uninterrupted run.
+
+    [on_step] is the proof-carrying-trace hook: called once per {e
+    accepted} iteration with the full {!step} evidence. Certificate capture
+    in the D-phase is only enabled while a hook is installed, so runs
+    without one pay nothing. *)

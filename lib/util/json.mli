@@ -1,13 +1,16 @@
-(** The serve wire protocol's JSON dialect.
+(** Minimal JSON: one value type, parser and printer, no dependencies.
 
-    A re-export of {!Minflo_util.Json} (where the implementation moved so
-    the engine-trace auditor can share the parser): the daemon speaks
-    newline-delimited JSON — objects, arrays, strings, finite numbers,
-    bools and null, one value per line. Numbers print in the shortest form
-    that parses back to the identical float — the daemon's bit-identical
-    replay guarantees ride on values surviving print/parse round trips. *)
+    Originally the serve wire protocol's private JSON; now shared
+    project-wide (the toolchain deliberately has no JSON dependency).
+    Newline-delimited consumers — the serve protocol, the engine trace
+    files audited by [minflo audit-run] — all speak this dialect: objects,
+    arrays, strings, finite numbers, bools and null, one value per line.
 
-type t = Minflo_util.Json.t =
+    Numbers print in the shortest form that parses back to the identical
+    float — the daemon's bit-identical replay guarantees ride on values
+    surviving print/parse round trips. *)
+
+type t =
   | Null
   | Bool of bool
   | Num of float
