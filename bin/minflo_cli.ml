@@ -13,7 +13,8 @@ open Minflo
 let exit_code_of_error (e : Diag.error) =
   match e with
   | Diag.Parse_error _ | Diag.Lint_error _ | Diag.Unknown_circuit _
-  | Diag.Io_error _ | Diag.Checkpoint_invalid _ | Diag.Journal_locked _ -> 2
+  | Diag.Io_error _ | Diag.Disk_full _ | Diag.Storage_corrupt _
+  | Diag.Checkpoint_invalid _ | Diag.Journal_locked _ -> 2
   | Diag.Unmet_target _ | Diag.Infeasible_target _ | Diag.Unsafe_timing _
   | Diag.Infeasible_budget _
   | Diag.Budget_exhausted _ | Diag.Oscillation _ | Diag.Job_timeout _
@@ -132,19 +133,49 @@ let fault_arg =
   Arg.(value & opt_all fault_site_conv []
        & info [ "inject-fault" ] ~docv:"SITE"
            ~doc:"Inject a deterministic failure at an instrumented site \
-                 (dphase.simplex, dphase.ssp, dphase.bellman-ford, wphase); \
-                 repeatable. For exercising the fallback chain and budget \
-                 paths. See $(b,minflo fuzz --list-faults) for the full \
+                 (dphase.simplex, dphase.ssp, dphase.bellman-ford, wphase, \
+                 io.enospc, io.torn-rename, ...); repeatable. Engine sites \
+                 exercise the fallback chain and budget paths; io.* sites \
+                 exercise the storage layer every durable writer goes \
+                 through. See $(b,minflo fuzz --list-faults) for the full \
                  catalog.")
 
-let make_fault_plan ?(seed = 0) = function
-  | [] -> None
-  | sites ->
+let fault_count_arg =
+  Arg.(value & opt (some int) None
+       & info [ "fault-count" ] ~docv:"N"
+           ~doc:"Fire each injected site at most $(docv) times (default: \
+                 every hit).")
+
+let fault_after_arg =
+  Arg.(value & opt int 0
+       & info [ "fault-after" ] ~docv:"K"
+           ~doc:"Skip the first $(docv) hits of each injected site before \
+                 firing; with io.crash-after-write and --fault-count 1 this \
+                 selects the exact write boundary the simulated crash lands \
+                 on.")
+
+(* Engine sites travel inside the per-run [Fault.t]; "io.*" sites arm the
+   ambient storage layer instead, so every durable writer — journal,
+   checkpoint, trace, corpus — sees them without threading a plan. *)
+let is_io_site s = String.length s > 3 && String.sub s 0 3 = "io."
+
+let make_fault_plan ?(seed = 0) ?count ?(after = 0) sites =
+  let armed sites =
     let f = Fault.create ~seed () in
     List.iter
-      (fun site -> Fault.arm f ~site (Fault.Fail (Diag.Fault_injected { site })))
+      (fun site ->
+        Fault.arm f ~site ?count ~after
+          (Fault.Fail (Diag.Fault_injected { site })))
       sites;
-    Some f
+    f
+  in
+  let io_sites, engine_sites = List.partition is_io_site sites in
+  (match io_sites with
+  | [] -> ()
+  | _ ->
+    Io.reset ();
+    Io.set_fault (Some (armed io_sites)));
+  match engine_sites with [] -> None | _ -> Some (armed engine_sites)
 
 (* ---------- gen ---------- *)
 
@@ -237,7 +268,8 @@ let size_cmd =
                    $(b,minflo audit-run).")
   in
   let run name granularity factor tool dump solver do_check max_seconds
-      max_iterations max_pivots fault_sites warm_start trace_out =
+      max_iterations max_pivots fault_sites fault_count fault_after warm_start
+      trace_out =
     let nl = circuit name in
     let model = build_model granularity nl in
     let d0 = Sweep.dmin model in
@@ -252,6 +284,9 @@ let size_cmd =
     | Some e -> Diag.fail e
     | None -> ());
     let checks = if do_check then Some (Invariants.create ()) else None in
+    (* a storage failure writing the trace must fail the --trace flag, not
+       the sizing: the run's results are printed first, then the error *)
+    let trace_error = ref None in
     let sizes, area, cp, met =
       match tool with
       | `Tilos ->
@@ -265,7 +300,9 @@ let size_cmd =
         let options =
           { Minflotransit.default_options with solver; limits; warm_start }
         in
-        let fault = make_fault_plan fault_sites in
+        let fault =
+          make_fault_plan ?count:fault_count ~after:fault_after fault_sites
+        in
         let log = Diag.create_log () in
         (* steps arrive during the run but the trace file wants them after
            the tilos record (only available at the end), so buffer *)
@@ -280,15 +317,20 @@ let size_cmd =
             ~target
         in
         (match trace_out with
-        | Some path ->
-          let oc = open_out path in
-          let w = Trace.create oc model ~circuit:(Netlist.name nl) ~target in
-          Trace.record_tilos w r.tilos;
-          List.iter (Trace.record_step w) (List.rev !steps);
-          Trace.record_result w r;
-          close_out oc;
-          Fmt.pr "trace: %d step records written to %s@."
-            (List.length !steps) path
+        | Some path -> (
+          match Io.create_sink path with
+          | Error e -> trace_error := Some e
+          | Ok sink -> (
+            let w = Trace.create sink model ~circuit:(Netlist.name nl) ~target in
+            Trace.record_tilos w r.tilos;
+            List.iter (Trace.record_step w) (List.rev !steps);
+            Trace.record_result w r;
+            Io.sink_close sink;
+            match Trace.error w with
+            | Some e -> trace_error := Some e
+            | None ->
+              Fmt.pr "trace: %d step records written to %s@."
+                (List.length !steps) path))
         | None -> ());
         List.iter
           (fun ev -> Fmt.epr "%s@." (Diag.event_to_string ev))
@@ -318,13 +360,19 @@ let size_cmd =
       | Some e -> Diag.fail e
       | None -> ())
     | None -> ());
+    (match !trace_error with
+    | Some e ->
+      Fmt.epr "trace: %s@." (Diag.to_string e);
+      if met then Diag.fail e
+    | None -> ());
     if not met then Diag.fail (Diag.Unmet_target { target; achieved = cp })
   in
   Cmd.v
     (Cmd.info "size" ~doc:"Size a circuit for a delay target.")
     Term.(const run $ circuit_arg $ model_arg $ factor_arg $ tool $ dump
           $ solver_arg $ check_arg $ max_seconds_arg $ max_iterations_arg
-          $ max_pivots_arg $ fault_arg $ warm_start_arg $ trace_arg)
+          $ max_pivots_arg $ fault_arg $ fault_count_arg $ fault_after_arg
+          $ warm_start_arg $ trace_arg)
 
 (* ---------- sweep ---------- *)
 
@@ -564,11 +612,17 @@ let batch_cmd =
   in
   let run circuits factors solvers checkpoint_dir resume jobs retries timeout
       differential diff_tolerance no_isolate max_seconds max_iterations
-      max_pivots fault_sites fault_seed no_preflight warm_start =
+      max_pivots fault_sites fault_count fault_after fault_seed no_preflight
+      warm_start =
     let grid = Job.cross ~circuits ~factors ~solvers in
     let limits =
       Budget.limits ?wall_seconds:max_seconds ?max_iterations ?max_pivots ()
     in
+    (* arm io.* sites ambiently in the parent too, so the journal and
+       checkpoint writers — not just forked job engines — see them *)
+    ignore
+      (make_fault_plan ~seed:fault_seed ?count:fault_count ~after:fault_after
+         fault_sites);
     let config =
       { Batch.checkpoint_dir;
         resume;
@@ -582,7 +636,10 @@ let batch_cmd =
         diff_tolerance;
         engine = { Minflotransit.default_options with limits; warm_start };
         fault_seed = (if fault_sites = [] then None else Some fault_seed);
-        make_fault = (fun _ -> make_fault_plan ~seed:fault_seed fault_sites);
+        make_fault =
+          (fun _ ->
+            make_fault_plan ~seed:fault_seed ?count:fault_count
+              ~after:fault_after fault_sites);
         preflight = not no_preflight }
     in
     match Batch.run ~config grid with
@@ -646,7 +703,8 @@ let batch_cmd =
     Term.(const run $ circuits $ factors $ solvers $ checkpoint_dir $ resume
           $ jobs $ retries $ timeout $ differential $ diff_tolerance
           $ no_isolate $ max_seconds_arg $ max_iterations_arg $ max_pivots_arg
-          $ fault_arg $ fault_seed $ no_preflight $ warm_start_arg)
+          $ fault_arg $ fault_count_arg $ fault_after_arg $ fault_seed
+          $ no_preflight $ warm_start_arg)
 
 (* ---------- bench ---------- *)
 
@@ -859,10 +917,12 @@ let lint_cmd =
       | `Sarif -> Sarif.render findings
     in
     (match out with
-    | Some path ->
-      let oc = open_out path in
-      output_string oc text;
-      close_out oc
+    | Some path -> (
+      (* through the instrumented layer: a full disk is a typed disk-full
+         diagnostic (exit 2), not a Sys_error backtrace *)
+      match Io.write_file path text with
+      | Ok () -> ()
+      | Error e -> Diag.fail e)
     | None -> print_string text);
     let fail_on = if strict then Lint_rule.Warning else fail_on in
     let code = Lint_report.exit_code ~fail_on findings in
@@ -1006,7 +1066,11 @@ let audit_run_cmd =
     let target = factor *. Sweep.dmin model in
     if not (Sys.file_exists trace_path) then
       Diag.fail (Diag.Io_error { file = trace_path; msg = "no such file" });
-    let findings = Trace.audit_file model ~target trace_path in
+    let findings =
+      match Trace.audit_file model ~target trace_path with
+      | Ok findings -> findings
+      | Error e -> Diag.fail e
+    in
     if findings = [] then
       Fmt.pr "trace OK: %s @@ factor %.2f verified against %s@." trace_path
         factor (Netlist.name nl)
@@ -1017,10 +1081,10 @@ let audit_run_cmd =
         | `Sarif -> Sarif.render findings
       in
       match out with
-      | Some path ->
-        let oc = open_out path in
-        output_string oc text;
-        close_out oc
+      | Some path -> (
+        match Io.write_file path text with
+        | Ok () -> ()
+        | Error e -> Diag.fail e)
       | None -> print_string text
     end;
     let code = Lint_report.exit_code ~fail_on:Lint_rule.Error findings in
@@ -1412,7 +1476,11 @@ let serve_cmd =
                    counter).")
   in
   let run socket tcp dir jobs queue timeout watchdog io_timeout cache_bytes
-      retries no_preflight =
+      retries no_preflight fault_sites fault_count fault_after =
+    (* io.* sites arm the ambient storage layer under the daemon's journal
+       writers — how the disk-smoke drives the degraded read-only mode *)
+    ignore
+      (make_fault_plan ?count:fault_count ~after:fault_after fault_sites);
     match
       Serve.run
         ~config:
@@ -1443,7 +1511,8 @@ let serve_cmd =
              journal-backed crash recovery and graceful drain on SIGTERM \
              (or the $(b,drain) op).")
     Term.(const run $ socket_arg $ tcp $ run_dir $ jobs $ queue $ timeout
-          $ watchdog $ io_timeout $ cache_bytes $ retries $ no_preflight)
+          $ watchdog $ io_timeout $ cache_bytes $ retries $ no_preflight
+          $ fault_arg $ fault_count_arg $ fault_after_arg)
 
 (* map a daemon response to the CLI's stable exit codes *)
 let client_exit_code response =
@@ -1451,7 +1520,7 @@ let client_exit_code response =
   else
     match Serve_json.str_field "code" response with
     | Some ("bad-request" | "unknown-job") -> 2
-    | Some "internal" -> 3
+    | Some ("internal" | "storage-error") -> 3
     | _ -> 1
 
 let client_cmd =
@@ -1556,7 +1625,8 @@ let client_cmd =
              $(b,net-timeout) exit 1, $(b,torn-response) exits 3. Prints \
              the daemon's JSON response; exit code follows the response \
              ($(b,overloaded), $(b,draining) and pending map to 1, bad \
-             input to 2).")
+             input to 2, $(b,storage-error) — the daemon degraded \
+             read-only after a failed journal write — to 3).")
     Term.(const run $ socket_arg $ client_tcp_arg $ action $ operand
           $ factor_arg $ solver_arg $ max_seconds_arg $ max_iterations_arg
           $ max_pivots_arg $ wait $ sleep $ timeout $ retries_arg
@@ -1729,13 +1799,363 @@ let chaosproxy_cmd =
     Term.(const run $ listen $ upstream $ faults $ fault_count $ fault_prob
           $ seed $ delay $ report)
 
+(* ---------- torture ---------- *)
+
+(* The concrete crash-point torture workload: a checkpointed batch run, a
+   proof-carrying trace, and a serve-style journal segment — every durable
+   writer in the stack — driven through {!Torture.run}, which replays it
+   once per write boundary with a simulated process death pinned there and
+   then checks the recovery invariants against the wreckage. *)
+let torture_cmd =
+  let dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"State directory — destroyed and rebuilt before every \
+                   simulation (default: a fresh directory under the system \
+                   temp dir).")
+  in
+  let circuit_pos =
+    Arg.(value & pos 0 string "c432"
+         & info [] ~docv:"CIRCUIT"
+             ~doc:"Circuit the workload sizes (default c432).")
+  in
+  let factors_arg =
+    Arg.(value & opt (list float) [ 0.55; 0.6 ]
+         & info [ "factors" ] ~docv:"F,F"
+             ~doc:"Delay factors of the batch grid (one job per factor).")
+  in
+  let iters_arg =
+    Arg.(value & opt int 20
+         & info [ "max-iterations" ] ~docv:"N"
+             ~doc:"Per-job iteration budget — bounds each simulation's \
+                   runtime while still crossing checkpoint and trace \
+                   boundaries.")
+  in
+  let max_points_arg =
+    Arg.(value & opt int 0
+         & info [ "max-crash-points" ] ~docv:"N"
+             ~doc:"Cap the number of simulations, striding evenly over the \
+                   boundary range (0 = every boundary in both modes).")
+  in
+  let min_points_arg =
+    Arg.(value & opt int 50
+         & info [ "min-crash-points" ] ~docv:"N"
+             ~doc:"Fail (exit 3) unless at least $(docv) distinct crash \
+                   points actually took effect — guards against the \
+                   workload shrinking under the harness.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N" ~doc:"Fault-plan seed for each child.")
+  in
+  let run dir circuit_spec factors max_iterations max_points min_points seed =
+    if factors = [] then
+      Diag.fail (Diag.Invariant { what = "torture"; detail = "empty --factors" });
+    let dir =
+      match dir with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "minflo-torture-%d" (Unix.getpid ()))
+    in
+    let batch_dir = Filename.concat dir "batch" in
+    let serve_dir = Filename.concat dir "serve" in
+    let batch_journal = Filename.concat batch_dir "journal.jsonl" in
+    let serve_journal = Filename.concat serve_dir "journal.jsonl" in
+    let trace_path = Filename.concat dir "trace.jsonl" in
+    let rec rm_rf path =
+      match Unix.lstat path with
+      | exception Unix.Unix_error _ -> ()
+      | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter
+          (fun n -> rm_rf (Filename.concat path n))
+          (try Sys.readdir path with Sys_error _ -> [||]);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+      | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    in
+    let rec mkdirs d =
+      if not (Sys.file_exists d) then begin
+        mkdirs (Filename.dirname d);
+        try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+      end
+    in
+    let nl = circuit circuit_spec in
+    let model = build_model `Gate nl in
+    let trace_factor = List.hd factors in
+    let trace_target = trace_factor *. Sweep.dmin model in
+    let limits = Budget.limits ~max_iterations () in
+    let grid =
+      Job.cross ~circuits:[ circuit_spec ] ~factors ~solvers:[ `Simplex ]
+    in
+    (* in-process, sequential, no retries: every write the workload does
+       happens in this (or the forked child's) process in a deterministic
+       order, so boundary numbering is stable across replays *)
+    let batch_config ~resume =
+      { Batch.checkpoint_dir = Some batch_dir;
+        resume;
+        supervise =
+          { Supervisor.default_config with
+            parallel = 1;
+            retries = 0;
+            timeout_seconds = None;
+            watchdog_seconds = None;
+            isolate = false };
+        differential = false;
+        diff_tolerance = Differential.default_tolerance;
+        engine = { Minflotransit.default_options with limits };
+        fault_seed = None;
+        make_fault = (fun _ -> None);
+        preflight = false }
+    in
+    let run_batch ~resume = Batch.run ~config:(batch_config ~resume) grid in
+    let serve_keys = [ "torture-done"; "torture-pending" ] in
+    (* a serve-journal segment shaped exactly like the daemon's: two
+       accepted jobs, one with a terminal result — so recovery must
+       reconstruct one done and one requeued job from any crash prefix *)
+    let write_serve_segment () =
+      match Journal.open_append serve_journal with
+      | Error e -> Diag.fail e
+      | Ok jr ->
+        List.iter
+          (fun key ->
+            Journal.event jr ~job:key
+              ~fields:
+                [ Journal.field_str "circuit" circuit_spec;
+                  Journal.field_float "factor" trace_factor;
+                  Journal.field_str "solver" "simplex" ]
+              "serve-accepted")
+          serve_keys;
+        Journal.event jr ~job:"torture-done"
+          ~fields:
+            [ Journal.field_float "area" 42.0;
+              Journal.field_float "area_ratio" 1.5;
+              Journal.field_float "cp" trace_target;
+              Journal.field_float "target" trace_target;
+              Journal.field_bool "met" true;
+              Journal.field_int "iterations" 3;
+              Journal.field_float "saving_pct" 7.5;
+              Journal.field_str "stop" "converged";
+              Journal.field_bool "resumed" false ]
+          "job-result";
+        Journal.close jr
+    in
+    let write_trace () =
+      let steps = ref [] in
+      let r =
+        Minflotransit.optimize
+          ~options:{ Minflotransit.default_options with limits }
+          ~on_step:(fun s -> steps := s :: !steps)
+          model ~target:trace_target
+      in
+      match Io.create_sink trace_path with
+      | Error e -> Diag.fail e
+      | Ok sink -> (
+        let w =
+          Trace.create sink model ~circuit:(Netlist.name nl)
+            ~target:trace_target
+        in
+        Trace.record_tilos w r.tilos;
+        List.iter (Trace.record_step w) (List.rev !steps);
+        Trace.record_result w r;
+        Io.sink_close sink;
+        match Trace.error w with Some e -> Diag.fail e | None -> ())
+    in
+    let setup () =
+      rm_rf dir;
+      mkdirs batch_dir;
+      mkdirs serve_dir
+    in
+    let workload () =
+      (match run_batch ~resume:false with
+      | Ok _ -> ()
+      | Error e -> Diag.fail e);
+      write_trace ();
+      write_serve_segment ()
+    in
+    (* fault-free baseline: the areas a resumed run must reproduce bit for
+       bit, and a sanity check that the workload itself is healthy *)
+    setup ();
+    workload ();
+    let baseline = Journal.completed batch_journal in
+    if Hashtbl.length baseline <> List.length grid then
+      Diag.fail
+        (Diag.Invariant
+           { what = "torture-baseline";
+             detail =
+               Printf.sprintf "%d of %d jobs completed fault-free"
+                 (Hashtbl.length baseline) (List.length grid) });
+    (match Trace.audit_file model ~target:trace_target trace_path with
+    | Ok [] -> ()
+    | Ok fs ->
+      Diag.fail
+        (Diag.Invariant
+           { what = "torture-baseline";
+             detail =
+               Printf.sprintf "fault-free trace rejected: %s"
+                 (Lint_report.render fs) })
+    | Error e -> Diag.fail e);
+    let verify ~boundary:_ ~mode:_ =
+      let violations = ref [] in
+      let add fmt =
+        Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+      in
+      (* every surviving journal line is a complete JSON record: a line
+         torn by the crash must never parse as a (wrong) event *)
+      List.iter
+        (fun journal ->
+          List.iter
+            (fun (_event, line) ->
+              match Serve_json.parse line with
+              | Ok _ -> ()
+              | Error msg ->
+                add "%s: surviving line does not parse (%s): %s" journal msg
+                  line)
+            (Journal.scan journal))
+        [ batch_journal; serve_journal ];
+      (* checkpoints load or are rejected typed — never an exception, never
+         a half-parse *)
+      (match Sys.readdir batch_dir with
+      | exception Sys_error _ -> ()
+      | entries ->
+        Array.iter
+          (fun name ->
+            if Filename.check_suffix name ".ckpt" then begin
+              let p = Filename.concat batch_dir name in
+              match Checkpoint.load p with
+              | Ok _ | Error _ -> ()
+              | exception e ->
+                add "checkpoint %s: load raised %s" p (Printexc.to_string e)
+            end)
+          entries);
+      (* a resumed run completes every job with the baseline's exact area *)
+      (match run_batch ~resume:true with
+      | Error e -> add "resume: batch failed: %s" (Diag.to_string e)
+      | Ok s ->
+        if s.Batch.failed > 0 then
+          add "resume: %d jobs failed after crash" s.Batch.failed;
+        let completed = Journal.completed batch_journal in
+        Hashtbl.iter
+          (fun id area ->
+            match Hashtbl.find_opt completed id with
+            | None -> add "resume: job %s missing from resumed journal" id
+            | Some area' when area' <> area ->
+              add "resume: job %s area drifted: %h <> %h" id area' area
+            | Some _ -> ())
+          baseline);
+      (* reopening the serve journal sweeps its directory like a restarting
+         daemon would; the batch reopen above already swept batch_dir *)
+      (match Journal.open_append serve_journal with
+      | Ok jr -> Journal.close jr
+      | Error e -> add "serve journal reopen: %s" (Diag.to_string e));
+      let rec find_tmp d =
+        match Sys.readdir d with
+        | exception Sys_error _ -> ()
+        | entries ->
+          Array.iter
+            (fun name ->
+              let p = Filename.concat d name in
+              if try Sys.is_directory p with Sys_error _ -> false then
+                find_tmp p
+              else if Filename.check_suffix name ".tmp" then
+                add "stale tmp survived journal reopen: %s" p)
+            entries
+      in
+      find_tmp dir;
+      (* a surviving trace prefix audits as (at worst) truncation damage,
+         never as garbage or a wrong claim *)
+      if Sys.file_exists trace_path then begin
+        match Trace.audit_file model ~target:trace_target trace_path with
+        | Error e -> add "trace: unreadable after crash: %s" (Diag.to_string e)
+        | Ok fs ->
+          List.iter
+            (fun (f : Lint_finding.t) ->
+              if f.rule.Lint_rule.id <> "MF210" then
+                add "trace: unexpected finding %s after crash"
+                  f.rule.Lint_rule.id)
+            fs
+      end;
+      (* the serve journal recovers to a coherent job table *)
+      List.iter
+        (fun (key, state) ->
+          if not (List.mem key serve_keys) then
+            add "recovery: unknown job key %s" key;
+          if not (List.mem state [ "queued"; "done" ]) then
+            add "recovery: job %s in impossible state %s" key state)
+        (Serve.recovery_snapshot serve_journal);
+      List.rev !violations
+    in
+    let progress d t =
+      if d mod 20 = 0 || d = t then Fmt.pr "torture: %d/%d simulations@." d t
+    in
+    let max_sims = if max_points <= 0 then None else Some max_points in
+    let report =
+      match
+        Torture.run ~seed ?max_sims ~progress ~setup ~workload ~verify ()
+      with
+      | Ok r -> r
+      | Error e -> Diag.fail e
+    in
+    rm_rf dir;
+    let points = Torture.crash_points report in
+    let violations = Torture.violations report in
+    let swallowed =
+      List.length
+        (List.filter
+           (fun s -> s.Torture.sim_outcome = Torture.Crash_swallowed)
+           report.Torture.sims)
+    in
+    Fmt.pr
+      "torture: %d write boundaries, %d simulations, %d crash points (%d \
+       crash-swallowed), %d violations@."
+      report.Torture.total_boundaries
+      (List.length report.Torture.sims)
+      points swallowed (List.length violations);
+    List.iter
+      (fun (s, v) ->
+        Fmt.pr "VIOLATION [boundary %d, %s]: %s@." s.Torture.sim_boundary
+          (Torture.mode_to_string s.Torture.sim_mode)
+          v)
+      violations;
+    if violations <> [] then
+      Diag.fail
+        (Diag.Invariant
+           { what = "torture";
+             detail =
+               Printf.sprintf "%d recovery invariant violations"
+                 (List.length violations) });
+    if points < min_points then
+      Diag.fail
+        (Diag.Invariant
+           { what = "torture";
+             detail =
+               Printf.sprintf "only %d crash points exercised (need %d)"
+                 points min_points })
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:"Crash-point torture of the persistence stack: run a \
+             checkpointed batch + proof-carrying trace + serve-journal \
+             workload once to enumerate every write boundary it crosses, \
+             then replay it once per boundary with a simulated process \
+             death pinned exactly there (clean and torn-write modes) and \
+             assert the recovery invariants against the wreckage — the \
+             journal seals or drops the torn line, a resumed run \
+             reproduces the baseline areas bit for bit, checkpoints load \
+             or are rejected typed, surviving traces audit as truncation \
+             at worst, stale .tmp files are swept on reopen, and the \
+             serve journal recovers a coherent job table. Any violation \
+             exits 3.")
+    Term.(const run $ dir_arg $ circuit_pos $ factors_arg $ iters_arg
+          $ max_points_arg $ min_points_arg $ seed_arg)
+
 let main_cmd =
   let doc = "MINFLOTRANSIT: min-cost-flow based transistor sizing" in
   Cmd.group (Cmd.info "minflo" ~version:"1.0.0" ~doc)
     [ gen_cmd; stats_cmd; sta_cmd; size_cmd; sweep_cmd; batch_cmd; bench_cmd;
       verify_cmd; convert_cmd; strash_cmd; power_cmd; lint_cmd; audit_cert_cmd;
       audit_run_cmd; fuzz_cmd; replay_cmd; serve_cmd; client_cmd; loadgen_cmd;
-      chaosproxy_cmd ]
+      chaosproxy_cmd; torture_cmd ]
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());

@@ -50,6 +50,8 @@ module Budget = Minflo_robust.Budget
 module Fallback = Minflo_robust.Fallback
 module Invariants = Minflo_robust.Check
 module Fault = Minflo_robust.Fault
+module Io = Minflo_robust.Io
+module Torture = Minflo_robust.Torture
 module Perf = Minflo_robust.Perf
 
 (* graph *)

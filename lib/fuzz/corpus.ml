@@ -1,4 +1,5 @@
 module Diag = Minflo_robust.Diag
+module Io = Minflo_robust.Io
 module Netlist = Minflo_netlist.Netlist
 module Bench_format = Minflo_netlist.Bench_format
 module Job = Minflo_runner.Job
@@ -64,20 +65,11 @@ let rec mkdir_p dir =
 
 let save ~dir r =
   let path = Filename.concat dir (file_name r) in
-  let tmp = path ^ ".tmp" in
   try
     mkdir_p dir;
-    let oc = open_out tmp in
-    output_string oc (render r);
-    flush oc;
-    Unix.fsync (Unix.descr_of_out_channel oc);
-    close_out oc;
-    Unix.rename tmp path;
-    Ok path
-  with
-  | Sys_error msg -> Error (Diag.Io_error { file = tmp; msg })
-  | Unix.Unix_error (e, _, _) ->
-    Error (Diag.Io_error { file = tmp; msg = Unix.error_message e })
+    Result.map (fun () -> path) (Io.atomic_replace path (render r))
+  with Unix.Unix_error (e, _, _) ->
+    Error (Diag.Io_error { file = dir; msg = Unix.error_message e })
 
 (* ---------- load ---------- *)
 
@@ -85,21 +77,16 @@ let invalid file reason = Error (Diag.Checkpoint_invalid { file; reason })
 
 let load path =
   match
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let lines = ref [] in
-        (try
-           while true do
-             lines := input_line ic :: !lines
-           done
-         with End_of_file -> ());
-        List.rev !lines)
+    Result.map
+      (fun content ->
+        match List.rev (String.split_on_char '\n' content) with
+        | "" :: rest -> List.rev rest
+        | lines -> List.rev lines)
+      (Io.read_file path)
   with
-  | exception Sys_error msg -> Error (Diag.Io_error { file = path; msg })
-  | [] -> invalid path "empty file"
-  | header :: rest -> (
+  | Error e -> Error e
+  | Ok [] -> invalid path "empty file"
+  | Ok (header :: rest) -> (
     match String.split_on_char ' ' header with
     | [ m; v ] when m = magic -> (
       match int_of_string_opt v with

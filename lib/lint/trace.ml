@@ -1,4 +1,6 @@
 module Json = Minflo_util.Json
+module Diag = Minflo_robust.Diag
+module Io = Minflo_robust.Io
 module Delay_model = Minflo_tech.Delay_model
 module Sta = Minflo_timing.Sta
 module Mcf = Minflo_flow.Mcf
@@ -10,7 +12,12 @@ let version = 1
 
 (* ---------- writer ---------- *)
 
-type writer = { oc : out_channel; model : Delay_model.t; target : float }
+type writer = {
+  sink : Io.sink;
+  model : Delay_model.t;
+  target : float;
+  mutable w_error : Diag.error option;
+}
 
 let jfloats a = Json.List (Array.to_list (Array.map (fun f -> Json.Num f) a))
 let jints a = Json.List (Array.to_list (Array.map (fun i -> Json.Num (float_of_int i)) a))
@@ -55,13 +62,20 @@ let jlp (c : Dphase.certificate) =
       ("potential", jints s.Mcf.potential);
       ("objective", Json.Num (float_of_int s.Mcf.objective)) ]
 
+(* The first storage failure sticks and silences the rest: a trace that
+   cannot be completed is worthless to the auditor, so there is no point
+   hammering a full disk once per step — the engine run proceeds, and the
+   caller checks [error] when it finishes. *)
 let emit w v =
-  output_string w.oc (Json.to_string v);
-  output_char w.oc '\n';
-  flush w.oc
+  if w.w_error = None then
+    match Io.sink_write_line w.sink (Json.to_string v) with
+    | Ok () -> ()
+    | Error e -> w.w_error <- Some e
 
-let create oc (model : Delay_model.t) ~circuit ~target =
-  let w = { oc; model; target } in
+let error w = w.w_error
+
+let create sink (model : Delay_model.t) ~circuit ~target =
+  let w = { sink; model; target; w_error = None } in
   emit w
     (Json.Obj
        [ ("record", Json.Str "header");
@@ -535,10 +549,4 @@ let audit (model : Delay_model.t) ~target content =
   @ List.rev !flow_findings
 
 let audit_file model ~target path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      let content = really_input_string ic len in
-      audit model ~target content)
+  Result.map (audit model ~target) (Io.read_file path)

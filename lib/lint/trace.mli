@@ -35,14 +35,15 @@ val version : int
 type writer
 
 val create :
-  out_channel ->
+  Minflo_robust.Io.sink ->
   Minflo_tech.Delay_model.t ->
   circuit:string ->
   target:float ->
   writer
-(** Emits the header immediately. Records are flushed as written, so an
-    interrupted run leaves a valid (truncated) prefix that the auditor
-    reports as MF210 rather than garbage. *)
+(** Emits the header immediately. Records are written line-at-a-time
+    through the instrumented {!Minflo_robust.Io} layer, so an interrupted
+    run leaves a valid (truncated) prefix that the auditor reports as MF210
+    rather than garbage, and the [io.*] fault sites apply to every record. *)
 
 val record_tilos : writer -> Minflo_sizing.Tilos.result -> unit
 
@@ -50,6 +51,12 @@ val record_step : writer -> Minflo_sizing.Minflotransit.step -> unit
 (** Pass as the engine's [?on_step] hook (partially applied). *)
 
 val record_result : writer -> Minflo_sizing.Minflotransit.result -> unit
+
+val error : writer -> Minflo_robust.Diag.error option
+(** The first storage failure any record hit ([None] if all landed). Once
+    set, further records are silently skipped: trace emission fails the
+    [--trace] flag, never the sizing run it documents — the CLI reports
+    this error (and exits nonzero) only after printing the run's results. *)
 
 (** {1 Auditing} *)
 
@@ -63,5 +70,9 @@ val audit : Minflo_tech.Delay_model.t -> target:float -> string -> Finding.t lis
     rejected as MF210 — auditing someone else's trace proves nothing. *)
 
 val audit_file :
-  Minflo_tech.Delay_model.t -> target:float -> string -> Finding.t list
-(** {!audit} on a file path. *)
+  Minflo_tech.Delay_model.t ->
+  target:float ->
+  string ->
+  (Finding.t list, Minflo_robust.Diag.error) result
+(** {!audit} on a file path; an unreadable file is a typed
+    {!Minflo_robust.Diag.Io_error}, not an exception. *)

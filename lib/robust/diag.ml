@@ -15,6 +15,8 @@ type error =
   | Lint_error of { rule : string; file : string option; line : int; msg : string }
   | Unknown_circuit of { name : string; known : string list }
   | Io_error of { file : string; msg : string }
+  | Disk_full of { file : string }
+  | Storage_corrupt of { file : string; detail : string }
   | Infeasible_budget of {
       vertex : int;
       label : string;
@@ -62,6 +64,8 @@ let error_code = function
   | Lint_error _ -> "lint-error"
   | Unknown_circuit _ -> "unknown-circuit"
   | Io_error _ -> "io-error"
+  | Disk_full _ -> "disk-full"
+  | Storage_corrupt _ -> "storage-corrupt"
   | Infeasible_budget _ -> "infeasible-budget"
   | Unsafe_timing _ -> "unsafe-timing"
   | Solver_diverged _ -> "solver-diverged"
@@ -102,6 +106,10 @@ let to_string = function
     Printf.sprintf "unknown circuit %S: not a file, and not one of {%s}" name
       (String.concat ", " known)
   | Io_error { file; msg } -> Printf.sprintf "cannot read %s: %s" file msg
+  | Disk_full { file } ->
+    Printf.sprintf "disk full: cannot write %s (ENOSPC)" file
+  | Storage_corrupt { file; detail } ->
+    Printf.sprintf "storage corrupt: %s: %s" file detail
   | Infeasible_budget { vertex; label; budget; intrinsic } ->
     Printf.sprintf
       "infeasible budget %g at vertex %d (%s): at or below the intrinsic delay %g"
@@ -215,6 +223,9 @@ let to_json e =
         ("known", Printf.sprintf "[%s]" (String.concat ", " (List.map jstr known)))
       ]
   | Io_error { file; msg } -> obj [ code; ("file", jstr file); ("msg", jstr msg) ]
+  | Disk_full { file } -> obj [ code; ("file", jstr file) ]
+  | Storage_corrupt { file; detail } ->
+    obj [ code; ("file", jstr file); ("detail", jstr detail) ]
   | Infeasible_budget { vertex; label; budget; intrinsic } ->
     obj
       [ code;

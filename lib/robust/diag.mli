@@ -30,6 +30,21 @@ type error =
   | Unknown_circuit of { name : string; known : string list }
       (** A circuit spec that is neither a file nor a suite entry. *)
   | Io_error of { file : string; msg : string }
+      (** A file could not be read or written for an OS-level reason other
+          than a full disk (EIO, EACCES, a vanished path, a short read, a
+          torn rename). Durable-state writers ({!Io}) report this instead of
+          letting [Unix.Unix_error]/[Sys_error] escape. *)
+  | Disk_full of { file : string }
+      (** A write to [file] failed with ENOSPC (or the injected
+          [io.enospc] fault). Non-transient: batch quarantines the job,
+          serve enters read-only degraded mode. *)
+  | Storage_corrupt of { file : string; detail : string }
+      (** Recovery state on disk is inconsistent with what the journal
+          promised: a result recorded as done cannot be reconstructed, a
+          stale temp file shadowed real state, or a recovered record fails
+          re-validation. Distinct from {!Checkpoint_invalid} (a single
+          unusable checkpoint file): this one means the *store* broke an
+          invariant. *)
   | Infeasible_budget of {
       vertex : int;
       label : string;

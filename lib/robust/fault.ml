@@ -6,6 +6,7 @@ type action =
 
 type armed = {
   action : action;
+  mutable skip : int;
   mutable remaining : int;
   prob : float;
   mutable fired : int;
@@ -15,14 +16,19 @@ type t = { rng : Rng.t; table : (string, armed) Hashtbl.t }
 
 let create ?(seed = 0) () = { rng = Rng.create seed; table = Hashtbl.create 8 }
 
-let arm t ~site ?(count = max_int) ?(prob = 1.0) action =
-  Hashtbl.replace t.table site { action; remaining = count; prob; fired = 0 }
+let arm t ~site ?(count = max_int) ?(prob = 1.0) ?(after = 0) action =
+  Hashtbl.replace t.table site
+    { action; skip = after; remaining = count; prob; fired = 0 }
 
 let fire t ~site =
   match Hashtbl.find_opt t.table site with
   | None -> None
   | Some a ->
-    if a.remaining <= 0 then None
+    if a.skip > 0 then begin
+      a.skip <- a.skip - 1;
+      None
+    end
+    else if a.remaining <= 0 then None
     else if a.prob < 1.0 && Rng.float t.rng 1.0 >= a.prob then None
     else begin
       a.remaining <- a.remaining - 1;
@@ -48,6 +54,12 @@ let all_points =
     "dphase.bellman-ford";
     "dphase.simplex";
     "dphase.ssp";
+    "io.crash-after-write";
+    "io.eio-read";
+    "io.enospc";
+    "io.fsync-lost";
+    "io.short-write";
+    "io.torn-rename";
     "net.accept-drop";
     "net.delayed-response";
     "net.read-stall";

@@ -21,11 +21,14 @@ val create : ?seed:int -> unit -> t
 (** An empty plan (no armed sites). [seed] drives probabilistic firing;
     default 0. *)
 
-val arm : t -> site:string -> ?count:int -> ?prob:float -> action -> unit
+val arm :
+  t -> site:string -> ?count:int -> ?prob:float -> ?after:int -> action -> unit
 (** Arm [site]. The fault fires at most [count] times (default: every
     visit), each visit independently with probability [prob] (default 1.0,
-    drawn from the plan's seeded generator). Re-arming a site replaces its
-    previous setting. *)
+    drawn from the plan's seeded generator), skipping the first [after]
+    visits entirely (default 0; [~after:(k-1) ~count:1] fires exactly at the
+    k-th visit — how the torture harness pins a crash to one write
+    boundary). Re-arming a site replaces its previous setting. *)
 
 val fire : t -> site:string -> action option
 (** Called by the engine at an instrumented site; [Some action] when the
@@ -42,9 +45,13 @@ val all_points : string list
     the D-phase solver rungs (["dphase.simplex"], ["dphase.ssp"],
     ["dphase.bellman-ford"]), the W-phase (["wphase"]), the
     certificate-audit corruption points (["audit.simplex"], ["audit.ssp"],
-    ["audit.cost-scaling"]), and the network sites the chaos proxy
+    ["audit.cost-scaling"]), the network sites the chaos proxy
     interposes between a client and a daemon (["net.accept-drop"],
-    ["net.read-stall"], ["net.torn-write"], ["net.delayed-response"]).
+    ["net.read-stall"], ["net.torn-write"], ["net.delayed-response"]), and
+    the storage sites the instrumented {!Io} layer interposes under every
+    durable-state writer (["io.enospc"], ["io.eio-read"],
+    ["io.short-write"], ["io.fsync-lost"], ["io.torn-rename"], and
+    ["io.crash-after-write"], the crash-point the torture harness sweeps).
     [minflo fuzz --list-faults] prints it, the CLI validates every
     [--inject-fault] argument against it, and the fuzz campaign sweeps the
     engine/audit entries. *)

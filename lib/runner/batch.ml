@@ -104,10 +104,12 @@ let run_job ?(emit : Supervisor.emit option) ?(exhausted_ok = false) cfg
         "job-checkpoint";
       match ckpt with
       | None -> ()
-      | Some path ->
-        (* a failed checkpoint write must not kill a healthy run; the
-           journal still has the last good one thanks to atomic replace *)
-        ignore
+      | Some path -> (
+        (* a failed checkpoint write must not kill a healthy run; the disk
+           still has the last good one thanks to atomic replace — but the
+           failure is journaled so a later resume-from-stale surprise is
+           explicable *)
+        match
           (Checkpoint.save path
              { Checkpoint.circuit = job.circuit;
                circuit_hash = hash;
@@ -119,6 +121,14 @@ let run_job ?(emit : Supervisor.emit option) ?(exhausted_ok = false) cfg
                budget_iterations = Budget.iterations budget;
                budget_pivots = Budget.pivots budget;
                budget_elapsed = Budget.elapsed budget })
+        with
+        | Ok () -> ()
+        | Error e ->
+          emit_event
+            ~fields:
+              [ Journal.field_str "code" (Diag.error_code e);
+                Journal.field_str "detail" (Diag.to_string e) ]
+            "job-checkpoint-failed")
     in
     let finish ~resumed (r : Minflotransit.result) =
       (* [exhausted_ok]: a serving parent would rather have the best

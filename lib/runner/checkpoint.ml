@@ -1,4 +1,5 @@
 module Diag = Minflo_robust.Diag
+module Io = Minflo_robust.Io
 module Minflotransit = Minflo_sizing.Minflotransit
 module Tilos = Minflo_sizing.Tilos
 module Bench_format = Minflo_netlist.Bench_format
@@ -80,26 +81,10 @@ let render ck =
 
 (* ---------- atomic save ---------- *)
 
-let save path ck =
-  let tmp = path ^ ".tmp" in
-  try
-    let oc = open_out tmp in
-    output_string oc (render ck);
-    flush oc;
-    Unix.fsync (Unix.descr_of_out_channel oc);
-    close_out oc;
-    Unix.rename tmp path;
-    (* fsync the directory so the rename itself survives a crash *)
-    (try
-       let dir = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
-       (try Unix.fsync dir with Unix.Unix_error _ -> ());
-       Unix.close dir
-     with Unix.Unix_error _ -> ());
-    Ok ()
-  with
-  | Sys_error msg -> Error (Diag.Io_error { file = tmp; msg })
-  | Unix.Unix_error (e, _, _) ->
-    Error (Diag.Io_error { file = tmp; msg = Unix.error_message e })
+(* write-tmp + fsync + rename + dir-fsync, via the instrumented layer: a
+   torn checkpoint can never shadow a good one, and the io.* fault sites
+   (ENOSPC, torn rename, crash boundaries) apply to every save *)
+let save path ck = Io.atomic_replace path (render ck)
 
 (* ---------- load ---------- *)
 
@@ -107,21 +92,18 @@ let invalid file reason = Error (Diag.Checkpoint_invalid { file; reason })
 
 let load path =
   match
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let lines = ref [] in
-        (try
-           while true do
-             lines := input_line ic :: !lines
-           done
-         with End_of_file -> ());
-        List.rev !lines)
+    Result.map
+      (fun content ->
+        (* render terminates every line with '\n'; drop the trailing empty
+           segment so a well-formed file parses to exactly its lines *)
+        match List.rev (String.split_on_char '\n' content) with
+        | "" :: rest -> List.rev rest
+        | lines -> List.rev lines)
+      (Io.read_file path)
   with
-  | exception Sys_error msg -> Error (Diag.Io_error { file = path; msg })
-  | [] -> invalid path "empty file"
-  | header :: rest -> (
+  | Error e -> Error e
+  | Ok [] -> invalid path "empty file"
+  | Ok (header :: rest) -> (
     let fields = Hashtbl.create 32 in
     List.iter
       (fun l ->

@@ -1,12 +1,13 @@
 module Diag = Minflo_robust.Diag
+module Io = Minflo_robust.Io
 module Mono = Minflo_robust.Mono
 
 type t = {
   path : string;
-  oc : out_channel;
   fd : Unix.file_descr;
   t0 : float;
   mutable seq : int;
+  mutable last_error : Diag.error option;
 }
 
 let json_escape s =
@@ -35,6 +36,41 @@ let field_str k v = (k, jstr v)
 let field_float k v = (k, jfloat v)
 let field_int k v = (k, string_of_int v)
 let field_bool k v = (k, string_of_bool v)
+
+let path t = t.path
+
+let last_error t = t.last_error
+
+let event_checked t ?job ?error ?(fields = []) name =
+  t.seq <- t.seq + 1;
+  let parts =
+    [ ("event", jstr name);
+      ("seq", string_of_int t.seq);
+      ("t", Printf.sprintf "%.3f" (Mono.now () -. t.t0)) ]
+    @ (match job with Some j -> [ ("job", jstr j) ] | None -> [])
+    @ fields
+    @ (match error with
+      | Some e ->
+        [ ("code", jstr (Diag.error_code e)); ("error", Diag.to_json e) ]
+      | None -> [])
+  in
+  let line =
+    Printf.sprintf "{%s}"
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (jstr k) v) parts))
+  in
+  let r =
+    match Io.write_all t.fd ~path:t.path (line ^ "\n") with
+    | Ok () -> Io.fsync t.fd ~path:t.path
+    | Error _ as e -> e
+  in
+  (match r with Error e -> t.last_error <- Some e | Ok () -> ());
+  r
+
+(* a journaling failure must never kill the run it documents; the typed
+   error is remembered in [last_error] for callers that check afterwards *)
+let event t ?job ?error ?fields name =
+  ignore (event_checked t ?job ?error ?fields name)
 
 let open_append path =
   try
@@ -76,45 +112,31 @@ let open_append path =
        if len > 0 then begin
          ignore (Unix.lseek fd (len - 1) Unix.SEEK_SET);
          let b = Bytes.create 1 in
-         if Unix.read fd b 0 1 = 1 && Bytes.get b 0 <> '\n' then
-           ignore (Unix.write_substring fd "\n" 0 1)
+         if Io.read_retry fd b 0 1 = 1 && Bytes.get b 0 <> '\n' then
+           ignore (Io.write_substring_retry fd "\n" 0 1)
        end
      with Unix.Unix_error _ -> ());
-    Ok
-      { path; oc = Unix.out_channel_of_descr fd; fd; t0 = Mono.now (); seq = 0 }
+    (* GC the orphans a crash mid-[Io.atomic_replace] leaves behind
+       (checkpoint/result [.tmp] files anywhere under the run directory).
+       Done after taking the single-writer lock, so a live instance's
+       in-flight temp file is never swept from under it. *)
+    let swept = Io.sweep_tmp ~recurse:true (Filename.dirname path) in
+    let t = { path; fd; t0 = Mono.now (); seq = 0; last_error = None } in
+    if swept <> [] then
+      event t
+        ~fields:
+          [ field_int "count" (List.length swept);
+            ( "files",
+              Printf.sprintf "[%s]"
+                (String.concat ", " (List.map jstr swept)) ) ]
+        "tmp-swept";
+    Ok t
   with
   | Unix.Unix_error (e, _, _) ->
     Error (Diag.Io_error { file = path; msg = Unix.error_message e })
   | Diag.Error_exn e -> Error e
 
-let path t = t.path
-
-let event t ?job ?error ?(fields = []) name =
-  t.seq <- t.seq + 1;
-  let parts =
-    [ ("event", jstr name);
-      ("seq", string_of_int t.seq);
-      ("t", Printf.sprintf "%.3f" (Mono.now () -. t.t0)) ]
-    @ (match job with Some j -> [ ("job", jstr j) ] | None -> [])
-    @ fields
-    @ (match error with
-      | Some e ->
-        [ ("code", jstr (Diag.error_code e)); ("error", Diag.to_json e) ]
-      | None -> [])
-  in
-  let line =
-    Printf.sprintf "{%s}"
-      (String.concat ", "
-         (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (jstr k) v) parts))
-  in
-  (* a journaling failure must never kill the run it documents *)
-  try
-    output_string t.oc (line ^ "\n");
-    flush t.oc;
-    Unix.fsync t.fd
-  with Sys_error _ | Unix.Unix_error _ -> ()
-
-let close t = try close_out t.oc with Sys_error _ -> ()
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 (* ---------- scanning (our own lines only; tolerant of truncation) ---------- *)
 
@@ -196,6 +218,32 @@ let top_level_parts inner =
   if Buffer.length buf > 0 then parts := Buffer.contents buf :: !parts;
   List.rev_map String.trim !parts
 
+(* A line is structurally complete iff it is one balanced JSON object:
+   starts '{', ends '}', every brace/bracket closed, no string left open.
+   A crash can tear a line anywhere — including right after an embedded
+   error object's '}' — so the trailing-brace test alone is not enough. *)
+let complete_line line =
+  let n = String.length line in
+  if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then false
+  else begin
+    let depth = ref 0 and in_str = ref false and esc = ref false in
+    let ok = ref true in
+    String.iter
+      (fun c ->
+        if !esc then esc := false
+        else
+          match c with
+          | '\\' when !in_str -> esc := true
+          | '"' -> in_str := not !in_str
+          | ('{' | '[') when not !in_str -> incr depth
+          | ('}' | ']') when not !in_str ->
+            decr depth;
+            if !depth < 0 then ok := false
+          | _ -> ())
+      line;
+    !ok && !depth = 0 && not !in_str
+  end
+
 let volatile_keys =
   [ "\"seq\":"; "\"t\":"; "\"backoff_seconds\":"; "\"pid\":" ]
 
@@ -225,9 +273,7 @@ let canonical path =
     (try
        while true do
          let line = input_line ic in
-         let n = String.length line in
-         if n > 0 && line.[0] = '{' && line.[n - 1] = '}' then
-           lines := strip_volatile line :: !lines
+         if complete_line line then lines := strip_volatile line :: !lines
        done
      with End_of_file -> ());
     close_in_noerr ic);
@@ -250,9 +296,8 @@ let completed path =
     (try
        while true do
          let line = input_line ic in
-         let n = String.length line in
-         (* a line truncated by a crash mid-write has no closing brace *)
-         if n > 0 && line.[0] = '{' && line.[n - 1] = '}' then
+         (* a line truncated by a crash mid-write is never complete *)
+         if complete_line line then
            match find_field line "event" with
            | Some "job-ok" -> (
              match (find_field line "job", find_field line "area") with
@@ -277,9 +322,8 @@ let scan path =
     (try
        while true do
          let line = input_line ic in
-         let n = String.length line in
-         (* a line truncated by a crash mid-write has no closing brace *)
-         if n > 0 && line.[0] = '{' && line.[n - 1] = '}' then
+         (* a line truncated by a crash mid-write is never complete *)
+         if complete_line line then
            match find_field line "event" with
            | Some ev -> lines := (ev, line) :: !lines
            | None -> ()

@@ -16,7 +16,10 @@
 type t
 
 val open_append : string -> (t, Minflo_robust.Diag.error) result
-(** Open (creating if needed) for appending. *)
+(** Open (creating if needed) for appending. Takes the single-writer lock,
+    seals a torn final line, then garbage-collects stale [*.tmp] files
+    anywhere under the journal's directory (orphans of a crash
+    mid-[atomic_replace]) and journals a ["tmp-swept"] event naming them. *)
 
 val path : t -> string
 
@@ -31,7 +34,26 @@ val event :
     [{"event": name, "t": seconds, "job": …, …fields, "error": {…}}] and
     fsyncs it. [fields] values must already be rendered JSON (use
     {!field_str} / {!field_float} / {!field_int}). Write failures are
-    silent — journaling must never kill the run it documents. *)
+    silent — journaling must never kill the run it documents — but the
+    typed error is remembered (see {!last_error}). All bytes go through the
+    instrumented {!Minflo_robust.Io} layer, so [io.*] fault sites and the
+    torture harness's crash boundaries apply. *)
+
+val event_checked :
+  t ->
+  ?job:string ->
+  ?error:Minflo_robust.Diag.error ->
+  ?fields:(string * string) list ->
+  string ->
+  (unit, Minflo_robust.Diag.error) result
+(** Like {!event}, but reports the write/fsync failure to the caller —
+    for paths where the append is load-bearing (the serve daemon's
+    "accepted means recoverable" promise: the acceptance line must be
+    durable before the client hears [accepted]). *)
+
+val last_error : t -> Minflo_robust.Diag.error option
+(** The most recent append failure swallowed by {!event} ([None] when every
+    append so far landed). *)
 
 val field_str : string -> string -> string * string
 val field_float : string -> float -> string * string

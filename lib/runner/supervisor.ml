@@ -1,5 +1,6 @@
 module Diag = Minflo_robust.Diag
 module Fallback = Minflo_robust.Fallback
+module Io = Minflo_robust.Io
 module Mono = Minflo_robust.Mono
 
 type config = {
@@ -141,7 +142,7 @@ let spawn ~timeout ~watchdog id thunk =
               (fun _ ->
                 try
                   ignore
-                    (Unix.write_substring pw heartbeat_record 0
+                    (Io.write_substring_retry pw heartbeat_record 0
                        (String.length heartbeat_record))
                 with Unix.Unix_error _ -> ()));
          ignore
@@ -153,7 +154,9 @@ let spawn ~timeout ~watchdog id thunk =
       match render_emit_record name fields with
       | None -> ()
       | Some line -> (
-        try ignore (Unix.write_substring pw line 0 (String.length line))
+        (* EINTR-retrying: the SIGALRM heartbeat must not tear an event
+           record mid-write *)
+        try Io.really_write_substring pw line
         with Unix.Unix_error _ -> ())
     in
     let r =
@@ -272,7 +275,7 @@ let flush_pipe_lines journal r =
 let drain_pipe journal r =
   let bytes = Bytes.create 4096 in
   let rec go () =
-    match Unix.read r.pipe_r bytes 0 4096 with
+    match Io.read_retry r.pipe_r bytes 0 4096 with
     | 0 -> ()
     | n ->
       Buffer.add_subbytes r.pipe_buf bytes 0 n;

@@ -1,4 +1,5 @@
 module Diag = Minflo_robust.Diag
+module Io = Minflo_robust.Io
 module Perf = Minflo_robust.Perf
 module Mono = Minflo_robust.Mono
 module Budget = Minflo_robust.Budget
@@ -103,7 +104,7 @@ let outcome_fields key (spec : Protocol.submit) (o : Job.outcome) =
     ("resumed", Json.Bool o.resumed) ]
 
 let journal_result jr key (o : Job.outcome) =
-  Journal.event jr ~job:key
+  Journal.event_checked jr ~job:key
     ~fields:
       [ Journal.field_float "area" o.area;
         Journal.field_float "area_ratio" o.area_ratio;
@@ -252,6 +253,16 @@ let recover_table journal_path =
         | _ -> ()))
     (Journal.scan journal_path);
   (table, List.rev !order, results)
+
+(* what a restarted daemon would reconstruct from this journal, as
+   [(job key, state name)] in acceptance order — the torture harness
+   diffs it across simulated crash points *)
+let recovery_snapshot journal_path =
+  let table, order, _ = recover_table journal_path in
+  List.filter_map
+    (fun key ->
+      Option.map (fun e -> (key, state_name e.state)) (Hashtbl.find_opt table key))
+    order
 
 (* ---------- the worker thunk ---------- *)
 
@@ -489,6 +500,27 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
       let waiters : (string, client list) Hashtbl.t = Hashtbl.create 8 in
       let worker_perf = ref (Perf.zero ()) in
       let draining = ref false in
+      (* Read-only degraded mode: entered on the first storage failure in a
+         load-bearing journal write (acceptance or result). A daemon that
+         cannot journal can no longer promise "accepted means recoverable",
+         so new admissions are refused with a typed [storage-error]
+         rejection — but reads (status/result/stats/health, cache hits) and
+         in-flight jobs keep being served instead of the daemon dying. *)
+      let degraded : Diag.error option ref = ref None in
+      let storage_error e =
+        Json.Obj
+          [ ("ok", Json.Bool false);
+            ("code", Json.Str "storage-error");
+            ("message", Json.Str (Diag.to_string e));
+            ("error", Json.Raw (Diag.to_json e)) ]
+      in
+      let enter_degraded e =
+        if !degraded = None then begin
+          degraded := Some e;
+          (* best-effort: the journal is likely the broken thing *)
+          Journal.event jr ~error:e "serve-degraded"
+        end
+      in
       let drain_signal = ref false in
       let old_term =
         try
@@ -541,10 +573,16 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
           match done_fields entry with
           | Some fields -> Json.Obj (("ok", Json.Bool true) :: fields)
           | None ->
-            (* unreachable: [job-result] is journaled (and fsynced)
-               before the state flips to [Done] *)
+            (* [job-result] is journaled (and fsynced) before the state
+               flips to [Done], so this means the store broke that
+               promise: the line was lost, torn, or the journal was
+               truncated behind our back *)
             Protocol.error_response ~fields:[ ("id", Json.Str entry.key) ]
-              (Diag.Internal "result not in cache or journal"))
+              (Diag.Storage_corrupt
+                 { file = journal_path;
+                   detail =
+                     "job is recorded as done but its result is in neither \
+                      cache nor journal" }))
         | Failed f ->
           Json.Obj
             [ ("ok", Json.Bool false);
@@ -582,7 +620,13 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
           (match o.Supervisor.verdict with
           | Ok oc ->
             worker_perf := Perf.add !worker_perf oc.Job.perf;
-            journal_result jr key oc;
+            (match journal_result jr key oc with
+            | Ok () -> ()
+            | Error e ->
+              (* the result is served from cache for this life, but a
+                 restart would lose it: stop admitting work we cannot
+                 promise to recover *)
+              enter_degraded e);
             cache_put key (outcome_fields key entry.spec oc);
             entry.state <- Done
           | Error _ when entry.cancelling ->
@@ -671,8 +715,11 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
             Minflo_lint.Bounds.infeasible_target_error model bounds
               ~target:(s.Protocol.factor *. dmin)
       in
+      (* "accepted means recoverable": the acceptance line must be durable
+         before the client hears [accepted], so this write is checked and a
+         failure refuses the admission (and flips to degraded mode) *)
       let journal_accepted key (s : Protocol.submit) =
-        Journal.event jr ~job:key
+        Journal.event_checked jr ~job:key
           ~fields:
             ([ Journal.field_str "circuit" s.circuit;
                Journal.field_float "factor" s.factor;
@@ -709,6 +756,11 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
             [ ("id", Json.Str key);
               ("state", Json.Str (state_name entry.state));
               ("resubmitted", Json.Bool true) ]
+        | (None | Some { state = Cancelled; _ }) when !degraded <> None ->
+          Perf.tick_rejection ();
+          (match !degraded with
+          | Some e -> storage_error e
+          | None -> assert false)
         | (None | Some { state = Cancelled; _ }) when !draining ->
           Perf.tick_rejection ();
           Protocol.error_response Diag.Draining
@@ -727,30 +779,12 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
                status/result queries answer from the table, and a restart
                reconstructs the same terminal state *)
             Perf.tick_rejection ();
-            journal_accepted key s;
-            Journal.event jr ~job:key ~error:e "job-lint-quarantined";
-            let entry =
-              { key;
-                spec = s;
-                state =
-                  Failed
-                    { f_code = Diag.error_code e;
-                      f_message = Diag.to_string e;
-                      f_raw = Diag.to_json e;
-                      f_quarantined = true };
-                cancelling = false }
-            in
-            Hashtbl.replace table key entry;
-            Protocol.error_response ~fields:[ ("id", Json.Str key) ] e
-          | None ->
-            match bounds_error s with
-            | Some e ->
-              (* statically infeasible target: same accepted-and-recorded
-                 terminal shape as a lint quarantine, so status queries and
-                 restarts behave identically *)
-              Perf.tick_rejection ();
-              journal_accepted key s;
-              Journal.event jr ~job:key ~error:e "job-infeasible-quarantined";
+            (match journal_accepted key s with
+            | Error se ->
+              enter_degraded se;
+              storage_error se
+            | Ok () ->
+              Journal.event jr ~job:key ~error:e "job-lint-quarantined";
               let entry =
                 { key;
                   spec = s;
@@ -763,7 +797,34 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
                   cancelling = false }
               in
               Hashtbl.replace table key entry;
-              Protocol.error_response ~fields:[ ("id", Json.Str key) ] e
+              Protocol.error_response ~fields:[ ("id", Json.Str key) ] e)
+          | None ->
+            match bounds_error s with
+            | Some e ->
+              (* statically infeasible target: same accepted-and-recorded
+                 terminal shape as a lint quarantine, so status queries and
+                 restarts behave identically *)
+              Perf.tick_rejection ();
+              (match journal_accepted key s with
+              | Error se ->
+                enter_degraded se;
+                storage_error se
+              | Ok () ->
+                Journal.event jr ~job:key ~error:e
+                  "job-infeasible-quarantined";
+                let entry =
+                  { key;
+                    spec = s;
+                    state =
+                      Failed
+                        { f_code = Diag.error_code e;
+                          f_message = Diag.to_string e;
+                          f_raw = Diag.to_json e;
+                          f_quarantined = true };
+                    cancelling = false }
+                in
+                Hashtbl.replace table key entry;
+                Protocol.error_response ~fields:[ ("id", Json.Str key) ] e)
             | None -> (
             match Job.load_circuit s.circuit with
             | Error e ->
@@ -777,23 +838,31 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
                 (Filename.concat
                    (Filename.concat cfg.run_dir "checkpoints")
                    (slug key));
-              journal_accepted key s;
-              (match existing with
-              | Some entry ->
-                entry.state <- Queued;
-                entry.cancelling <- false
-              | None ->
-                Hashtbl.replace table key
-                  { key; spec = s; state = Queued; cancelling = false });
-              (match Bounded_queue.push admission key with
-              | Ok () -> ()
-              | Error (`Full _) ->
-                (* capacity was checked above; unreachable single-threaded *)
-                Bounded_queue.push_force admission key);
-              Protocol.ok
-                [ ("id", Json.Str key);
-                  ("state", Json.Str "queued");
-                  ("position", Json.Num (float_of_int (Bounded_queue.length admission))) ]))
+              match journal_accepted key s with
+              | Error se ->
+                (* nothing durable, so nothing is queued: a restart could
+                   not reconstruct this job, and the client was never told
+                   [accepted] *)
+                Perf.tick_rejection ();
+                enter_degraded se;
+                storage_error se
+              | Ok () ->
+                (match existing with
+                | Some entry ->
+                  entry.state <- Queued;
+                  entry.cancelling <- false
+                | None ->
+                  Hashtbl.replace table key
+                    { key; spec = s; state = Queued; cancelling = false });
+                (match Bounded_queue.push admission key with
+                | Ok () -> ()
+                | Error (`Full _) ->
+                  (* capacity was checked above; unreachable single-threaded *)
+                  Bounded_queue.push_force admission key);
+                Protocol.ok
+                  [ ("id", Json.Str key);
+                    ("state", Json.Str "queued");
+                    ("position", Json.Num (float_of_int (Bounded_queue.length admission))) ]))
       in
       let handle_cancel id =
         match Hashtbl.find_opt table id with
@@ -852,6 +921,7 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
           [ ("pid", Json.Num (float_of_int (Unix.getpid ())));
             ("uptime_seconds", Json.Num (Mono.now () -. t0));
             ("draining", Json.Bool !draining);
+            ("degraded", Json.Bool (!degraded <> None));
             ( "jobs",
               Json.Obj
                 [ ("queued", Json.Num (float_of_int q));
@@ -887,7 +957,11 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
       let handle_health () =
         let _, r, _, _, _ = job_counts () in
         Protocol.ok
-          [ ("status", Json.Str (if !draining then "draining" else "ok"));
+          [ ( "status",
+              Json.Str
+                (if !degraded <> None then "degraded"
+                 else if !draining then "draining"
+                 else "ok") );
             ("pid", Json.Num (float_of_int (Unix.getpid ())));
             ( "in_flight",
               Json.Num
@@ -940,7 +1014,9 @@ let run ?(config = default_config) () : (unit, Diag.error) result =
       in
       let read_client client =
         let bytes = Bytes.create 4096 in
-        (match Unix.read client.fd bytes 0 4096 with
+        (* EINTR-retrying: a SIGCHLD from a finishing worker mid-read must
+           not be mistaken for a dead client *)
+        (match Io.read_retry client.fd bytes 0 4096 with
         | 0 -> client.alive <- false
         | n ->
           client.last_activity <- Mono.now ();

@@ -37,6 +37,13 @@
       layer's checkpoints — resume to bit-identical results.
     - {b single instance}: the journal's advisory lock makes a second
       daemon on the same run directory fail fast with [journal-locked].
+    - {b degraded mode}: a failed journal write (disk full, I/O error)
+      flips the daemon read-only instead of killing it: new admissions
+      are answered with a typed [storage-error] rejection carrying the
+      underlying diagnostic, while cached results, queries and in-flight
+      work keep being served. [health] reports [degraded]; [stats]
+      carries a [degraded] flag. Nothing is ever queued whose acceptance
+      could not be made durable.
     - {b graceful drain}: SIGTERM/SIGINT (or the [drain] op) stops
       admission, finishes or checkpoints in-flight work, seals the journal
       and exits. SIGKILL is the tested worst case: recovery handles it.
@@ -78,6 +85,14 @@ val default_config : config
     watchdog_seconds = Some 60.; io_timeout_seconds = 30.;
     cache_bytes = 64 MiB; retries = 2; backoff_base = 0.5;
     preflight = true]. *)
+
+val recovery_snapshot : string -> (string * string) list
+(** [recovery_snapshot journal_path] replays a serve journal exactly as a
+    restarting daemon would and returns, in acceptance order, each job key
+    with the state the daemon would reconstruct for it ([accepted],
+    [running], [done], [failed], [cancelled]). Used by the torture harness
+    to assert that a journal surviving an injected crash still recovers to
+    a coherent table. *)
 
 val run : ?config:config -> unit -> (unit, Minflo_robust.Diag.error) result
 (** Run the daemon until drained. Returns [Error Journal_locked] if

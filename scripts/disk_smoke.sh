@@ -1,0 +1,193 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the storage fault layer, as run by the CI disk-smoke
+# job:
+#
+#   phase 1  fault-free baseline batch — record every job's journaled
+#            result bit for bit;
+#   phase 2  crash the same batch at two injected write boundaries
+#            (io.crash-after-write, the torture harness's site), resume
+#            fault-free, and assert the resumed results are bit-identical
+#            to the baseline and every surviving journal line parses;
+#   phase 3  a batch under a seeded io.enospc schedule survives with
+#            typed degradation (journaled checkpoint failures, not a
+#            crash) and still produces baseline-identical results;
+#   phase 4  the serve daemon under the same schedule flips to degraded
+#            read-only mode (typed storage-error rejections, health
+#            "degraded") instead of dying; SIGKILL + fault-free restart
+#            recovers every accepted job to done;
+#   phase 5  minflo torture on the real c432 batch+trace+serve workload:
+#            at least 50 distinct crash points, zero recovery-invariant
+#            violations.
+#
+# Requires a prior `dune build bin/minflo_cli.exe`; override MINFLO to
+# point at a different binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MINFLO="${MINFLO:-_build/default/bin/minflo_cli.exe}"
+if [ ! -x "$MINFLO" ]; then
+  echo "error: $MINFLO not found; run: dune build bin/minflo_cli.exe" >&2
+  exit 2
+fi
+
+DIR="$(mktemp -d)"
+SOCK="$DIR/minflo.sock"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+batch() {
+  local ckpt="$1"
+  shift
+  "$MINFLO" batch c432 --factors 0.55,0.6 --solvers simplex \
+    --checkpoint-dir "$ckpt" -j 1 --retries 0 "$@"
+}
+
+# job id -> (area, area_ratio, met, iterations) from a journal's job-ok lines
+results() {
+  python3 - "$1" <<'PY'
+import json, sys
+out = {}
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line:
+        continue
+    try:
+        ev = json.loads(line)
+    except ValueError:
+        continue  # torn line from a crash: readers skip it
+    if ev.get("event") == "job-ok":
+        out[ev["job"]] = (ev["area"], ev["area_ratio"], ev["met"],
+                          ev["iterations"])
+for job in sorted(out):
+    print(job, *out[job])
+PY
+}
+
+every_line_parses() {
+  python3 - "$1" <<'PY'
+import json, sys
+torn = 0
+lines = open(sys.argv[1]).read().splitlines()
+for i, line in enumerate(lines):
+    if not line.strip():
+        continue
+    try:
+        json.loads(line)
+    except ValueError:
+        torn += 1
+        # only the crash-torn line may fail to parse, and scanners drop it;
+        # a *parsing* half-record would be silent corruption
+        assert len(line) < 2 or not (line.startswith("{") and line.endswith("}")), \
+            "half-record parses as complete: %r" % line
+assert torn <= 1, "more than one torn line: %d" % torn
+print("journal parse audit ok (%d lines, %d torn)" % (len(lines), torn))
+PY
+}
+
+echo "== phase 1: fault-free baseline"
+batch "$DIR/base"
+results "$DIR/base/journal.jsonl" >"$DIR/baseline.txt"
+cat "$DIR/baseline.txt"
+[ -s "$DIR/baseline.txt" ]
+
+echo "== phase 2: crash at injected write boundaries, resume bit-identically"
+for K in 4 14; do
+  rm -rf "$DIR/crash"
+  # a simulated process death pinned to the K-th write the batch performs
+  if batch "$DIR/crash" --inject-fault io.crash-after-write \
+      --fault-after "$((K - 1))" --fault-count 1 >/dev/null 2>&1; then
+    echo "error: batch survived its injected crash at boundary $K" >&2
+    exit 1
+  fi
+  every_line_parses "$DIR/crash/journal.jsonl"
+  batch "$DIR/crash" --resume >/dev/null
+  results "$DIR/crash/journal.jsonl" >"$DIR/resumed.txt"
+  if ! diff -u "$DIR/baseline.txt" "$DIR/resumed.txt"; then
+    echo "error: resumed results differ from baseline (boundary $K)" >&2
+    exit 1
+  fi
+  echo "crash at boundary $K: resumed bit-identical"
+done
+
+echo "== phase 3: batch survives a seeded io.enospc schedule, typed"
+rm -rf "$DIR/enospc"
+batch "$DIR/enospc" --inject-fault io.enospc --fault-after 6 --fault-count 2 \
+  >/dev/null
+every_line_parses "$DIR/enospc/journal.jsonl"
+# the two swallowed writes cost journal lines or checkpoint saves, never
+# the results
+results "$DIR/enospc/journal.jsonl" >"$DIR/enospc.txt"
+if ! diff -u "$DIR/baseline.txt" "$DIR/enospc.txt"; then
+  echo "error: results drifted under io.enospc" >&2
+  exit 1
+fi
+echo "io.enospc schedule: results bit-identical, failures typed"
+
+wait_ready() {
+  for _ in $(seq 1 150); do
+    if "$MINFLO" client health --socket "$SOCK" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "error: daemon never became healthy" >&2
+  exit 1
+}
+
+field() {
+  python3 -c 'import json,sys; print(json.loads(sys.argv[1])[sys.argv[2]])' \
+    "$1" "$2"
+}
+
+echo "== phase 4: serve degrades read-only under io.enospc, recovers after restart"
+RUN="$DIR/serve"
+"$MINFLO" serve --socket "$SOCK" --dir "$RUN" -j 1 --queue 8 \
+  --inject-fault io.enospc --fault-after 8 &
+DAEMON_PID=$!
+wait_ready
+ACCEPTED=()
+DEGRADED=0
+for i in $(seq 0 9); do
+  set +e
+  R="$("$MINFLO" client submit c17 --socket "$SOCK" \
+    --factor "1.3$i" --sleep 0.2 2>/dev/null)"
+  CODE=$?
+  set -e
+  if [ "$CODE" = 0 ]; then
+    ACCEPTED+=("$(field "$R" id)")
+  elif [ "$CODE" = 3 ] && [ "$(field "$R" code)" = "storage-error" ]; then
+    DEGRADED=1
+    break
+  else
+    echo "error: unexpected submit outcome (exit $CODE): $R" >&2
+    exit 1
+  fi
+done
+[ "$DEGRADED" = 1 ] || { echo "error: daemon never degraded" >&2; exit 1; }
+[ "${#ACCEPTED[@]}" -ge 1 ] || { echo "error: nothing accepted pre-fault" >&2; exit 1; }
+H="$("$MINFLO" client health --socket "$SOCK" || true)"
+[ "$(field "$H" status)" = "degraded" ]
+echo "degraded after ${#ACCEPTED[@]} accepted jobs, typed storage-error rejection"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+"$MINFLO" serve --socket "$SOCK" --dir "$RUN" -j 1 --queue 8 &
+DAEMON_PID=$!
+wait_ready
+for ID in "${ACCEPTED[@]}"; do
+  R="$("$MINFLO" client result "$ID" --socket "$SOCK" --wait)"
+  [ "$(field "$R" state)" = "done" ]
+done
+"$MINFLO" client drain --socket "$SOCK" >/dev/null
+wait "$DAEMON_PID"
+DAEMON_PID=""
+echo "all ${#ACCEPTED[@]} accepted jobs recovered to done after SIGKILL + restart"
+
+echo "== phase 5: crash-point torture (>=50 points, zero violations)"
+"$MINFLO" torture c432 --dir "$DIR/torture" \
+  --max-crash-points 100 --min-crash-points 50
+
+echo "disk smoke: OK"

@@ -114,7 +114,7 @@ let test_fingerprint_slug () =
 
 let test_fault_sites () =
   let pts = Fault.all_points in
-  check int "eleven instrumented sites" 11 (List.length pts);
+  check int "seventeen instrumented sites" 17 (List.length pts);
   check bool "sorted and duplicate-free" true
     (List.sort_uniq String.compare pts = pts);
   List.iter
@@ -127,6 +127,7 @@ let test_fault_sites () =
      the chaos proxy's network sites *)
   check bool "has an engine site" true (List.mem "wphase" pts);
   check bool "has an audit site" true (List.mem "audit.simplex" pts);
+  check bool "has a storage site" true (List.mem "io.enospc" pts);
   check bool "has a network site" true (List.mem "net.torn-write" pts)
 
 (* ---------- case generation ---------- *)

@@ -40,12 +40,19 @@ let fixture =
            steps := s :: !steps)
      in
      let path = Filename.temp_file "minflo-trace" ".jsonl" in
-     let oc = open_out path in
-     let w = Trace.create oc model ~circuit:"c432" ~target in
+     let sink =
+       match Minflo_robust.Io.create_sink path with
+       | Ok s -> s
+       | Error e -> Alcotest.failf "create_sink: %s" (Minflo_robust.Diag.to_string e)
+     in
+     let w = Trace.create sink model ~circuit:"c432" ~target in
      Trace.record_tilos w result.Minflotransit.tilos;
      List.iter (Trace.record_step w) (List.rev !steps);
      Trace.record_result w result;
-     close_out oc;
+     (match Trace.error w with
+     | None -> ()
+     | Some e -> Alcotest.failf "trace write: %s" (Minflo_robust.Diag.to_string e));
+     Minflo_robust.Io.sink_close sink;
      let content = read_file path in
      Sys.remove path;
      (model, target, content))
