@@ -713,7 +713,17 @@ let bench_cmd =
     Arg.(value & flag
          & info [ "quick" ]
              ~doc:"Run the CI smoke subset (c432, c880) instead of the full \
-                   grid (adds c1908, c6288).")
+                   grid (adds c1908, c6288). With --scale, also trims the \
+                   scaling grid to rca1024 and mul32.")
+  in
+  let scale =
+    Arg.(value & flag
+         & info [ "scale" ]
+             ~doc:"Also run the synthetic scaling grid: 1024/4096-bit \
+                   ripple adders, 32x32/64x64 array multipliers and a \
+                   50k-gate layered random DAG (warm legs, certificates \
+                   audited). Deterministic, so the results are part of the \
+                   checked-in baseline like the ISCAS grid.")
   in
   let json =
     Arg.(value & flag
@@ -735,9 +745,12 @@ let bench_cmd =
                    and every perf counter — wall time is excluded, it is \
                    the only non-deterministic field. Any divergence exits 3.")
   in
-  let run quick json out check =
+  let run quick scale json out check =
     Logs.set_level (Some Logs.Error);
-    let experiments = Benchmarks.suite ~quick () in
+    let experiments =
+      Benchmarks.suite ~quick ()
+      @ (if scale then Benchmarks.scale_suite ~quick () else [])
+    in
     (if json || out <> None then begin
        let text = Benchmarks.render experiments in
        match out with
@@ -753,19 +766,22 @@ let bench_cmd =
          Table.create
            ~columns:
              [ ("circuit", Table.Left); ("mode", Table.Left);
-               ("area", Table.Right); ("iters", Table.Right);
-               ("pivots", Table.Right); ("relabels", Table.Right);
-               ("sweeps", Table.Right); ("wall s", Table.Right) ]
+               ("gates", Table.Right); ("area", Table.Right);
+               ("iters", Table.Right); ("pivots", Table.Right);
+               ("sweeps", Table.Right); ("incr", Table.Right);
+               ("audit", Table.Right); ("wall s", Table.Right) ]
        in
        List.iter
          (fun (e : Benchmarks.experiment) ->
            Table.add_row table
              [ e.circuit; e.mode;
+               string_of_int e.gates;
                Printf.sprintf "%.3f" e.area;
                string_of_int e.iterations;
                string_of_int e.counters.Perf.pivots;
-               string_of_int e.counters.Perf.relabels;
                string_of_int e.counters.Perf.sweeps;
+               string_of_int e.counters.Perf.incr_updates;
+               string_of_int e.audit_findings;
                Printf.sprintf "%.2f" e.wall_seconds ])
          experiments;
        Table.print table;
@@ -798,9 +814,10 @@ let bench_cmd =
        ~doc:"Run the deterministic benchmark suite: the full engine, cold \
              and warm, on ISCAS-85 circuits, reporting areas and the \
              deterministic perf counters (pivots, relabels, sweeps, bumps). \
-             With --check, a counter drifting from the checked-in baseline \
-             exits 3 — the CI bench-smoke gate.")
-    Term.(const run $ quick $ json $ out $ check)
+             With --scale, adds the synthetic scaling grid (up to 50k \
+             gates). With --check, a counter drifting from the checked-in \
+             baseline exits 3 — the CI bench-smoke gate.")
+    Term.(const run $ quick $ scale $ json $ out $ check)
 
 (* ---------- power ---------- *)
 
@@ -1696,7 +1713,8 @@ let loadgen_cmd =
        ~doc:"Drive a deterministic job mix at a running daemon — \
              well-formed jobs, lint-rejected jobs, tiny-budget jobs — \
              poll everything to a terminal state and print a JSON summary \
-             (accepted/overloaded/rejected counts, terminal states, and \
+             (accepted/overloaded/rejected counts, terminal states, \
+             p50/p99 submit-to-terminal latency percentiles, and \
              the daemon's own stats). All traffic rides the retrying \
              client, so a run pointed through $(b,minflo chaosproxy) \
              measures end-to-end resilience. The CI serve-smoke and \

@@ -10,12 +10,12 @@ type t = {
   obj : (int, int) Hashtbl.t; (* var -> coefficient *)
 }
 
-let create () =
+let create ?(vars_hint = 16) ?(cons_hint = 64) () =
   { nvars = 0;
-    con_x = Vec.create ~dummy:0 ();
-    con_y = Vec.create ~dummy:0 ();
-    con_w = Vec.create ~dummy:0 ();
-    obj = Hashtbl.create 64 }
+    con_x = Vec.create ~capacity:cons_hint ~dummy:0 ();
+    con_y = Vec.create ~capacity:cons_hint ~dummy:0 ();
+    con_w = Vec.create ~capacity:cons_hint ~dummy:0 ();
+    obj = Hashtbl.create (max 64 vars_hint) }
 
 let var t =
   let v = t.nvars in

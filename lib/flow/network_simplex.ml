@@ -42,6 +42,16 @@ type t = {
   prev_sib : int array;
   mutable scan_pos : int; (* block-search cursor *)
   block_size : int;
+  (* preallocated pivot scratch: the two tree paths of the current cycle
+     (walk order: entering-endpoint first, apex-side last) and a DFS stack
+     for subtree refreshes. Depth is at most n+1, so n+1 slots suffice. *)
+  ts_arc : int array;
+  ts_inc : bool array;
+  ts_below : int array;
+  hs_arc : int array;
+  hs_inc : bool array;
+  hs_below : int array;
+  dfs_stack : int array;
 }
 
 let create (p : Mcf.problem) =
@@ -102,14 +112,24 @@ let create (p : Mcf.problem) =
   done;
   { n; m_real; m; src; dst; cap; cost; flow; state; parent; parc; depth; pi;
     first_child; next_sib; prev_sib; scan_pos = 0;
-    block_size = max 64 (1 + int_of_float (sqrt (float_of_int m))) }
+    block_size = max 64 (1 + int_of_float (sqrt (float_of_int m)));
+    ts_arc = Array.make (n + 1) 0;
+    ts_inc = Array.make (n + 1) false;
+    ts_below = Array.make (n + 1) 0;
+    hs_arc = Array.make (n + 1) 0;
+    hs_inc = Array.make (n + 1) false;
+    hs_below = Array.make (n + 1) 0;
+    dfs_stack = Array.make (n + 1) 0 }
 
 let reduced_cost t a = t.cost.(a) - t.pi.(t.src.(a)) + t.pi.(t.dst.(a))
 
-(* Entering arc: best violation within a block of arcs, scanning cyclically. *)
+(* Entering arc: best violation within a block of arcs, scanning cyclically.
+   [left_in_block] counts down to the block boundary (same boundaries as the
+   historical [checked mod block_size] test, minus the division per arc). *)
 let find_entering t =
   let best = ref (-1) and best_viol = ref 0 in
   let checked = ref 0 in
+  let left_in_block = ref t.block_size in
   let pos = ref t.scan_pos in
   let continue = ref true in
   while !continue && !checked < t.m do
@@ -125,7 +145,9 @@ let find_entering t =
     end;
     incr checked;
     pos := if a + 1 = t.m then 0 else a + 1;
-    if !checked mod t.block_size = 0 && !best >= 0 then continue := false
+    decr left_in_block;
+    if !left_in_block = 0 then
+      if !best >= 0 then continue := false else left_in_block := t.block_size
   done;
   t.scan_pos <- !pos;
   !best
@@ -146,36 +168,63 @@ let attach t v par =
   t.parent.(v) <- par
 
 (* Refresh depth and potential of the subtree rooted at [q] (its parent data
-   must already be correct). Iterative DFS over child lists. *)
+   must already be correct). Iterative DFS over child lists, on the
+   preallocated stack (a tree on n+1 nodes never overflows it). *)
 let refresh_subtree t q =
-  let stack = ref [ q ] in
-  while !stack <> [] do
-    match !stack with
-    | [] -> ()
-    | v :: rest ->
-      stack := rest;
-      let par = t.parent.(v) in
-      let a = t.parc.(v) in
-      t.depth.(v) <- t.depth.(par) + 1;
-      t.pi.(v) <-
-        (if t.dst.(a) = v then t.pi.(par) - t.cost.(a)
-         else t.pi.(par) + t.cost.(a));
-      let c = ref t.first_child.(v) in
-      while !c <> -1 do
-        stack := !c :: !stack;
-        c := t.next_sib.(!c)
-      done
+  let stack = t.dfs_stack in
+  stack.(0) <- q;
+  let top = ref 1 in
+  while !top > 0 do
+    decr top;
+    let v = stack.(!top) in
+    let par = t.parent.(v) in
+    let a = t.parc.(v) in
+    t.depth.(v) <- t.depth.(par) + 1;
+    t.pi.(v) <-
+      (if t.dst.(a) = v then t.pi.(par) - t.cost.(a)
+       else t.pi.(par) + t.cost.(a));
+    let c = ref t.first_child.(v) in
+    while !c <> -1 do
+      stack.(!top) <- !c;
+      incr top;
+      c := t.next_sib.(!c)
+    done
+  done
+
+(* Pivot-path variant: a pivot re-hangs a subtree without touching any arc
+   cost, so every potential inside it moves by the SAME offset (tree arcs
+   pin relative potentials, whichever end is the parent). Depths still need
+   the parent chase; potentials just add [dpi] — exactly the ints
+   [refresh_subtree] would recompute, one read instead of three. *)
+let shift_subtree t q dpi =
+  let stack = t.dfs_stack in
+  stack.(0) <- q;
+  let top = ref 1 in
+  while !top > 0 do
+    decr top;
+    let v = stack.(!top) in
+    t.depth.(v) <- t.depth.(t.parent.(v)) + 1;
+    t.pi.(v) <- t.pi.(v) + dpi;
+    let c = ref t.first_child.(v) in
+    while !c <> -1 do
+      stack.(!top) <- !c;
+      incr top;
+      c := t.next_sib.(!c)
+    done
   done
 
 exception Unbounded_exn
 
-type cycle_arc = { arc : int; increase : bool; below : int }
-(* [below]: the tree node whose parent-arc this is (-1 for the entering arc);
-   used to identify the subtree cut off when this arc leaves. *)
-
 exception Aborted_exn
 
-(* Pivot from the current (strongly feasible) basis to optimality. *)
+(* Pivot from the current (strongly feasible) basis to optimality.
+
+   The cycle lives in the preallocated [ts_*]/[hs_*] scratch, filled in walk
+   order (entering-arc endpoint first). Cycle orientation starts at the
+   apex: tail side reversed (apex -> tail), then the entering arc, then the
+   head side in fill order (head -> apex) — the same sequence the historical
+   list-based code produced, so the Cunningham last-blocking-arc choice (and
+   with it the whole pivot trajectory) is unchanged. *)
 let run_pivots ?budget t =
   let tick () =
     Perf.tick_pivot ();
@@ -195,73 +244,104 @@ let run_pivots ?budget t =
       let tail = if s = state_lower then t.src.(e) else t.dst.(e) in
       let head = if s = state_lower then t.dst.(e) else t.src.(e) in
       (* walk up to the apex, collecting both paths *)
-      let tside = ref [] and hside = ref [] in
+      let ts_len = ref 0 and hs_len = ref 0 in
+      let push_t a inc below =
+        t.ts_arc.(!ts_len) <- a;
+        t.ts_inc.(!ts_len) <- inc;
+        t.ts_below.(!ts_len) <- below;
+        incr ts_len
+      and push_h a inc below =
+        t.hs_arc.(!hs_len) <- a;
+        t.hs_inc.(!hs_len) <- inc;
+        t.hs_below.(!hs_len) <- below;
+        incr hs_len
+      in
       let u = ref tail and v = ref head in
       while t.depth.(!u) > t.depth.(!v) do
         let a = t.parc.(!u) in
         (* cycle orientation crosses a as parent(u) -> u on the tail
            side: increases flow iff the arc points down to u *)
-        tside := { arc = a; increase = t.dst.(a) = !u; below = !u } :: !tside;
+        push_t a (t.dst.(a) = !u) !u;
         u := t.parent.(!u)
       done;
       while t.depth.(!v) > t.depth.(!u) do
         let a = t.parc.(!v) in
         (* head side is traversed v -> parent(v): increases flow iff the
            arc points up from v *)
-        hside := { arc = a; increase = t.src.(a) = !v; below = !v } :: !hside;
+        push_h a (t.src.(a) = !v) !v;
         v := t.parent.(!v)
       done;
       while !u <> !v do
         let a = t.parc.(!u) in
-        tside := { arc = a; increase = t.dst.(a) = !u; below = !u } :: !tside;
+        push_t a (t.dst.(a) = !u) !u;
         u := t.parent.(!u);
         let b = t.parc.(!v) in
-        hside := { arc = b; increase = t.src.(b) = !v; below = !v } :: !hside;
+        push_h b (t.src.(b) = !v) !v;
         v := t.parent.(!v)
       done;
-      (* cycle in orientation starting at the apex:
-         apex -> tail (tside, already apex-first), entering arc,
-         head -> apex (hside collected head-first, so reverse) *)
-      let entering =
-        { arc = e; increase = s = state_lower; below = -1 }
-      in
-      let cycle = !tside @ (entering :: List.rev !hside) in
-      let residual ca =
-        if ca.increase then t.cap.(ca.arc) - t.flow.(ca.arc)
-        else t.flow.(ca.arc)
-      in
-      let delta = List.fold_left (fun d ca -> min d (residual ca)) max_int cycle in
+      let residual a inc = if inc then t.cap.(a) - t.flow.(a) else t.flow.(a) in
+      let e_inc = s = state_lower in
+      let delta = ref (residual e e_inc) in
+      for k = 0 to !ts_len - 1 do
+        let r = residual t.ts_arc.(k) t.ts_inc.(k) in
+        if r < !delta then delta := r
+      done;
+      for k = 0 to !hs_len - 1 do
+        let r = residual t.hs_arc.(k) t.hs_inc.(k) in
+        if r < !delta then delta := r
+      done;
+      let delta = !delta in
       if delta >= Mcf.infinite_capacity / 2 then raise Unbounded_exn;
-      (* Cunningham: last blocking arc in cycle orientation *)
-      let leaving = ref entering in
-      List.iter (fun ca -> if residual ca = delta then leaving := ca) cycle;
-      if delta > 0 then
-        List.iter
-          (fun ca ->
-            t.flow.(ca.arc) <-
-              (if ca.increase then t.flow.(ca.arc) + delta
-               else t.flow.(ca.arc) - delta))
-          cycle;
-      if !leaving == entering || !leaving.arc = e then
+      (* Cunningham: last blocking arc in cycle orientation. Side 0 = tail
+         path, 1 = entering, 2 = head path; one pass in orientation order
+         keeps the last residual = delta match (read before that arc's flow
+         moves — each distinct arc appears once in the cycle) and pushes the
+         flow change in the same visit, reproducing the historical
+         scan-then-apply exactly. Adding [delta = 0] is a no-op, so the
+         update needs no guard. *)
+      let lv_side = ref 1 and lv_arc = ref e and lv_below = ref (-1) in
+      for k = !ts_len - 1 downto 0 do
+        let a = t.ts_arc.(k) and inc = t.ts_inc.(k) in
+        if residual a inc = delta then begin
+          lv_side := 0;
+          lv_arc := a;
+          lv_below := t.ts_below.(k)
+        end;
+        t.flow.(a) <- (if inc then t.flow.(a) + delta else t.flow.(a) - delta)
+      done;
+      if residual e e_inc = delta then begin
+        lv_side := 1;
+        lv_arc := e;
+        lv_below := -1
+      end;
+      t.flow.(e) <- (if e_inc then t.flow.(e) + delta else t.flow.(e) - delta);
+      for k = 0 to !hs_len - 1 do
+        let a = t.hs_arc.(k) and inc = t.hs_inc.(k) in
+        if residual a inc = delta then begin
+          lv_side := 2;
+          lv_arc := a;
+          lv_below := t.hs_below.(k)
+        end;
+        t.flow.(a) <- (if inc then t.flow.(a) + delta else t.flow.(a) - delta)
+      done;
+      if !lv_side = 1 || !lv_arc = e then
         (* the entering arc itself blocks: it moves bound-to-bound *)
         t.state.(e) <- -s
       else begin
-        let lv = !leaving in
-        (* the subtree under [lv.below] is cut; find the entering-arc
-           endpoint inside it: it is [tail] if lv is on the tail side *)
-        let on_tail_side =
-          List.exists (fun ca -> ca.arc = lv.arc) !tside
-        in
+        (* the subtree under [lv_below] is cut; the entering-arc endpoint
+           inside it is [tail] if the leaving arc is on the tail side *)
+        let on_tail_side = !lv_side = 0 in
+        let lv_arc = !lv_arc and lv_below = !lv_below in
         let q = if on_tail_side then tail else head in
         let pnode = if on_tail_side then head else tail in
         (* leaving arc becomes nonbasic *)
-        t.state.(lv.arc) <-
-          (if t.flow.(lv.arc) = 0 then state_lower else state_upper);
+        t.state.(lv_arc) <-
+          (if t.flow.(lv_arc) = 0 then state_lower else state_upper);
         t.state.(e) <- state_tree;
         (* re-root the cut subtree at q, hanging it from pnode via e *)
         let cur = ref q in
         let new_parent = ref pnode and new_parc = ref e in
-        let stop = lv.below in
+        let stop = lv_below in
         let finished = ref false in
         while not !finished do
           let c = !cur in
@@ -276,7 +356,14 @@ let run_pivots ?budget t =
             cur := old_parent
           end
         done;
-        refresh_subtree t q
+        (* no cost changed, so the re-hung subtree's potentials shift
+           uniformly by the entering arc's potential discontinuity at q *)
+        let dpi =
+          (if t.dst.(e) = q then t.pi.(pnode) - t.cost.(e)
+           else t.pi.(pnode) + t.cost.(e))
+          - t.pi.(q)
+        in
+        shift_subtree t q dpi
       end
     end
   done

@@ -9,6 +9,8 @@ module Tech = Minflo_tech.Tech
 module Elmore = Minflo_tech.Elmore
 module Delay_model = Minflo_tech.Delay_model
 module Sta = Minflo_timing.Sta
+module Incremental = Minflo_timing.Incremental
+module Rng = Minflo_util.Rng
 module Dphase = Minflo_sizing.Dphase
 module Minflotransit = Minflo_sizing.Minflotransit
 module Sweep = Minflo_sizing.Sweep
@@ -152,6 +154,61 @@ let lint_stage sink nl =
                   flag sink
                     (Fingerprint.make ~phase:"lint" ~code:f.rule.Rule.id ())
                     "%s" f.message)))
+
+(* Incremental-vs-batch STA differential. The arena-backed incremental
+   engine claims bit-identity with a from-scratch batch pass after any
+   mutation sequence (the property TILOS and the W-phase hot paths lean
+   on); drive it through a schedule derived deterministically from the
+   case itself and compare with exact float [=] — one ulp of drift in any
+   delay, arrival or the critical path is a finding. *)
+let incremental_stage sink model =
+  ignore
+    (guard sink ~phase:"sta" (fun () ->
+         let n = Delay_model.num_vertices model in
+         if n > 0 then begin
+           let rng = Rng.create ((n * 31) + 5) in
+           let x0 =
+             Array.init n (fun _ ->
+                 model.Delay_model.min_size +. Rng.float rng 4.0)
+           in
+           let eng = Incremental.create model ~sizes:x0 in
+           for _ = 1 to 12 do
+             let v = Rng.int rng n in
+             let s =
+               if Rng.bool rng then
+                 Incremental.size eng v *. (1.0 +. Rng.float rng 0.4)
+               else model.Delay_model.min_size +. Rng.float rng 6.0
+             in
+             Incremental.set_size eng v s
+           done;
+           let d_ref = Delay_model.delays model (Incremental.sizes eng) in
+           let at_ref = Sta.arrivals model ~delays:d_ref in
+           let bad = ref None in
+           for v = n - 1 downto 0 do
+             if
+               Incremental.delay eng v <> d_ref.(v)
+               || Incremental.arrival eng v <> at_ref.(v)
+             then bad := Some v
+           done;
+           (match !bad with
+           | Some v ->
+             flag sink
+               (Fingerprint.make ~phase:"sta" ~code:"incremental-mismatch"
+                  ~detail:"vertex" ())
+               "incremental engine drifted from batch STA at vertex %d: \
+                delay %h vs %h, arrival %h vs %h"
+               v (Incremental.delay eng v) d_ref.(v)
+               (Incremental.arrival eng v) at_ref.(v)
+           | None -> ());
+           let cp = Sta.critical_path_only model ~delays:d_ref in
+           if Incremental.critical_path eng <> cp then
+             flag sink
+               (Fingerprint.make ~phase:"sta" ~code:"incremental-mismatch"
+                  ~detail:"critical-path" ())
+               "incremental critical path %h, batch %h"
+               (Incremental.critical_path eng)
+               cp
+         end))
 
 type leg = {
   leg_solver : Job.solver;
@@ -469,6 +526,7 @@ let run cfg nl =
     with
     | None -> (false, nan)
     | Some (model, target) ->
+      incremental_stage sink model;
       let fault = make_plan cfg in
       let legs =
         List.filter_map

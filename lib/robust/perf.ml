@@ -9,6 +9,8 @@ type counters = {
   mutable cache_misses : int;
   mutable rejections : int;
   mutable evictions : int;
+  mutable incr_updates : int;
+  mutable full_sweeps_avoided : int;
 }
 
 let zero () =
@@ -21,7 +23,9 @@ let zero () =
     cache_hits = 0;
     cache_misses = 0;
     rejections = 0;
-    evictions = 0 }
+    evictions = 0;
+    incr_updates = 0;
+    full_sweeps_avoided = 0 }
 
 let current = zero ()
 
@@ -35,7 +39,9 @@ let reset () =
   current.cache_hits <- 0;
   current.cache_misses <- 0;
   current.rejections <- 0;
-  current.evictions <- 0
+  current.evictions <- 0;
+  current.incr_updates <- 0;
+  current.full_sweeps_avoided <- 0
 
 let snapshot () =
   { pivots = current.pivots;
@@ -47,7 +53,9 @@ let snapshot () =
     cache_hits = current.cache_hits;
     cache_misses = current.cache_misses;
     rejections = current.rejections;
-    evictions = current.evictions }
+    evictions = current.evictions;
+    incr_updates = current.incr_updates;
+    full_sweeps_avoided = current.full_sweeps_avoided }
 
 let diff before after =
   { pivots = after.pivots - before.pivots;
@@ -59,7 +67,9 @@ let diff before after =
     cache_hits = after.cache_hits - before.cache_hits;
     cache_misses = after.cache_misses - before.cache_misses;
     rejections = after.rejections - before.rejections;
-    evictions = after.evictions - before.evictions }
+    evictions = after.evictions - before.evictions;
+    incr_updates = after.incr_updates - before.incr_updates;
+    full_sweeps_avoided = after.full_sweeps_avoided - before.full_sweeps_avoided }
 
 let add a b =
   { pivots = a.pivots + b.pivots;
@@ -71,7 +81,9 @@ let add a b =
     cache_hits = a.cache_hits + b.cache_hits;
     cache_misses = a.cache_misses + b.cache_misses;
     rejections = a.rejections + b.rejections;
-    evictions = a.evictions + b.evictions }
+    evictions = a.evictions + b.evictions;
+    incr_updates = a.incr_updates + b.incr_updates;
+    full_sweeps_avoided = a.full_sweeps_avoided + b.full_sweeps_avoided }
 
 let equal a b =
   a.pivots = b.pivots && a.relabels = b.relabels && a.sweeps = b.sweeps
@@ -82,6 +94,8 @@ let equal a b =
   && a.cache_misses = b.cache_misses
   && a.rejections = b.rejections
   && a.evictions = b.evictions
+  && a.incr_updates = b.incr_updates
+  && a.full_sweeps_avoided = b.full_sweeps_avoided
 
 let tick_pivot () = current.pivots <- current.pivots + 1
 let tick_relabel () = current.relabels <- current.relabels + 1
@@ -93,6 +107,10 @@ let tick_cache_hit () = current.cache_hits <- current.cache_hits + 1
 let tick_cache_miss () = current.cache_misses <- current.cache_misses + 1
 let tick_rejection () = current.rejections <- current.rejections + 1
 let tick_eviction () = current.evictions <- current.evictions + 1
+let tick_incr_update () = current.incr_updates <- current.incr_updates + 1
+
+let tick_full_sweep_avoided () =
+  current.full_sweeps_avoided <- current.full_sweeps_avoided + 1
 
 let to_fields c =
   [ ("pivots", c.pivots);
@@ -104,7 +122,9 @@ let to_fields c =
     ("cache_hits", c.cache_hits);
     ("cache_misses", c.cache_misses);
     ("rejections", c.rejections);
-    ("evictions", c.evictions) ]
+    ("evictions", c.evictions);
+    ("incr_updates", c.incr_updates);
+    ("full_sweeps_avoided", c.full_sweeps_avoided) ]
 
 let pp fmt c =
   Format.fprintf fmt "@[<h>";

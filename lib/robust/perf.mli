@@ -16,11 +16,18 @@
     - [rejections]: admission-control rejections (bounded-queue overload,
       drain refusals, pre-flight lint gating) by the serve daemon;
     - [evictions]: result-cache entries dropped under the daemon's memory
-      byte budget (LRU; the journal still holds every evicted result).
+      byte budget (LRU; the journal still holds every evicted result);
+    - [incr_updates]: vertices re-propagated by the incremental timing
+      engine's worklist ({!Minflo_timing.Incremental}) — the incremental
+      counterpart of a [sweeps] tick, which touches every vertex;
+    - [full_sweeps_avoided]: times a full STA pass was skipped because
+      incremental propagation settled the change, or an already-computed
+      analysis was reused (the D-phase handing its safety-probe STA to the
+      FSDU balancer).
 
     Unlike wall time, every one of these is a pure function of the inputs,
     so two identical runs produce identical counters — the property the
-    bench baseline ([BENCH_pr5.json]) and the CI bench-smoke job rely on.
+    bench baseline ([BENCH_pr10.json]) and the CI bench-smoke job rely on.
     Wall time is measured separately via {!Mono} and never compared.
 
     The counters are process-global on purpose: threading a record through
@@ -39,6 +46,8 @@ type counters = {
   mutable cache_misses : int;
   mutable rejections : int;
   mutable evictions : int;
+  mutable incr_updates : int;
+  mutable full_sweeps_avoided : int;
 }
 
 val zero : unit -> counters
@@ -69,6 +78,8 @@ val tick_cache_hit : unit -> unit
 val tick_cache_miss : unit -> unit
 val tick_rejection : unit -> unit
 val tick_eviction : unit -> unit
+val tick_incr_update : unit -> unit
+val tick_full_sweep_avoided : unit -> unit
 
 val to_fields : counters -> (string * int) list
 (** [(name, value)] pairs in a fixed order — the serialization used by the

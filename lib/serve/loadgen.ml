@@ -1,5 +1,6 @@
 module Diag = Minflo_robust.Diag
 module Job = Minflo_runner.Job
+module Stats = Minflo_util.Stats
 
 type config = {
   endpoint : Transport.endpoint;
@@ -44,6 +45,10 @@ let submit_spec cfg i : Protocol.submit =
 let run (cfg : config) : (Json.t, Diag.error) result =
   let session = Client.session ~retry:cfg.retry cfg.endpoint in
   let accepted = ref [] in
+  (* submit->terminal latency per accepted id; observed at poll
+     granularity, so [poll_interval] bounds the measurement error *)
+  let submit_time : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let latencies = ref [] in
   let overloaded = ref 0 in
   let draining = ref 0 in
   let lint_rejected = ref 0 in
@@ -64,8 +69,12 @@ let run (cfg : config) : (Json.t, Diag.error) result =
         (match Json.str_field "id" response with
         | Some id ->
           (* a retried submit whose first send did reach the daemon comes
-             back [resubmitted]; the id must still count once *)
-          if not (List.mem id !accepted) then accepted := id :: !accepted
+             back [resubmitted]; the id must still count once, and its
+             clock starts at the first acceptance *)
+          if not (List.mem id !accepted) then begin
+            accepted := id :: !accepted;
+            Hashtbl.replace submit_time id (Minflo_robust.Mono.now ())
+          end
         | None -> ())
       | _, Some "overloaded" -> incr overloaded
       | _, Some "draining" -> incr draining
@@ -118,7 +127,11 @@ let run (cfg : config) : (Json.t, Diag.error) result =
             | Ok response -> (
               match Json.str_field "state" response with
               | Some (("done" | "failed" | "cancelled") as st) ->
-                Hashtbl.replace terminal id st
+                Hashtbl.replace terminal id st;
+                (match Hashtbl.find_opt submit_time id with
+                | Some t0 ->
+                  latencies := (Minflo_robust.Mono.now () -. t0) :: !latencies
+                | None -> ())
               | _ -> ()))
           open_jobs;
         match !failure with
@@ -137,6 +150,11 @@ let run (cfg : config) : (Json.t, Diag.error) result =
         Hashtbl.fold
           (fun _ s acc -> if s = st then acc + 1 else acc)
           terminal 0
+      in
+      let latency_percentile p =
+        match !latencies with
+        | [] -> 0.0
+        | l -> Stats.percentile (Array.of_list l) p
       in
       let stats =
         Client.rpc session (Protocol.request_to_json Protocol.Stats)
@@ -161,4 +179,6 @@ let run (cfg : config) : (Json.t, Diag.error) result =
                ("done", Json.Num (float_of_int (count "done")));
                ("failed", Json.Num (float_of_int (count "failed")));
                ("cancelled", Json.Num (float_of_int (count "cancelled")));
+               ("latency_p50_seconds", Json.Num (latency_percentile 50.0));
+               ("latency_p99_seconds", Json.Num (latency_percentile 99.0));
                ("stats", stats) ])))

@@ -7,8 +7,9 @@
     best-feasible-on-exhaustion path). Then polls every accepted job to a
     terminal state and returns a JSON summary — counts of accepted /
     overloaded / draining / lint-rejected submissions and of terminal
-    states, plus the daemon's own [stats] response. The CI serve-smoke job
-    asserts on this summary.
+    states, p50/p99 submit-to-terminal latency percentiles (observed at
+    [poll_interval] granularity), plus the daemon's own [stats] response.
+    The CI serve-smoke job asserts on this summary.
 
     All traffic goes through a retrying {!Client.session}, so a run
     pointed through the chaos proxy rides out injected connection drops,

@@ -1,5 +1,5 @@
-module Digraph = Minflo_graph.Digraph
 module Delay_model = Minflo_tech.Delay_model
+module Arena = Minflo_timing.Arena
 module Balance = Minflo_timing.Balance
 module Sta = Minflo_timing.Sta
 module Diff_lp = Minflo_flow.Diff_lp
@@ -51,12 +51,16 @@ type lp_build = {
 
 let build_lp ?(options = default_options) model ~sizes ~delays ~deadline =
   let n = Delay_model.num_vertices model in
-  let g = model.Delay_model.graph in
+  let arena = Arena.of_model model in
   let sta = Sta.analyze model ~delays ~deadline in
   if not (Sta.is_safe ~eps:1e-6 sta) then
     Error (Diag.Unsafe_timing { cp = sta.critical_path; deadline })
   else begin
-    let bal = Balance.balance ~mode:options.balance_mode model ~delays ~deadline in
+    (* the safety probe IS the analysis the balancer needs — hand it over
+       instead of paying a second full sweep per D-phase *)
+    let bal =
+      Balance.balance ~mode:options.balance_mode ~sta model ~delays ~deadline
+    in
     let weights = Sensitivity.weights model ~sizes ~delays in
     (* integerization *)
     let s = options.scale in
@@ -70,7 +74,11 @@ let build_lp ?(options = default_options) model ~sizes ~delays ~deadline =
        feasible region only shrinks, so integerization can make the step
        smaller but never lets a budget exceed the true slack *)
     let q x = max 0 (int_of_float (floor (x *. s))) in
-    let lp = Diff_lp.create () in
+    let lp =
+      Diff_lp.create ~vars_hint:((2 * n) + 1)
+        ~cons_hint:((2 * n) + arena.Arena.m + n)
+        ()
+    in
     let r = Array.init n (fun _ -> Diff_lp.var lp) in
     let rdmy = Array.init n (fun _ -> Diff_lp.var lp) in
     let ground = Diff_lp.var lp in
@@ -86,14 +94,15 @@ let build_lp ?(options = default_options) model ~sizes ~delays ~deadline =
       Diff_lp.add_objective lp r.(i) (-iw.(i))
     done;
     (* causality: displaced FSDUs on real edges stay non-negative *)
-    Digraph.iter_edges g (fun e ->
-        let i = Digraph.src g e and j = Digraph.dst g e in
-        (* FSDU_e + r(j) - r(Dmy i) >= 0 *)
-        Diff_lp.add_le lp rdmy.(i) r.(j) (q bal.edge_fsdu.(e)));
+    for e = 0 to arena.Arena.m - 1 do
+      let i = arena.Arena.edge_src.(e) and j = arena.Arena.edge_dst.(e) in
+      (* FSDU_e + r(j) - r(Dmy i) >= 0 *)
+      Diff_lp.add_le lp rdmy.(i) r.(j) (q bal.edge_fsdu.(e))
+    done;
     (* virtual input edges (ground -> source) and output edges
        (sink -> ground), with ground pinned: Corollary 1 *)
     for i = 0 to n - 1 do
-      if Digraph.in_degree g i = 0 then
+      if Arena.is_source arena i then
         Diff_lp.add_le lp ground r.(i) (q bal.source_fsdu.(i));
       if model.Delay_model.is_sink.(i) then
         Diff_lp.add_le lp rdmy.(i) ground (q bal.sink_fsdu.(i))

@@ -1,13 +1,13 @@
 module Delay_model = Minflo_tech.Delay_model
+module Arena = Minflo_timing.Arena
 
 let weights model ~sizes ~delays =
   let n = Delay_model.num_vertices model in
-  (* reverse coefficient index: incoming.(j) = [(i, a_ij)] *)
-  let incoming = Array.make n [] in
-  Array.iteri
-    (fun i coeffs ->
-      Array.iter (fun (j, a) -> incoming.(j) <- (i, a) :: incoming.(j)) coeffs)
-    model.Delay_model.a_coeffs;
+  (* the reverse coefficient index ([loader] rows: the (i, a_ij) with i
+     loading j) and the elimination blocks come precomputed from the arena;
+     loader rows iterate in the exact order the historical cons-built lists
+     did, keeping the float accumulation bit-identical *)
+  let arena = Arena.of_model model in
   let diag i =
     let d = delays.(i) -. model.Delay_model.a_self.(i) in
     if d <= 1e-12 then
@@ -16,7 +16,7 @@ let weights model ~sizes ~delays =
     d
   in
   let y = Array.make n 0.0 in
-  let blocks = Delay_model.elimination_blocks model in
+  let blocks = Arena.blocks arena in
   (* forward elimination order: y_j needs y_i of upstream references, which
      live in earlier blocks; in-block mutual references iterate locally *)
   Array.iter
@@ -29,7 +29,10 @@ let weights model ~sizes ~delays =
         Array.iter
           (fun j ->
             let acc = ref model.Delay_model.area_weight.(j) in
-            List.iter (fun (i, a) -> acc := !acc +. (a *. y.(i))) incoming.(j);
+            for c = arena.Arena.loader_off.(j)
+                to arena.Arena.loader_off.(j + 1) - 1 do
+              acc := !acc +. (arena.Arena.loader_a.(c) *. y.(arena.Arena.loader_k.(c)))
+            done;
             let ny = !acc /. diag j in
             if abs_float (ny -. y.(j)) > 1e-12 *. (1.0 +. abs_float ny) then begin
               y.(j) <- ny;

@@ -1,5 +1,5 @@
-module Digraph = Minflo_graph.Digraph
 module Delay_model = Minflo_tech.Delay_model
+module Arena = Minflo_timing.Arena
 module Sta = Minflo_timing.Sta
 module Inc = Minflo_timing.Incremental
 
@@ -16,33 +16,30 @@ type result = {
    fanin's delay grows because its load grows — per unit of added area.
    This is the classic TILOS figure of merit.
 
-   [preds] is the per-vertex fanin array, precomputed once per [size] call:
-   this runs once per critical vertex per bump, and [Digraph.pred] builds a
-   fresh list on every call — on big circuits that allocation (plus the
-   closure-per-element folds it fed) dominated the greedy loop. Everything
-   here is now straight array iteration with no per-call allocation. *)
-let sensitivity model eng bump (preds : int array array) i =
+   Fanins come from the arena's CSR rows — shared with the incremental
+   engine, zero per-call allocation, and in exactly [Digraph.pred] order so
+   the strict-[>] best-fanin tie-break is unchanged. *)
+let sensitivity model eng bump (arena : Arena.t) i =
   let old_xi = Inc.size eng i in
   let new_xi = min (old_xi *. bump) model.Delay_model.max_size in
   if new_xi <= old_xi then neg_infinity
   else begin
     let d_new =
-      (* delay of i with the larger size: only the 1/x_i part shrinks *)
-      let coeffs = model.Delay_model.a_coeffs.(i) in
+      (* delay of i with the larger size: only the 1/x_i part shrinks.
+         Coefficients come from the arena's flat CSR (same row order as
+         [a_coeffs], so the float sum is bit-identical). *)
       let acc = ref model.Delay_model.b.(i) in
-      for k = 0 to Array.length coeffs - 1 do
-        let j, a = coeffs.(k) in
-        acc := !acc +. (a *. Inc.size eng j)
+      for c = arena.Arena.coeff_off.(i) to arena.Arena.coeff_off.(i + 1) - 1 do
+        acc := !acc +. (arena.Arena.coeff_a.(c) *. Inc.size eng (arena.Arena.coeff_j.(c)))
       done;
       model.Delay_model.a_self.(i) +. (!acc /. new_xi)
     in
     let own_gain = Inc.delay eng i -. d_new in
     (* critical fanin k: the one realizing AT(i); its delay grows by
        a_ki * (new_xi - old_xi) / x_k *)
-    let fanin = preds.(i) in
     let best = ref (-1) and best_f = ref neg_infinity in
-    for idx = 0 to Array.length fanin - 1 do
-      let k = fanin.(idx) in
+    for c = arena.Arena.fanin_off.(i) to arena.Arena.fanin_off.(i + 1) - 1 do
+      let k = arena.Arena.fanin.(c) in
       let f = Inc.finish eng k in
       if f > !best_f then begin
         best_f := f;
@@ -53,11 +50,9 @@ let sensitivity model eng bump (preds : int array array) i =
       if !best < 0 then 0.0
       else begin
         let k = !best in
-        let coeffs = model.Delay_model.a_coeffs.(k) in
         let a_ki = ref 0.0 in
-        for idx = 0 to Array.length coeffs - 1 do
-          let j, a = coeffs.(idx) in
-          if j = i then a_ki := !a_ki +. a
+        for c = arena.Arena.coeff_off.(k) to arena.Arena.coeff_off.(k + 1) - 1 do
+          if arena.Arena.coeff_j.(c) = i then a_ki := !a_ki +. arena.Arena.coeff_a.(c)
         done;
         !a_ki *. (new_xi -. old_xi) /. Inc.size eng k
       end
@@ -78,8 +73,7 @@ let size ?(bump = 1.1) ?(max_bumps = 2_000_000) ?budget ?init model ~target =
         x0
   in
   let eng = Inc.create model ~sizes:start in
-  let g = model.Delay_model.graph in
-  let preds = Array.init n (fun i -> Array.of_list (Digraph.pred g i)) in
+  let arena = Arena.of_model model in
   let bumps = ref 0 in
   let finished = ref false in
   let met = ref false in
@@ -104,7 +98,7 @@ let size ?(bump = 1.1) ?(max_bumps = 2_000_000) ?budget ?init model ~target =
       let best = ref (-1) and best_s = ref 0.0 in
       List.iter
         (fun i ->
-          let s = sensitivity model eng bump preds i in
+          let s = sensitivity model eng bump arena i in
           if s > !best_s then begin
             best_s := s;
             best := i
@@ -144,11 +138,13 @@ let size ?(bump = 1.1) ?(max_bumps = 2_000_000) ?budget ?init model ~target =
     end
   done;
   let x = Inc.sizes eng in
-  let delays = Delay_model.delays model x in
+  (* the engine's delays are bit-identical to [Delay_model.delays model x]
+     (exact incremental maintenance) — skip the O(E) recompute and take the
+     final CP through the cheap arrival-only path *)
   { sizes = x;
     met = !met;
     bumps = !bumps;
-    final_cp = Sta.critical_path_only model ~delays;
+    final_cp = Sta.critical_path_only model ~delays:(Inc.all_delays eng);
     area = Delay_model.area model x }
 
 let minimum_delay ?(bump = 1.1) ?(max_bumps = 2_000_000) model =

@@ -1,4 +1,5 @@
 module Delay_model = Minflo_tech.Delay_model
+module Arena = Minflo_timing.Arena
 module Diag = Minflo_robust.Diag
 
 type result = {
@@ -34,41 +35,76 @@ let solve ?fault model ~budgets =
     match !bad with
     | Some e -> Error e
     | None ->
-      let blocks = Delay_model.elimination_blocks model in
+      let arena = Arena.of_model model in
+      let blocks = Arena.blocks arena in
       let x = Array.make n model.Delay_model.min_size in
       let required i =
         let acc = ref model.Delay_model.b.(i) in
-        Array.iter
-          (fun (j, a) -> acc := !acc +. (a *. x.(j)))
-          model.Delay_model.a_coeffs.(i);
+        for c = arena.Arena.coeff_off.(i) to arena.Arena.coeff_off.(i + 1) - 1
+        do
+          acc := !acc +. (arena.Arena.coeff_a.(c) *. x.(arena.Arena.coeff_j.(c)))
+        done;
         !acc /. (budgets.(i) -. model.Delay_model.a_self.(i))
       in
       let tol = 1e-9 in
       let sweeps = ref 0 in
       (* one pass over the blocks in reverse elimination order: every x_j a
-         vertex depends on lives in a later block and is already final;
-         within a block the inner loop iterates the local fixpoint (needed
-         only for parallel transistor networks) *)
+         vertex depends on lives in a later block and is already final.
+         Within a block only the changed cone re-propagates: a vertex is
+         re-evaluated only while [dirty] — set when one of the in-block
+         sizes it loads moved since its last evaluation. Skipped
+         evaluations are provably no-ops ([required i] never reads [x.(i)];
+         unchanged inputs reproduce the unchanged quotient), so the sizes
+         are bit-identical to the historical evaluate-everything fixpoint
+         while the work is O(changed) per round. A single-vertex block —
+         every vertex, under gate sizing — needs exactly one evaluation. *)
+      let dirty = Array.make n false in
+      let member = Array.make n (-1) in
       for bi = Array.length blocks - 1 downto 0 do
         let block = blocks.(bi) in
-        let local = ref true in
-        let rounds = ref 0 in
-        while !local && !rounds < 500 do
-          local := false;
-          incr rounds;
+        if Array.length block = 1 then begin
+          let i = block.(0) in
+          let r = required i in
+          let nx =
+            min model.Delay_model.max_size (max model.Delay_model.min_size r)
+          in
+          if nx > x.(i) +. tol then x.(i) <- nx;
+          sweeps := max !sweeps 1
+        end
+        else begin
           Array.iter
             (fun i ->
-              let r = required i in
-              let nx =
-                min model.Delay_model.max_size (max model.Delay_model.min_size r)
-              in
-              if nx > x.(i) +. tol then begin
-                x.(i) <- nx;
-                local := true
-              end)
-            block
-        done;
-        sweeps := max !sweeps !rounds
+              member.(i) <- bi;
+              dirty.(i) <- true)
+            block;
+          let local = ref true in
+          let rounds = ref 0 in
+          while !local && !rounds < 500 do
+            local := false;
+            incr rounds;
+            Array.iter
+              (fun i ->
+                if dirty.(i) then begin
+                  dirty.(i) <- false;
+                  let r = required i in
+                  let nx =
+                    min model.Delay_model.max_size
+                      (max model.Delay_model.min_size r)
+                  in
+                  if nx > x.(i) +. tol then begin
+                    x.(i) <- nx;
+                    local := true;
+                    for c = arena.Arena.loader_off.(i)
+                        to arena.Arena.loader_off.(i + 1) - 1 do
+                      let k = arena.Arena.loader_k.(c) in
+                      if member.(k) = bi then dirty.(k) <- true
+                    done
+                  end
+                end)
+              block
+          done;
+          sweeps := max !sweeps !rounds
+        end
       done;
       let violated = ref [] in
       Array.iteri

@@ -1,0 +1,202 @@
+module Digraph = Minflo_graph.Digraph
+module Topo = Minflo_graph.Topo
+module Delay_model = Minflo_tech.Delay_model
+
+type t = {
+  model : Delay_model.t;
+  n : int;
+  m : int;
+  edge_src : int array;
+  edge_dst : int array;
+  fanout_off : int array;
+  fanout : int array;
+  fanin_off : int array;
+  fanin : int array;
+  coeff_off : int array;
+  coeff_j : int array;
+  coeff_a : float array;
+  loader_off : int array;
+  loader_k : int array;
+  loader_a : float array;
+  topo : int array;
+  pos : int array;
+  sinks : int array;
+  mutable blocks : int array array option;
+}
+
+let build model =
+  let g = model.Delay_model.graph in
+  let n = Digraph.node_count g in
+  let m = Digraph.edge_count g in
+  let edge_src = Array.init m (Digraph.src g) in
+  let edge_dst = Array.init m (Digraph.dst g) in
+  (* adjacency CSR. Row contents must reproduce [Digraph.succ]/[Digraph.pred]
+     exactly (edge insertion order): TILOS breaks best-fanin ties by strict
+     [>] over that order, and the critical-set backtrace lists vertices in
+     pred order — both are trajectory-visible. *)
+  let fanout_off = Array.make (n + 1) 0 in
+  let fanin_off = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    fanout_off.(edge_src.(e) + 1) <- fanout_off.(edge_src.(e) + 1) + 1;
+    fanin_off.(edge_dst.(e) + 1) <- fanin_off.(edge_dst.(e) + 1) + 1
+  done;
+  for u = 0 to n - 1 do
+    fanout_off.(u + 1) <- fanout_off.(u + 1) + fanout_off.(u);
+    fanin_off.(u + 1) <- fanin_off.(u + 1) + fanin_off.(u)
+  done;
+  let fanout = Array.make m 0 in
+  let fanin = Array.make m 0 in
+  (* edge ids are allocated in insertion order, and [out_edges]/[in_edges]
+     return ascending edge ids (the adjacency lists are reversed on read) —
+     so filling rows by one ascending edge scan lands every row in exactly
+     the order [succ]/[pred] produce it *)
+  let out_cur = Array.make n 0 in
+  let in_cur = Array.make n 0 in
+  for e = 0 to m - 1 do
+    let u = edge_src.(e) and v = edge_dst.(e) in
+    fanout.(fanout_off.(u) + out_cur.(u)) <- v;
+    out_cur.(u) <- out_cur.(u) + 1;
+    fanin.(fanin_off.(v) + in_cur.(v)) <- u;
+    in_cur.(v) <- in_cur.(v) + 1
+  done;
+  (* coefficient CSR: [a_coeffs.(i)] flattened in row-array order — float
+     sums over a row must keep their order to stay bit-identical *)
+  let coeff_off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    coeff_off.(i + 1) <-
+      coeff_off.(i) + Array.length model.Delay_model.a_coeffs.(i)
+  done;
+  let nc = coeff_off.(n) in
+  let coeff_j = Array.make nc 0 in
+  let coeff_a = Array.make nc 0.0 in
+  for i = 0 to n - 1 do
+    let row = model.Delay_model.a_coeffs.(i) in
+    let base = coeff_off.(i) in
+    Array.iteri
+      (fun c (j, a) ->
+        coeff_j.(base + c) <- j;
+        coeff_a.(base + c) <- a)
+      row
+  done;
+  (* loader CSR: for each [j], the [(k, a_kj)] pairs with [k] loading [j].
+     Historically this reverse index was built by consing over ascending
+     rows, so consumers read it with [k] DESCENDING (and within a row,
+     right-to-left). The sensitivity fixpoint sums floats in that order;
+     build the rows reversed so the sums stay bit-identical. *)
+  let loader_off = Array.make (n + 1) 0 in
+  for c = 0 to nc - 1 do
+    loader_off.(coeff_j.(c) + 1) <- loader_off.(coeff_j.(c) + 1) + 1
+  done;
+  for j = 0 to n - 1 do
+    loader_off.(j + 1) <- loader_off.(j + 1) + loader_off.(j)
+  done;
+  let loader_k = Array.make nc 0 in
+  let loader_a = Array.make nc 0.0 in
+  let cur = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    for c = coeff_off.(i + 1) - 1 downto coeff_off.(i) do
+      let j = coeff_j.(c) in
+      loader_k.(loader_off.(j) + cur.(j)) <- i;
+      loader_a.(loader_off.(j) + cur.(j)) <- coeff_a.(c);
+      cur.(j) <- cur.(j) + 1
+    done
+  done;
+  let topo = Topo.sort g in
+  let pos = Array.make n 0 in
+  Array.iteri (fun k v -> pos.(v) <- k) topo;
+  (* sink ids ascending — the order [Array.iteri] over [is_sink] visits
+     them, so sums over sinks keep their historical accumulation order *)
+  let nsinks = ref 0 in
+  Array.iter (fun s -> if s then incr nsinks) model.Delay_model.is_sink;
+  let sinks = Array.make !nsinks 0 in
+  let sc = ref 0 in
+  Array.iteri
+    (fun v s ->
+      if s then begin
+        sinks.(!sc) <- v;
+        incr sc
+      end)
+    model.Delay_model.is_sink;
+  { model;
+    n;
+    m;
+    edge_src;
+    edge_dst;
+    fanout_off;
+    fanout;
+    fanin_off;
+    fanin;
+    coeff_off;
+    coeff_j;
+    coeff_a;
+    loader_off;
+    loader_k;
+    loader_a;
+    topo;
+    pos;
+    sinks;
+    blocks = None }
+
+(* Small physical-equality memo: the engine calls every timing routine with
+   the same model record thousands of times per run ({!Model_cache} also
+   returns physically shared models across requests), so [of_model] must be
+   O(1) on the hot path. A handful of entries covers every realistic
+   interleaving (engine + differential legs + audits). *)
+let memo_capacity = 8
+let memo : (Delay_model.t * t) option array = Array.make memo_capacity None
+
+let of_model model =
+  let rec find k =
+    if k >= memo_capacity then None
+    else
+      match memo.(k) with
+      | Some (m, a) when m == model -> Some (k, a)
+      | _ -> find (k + 1)
+  in
+  match find 0 with
+  | Some (k, a) ->
+    (* move-to-front so the working set stays resident *)
+    if k > 0 then begin
+      let hit = memo.(k) in
+      Array.blit memo 0 memo 1 k;
+      memo.(0) <- hit
+    end;
+    a
+  | None ->
+    let a = build model in
+    Array.blit memo 0 memo 1 (memo_capacity - 1);
+    memo.(0) <- Some (model, a);
+    a
+
+let blocks t =
+  match t.blocks with
+  | Some b -> b
+  | None ->
+    let b = Delay_model.elimination_blocks t.model in
+    t.blocks <- Some b;
+    b
+
+let is_source t i = t.fanin_off.(i) = t.fanin_off.(i + 1)
+
+let delay t x i =
+  let acc = ref t.model.Delay_model.b.(i) in
+  for c = t.coeff_off.(i) to t.coeff_off.(i + 1) - 1 do
+    acc := !acc +. (t.coeff_a.(c) *. x.(t.coeff_j.(c)))
+  done;
+  t.model.Delay_model.a_self.(i) +. (!acc /. x.(i))
+
+let delays_into t x out =
+  for i = 0 to t.n - 1 do
+    out.(i) <- delay t x i
+  done
+
+let arrivals_into t ~delays out =
+  Array.fill out 0 t.n 0.0;
+  for k = 0 to t.n - 1 do
+    let i = t.topo.(k) in
+    let reach = out.(i) +. delays.(i) in
+    for c = t.fanout_off.(i) to t.fanout_off.(i + 1) - 1 do
+      let j = t.fanout.(c) in
+      if reach > out.(j) then out.(j) <- reach
+    done
+  done

@@ -10,15 +10,15 @@ type t = {
 }
 
 let of_potential model ~delays ~deadline p =
-  let g = model.Delay_model.graph in
-  let n = Digraph.node_count g in
+  let a = Arena.of_model model in
+  let n = a.Arena.n in
   let edge_fsdu =
-    Array.init (Digraph.edge_count g) (fun e ->
-        let i = Digraph.src g e and j = Digraph.dst g e in
+    Array.init a.Arena.m (fun e ->
+        let i = a.Arena.edge_src.(e) and j = a.Arena.edge_dst.(e) in
         p.(j) -. p.(i) -. delays.(i))
   in
   let source_fsdu =
-    Array.init n (fun i -> if Digraph.in_degree g i = 0 then p.(i) else 0.0)
+    Array.init n (fun i -> if Arena.is_source a i then p.(i) else 0.0)
   in
   let sink_fsdu =
     Array.init n (fun i ->
@@ -26,8 +26,16 @@ let of_potential model ~delays ~deadline p =
   in
   { potential = p; edge_fsdu; source_fsdu; sink_fsdu; deadline }
 
-let balance ?(mode = `Alap) model ~delays ~deadline =
-  let sta = Sta.analyze model ~delays ~deadline in
+let balance ?(mode = `Alap) ?sta model ~delays ~deadline =
+  let sta =
+    match sta with
+    | Some s ->
+      (* the caller already ran the analysis (the D-phase safety probe):
+         reuse it instead of re-sweeping the whole DAG *)
+      Minflo_robust.Perf.tick_full_sweep_avoided ();
+      s
+    | None -> Sta.analyze model ~delays ~deadline
+  in
   if not (Sta.is_safe ~eps:1e-6 sta) then
     invalid_arg
       (Printf.sprintf "Balance.balance: circuit is not safe (CP %.3f > deadline %.3f)"

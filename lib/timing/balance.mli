@@ -27,12 +27,16 @@ type t = {
 
 val balance :
   ?mode:[ `Alap | `Asap ] ->
+  ?sta:Sta.t ->
   Minflo_tech.Delay_model.t ->
   delays:float array ->
   deadline:float ->
   t
 (** Requires a safe circuit ([CP <= deadline]); FSDUs are non-negative then.
-    Default mode [`Alap]. *)
+    Default mode [`Alap]. [?sta] supplies an analysis already computed for
+    the same [delays] and [deadline] (the D-phase's safety probe): the
+    balancer then skips its own full sweep and ticks the
+    [full_sweeps_avoided] perf counter. *)
 
 val check :
   Minflo_tech.Delay_model.t ->

@@ -1,85 +1,93 @@
-module Digraph = Minflo_graph.Digraph
-module Topo = Minflo_graph.Topo
 module Delay_model = Minflo_tech.Delay_model
-module Heap = Minflo_util.Heap
+module Perf = Minflo_robust.Perf
 
 type t = {
+  arena : Arena.t;
   model : Delay_model.t;
   x : float array;
   delays : float array;
   at : float array;
-  pos : int array;      (* topological position per vertex *)
-  loaders : (int * float) list array; (* k loads j: (k, a_kj) reversed index *)
-  queue : Heap.t;       (* worklist keyed by topo position *)
-  queued : bool array;
+  (* worklist: dirty flags indexed by TOPO POSITION plus the dirty window
+     [lo, hi]. Settling scans the window in ascending position — exactly
+     the order a min-heap keyed by position pops, with O(1) insert and no
+     per-element heap or hash traffic. *)
+  dirty : bool array;
+  mutable lo : int;
+  mutable hi : int;
+  (* epoch-stamped visited marks for [critical_set] — avoids allocating and
+     clearing an n-sized array per backtrace *)
+  stamp : int array;
+  mutable epoch : int;
 }
 
-let compute_delay t i =
-  let acc = ref t.model.Delay_model.b.(i) in
-  Array.iter (fun (j, a) -> acc := !acc +. (a *. t.x.(j))) t.model.Delay_model.a_coeffs.(i);
-  t.model.Delay_model.a_self.(i) +. (!acc /. t.x.(i))
-
 let create model ~sizes =
-  let n = Delay_model.num_vertices model in
-  if Array.length sizes <> n then invalid_arg "Incremental.create: wrong sizes length";
-  let order = Topo.sort model.Delay_model.graph in
-  let pos = Array.make n 0 in
-  Array.iteri (fun k v -> pos.(v) <- k) order;
-  let loaders = Array.make n [] in
-  Array.iteri
-    (fun k coeffs -> Array.iter (fun (j, a) -> loaders.(j) <- (k, a) :: loaders.(j)) coeffs)
-    model.Delay_model.a_coeffs;
-  let t =
-    { model;
-      x = Array.copy sizes;
-      delays = Array.make n 0.0;
-      at = Array.make n 0.0;
-      pos;
-      loaders;
-      queue = Heap.create ();
-      queued = Array.make n false }
-  in
-  for i = 0 to n - 1 do
-    t.delays.(i) <- compute_delay t i
-  done;
-  let g = model.Delay_model.graph in
-  Array.iter
-    (fun v ->
-      let reach = t.at.(v) +. t.delays.(v) in
-      List.iter (fun w -> if reach > t.at.(w) then t.at.(w) <- reach) (Digraph.succ g v))
-    order;
-  t
+  let arena = Arena.of_model model in
+  let n = arena.Arena.n in
+  if Array.length sizes <> n then
+    invalid_arg "Incremental.create: wrong sizes length";
+  let x = Array.copy sizes in
+  let delays = Array.make n 0.0 in
+  Arena.delays_into arena x delays;
+  let at = Array.make n 0.0 in
+  Arena.arrivals_into arena ~delays at;
+  { arena;
+    model;
+    x;
+    delays;
+    at;
+    dirty = Array.make n false;
+    lo = n;
+    hi = -1;
+    stamp = Array.make n 0;
+    epoch = 0 }
 
 let size t i = t.x.(i)
 let sizes t = Array.copy t.x
+let all_delays t = Array.copy t.delays
 let delay t i = t.delays.(i)
 let arrival t i = t.at.(i)
 let finish t i = t.at.(i) +. t.delays.(i)
 
 let push t v =
-  if not t.queued.(v) then begin
-    t.queued.(v) <- true;
-    Heap.push t.queue ~key:t.pos.(v) v
+  let p = t.arena.Arena.pos.(v) in
+  if not t.dirty.(p) then begin
+    t.dirty.(p) <- true;
+    if p < t.lo then t.lo <- p;
+    if p > t.hi then t.hi <- p
   end
 
+(* Propagate arrival changes in topological order: scan the dirty window
+   ascending, recomputing each dirty vertex's arrival EXACTLY — the fresh
+   value is the same max the batch sweep computes, not a toleranced update —
+   so after every [settle] the engine state bit-matches a from-scratch
+   {!Sta.arrivals}. Marking a fanout extends the window ([t.hi] is re-read
+   every step); fanouts sit at strictly greater positions, so each vertex is
+   processed at most once with all its fanins final. *)
 let settle t =
-  let g = t.model.Delay_model.graph in
-  let continue = ref true in
-  while !continue do
-    match Heap.pop_min t.queue with
-    | None -> continue := false
-    | Some (_, v) ->
-      t.queued.(v) <- false;
-      let fresh =
-        List.fold_left
-          (fun acc u -> max acc (t.at.(u) +. t.delays.(u)))
-          0.0 (Digraph.pred g v)
-      in
-      if abs_float (fresh -. t.at.(v)) > 1e-12 *. (1.0 +. abs_float fresh) then begin
-        t.at.(v) <- fresh;
-        List.iter (fun w -> push t w) (Digraph.succ g v)
+  let a = t.arena in
+  let p = ref t.lo in
+  while !p <= t.hi do
+    if t.dirty.(!p) then begin
+      t.dirty.(!p) <- false;
+      let v = a.Arena.topo.(!p) in
+      Perf.tick_incr_update ();
+      let fresh = ref 0.0 in
+      for c = a.Arena.fanin_off.(v) to a.Arena.fanin_off.(v + 1) - 1 do
+        let u = a.Arena.fanin.(c) in
+        let f = t.at.(u) +. t.delays.(u) in
+        if f > !fresh then fresh := f
+      done;
+      if !fresh <> t.at.(v) then begin
+        t.at.(v) <- !fresh;
+        for c = a.Arena.fanout_off.(v) to a.Arena.fanout_off.(v + 1) - 1 do
+          push t a.Arena.fanout.(c)
+        done
       end
-  done
+    end;
+    incr p
+  done;
+  t.lo <- a.Arena.n;
+  t.hi <- -1
 
 let set_size t i nx =
   let nx =
@@ -87,52 +95,63 @@ let set_size t i nx =
   in
   if nx <> t.x.(i) then begin
     t.x.(i) <- nx;
-    let g = t.model.Delay_model.graph in
+    let a = t.arena in
     let refresh v =
-      let d = compute_delay t v in
+      let d = Arena.delay a t.x v in
       if d <> t.delays.(v) then begin
         t.delays.(v) <- d;
-        List.iter (fun w -> push t w) (Digraph.succ g v)
+        (* the vertex's own finish moved: its arrival is unchanged but its
+           fanouts must re-max *)
+        for c = a.Arena.fanout_off.(v) to a.Arena.fanout_off.(v + 1) - 1 do
+          push t a.Arena.fanout.(c)
+        done
       end
     in
     refresh i;
-    List.iter (fun (k, _) -> refresh k) t.loaders.(i);
+    for c = a.Arena.loader_off.(i) to a.Arena.loader_off.(i + 1) - 1 do
+      refresh a.Arena.loader_k.(c)
+    done;
+    Perf.tick_full_sweep_avoided ();
     settle t
   end
 
 let critical_path t =
+  let a = t.arena in
   let best = ref 0.0 in
-  Array.iteri
-    (fun v s -> if s then best := max !best (finish t v))
-    t.model.Delay_model.is_sink;
+  for k = 0 to Array.length a.Arena.sinks - 1 do
+    let f = finish t a.Arena.sinks.(k) in
+    if f > !best then best := f
+  done;
   !best
 
 let total_violation t ~target =
+  let a = t.arena in
   let acc = ref 0.0 in
-  Array.iteri
-    (fun v s -> if s then acc := !acc +. max 0.0 (finish t v -. target))
-    t.model.Delay_model.is_sink;
+  for k = 0 to Array.length a.Arena.sinks - 1 do
+    acc := !acc +. max 0.0 (finish t a.Arena.sinks.(k) -. target)
+  done;
   !acc
 
 let critical_set ?(eps_rel = 1e-9) t =
-  let g = t.model.Delay_model.graph in
+  let a = t.arena in
   let cp = critical_path t in
   let eps = eps_rel *. (1.0 +. cp) in
-  let n = Delay_model.num_vertices t.model in
-  let seen = Array.make n false in
+  t.epoch <- t.epoch + 1;
+  let seen = t.stamp and ep = t.epoch in
   let acc = ref [] in
   let rec visit v =
-    if not seen.(v) then begin
-      seen.(v) <- true;
+    if seen.(v) <> ep then begin
+      seen.(v) <- ep;
       acc := v :: !acc;
-      List.iter
-        (fun u ->
-          (* edge u -> v is tight when u's finish realizes v's arrival *)
-          if abs_float (t.at.(u) +. t.delays.(u) -. t.at.(v)) <= eps then visit u)
-        (Digraph.pred g v)
+      for c = a.Arena.fanin_off.(v) to a.Arena.fanin_off.(v + 1) - 1 do
+        let u = a.Arena.fanin.(c) in
+        (* edge u -> v is tight when u's finish realizes v's arrival *)
+        if abs_float (t.at.(u) +. t.delays.(u) -. t.at.(v)) <= eps then visit u
+      done
     end
   in
-  Array.iteri
-    (fun v s -> if s && abs_float (finish t v -. cp) <= eps then visit v)
-    t.model.Delay_model.is_sink;
+  for k = 0 to Array.length a.Arena.sinks - 1 do
+    let v = a.Arena.sinks.(k) in
+    if abs_float (finish t v -. cp) <= eps then visit v
+  done;
   List.rev !acc

@@ -5,8 +5,17 @@
     neighborhood. This engine keeps delays and arrival times current under
     {!set_size}: the bumped vertex and the fanins it loads get fresh
     delays, and the arrival change is propagated through a topologically
-    ordered worklist that stops as soon as values settle. Equivalence with
-    the batch {!Sta} is property-tested under random mutation sequences. *)
+    ordered worklist over the {!Arena} CSR that stops as soon as values
+    settle. Propagation is EXACT — a vertex re-propagates whenever its
+    recomputed arrival differs at all, not merely beyond a tolerance — so
+    after every update the engine's delays and arrivals are bit-identical
+    to a from-scratch batch {!Sta} pass (max-propagation is
+    order-independent in floats, and the delay sums keep their coefficient
+    order). That bit-equivalence is enforced by a 200-seed random-mutation
+    differential in the test suite and by the fuzz oracle's
+    [sta/incremental-mismatch] stage. Each worklist pop ticks the
+    [incr_updates] perf counter; each {!set_size} that settles ticks
+    [full_sweeps_avoided]. *)
 
 type t
 
@@ -17,6 +26,10 @@ val size : t -> int -> float
 
 val sizes : t -> float array
 (** A fresh copy of the current sizes. *)
+
+val all_delays : t -> float array
+(** A fresh copy of the current per-vertex delays — bit-identical to
+    [Delay_model.delays model (sizes t)] without the O(E) recompute. *)
 
 val delay : t -> int -> float
 val arrival : t -> int -> float

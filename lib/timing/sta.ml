@@ -1,5 +1,3 @@
-module Digraph = Minflo_graph.Digraph
-module Topo = Minflo_graph.Topo
 module Delay_model = Minflo_tech.Delay_model
 
 type t = {
@@ -12,15 +10,9 @@ type t = {
 
 let arrivals model ~delays =
   Minflo_robust.Perf.tick_sweep ();
-  let g = model.Delay_model.graph in
-  let order = Topo.sort g in
-  let n = Digraph.node_count g in
-  let at = Array.make n 0.0 in
-  Array.iter
-    (fun i ->
-      let reach = at.(i) +. delays.(i) in
-      List.iter (fun j -> if reach > at.(j) then at.(j) <- reach) (Digraph.succ g i))
-    order;
+  let a = Arena.of_model model in
+  let at = Array.make a.Arena.n 0.0 in
+  Arena.arrivals_into a ~delays at;
   at
 
 let critical_path_only model ~delays =
@@ -30,28 +22,28 @@ let critical_path_only model ~delays =
   !cp
 
 let analyze model ~delays ~deadline =
-  let g = model.Delay_model.graph in
-  let order = Topo.sort g in
-  let n = Digraph.node_count g in
+  let a = Arena.of_model model in
+  let n = a.Arena.n in
   let at = arrivals model ~delays in
   let cp = ref 0.0 in
   Array.iteri (fun i a -> if a +. delays.(i) > !cp then cp := a +. delays.(i)) at;
   Minflo_robust.Perf.tick_sweep ();
   let rt = Array.make n infinity in
   for k = n - 1 downto 0 do
-    let i = order.(k) in
+    let i = a.Arena.topo.(k) in
     if model.Delay_model.is_sink.(i) then
       rt.(i) <- min rt.(i) (deadline -. delays.(i));
-    List.iter
-      (fun j -> rt.(i) <- min rt.(i) (rt.(j) -. delays.(i)))
-      (Digraph.succ g i)
+    for c = a.Arena.fanout_off.(i) to a.Arena.fanout_off.(i + 1) - 1 do
+      let j = a.Arena.fanout.(c) in
+      rt.(i) <- min rt.(i) (rt.(j) -. delays.(i))
+    done
   done;
   let slack = Array.init n (fun i -> rt.(i) -. at.(i)) in
   { arrival = at; required = rt; slack; critical_path = !cp; deadline }
 
 let edge_slack t ~delays model e =
-  let g = model.Delay_model.graph in
-  let i = Digraph.src g e and j = Digraph.dst g e in
+  let a = Arena.of_model model in
+  let i = a.Arena.edge_src.(e) and j = a.Arena.edge_dst.(e) in
   t.required.(j) -. t.arrival.(i) -. delays.(i)
 
 let is_safe ?(eps = 1e-9) t = Array.for_all (fun s -> s >= -.eps) t.slack
@@ -63,13 +55,13 @@ let critical_vertices ?(eps = 1e-9) t =
   List.rev !acc
 
 let worst_path model ~delays =
-  let g = model.Delay_model.graph in
+  let a = Arena.of_model model in
   let at = arrivals model ~delays in
   (* find the vertex finishing the critical path, then backtrace greedily *)
   let finish = ref 0 and best = ref neg_infinity in
   Array.iteri
-    (fun i a ->
-      let f = a +. delays.(i) in
+    (fun i v ->
+      let f = v +. delays.(i) in
       if f > !best then begin
         best := f;
         finish := i
@@ -77,18 +69,20 @@ let worst_path model ~delays =
     at;
   let rec back i acc =
     let acc = i :: acc in
-    if at.(i) = 0.0 && Digraph.in_degree g i = 0 then acc
+    if at.(i) = 0.0 && Arena.is_source a i then acc
     else begin
-      (* pick the fanin realizing AT(i) *)
-      let pick =
-        List.fold_left
-          (fun best_j j ->
-            match best_j with
-            | Some bj when at.(bj) +. delays.(bj) >= at.(j) +. delays.(j) -> best_j
-            | _ -> Some j)
-          None (Digraph.pred g i)
-      in
-      match pick with None -> acc | Some j -> back j acc
+      (* pick the fanin realizing AT(i): first fanin wins ties, in pred
+         order, matching the historical fold over [Digraph.pred] *)
+      let pick = ref (-1) and pick_f = ref neg_infinity in
+      for c = a.Arena.fanin_off.(i) to a.Arena.fanin_off.(i + 1) - 1 do
+        let j = a.Arena.fanin.(c) in
+        let f = at.(j) +. delays.(j) in
+        if f > !pick_f then begin
+          pick_f := f;
+          pick := j
+        end
+      done;
+      if !pick < 0 then acc else back !pick acc
     end
   in
   back !finish []

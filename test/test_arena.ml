@@ -1,0 +1,211 @@
+(* The arena/incremental bit-identity contract.
+
+   The whole PR-10 performance story rests on one claim: the flat CSR
+   arena and the incremental arrival engine are *bitwise* equivalent to
+   the structures they replaced — same fanin/fanout orders as the
+   Digraph, same coefficient sum order as [a_coeffs], and after any
+   sequence of size mutations the engine's delays/arrivals/critical path
+   are the floats a from-scratch batch STA would produce. These tests
+   enforce that claim with exact [=] on floats, never a tolerance. *)
+
+module Netlist = Minflo_netlist.Netlist
+module Gen = Minflo_netlist.Generators
+module Tech = Minflo_tech.Tech
+module DM = Minflo_tech.Delay_model
+module Elmore = Minflo_tech.Elmore
+module Digraph = Minflo_graph.Digraph
+module Arena = Minflo_timing.Arena
+module Sta = Minflo_timing.Sta
+module Inc = Minflo_timing.Incremental
+module Rng = Minflo_util.Rng
+
+let check = Alcotest.check
+let tech = Tech.default_130nm
+
+let random_model seed =
+  let gates = 25 + (seed mod 31) in
+  let nl = Gen.random_dag ~gates ~inputs:5 ~outputs:4 ~seed () in
+  Elmore.of_netlist tech nl
+
+let random_sizes rng model =
+  Array.init (DM.num_vertices model) (fun _ ->
+      model.DM.min_size +. Rng.float rng 7.0)
+
+(* ---------- arena structure ---------- *)
+
+(* every CSR row must reproduce the Digraph adjacency in its exact
+   (insertion) order — the strict-[>] tie-breaks in TILOS and the STA
+   backtraces depend on it *)
+let test_csr_matches_digraph () =
+  for seed = 0 to 19 do
+    let model = random_model seed in
+    let a = Arena.of_model model in
+    let g = model.DM.graph in
+    for v = 0 to a.Arena.n - 1 do
+      let row off tbl =
+        List.init (off.(v + 1) - off.(v)) (fun k -> tbl.(off.(v) + k))
+      in
+      check (Alcotest.list Alcotest.int)
+        (Printf.sprintf "seed %d fanout of %d" seed v)
+        (Digraph.succ g v)
+        (row a.Arena.fanout_off a.Arena.fanout);
+      check (Alcotest.list Alcotest.int)
+        (Printf.sprintf "seed %d fanin of %d" seed v)
+        (Digraph.pred g v)
+        (row a.Arena.fanin_off a.Arena.fanin)
+    done
+  done
+
+let test_coeff_rows_match_model () =
+  for seed = 0 to 19 do
+    let model = random_model seed in
+    let a = Arena.of_model model in
+    for v = 0 to a.Arena.n - 1 do
+      let expect =
+        Array.to_list model.DM.a_coeffs.(v)
+        |> List.map (fun (j, c) -> (j, c))
+      in
+      let got =
+        List.init
+          (a.Arena.coeff_off.(v + 1) - a.Arena.coeff_off.(v))
+          (fun k ->
+            let c = a.Arena.coeff_off.(v) + k in
+            (a.Arena.coeff_j.(c), a.Arena.coeff_a.(c)))
+      in
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.int (Alcotest.float 0.0)))
+        (Printf.sprintf "seed %d coeff row of %d" seed v)
+        expect got
+    done
+  done
+
+let test_sinks_ascending () =
+  for seed = 0 to 19 do
+    let model = random_model seed in
+    let a = Arena.of_model model in
+    let expect = ref [] in
+    Array.iteri (fun i s -> if s then expect := i :: !expect) model.DM.is_sink;
+    check (Alcotest.list Alcotest.int)
+      (Printf.sprintf "seed %d sinks" seed)
+      (List.rev !expect)
+      (Array.to_list a.Arena.sinks)
+  done
+
+let test_of_model_memoized () =
+  let model = random_model 3 in
+  Alcotest.(check bool)
+    "same model record gives the same arena" true
+    (Arena.of_model model == Arena.of_model model)
+
+(* arena delay/arrival kernels agree bitwise with the model-level code *)
+let test_arena_kernels_exact () =
+  for seed = 0 to 19 do
+    let model = random_model seed in
+    let a = Arena.of_model model in
+    let rng = Rng.create (seed * 11 + 1) in
+    let x = random_sizes rng model in
+    let d_ref = DM.delays model x in
+    let d = Array.make a.Arena.n nan in
+    Arena.delays_into a x d;
+    check (Alcotest.array (Alcotest.float 0.0))
+      (Printf.sprintf "seed %d delays" seed)
+      d_ref d;
+    for v = 0 to a.Arena.n - 1 do
+      if Arena.delay a x v <> d_ref.(v) then
+        Alcotest.failf "seed %d: Arena.delay %d = %h, model says %h" seed v
+          (Arena.delay a x v) d_ref.(v)
+    done;
+    let at_ref = Sta.arrivals model ~delays:d_ref in
+    let at = Array.make a.Arena.n nan in
+    Arena.arrivals_into a ~delays:d at;
+    check (Alcotest.array (Alcotest.float 0.0))
+      (Printf.sprintf "seed %d arrivals" seed)
+      at_ref at
+  done
+
+(* ---------- the 200-seed mutation differential ---------- *)
+
+(* Drive the incremental engine through a random mutation schedule, then
+   demand bit-identity against a from-scratch batch pass at the final
+   sizes: delays, arrivals, critical path — and the critical set against
+   a freshly created engine (whose state IS a batch pass). Exact float
+   [=] throughout: one ulp of drift anywhere is a failure. *)
+let differential_one_seed seed =
+  let model = random_model seed in
+  let n = DM.num_vertices model in
+  let rng = Rng.create (seed * 7919 + 13) in
+  let x0 = random_sizes rng model in
+  let eng = Inc.create model ~sizes:x0 in
+  let mutations = 8 + Rng.int rng 17 in
+  for _ = 1 to mutations do
+    let v = Rng.int rng n in
+    let s =
+      if Rng.bool rng then Inc.size eng v *. (1.0 +. Rng.float rng 0.5)
+      else model.DM.min_size +. Rng.float rng 7.0
+    in
+    Inc.set_size eng v s
+  done;
+  let x = Inc.sizes eng in
+  let d_ref = DM.delays model x in
+  let d = Inc.all_delays eng in
+  for v = 0 to n - 1 do
+    if d.(v) <> d_ref.(v) then
+      Alcotest.failf "seed %d: delay %d drifted: engine %h, batch %h" seed v
+        d.(v) d_ref.(v)
+  done;
+  let at_ref = Sta.arrivals model ~delays:d_ref in
+  for v = 0 to n - 1 do
+    if Inc.arrival eng v <> at_ref.(v) then
+      Alcotest.failf "seed %d: arrival %d drifted: engine %h, batch %h" seed v
+        (Inc.arrival eng v) at_ref.(v)
+  done;
+  let cp_ref = Sta.critical_path_only model ~delays:d_ref in
+  if Inc.critical_path eng <> cp_ref then
+    Alcotest.failf "seed %d: critical path drifted: engine %h, batch %h" seed
+      (Inc.critical_path eng) cp_ref;
+  (* a fresh engine at the final sizes is a batch computation; the mutated
+     engine must report the identical critical set (same members, same
+     traversal order) *)
+  let fresh = Inc.create model ~sizes:x in
+  check (Alcotest.list Alcotest.int)
+    (Printf.sprintf "seed %d critical set" seed)
+    (Inc.critical_set fresh)
+    (Inc.critical_set eng)
+
+let test_mutation_differential () =
+  for seed = 0 to 199 do
+    differential_one_seed seed
+  done
+
+(* set_size must also be exact when sizes go *down* (TILOS's trial-bump
+   rollback path) and when the write is a no-op *)
+let test_rollback_exact () =
+  for seed = 0 to 19 do
+    let model = random_model seed in
+    let n = DM.num_vertices model in
+    let rng = Rng.create (seed + 400) in
+    let x0 = random_sizes rng model in
+    let eng = Inc.create model ~sizes:x0 in
+    let at0 = Array.init n (Inc.arrival eng) in
+    for _ = 1 to 10 do
+      let v = Rng.int rng n in
+      let old = Inc.size eng v in
+      Inc.set_size eng v (old *. 1.3);
+      Inc.set_size eng v old
+    done;
+    for v = 0 to n - 1 do
+      if Inc.arrival eng v <> at0.(v) then
+        Alcotest.failf "seed %d: bump+rollback moved arrival %d" seed v
+    done
+  done
+
+let suite =
+  [ ("csr-matches-digraph", `Quick, test_csr_matches_digraph);
+    ("coeff-rows-match-model", `Quick, test_coeff_rows_match_model);
+    ("sinks-ascending", `Quick, test_sinks_ascending);
+    ("of-model-memoized", `Quick, test_of_model_memoized);
+    ("arena-kernels-exact", `Quick, test_arena_kernels_exact);
+    ("mutation-differential-200-seeds", `Quick, test_mutation_differential);
+    ("rollback-exact", `Quick, test_rollback_exact) ]
+
+let () = Alcotest.run "arena" [ ("arena", suite) ]

@@ -602,6 +602,15 @@ let test_e2e_loadgen_mix () =
   check Alcotest.bool "all accepted jobs terminal" true
     (field "accepted" = field "done" + field "failed" + field "cancelled");
   check Alcotest.bool "well-formed jobs done" true (field "done" >= 2);
+  (* latency percentiles: present, finite, non-negative, ordered *)
+  let fl k =
+    match Json.num_field k summary with
+    | Some v -> v
+    | None -> Alcotest.failf "summary lacks %s" k
+  in
+  let p50 = fl "latency_p50_seconds" and p99 = fl "latency_p99_seconds" in
+  check Alcotest.bool "p50 sane" true (Float.is_finite p50 && p50 >= 0.0);
+  check Alcotest.bool "p99 >= p50" true (Float.is_finite p99 && p99 >= p50);
   ignore (rpc cfg Protocol.Drain);
   (match Unix.waitpid [] pid with
   | _, Unix.WEXITED 0 -> ()
